@@ -1,0 +1,169 @@
+//! Entity identifiers and cluster membership.
+
+/// Identifier of a system entity `E_i` within a cluster.
+///
+/// The paper's cluster `C = ⟨E_1, …, E_n⟩` is a *static* set of `n ≥ 2`
+/// entities; membership does not change during a run. We index entities
+/// `0..n` (the paper uses `1..=n`; zero-based indexing maps directly onto
+/// vector/matrix storage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct EntityId(u32);
+
+impl EntityId {
+    /// Creates an entity id from a zero-based index.
+    pub const fn new(index: u32) -> Self {
+        EntityId(index)
+    }
+
+    /// Returns the zero-based index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value (used by the wire codec).
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Entities print one-based, matching the paper's E_1..E_n.
+        write!(f, "E{}", self.0 + 1)
+    }
+}
+
+impl From<u32> for EntityId {
+    fn from(raw: u32) -> Self {
+        EntityId(raw)
+    }
+}
+
+/// Error produced when validating cluster parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntityIdError {
+    /// The cluster must contain at least two entities (paper §2.1: `n ≥ 2`).
+    ClusterTooSmall {
+        /// The rejected size.
+        n: usize,
+    },
+    /// The entity index is outside `0..n`.
+    OutOfRange {
+        /// The rejected id.
+        id: EntityId,
+        /// The cluster size.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for EntityIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EntityIdError::ClusterTooSmall { n } => {
+                write!(f, "cluster must have at least 2 entities, got {n}")
+            }
+            EntityIdError::OutOfRange { id, n } => {
+                write!(f, "entity {id} out of range for cluster of {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EntityIdError {}
+
+/// Static description of a cluster: its size and identifier.
+///
+/// Corresponds to the paper's cluster `C` (the `CID` field of every PDU
+/// names it; a system may support several clusters side by side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ClusterSpec {
+    /// Cluster identifier carried in the `CID` field of every PDU.
+    pub cid: u32,
+    /// Number of entities `n ≥ 2`.
+    pub n: usize,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EntityIdError::ClusterTooSmall`] if `n < 2`.
+    pub fn new(cid: u32, n: usize) -> Result<Self, EntityIdError> {
+        if n < 2 {
+            return Err(EntityIdError::ClusterTooSmall { n });
+        }
+        Ok(ClusterSpec { cid, n })
+    }
+
+    /// Iterates over the ids of all member entities.
+    pub fn members(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.n as u32).map(EntityId::new)
+    }
+
+    /// Checks that `id` belongs to this cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EntityIdError::OutOfRange`] if `id.index() >= n`.
+    pub fn validate(&self, id: EntityId) -> Result<(), EntityIdError> {
+        if id.index() >= self.n {
+            return Err(EntityIdError::OutOfRange { id, n: self.n });
+        }
+        Ok(())
+    }
+
+    /// Iterates over all members except `me` (the peers `me` hears from).
+    pub fn peers(&self, me: EntityId) -> impl Iterator<Item = EntityId> + '_ {
+        self.members().filter(move |&e| e != me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_display_is_one_based() {
+        assert_eq!(EntityId::new(0).to_string(), "E1");
+        assert_eq!(EntityId::new(4).to_string(), "E5");
+    }
+
+    #[test]
+    fn cluster_rejects_singleton() {
+        assert_eq!(
+            ClusterSpec::new(1, 1).unwrap_err(),
+            EntityIdError::ClusterTooSmall { n: 1 }
+        );
+        assert!(ClusterSpec::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn cluster_members_enumerates_all() {
+        let c = ClusterSpec::new(7, 3).unwrap();
+        let ids: Vec<EntityId> = c.members().collect();
+        assert_eq!(ids, vec![EntityId::new(0), EntityId::new(1), EntityId::new(2)]);
+    }
+
+    #[test]
+    fn cluster_validate_bounds() {
+        let c = ClusterSpec::new(7, 3).unwrap();
+        assert!(c.validate(EntityId::new(2)).is_ok());
+        assert!(c.validate(EntityId::new(3)).is_err());
+    }
+
+    #[test]
+    fn peers_excludes_self() {
+        let c = ClusterSpec::new(7, 3).unwrap();
+        let peers: Vec<EntityId> = c.peers(EntityId::new(1)).collect();
+        assert_eq!(peers, vec![EntityId::new(0), EntityId::new(2)]);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = EntityIdError::ClusterTooSmall { n: 1 };
+        assert!(e.to_string().starts_with("cluster must"));
+        let e = EntityIdError::OutOfRange { id: EntityId::new(9), n: 3 };
+        assert!(e.to_string().contains("E10"));
+    }
+}

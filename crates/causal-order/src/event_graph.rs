@@ -1,0 +1,286 @@
+//! An explicit happened-before graph, used as a test oracle.
+//!
+//! §2.2 defines Lamport's happened-before relation `→` over sending and
+//! receipt events. The protocol itself never materializes this graph (that
+//! is the point of Theorem 4.1 — sequence numbers suffice), but the test
+//! suite does: it records every send/receive of a run, builds the graph, and
+//! checks delivered orders against ground-truth causality.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::EntityId;
+
+/// Identifier of a broadcast message (assigned by the trace recorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct MsgId(pub u64);
+
+impl std::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A send or receipt event, the paper's `s_i[p]` / `r_i[p]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// `s_i[p]`: entity `i` sends message `p`.
+    Send {
+        /// Sending entity.
+        entity: EntityId,
+        /// The message.
+        msg: MsgId,
+    },
+    /// `r_i[p]`: entity `i` receives message `p`.
+    Receive {
+        /// Receiving entity.
+        entity: EntityId,
+        /// The message.
+        msg: MsgId,
+    },
+}
+
+impl Event {
+    /// The entity at which the event occurs.
+    pub fn entity(&self) -> EntityId {
+        match *self {
+            Event::Send { entity, .. } | Event::Receive { entity, .. } => entity,
+        }
+    }
+}
+
+/// Internal dense id for an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(usize);
+
+/// Happened-before graph per Lamport's definition (§2.2 [Definition]):
+///
+/// 1. `e1 → e2` if `e1` occurs before `e2` at the same entity;
+/// 2. `s_i[p] → r_j[p]` for every receipt of `p`;
+/// 3. transitivity.
+#[derive(Debug, Default)]
+pub struct EventGraph {
+    events: Vec<Event>,
+    index: HashMap<Event, EventId>,
+    /// Adjacency: edges `e1 → e2` (direct only; queries take the closure).
+    succ: Vec<Vec<EventId>>,
+    /// Last event recorded at each entity, for process-order edges.
+    last_at: HashMap<EntityId, EventId>,
+    /// Send event of each message, for message edges.
+    send_of: HashMap<MsgId, EventId>,
+    /// Receives recorded before their send was known; linked retroactively.
+    pending_receives: HashMap<MsgId, Vec<EventId>>,
+}
+
+impl EventGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        EventGraph::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(&mut self, event: Event) -> EventId {
+        if let Some(&id) = self.index.get(&event) {
+            return id;
+        }
+        let id = EventId(self.events.len());
+        self.events.push(event);
+        self.succ.push(Vec::new());
+        self.index.insert(event, id);
+        // Process-order edge from the previous event at this entity.
+        if let Some(&prev) = self.last_at.get(&event.entity()) {
+            self.succ[prev.0].push(id);
+        }
+        self.last_at.insert(event.entity(), id);
+        id
+    }
+
+    /// Records `s_i[p]`. Events at one entity must be recorded in their
+    /// local order.
+    pub fn record_send(&mut self, entity: EntityId, msg: MsgId) {
+        let id = self.push(Event::Send { entity, msg });
+        self.send_of.insert(msg, id);
+        // Link any receives of this message recorded before the send
+        // (happens when merging per-entity traces in arbitrary order).
+        if let Some(receives) = self.pending_receives.remove(&msg) {
+            for r in receives {
+                self.succ[id.0].push(r);
+            }
+        }
+    }
+
+    /// Records `r_i[p]`, adding the `s[p] → r_i[p]` edge (retroactively if
+    /// the send has not been recorded yet).
+    pub fn record_receive(&mut self, entity: EntityId, msg: MsgId) {
+        let id = self.push(Event::Receive { entity, msg });
+        if let Some(&send) = self.send_of.get(&msg) {
+            self.succ[send.0].push(id);
+        } else {
+            self.pending_receives.entry(msg).or_default().push(id);
+        }
+    }
+
+    /// Does `e1 → e2` hold (reflexive-free, transitive)?
+    pub fn happened_before(&self, e1: Event, e2: Event) -> bool {
+        let (Some(&from), Some(&to)) = (self.index.get(&e1), self.index.get(&e2)) else {
+            return false;
+        };
+        if from == to {
+            return false;
+        }
+        // BFS over successor edges.
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut queue: VecDeque<EventId> = VecDeque::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.succ[cur.0] {
+                if next == to {
+                    return true;
+                }
+                if seen.insert(next.0) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        false
+    }
+
+    /// The paper's causality-precedence on messages: `p ⇒ q` iff
+    /// `s[p] → s[q]`.
+    pub fn msg_causally_precedes(&self, p: MsgId, q: MsgId) -> bool {
+        let (Some(&sp), Some(&sq)) = (self.send_of.get(&p), self.send_of.get(&q)) else {
+            return false;
+        };
+        self.happened_before(self.events[sp.0], self.events[sq.0])
+    }
+
+    /// All recorded messages, in recording order of their sends.
+    pub fn messages(&self) -> Vec<MsgId> {
+        let mut msgs: Vec<(EventId, MsgId)> =
+            self.send_of.iter().map(|(&m, &e)| (e, m)).collect();
+        msgs.sort_by_key(|&(e, _)| e.0);
+        msgs.into_iter().map(|(_, m)| m).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    /// Figure 2 of the paper: E_g sends g then p; E_h receives p then sends
+    /// q; E_k receives g, p, q.
+    fn figure_2() -> EventGraph {
+        let mut graph = EventGraph::new();
+        let (eg, eh, ek) = (e(0), e(1), e(2));
+        let (g, p, q) = (MsgId(0), MsgId(1), MsgId(2));
+        graph.record_send(eg, g);
+        graph.record_send(eg, p);
+        graph.record_receive(eh, p);
+        graph.record_send(eh, q);
+        graph.record_receive(ek, g);
+        graph.record_receive(ek, p);
+        graph.record_receive(ek, q);
+        graph
+    }
+
+    #[test]
+    fn process_order_edges() {
+        let graph = figure_2();
+        assert!(graph.happened_before(
+            Event::Send { entity: e(0), msg: MsgId(0) },
+            Event::Send { entity: e(0), msg: MsgId(1) },
+        ));
+    }
+
+    #[test]
+    fn message_edges() {
+        let graph = figure_2();
+        assert!(graph.happened_before(
+            Event::Send { entity: e(0), msg: MsgId(1) },
+            Event::Receive { entity: e(1), msg: MsgId(1) },
+        ));
+    }
+
+    #[test]
+    fn transitivity_across_entities() {
+        let graph = figure_2();
+        // s_g[g] → s_g[p] → r_h[p] → s_h[q] → r_k[q]
+        assert!(graph.happened_before(
+            Event::Send { entity: e(0), msg: MsgId(0) },
+            Event::Receive { entity: e(2), msg: MsgId(2) },
+        ));
+    }
+
+    #[test]
+    fn figure_2_causality_chain() {
+        let graph = figure_2();
+        // g ⇒ p ⇒ q, exactly the paper's example.
+        assert!(graph.msg_causally_precedes(MsgId(0), MsgId(1)));
+        assert!(graph.msg_causally_precedes(MsgId(1), MsgId(2)));
+        assert!(graph.msg_causally_precedes(MsgId(0), MsgId(2)));
+        assert!(!graph.msg_causally_precedes(MsgId(2), MsgId(0)));
+    }
+
+    #[test]
+    fn concurrent_sends_unrelated() {
+        let mut graph = EventGraph::new();
+        graph.record_send(e(0), MsgId(0));
+        graph.record_send(e(1), MsgId(1));
+        assert!(!graph.msg_causally_precedes(MsgId(0), MsgId(1)));
+        assert!(!graph.msg_causally_precedes(MsgId(1), MsgId(0)));
+    }
+
+    #[test]
+    fn no_self_loop() {
+        let graph = figure_2();
+        let s = Event::Send { entity: e(0), msg: MsgId(0) };
+        assert!(!graph.happened_before(s, s));
+    }
+
+    #[test]
+    fn unknown_events_never_precede() {
+        let graph = figure_2();
+        assert!(!graph.happened_before(
+            Event::Send { entity: e(3), msg: MsgId(9) },
+            Event::Send { entity: e(0), msg: MsgId(0) },
+        ));
+    }
+
+    #[test]
+    fn messages_listed_in_send_order() {
+        let graph = figure_2();
+        assert_eq!(graph.messages(), vec![MsgId(0), MsgId(1), MsgId(2)]);
+    }
+
+    #[test]
+    fn receive_before_send_recorded_still_links() {
+        // Receipt recorded before its send (happens when merging per-entity
+        // traces in arbitrary entity order): the edge is added retroactively.
+        let mut graph = EventGraph::new();
+        graph.record_receive(e(1), MsgId(0));
+        graph.record_send(e(1), MsgId(1)); // sent after receiving m0
+        graph.record_send(e(0), MsgId(0));
+        assert!(graph.msg_causally_precedes(MsgId(0), MsgId(1)));
+        assert!(!graph.msg_causally_precedes(MsgId(0), MsgId(0)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut graph = EventGraph::new();
+        assert!(graph.is_empty());
+        graph.record_send(e(0), MsgId(0));
+        assert_eq!(graph.len(), 1);
+        assert!(!graph.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Lamport scalar clocks.
+//!
+//! The happened-before relation the paper builds on is Lamport's (§2.2 cites
+//! [8]). A scalar Lamport clock is consistent with `→` (if `e1 → e2` then
+//! `L(e1) < L(e2)`) but does not characterize it; we use it in the TO
+//! baseline for tie-breaking and in tests as a sanity oracle.
+
+/// A Lamport logical clock.
+///
+/// # Example
+///
+/// ```
+/// use causal_order::LamportClock;
+///
+/// let mut sender = LamportClock::new();
+/// let stamp = sender.tick(); // local/send event
+/// let mut receiver = LamportClock::new();
+/// let at_receive = receiver.observe(stamp); // receive event
+/// assert!(at_receive > stamp);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LamportClock {
+    time: u64,
+}
+
+impl LamportClock {
+    /// Creates a clock at time zero.
+    pub const fn new() -> Self {
+        LamportClock { time: 0 }
+    }
+
+    /// Advances the clock for a local or send event and returns the new time.
+    pub fn tick(&mut self) -> u64 {
+        self.time += 1;
+        self.time
+    }
+
+    /// Advances the clock for a receive event carrying `stamp` and returns
+    /// the new time (`max(local, stamp) + 1`).
+    pub fn observe(&mut self, stamp: u64) -> u64 {
+        self.time = self.time.max(stamp) + 1;
+        self.time
+    }
+
+    /// Current time without advancing.
+    pub const fn now(&self) -> u64 {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(LamportClock::new().now(), 0);
+        assert_eq!(LamportClock::default().now(), 0);
+    }
+
+    #[test]
+    fn tick_is_monotonic() {
+        let mut c = LamportClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+        assert_eq!(c.now(), 2);
+    }
+
+    #[test]
+    fn observe_jumps_past_stamp() {
+        let mut c = LamportClock::new();
+        assert_eq!(c.observe(10), 11);
+        assert_eq!(c.observe(3), 12); // never goes backwards
+    }
+
+    #[test]
+    fn consistent_with_happened_before_chain() {
+        // s1[p] -> r2[p] -> s2[q] -> r3[q]; timestamps must increase.
+        let mut e1 = LamportClock::new();
+        let mut e2 = LamportClock::new();
+        let mut e3 = LamportClock::new();
+        let t_send_p = e1.tick();
+        let t_recv_p = e2.observe(t_send_p);
+        let t_send_q = e2.tick();
+        let t_recv_q = e3.observe(t_send_q);
+        assert!(t_send_p < t_recv_p);
+        assert!(t_recv_p < t_send_q);
+        assert!(t_send_q < t_recv_q);
+    }
+}

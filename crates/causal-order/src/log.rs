@@ -1,0 +1,207 @@
+//! The paper's log abstraction.
+//!
+//! §2.2 models every service as a set of *logs*: a log `L = ⟨p1 … pm]` is a
+//! sequence of PDUs with a `top` (oldest) and `last` (newest) element. The
+//! protocol engine manipulates four kinds of logs (`SL`, `RRL`, `PRL`,
+//! `ARL`); all share this queue-like structure.
+
+use std::collections::VecDeque;
+
+/// A sequence of PDUs with `top` (front) and `last` (back), per §2.2.
+///
+/// `enqueue` appends at the tail (the paper's `enqueue(L, p)`), `dequeue`
+/// removes from the top. [`Log::insert_at`] supports the CPI operation's
+/// mid-log insertion.
+///
+/// # Example
+///
+/// ```
+/// use causal_order::Log;
+///
+/// let mut log = Log::new();
+/// log.enqueue("p");
+/// log.enqueue("q");
+/// assert_eq!(log.top(), Some(&"p"));
+/// assert_eq!(log.last(), Some(&"q"));
+/// assert_eq!(log.dequeue(), Some("p"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> Log<T> {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Log {
+            items: VecDeque::new(),
+        }
+    }
+
+    /// Appends `item` at the tail.
+    pub fn enqueue(&mut self, item: T) {
+        self.items.push_back(item);
+    }
+
+    /// Removes and returns the top (oldest) element.
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The top (oldest) element, the paper's `top(L)`.
+    pub fn top(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// The last (newest) element, the paper's `last(L)`.
+    pub fn last(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// Number of elements in the log.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts `item` so it ends up at position `index` (0 = top).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn insert_at(&mut self, index: usize, item: T) {
+        self.items.insert(index, item);
+    }
+
+    /// Iterates from top to last.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes and returns the element at `index`, if any.
+    pub fn remove_at(&mut self, index: usize) -> Option<T> {
+        self.items.remove(index)
+    }
+
+    /// Drains the whole log from top to last.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.items.drain(..)
+    }
+}
+
+impl<T> Default for Log<T> {
+    fn default() -> Self {
+        Log::new()
+    }
+}
+
+impl<T> FromIterator<T> for Log<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Log {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T> Extend<T> for Log<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl<T> IntoIterator for Log<T> {
+    type Item = T;
+    type IntoIter = std::collections::vec_deque::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Log<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::vec_deque::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut log = Log::new();
+        log.enqueue(1);
+        log.enqueue(2);
+        log.enqueue(3);
+        assert_eq!(log.dequeue(), Some(1));
+        assert_eq!(log.dequeue(), Some(2));
+        assert_eq!(log.dequeue(), Some(3));
+        assert_eq!(log.dequeue(), None);
+    }
+
+    #[test]
+    fn top_and_last() {
+        let log: Log<i32> = [10, 20, 30].into_iter().collect();
+        assert_eq!(log.top(), Some(&10));
+        assert_eq!(log.last(), Some(&30));
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn empty_log_accessors() {
+        let log: Log<i32> = Log::default();
+        assert_eq!(log.top(), None);
+        assert_eq!(log.last(), None);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn insert_at_positions() {
+        let mut log: Log<i32> = [1, 3].into_iter().collect();
+        log.insert_at(1, 2);
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        log.insert_at(0, 0);
+        assert_eq!(log.top(), Some(&0));
+        log.insert_at(4, 4);
+        assert_eq!(log.last(), Some(&4));
+    }
+
+    #[test]
+    fn remove_at_returns_element() {
+        let mut log: Log<i32> = [1, 2, 3].into_iter().collect();
+        assert_eq!(log.remove_at(1), Some(2));
+        assert_eq!(log.remove_at(5), None);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn drain_empties_log() {
+        let mut log: Log<i32> = [1, 2].into_iter().collect();
+        let all: Vec<i32> = log.drain().collect();
+        assert_eq!(all, vec![1, 2]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut log: Log<i32> = [1].into_iter().collect();
+        log.extend([2, 3]);
+        assert_eq!(log.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn borrow_iter() {
+        let log: Log<i32> = [5, 6].into_iter().collect();
+        let sum: i32 = (&log).into_iter().sum();
+        assert_eq!(sum, 11);
+    }
+}

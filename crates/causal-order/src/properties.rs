@@ -1,0 +1,545 @@
+//! Executable versions of the paper's §2.2 receipt-log properties.
+//!
+//! The paper defines a communication service by properties of each entity's
+//! receipt log `RL_i`:
+//!
+//! * **information-preserved** — `RL_i` contains every PDU destined to
+//!   `E_i` (nothing is lost end-to-end);
+//! * **local-order-preserved** — PDUs from each single sender appear in
+//!   their sending order (FIFO);
+//! * **causality-preserved** — for every `p ⇒ q` in `RL_i`, `p` appears
+//!   before `q`.
+//!
+//! The **CO service** (Definition, §2.3) is exactly: every `RL_i` is
+//! information-preserved *and* causality-preserved. The integration tests
+//! replay complete protocol runs into a [`RunTrace`] and assert
+//! [`check_co_service`] — this is the ground-truth oracle that the engine
+//! is correct, independent of the engine's own bookkeeping.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{EntityId, EventGraph, MsgId};
+
+/// One application-level event in a run, at a specific entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AppEvent {
+    /// The entity broadcast a new message.
+    Broadcast(MsgId),
+    /// The protocol delivered a message to the entity's application.
+    Deliver(MsgId),
+}
+
+/// A recorded protocol run: per-entity sequences of broadcast/deliver
+/// events, in each entity's local order.
+///
+/// # Example
+///
+/// ```
+/// use causal_order::{EntityId, MsgId};
+/// use causal_order::properties::RunTrace;
+///
+/// let e1 = EntityId::new(0);
+/// let e2 = EntityId::new(1);
+/// let mut trace = RunTrace::new(2);
+/// let m = MsgId(0);
+/// trace.record_broadcast(e1, m);
+/// trace.record_delivery(e1, m);
+/// trace.record_delivery(e2, m);
+/// assert!(trace.check_co_service().is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct RunTrace {
+    n: usize,
+    events: Vec<Vec<AppEvent>>,
+    sender_of: HashMap<MsgId, EntityId>,
+}
+
+/// A violation of one of the §2.2 properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// `entity` never delivered `msg` although it was broadcast to all.
+    MissingDelivery {
+        /// The entity whose log is incomplete.
+        entity: EntityId,
+        /// The missing message.
+        msg: MsgId,
+    },
+    /// `entity` delivered `msg` more than once.
+    DuplicateDelivery {
+        /// The offending entity.
+        entity: EntityId,
+        /// The duplicated message.
+        msg: MsgId,
+    },
+    /// `entity` delivered a message that was never broadcast.
+    PhantomDelivery {
+        /// The offending entity.
+        entity: EntityId,
+        /// The unknown message.
+        msg: MsgId,
+    },
+    /// `entity` delivered `second` before `first` although the same sender
+    /// broadcast `first` earlier (FIFO violation).
+    LocalOrder {
+        /// The offending entity.
+        entity: EntityId,
+        /// Broadcast first by the sender.
+        first: MsgId,
+        /// Broadcast later but delivered earlier.
+        second: MsgId,
+    },
+    /// `entity` delivered `second` before `first` although
+    /// `first ⇒ second` (causality violation).
+    Causality {
+        /// The offending entity.
+        entity: EntityId,
+        /// The causally earlier message.
+        first: MsgId,
+        /// The causally later message, delivered too early.
+        second: MsgId,
+    },
+    /// Two entities delivered the common messages in different orders
+    /// (only reported by [`RunTrace::check_total_order`]).
+    TotalOrder {
+        /// First entity.
+        left: EntityId,
+        /// Second entity.
+        right: EntityId,
+        /// A message the two entities ordered differently.
+        msg: MsgId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MissingDelivery { entity, msg } => {
+                write!(f, "{entity} never delivered {msg}")
+            }
+            Violation::DuplicateDelivery { entity, msg } => {
+                write!(f, "{entity} delivered {msg} more than once")
+            }
+            Violation::PhantomDelivery { entity, msg } => {
+                write!(f, "{entity} delivered unknown message {msg}")
+            }
+            Violation::LocalOrder { entity, first, second } => {
+                write!(f, "{entity} delivered {second} before {first} from the same sender")
+            }
+            Violation::Causality { entity, first, second } => {
+                write!(f, "{entity} delivered {second} before causally earlier {first}")
+            }
+            Violation::TotalOrder { left, right, msg } => {
+                write!(f, "{left} and {right} ordered {msg} differently")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+impl RunTrace {
+    /// Creates a trace for a cluster of `n` entities.
+    pub fn new(n: usize) -> Self {
+        RunTrace {
+            n,
+            events: vec![Vec::new(); n],
+            sender_of: HashMap::new(),
+        }
+    }
+
+    /// Number of entities.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Records that `entity` broadcast `msg`. Must be called in each
+    /// entity's local event order, interleaved with
+    /// [`record_delivery`](Self::record_delivery).
+    pub fn record_broadcast(&mut self, entity: EntityId, msg: MsgId) {
+        self.events[entity.index()].push(AppEvent::Broadcast(msg));
+        self.sender_of.insert(msg, entity);
+    }
+
+    /// Records that the protocol delivered `msg` to `entity`'s application.
+    pub fn record_delivery(&mut self, entity: EntityId, msg: MsgId) {
+        self.events[entity.index()].push(AppEvent::Deliver(msg));
+    }
+
+    /// The delivery log (`RL_i` restricted to application deliveries) of
+    /// `entity`.
+    pub fn delivery_log(&self, entity: EntityId) -> Vec<MsgId> {
+        self.events[entity.index()]
+            .iter()
+            .filter_map(|e| match e {
+                AppEvent::Deliver(m) => Some(*m),
+                AppEvent::Broadcast(_) => None,
+            })
+            .collect()
+    }
+
+    /// All broadcast messages, with their senders.
+    pub fn broadcasts(&self) -> &HashMap<MsgId, EntityId> {
+        &self.sender_of
+    }
+
+    /// Builds the ground-truth happened-before graph of the run.
+    ///
+    /// The events that matter for application-level causality are the
+    /// broadcast (send) and delivery (receive) events in each entity's
+    /// local order.
+    pub fn event_graph(&self) -> EventGraph {
+        let mut graph = EventGraph::new();
+        for (idx, events) in self.events.iter().enumerate() {
+            let entity = EntityId::new(idx as u32);
+            for event in events {
+                match *event {
+                    AppEvent::Broadcast(m) => graph.record_send(entity, m),
+                    AppEvent::Deliver(m) => graph.record_receive(entity, m),
+                }
+            }
+        }
+        graph
+    }
+
+    /// §2.2(1): every broadcast message is delivered exactly once at every
+    /// entity (all PDUs here are destined to the whole cluster, as in §4).
+    pub fn check_information_preserved(&self) -> Result<(), Vec<Violation>> {
+        let mut violations = Vec::new();
+        for idx in 0..self.n {
+            let entity = EntityId::new(idx as u32);
+            let log = self.delivery_log(entity);
+            let mut seen: HashSet<MsgId> = HashSet::new();
+            for &m in &log {
+                if !self.sender_of.contains_key(&m) {
+                    violations.push(Violation::PhantomDelivery { entity, msg: m });
+                }
+                if !seen.insert(m) {
+                    violations.push(Violation::DuplicateDelivery { entity, msg: m });
+                }
+            }
+            for &m in self.sender_of.keys() {
+                if !seen.contains(&m) {
+                    violations.push(Violation::MissingDelivery { entity, msg: m });
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            violations.sort_by_key(violation_key);
+            Err(violations)
+        }
+    }
+
+    /// §2.2(2): deliveries from each single sender are in sending order.
+    pub fn check_local_order_preserved(&self) -> Result<(), Vec<Violation>> {
+        // Sending order per sender = order of Broadcast events in that
+        // sender's local sequence.
+        let mut send_pos: HashMap<MsgId, (EntityId, usize)> = HashMap::new();
+        for (idx, events) in self.events.iter().enumerate() {
+            let sender = EntityId::new(idx as u32);
+            let mut k = 0;
+            for event in events {
+                if let AppEvent::Broadcast(m) = *event {
+                    send_pos.insert(m, (sender, k));
+                    k += 1;
+                }
+            }
+        }
+        let mut violations = Vec::new();
+        for idx in 0..self.n {
+            let entity = EntityId::new(idx as u32);
+            let log = self.delivery_log(entity);
+            // For each sender, positions of its messages in the delivery log
+            // must be increasing in send order.
+            let mut last_seen: HashMap<EntityId, (usize, MsgId)> = HashMap::new();
+            for &m in &log {
+                let Some(&(sender, k)) = send_pos.get(&m) else {
+                    continue;
+                };
+                if let Some(&(prev_k, prev_m)) = last_seen.get(&sender) {
+                    if k < prev_k {
+                        violations.push(Violation::LocalOrder {
+                            entity,
+                            first: m,
+                            second: prev_m,
+                        });
+                    }
+                }
+                let entry = last_seen.entry(sender).or_insert((k, m));
+                if k >= entry.0 {
+                    *entry = (k, m);
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            violations.sort_by_key(violation_key);
+            Err(violations)
+        }
+    }
+
+    /// §2.2 [Definition]: for every pair `p ⇒ q` delivered at an entity,
+    /// `p` is delivered before `q`.
+    pub fn check_causality_preserved(&self) -> Result<(), Vec<Violation>> {
+        let graph = self.event_graph();
+        let mut violations = Vec::new();
+        for idx in 0..self.n {
+            let entity = EntityId::new(idx as u32);
+            let log = self.delivery_log(entity);
+            for (i, &q) in log.iter().enumerate() {
+                for &p in &log[i + 1..] {
+                    // p delivered after q: violation if p ⇒ q.
+                    if graph.msg_causally_precedes(p, q) {
+                        violations.push(Violation::Causality {
+                            entity,
+                            first: p,
+                            second: q,
+                        });
+                    }
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            violations.sort_by_key(violation_key);
+            Err(violations)
+        }
+    }
+
+    /// §2.3: the CO service = information-preserved ∧ causality-preserved
+    /// (causality-preserved implies local-order-preserved; we check all
+    /// three for better diagnostics).
+    pub fn check_co_service(&self) -> Result<(), Vec<Violation>> {
+        let mut violations = Vec::new();
+        if let Err(v) = self.check_information_preserved() {
+            violations.extend(v);
+        }
+        if let Err(v) = self.check_local_order_preserved() {
+            violations.extend(v);
+        }
+        if let Err(v) = self.check_causality_preserved() {
+            violations.extend(v);
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// TO-service check (for the total-order baseline): all entities deliver
+    /// their *common* messages in the same relative order.
+    pub fn check_total_order(&self) -> Result<(), Vec<Violation>> {
+        let mut violations = Vec::new();
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                let left = EntityId::new(a as u32);
+                let right = EntityId::new(b as u32);
+                let la = self.delivery_log(left);
+                let lb = self.delivery_log(right);
+                let set_b: HashSet<MsgId> = lb.iter().copied().collect();
+                let common_a: Vec<MsgId> =
+                    la.iter().copied().filter(|m| set_b.contains(m)).collect();
+                let set_a: HashSet<MsgId> = la.iter().copied().collect();
+                let common_b: Vec<MsgId> =
+                    lb.iter().copied().filter(|m| set_a.contains(m)).collect();
+                if common_a != common_b {
+                    // Report the first position where they diverge.
+                    let msg = common_a
+                        .iter()
+                        .zip(&common_b)
+                        .find(|(x, y)| x != y)
+                        .map(|(x, _)| *x)
+                        .unwrap_or_else(|| MsgId(u64::MAX));
+                    violations.push(Violation::TotalOrder { left, right, msg });
+                }
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+fn violation_key(v: &Violation) -> (u8, u64) {
+    match v {
+        Violation::MissingDelivery { msg, .. } => (0, msg.0),
+        Violation::DuplicateDelivery { msg, .. } => (1, msg.0),
+        Violation::PhantomDelivery { msg, .. } => (2, msg.0),
+        Violation::LocalOrder { first, .. } => (3, first.0),
+        Violation::Causality { first, .. } => (4, first.0),
+        Violation::TotalOrder { msg, .. } => (5, msg.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    /// A fully correct 2-entity run.
+    fn good_run() -> RunTrace {
+        let mut t = RunTrace::new(2);
+        t.record_broadcast(e(0), MsgId(0));
+        t.record_delivery(e(0), MsgId(0));
+        t.record_delivery(e(1), MsgId(0));
+        t.record_broadcast(e(1), MsgId(1));
+        t.record_delivery(e(1), MsgId(1));
+        t.record_delivery(e(0), MsgId(1));
+        t
+    }
+
+    #[test]
+    fn good_run_satisfies_co() {
+        assert!(good_run().check_co_service().is_ok());
+        assert!(good_run().check_total_order().is_ok());
+    }
+
+    #[test]
+    fn missing_delivery_detected() {
+        let mut t = RunTrace::new(2);
+        t.record_broadcast(e(0), MsgId(0));
+        t.record_delivery(e(0), MsgId(0));
+        // e(1) never delivers.
+        let errs = t.check_information_preserved().unwrap_err();
+        assert_eq!(
+            errs,
+            vec![Violation::MissingDelivery { entity: e(1), msg: MsgId(0) }]
+        );
+    }
+
+    #[test]
+    fn duplicate_delivery_detected() {
+        let mut t = good_run();
+        t.record_delivery(e(0), MsgId(0));
+        let errs = t.check_information_preserved().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateDelivery { entity, msg }
+                if *entity == e(0) && *msg == MsgId(0))));
+    }
+
+    #[test]
+    fn phantom_delivery_detected() {
+        let mut t = good_run();
+        t.record_delivery(e(0), MsgId(99));
+        let errs = t.check_information_preserved().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::PhantomDelivery { msg, .. } if *msg == MsgId(99))));
+    }
+
+    #[test]
+    fn fifo_violation_detected() {
+        let mut t = RunTrace::new(2);
+        t.record_broadcast(e(0), MsgId(0));
+        t.record_broadcast(e(0), MsgId(1));
+        t.record_delivery(e(0), MsgId(0));
+        t.record_delivery(e(0), MsgId(1));
+        // e(1) delivers out of FIFO order.
+        t.record_delivery(e(1), MsgId(1));
+        t.record_delivery(e(1), MsgId(0));
+        let errs = t.check_local_order_preserved().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|v| matches!(v, Violation::LocalOrder { entity, .. } if *entity == e(1))));
+        // FIFO violation between same-sender messages is also a causality
+        // violation (p ⇒ q for same-sender consecutive sends).
+        assert!(t.check_causality_preserved().is_err());
+    }
+
+    #[test]
+    fn causality_violation_detected() {
+        // Figure 2's bad log: E_k receives q before p although p ⇒ q.
+        let mut t = RunTrace::new(3);
+        let (g, p, q) = (MsgId(0), MsgId(1), MsgId(2));
+        t.record_broadcast(e(0), g);
+        t.record_broadcast(e(0), p);
+        t.record_delivery(e(0), g);
+        t.record_delivery(e(0), p);
+        t.record_delivery(e(1), g);
+        t.record_delivery(e(1), p);
+        t.record_broadcast(e(1), q);
+        t.record_delivery(e(1), q);
+        // E_k: ⟨g, q, p] — not causality-preserved.
+        t.record_delivery(e(2), g);
+        t.record_delivery(e(2), q);
+        t.record_delivery(e(2), p);
+        t.record_delivery(e(0), q);
+        let errs = t.check_causality_preserved().unwrap_err();
+        assert!(errs.iter().any(|v| matches!(
+            v,
+            Violation::Causality { entity, first, second }
+                if *entity == e(2) && *first == MsgId(1) && *second == MsgId(2)
+        )));
+        // But it *is* local-order-preserved (q is from a different sender).
+        assert!(t.check_local_order_preserved().is_ok());
+    }
+
+    #[test]
+    fn figure_2_good_log_passes() {
+        // RL_k = ⟨g, p, q] — causality-preserved.
+        let mut t = RunTrace::new(3);
+        let (g, p, q) = (MsgId(0), MsgId(1), MsgId(2));
+        t.record_broadcast(e(0), g);
+        t.record_broadcast(e(0), p);
+        t.record_delivery(e(0), g);
+        t.record_delivery(e(0), p);
+        t.record_delivery(e(1), g);
+        t.record_delivery(e(1), p);
+        t.record_broadcast(e(1), q);
+        t.record_delivery(e(1), q);
+        t.record_delivery(e(2), g);
+        t.record_delivery(e(2), p);
+        t.record_delivery(e(2), q);
+        t.record_delivery(e(0), q);
+        assert!(t.check_co_service().is_ok());
+    }
+
+    #[test]
+    fn total_order_violation_detected() {
+        let mut t = RunTrace::new(2);
+        t.record_broadcast(e(0), MsgId(0));
+        t.record_broadcast(e(1), MsgId(1));
+        // Concurrent messages delivered in different orders: CO-legal but
+        // not TO.
+        t.record_delivery(e(0), MsgId(0));
+        t.record_delivery(e(0), MsgId(1));
+        t.record_delivery(e(1), MsgId(1));
+        t.record_delivery(e(1), MsgId(0));
+        assert!(t.check_causality_preserved().is_ok());
+        let errs = t.check_total_order().unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], Violation::TotalOrder { .. }));
+    }
+
+    #[test]
+    fn violation_display_messages() {
+        let v = Violation::MissingDelivery { entity: e(0), msg: MsgId(3) };
+        assert_eq!(v.to_string(), "E1 never delivered m3");
+        let v = Violation::Causality { entity: e(1), first: MsgId(0), second: MsgId(1) };
+        assert!(v.to_string().contains("causally earlier"));
+    }
+
+    #[test]
+    fn delivery_log_filters_broadcasts() {
+        let t = good_run();
+        assert_eq!(t.delivery_log(e(0)), vec![MsgId(0), MsgId(1)]);
+        assert_eq!(t.delivery_log(e(1)), vec![MsgId(0), MsgId(1)]);
+    }
+
+    #[test]
+    fn empty_trace_is_trivially_co() {
+        let t = RunTrace::new(3);
+        assert!(t.check_co_service().is_ok());
+        assert!(t.check_total_order().is_ok());
+    }
+}

@@ -1,0 +1,231 @@
+//! Theorem 4.1: causality from sequence numbers.
+//!
+//! The paper's key mechanism is that the causality-precedence relation
+//! `p ⇒ q` ("`p` is sent logically before `q`", §2.2) can be decided from
+//! the `SEQ` and `ACK` fields alone:
+//!
+//! * same source: `p ⇒ q` iff `p.SEQ < q.SEQ`;
+//! * different sources: `p ⇒ q` iff `p.SEQ < q.ACK_j` where `E_j = p.src`
+//!   (the sender of `q` had already accepted `p` — and therefore everything
+//!   `E_j` sent up to `p` — when it sent `q`).
+//!
+//! This module exposes that test over a minimal [`SeqMeta`] view so the
+//! protocol engine, the CPI operation, and the test oracles all share one
+//! implementation.
+
+use crate::{EntityId, Seq};
+
+/// The header fields Theorem 4.1 needs: source, sequence number, and the
+/// piggybacked `ACK` vector (`ack[k]` = next sequence number the sender
+/// expected from `E_k` when it sent the PDU).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SeqMeta {
+    /// Sending entity (`p.SRC`).
+    pub src: EntityId,
+    /// Per-source sequence number (`p.SEQ`).
+    pub seq: Seq,
+    /// Receipt-confirmation vector (`p.ACK`), one entry per cluster member.
+    pub ack: Vec<Seq>,
+}
+
+impl SeqMeta {
+    /// Convenience constructor.
+    pub fn new(src: EntityId, seq: Seq, ack: Vec<Seq>) -> Self {
+        SeqMeta { src, seq, ack }
+    }
+
+    /// The `ACK` entry for `entity` (`self.ack[entity]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range for the ack vector.
+    pub fn ack_for(&self, entity: EntityId) -> Seq {
+        self.ack[entity.index()]
+    }
+}
+
+/// How two PDUs relate under the causality-precedence relation `⇒`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalRelation {
+    /// `p ⇒ q`.
+    Precedes,
+    /// `q ⇒ p`.
+    Follows,
+    /// Neither precedes the other (the paper's `p ∥ q`,
+    /// "causality-coincident").
+    Coincident,
+}
+
+/// Theorem 4.1: does `p ⇒ q`?
+///
+/// # Example
+///
+/// ```
+/// use causal_order::{causally_precedes, EntityId, Seq, SeqMeta};
+///
+/// let e1 = EntityId::new(0);
+/// let e2 = EntityId::new(1);
+/// // p = first PDU from E1; q sent by E2 after accepting p
+/// // (so q's ACK entry for E1 is 2: E2 next expects E1's #2).
+/// let p = SeqMeta::new(e1, Seq::new(1), vec![Seq::new(1), Seq::new(1)]);
+/// let q = SeqMeta::new(e2, Seq::new(1), vec![Seq::new(2), Seq::new(1)]);
+/// assert!(causally_precedes(&p, &q));
+/// assert!(!causally_precedes(&q, &p));
+/// ```
+pub fn causally_precedes(p: &SeqMeta, q: &SeqMeta) -> bool {
+    if p.src == q.src {
+        p.seq < q.seq
+    } else {
+        p.seq < q.ack_for(p.src)
+    }
+}
+
+/// Classifies the relation between `p` and `q`.
+///
+/// In a valid protocol run `⇒` is a strict partial order, so at most one of
+/// `p ⇒ q`, `q ⇒ p` holds; if corrupted inputs make both tests pass this
+/// returns [`CausalRelation::Precedes`] (callers that care should validate
+/// with [`relation_checked`]).
+pub fn relation(p: &SeqMeta, q: &SeqMeta) -> CausalRelation {
+    if causally_precedes(p, q) {
+        CausalRelation::Precedes
+    } else if causally_precedes(q, p) {
+        CausalRelation::Follows
+    } else {
+        CausalRelation::Coincident
+    }
+}
+
+/// Like [`relation`] but detects the impossible "both precede" case that
+/// only corrupted or forged headers can produce.
+pub fn relation_checked(p: &SeqMeta, q: &SeqMeta) -> Result<CausalRelation, CausalityCycle> {
+    let pq = causally_precedes(p, q);
+    let qp = causally_precedes(q, p);
+    match (pq, qp) {
+        (true, true) => Err(CausalityCycle {
+            p: p.clone(),
+            q: q.clone(),
+        }),
+        (true, false) => Ok(CausalRelation::Precedes),
+        (false, true) => Ok(CausalRelation::Follows),
+        (false, false) => Ok(CausalRelation::Coincident),
+    }
+}
+
+/// Error: two PDUs each claim to causally precede the other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalityCycle {
+    /// First PDU involved in the cycle.
+    pub p: SeqMeta,
+    /// Second PDU involved in the cycle.
+    pub q: SeqMeta,
+}
+
+impl std::fmt::Display for CausalityCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "causality cycle between {}{} and {}{}",
+            self.p.src, self.p.seq, self.q.src, self.q.seq
+        )
+    }
+}
+
+impl std::error::Error for CausalityCycle {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(src: u32, seq: u64, ack: &[u64]) -> SeqMeta {
+        SeqMeta::new(
+            EntityId::new(src),
+            Seq::new(seq),
+            ack.iter().copied().map(Seq::new).collect(),
+        )
+    }
+
+    #[test]
+    fn same_source_ordered_by_seq() {
+        let p = meta(0, 1, &[1, 1, 1]);
+        let q = meta(0, 2, &[2, 1, 1]);
+        assert!(causally_precedes(&p, &q));
+        assert!(!causally_precedes(&q, &p));
+        assert_eq!(relation(&p, &q), CausalRelation::Precedes);
+        assert_eq!(relation(&q, &p), CausalRelation::Follows);
+    }
+
+    #[test]
+    fn cross_source_via_ack() {
+        // Figure 2: E_g sends p; E_h receives p then sends q.
+        let p = meta(0, 5, &[5, 1, 1]);
+        let q = meta(1, 3, &[6, 3, 1]); // q.ack[0] = 6 > 5
+        assert!(causally_precedes(&p, &q));
+        assert!(!causally_precedes(&q, &p));
+    }
+
+    #[test]
+    fn concurrent_pdus_are_coincident() {
+        // Neither sender had seen the other's PDU.
+        let p = meta(0, 1, &[1, 1]);
+        let q = meta(1, 1, &[1, 1]);
+        assert_eq!(relation(&p, &q), CausalRelation::Coincident);
+        assert_eq!(relation(&q, &p), CausalRelation::Coincident);
+    }
+
+    #[test]
+    fn equal_seq_same_source_not_self_preceding() {
+        let p = meta(0, 3, &[3, 1]);
+        assert!(!causally_precedes(&p, &p));
+        assert_eq!(relation(&p, &p), CausalRelation::Coincident);
+    }
+
+    #[test]
+    fn example_4_1_table_1() {
+        // Table 1 of the paper, cluster ⟨E1,E2,E3⟩.
+        let a = meta(0, 1, &[1, 1, 1]);
+        let b = meta(2, 1, &[2, 1, 1]);
+        let c = meta(0, 2, &[2, 1, 1]);
+        let d = meta(1, 1, &[3, 1, 2]);
+        let e = meta(0, 3, &[3, 2, 2]);
+
+        // a ⇒ c ⇒ e (same source ordering)
+        assert!(causally_precedes(&a, &c));
+        assert!(causally_precedes(&c, &e));
+        // a ⇒ b: b.ack[0] = 2 > 1.
+        assert!(causally_precedes(&a, &b));
+        // c ⇒ d: d.ack[0] = 3 > 2 (paper: "c ⇒ d because c.SEQ < d.ACK_1").
+        assert!(causally_precedes(&c, &d));
+        // d ⇒ e: e.ack[1] = 2 > 1 (paper: "d ⇒ e because d.SEQ < e.ACK_2").
+        assert!(causally_precedes(&d, &e));
+        // b ⇒ d: d.ack[2] = 2 > 1 (paper inserts b between c and d: c ⇒ b? No —
+        // paper says "b is inserted between c and d because c ∥ b ⇒ d").
+        assert!(causally_precedes(&b, &d));
+        assert_eq!(relation(&c, &b), CausalRelation::Coincident);
+    }
+
+    #[test]
+    fn relation_checked_detects_forged_cycle() {
+        // Forged headers: each claims the other was already accepted.
+        let p = meta(0, 5, &[5, 9]);
+        let q = meta(1, 5, &[9, 5]);
+        let err = relation_checked(&p, &q).unwrap_err();
+        assert!(err.to_string().contains("causality cycle"));
+    }
+
+    #[test]
+    fn relation_checked_ok_cases() {
+        let p = meta(0, 1, &[1, 1]);
+        let q = meta(0, 2, &[1, 1]);
+        assert_eq!(relation_checked(&p, &q), Ok(CausalRelation::Precedes));
+        assert_eq!(relation_checked(&q, &p), Ok(CausalRelation::Follows));
+        let r = meta(1, 1, &[1, 1]);
+        assert_eq!(relation_checked(&p, &r), Ok(CausalRelation::Coincident));
+    }
+
+    #[test]
+    fn ack_for_indexes_vector() {
+        let p = meta(0, 1, &[4, 5, 6]);
+        assert_eq!(p.ack_for(EntityId::new(2)), Seq::new(6));
+    }
+}

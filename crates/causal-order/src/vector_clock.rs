@@ -1,0 +1,279 @@
+//! Vector clocks — the "virtual clock" machinery used by the ISIS CBCAST
+//! baseline the paper compares against.
+//!
+//! The CO protocol's central claim is that per-source sequence numbers plus
+//! the piggybacked `ACK` vector are enough to causally order PDUs *and*
+//! detect loss, whereas ISIS-style virtual clocks need "more computation to
+//! synchronize" and cannot detect loss. This module implements the vector
+//! clocks so that claim can be measured (experiment `vs_isis`).
+
+use crate::EntityId;
+
+/// Result of comparing two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockOrdering {
+    /// The clocks are identical.
+    Equal,
+    /// The left clock happened strictly before the right.
+    Before,
+    /// The left clock happened strictly after the right.
+    After,
+    /// Neither clock precedes the other (concurrent events).
+    Concurrent,
+}
+
+/// Error produced by vector-clock operations on mismatched sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClockError {
+    /// Size of the left operand.
+    pub left: usize,
+    /// Size of the right operand.
+    pub right: usize,
+}
+
+impl std::fmt::Display for VectorClockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vector clock size mismatch: {} vs {}",
+            self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for VectorClockError {}
+
+/// A fixed-width vector clock over a cluster of `n` entities.
+///
+/// # Example
+///
+/// ```
+/// use causal_order::{ClockOrdering, EntityId, VectorClock};
+///
+/// let a = EntityId::new(0);
+/// let mut send = VectorClock::new(2);
+/// send.tick(a);
+/// let recv = send.clone();
+/// let mut later = recv.clone();
+/// later.tick(EntityId::new(1));
+/// assert_eq!(send.compare(&later), ClockOrdering::Before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates a zero clock for a cluster of `n` entities.
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            entries: vec![0; n],
+        }
+    }
+
+    /// Creates a clock from raw entries.
+    pub fn from_entries(entries: Vec<u64>) -> Self {
+        VectorClock { entries }
+    }
+
+    /// Number of entities this clock covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the clock covers zero entities (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the component for `entity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range.
+    pub fn get(&self, entity: EntityId) -> u64 {
+        self.entries[entity.index()]
+    }
+
+    /// Sets the component for `entity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range.
+    pub fn set(&mut self, entity: EntityId, value: u64) {
+        self.entries[entity.index()] = value;
+    }
+
+    /// Increments the component for `entity` (a local event at `entity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range.
+    pub fn tick(&mut self, entity: EntityId) {
+        self.entries[entity.index()] += 1;
+    }
+
+    /// Component-wise maximum with `other` (the receive-side merge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VectorClockError`] if the clocks have different sizes.
+    pub fn merge(&mut self, other: &VectorClock) -> Result<(), VectorClockError> {
+        if self.entries.len() != other.entries.len() {
+            return Err(VectorClockError {
+                left: self.entries.len(),
+                right: other.entries.len(),
+            });
+        }
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            *mine = (*mine).max(*theirs);
+        }
+        Ok(())
+    }
+
+    /// Compares two clocks under the happened-before partial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different sizes (always a programming
+    /// error: clocks from the same cluster share one size).
+    pub fn compare(&self, other: &VectorClock) -> ClockOrdering {
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "comparing clocks from different clusters"
+        );
+        let mut less = false;
+        let mut greater = false;
+        for (a, b) in self.entries.iter().zip(&other.entries) {
+            if a < b {
+                less = true;
+            } else if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => ClockOrdering::Equal,
+            (true, false) => ClockOrdering::Before,
+            (false, true) => ClockOrdering::After,
+            (true, true) => ClockOrdering::Concurrent,
+        }
+    }
+
+    /// `true` iff `self` happened strictly before `other`.
+    pub fn precedes(&self, other: &VectorClock) -> bool {
+        self.compare(other) == ClockOrdering::Before
+    }
+
+    /// Raw component view.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(entries: &[u64]) -> VectorClock {
+        VectorClock::from_entries(entries.to_vec())
+    }
+
+    #[test]
+    fn new_clock_is_zero() {
+        let c = VectorClock::new(3);
+        assert_eq!(c.entries(), &[0, 0, 0]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn tick_increments_own_component() {
+        let mut c = VectorClock::new(3);
+        c.tick(EntityId::new(1));
+        c.tick(EntityId::new(1));
+        assert_eq!(c.get(EntityId::new(1)), 2);
+        assert_eq!(c.get(EntityId::new(0)), 0);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = vc(&[1, 5, 2]);
+        a.merge(&vc(&[3, 1, 2])).unwrap();
+        assert_eq!(a.entries(), &[3, 5, 2]);
+    }
+
+    #[test]
+    fn merge_size_mismatch_errors() {
+        let mut a = vc(&[1, 2]);
+        let err = a.merge(&vc(&[1, 2, 3])).unwrap_err();
+        assert_eq!(err, VectorClockError { left: 2, right: 3 });
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn compare_equal() {
+        assert_eq!(vc(&[1, 2]).compare(&vc(&[1, 2])), ClockOrdering::Equal);
+    }
+
+    #[test]
+    fn compare_before_and_after() {
+        assert_eq!(vc(&[1, 2]).compare(&vc(&[1, 3])), ClockOrdering::Before);
+        assert_eq!(vc(&[2, 3]).compare(&vc(&[1, 3])), ClockOrdering::After);
+    }
+
+    #[test]
+    fn compare_concurrent() {
+        assert_eq!(
+            vc(&[2, 1]).compare(&vc(&[1, 2])),
+            ClockOrdering::Concurrent
+        );
+    }
+
+    #[test]
+    fn precedes_is_strict() {
+        assert!(vc(&[1, 1]).precedes(&vc(&[1, 2])));
+        assert!(!vc(&[1, 2]).precedes(&vc(&[1, 2])));
+        assert!(!vc(&[2, 1]).precedes(&vc(&[1, 2])));
+    }
+
+    #[test]
+    #[should_panic(expected = "different clusters")]
+    fn compare_size_mismatch_panics() {
+        let _ = vc(&[1]).compare(&vc(&[1, 2]));
+    }
+
+    #[test]
+    fn display_renders_angle_brackets() {
+        assert_eq!(vc(&[1, 2, 3]).to_string(), "⟨1,2,3⟩");
+    }
+
+    #[test]
+    fn message_exchange_establishes_order() {
+        // Classic scenario: a send at E1 precedes everything that follows
+        // the matching receive at E2.
+        let e1 = EntityId::new(0);
+        let e2 = EntityId::new(1);
+        let mut c1 = VectorClock::new(2);
+        c1.tick(e1); // send event
+        let stamp = c1.clone();
+
+        let mut c2 = VectorClock::new(2);
+        c2.merge(&stamp).unwrap();
+        c2.tick(e2); // receive event
+        assert_eq!(stamp.compare(&c2), ClockOrdering::Before);
+    }
+}

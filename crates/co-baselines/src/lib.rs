@@ -1,0 +1,35 @@
+//! Comparator protocols from the paper's related work (§1, §5), behind a
+//! common [`Broadcaster`] trait so the simulator and the experiment harness
+//! can drive any of them interchangeably:
+//!
+//! * [`CbcastEntity`] — the **ISIS CBCAST** causal broadcast the paper
+//!   compares against: virtual (vector) clocks over a *reliable* transport.
+//!   More per-PDU computation, and — the paper's key point — virtual clocks
+//!   cannot detect PDU loss: under loss this entity silently stalls.
+//! * [`SequencerEntity`] — a **TO (totally ordering)** protocol in the style
+//!   of [14, 15]: a fixed sequencer assigns a global sequence; receivers use
+//!   **go-back-n** retransmission (§5 contrasts this with the CO protocol's
+//!   selective scheme).
+//! * [`FifoEntity`] — the **PO/LO** protocol [16]: per-source FIFO only, the
+//!   weakest of the three services of §1.
+//! * [`CoBroadcaster`] — the CO protocol itself wrapped in the same trait.
+//!
+//! [`BroadcasterNode`] plugs any of them into the `mc-net` simulator and
+//! records delivery logs with timestamps for the oracles and experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adapter;
+mod co;
+mod fifo;
+mod isis;
+mod to_seq;
+mod traits;
+
+pub use adapter::{BroadcasterNode, RecordedDelivery};
+pub use co::CoBroadcaster;
+pub use fifo::{FifoEntity, FifoMsg};
+pub use isis::{CbcastEntity, CbcastMsg};
+pub use to_seq::{SequencerEntity, ToMsg};
+pub use traits::{AppDelivery, Broadcaster, Out};

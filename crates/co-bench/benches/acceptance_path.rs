@@ -1,0 +1,51 @@
+//! Per-PDU processing cost through the engine vs cluster size — the
+//! microbench behind Figure 8's Tco curve (each received PDU touches the
+//! O(n) `ACK` vector and the `AL` matrix column).
+
+use co_bench::{bench_entity, data_pdu};
+use co_wire::Pdu;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_acceptance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entity/accept_data_pdu");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || (bench_entity(0, n), Pdu::Data(data_pdu(1, 1, n, 64))),
+                |(mut entity, pdu)| {
+                    let actions = entity.on_pdu(pdu, 0).expect("accepted");
+                    black_box(actions.len())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_submit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entity/submit");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || (bench_entity(0, n), bytes::Bytes::from_static(b"payload")),
+                |(mut entity, data)| {
+                    let (_, actions) = entity.submit(data, 0).expect("submitted");
+                    black_box(actions.len())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acceptance, bench_submit);
+criterion_main!(benches);

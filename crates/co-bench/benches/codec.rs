@@ -1,0 +1,40 @@
+//! PDU codec cost vs cluster size (§5: PDU length is O(n), so codec work
+//! grows linearly too).
+
+use co_bench::data_pdu;
+use co_wire::Pdu;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/encode");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 8, 32, 128] {
+        let pdu = Pdu::Data(data_pdu(0, 5, n, 64));
+        group.throughput(Throughput::Bytes(pdu.encoded_len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pdu, |b, pdu| {
+            b.iter(|| black_box(pdu.encode()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/decode");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 8, 32, 128] {
+        let raw = Pdu::Data(data_pdu(0, 5, n, 64)).encode();
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &raw, |b, raw| {
+            b.iter(|| black_box(Pdu::decode(raw).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

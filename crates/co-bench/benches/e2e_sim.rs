@@ -1,0 +1,71 @@
+//! End-to-end simulated broadcast rounds: CO protocol vs the ISIS CBCAST
+//! baseline under identical workloads (clean network).
+
+use bytes::Bytes;
+use causal_order::EntityId;
+use co_baselines::{BroadcasterNode, CbcastEntity, CoBroadcaster};
+use co_protocol::{Config, DeferralPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_net::{SimConfig, SimTime, Simulator};
+use std::hint::black_box;
+
+fn run_co(n: usize, messages: usize) -> usize {
+    let nodes: Vec<BroadcasterNode<CoBroadcaster>> = (0..n)
+        .map(|i| {
+            let cfg = Config::builder(1, n, EntityId::new(i as u32))
+                .deferral(DeferralPolicy::Deferred { timeout_us: 1_000 })
+                .build()
+                .expect("valid");
+            BroadcasterNode::new(CoBroadcaster::new(cfg).expect("valid"))
+        })
+        .collect();
+    let mut sim = Simulator::new(SimConfig::default(), nodes);
+    for k in 0..messages {
+        for s in 0..n {
+            sim.schedule_command(
+                SimTime::from_micros(k as u64 * 300),
+                EntityId::new(s as u32),
+                Bytes::from_static(b"bench-payload"),
+            );
+        }
+    }
+    sim.run_until_idle();
+    sim.nodes().map(|(_, node)| node.delivered().len()).sum()
+}
+
+fn run_isis(n: usize, messages: usize) -> usize {
+    let nodes: Vec<BroadcasterNode<CbcastEntity>> = (0..n)
+        .map(|i| BroadcasterNode::new(CbcastEntity::new(EntityId::new(i as u32), n)))
+        .collect();
+    let mut sim = Simulator::new(SimConfig::default(), nodes);
+    for k in 0..messages {
+        for s in 0..n {
+            sim.schedule_command(
+                SimTime::from_micros(k as u64 * 300),
+                EntityId::new(s as u32),
+                Bytes::from_static(b"bench-payload"),
+            );
+        }
+    }
+    sim.run_until_idle();
+    sim.nodes().map(|(_, node)| node.delivered().len()).sum()
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e/20_messages_all_senders");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("co", n), &n, |b, &n| {
+            b.iter(|| black_box(run_co(n, 20)));
+        });
+        group.bench_with_input(BenchmarkId::new("isis", n), &n, |b, &n| {
+            b.iter(|| black_box(run_isis(n, 20)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

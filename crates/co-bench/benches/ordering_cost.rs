@@ -1,0 +1,87 @@
+//! The §5 computation claim: ordering PDUs by sequence numbers
+//! (Theorem 4.1) versus ordering by ISIS-style vector clocks, plus the CPI
+//! insertion itself.
+
+use causal_order::{causally_precedes, EntityId, Seq, SeqMeta, VectorClock};
+use co_bench::data_pdu;
+use co_protocol::CausalLog;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn metas(n: usize) -> (SeqMeta, SeqMeta) {
+    let p = SeqMeta::new(EntityId::new(0), Seq::new(10), vec![Seq::new(10); n]);
+    let q = SeqMeta::new(EntityId::new(1), Seq::new(11), vec![Seq::new(12); n]);
+    (p, q)
+}
+
+fn clocks(n: usize) -> (VectorClock, VectorClock) {
+    let a = VectorClock::from_entries((0..n as u64).collect());
+    let mut b = a.clone();
+    b.tick(EntityId::new(1));
+    (a, b)
+}
+
+fn bench_seq_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering/seq_numbers");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 8, 32, 128] {
+        let (p, q) = metas(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(p, q), |b, (p, q)| {
+            b.iter(|| black_box(causally_precedes(black_box(p), black_box(q))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vector_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering/vector_clocks");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [2usize, 8, 32, 128] {
+        let (a, b_clock) = clocks(n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(a, b_clock),
+            |bencher, (a, b_clock)| {
+                bencher.iter(|| black_box(a.compare(black_box(b_clock))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cpi_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering/cpi_insert");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for backlog in [4usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backlog),
+            &backlog,
+            |bencher, &backlog| {
+                bencher.iter_batched(
+                    || {
+                        let mut log = CausalLog::new();
+                        for s in 1..=backlog as u64 {
+                            log.insert(data_pdu(0, s, 4, 0));
+                        }
+                        (log, data_pdu(1, 1, 4, 0))
+                    },
+                    |(mut log, pdu)| {
+                        log.insert(pdu);
+                        black_box(log.len())
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_test, bench_vector_clock, bench_cpi_insert);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Hand-rolled argument parsing (no CLI dependency).
+
+use std::net::SocketAddr;
+
+/// Parsed command line of `co-node`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeArgs {
+    /// This entity's zero-based index.
+    pub me: u32,
+    /// Local bind address.
+    pub bind: SocketAddr,
+    /// Peer addresses, in entity order with this entity's slot omitted
+    /// (peer k < me maps to entity k; peer k ≥ me maps to entity k+1).
+    pub peers: Vec<SocketAddr>,
+    /// Cluster id (default 1).
+    pub cid: u32,
+    /// Flow-condition window (default 64).
+    pub window: u64,
+}
+
+/// Argument-parsing error with a usage hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.0)?;
+        write!(
+            f,
+            "usage: co-node --me <index> --bind <addr:port> --peer <addr:port>... \
+             [--cid <id>] [--window <W>]"
+        )
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `co-node` arguments from an iterator (skip the program name).
+///
+/// # Errors
+///
+/// [`ArgError`] with a message naming the offending flag or value.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, ArgError> {
+    let mut me: Option<u32> = None;
+    let mut bind: Option<SocketAddr> = None;
+    let mut peers: Vec<SocketAddr> = Vec::new();
+    let mut cid = 1u32;
+    let mut window = 64u64;
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| ArgError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--me" => {
+                me = Some(
+                    value("--me")?
+                        .parse()
+                        .map_err(|e| ArgError(format!("--me: {e}")))?,
+                );
+            }
+            "--bind" => {
+                bind = Some(
+                    value("--bind")?
+                        .parse()
+                        .map_err(|e| ArgError(format!("--bind: {e}")))?,
+                );
+            }
+            "--peer" => {
+                peers.push(
+                    value("--peer")?
+                        .parse()
+                        .map_err(|e| ArgError(format!("--peer: {e}")))?,
+                );
+            }
+            "--cid" => {
+                cid = value("--cid")?
+                    .parse()
+                    .map_err(|e| ArgError(format!("--cid: {e}")))?;
+            }
+            "--window" => {
+                window = value("--window")?
+                    .parse()
+                    .map_err(|e| ArgError(format!("--window: {e}")))?;
+            }
+            other => return Err(ArgError(format!("unknown flag {other}"))),
+        }
+    }
+    let me = me.ok_or_else(|| ArgError("--me is required".into()))?;
+    let bind = bind.ok_or_else(|| ArgError("--bind is required".into()))?;
+    if peers.is_empty() {
+        return Err(ArgError("at least one --peer is required".into()));
+    }
+    let n = peers.len() + 1;
+    if me as usize >= n {
+        return Err(ArgError(format!(
+            "--me {me} out of range for a cluster of {n} (peers + self)"
+        )));
+    }
+    Ok(NodeArgs { me, bind, peers, cid, window })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn full_command_line_parses() {
+        let args = parse_args(argv(
+            "--me 1 --bind 127.0.0.1:7001 --peer 127.0.0.1:7000 --peer 127.0.0.1:7002 \
+             --cid 9 --window 8",
+        ))
+        .unwrap();
+        assert_eq!(args.me, 1);
+        assert_eq!(args.bind, "127.0.0.1:7001".parse().unwrap());
+        assert_eq!(args.peers.len(), 2);
+        assert_eq!(args.cid, 9);
+        assert_eq!(args.window, 8);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let args =
+            parse_args(argv("--me 0 --bind 127.0.0.1:7000 --peer 127.0.0.1:7001")).unwrap();
+        assert_eq!(args.cid, 1);
+        assert_eq!(args.window, 64);
+    }
+
+    #[test]
+    fn missing_required_flags_rejected() {
+        assert!(parse_args(argv("--bind 127.0.0.1:1 --peer 127.0.0.1:2")).is_err());
+        assert!(parse_args(argv("--me 0 --peer 127.0.0.1:2")).is_err());
+        assert!(parse_args(argv("--me 0 --bind 127.0.0.1:1")).is_err());
+    }
+
+    #[test]
+    fn out_of_range_me_rejected() {
+        let err =
+            parse_args(argv("--me 2 --bind 127.0.0.1:1 --peer 127.0.0.1:2")).unwrap_err();
+        assert!(err.0.contains("out of range"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = parse_args(argv("--me 0 --bogus x")).unwrap_err();
+        assert!(err.0.contains("--bogus"));
+        assert!(err.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn bad_values_name_the_flag() {
+        assert!(parse_args(argv("--me zero")).unwrap_err().0.contains("--me"));
+        assert!(parse_args(argv("--bind nowhere")).unwrap_err().0.contains("--bind"));
+        assert!(parse_args(argv("--me 0 --bind 1.2.3.4:5 --peer nope"))
+            .unwrap_err()
+            .0
+            .contains("--peer"));
+    }
+}

@@ -1,0 +1,28 @@
+//! A command-line causal-broadcast node.
+//!
+//! Each process hosts **one** CO-protocol entity and talks to its peers
+//! over UDP — the deployment shape of the paper's testbed (one entity per
+//! workstation). Lines read from the input become broadcasts; deliveries
+//! are printed in causal order. Start `n` of these and you have a causally
+//! consistent group chat that survives packet loss:
+//!
+//! ```sh
+//! co-node --me 0 --bind 127.0.0.1:7000 \
+//!         --peer 127.0.0.1:7001 --peer 127.0.0.1:7002
+//! co-node --me 1 --bind 127.0.0.1:7001 \
+//!         --peer 127.0.0.1:7000 --peer 127.0.0.1:7002
+//! co-node --me 2 --bind 127.0.0.1:7002 \
+//!         --peer 127.0.0.1:7000 --peer 127.0.0.1:7001
+//! ```
+//!
+//! The library half is IO-parameterized so the whole node loop is testable
+//! in-process (see the tests at the bottom).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod node;
+
+pub use args::{parse_args, ArgError, NodeArgs};
+pub use node::{run_node, NodeEvent, NodeHandle};

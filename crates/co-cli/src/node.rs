@@ -1,0 +1,259 @@
+//! The node loop: one entity, one UDP socket, line-oriented IO.
+
+use bytes::Bytes;
+use causal_order::EntityId;
+use co_protocol::{Action, Config, DeferralPolicy, Entity, Pdu};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use crate::args::NodeArgs;
+
+/// Events the node reports to its frontend (stdout in the binary, a
+/// channel in tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// The node is bound and running.
+    Ready {
+        /// The local address actually bound.
+        local: SocketAddr,
+        /// Cluster size.
+        n: usize,
+    },
+    /// A message reached the application, in causal order.
+    Delivered {
+        /// Originating entity.
+        origin: EntityId,
+        /// Origin sequence number.
+        seq: u64,
+        /// The message text.
+        text: String,
+    },
+    /// The node drained and stopped.
+    Stopped,
+}
+
+/// Control handle returned to the frontend.
+#[derive(Debug)]
+pub struct NodeHandle {
+    /// Send lines to broadcast; drop (or send `None`) to shut down.
+    pub input: Sender<Option<String>>,
+    /// Receive node events.
+    pub events: Receiver<NodeEvent>,
+    /// Join handle of the node thread.
+    pub thread: std::thread::JoinHandle<()>,
+}
+
+/// Spawns the node loop on its own thread.
+///
+/// # Errors
+///
+/// Returns an IO error if the socket cannot be bound, or a config error
+/// (as `std::io::Error::other`) for invalid cluster parameters.
+pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
+    let n = args.peers.len() + 1;
+    let me = EntityId::new(args.me);
+    let config = Config::builder(args.cid, n, me)
+        .window(args.window)
+        .deferral(DeferralPolicy::Deferred { timeout_us: 2_000 })
+        .build()
+        .map_err(std::io::Error::other)?;
+    let entity = Entity::new(config).map_err(std::io::Error::other)?;
+
+    let socket = UdpSocket::bind(args.bind)?;
+    socket.set_read_timeout(Some(Duration::from_micros(500)))?;
+    let local = socket.local_addr()?;
+
+    // Peer slot k in args.peers is entity k (k < me) or k+1 (k ≥ me).
+    let mut peer_addrs: Vec<Option<SocketAddr>> = vec![None; n];
+    for (k, &addr) in args.peers.iter().enumerate() {
+        let entity_index = if (k as u32) < args.me { k } else { k + 1 };
+        peer_addrs[entity_index] = Some(addr);
+    }
+
+    let (input_tx, input_rx) = crossbeam::channel::unbounded::<Option<String>>();
+    let (event_tx, event_rx) = crossbeam::channel::unbounded::<NodeEvent>();
+    let _ = event_tx.send(NodeEvent::Ready { local, n });
+
+    let thread = std::thread::Builder::new()
+        .name(format!("co-node-{}", args.me))
+        .spawn(move || node_loop(entity, me, socket, peer_addrs, input_rx, event_tx))
+        .expect("spawn node thread");
+
+    Ok(NodeHandle { input: input_tx, events: event_rx, thread })
+}
+
+fn node_loop(
+    mut entity: Entity,
+    _me: EntityId,
+    socket: UdpSocket,
+    peers: Vec<Option<SocketAddr>>,
+    input: Receiver<Option<String>>,
+    events: Sender<NodeEvent>,
+) {
+    let epoch = Instant::now();
+    let now_us = || epoch.elapsed().as_micros() as u64;
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut stopping = false;
+    let mut last_activity = Instant::now();
+
+    let dispatch = |actions: Vec<Action>, events: &Sender<NodeEvent>, socket: &UdpSocket| {
+        for action in actions {
+            match action {
+                Action::Broadcast(pdu) => {
+                    let raw = pdu.encode();
+                    for addr in peers.iter().flatten() {
+                        let _ = socket.send_to(&raw, addr);
+                    }
+                }
+                Action::Deliver(d) => {
+                    let _ = events.send(NodeEvent::Delivered {
+                        origin: d.src,
+                        seq: d.seq.get(),
+                        text: String::from_utf8_lossy(&d.data).into_owned(),
+                    });
+                }
+            }
+        }
+    };
+
+    loop {
+        match socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                if let Ok(pdu) = Pdu::decode(&buf[..len]) {
+                    if let Ok(actions) = entity.on_pdu(pdu, now_us()) {
+                        dispatch(actions, &events, &socket);
+                    }
+                }
+                last_activity = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let actions = entity.on_tick(now_us());
+                if !actions.is_empty() {
+                    last_activity = Instant::now();
+                }
+                dispatch(actions, &events, &socket);
+            }
+            Err(_) => {}
+        }
+        loop {
+            match input.try_recv() {
+                Ok(Some(line)) => {
+                    if let Ok((_, actions)) = entity.submit(Bytes::from(line.into_bytes()), now_us())
+                    {
+                        dispatch(actions, &events, &socket);
+                    }
+                    last_activity = Instant::now();
+                }
+                Ok(None) | Err(TryRecvError::Disconnected) => {
+                    stopping = true;
+                    break;
+                }
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+        if stopping {
+            let idle = last_activity.elapsed();
+            if (entity.is_quiescent() && idle >= Duration::from_millis(40))
+                || idle >= Duration::from_millis(800)
+            {
+                break;
+            }
+        }
+    }
+    let _ = events.send(NodeEvent::Stopped);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn argvec(s: String) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    /// Binds throwaway sockets to find free ports, then releases them.
+    fn free_ports(k: usize) -> Vec<u16> {
+        let sockets: Vec<UdpSocket> = (0..k)
+            .map(|_| UdpSocket::bind(("127.0.0.1", 0)).unwrap())
+            .collect();
+        sockets.iter().map(|s| s.local_addr().unwrap().port()).collect()
+    }
+
+    #[test]
+    fn two_node_chat_session() {
+        let ports = free_ports(2);
+        let a = run_node(
+            parse_args(argvec(format!(
+                "--me 0 --bind 127.0.0.1:{} --peer 127.0.0.1:{}",
+                ports[0], ports[1]
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        let b = run_node(
+            parse_args(argvec(format!(
+                "--me 1 --bind 127.0.0.1:{} --peer 127.0.0.1:{}",
+                ports[1], ports[0]
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+
+        assert!(matches!(a.events.recv().unwrap(), NodeEvent::Ready { n: 2, .. }));
+        assert!(matches!(b.events.recv().unwrap(), NodeEvent::Ready { n: 2, .. }));
+
+        a.input.send(Some("hello from a".into())).unwrap();
+        b.input.send(Some("hello from b".into())).unwrap();
+
+        // Each side must deliver both messages (own + remote).
+        let collect = |events: &Receiver<NodeEvent>| -> Vec<String> {
+            let mut out = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while out.len() < 2 && Instant::now() < deadline {
+                if let Ok(NodeEvent::Delivered { text, .. }) =
+                    events.recv_timeout(Duration::from_millis(200))
+                {
+                    out.push(text);
+                }
+            }
+            out.sort();
+            out
+        };
+        let got_a = collect(&a.events);
+        let got_b = collect(&b.events);
+        assert_eq!(got_a, vec!["hello from a".to_string(), "hello from b".to_string()]);
+        assert_eq!(got_a, got_b);
+
+        a.input.send(None).unwrap();
+        b.input.send(None).unwrap();
+        a.thread.join().unwrap();
+        b.thread.join().unwrap();
+    }
+
+    #[test]
+    fn node_stops_cleanly_without_traffic() {
+        let ports = free_ports(2);
+        let a = run_node(
+            parse_args(argvec(format!(
+                "--me 0 --bind 127.0.0.1:{} --peer 127.0.0.1:{}",
+                ports[0], ports[1]
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        let _ready = a.events.recv().unwrap();
+        a.input.send(None).unwrap();
+        a.thread.join().unwrap();
+        // The final event is Stopped.
+        let mut last = None;
+        while let Ok(e) = a.events.try_recv() {
+            last = Some(e);
+        }
+        assert_eq!(last, Some(NodeEvent::Stopped));
+    }
+}

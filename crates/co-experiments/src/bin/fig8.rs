@@ -1,0 +1,10 @@
+//! Prints the `fig8` experiment (see crate docs and EXPERIMENTS.md).
+//! Flags: `--quick` (small sweep), `--csv <path>` (also write CSV).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let csv = co_experiments::csv_arg();
+    for (i, table) in co_experiments::experiments::fig8::run(quick).iter().enumerate() {
+        co_experiments::experiments::emit_table(table, csv.as_deref(), "fig8", i);
+    }
+}

@@ -1,0 +1,10 @@
+//! Prints the `retransmission` experiment (see crate docs and EXPERIMENTS.md).
+//! Flags: `--quick` (small sweep), `--csv <path>` (also write CSV).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let csv = co_experiments::csv_arg();
+    for (i, table) in co_experiments::experiments::retransmission::run(quick).iter().enumerate() {
+        co_experiments::experiments::emit_table(table, csv.as_deref(), "retransmission", i);
+    }
+}

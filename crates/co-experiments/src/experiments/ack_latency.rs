@@ -1,0 +1,85 @@
+//! §5 claim: with confirmations broadcast in parallel, a PDU is
+//! pre-acknowledged `R` after its acceptance and acknowledged (hence
+//! delivered) `2R` after it — about `3R` after the original transmission,
+//! where `R` is the maximum propagation delay.
+//!
+//! We simulate a single broadcast over a uniform-`R` network with immediate
+//! confirmations and negligible processing time, and report the delivery
+//! latency at remote entities in units of `R`.
+
+use co_protocol::DeferralPolicy;
+use mc_net::{DelayModel, SimConfig, SimDuration};
+
+use crate::runner::{run_co, CoRunParams, Senders};
+use crate::table::Table;
+
+/// Runs the sweep over cluster sizes.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 3, 4, 6, 8, 12, 16] };
+    let r_us = 1_000u64;
+    let mut table = Table::new(
+        "Acknowledgment latency (paper: acceptance + 2R ≈ 3R end-to-end)",
+        &["n", "R [µs]", "mean delivery latency [µs]", "latency / R", "paper bound"],
+    );
+    for &n in &sizes {
+        let mean = measure(n, r_us);
+        table.push(vec![
+            n.to_string(),
+            r_us.to_string(),
+            format!("{mean:.0}"),
+            format!("{:.2}", mean / r_us as f64),
+            "≈3R".to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// Mean remote delivery latency (µs) of a single broadcast in a cluster of
+/// `n` with uniform propagation delay `r_us`.
+pub fn measure(n: usize, r_us: u64) -> f64 {
+    let params = CoRunParams {
+        n,
+        deferral: DeferralPolicy::Immediate,
+        sim: SimConfig {
+            delay: DelayModel::Uniform(SimDuration::from_micros(r_us)),
+            proc_time: SimDuration::from_micros(1),
+            ..SimConfig::default()
+        },
+        messages_per_sender: 1,
+        senders: Senders::One,
+        ..CoRunParams::default()
+    };
+    let result = run_co(&params);
+    assert!(result.all_delivered(), "single message must be delivered");
+    let lats = result.delivery_latencies_us();
+    lats.iter().sum::<u64>() as f64 / lats.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_about_three_r() {
+        // Acceptance at R, pre-ack ≈ 2R, ack ≈ 3R. Allow processing slack.
+        let mean = measure(4, 1_000);
+        assert!(
+            (2_000.0..4_500.0).contains(&mean),
+            "delivery latency {mean}µs should be ≈3R (3000µs)"
+        );
+    }
+
+    #[test]
+    fn two_entity_cluster_is_faster() {
+        // With n = 2 the self-inference rule allows pre-ack on first
+        // receipt: delivery needs fewer rounds.
+        let mean2 = measure(2, 1_000);
+        assert!(mean2 <= measure(8, 1_000) + 500.0);
+    }
+
+    #[test]
+    fn quick_table_shape() {
+        let tables = run(true);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

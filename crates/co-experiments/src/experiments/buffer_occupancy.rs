@@ -1,0 +1,99 @@
+//! §5 claim: "each PDU p is acknowledged when 2nW PDUs are received after
+//! p is received … This means that the required buffer size is O(n)."
+//!
+//! We run the continuous all-senders workload, record the peak number of
+//! PDUs an entity holds in its protocol buffers (`RRL` + `PRL` + reorder),
+//! and compare against the paper's `2nW` bound.
+
+use co_protocol::DeferralPolicy;
+use mc_net::{DelayModel, SimConfig, SimDuration};
+
+use crate::runner::{run_co, CoRunParams, Senders};
+use crate::table::Table;
+
+/// Runs the sweep over `n` (at fixed `W`) and over `W` (at fixed `n`).
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 3, 4, 6, 8, 12] };
+    let windows: Vec<u64> = if quick { vec![2, 8] } else { vec![1, 2, 4, 8, 16, 32] };
+
+    let mut by_n = Table::new(
+        "Peak buffer occupancy vs n (W = 8; paper bound 2nW)",
+        &["n", "W", "peak held PDUs", "bound 2nW", "within bound"],
+    );
+    for &n in &sizes {
+        let peak = measure(n, 8);
+        let bound = 2 * n as u64 * 8;
+        by_n.push(vec![
+            n.to_string(),
+            "8".to_string(),
+            peak.to_string(),
+            bound.to_string(),
+            (peak as u64 <= bound).to_string(),
+        ]);
+    }
+
+    let mut by_w = Table::new(
+        "Peak buffer occupancy vs W (n = 4; paper bound 2nW)",
+        &["n", "W", "peak held PDUs", "bound 2nW", "within bound"],
+    );
+    for &w in &windows {
+        let peak = measure(4, w);
+        let bound = 2 * 4 * w;
+        by_w.push(vec![
+            "4".to_string(),
+            w.to_string(),
+            peak.to_string(),
+            bound.to_string(),
+            (peak as u64 <= bound).to_string(),
+        ]);
+    }
+    vec![by_n, by_w]
+}
+
+/// Peak held PDUs across all entities for a continuous workload.
+pub fn measure(n: usize, window: u64) -> usize {
+    let params = CoRunParams {
+        n,
+        window,
+        deferral: DeferralPolicy::Deferred { timeout_us: 2_000 },
+        sim: SimConfig {
+            delay: DelayModel::Uniform(SimDuration::from_micros(500)),
+            proc_time: SimDuration::from_micros(5),
+            ..SimConfig::default()
+        },
+        messages_per_sender: 50,
+        submit_interval_us: 50, // pressure: submit faster than one RTT
+        senders: Senders::All,
+        ..CoRunParams::default()
+    };
+    let result = run_co(&params);
+    assert!(result.all_delivered());
+    result.nodes.iter().map(|o| o.peak_held).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_stays_within_paper_bound() {
+        let peak = measure(3, 4);
+        assert!(peak > 0);
+        assert!(peak as u64 <= 2 * 3 * 4, "peak {peak} exceeds 2nW = 24");
+    }
+
+    #[test]
+    fn occupancy_grows_with_n() {
+        let small = measure(2, 8);
+        let large = measure(6, 8);
+        assert!(large >= small, "holding more senders' PDUs needs more buffer");
+    }
+
+    #[test]
+    fn quick_tables_shape() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 2);
+        assert_eq!(tables[1].len(), 2);
+    }
+}

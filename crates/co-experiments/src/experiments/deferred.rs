@@ -1,0 +1,93 @@
+//! §4.2/§5 claim: confirming every received PDU costs O(n²) PDUs per
+//! broadcast; **deferred confirmation** (confirm once after hearing from
+//! everyone, or on a timer) reduces this to O(n).
+//!
+//! Workload: a single sender broadcasts a stream; the other `n-1` entities
+//! only confirm. We count every *broadcast* PDU (data + confirmation +
+//! control) per delivered message under both policies.
+
+use co_protocol::DeferralPolicy;
+use mc_net::SimConfig;
+
+use crate::runner::{run_co, CoRunParams, Senders};
+use crate::table::Table;
+
+/// PDU cost of one policy at cluster size `n`:
+/// `(pdus_per_message, mean_latency_us)`.
+pub fn measure(n: usize, messages: usize, deferral: DeferralPolicy) -> (f64, f64) {
+    let params = CoRunParams {
+        n,
+        deferral,
+        sim: SimConfig::default(),
+        messages_per_sender: messages,
+        submit_interval_us: 800,
+        senders: Senders::One,
+        ..CoRunParams::default()
+    };
+    let result = run_co(&params);
+    assert!(result.all_delivered());
+    let lats = result.delivery_latencies_us();
+    let mean_latency = lats.iter().sum::<u64>() as f64 / lats.len().max(1) as f64;
+    (
+        result.total_pdus() as f64 / result.total_messages as f64,
+        mean_latency,
+    )
+}
+
+/// Runs the policy × n sweep.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: Vec<usize> = if quick { vec![3, 5] } else { vec![2, 3, 4, 6, 8, 12, 16] };
+    let messages = if quick { 15 } else { 40 };
+    let mut table = Table::new(
+        "Deferred confirmation: broadcast PDUs per delivered message (single sender)",
+        &[
+            "n",
+            "immediate [pdus/msg]",
+            "deferred [pdus/msg]",
+            "ratio",
+            "immediate latency [µs]",
+            "deferred latency [µs]",
+        ],
+    );
+    for &n in &sizes {
+        let (imm, imm_lat) = measure(n, messages, DeferralPolicy::Immediate);
+        let (def, def_lat) = measure(n, messages, DeferralPolicy::Deferred { timeout_us: 2_000 });
+        table.push(vec![
+            n.to_string(),
+            format!("{imm:.2}"),
+            format!("{def:.2}"),
+            format!("{:.2}", imm / def),
+            format!("{imm_lat:.0}"),
+            format!("{def_lat:.0}"),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deferred_sends_fewer_pdus() {
+        let (imm, _) = measure(4, 20, DeferralPolicy::Immediate);
+        let (def, _) = measure(4, 20, DeferralPolicy::Deferred { timeout_us: 2_000 });
+        assert!(
+            def < imm,
+            "deferred ({def:.2}) must beat immediate ({imm:.2}) pdus/msg"
+        );
+    }
+
+    #[test]
+    fn immediate_cost_grows_with_n() {
+        let (small, _) = measure(3, 15, DeferralPolicy::Immediate);
+        let (large, _) = measure(8, 15, DeferralPolicy::Immediate);
+        assert!(large > small, "O(n) confirmations per message: {small} vs {large}");
+    }
+
+    #[test]
+    fn quick_table_rows() {
+        let tables = run(true);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(quick: bool) -> Vec<Table>`; `quick` shrinks the sweep for CI and
+//! integration tests while keeping every code path.
+
+use std::path::Path;
+
+use crate::table::{emit, Table};
+
+/// Prints `table` and optionally writes `<csv-stem>-<id>[-k].csv`.
+pub fn emit_table(table: &Table, csv: Option<&Path>, id: &str, index: usize) {
+    let suffix = if index == 0 {
+        id.to_string()
+    } else {
+        format!("{id}-{index}")
+    };
+    emit(table, csv, &suffix);
+}
+
+pub mod ablation_strict;
+pub mod ack_latency;
+pub mod buffer_occupancy;
+pub mod deferred;
+pub mod fig8;
+pub mod pdu_overhead;
+pub mod retransmission;
+pub mod vs_isis;
+pub mod window_sweep;

@@ -1,0 +1,108 @@
+//! §5 claim: "Since each PDU carries n receipt confirmations in the ACK
+//! field …, the length of PDU is O(n)."
+//!
+//! We encode each PDU kind for growing cluster sizes and report exact wire
+//! sizes plus the per-entity increment.
+
+use bytes::Bytes;
+use causal_order::{EntityId, Seq};
+use co_wire::{AckOnlyPdu, DataPdu, Pdu, RetPdu};
+
+use crate::table::Table;
+
+/// Builds a representative data PDU for a cluster of `n`.
+pub fn sample_data(n: usize, payload: usize) -> Pdu {
+    Pdu::Data(DataPdu {
+        cid: 1,
+        src: EntityId::new(0),
+        seq: Seq::new(100),
+        ack: vec![Seq::new(100); n],
+        buf: 4096,
+        data: Bytes::from(vec![0u8; payload]),
+    })
+}
+
+/// Builds a representative RET PDU for a cluster of `n`.
+pub fn sample_ret(n: usize) -> Pdu {
+    Pdu::Ret(RetPdu {
+        cid: 1,
+        src: EntityId::new(0),
+        lsrc: EntityId::new(1),
+        lseq: Seq::new(100),
+        ack: vec![Seq::new(100); n],
+        buf: 4096,
+    })
+}
+
+/// Builds a representative confirmation-only PDU for a cluster of `n`.
+pub fn sample_ack_only(n: usize) -> Pdu {
+    Pdu::AckOnly(AckOnlyPdu {
+        cid: 1,
+        src: EntityId::new(0),
+        ack: vec![Seq::new(100); n],
+        packed: vec![Seq::new(100); n],
+        acked: vec![Seq::new(100); n],
+        buf: 4096,
+    })
+}
+
+/// Runs the size sweep.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: Vec<usize> = if quick {
+        vec![2, 8]
+    } else {
+        vec![2, 3, 4, 8, 16, 32, 64, 128, 256]
+    };
+    let mut table = Table::new(
+        "PDU wire size vs n (paper: O(n) from the ACK field)",
+        &["n", "DATA+64B [B]", "RET [B]", "ACKONLY [B]", "bytes/entity (DATA)"],
+    );
+    let mut prev: Option<(usize, usize)> = None;
+    for &n in &sizes {
+        let data = sample_data(n, 64).encoded_len();
+        let ret = sample_ret(n).encoded_len();
+        let ack = sample_ack_only(n).encoded_len();
+        let per_entity = prev
+            .map(|(pn, pd)| format!("{:.1}", (data - pd) as f64 / (n - pn) as f64))
+            .unwrap_or_else(|| "-".to_string());
+        table.push(vec![
+            n.to_string(),
+            data.to_string(),
+            ret.to_string(),
+            ack.to_string(),
+            per_entity,
+        ]);
+        prev = Some((n, data));
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_exactly_linear() {
+        let d2 = sample_data(2, 64).encoded_len();
+        let d3 = sample_data(3, 64).encoded_len();
+        let d100 = sample_data(100, 64).encoded_len();
+        assert_eq!(d3 - d2, 8, "8 bytes per extra entity (one u64 ack)");
+        assert_eq!(d100 - d2, 98 * 8);
+    }
+
+    #[test]
+    fn ack_only_grows_three_vectors_per_entity() {
+        // AckOnly carries three vectors (ack + packed + acked): 24 B per
+        // entity.
+        let a2 = sample_ack_only(2).encoded_len();
+        let a3 = sample_ack_only(3).encoded_len();
+        assert_eq!(a3 - a2, 24);
+    }
+
+    #[test]
+    fn table_has_expected_columns() {
+        let tables = run(true);
+        assert_eq!(tables[0].len(), 2);
+        assert_eq!(tables[0].cell(0, 0), "2");
+    }
+}

@@ -1,0 +1,109 @@
+//! Ablation: the flow-condition window `W` (§4.2).
+//!
+//! Small windows block senders until acceptance knowledge returns (two
+//! confirmation rounds away); large windows raise buffer occupancy. The
+//! sweep shows the throughput/buffer trade-off that the paper's flow
+//! condition `minAL_i ≤ SEQ < minAL_i + min(W, minBUF/(H·2n))` governs.
+
+use co_protocol::DeferralPolicy;
+use mc_net::{DelayModel, SimConfig, SimDuration};
+
+use crate::runner::{run_co, CoRunParams, Senders};
+use crate::table::Table;
+
+/// Outcome of one window setting.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowPoint {
+    /// Messages delivered per simulated second (cluster-wide).
+    pub throughput: f64,
+    /// Mean submit→deliver latency, µs.
+    pub mean_latency_us: f64,
+    /// Peak protocol-buffer occupancy (PDUs).
+    pub peak_held: usize,
+    /// How many submissions were flow-blocked.
+    pub flow_blocked: u64,
+}
+
+/// Measures one window setting.
+pub fn measure(n: usize, window: u64, messages: usize) -> WindowPoint {
+    let params = CoRunParams {
+        n,
+        window,
+        deferral: DeferralPolicy::Deferred { timeout_us: 1_000 },
+        sim: SimConfig {
+            delay: DelayModel::Uniform(SimDuration::from_micros(500)),
+            proc_time: SimDuration::from_micros(5),
+            ..SimConfig::default()
+        },
+        messages_per_sender: messages,
+        submit_interval_us: 100, // faster than the ack round-trip
+        senders: Senders::All,
+        ..CoRunParams::default()
+    };
+    let result = run_co(&params);
+    assert!(result.all_delivered());
+    let lats = result.delivery_latencies_us();
+    let mean_latency = lats.iter().sum::<u64>() as f64 / lats.len().max(1) as f64;
+    let seconds = result.makespan.as_micros() as f64 / 1e6;
+    WindowPoint {
+        throughput: result.total_messages as f64 / seconds,
+        mean_latency_us: mean_latency,
+        peak_held: result.nodes.iter().map(|o| o.peak_held).max().unwrap_or(0),
+        flow_blocked: result.nodes.iter().map(|o| o.metrics.flow_blocked).sum(),
+    }
+}
+
+/// Runs the sweep.
+pub fn run(quick: bool) -> Vec<Table> {
+    let windows: Vec<u64> = if quick { vec![1, 8] } else { vec![1, 2, 4, 8, 16, 32, 64] };
+    let (n, messages) = if quick { (3, 20) } else { (4, 80) };
+    let mut table = Table::new(
+        "Window-size ablation (flow condition, §4.2)",
+        &[
+            "W",
+            "throughput [msg/s]",
+            "mean latency [µs]",
+            "peak held PDUs",
+            "flow-blocked submits",
+        ],
+    );
+    for &w in &windows {
+        let p = measure(n, w, messages);
+        table.push(vec![
+            w.to_string(),
+            format!("{:.0}", p.throughput),
+            format!("{:.0}", p.mean_latency_us),
+            p.peak_held.to_string(),
+            p.flow_blocked.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_window_blocks_submissions() {
+        let p = measure(3, 1, 20);
+        assert!(p.flow_blocked > 0, "W=1 must block a fast submitter");
+    }
+
+    #[test]
+    fn larger_window_raises_throughput() {
+        let w1 = measure(3, 1, 30);
+        let w16 = measure(3, 16, 30);
+        assert!(
+            w16.throughput > w1.throughput,
+            "W=16 ({:.0}/s) should beat W=1 ({:.0}/s)",
+            w16.throughput,
+            w1.throughput
+        );
+    }
+
+    #[test]
+    fn quick_rows() {
+        assert_eq!(run(true)[0].len(), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness reproducing the paper's evaluation (§5).
+//!
+//! The paper's evaluation consists of **Figure 8** (Tco and Tap versus
+//! cluster size) plus a set of quantitative claims in the §5 prose. Every
+//! one of them has a runner here; the `src/bin/` wrappers print the
+//! paper-style rows and optionally write CSV:
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig8` | Figure 8: per-PDU processing time and app-to-app delay vs `n` |
+//! | `ack_latency` | §5: pre-ack after `R`, ack after `2R` |
+//! | `buffer_occupancy` | §5: buffer requirement O(n) (≈ `2nW`) |
+//! | `pdu_overhead` | §5: PDU length O(n) |
+//! | `retransmission` | §5: selective vs go-back-n retransmission |
+//! | `deferred` | §4.2/§5: deferred confirmation O(n) vs O(n²) PDUs |
+//! | `vs_isis` | §5: sequence numbers vs ISIS virtual clocks |
+//! | `window_sweep` | ablation: flow-condition window `W` |
+//!
+//! Run everything with `cargo run -p co-experiments --bin all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod runner;
+mod table;
+
+pub use runner::{run_co, run_co_for, AblationSwitches, CoRunParams, CoRunResult, NodeOutcome, Senders};
+pub use table::{csv_arg, Table};

@@ -1,0 +1,202 @@
+//! Plain-text result tables with CSV export.
+
+use std::path::{Path, PathBuf};
+
+/// A titled table of experiment results.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Cell accessor (row, column), for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Renders CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes CSV to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO errors.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Extracts `--csv <path>` from the process arguments, if present.
+pub fn csv_arg() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--csv" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Emits a table to stdout and, when requested via `--csv`, to a file
+/// (suffixing the experiment id when several tables are written).
+pub fn emit(table: &Table, csv: Option<&Path>, suffix: &str) {
+    table.print();
+    println!();
+    if let Some(base) = csv {
+        let path = if suffix.is_empty() {
+            base.to_path_buf()
+        } else {
+            let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+            let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("csv");
+            base.with_file_name(format!("{stem}-{suffix}.{ext}"))
+        };
+        match table.write_csv(&path) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.push(vec!["2".into(), "10.5".into()]);
+        t.push(vec!["4".into(), "21.0".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("n  value"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["n,value", "2,10.5", "4,21.0"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a"]);
+        t.push(vec!["hello, \"world\"".into()]);
+        assert_eq!(t.to_csv().lines().nth(1).unwrap(), "\"hello, \"\"world\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "demo");
+        assert_eq!(t.cell(1, 1), "21.0");
+    }
+}

@@ -1,0 +1,64 @@
+//! Outputs of the engine.
+
+use bytes::Bytes;
+use causal_order::{EntityId, Seq};
+use co_wire::Pdu;
+
+/// An effect the driver must carry out after an [`crate::Entity`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Broadcast this PDU to every other entity in the cluster.
+    Broadcast(Pdu),
+    /// Hand this message to the local application — it has reached the
+    /// *acknowledged* stage (`ARL`) and is globally stable and causally
+    /// ordered.
+    Deliver(Delivery),
+}
+
+/// A message delivered to the application, in causal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The entity that broadcast the message.
+    pub src: EntityId,
+    /// Its per-source sequence number.
+    pub seq: Seq,
+    /// The application payload.
+    pub data: Bytes,
+}
+
+impl std::fmt::Display for Delivery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deliver {}{} ({}B)", self.src, self.seq, self.data.len())
+    }
+}
+
+/// What happened to a payload handed to [`crate::Entity::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The flow condition held; the PDU was broadcast immediately (its
+    /// sequence number is included).
+    Sent(Seq),
+    /// The flow condition blocked transmission; the payload is queued and
+    /// will be sent automatically once the window/buffer opens.
+    Queued,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_display() {
+        let d = Delivery {
+            src: EntityId::new(0),
+            seq: Seq::new(3),
+            data: Bytes::from_static(b"ab"),
+        };
+        assert_eq!(d.to_string(), "deliver E1#3 (2B)");
+    }
+
+    #[test]
+    fn submit_outcome_variants_distinct() {
+        assert_ne!(SubmitOutcome::Sent(Seq::FIRST), SubmitOutcome::Queued);
+    }
+}

@@ -1,0 +1,259 @@
+//! The pre-acknowledged receipt sublog `PRL` and the **CPI operation**
+//! (causality-preserved insertion, §4.4).
+//!
+//! `PRL_i` holds pre-acknowledged PDUs *in causality-precedence order*. The
+//! paper's `L < p` operation inserts `p` while keeping `L`
+//! causality-preserved, deciding `p ⇒ q` purely from sequence numbers
+//! (Theorem 4.1):
+//!
+//! * (2-1) `p` precedes everything → insert at the top;
+//! * (2-2)/(2-3) something precedes `p`, or `p` is coincident with
+//!   everything → append;
+//! * (3) otherwise insert between `q1 ⇒ p ⇒ q2`.
+//!
+//! All four cases collapse to: *insert `p` immediately before the first
+//! element that `p` causally precedes; append if there is none.* This is
+//! sound because `PRL` is always causality-preserved: if `r` sits before
+//! the first causal successor `q` of `p`, then `r ⇏ q` would be violated by
+//! `r ⇐ p` (transitivity), so `r` may stay in front of `p`.
+//!
+//! **Scope of correctness.** The sequence-number relation of Theorem 4.1
+//! captures *direct* acceptance dependencies and is not transitively
+//! closed: over three senders, `A ∥ B`, `B ⇒ C`, `C ⇒ A` can hold
+//! simultaneously (the `⇒`-evidence for `B ⇒ A` is not carried by any
+//! field), and a log already containing `⟨A B⟩` then admits *no* position
+//! for `C` that satisfies both remaining edges — a limitation inherent to
+//! the paper's data structures, not to this implementation. Two things
+//! keep the protocol correct regardless:
+//!
+//! 1. Proposition 4.3 orders pre-acknowledgment *between* PACK rounds, so
+//!    inconsistent triads can only meet inside one insertion batch, where
+//!    the PACK action presents same-source PDUs in sequence order;
+//! 2. the guarantee that matters to applications — deliveries respect
+//!    happened-before over *application* events, the same level ISIS
+//!    CBCAST provides — only requires ordering pairs whose dependency went
+//!    through a delivery, and those always carry direct `⇒` evidence.
+//!
+//! The end-to-end oracle tests (`tests/co_service_properties.rs`,
+//! `tests/proptest_random_runs.rs`) verify property 2 on full runs; the
+//! property tests in `tests/proptest_protocol.rs` verify the insertion
+//! rule over ⇒-respecting arrival orders and Example 4.1's batch.
+
+use causal_order::{causally_precedes, SeqMeta};
+use co_wire::DataPdu;
+
+/// A causally ordered log of pre-acknowledged PDUs.
+#[derive(Debug, Clone, Default)]
+pub struct CausalLog {
+    pdus: Vec<DataPdu>,
+    /// Cached [`SeqMeta`]s, index-aligned with `pdus`.
+    metas: Vec<SeqMeta>,
+}
+
+impl CausalLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        CausalLog::default()
+    }
+
+    /// The CPI operation `L < p`: inserts `pdu` keeping the log
+    /// causality-preserved. Returns the insertion index.
+    pub fn insert(&mut self, pdu: DataPdu) -> usize {
+        let meta = pdu.seq_meta();
+        let pos = self
+            .metas
+            .iter()
+            .position(|q| causally_precedes(&meta, q))
+            .unwrap_or(self.pdus.len());
+        self.pdus.insert(pos, pdu);
+        self.metas.insert(pos, meta);
+        pos
+    }
+
+    /// The oldest (top) element.
+    pub fn top(&self) -> Option<&DataPdu> {
+        self.pdus.first()
+    }
+
+    /// Removes and returns the top element.
+    pub fn dequeue(&mut self) -> Option<DataPdu> {
+        if self.pdus.is_empty() {
+            return None;
+        }
+        self.metas.remove(0);
+        Some(self.pdus.remove(0))
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.pdus.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pdus.is_empty()
+    }
+
+    /// Iterates top → last.
+    pub fn iter(&self) -> impl Iterator<Item = &DataPdu> {
+        self.pdus.iter()
+    }
+
+    /// Checks the causality-preservation invariant (test/debug helper):
+    /// no element causally precedes an earlier one.
+    pub fn is_causality_preserved(&self) -> bool {
+        for (i, later) in self.metas.iter().enumerate() {
+            for earlier in &self.metas[..i] {
+                if causally_precedes(later, earlier) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use causal_order::{EntityId, Seq};
+
+    fn pdu(src: u32, seq: u64, ack: &[u64]) -> DataPdu {
+        DataPdu {
+            cid: 0,
+            src: EntityId::new(src),
+            seq: Seq::new(seq),
+            ack: ack.iter().copied().map(Seq::new).collect(),
+            buf: 0,
+            data: Bytes::new(),
+        }
+    }
+
+    /// Example 4.1's PDUs (Table 1).
+    fn a() -> DataPdu { pdu(0, 1, &[1, 1, 1]) }
+    fn b() -> DataPdu { pdu(2, 1, &[2, 1, 1]) }
+    fn c() -> DataPdu { pdu(0, 2, &[2, 1, 1]) }
+    fn d() -> DataPdu { pdu(1, 1, &[3, 1, 2]) }
+    fn e_() -> DataPdu { pdu(0, 3, &[3, 2, 2]) }
+
+    fn order(log: &CausalLog) -> Vec<(u32, u64)> {
+        log.iter().map(|p| (p.src.raw(), p.seq.get())).collect()
+    }
+
+    #[test]
+    fn empty_log_append() {
+        let mut log = CausalLog::new();
+        assert_eq!(log.insert(a()), 0);
+        assert_eq!(log.len(), 1);
+        assert!(log.is_causality_preserved());
+    }
+
+    #[test]
+    fn same_source_appends_in_seq_order() {
+        let mut log = CausalLog::new();
+        log.insert(a());
+        log.insert(c());
+        log.insert(e_());
+        assert_eq!(order(&log), vec![(0, 1), (0, 2), (0, 3)]);
+        assert!(log.is_causality_preserved());
+    }
+
+    #[test]
+    fn example_4_1_insertion_sequence() {
+        // Paper: PRL becomes ⟨a c e], then d is inserted between c and e,
+        // then b between c and d → ⟨a c b d e].
+        let mut log = CausalLog::new();
+        log.insert(a());
+        log.insert(c());
+        log.insert(e_());
+        let pos_d = log.insert(d());
+        assert_eq!(pos_d, 2, "d goes between c and e");
+        assert_eq!(order(&log), vec![(0, 1), (0, 2), (1, 1), (0, 3)]);
+        let pos_b = log.insert(b());
+        assert_eq!(pos_b, 2, "b goes between c and d");
+        assert_eq!(
+            order(&log),
+            vec![(0, 1), (0, 2), (2, 1), (1, 1), (0, 3)],
+            "final PRL is ⟨a c b d e]"
+        );
+        assert!(log.is_causality_preserved());
+    }
+
+    #[test]
+    fn predecessor_inserted_late_lands_before_successor() {
+        // Insert d first, then a (a ⇒ d via d.ACK_1 = 3 > 1): a must end up
+        // before d even though it arrives later.
+        let mut log = CausalLog::new();
+        log.insert(d());
+        let pos = log.insert(a());
+        assert_eq!(pos, 0);
+        assert_eq!(order(&log), vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn coincident_appends_at_tail() {
+        // b and c are causality-coincident (paper: c ∥ b).
+        let mut log = CausalLog::new();
+        log.insert(c());
+        let pos = log.insert(b());
+        assert_eq!(pos, 1, "rule (2-3): coincident appends at the tail");
+    }
+
+    #[test]
+    fn dequeue_is_top_first() {
+        let mut log = CausalLog::new();
+        log.insert(a());
+        log.insert(c());
+        assert_eq!(log.dequeue().unwrap().seq, Seq::new(1));
+        assert_eq!(log.top().unwrap().seq, Seq::new(2));
+        assert_eq!(log.dequeue().unwrap().seq, Seq::new(2));
+        assert!(log.dequeue().is_none());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn invariant_detects_corruption() {
+        // Build a deliberately wrong order by inserting via a fresh log and
+        // checking the invariant catches a ⇒ violation: e before a.
+        let mut log = CausalLog::new();
+        log.insert(e_());
+        // Force-check: inserting a via CPI repairs the order...
+        log.insert(a());
+        assert!(log.is_causality_preserved());
+        assert_eq!(order(&log)[0], (0, 1));
+    }
+
+    #[test]
+    fn random_insertion_orders_converge_to_causal_order() {
+        // All 5! arrival permutations of Example 4.1's PDUs must yield a
+        // causality-preserved log with a,c,e in positions respecting
+        // a ⇒ c ⇒ e, c ⇒ d ⇒ e, a ⇒ b ⇒ d.
+        let pdus = [a(), b(), c(), d(), e_()];
+        let mut perms = Vec::new();
+        permutations(&mut [0, 1, 2, 3, 4], 0, &mut perms);
+        for perm in perms {
+            let mut log = CausalLog::new();
+            for &i in &perm {
+                log.insert(pdus[i].clone());
+            }
+            assert!(
+                log.is_causality_preserved(),
+                "violated for arrival order {perm:?}: {:?}",
+                order(&log)
+            );
+        }
+    }
+
+    fn permutations(items: &mut [usize; 5], k: usize, out: &mut Vec<[usize; 5]>) {
+        if k == items.len() {
+            out.push(*items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permutations(items, k + 1, out);
+            items.swap(k, i);
+        }
+    }
+}

@@ -1,0 +1,755 @@
+//! The protocol entity `E_i` (§4) as a sans-IO state machine.
+
+use bytes::Bytes;
+use causal_order::{EntityId, Seq};
+use co_wire::{AckOnlyPdu, DataPdu, Pdu, RetPdu};
+use std::collections::VecDeque;
+
+use crate::actions::{Action, Delivery, SubmitOutcome};
+use crate::config::{Config, ConfigError, DeferralPolicy, RetransmissionPolicy};
+use crate::cpi::CausalLog;
+use crate::error::ProtocolError;
+use crate::flow::{flow_decision, FlowDecision};
+use crate::logs::{ReceiptLogs, SendLog};
+use crate::matrix::KnowledgeMatrix;
+use crate::metrics::Metrics;
+use crate::reorder::ReorderBuffer;
+
+/// Upper bound on payloads queued while the flow condition is closed.
+pub const MAX_QUEUED_SUBMITS: usize = 1 << 16;
+
+/// One entity of the cluster, implementing the CO protocol.
+///
+/// Drive it with [`Entity::submit`], [`Entity::on_pdu`] and
+/// [`Entity::on_tick`]; carry out the returned [`Action`]s. Time is a
+/// caller-supplied monotonic microsecond counter — the engine never reads a
+/// clock.
+///
+/// See the crate docs for a walk-through and an example.
+#[derive(Debug)]
+pub struct Entity {
+    config: Config,
+    /// `REQ_j`: next sequence number expected from `E_j`; `REQ_me` is the
+    /// next sequence number this entity will assign (the paper's `SEQ`).
+    req: Vec<Seq>,
+    /// Acceptance knowledge (`AL`, §4.4).
+    al: KnowledgeMatrix,
+    /// Pre-acknowledgment knowledge (`PAL`, §4.5).
+    pal: KnowledgeMatrix,
+    /// Latest advertised free buffer units per entity (`BUF`, §4.1).
+    buf_known: Vec<u32>,
+    /// Sending log for retransmission.
+    sl: SendLog,
+    /// Accepted, not yet pre-acknowledged PDUs, per source.
+    rrl: ReceiptLogs,
+    /// Pre-acknowledged PDUs in causal order.
+    prl: CausalLog,
+    /// Out-of-order PDUs awaiting gap repair (selective mode only).
+    reorder: ReorderBuffer,
+    /// Payloads waiting for the flow condition to open.
+    pending: VecDeque<Bytes>,
+    /// Which peers we have heard from since our last own transmission
+    /// (drives deferred confirmation).
+    heard_since_send: Vec<bool>,
+    /// The `REQ` vector as of our last confirmation-bearing transmission.
+    advertised_req: Vec<Seq>,
+    /// Our pre-ack frontier as of the last advertisement.
+    advertised_packed: Vec<Seq>,
+    /// Outstanding `RET` per source: `(lseq, when_sent_us)`.
+    ret_outstanding: Vec<Option<(Seq, u64)>>,
+    /// Set when a peer's confirmation shows it lags our knowledge — we owe
+    /// it an `AckOnly` reply (stability convergence; see DESIGN.md).
+    peer_needs_update: bool,
+    /// Last time this entity transmitted anything, in µs.
+    last_send_us: u64,
+    /// High-water mark of protocol-buffer occupancy, in PDUs.
+    peak_held_pdus: usize,
+    metrics: Metrics,
+}
+
+impl Entity {
+    /// Creates the entity in its initial state (all sequence numbers at 1,
+    /// empty logs — Example 4.1's starting point).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a valid [`Config`] (which is itself
+    /// validated at construction); the `Result` keeps room for stateful
+    /// initialization failures without a breaking change.
+    pub fn new(config: Config) -> Result<Self, ConfigError> {
+        let n = config.n();
+        Ok(Entity {
+            req: vec![Seq::FIRST; n],
+            al: KnowledgeMatrix::new(n),
+            pal: KnowledgeMatrix::new(n),
+            buf_known: vec![config.buffer_units; n],
+            sl: SendLog::new(),
+            rrl: ReceiptLogs::new(n),
+            prl: CausalLog::new(),
+            reorder: ReorderBuffer::new(n),
+            pending: VecDeque::new(),
+            heard_since_send: vec![false; n],
+            advertised_req: vec![Seq::FIRST; n],
+            advertised_packed: vec![Seq::FIRST; n],
+            ret_outstanding: vec![None; n],
+            peer_needs_update: false,
+            last_send_us: 0,
+            peak_held_pdus: 0,
+            metrics: Metrics::default(),
+            config,
+        })
+    }
+
+    /// This entity's id.
+    pub fn id(&self) -> EntityId {
+        self.config.me
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Cumulative counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The current `REQ` vector.
+    pub fn req(&self) -> &[Seq] {
+        &self.req
+    }
+
+    /// `minAL_j` — everything from `E_j` below this is known accepted
+    /// everywhere.
+    pub fn min_al(&self, source: EntityId) -> Seq {
+        self.al.row_min(source)
+    }
+
+    /// `minPAL_j` — everything from `E_j` below this is known
+    /// pre-acknowledged everywhere.
+    pub fn min_pal(&self, source: EntityId) -> Seq {
+        self.pal.row_min(source)
+    }
+
+    /// PDUs currently held in protocol buffers (`RRL` + `PRL` + reorder).
+    pub fn held_pdus(&self) -> usize {
+        self.rrl.total_len() + self.prl.len() + self.reorder.total_len()
+    }
+
+    /// High-water mark of [`Entity::held_pdus`] over the entity's lifetime
+    /// (§5's O(n)-buffer claim is measured against this).
+    pub fn peak_held_pdus(&self) -> usize {
+        self.peak_held_pdus
+    }
+
+    /// Payloads queued behind the flow condition.
+    pub fn pending_submits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is buffered or queued anywhere — every accepted
+    /// PDU has been delivered and no payload awaits transmission.
+    pub fn is_quiescent(&self) -> bool {
+        self.held_pdus() == 0 && self.pending.is_empty()
+    }
+
+    /// `true` when, additionally, everything this entity has accepted is —
+    /// to its knowledge — pre-acknowledged everywhere. An entity that is
+    /// not fully stable keeps emitting heartbeat confirmations so that
+    /// tail losses (a PDU or confirmation lost with no later traffic to
+    /// reveal the gap) are eventually detected and repaired.
+    pub fn is_fully_stable(&self) -> bool {
+        self.is_quiescent()
+            && (0..self.config.n()).all(|j| {
+                let source = EntityId::new(j as u32);
+                self.pal.row_min(source) >= self.req[j]
+            })
+    }
+
+    /// Interval for stability heartbeats: the coarser of the deferral
+    /// timeout and the RET retry interval, never zero.
+    fn heartbeat_interval(&self) -> u64 {
+        let deferral = match self.config.deferral {
+            DeferralPolicy::Immediate => 0,
+            DeferralPolicy::Deferred { timeout_us } => timeout_us,
+        };
+        deferral.max(self.config.ret_retry_us).max(1)
+    }
+
+    /// Free protocol-buffer units (advertised as `BUF`).
+    pub fn free_buffer_units(&self) -> u32 {
+        let held = self.held_pdus() as u64 * u64::from(self.config.pdu_buf_units);
+        u32::try_from(u64::from(self.config.buffer_units).saturating_sub(held)).unwrap_or(0)
+    }
+
+    fn min_buf(&self) -> u32 {
+        let me = self.config.me.index();
+        self.buf_known
+            .iter()
+            .enumerate()
+            .map(|(j, &b)| if j == me { self.free_buffer_units() } else { b })
+            .min()
+            .expect("n >= 2")
+    }
+
+    /// The application submits a payload for causally ordered broadcast
+    /// (the paper's DT request).
+    ///
+    /// Returns the outcome plus the actions to carry out. If the flow
+    /// condition (§4.2) is closed the payload is queued and flushed
+    /// automatically as confirmations open the window.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::PayloadTooLarge`] for oversized payloads;
+    /// * [`ProtocolError::SubmitQueueFull`] when [`MAX_QUEUED_SUBMITS`]
+    ///   payloads are already waiting.
+    pub fn submit(
+        &mut self,
+        data: Bytes,
+        now_us: u64,
+    ) -> Result<(SubmitOutcome, Vec<Action>), ProtocolError> {
+        if data.len() > self.config.max_payload {
+            return Err(ProtocolError::PayloadTooLarge {
+                size: data.len(),
+                max: self.config.max_payload,
+            });
+        }
+        let mut actions = Vec::new();
+        let outcome = if self.pending.is_empty() && self.flow_open() {
+            let seq = self.broadcast_data(data, now_us, &mut actions);
+            self.run_pack_ack(&mut actions);
+            SubmitOutcome::Sent(seq)
+        } else {
+            if self.pending.len() >= MAX_QUEUED_SUBMITS {
+                return Err(ProtocolError::SubmitQueueFull { limit: MAX_QUEUED_SUBMITS });
+            }
+            self.pending.push_back(data);
+            self.metrics.flow_blocked += 1;
+            SubmitOutcome::Queued
+        };
+        Ok((outcome, actions))
+    }
+
+    /// Feeds a PDU received from the network.
+    ///
+    /// # Errors
+    ///
+    /// Hard validation failures only ([`ProtocolError`]); duplicates,
+    /// gaps and stale information are handled internally.
+    pub fn on_pdu(&mut self, pdu: Pdu, now_us: u64) -> Result<Vec<Action>, ProtocolError> {
+        self.validate(&pdu)?;
+        let from = pdu.src();
+        self.heard_since_send[from.index()] = true;
+        self.buf_known[from.index()] = pdu.buf();
+
+        let mut actions = Vec::new();
+        match pdu {
+            Pdu::Data(p) => self.on_data(p, now_us, &mut actions),
+            Pdu::Ret(r) => self.on_ret(r, now_us, &mut actions),
+            Pdu::AckOnly(a) => self.on_ack_only(a, now_us, &mut actions),
+        }
+
+        self.run_pack_ack(&mut actions);
+        self.try_flush_pending(now_us, &mut actions);
+        self.maybe_confirm(now_us, &mut actions);
+        self.note_peak();
+        Ok(actions)
+    }
+
+    /// Advances the entity's notion of time: fires the deferred-
+    /// confirmation fallback and retries outstanding `RET` requests.
+    pub fn on_tick(&mut self, now_us: u64) -> Vec<Action> {
+        let mut actions = Vec::new();
+        // Deferred-confirmation fallback ("or after some time units").
+        let timeout = match self.config.deferral {
+            DeferralPolicy::Immediate => 0,
+            DeferralPolicy::Deferred { timeout_us } => timeout_us,
+        };
+        if self.peer_needs_update
+            && now_us.saturating_sub(self.last_send_us) >= self.reply_pace_us()
+        {
+            // Deferred lag reply (paced; see maybe_confirm).
+            self.peer_needs_update = false;
+            self.send_ack_only(now_us, &mut actions);
+        } else if self.unadvertised() && now_us.saturating_sub(self.last_send_us) >= timeout {
+            self.send_ack_only(now_us, &mut actions);
+        } else if !self.is_fully_stable()
+            && now_us.saturating_sub(self.last_send_us) >= self.heartbeat_interval()
+        {
+            // Stability heartbeat: something is still in flight (ours or a
+            // peer's); keep re-advertising so tail losses surface via F2.
+            self.send_ack_only(now_us, &mut actions);
+        }
+        // RET retry for gaps that persist (the RET or the retransmission
+        // itself may have been lost).
+        for j in 0..self.config.n() {
+            let source = EntityId::new(j as u32);
+            let Some((lseq, when)) = self.ret_outstanding[j] else {
+                continue;
+            };
+            if self.req[j] >= lseq {
+                self.ret_outstanding[j] = None;
+                continue;
+            }
+            if now_us.saturating_sub(when) >= self.config.ret_retry_us {
+                self.ret_outstanding[j] = None; // force re-send
+                self.send_ret(source, lseq, now_us, &mut actions);
+            }
+        }
+        self.note_peak();
+        actions
+    }
+
+    /// The next time at which [`Entity::on_tick`] has work to do, if any.
+    pub fn next_deadline(&self, _now_us: u64) -> Option<u64> {
+        let mut deadline: Option<u64> = None;
+        let mut consider = |t: u64| {
+            deadline = Some(deadline.map_or(t, |d: u64| d.min(t)));
+        };
+        if self.peer_needs_update {
+            consider(self.last_send_us.saturating_add(self.reply_pace_us()));
+        }
+        if self.unadvertised() {
+            let timeout = match self.config.deferral {
+                DeferralPolicy::Immediate => 0,
+                DeferralPolicy::Deferred { timeout_us } => timeout_us,
+            };
+            consider(self.last_send_us.saturating_add(timeout));
+        } else if !self.is_fully_stable() {
+            consider(self.last_send_us.saturating_add(self.heartbeat_interval()));
+        }
+        for j in 0..self.config.n() {
+            if let Some((lseq, when)) = self.ret_outstanding[j] {
+                if self.req[j] < lseq {
+                    consider(when.saturating_add(self.config.ret_retry_us));
+                }
+            }
+        }
+        deadline
+    }
+
+    // ------------------------------------------------------------------
+    // Input validation
+    // ------------------------------------------------------------------
+
+    fn validate(&self, pdu: &Pdu) -> Result<(), ProtocolError> {
+        let n = self.config.n();
+        if pdu.cid() != self.config.cluster.cid {
+            return Err(ProtocolError::WrongCluster {
+                expected: self.config.cluster.cid,
+                found: pdu.cid(),
+            });
+        }
+        if pdu.src() == self.config.me {
+            return Err(ProtocolError::LoopedBack);
+        }
+        if pdu.src().index() >= n {
+            return Err(ProtocolError::UnknownSource { src: pdu.src(), n });
+        }
+        if pdu.ack().len() != n {
+            return Err(ProtocolError::BadAckLength {
+                expected: n,
+                found: pdu.ack().len(),
+            });
+        }
+        if let Pdu::AckOnly(a) = pdu {
+            for vector in [&a.packed, &a.acked] {
+                if vector.len() != n {
+                    return Err(ProtocolError::BadAckLength {
+                        expected: n,
+                        found: vector.len(),
+                    });
+                }
+            }
+        }
+        if let Pdu::Ret(r) = pdu {
+            if r.lsrc.index() >= n {
+                return Err(ProtocolError::UnknownSource { src: r.lsrc, n });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // PDU handling
+    // ------------------------------------------------------------------
+
+    fn on_data(&mut self, p: DataPdu, now_us: u64, actions: &mut Vec<Action>) {
+        let src = p.src;
+        // The piggybacked ACK vector is first-hand receipt information from
+        // `src`, valid whether or not `p` itself is acceptable (monotonic
+        // fold, so retransmissions with old vectors are harmless).
+        self.al.fold_column(src, &p.ack);
+        // A sender trivially holds its own PDUs: anyone receiving `p` knows
+        // `src` has everything of its own up to `p.SEQ` (inference rule,
+        // DESIGN.md).
+        self.al.raise(src, src, p.seq.next());
+        // Failure condition F2 over the ack vector.
+        self.scan_f2(src, &p.ack.clone(), false, now_us, actions);
+
+        let expected = self.req[src.index()];
+        if p.seq < expected {
+            self.metrics.duplicates += 1;
+            return;
+        }
+        if p.seq > expected {
+            // Failure condition F1: gap [REQ_src, p.SEQ) lost.
+            self.metrics.f1_detections += 1;
+            match self.config.retransmission {
+                RetransmissionPolicy::Selective => {
+                    if self.reorder.store(p.clone()) {
+                        self.metrics.buffered_out_of_order += 1;
+                    } else {
+                        self.metrics.duplicates += 1;
+                    }
+                }
+                RetransmissionPolicy::GoBackN => {
+                    self.metrics.discarded_out_of_order += 1;
+                }
+            }
+            self.send_ret(src, p.seq, now_us, actions);
+            return;
+        }
+        // ACC condition holds.
+        self.accept_data(p, false);
+        // Drain any consecutive run repaired by retransmissions.
+        loop {
+            let next = self.req[src.index()];
+            match self.reorder.take_exact(src, next) {
+                Some(q) => self.accept_data(q, true),
+                None => break,
+            }
+        }
+        // The gap (or part of it) closed; drop a satisfied RET record.
+        if let Some((lseq, _)) = self.ret_outstanding[src.index()] {
+            if self.req[src.index()] >= lseq {
+                self.ret_outstanding[src.index()] = None;
+            }
+        }
+        self.reorder.drop_below(src, self.req[src.index()]);
+    }
+
+    /// The acceptance (ACC) action of §4.2.
+    fn accept_data(&mut self, p: DataPdu, from_reorder: bool) {
+        let src = p.src;
+        debug_assert_eq!(p.seq, self.req[src.index()], "ACC condition");
+        self.req[src.index()] = p.seq.next();
+        // Own column of AL mirrors REQ (`AL[k][me] = REQ_k`).
+        self.al.raise(src, self.config.me, self.req[src.index()]);
+        self.al.fold_column(src, &p.ack);
+        self.al.raise(src, src, p.seq.next());
+        self.rrl.accept(p);
+        self.metrics.accepted += 1;
+        if from_reorder {
+            self.metrics.accepted_from_reorder += 1;
+        }
+    }
+
+    fn on_ret(&mut self, r: RetPdu, now_us: u64, actions: &mut Vec<Action>) {
+        if self.config.control_updates_al {
+            self.al.fold_column(r.src, &r.ack);
+        }
+        self.scan_f2(r.src, &r.ack.clone(), true, now_us, actions);
+        if r.lsrc != self.config.me {
+            return;
+        }
+        // Retransmission action (§4.3): rebroadcast the requested range
+        // (selective) or everything from the first loss (go-back-n).
+        let from = r.ack[self.config.me.index()];
+        let to = match self.config.retransmission {
+            RetransmissionPolicy::Selective => r.lseq,
+            RetransmissionPolicy::GoBackN => self.req[self.config.me.index()],
+        };
+        let mut served = 0u64;
+        let pdus: Vec<DataPdu> = self.sl.range(from, to).cloned().collect();
+        for pdu in pdus {
+            actions.push(Action::Broadcast(Pdu::Data(pdu)));
+            served += 1;
+        }
+        self.metrics.retransmissions_sent += served;
+        let requested = to.get().saturating_sub(from.get());
+        if served < requested {
+            self.metrics.ret_unservable += requested - served;
+        }
+    }
+
+    fn on_ack_only(&mut self, a: AckOnlyPdu, now_us: u64, actions: &mut Vec<Action>) {
+        if self.config.control_updates_al {
+            self.al.fold_column(a.src, &a.ack);
+            // `packed` is the sender's own pre-ack frontier — exactly the
+            // semantics of a PAL column (see co-wire docs and DESIGN.md).
+            self.pal.fold_column(a.src, &a.packed);
+            // `acked[j]` asserts the sender *knows* every entity has
+            // pre-acknowledged `E_j`'s PDUs below it; adopt that knowledge
+            // for every PAL column (same honest-piggyback trust model as
+            // the paper's own PAL mechanism).
+            for j in 0..self.config.n() {
+                let source = EntityId::new(j as u32);
+                for k in 0..self.config.n() {
+                    self.pal.raise(source, EntityId::new(k as u32), a.acked[j]);
+                }
+            }
+        }
+        // If the sender lags our knowledge (it missed confirmations —
+        // possibly because ours were lost), owe it a refresher: this is the
+        // reply half of the stability-heartbeat convergence.
+        for j in 0..self.config.n() {
+            let source = EntityId::new(j as u32);
+            if a.ack[j] < self.req[j]
+                || a.packed[j] < self.al.row_min(source)
+                || a.acked[j] < self.pal.row_min(source)
+            {
+                self.peer_needs_update = true;
+                break;
+            }
+        }
+        self.scan_f2(a.src, &a.ack.clone(), true, now_us, actions);
+    }
+
+    /// Failure condition F2 (§4.3): `q.ACK_j > REQ_j` proves PDUs from
+    /// `E_j` exist that we never received.
+    ///
+    /// For **data** PDUs the sender's own column is excluded as in the
+    /// paper (`j ≠ k`): there `ack[src] == p.SEQ` and condition F1 already
+    /// covers it. For **control** PDUs (`RET`, `AckOnly`) the sender's own
+    /// column must be included: `ack[src]` is the sender's next own
+    /// sequence number, and it is the *only* evidence of loss when a tail
+    /// of data PDUs was dropped at every receiver (no later data PDU to
+    /// trigger F1, no third-party acceptance to trigger classic F2).
+    fn scan_f2(
+        &mut self,
+        from: EntityId,
+        ack: &[Seq],
+        include_sender_column: bool,
+        now_us: u64,
+        actions: &mut Vec<Action>,
+    ) {
+        for (j, &confirmed) in ack.iter().enumerate().take(self.config.n()) {
+            let source = EntityId::new(j as u32);
+            if source == self.config.me || (source == from && !include_sender_column) {
+                continue;
+            }
+            if confirmed > self.req[j] {
+                self.metrics.f2_detections += 1;
+                self.send_ret(source, confirmed, now_us, actions);
+            }
+        }
+    }
+
+    /// Broadcasts a `RET` for the gap `[REQ_source, lseq)`, with
+    /// deduplication: while a request covering the gap is outstanding and
+    /// fresh, new detections are suppressed. The range is clamped at the
+    /// first *buffered* sequence number — PDUs sitting in the reorder
+    /// buffer were received, so only the missing prefix needs resending
+    /// (the point of selective retransmission).
+    fn send_ret(&mut self, source: EntityId, lseq: Seq, now_us: u64, actions: &mut Vec<Action>) {
+        debug_assert_ne!(source, self.config.me);
+        let lseq = match self.reorder.buffered(source).next() {
+            Some(first_buffered) => lseq.min(first_buffered),
+            None => lseq,
+        };
+        if lseq <= self.req[source.index()] {
+            return; // nothing actually missing
+        }
+        let slot = &mut self.ret_outstanding[source.index()];
+        if let Some((prev_lseq, when)) = *slot {
+            let fresh = now_us.saturating_sub(when) < self.config.ret_retry_us;
+            if fresh && lseq <= prev_lseq {
+                self.metrics.ret_suppressed += 1;
+                return;
+            }
+        }
+        *slot = Some((lseq, now_us));
+        let ret = RetPdu {
+            cid: self.config.cluster.cid,
+            src: self.config.me,
+            lsrc: source,
+            lseq,
+            ack: self.req.clone(),
+            buf: self.free_buffer_units(),
+        };
+        self.metrics.ret_sent += 1;
+        actions.push(Action::Broadcast(Pdu::Ret(ret)));
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission
+    // ------------------------------------------------------------------
+
+    fn flow_open(&self) -> bool {
+        let me = self.config.me;
+        matches!(
+            flow_decision(
+                self.req[me.index()],
+                self.al.row_min(me),
+                self.config.window,
+                self.min_buf(),
+                self.config.pdu_buf_units,
+                self.config.n(),
+            ),
+            FlowDecision::Open
+        )
+    }
+
+    /// The transmission action of §4.2. Returns the assigned sequence
+    /// number.
+    fn broadcast_data(&mut self, data: Bytes, now_us: u64, actions: &mut Vec<Action>) -> Seq {
+        let me = self.config.me;
+        let seq = self.req[me.index()];
+        let pdu = DataPdu {
+            cid: self.config.cluster.cid,
+            src: me,
+            seq,
+            ack: self.req.clone(),
+            buf: self.free_buffer_units(),
+            data,
+        };
+        // Self-acceptance: the entity's own PDU enters its receipt path so
+        // it is delivered to the local application in causal position.
+        self.req[me.index()] = seq.next();
+        self.al.raise(me, me, self.req[me.index()]);
+        self.sl.record(pdu.clone());
+        self.rrl.accept(pdu.clone());
+        self.metrics.data_sent += 1;
+        actions.push(Action::Broadcast(Pdu::Data(pdu)));
+        // A data PDU carries our REQ vector (and, through the PAL
+        // mechanism, eventually our pre-ack state): count it as an
+        // advertisement.
+        self.mark_advertised(now_us);
+        seq
+    }
+
+    fn try_flush_pending(&mut self, now_us: u64, actions: &mut Vec<Action>) {
+        while !self.pending.is_empty() && self.flow_open() {
+            let data = self.pending.pop_front().expect("checked non-empty");
+            self.broadcast_data(data, now_us, actions);
+            self.run_pack_ack(actions);
+        }
+    }
+
+    fn unadvertised(&self) -> bool {
+        self.req != self.advertised_req || self.al.row_mins() != self.advertised_packed
+    }
+
+    fn mark_advertised(&mut self, now_us: u64) {
+        self.advertised_req = self.req.clone();
+        self.advertised_packed = self.al.row_mins();
+        self.heard_since_send = vec![false; self.config.n()];
+        self.last_send_us = now_us;
+    }
+
+    /// Pacing for lag replies and stability heartbeats: without it, two
+    /// mutually lagging entities would answer each other's answers forever.
+    fn reply_pace_us(&self) -> u64 {
+        self.heartbeat_interval() / 2 + 1
+    }
+
+    fn maybe_confirm(&mut self, now_us: u64, actions: &mut Vec<Action>) {
+        if self.peer_needs_update
+            && now_us.saturating_sub(self.last_send_us) >= self.reply_pace_us()
+        {
+            self.peer_needs_update = false;
+            self.send_ack_only(now_us, actions);
+            return;
+        }
+        if !self.unadvertised() {
+            return;
+        }
+        let should = match self.config.deferral {
+            DeferralPolicy::Immediate => true,
+            DeferralPolicy::Deferred { .. } => {
+                // The paper's trigger: heard from every other entity since
+                // our last transmission.
+                self.config
+                    .cluster
+                    .peers(self.config.me)
+                    .all(|p| self.heard_since_send[p.index()])
+            }
+        };
+        if should {
+            self.send_ack_only(now_us, actions);
+        }
+    }
+
+    fn send_ack_only(&mut self, now_us: u64, actions: &mut Vec<Action>) {
+        let pdu = AckOnlyPdu {
+            cid: self.config.cluster.cid,
+            src: self.config.me,
+            ack: self.req.clone(),
+            packed: self.al.row_mins(),
+            acked: self.pal.row_mins(),
+            buf: self.free_buffer_units(),
+        };
+        self.metrics.ack_only_sent += 1;
+        actions.push(Action::Broadcast(Pdu::AckOnly(pdu)));
+        self.mark_advertised(now_us);
+    }
+
+    // ------------------------------------------------------------------
+    // Pre-acknowledgment and acknowledgment (§4.4, §4.5)
+    // ------------------------------------------------------------------
+
+    fn run_pack_ack(&mut self, actions: &mut Vec<Action>) {
+        // PACK action: move everything below minAL from RRL to PRL.
+        for j in 0..self.config.n() {
+            let source = EntityId::new(j as u32);
+            let min_al = self.al.row_min(source);
+            while matches!(self.rrl.top(source), Some(p) if p.seq < min_al) {
+                let p = self.rrl.dequeue(source).expect("top checked");
+                // PAL update: p's confirmations, recorded at pre-ack time
+                // (§4.5), plus our own pre-ack frontier for this source.
+                self.pal.fold_column(source, &p.ack);
+                self.pal.raise(source, self.config.me, p.seq.next());
+                self.metrics.pre_acknowledged += 1;
+                self.prl.insert(p);
+            }
+        }
+        // ACK action: deliver the PRL prefix that is acknowledged.
+        while let Some(top) = self.prl.top() {
+            if top.seq < self.pal.row_min(top.src) {
+                let p = self.prl.dequeue().expect("top checked");
+                self.metrics.delivered += 1;
+                actions.push(Action::Deliver(Delivery {
+                    src: p.src,
+                    seq: p.seq,
+                    data: p.data,
+                }));
+            } else {
+                break;
+            }
+        }
+        // Our own acknowledged PDUs can never be RET-requested again.
+        self.sl.prune_below(self.pal.row_min(self.config.me));
+    }
+
+    fn note_peak(&mut self) {
+        self.peak_held_pdus = self.peak_held_pdus.max(self.held_pdus());
+    }
+
+    /// Captures a serializable summary of the protocol state (see
+    /// [`EntitySnapshot`]).
+    pub fn snapshot(&self) -> crate::snapshot::EntitySnapshot {
+        let n = self.config.n();
+        let seqs = |f: &dyn Fn(EntityId) -> Seq| -> Vec<u64> {
+            (0..n).map(|j| f(EntityId::new(j as u32)).get()).collect()
+        };
+        crate::snapshot::EntitySnapshot {
+            id: self.config.me,
+            n,
+            req: self.req.iter().map(|s| s.get()).collect(),
+            min_al: seqs(&|j| self.al.row_min(j)),
+            min_pal: seqs(&|j| self.pal.row_min(j)),
+            rrl_pdus: self.rrl.total_len(),
+            prl_pdus: self.prl.len(),
+            reorder_pdus: self.reorder.total_len(),
+            send_log_pdus: self.sl.len(),
+            pending_submits: self.pending.len(),
+            free_buffer_units: self.free_buffer_units(),
+            quiescent: self.is_quiescent(),
+            fully_stable: self.is_fully_stable(),
+            metrics: self.metrics,
+        }
+    }
+}

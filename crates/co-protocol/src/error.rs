@@ -1,0 +1,96 @@
+//! Runtime protocol errors.
+
+use causal_order::EntityId;
+
+/// Hard errors from feeding an [`crate::Entity`]. Anything recoverable
+/// (duplicates, stale confirmations, out-of-order arrivals) is handled
+/// internally and surfaces only in [`crate::Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The PDU names a different cluster.
+    WrongCluster {
+        /// Expected cluster id.
+        expected: u32,
+        /// The PDU's cluster id.
+        found: u32,
+    },
+    /// The PDU's source is not a member of the cluster.
+    UnknownSource {
+        /// The invalid source.
+        src: EntityId,
+        /// Cluster size.
+        n: usize,
+    },
+    /// The PDU claims to come from this very entity (the network must not
+    /// loop broadcasts back; indicates a mis-wired driver or forgery).
+    LoopedBack,
+    /// The PDU's confirmation vector has the wrong length.
+    BadAckLength {
+        /// Expected `n`.
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+    /// The submitted payload exceeds the configured maximum.
+    PayloadTooLarge {
+        /// Submitted size.
+        size: usize,
+        /// Configured limit.
+        max: usize,
+    },
+    /// Too many payloads queued while the flow condition is closed.
+    SubmitQueueFull {
+        /// The configured bound.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::WrongCluster { expected, found } => {
+                write!(f, "pdu for cluster {found}, this entity serves {expected}")
+            }
+            ProtocolError::UnknownSource { src, n } => {
+                write!(f, "pdu from {src} outside cluster of {n}")
+            }
+            ProtocolError::LoopedBack => {
+                write!(f, "received a pdu claiming to come from this entity")
+            }
+            ProtocolError::BadAckLength { expected, found } => {
+                write!(f, "ack vector of length {found}, cluster has {expected} entities")
+            }
+            ProtocolError::PayloadTooLarge { size, max } => {
+                write!(f, "payload of {size} bytes exceeds maximum {max}")
+            }
+            ProtocolError::SubmitQueueFull { limit } => {
+                write!(f, "submit queue full ({limit} payloads waiting for the flow condition)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ProtocolError::WrongCluster { expected: 1, found: 2 }
+            .to_string()
+            .contains("cluster 2"));
+        assert!(ProtocolError::UnknownSource { src: EntityId::new(9), n: 3 }
+            .to_string()
+            .contains("E10"));
+        assert!(ProtocolError::LoopedBack.to_string().contains("this entity"));
+        assert!(ProtocolError::BadAckLength { expected: 3, found: 1 }
+            .to_string()
+            .contains("length 1"));
+        assert!(ProtocolError::PayloadTooLarge { size: 10, max: 5 }
+            .to_string()
+            .contains("10 bytes"));
+        assert!(ProtocolError::SubmitQueueFull { limit: 7 }.to_string().contains('7'));
+    }
+}

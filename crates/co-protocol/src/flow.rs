@@ -1,0 +1,122 @@
+//! The flow condition (§4.2).
+//!
+//! `E_i` may broadcast its next PDU only while
+//!
+//! ```text
+//! minAL_i ≤ SEQ < minAL_i + min(W, minBUF / (H · 2n))
+//! ```
+//!
+//! `minAL_i` is the oldest of `E_i`'s own PDUs not yet known accepted
+//! everywhere — so the first bound is a classic send window of `W` PDUs.
+//! The second bound shares the slowest receiver's advertised free buffer
+//! (`minBUF`) across the cluster: every entity may have up to `2n` windows'
+//! worth of traffic outstanding (`n` entities × 2 confirmation rounds,
+//! §5), each PDU costing `H` units.
+
+use causal_order::Seq;
+
+/// The effective send-window size: `min(W, minBUF / (H·2n))`.
+///
+/// # Panics
+///
+/// Panics if `h` or `n` is zero (rejected at configuration time).
+pub fn flow_limit(window: u64, min_buf: u32, h: u32, n: usize) -> u64 {
+    assert!(h > 0 && n > 0, "validated by Config");
+    let buffer_share = u64::from(min_buf) / (u64::from(h) * 2 * n as u64);
+    window.min(buffer_share)
+}
+
+/// Outcome of evaluating the flow condition for the next sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowDecision {
+    /// `SEQ` is inside the window — transmission may proceed.
+    Open,
+    /// The window is exhausted: `SEQ - minAL_i` PDUs are already
+    /// unconfirmed.
+    WindowFull {
+        /// Current effective limit.
+        limit: u64,
+    },
+    /// The buffer share is zero — the slowest receiver advertises too
+    /// little free buffer for any transmission.
+    Starved,
+}
+
+/// Evaluates the flow condition for sending a PDU with sequence number
+/// `seq` (which is always `≥ minAL_i`; sequence numbers only grow).
+pub fn flow_decision(seq: Seq, min_al_self: Seq, window: u64, min_buf: u32, h: u32, n: usize) -> FlowDecision {
+    let limit = flow_limit(window, min_buf, h, n);
+    if limit == 0 {
+        return FlowDecision::Starved;
+    }
+    debug_assert!(seq >= min_al_self, "own SEQ below own minAL");
+    let outstanding = seq.get() - min_al_self.get();
+    if outstanding < limit {
+        FlowDecision::Open
+    } else {
+        FlowDecision::WindowFull { limit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_is_min_of_window_and_buffer_share() {
+        // W = 16, minBUF = 100, H = 1, n = 5 → share = 100/10 = 10.
+        assert_eq!(flow_limit(16, 100, 1, 5), 10);
+        // Large buffer → window binds.
+        assert_eq!(flow_limit(16, 10_000, 1, 5), 16);
+    }
+
+    #[test]
+    fn limit_scales_with_h() {
+        assert_eq!(flow_limit(64, 120, 3, 2), 10); // 120 / (3·4)
+    }
+
+    #[test]
+    fn open_when_nothing_outstanding() {
+        assert_eq!(
+            flow_decision(Seq::new(1), Seq::new(1), 4, 1000, 1, 2),
+            FlowDecision::Open
+        );
+    }
+
+    #[test]
+    fn window_fills_after_w_unconfirmed() {
+        // minAL = 1, seq = 5, W = 4 → 4 outstanding → full.
+        assert_eq!(
+            flow_decision(Seq::new(5), Seq::new(1), 4, 1000, 1, 2),
+            FlowDecision::WindowFull { limit: 4 }
+        );
+        // seq = 4 → 3 outstanding → open.
+        assert_eq!(
+            flow_decision(Seq::new(4), Seq::new(1), 4, 1000, 1, 2),
+            FlowDecision::Open
+        );
+    }
+
+    #[test]
+    fn starved_when_buffer_share_zero() {
+        // minBUF = 3, H = 1, n = 2 → share = 3/4 = 0.
+        assert_eq!(
+            flow_decision(Seq::new(1), Seq::new(1), 4, 3, 1, 2),
+            FlowDecision::Starved
+        );
+    }
+
+    #[test]
+    fn window_reopens_as_min_al_advances() {
+        let w = 4;
+        // 4 outstanding at minAL = 1 → full; confirmations raise minAL to 3.
+        assert!(matches!(
+            flow_decision(Seq::new(5), Seq::new(1), w, 1000, 1, 2),
+            FlowDecision::WindowFull { .. }
+        ));
+        assert_eq!(
+            flow_decision(Seq::new(5), Seq::new(3), w, 1000, 1, 2),
+            FlowDecision::Open
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The sending log `SL` and per-source receipt logs `RRL` (§2.2, §4.2).
+
+use causal_order::{EntityId, Seq};
+use co_wire::DataPdu;
+use std::collections::VecDeque;
+
+/// The sending log `SL_i`: every data PDU this entity broadcast, kept
+/// **bit-identical** for selective retransmission (Lemma 4.2 requires
+/// retransmitted PDUs to carry their original `ACK` vectors).
+///
+/// Entries are pruned once the entity has *acknowledged* its own PDU
+/// (`p.SEQ < minPAL_i`): at that point every entity is known to have
+/// pre-acknowledged — hence accepted — `p`, so no `RET` for it can ever
+/// arrive again.
+#[derive(Debug, Clone, Default)]
+pub struct SendLog {
+    pdus: VecDeque<DataPdu>,
+}
+
+impl SendLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        SendLog::default()
+    }
+
+    /// Records a freshly broadcast PDU (the paper's `enqueue(SL_i, p)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sequence numbers are not recorded in increasing order.
+    pub fn record(&mut self, pdu: DataPdu) {
+        if let Some(last) = self.pdus.back() {
+            assert!(pdu.seq > last.seq, "send log must grow monotonically");
+        }
+        self.pdus.push_back(pdu);
+    }
+
+    /// Fetches the PDUs in `[from, to)` for retransmission, in order.
+    /// Sequence numbers already pruned (or never sent) are skipped.
+    pub fn range(&self, from: Seq, to: Seq) -> impl Iterator<Item = &DataPdu> {
+        self.pdus.iter().filter(move |p| p.seq >= from && p.seq < to)
+    }
+
+    /// Drops every PDU with `seq < acknowledged` (safe to forget).
+    /// Returns how many were pruned.
+    pub fn prune_below(&mut self, acknowledged: Seq) -> usize {
+        let before = self.pdus.len();
+        while matches!(self.pdus.front(), Some(p) if p.seq < acknowledged) {
+            self.pdus.pop_front();
+        }
+        before - self.pdus.len()
+    }
+
+    /// Number of retained PDUs.
+    pub fn len(&self) -> usize {
+        self.pdus.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pdus.is_empty()
+    }
+}
+
+/// The per-source receipt logs `RRL_{i,j}`: PDUs accepted from each entity,
+/// awaiting pre-acknowledgment. Per-source FIFO queues — acceptance is in
+/// sequence order, and the PACK action always examines the top (§4.4).
+#[derive(Debug, Clone)]
+pub struct ReceiptLogs {
+    logs: Vec<VecDeque<DataPdu>>,
+}
+
+impl ReceiptLogs {
+    /// Creates empty logs for a cluster of `n`.
+    pub fn new(n: usize) -> Self {
+        ReceiptLogs {
+            logs: (0..n).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Appends an accepted PDU to its source's log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if acceptance order violates per-source sequence order (a
+    /// protocol bug, not an input error — the ACC condition guarantees it).
+    pub fn accept(&mut self, pdu: DataPdu) {
+        let log = &mut self.logs[pdu.src.index()];
+        if let Some(last) = log.back() {
+            assert!(pdu.seq > last.seq, "acceptance out of order");
+        }
+        log.push_back(pdu);
+    }
+
+    /// The oldest accepted, not yet pre-acknowledged PDU from `source`.
+    pub fn top(&self, source: EntityId) -> Option<&DataPdu> {
+        self.logs[source.index()].front()
+    }
+
+    /// Removes and returns the top PDU from `source`'s log.
+    pub fn dequeue(&mut self, source: EntityId) -> Option<DataPdu> {
+        self.logs[source.index()].pop_front()
+    }
+
+    /// PDUs currently held for `source`.
+    pub fn len_of(&self, source: EntityId) -> usize {
+        self.logs[source.index()].len()
+    }
+
+    /// Total PDUs across all sources (for buffer accounting).
+    pub fn total_len(&self) -> usize {
+        self.logs.iter().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pdu(src: u32, seq: u64) -> DataPdu {
+        DataPdu {
+            cid: 0,
+            src: EntityId::new(src),
+            seq: Seq::new(seq),
+            ack: vec![Seq::FIRST, Seq::FIRST],
+            buf: 0,
+            data: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn send_log_range_is_half_open() {
+        let mut sl = SendLog::new();
+        for s in 1..=5 {
+            sl.record(pdu(0, s));
+        }
+        let got: Vec<u64> = sl.range(Seq::new(2), Seq::new(4)).map(|p| p.seq.get()).collect();
+        assert_eq!(got, vec![2, 3]);
+        assert_eq!(sl.len(), 5);
+    }
+
+    #[test]
+    fn send_log_prunes_acknowledged_prefix() {
+        let mut sl = SendLog::new();
+        for s in 1..=5 {
+            sl.record(pdu(0, s));
+        }
+        assert_eq!(sl.prune_below(Seq::new(4)), 3);
+        assert_eq!(sl.len(), 2);
+        // Pruned PDUs are no longer retransmittable.
+        assert_eq!(sl.range(Seq::new(1), Seq::new(10)).count(), 2);
+        assert_eq!(sl.prune_below(Seq::new(1)), 0);
+    }
+
+    #[test]
+    fn send_log_empty_accessors() {
+        let sl = SendLog::new();
+        assert!(sl.is_empty());
+        assert_eq!(sl.range(Seq::new(1), Seq::new(9)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonically")]
+    fn send_log_rejects_regression() {
+        let mut sl = SendLog::new();
+        sl.record(pdu(0, 2));
+        sl.record(pdu(0, 1));
+    }
+
+    #[test]
+    fn receipt_logs_are_per_source_fifo() {
+        let mut rrl = ReceiptLogs::new(2);
+        rrl.accept(pdu(0, 1));
+        rrl.accept(pdu(1, 1));
+        rrl.accept(pdu(0, 2));
+        assert_eq!(rrl.len_of(EntityId::new(0)), 2);
+        assert_eq!(rrl.len_of(EntityId::new(1)), 1);
+        assert_eq!(rrl.total_len(), 3);
+        assert_eq!(rrl.top(EntityId::new(0)).unwrap().seq, Seq::new(1));
+        assert_eq!(rrl.dequeue(EntityId::new(0)).unwrap().seq, Seq::new(1));
+        assert_eq!(rrl.top(EntityId::new(0)).unwrap().seq, Seq::new(2));
+        assert!(rrl.dequeue(EntityId::new(1)).is_some());
+        assert!(rrl.dequeue(EntityId::new(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn receipt_logs_reject_out_of_order_acceptance() {
+        let mut rrl = ReceiptLogs::new(2);
+        rrl.accept(pdu(0, 2));
+        rrl.accept(pdu(0, 1));
+    }
+}

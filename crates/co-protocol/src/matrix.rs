@@ -1,0 +1,193 @@
+//! The `AL` and `PAL` knowledge matrices (§4.1, §4.4, §4.5).
+//!
+//! `AL[k][j]` is "the sequence number of a PDU which `E_i` knows that `E_j`
+//! expects to receive next from `E_k`" — one row per *source* `k`, one
+//! column per *observer* `j`. `minAL_k` (the row minimum) is the highest
+//! sequence number below which **every** entity is known to have accepted
+//! `E_k`'s PDUs; the PACK condition is `p.SEQ < minAL_k`.
+//!
+//! `PAL` has the same shape but tracks *pre-acknowledgment* knowledge, and
+//! `minPAL_k` drives the ACK condition.
+//!
+//! All updates are **monotonic** (component-wise max): retransmitted PDUs
+//! carry their original, older `ACK` vectors (Lemma 4.2 depends on
+//! retransmissions being bit-identical), and folding an old vector in must
+//! never move knowledge backwards.
+
+use causal_order::{EntityId, Seq};
+
+/// A dense `n × n` matrix of sequence-number knowledge with monotonic
+/// updates and cached row minima.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnowledgeMatrix {
+    n: usize,
+    /// Row-major: `cells[source * n + observer]`.
+    cells: Vec<Seq>,
+}
+
+impl KnowledgeMatrix {
+    /// Creates an `n × n` matrix with every cell at [`Seq::FIRST`] (nothing
+    /// accepted anywhere, matching Example 4.1's "initially `REQ_j = 1`").
+    pub fn new(n: usize) -> Self {
+        KnowledgeMatrix {
+            n,
+            cells: vec![Seq::FIRST; n * n],
+        }
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The cell for (`source`, `observer`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, source: EntityId, observer: EntityId) -> Seq {
+        self.cells[source.index() * self.n + observer.index()]
+    }
+
+    /// Monotonically raises the cell for (`source`, `observer`) to `value`
+    /// (no-op if the cell is already at least `value`). Returns `true` if
+    /// the cell changed.
+    pub fn raise(&mut self, source: EntityId, observer: EntityId, value: Seq) -> bool {
+        let cell = &mut self.cells[source.index() * self.n + observer.index()];
+        if value > *cell {
+            *cell = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Folds a whole confirmation vector from `observer` in: for every
+    /// source `k`, `cell[k][observer] = max(cell, vector[k])`. Returns
+    /// `true` if anything changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len() != n`.
+    pub fn fold_column(&mut self, observer: EntityId, vector: &[Seq]) -> bool {
+        assert_eq!(vector.len(), self.n, "confirmation vector length mismatch");
+        let mut changed = false;
+        for (k, &value) in vector.iter().enumerate() {
+            changed |= self.raise(EntityId::new(k as u32), observer, value);
+        }
+        changed
+    }
+
+    /// The row minimum for `source` — the paper's `minAL_k` / `minPAL_k`.
+    pub fn row_min(&self, source: EntityId) -> Seq {
+        let row = &self.cells[source.index() * self.n..(source.index() + 1) * self.n];
+        row.iter().copied().min().expect("n >= 2")
+    }
+
+    /// The full vector of row minima (`⟨minAL_1, …, minAL_n⟩`), used as the
+    /// pre-ack frontier advertised in `AckOnly` PDUs.
+    pub fn row_mins(&self) -> Vec<Seq> {
+        (0..self.n)
+            .map(|k| self.row_min(EntityId::new(k as u32)))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for KnowledgeMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for k in 0..self.n {
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "[")?;
+            for j in 0..self.n {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}", self.cells[k * self.n + j].get())?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    fn seqs(v: &[u64]) -> Vec<Seq> {
+        v.iter().copied().map(Seq::new).collect()
+    }
+
+    #[test]
+    fn starts_at_first() {
+        let m = KnowledgeMatrix::new(3);
+        assert_eq!(m.get(e(0), e(2)), Seq::FIRST);
+        assert_eq!(m.row_min(e(1)), Seq::FIRST);
+        assert_eq!(m.n(), 3);
+    }
+
+    #[test]
+    fn raise_is_monotonic() {
+        let mut m = KnowledgeMatrix::new(2);
+        assert!(m.raise(e(0), e(1), Seq::new(5)));
+        assert!(!m.raise(e(0), e(1), Seq::new(3)), "must not regress");
+        assert_eq!(m.get(e(0), e(1)), Seq::new(5));
+        assert!(!m.raise(e(0), e(1), Seq::new(5)), "equal is a no-op");
+    }
+
+    #[test]
+    fn fold_column_updates_one_observer() {
+        let mut m = KnowledgeMatrix::new(3);
+        assert!(m.fold_column(e(1), &seqs(&[3, 1, 2])));
+        assert_eq!(m.get(e(0), e(1)), Seq::new(3));
+        assert_eq!(m.get(e(1), e(1)), Seq::new(1));
+        assert_eq!(m.get(e(2), e(1)), Seq::new(2));
+        // Other observers untouched.
+        assert_eq!(m.get(e(0), e(0)), Seq::FIRST);
+        // Stale vector changes nothing.
+        assert!(!m.fold_column(e(1), &seqs(&[2, 1, 1])));
+    }
+
+    #[test]
+    fn row_min_is_pack_threshold() {
+        // Example 4.1: after accepting a,b,c,d the AL row for E1 is
+        // [3, 3, 2] (own REQ_1 = 3, d told us 3, b told us 2)... the row
+        // minimum 2 makes exactly a (seq 1) pre-acknowledgeable.
+        let mut m = KnowledgeMatrix::new(3);
+        m.fold_column(e(0), &seqs(&[3, 2, 2]));
+        m.fold_column(e(1), &seqs(&[3, 1, 2]));
+        m.fold_column(e(2), &seqs(&[2, 1, 1]));
+        assert_eq!(m.row_min(e(0)), Seq::new(2));
+        // a.SEQ = 1 < 2 → pre-acknowledged; c.SEQ = 2 not yet.
+        assert!(Seq::new(1) < m.row_min(e(0)));
+        assert!(Seq::new(2) >= m.row_min(e(0)));
+    }
+
+    #[test]
+    fn row_mins_vector() {
+        let mut m = KnowledgeMatrix::new(2);
+        m.fold_column(e(0), &seqs(&[4, 7]));
+        m.fold_column(e(1), &seqs(&[2, 9]));
+        assert_eq!(m.row_mins(), seqs(&[2, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fold_wrong_length_panics() {
+        let mut m = KnowledgeMatrix::new(3);
+        m.fold_column(e(0), &seqs(&[1, 1]));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut m = KnowledgeMatrix::new(2);
+        m.raise(e(0), e(1), Seq::new(4));
+        assert_eq!(m.to_string(), "[1 4]\n[1 1]");
+    }
+}

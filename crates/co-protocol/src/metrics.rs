@@ -1,0 +1,78 @@
+//! Protocol counters, exposed for the experiments and for observability.
+
+/// Event counters maintained by an [`crate::Entity`]. All counters are
+/// cumulative since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// Data PDUs broadcast for fresh application payloads.
+    pub data_sent: u64,
+    /// Data PDUs rebroadcast in response to `RET` requests.
+    pub retransmissions_sent: u64,
+    /// `RET` PDUs broadcast.
+    pub ret_sent: u64,
+    /// Confirmation-only PDUs broadcast.
+    pub ack_only_sent: u64,
+    /// Data PDUs accepted (ACC condition held).
+    pub accepted: u64,
+    /// Data PDUs accepted out of the reorder buffer after gap repair.
+    pub accepted_from_reorder: u64,
+    /// Messages delivered to the application (reached `ARL`).
+    pub delivered: u64,
+    /// Data PDUs pre-acknowledged (moved `RRL → PRL`).
+    pub pre_acknowledged: u64,
+    /// Gaps detected by failure condition F1 (sequence gap on receipt).
+    pub f1_detections: u64,
+    /// Gaps detected by failure condition F2 (ack-vector evidence).
+    pub f2_detections: u64,
+    /// Duplicate data PDUs ignored (already accepted).
+    pub duplicates: u64,
+    /// Out-of-order data PDUs stored in the reorder buffer.
+    pub buffered_out_of_order: u64,
+    /// Out-of-order data PDUs discarded (go-back-n policy).
+    pub discarded_out_of_order: u64,
+    /// Payloads queued because the flow condition was closed.
+    pub flow_blocked: u64,
+    /// `RET` requests suppressed because one is already outstanding.
+    pub ret_suppressed: u64,
+    /// PDUs retransmitted but missing from the send log (already pruned).
+    pub ret_unservable: u64,
+}
+
+impl Metrics {
+    /// Total PDUs this entity put on the wire (broadcast once each).
+    pub fn pdus_sent(&self) -> u64 {
+        self.data_sent + self.retransmissions_sent + self.ret_sent + self.ack_only_sent
+    }
+
+    /// Total loss detections by either failure condition.
+    pub fn loss_detections(&self) -> u64 {
+        self.f1_detections + self.f2_detections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let m = Metrics {
+            data_sent: 5,
+            retransmissions_sent: 2,
+            ret_sent: 1,
+            ack_only_sent: 3,
+            f1_detections: 4,
+            f2_detections: 6,
+            ..Metrics::default()
+        };
+        assert_eq!(m.pdus_sent(), 11);
+        assert_eq!(m.loss_detections(), 10);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.pdus_sent(), 0);
+        assert_eq!(m.delivered, 0);
+    }
+}

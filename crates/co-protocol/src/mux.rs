@@ -1,0 +1,307 @@
+//! Multi-cluster support: the system-layer demultiplexer implied by the
+//! `CID` field.
+//!
+//! §2.1 allows one system entity to serve several clusters ("A cluster C
+//! is a set of … SAPs"; every PDU names its cluster). [`ClusterMux`] hosts
+//! one [`Entity`] per cluster id on a single node and routes inbound PDUs
+//! by their `CID` — so one process/socket can participate in many
+//! independent causal-broadcast groups.
+
+use bytes::Bytes;
+use co_wire::Pdu;
+use std::collections::BTreeMap;
+
+use crate::actions::{Action, SubmitOutcome};
+use crate::entity::Entity;
+use crate::error::ProtocolError;
+
+/// Error from [`ClusterMux`] membership management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuxError {
+    /// An entity for this cluster id is already registered.
+    DuplicateCluster {
+        /// The conflicting id.
+        cid: u32,
+    },
+    /// No entity serves this cluster id.
+    UnknownCluster {
+        /// The unrecognized id.
+        cid: u32,
+    },
+}
+
+impl std::fmt::Display for MuxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuxError::DuplicateCluster { cid } => {
+                write!(f, "an entity for cluster {cid} is already registered")
+            }
+            MuxError::UnknownCluster { cid } => {
+                write!(f, "no entity serves cluster {cid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MuxError {}
+
+/// Routes PDUs of several co-located clusters to their entities.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use causal_order::EntityId;
+/// use co_protocol::{ClusterMux, Config, Entity};
+///
+/// let mut mux = ClusterMux::new();
+/// mux.join(Entity::new(Config::builder(1, 2, EntityId::new(0)).build()?)?)?;
+/// mux.join(Entity::new(Config::builder(2, 3, EntityId::new(1)).build()?)?)?;
+/// assert_eq!(mux.clusters().count(), 2);
+/// let (_, actions) = mux.submit(1, Bytes::from_static(b"to cluster 1"), 0)?;
+/// assert!(!actions.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ClusterMux {
+    entities: BTreeMap<u32, Entity>,
+}
+
+impl ClusterMux {
+    /// Creates an empty mux.
+    pub fn new() -> Self {
+        ClusterMux::default()
+    }
+
+    /// Registers an entity; its cluster id must be unique within the mux.
+    ///
+    /// # Errors
+    ///
+    /// [`MuxError::DuplicateCluster`] if the id is taken.
+    pub fn join(&mut self, entity: Entity) -> Result<(), MuxError> {
+        let cid = entity.config().cluster.cid;
+        if self.entities.contains_key(&cid) {
+            return Err(MuxError::DuplicateCluster { cid });
+        }
+        self.entities.insert(cid, entity);
+        Ok(())
+    }
+
+    /// Removes and returns the entity for `cid`.
+    pub fn leave(&mut self, cid: u32) -> Option<Entity> {
+        self.entities.remove(&cid)
+    }
+
+    /// The entity serving `cid`.
+    pub fn entity(&self, cid: u32) -> Option<&Entity> {
+        self.entities.get(&cid)
+    }
+
+    /// Mutable access to the entity serving `cid`.
+    pub fn entity_mut(&mut self, cid: u32) -> Option<&mut Entity> {
+        self.entities.get_mut(&cid)
+    }
+
+    /// The registered cluster ids, ascending.
+    pub fn clusters(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entities.keys().copied()
+    }
+
+    /// Submits a payload to the entity of cluster `cid`.
+    ///
+    /// # Errors
+    ///
+    /// [`MuxError::UnknownCluster`] wrapped as
+    /// [`ProtocolError`]-compatible error via `Result` nesting is avoided:
+    /// the mux returns its own error type; protocol errors from the entity
+    /// are passed through in the `Ok` position's `Result`.
+    #[allow(clippy::type_complexity)]
+    pub fn submit(
+        &mut self,
+        cid: u32,
+        data: Bytes,
+        now_us: u64,
+    ) -> Result<(SubmitOutcome, Vec<Action>), MuxSubmitError> {
+        let entity = self
+            .entities
+            .get_mut(&cid)
+            .ok_or(MuxSubmitError::Mux(MuxError::UnknownCluster { cid }))?;
+        entity.submit(data, now_us).map_err(MuxSubmitError::Protocol)
+    }
+
+    /// Routes a PDU to the entity of its `CID`.
+    ///
+    /// # Errors
+    ///
+    /// [`MuxSubmitError::Mux`] for unknown cluster ids,
+    /// [`MuxSubmitError::Protocol`] for entity-level rejections.
+    pub fn on_pdu(&mut self, pdu: Pdu, now_us: u64) -> Result<Vec<Action>, MuxSubmitError> {
+        let cid = pdu.cid();
+        let entity = self
+            .entities
+            .get_mut(&cid)
+            .ok_or(MuxSubmitError::Mux(MuxError::UnknownCluster { cid }))?;
+        entity.on_pdu(pdu, now_us).map_err(MuxSubmitError::Protocol)
+    }
+
+    /// Ticks every entity; returns `(cid, action)` pairs so the driver can
+    /// attribute deliveries.
+    pub fn on_tick(&mut self, now_us: u64) -> Vec<(u32, Action)> {
+        let mut out = Vec::new();
+        for (&cid, entity) in &mut self.entities {
+            for action in entity.on_tick(now_us) {
+                out.push((cid, action));
+            }
+        }
+        out
+    }
+
+    /// The earliest deadline across all hosted entities.
+    pub fn next_deadline(&self, now_us: u64) -> Option<u64> {
+        self.entities
+            .values()
+            .filter_map(|e| e.next_deadline(now_us))
+            .min()
+    }
+}
+
+/// Error from mux-routed operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuxSubmitError {
+    /// Routing failure.
+    Mux(MuxError),
+    /// The target entity rejected the input.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for MuxSubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuxSubmitError::Mux(e) => e.fmt(f),
+            MuxSubmitError::Protocol(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MuxSubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MuxSubmitError::Mux(e) => Some(e),
+            MuxSubmitError::Protocol(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, DeferralPolicy};
+    use causal_order::EntityId;
+
+    fn entity(cid: u32, n: usize, me: u32) -> Entity {
+        Entity::new(
+            Config::builder(cid, n, EntityId::new(me))
+                .deferral(DeferralPolicy::Immediate)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn join_and_duplicate_rejection() {
+        let mut mux = ClusterMux::new();
+        mux.join(entity(1, 2, 0)).unwrap();
+        assert_eq!(
+            mux.join(entity(1, 3, 1)),
+            Err(MuxError::DuplicateCluster { cid: 1 })
+        );
+        mux.join(entity(2, 2, 1)).unwrap();
+        assert_eq!(mux.clusters().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn routes_by_cid() {
+        // One node is E1 of cluster 1 and E2 of cluster 2.
+        let mut mux = ClusterMux::new();
+        mux.join(entity(1, 2, 0)).unwrap();
+        mux.join(entity(2, 2, 1)).unwrap();
+        // Its counterparts elsewhere:
+        let mut peer_c1 = entity(1, 2, 1);
+        let mut peer_c2 = entity(2, 2, 0);
+
+        let (_, actions1) = mux.submit(1, Bytes::from_static(b"c1"), 0).unwrap();
+        let (_, actions2) = mux.submit(2, Bytes::from_static(b"c2"), 0).unwrap();
+        // Both clusters' traffic flows through the same mux, fully
+        // independently.
+        for a in actions1 {
+            if let Action::Broadcast(pdu) = a {
+                assert_eq!(pdu.cid(), 1);
+                peer_c1.on_pdu(pdu, 1).unwrap();
+            }
+        }
+        for a in actions2 {
+            if let Action::Broadcast(pdu) = a {
+                assert_eq!(pdu.cid(), 2);
+                peer_c2.on_pdu(pdu, 1).unwrap();
+            }
+        }
+        assert_eq!(mux.entity(1).unwrap().req()[0].get(), 2);
+        assert_eq!(mux.entity(2).unwrap().req()[1].get(), 2);
+        // Sequence spaces are independent.
+        assert_eq!(mux.entity(1).unwrap().req()[1].get(), 1);
+    }
+
+    #[test]
+    fn unknown_cluster_pdu_rejected() {
+        let mut mux = ClusterMux::new();
+        mux.join(entity(1, 2, 0)).unwrap();
+        let mut foreign = entity(9, 2, 1);
+        let (_, actions) = foreign.submit(Bytes::from_static(b"x"), 0).unwrap();
+        let pdu = actions
+            .into_iter()
+            .find_map(|a| match a {
+                Action::Broadcast(p) => Some(p),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(
+            mux.on_pdu(pdu, 0),
+            Err(MuxSubmitError::Mux(MuxError::UnknownCluster { cid: 9 }))
+        );
+    }
+
+    #[test]
+    fn tick_attributes_actions_to_clusters() {
+        let mut mux = ClusterMux::new();
+        mux.join(entity(1, 2, 0)).unwrap();
+        mux.join(entity(2, 2, 0)).unwrap();
+        // Make cluster 1 owe a confirmation by feeding it a data PDU.
+        let mut peer = entity(1, 2, 1);
+        let (_, actions) = peer.submit(Bytes::from_static(b"x"), 0).unwrap();
+        for a in actions {
+            if let Action::Broadcast(pdu) = a {
+                mux.on_pdu(pdu, 0).unwrap();
+            }
+        }
+        let deadline = mux.next_deadline(0);
+        assert!(deadline.is_some(), "cluster 1 has pending work");
+        let ticked = mux.on_tick(deadline.unwrap() + 1);
+        assert!(ticked.iter().all(|(cid, _)| *cid == 1), "only cluster 1 acts");
+    }
+
+    #[test]
+    fn leave_removes_entity() {
+        let mut mux = ClusterMux::new();
+        mux.join(entity(1, 2, 0)).unwrap();
+        assert!(mux.leave(1).is_some());
+        assert!(mux.leave(1).is_none());
+        assert_eq!(mux.clusters().count(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(MuxError::DuplicateCluster { cid: 3 }.to_string().contains('3'));
+        assert!(MuxError::UnknownCluster { cid: 4 }.to_string().contains('4'));
+    }
+}

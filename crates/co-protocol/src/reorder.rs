@@ -1,0 +1,148 @@
+//! Out-of-order holding buffer for selective retransmission (§4.3, §5).
+//!
+//! When `E_i` receives `p` with `p.SEQ > REQ_j` it has detected a loss
+//! (failure condition F1) but — under **selective** retransmission — keeps
+//! `p` instead of discarding it, so only the gap needs resending: "no
+//! synchronization among the entities is needed to find where to store the
+//! PDUs retransmitted in the receipt logs and the data transmission is not
+//! stopped while the PDU loss is being recovered" (§5). The go-back-n
+//! baseline simply never stores anything here.
+
+use causal_order::{EntityId, Seq};
+use co_wire::DataPdu;
+use std::collections::BTreeMap;
+
+/// Per-source buffers of received-but-not-yet-acceptable PDUs, keyed by
+/// sequence number.
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer {
+    buffers: Vec<BTreeMap<Seq, DataPdu>>,
+}
+
+impl ReorderBuffer {
+    /// Creates empty buffers for a cluster of `n`.
+    pub fn new(n: usize) -> Self {
+        ReorderBuffer {
+            buffers: (0..n).map(|_| BTreeMap::new()).collect(),
+        }
+    }
+
+    /// Stores an out-of-order PDU. Returns `false` (and keeps the old copy)
+    /// if that sequence number is already buffered — duplicate
+    /// retransmissions are common under loss.
+    pub fn store(&mut self, pdu: DataPdu) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.buffers[pdu.src.index()].entry(pdu.seq) {
+            Entry::Vacant(v) => {
+                v.insert(pdu);
+                true
+            }
+            Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Removes and returns the buffered PDU from `source` with exactly
+    /// sequence `seq`, if present (called as `REQ_j` advances).
+    pub fn take_exact(&mut self, source: EntityId, seq: Seq) -> Option<DataPdu> {
+        self.buffers[source.index()].remove(&seq)
+    }
+
+    /// Drops every buffered PDU from `source` below `seq` (now duplicates).
+    pub fn drop_below(&mut self, source: EntityId, seq: Seq) -> usize {
+        let buf = &mut self.buffers[source.index()];
+        let keep = buf.split_off(&seq);
+        let dropped = buf.len();
+        *buf = keep;
+        dropped
+    }
+
+    /// Sequence numbers buffered for `source`, ascending.
+    pub fn buffered(&self, source: EntityId) -> impl Iterator<Item = Seq> + '_ {
+        self.buffers[source.index()].keys().copied()
+    }
+
+    /// Total buffered PDUs across all sources (for buffer accounting).
+    pub fn total_len(&self) -> usize {
+        self.buffers.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Clears everything from one source (go-back-n discard).
+    pub fn clear_source(&mut self, source: EntityId) -> usize {
+        let n = self.buffers[source.index()].len();
+        self.buffers[source.index()].clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pdu(src: u32, seq: u64) -> DataPdu {
+        DataPdu {
+            cid: 0,
+            src: EntityId::new(src),
+            seq: Seq::new(seq),
+            ack: vec![Seq::FIRST, Seq::FIRST],
+            buf: 0,
+            data: Bytes::new(),
+        }
+    }
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn store_and_take_exact() {
+        let mut rb = ReorderBuffer::new(2);
+        assert!(rb.store(pdu(0, 5)));
+        assert!(rb.store(pdu(0, 7)));
+        assert_eq!(rb.total_len(), 2);
+        assert!(rb.take_exact(e(0), Seq::new(5)).is_some());
+        assert!(rb.take_exact(e(0), Seq::new(5)).is_none());
+        assert_eq!(rb.total_len(), 1);
+    }
+
+    #[test]
+    fn duplicate_store_rejected() {
+        let mut rb = ReorderBuffer::new(2);
+        assert!(rb.store(pdu(0, 5)));
+        assert!(!rb.store(pdu(0, 5)));
+        assert_eq!(rb.total_len(), 1);
+    }
+
+    #[test]
+    fn buffered_is_sorted() {
+        let mut rb = ReorderBuffer::new(2);
+        rb.store(pdu(1, 9));
+        rb.store(pdu(1, 3));
+        rb.store(pdu(1, 6));
+        let seqs: Vec<u64> = rb.buffered(e(1)).map(Seq::get).collect();
+        assert_eq!(seqs, vec![3, 6, 9]);
+        // Other source unaffected.
+        assert_eq!(rb.buffered(e(0)).count(), 0);
+    }
+
+    #[test]
+    fn drop_below_removes_duplicates() {
+        let mut rb = ReorderBuffer::new(2);
+        for s in [2, 3, 5, 8] {
+            rb.store(pdu(0, s));
+        }
+        assert_eq!(rb.drop_below(e(0), Seq::new(5)), 2);
+        let seqs: Vec<u64> = rb.buffered(e(0)).map(Seq::get).collect();
+        assert_eq!(seqs, vec![5, 8]);
+    }
+
+    #[test]
+    fn clear_source_empties_one_buffer() {
+        let mut rb = ReorderBuffer::new(2);
+        rb.store(pdu(0, 2));
+        rb.store(pdu(1, 2));
+        assert_eq!(rb.clear_source(e(0)), 1);
+        assert_eq!(rb.total_len(), 1);
+        assert_eq!(rb.buffered(e(1)).count(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Point-in-time state snapshots, for operators and debugging.
+//!
+//! A wedged broadcast group is diagnosed by comparing entities' `REQ`
+//! vectors and knowledge frontiers (that is exactly how the tail-loss
+//! convergence bugs in this reproduction's own history were found);
+//! [`crate::Entity::snapshot`] exposes that view as one serializable
+//! value.
+
+use causal_order::EntityId;
+
+use crate::metrics::Metrics;
+
+/// A serializable summary of an entity's protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EntitySnapshot {
+    /// The entity.
+    pub id: EntityId,
+    /// Cluster size.
+    pub n: usize,
+    /// `REQ_j` for every `j` (raw sequence numbers).
+    pub req: Vec<u64>,
+    /// `minAL_j` — the pre-acknowledgment frontier per source.
+    pub min_al: Vec<u64>,
+    /// `minPAL_j` — the acknowledgment frontier per source.
+    pub min_pal: Vec<u64>,
+    /// PDUs in the per-source receipt logs (accepted, not pre-acked).
+    pub rrl_pdus: usize,
+    /// PDUs in the causally ordered pre-acknowledged log.
+    pub prl_pdus: usize,
+    /// Out-of-order PDUs awaiting gap repair.
+    pub reorder_pdus: usize,
+    /// Own PDUs retained for retransmission.
+    pub send_log_pdus: usize,
+    /// Application payloads queued behind the flow condition.
+    pub pending_submits: usize,
+    /// Free protocol-buffer units (the advertised `BUF`).
+    pub free_buffer_units: u32,
+    /// Nothing held or queued.
+    pub quiescent: bool,
+    /// Quiescent *and* everything accepted is known globally pre-acked.
+    pub fully_stable: bool,
+    /// Cumulative counters.
+    pub metrics: Metrics,
+}
+
+impl std::fmt::Display for EntitySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} (cluster of {}): {}{}",
+            self.id,
+            self.n,
+            if self.quiescent { "quiescent" } else { "active" },
+            if self.fully_stable { ", stable" } else { "" },
+        )?;
+        writeln!(f, "  req:     {:?}", self.req)?;
+        writeln!(f, "  minAL:   {:?}", self.min_al)?;
+        writeln!(f, "  minPAL:  {:?}", self.min_pal)?;
+        writeln!(
+            f,
+            "  held:    rrl={} prl={} reorder={} send-log={} pending={}",
+            self.rrl_pdus, self.prl_pdus, self.reorder_pdus, self.send_log_pdus,
+            self.pending_submits,
+        )?;
+        write!(
+            f,
+            "  sent:    data={} retrans={} ret={} ack-only={}  delivered={}",
+            self.metrics.data_sent,
+            self.metrics.retransmissions_sent,
+            self.metrics.ret_sent,
+            self.metrics.ack_only_sent,
+            self.metrics.delivered,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, DeferralPolicy};
+    use crate::entity::Entity;
+    use bytes::Bytes;
+
+    fn fresh(n: usize) -> Entity {
+        Entity::new(
+            Config::builder(0, n, EntityId::new(0))
+                .deferral(DeferralPolicy::Immediate)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_snapshot_is_clean() {
+        let snap = fresh(3).snapshot();
+        assert_eq!(snap.req, vec![1, 1, 1]);
+        assert_eq!(snap.min_al, vec![1, 1, 1]);
+        assert_eq!(snap.min_pal, vec![1, 1, 1]);
+        assert!(snap.quiescent);
+        assert!(snap.fully_stable);
+        assert_eq!(snap.rrl_pdus + snap.prl_pdus + snap.reorder_pdus, 0);
+    }
+
+    #[test]
+    fn snapshot_reflects_in_flight_state() {
+        let mut e = fresh(2);
+        let _ = e.submit(Bytes::from_static(b"x"), 0).unwrap();
+        let snap = e.snapshot();
+        assert_eq!(snap.req[0], 2, "own PDU self-accepted");
+        assert_eq!(snap.rrl_pdus, 1, "own PDU awaits pre-ack");
+        assert_eq!(snap.send_log_pdus, 1);
+        assert!(!snap.quiescent);
+        assert!(!snap.fully_stable);
+        assert_eq!(snap.metrics.data_sent, 1);
+    }
+
+    #[test]
+    fn display_names_the_interesting_fields() {
+        let text = fresh(2).snapshot().to_string();
+        assert!(text.contains("E1 (cluster of 2)"));
+        assert!(text.contains("quiescent"));
+        assert!(text.contains("minPAL"));
+        assert!(text.contains("held:"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde_json_shape() {
+        // serde derives exist for dashboards; spot-check the Debug/clone
+        // equality contract the derive relies on.
+        let a = fresh(2).snapshot();
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

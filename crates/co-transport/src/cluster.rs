@@ -1,0 +1,264 @@
+//! Cluster lifecycle: spawn threads, submit payloads, collect reports.
+
+use bytes::Bytes;
+use causal_order::EntityId;
+use co_protocol::{Config, DeferralPolicy, Entity};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::node::{frame_payload, Cmd, NodeRuntime};
+use crate::report::NodeReport;
+
+/// Options for a real-time cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Bounded inbound-channel capacity per node (the NIC buffer, in PDUs).
+    pub inbox_capacity: usize,
+    /// Deferred-confirmation policy for all entities.
+    pub deferral: DeferralPolicy,
+    /// Flow-condition window `W`.
+    pub window: u64,
+    /// Interval between engine ticks on each node thread.
+    pub tick_interval: Duration,
+    /// Artificial extra per-PDU processing cost (zero = none).
+    pub proc_delay: Duration,
+    /// How long nodes keep draining after shutdown before reporting.
+    pub drain_idle: Duration,
+    /// Cluster id stamped on PDUs.
+    pub cid: u32,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            inbox_capacity: 4096,
+            deferral: DeferralPolicy::Deferred { timeout_us: 2_000 },
+            window: 64,
+            tick_interval: Duration::from_micros(500),
+            proc_delay: Duration::ZERO,
+            drain_idle: Duration::from_millis(30),
+            cid: 1,
+        }
+    }
+}
+
+/// Errors from driving a [`Cluster`].
+#[derive(Debug)]
+pub enum TransportError {
+    /// The target entity index is out of range.
+    NoSuchEntity {
+        /// The rejected index.
+        index: usize,
+        /// Cluster size.
+        n: usize,
+    },
+    /// A node thread disconnected (panicked) before the command was sent.
+    NodeGone {
+        /// The unreachable entity index.
+        index: usize,
+    },
+    /// Configuration was rejected by the protocol engine.
+    BadConfig(co_protocol::ConfigError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::NoSuchEntity { index, n } => {
+                write!(f, "entity index {index} out of range for cluster of {n}")
+            }
+            TransportError::NodeGone { index } => {
+                write!(f, "node thread {index} is no longer running")
+            }
+            TransportError::BadConfig(e) => write!(f, "bad configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::BadConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A running cluster of entity threads.
+#[derive(Debug)]
+pub struct Cluster {
+    cmd_txs: Vec<Sender<Cmd>>,
+    threads: Vec<JoinHandle<NodeReport>>,
+    epoch: Instant,
+    n: usize,
+}
+
+impl Cluster {
+    /// Spawns `n` entity threads fully meshed with bounded channels.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::BadConfig`] if the derived engine configuration is
+    /// invalid (e.g. `n < 2`).
+    pub fn start(n: usize, options: ClusterOptions) -> Result<Cluster, TransportError> {
+        let epoch = Instant::now();
+        // Wire the full mesh.
+        let mut pdu_txs = Vec::with_capacity(n);
+        let mut pdu_rxs = Vec::with_capacity(n);
+        let mut overruns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = bounded::<Bytes>(options.inbox_capacity);
+            pdu_txs.push(tx);
+            pdu_rxs.push(rx);
+            overruns.push(Arc::new(AtomicU64::new(0)));
+        }
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        for (i, pdu_rx) in pdu_rxs.into_iter().enumerate() {
+            let me = EntityId::new(i as u32);
+            let config = Config::builder(options.cid, n, me)
+                .deferral(options.deferral)
+                .window(options.window)
+                .build()
+                .map_err(TransportError::BadConfig)?;
+            let entity = Entity::new(config).map_err(TransportError::BadConfig)?;
+            let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+            cmd_txs.push(cmd_tx);
+            let peers: Vec<Option<Sender<Bytes>>> = pdu_txs
+                .iter()
+                .enumerate()
+                .map(|(j, tx)| if j == i { None } else { Some(tx.clone()) })
+                .collect();
+            let peer_overruns: Vec<Option<Arc<AtomicU64>>> = overruns
+                .iter()
+                .enumerate()
+                .map(|(j, c)| if j == i { None } else { Some(Arc::clone(c)) })
+                .collect();
+            let runtime = NodeRuntime {
+                entity,
+                me,
+                peers,
+                peer_overruns,
+                pdu_rx,
+                cmd_rx,
+                overruns: Arc::clone(&overruns[i]),
+                epoch,
+                tick_interval: options.tick_interval,
+                proc_delay: options.proc_delay,
+                drain_idle: options.drain_idle,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("co-entity-{i}"))
+                    .spawn(move || runtime.run())
+                    .expect("spawn entity thread"),
+            );
+        }
+        Ok(Cluster { cmd_txs, threads, epoch, n })
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Submits a payload for causally ordered broadcast at entity `index`.
+    /// The submit timestamp is framed in for Tap measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::NoSuchEntity`] / [`TransportError::NodeGone`].
+    pub fn submit(&self, index: usize, payload: Bytes) -> Result<(), TransportError> {
+        let tx = self
+            .cmd_txs
+            .get(index)
+            .ok_or(TransportError::NoSuchEntity { index, n: self.n })?;
+        let framed = frame_payload(self.epoch, &payload);
+        tx.send(Cmd::Submit(framed))
+            .map_err(|_| TransportError::NodeGone { index })
+    }
+
+    /// Requests shutdown, waits for every node to drain, and returns the
+    /// per-node reports (indexed by entity).
+    pub fn shutdown(self) -> Vec<NodeReport> {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        self.threads
+            .into_iter()
+            .map(|t| t.join().expect("entity thread panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_message_reaches_all_threads() {
+        let cluster = Cluster::start(3, ClusterOptions::default()).unwrap();
+        cluster.submit(0, Bytes::from_static(b"hello")).unwrap();
+        let reports = cluster.shutdown();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(r.delivered.len(), 1, "at {}", r.id);
+            assert_eq!(&r.delivered[0].2[..], b"hello");
+            assert_eq!(r.delivered[0].0, EntityId::new(0));
+        }
+        // Remote nodes measured a Tap sample; the sender did not (own
+        // message).
+        assert!(reports[1].tap_samples.len() == 1);
+        assert!(reports[0].tap_samples.is_empty());
+    }
+
+    #[test]
+    fn concurrent_senders_converge() {
+        let cluster = Cluster::start(4, ClusterOptions::default()).unwrap();
+        for round in 0..5 {
+            for i in 0..4 {
+                cluster
+                    .submit(i, Bytes::from(format!("m-{round}-{i}").into_bytes()))
+                    .unwrap();
+            }
+        }
+        let reports = cluster.shutdown();
+        for r in &reports {
+            assert_eq!(r.delivered.len(), 20, "all 20 messages at {}", r.id);
+            // Per-sender FIFO:
+            for src in 0..4u32 {
+                let seqs: Vec<u64> = r
+                    .delivered
+                    .iter()
+                    .filter(|(s, _, _)| *s == EntityId::new(src))
+                    .map(|&(_, seq, _)| seq)
+                    .collect();
+                let mut sorted = seqs.clone();
+                sorted.sort_unstable();
+                assert_eq!(seqs, sorted, "FIFO from E{src} at {}", r.id);
+            }
+        }
+        // Tco was measured on every received PDU.
+        assert!(reports.iter().all(|r| !r.tco_samples.is_empty()));
+    }
+
+    #[test]
+    fn out_of_range_submit_rejected() {
+        let cluster = Cluster::start(2, ClusterOptions::default()).unwrap();
+        assert!(matches!(
+            cluster.submit(5, Bytes::new()),
+            Err(TransportError::NoSuchEntity { index: 5, n: 2 })
+        ));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn empty_run_shuts_down_cleanly() {
+        let cluster = Cluster::start(2, ClusterOptions::default()).unwrap();
+        let reports = cluster.shutdown();
+        assert!(reports.iter().all(|r| r.delivered.is_empty()));
+    }
+}

@@ -1,0 +1,221 @@
+//! The per-entity worker thread.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use causal_order::EntityId;
+use co_protocol::{Action, Entity, Pdu};
+use crossbeam::channel::{Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::report::NodeReport;
+
+/// Control-plane commands to a node thread.
+#[derive(Debug)]
+pub(crate) enum Cmd {
+    /// Broadcast this payload (already timestamp-framed by the cluster).
+    Submit(Bytes),
+    /// Finish outstanding work, then report and exit.
+    Shutdown,
+}
+
+pub(crate) struct NodeRuntime {
+    pub entity: Entity,
+    pub me: EntityId,
+    /// Encoded-PDU channels to every peer (index = entity index; own slot
+    /// unused).
+    pub peers: Vec<Option<Sender<Bytes>>>,
+    /// Each peer's overrun counter, bumped when its channel is full.
+    pub peer_overruns: Vec<Option<Arc<AtomicU64>>>,
+    pub pdu_rx: Receiver<Bytes>,
+    pub cmd_rx: Receiver<Cmd>,
+    /// Incremented by *senders* when this node's inbound channel was full.
+    pub overruns: Arc<AtomicU64>,
+    pub epoch: Instant,
+    pub tick_interval: Duration,
+    /// Artificial extra per-PDU processing cost (to provoke overruns).
+    pub proc_delay: Duration,
+    /// How long the node keeps draining after a shutdown request.
+    pub drain_idle: Duration,
+}
+
+/// Frames `payload` with the submit timestamp (µs since epoch) so the
+/// delivering node can compute Tap.
+pub(crate) fn frame_payload(epoch: Instant, payload: &[u8]) -> Bytes {
+    let mut framed = BytesMut::with_capacity(8 + payload.len());
+    framed.put_u64(epoch.elapsed().as_micros() as u64);
+    framed.put_slice(payload);
+    framed.freeze()
+}
+
+/// Splits a framed payload back into (submit-µs, payload).
+pub(crate) fn unframe_payload(data: &Bytes) -> Option<(u64, Bytes)> {
+    if data.len() < 8 {
+        return None;
+    }
+    let mut ts = [0u8; 8];
+    ts.copy_from_slice(&data[..8]);
+    Some((u64::from_be_bytes(ts), data.slice(8..)))
+}
+
+impl NodeRuntime {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn dispatch(&mut self, actions: Vec<Action>, report: &mut NodeReport) {
+        for action in actions {
+            match action {
+                Action::Broadcast(pdu) => {
+                    let encoded = pdu.encode();
+                    for (i, peer) in self.peers.iter().enumerate() {
+                        let Some(tx) = peer else { continue };
+                        debug_assert_ne!(i, self.me.index());
+                        match tx.try_send(encoded.clone()) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(_)) => {
+                                // Receiver's NIC buffer overran: the PDU is
+                                // lost, exactly like the paper's MC
+                                // service. The protocol will recover it.
+                                if let Some(counter) = &self.peer_overruns[i] {
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(TrySendError::Disconnected(_)) => {}
+                        }
+                    }
+                }
+                Action::Deliver(d) => {
+                    let now = self.now_us();
+                    if let Some((sent_us, payload)) = unframe_payload(&d.data) {
+                        if d.src != self.me {
+                            report
+                                .tap_samples
+                                .push(Duration::from_micros(now.saturating_sub(sent_us)));
+                        }
+                        report.delivered.push((d.src, d.seq.get(), payload));
+                    } else {
+                        report.delivered.push((d.src, d.seq.get(), d.data));
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_pdu(&mut self, raw: Bytes, report: &mut NodeReport) {
+        let started = Instant::now();
+        if !self.proc_delay.is_zero() {
+            // Busy-wait to emulate a host slower than the network (§2.1).
+            while started.elapsed() < self.proc_delay {
+                std::hint::spin_loop();
+            }
+        }
+        let Ok(pdu) = Pdu::decode(&raw) else {
+            return; // corrupt frame: drop, like a bad checksum
+        };
+        let now = self.now_us();
+        match self.entity.on_pdu(pdu, now) {
+            Ok(actions) => self.dispatch(actions, report),
+            Err(_) => { /* mis-addressed PDU: drop */ }
+        }
+        report.tco_samples.push(started.elapsed());
+    }
+
+    pub(crate) fn run(mut self) -> NodeReport {
+        let mut report = NodeReport {
+            id: self.me,
+            delivered: Vec::new(),
+            tco_samples: Vec::new(),
+            tap_samples: Vec::new(),
+            overrun_drops: 0,
+            metrics: co_protocol::Metrics::default(),
+        };
+        let mut shutting_down = false;
+        let mut last_activity = Instant::now();
+        loop {
+            // Ticks keep deferred confirmations and RET retries moving.
+            crossbeam::channel::select! {
+                recv(self.pdu_rx) -> raw => {
+                    if let Ok(raw) = raw {
+                        self.handle_pdu(raw, &mut report);
+                        last_activity = Instant::now();
+                    }
+                }
+                recv(self.cmd_rx) -> cmd => {
+                    match cmd {
+                        Ok(Cmd::Submit(framed)) => {
+                            let now = self.now_us();
+                            match self.entity.submit(framed, now) {
+                                Ok((_outcome, actions)) => self.dispatch(actions, &mut report),
+                                Err(_) => { /* oversized: reported via metrics */ }
+                            }
+                            last_activity = Instant::now();
+                        }
+                        Ok(Cmd::Shutdown) | Err(_) => {
+                            shutting_down = true;
+                        }
+                    }
+                }
+                default(self.tick_interval) => {
+                    let now = self.now_us();
+                    let actions = self.entity.on_tick(now);
+                    if !actions.is_empty() {
+                        last_activity = Instant::now();
+                    }
+                    self.dispatch(actions, &mut report);
+                }
+            }
+            if shutting_down
+                && self.entity.is_quiescent()
+                && last_activity.elapsed() >= self.drain_idle
+            {
+                break;
+            }
+            if shutting_down && last_activity.elapsed() >= self.drain_idle.mul_add_guard() {
+                // Hard exit: something (e.g. a partitioned peer) prevents
+                // quiescence; report what we have.
+                break;
+            }
+        }
+        report.overrun_drops = self.overruns.load(Ordering::Relaxed);
+        report.metrics = *self.entity.metrics();
+        report
+    }
+}
+
+trait DrainGuard {
+    fn mul_add_guard(&self) -> Duration;
+}
+
+impl DrainGuard for Duration {
+    /// Hard-exit bound: 20× the idle window.
+    fn mul_add_guard(&self) -> Duration {
+        *self * 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let epoch = Instant::now();
+        let framed = frame_payload(epoch, b"payload");
+        let (ts, payload) = unframe_payload(&framed).unwrap();
+        assert_eq!(&payload[..], b"payload");
+        assert!(ts < 1_000_000, "timestamp is fresh");
+    }
+
+    #[test]
+    fn unframe_rejects_short_buffers() {
+        assert!(unframe_payload(&Bytes::from_static(b"short")).is_none());
+    }
+
+    #[test]
+    fn frame_empty_payload() {
+        let framed = frame_payload(Instant::now(), b"");
+        let (_, payload) = unframe_payload(&framed).unwrap();
+        assert!(payload.is_empty());
+    }
+}

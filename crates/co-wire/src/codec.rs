@@ -1,0 +1,444 @@
+//! Binary encoding of PDUs.
+//!
+//! Layout (big-endian throughout):
+//!
+//! ```text
+//! magic: u16 | version: u8 | kind: u8 | cid: u32 | src: u32
+//! kind = 0 (DATA):    seq: u64 | ack_len: u16 | ack: u64×len | buf: u32
+//!                     | data_len: u32 | data
+//! kind = 1 (RET):     lsrc: u32 | lseq: u64 | ack_len: u16 | ack | buf: u32
+//! kind = 2 (ACKONLY): ack_len: u16 | ack | packed_len: u16 | packed
+//!                     | acked_len: u16 | acked | buf: u32
+//! ```
+//!
+//! The `ACK` vector makes every PDU **O(n)** bytes — §5's stated cost.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use causal_order::{EntityId, Seq};
+
+use crate::error::DecodeError;
+use crate::pdu::{AckOnlyPdu, DataPdu, Pdu, RetPdu};
+
+/// Magic bytes identifying a CO-protocol PDU.
+pub const MAGIC: u16 = 0xC0BD;
+
+/// Current wire version.
+pub const VERSION: u8 = 1;
+
+/// Maximum accepted ack-vector length (sanity bound far above any real
+/// cluster; guards against corrupt length prefixes).
+const MAX_ACK_LEN: usize = 4096;
+
+const KIND_DATA: u8 = 0;
+const KIND_RET: u8 = 1;
+const KIND_ACK_ONLY: u8 = 2;
+
+impl Pdu {
+    /// Serializes the PDU into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Serializes the PDU into `buf` (appended).
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u16(MAGIC);
+        buf.put_u8(VERSION);
+        match self {
+            Pdu::Data(p) => {
+                buf.put_u8(KIND_DATA);
+                buf.put_u32(p.cid);
+                buf.put_u32(p.src.raw());
+                buf.put_u64(p.seq.get());
+                put_ack(buf, &p.ack);
+                buf.put_u32(p.buf);
+                buf.put_u32(p.data.len() as u32);
+                buf.put_slice(&p.data);
+            }
+            Pdu::Ret(p) => {
+                buf.put_u8(KIND_RET);
+                buf.put_u32(p.cid);
+                buf.put_u32(p.src.raw());
+                buf.put_u32(p.lsrc.raw());
+                buf.put_u64(p.lseq.get());
+                put_ack(buf, &p.ack);
+                buf.put_u32(p.buf);
+            }
+            Pdu::AckOnly(p) => {
+                buf.put_u8(KIND_ACK_ONLY);
+                buf.put_u32(p.cid);
+                buf.put_u32(p.src.raw());
+                put_ack(buf, &p.ack);
+                put_ack(buf, &p.packed);
+                put_ack(buf, &p.acked);
+                buf.put_u32(p.buf);
+            }
+        }
+    }
+
+    /// Exact number of bytes [`Pdu::encode`] will produce.
+    pub fn encoded_len(&self) -> usize {
+        // magic + version + kind + cid + src
+        let header = 2 + 1 + 1 + 4 + 4;
+        match self {
+            Pdu::Data(p) => header + 8 + 2 + 8 * p.ack.len() + 4 + 4 + p.data.len(),
+            Pdu::Ret(p) => header + 4 + 8 + 2 + 8 * p.ack.len() + 4,
+            Pdu::AckOnly(p) => {
+                header + 2 + 8 * p.ack.len() + 2 + 8 * p.packed.len() + 2 + 8 * p.acked.len() + 4
+            }
+        }
+    }
+
+    /// Decodes one PDU from `bytes`, requiring the buffer to contain exactly
+    /// one PDU.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Pdu, DecodeError> {
+        let mut cursor = bytes;
+        let pdu = Pdu::decode_partial(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(DecodeError::TrailingBytes { extra: cursor.len() });
+        }
+        Ok(pdu)
+    }
+
+    /// Decodes one PDU from the front of `cursor`, advancing it (for
+    /// stream parsing of back-to-back PDUs).
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    pub fn decode_partial(cursor: &mut &[u8]) -> Result<Pdu, DecodeError> {
+        let magic = get_u16(cursor)?;
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic { found: magic });
+        }
+        let version = get_u8(cursor)?;
+        if version != VERSION {
+            return Err(DecodeError::BadVersion { found: version });
+        }
+        let kind = get_u8(cursor)?;
+        let cid = get_u32(cursor)?;
+        let src = EntityId::new(get_u32(cursor)?);
+        match kind {
+            KIND_DATA => {
+                let seq = Seq::new(get_u64(cursor)?);
+                let ack = get_ack(cursor)?;
+                let buf = get_u32(cursor)?;
+                let data_len = get_u32(cursor)? as usize;
+                if cursor.len() < data_len {
+                    return Err(DecodeError::Truncated {
+                        needed: data_len - cursor.len(),
+                    });
+                }
+                let data = Bytes::copy_from_slice(&cursor[..data_len]);
+                cursor.advance(data_len);
+                Ok(Pdu::Data(DataPdu { cid, src, seq, ack, buf, data }))
+            }
+            KIND_RET => {
+                let lsrc = EntityId::new(get_u32(cursor)?);
+                let lseq = Seq::new(get_u64(cursor)?);
+                let ack = get_ack(cursor)?;
+                let buf = get_u32(cursor)?;
+                Ok(Pdu::Ret(RetPdu { cid, src, lsrc, lseq, ack, buf }))
+            }
+            KIND_ACK_ONLY => {
+                let ack = get_ack(cursor)?;
+                let packed = get_ack(cursor)?;
+                let acked = get_ack(cursor)?;
+                let buf = get_u32(cursor)?;
+                Ok(Pdu::AckOnly(AckOnlyPdu { cid, src, ack, packed, acked, buf }))
+            }
+            other => Err(DecodeError::BadKind { found: other }),
+        }
+    }
+}
+
+fn put_ack(buf: &mut BytesMut, ack: &[Seq]) {
+    buf.put_u16(ack.len() as u16);
+    for &a in ack {
+        buf.put_u64(a.get());
+    }
+}
+
+fn need(cursor: &[u8], n: usize) -> Result<(), DecodeError> {
+    if cursor.len() < n {
+        Err(DecodeError::Truncated { needed: n - cursor.len() })
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u8(cursor: &mut &[u8]) -> Result<u8, DecodeError> {
+    need(cursor, 1)?;
+    Ok(cursor.get_u8())
+}
+
+fn get_u16(cursor: &mut &[u8]) -> Result<u16, DecodeError> {
+    need(cursor, 2)?;
+    Ok(cursor.get_u16())
+}
+
+fn get_u32(cursor: &mut &[u8]) -> Result<u32, DecodeError> {
+    need(cursor, 4)?;
+    Ok(cursor.get_u32())
+}
+
+fn get_u64(cursor: &mut &[u8]) -> Result<u64, DecodeError> {
+    need(cursor, 8)?;
+    Ok(cursor.get_u64())
+}
+
+fn get_ack(cursor: &mut &[u8]) -> Result<Vec<Seq>, DecodeError> {
+    let len = get_u16(cursor)? as usize;
+    if len > MAX_ACK_LEN {
+        return Err(DecodeError::AckTooLong { declared: len, max: MAX_ACK_LEN });
+    }
+    need(cursor, 8 * len)?;
+    let mut ack = Vec::with_capacity(len);
+    for _ in 0..len {
+        ack.push(Seq::new(cursor.get_u64()));
+    }
+    Ok(ack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(v: &[u64]) -> Vec<Seq> {
+        v.iter().copied().map(Seq::new).collect()
+    }
+
+    fn sample_data(n: usize) -> Pdu {
+        Pdu::Data(DataPdu {
+            cid: 0xDEAD,
+            src: EntityId::new(1),
+            seq: Seq::new(42),
+            ack: seqs(&(1..=n as u64).collect::<Vec<_>>()),
+            buf: 99,
+            data: Bytes::from_static(b"payload!"),
+        })
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let p = sample_data(3);
+        assert_eq!(Pdu::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn ret_roundtrip() {
+        let p = Pdu::Ret(RetPdu {
+            cid: 5,
+            src: EntityId::new(2),
+            lsrc: EntityId::new(0),
+            lseq: Seq::new(17),
+            ack: seqs(&[4, 5, 6]),
+            buf: 1,
+        });
+        assert_eq!(Pdu::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn ack_only_roundtrip() {
+        let p = Pdu::AckOnly(AckOnlyPdu {
+            cid: 5,
+            src: EntityId::new(2),
+            ack: seqs(&[4, 5, 6]),
+            packed: seqs(&[1, 2, 3]),
+            acked: seqs(&[0, 1, 2]),
+            buf: 1,
+        });
+        assert_eq!(Pdu::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let p = Pdu::Data(DataPdu {
+            cid: 0,
+            src: EntityId::new(0),
+            seq: Seq::FIRST,
+            ack: vec![],
+            buf: 0,
+            data: Bytes::new(),
+        });
+        assert_eq!(Pdu::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        for n in [0usize, 1, 2, 8, 64] {
+            let p = sample_data(n);
+            assert_eq!(p.encode().len(), p.encoded_len(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pdu_length_grows_linearly_in_n() {
+        // §5: "the length of PDU is O(n)". Exactly 8 bytes per extra entity.
+        let l2 = sample_data(2).encoded_len();
+        let l3 = sample_data(3).encoded_len();
+        let l10 = sample_data(10).encoded_len();
+        assert_eq!(l3 - l2, 8);
+        assert_eq!(l10 - l2, 8 * 8);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = sample_data(2).encode().to_vec();
+        raw[0] = 0x00;
+        assert!(matches!(
+            Pdu::decode(&raw),
+            Err(DecodeError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut raw = sample_data(2).encode().to_vec();
+        raw[2] = 99;
+        assert_eq!(Pdu::decode(&raw), Err(DecodeError::BadVersion { found: 99 }));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut raw = sample_data(2).encode().to_vec();
+        raw[3] = 42;
+        assert_eq!(Pdu::decode(&raw), Err(DecodeError::BadKind { found: 42 }));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error_not_a_panic() {
+        let raw = sample_data(3).encode();
+        for cut in 0..raw.len() {
+            let res = Pdu::decode(&raw[..cut]);
+            assert!(res.is_err(), "decode of {cut}-byte prefix must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut raw = sample_data(2).encode().to_vec();
+        raw.push(0xFF);
+        assert_eq!(Pdu::decode(&raw), Err(DecodeError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn decode_partial_consumes_one_pdu() {
+        let a = sample_data(2);
+        let b = Pdu::AckOnly(AckOnlyPdu {
+            cid: 1,
+            src: EntityId::new(0),
+            ack: seqs(&[1, 1]),
+            packed: seqs(&[1, 1]),
+            acked: seqs(&[1, 1]),
+            buf: 3,
+        });
+        let mut stream = a.encode().to_vec();
+        stream.extend_from_slice(&b.encode());
+        let mut cursor = &stream[..];
+        assert_eq!(Pdu::decode_partial(&mut cursor).unwrap(), a);
+        assert_eq!(Pdu::decode_partial(&mut cursor).unwrap(), b);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn oversized_ack_len_rejected() {
+        // Hand-craft an ACKONLY header with a huge ack_len.
+        let mut raw = BytesMut::new();
+        raw.put_u16(MAGIC);
+        raw.put_u8(VERSION);
+        raw.put_u8(2); // ACKONLY
+        raw.put_u32(0); // cid
+        raw.put_u32(0); // src
+        raw.put_u16(u16::MAX); // ack_len = 65535 > MAX_ACK_LEN
+        assert!(matches!(
+            Pdu::decode(&raw),
+            Err(DecodeError::AckTooLong { declared: 65535, .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod golden {
+    use super::*;
+
+    /// The wire format is a compatibility surface: these exact bytes must
+    /// never change for version 1. (If the format must evolve, bump
+    /// [`VERSION`] and add a new golden test.)
+    #[test]
+    fn data_pdu_golden_bytes() {
+        let p = Pdu::Data(DataPdu {
+            cid: 0x01020304,
+            src: EntityId::new(2),
+            seq: Seq::new(7),
+            ack: vec![Seq::new(1), Seq::new(2)],
+            buf: 9,
+            data: Bytes::from_static(b"hi"),
+        });
+        let expected: Vec<u8> = vec![
+            0xC0, 0xBD, // magic
+            0x01, // version
+            0x00, // kind = DATA
+            0x01, 0x02, 0x03, 0x04, // cid
+            0x00, 0x00, 0x00, 0x02, // src
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07, // seq
+            0x00, 0x02, // ack len
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // ack[0]
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, // ack[1]
+            0x00, 0x00, 0x00, 0x09, // buf
+            0x00, 0x00, 0x00, 0x02, // data len
+            b'h', b'i',
+        ];
+        assert_eq!(p.encode().to_vec(), expected);
+    }
+
+    #[test]
+    fn ret_pdu_golden_bytes() {
+        let p = Pdu::Ret(RetPdu {
+            cid: 1,
+            src: EntityId::new(0),
+            lsrc: EntityId::new(1),
+            lseq: Seq::new(3),
+            ack: vec![Seq::new(1)],
+            buf: 0,
+        });
+        let expected: Vec<u8> = vec![
+            0xC0, 0xBD, 0x01, 0x01, // magic, version, kind = RET
+            0x00, 0x00, 0x00, 0x01, // cid
+            0x00, 0x00, 0x00, 0x00, // src
+            0x00, 0x00, 0x00, 0x01, // lsrc
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, // lseq
+            0x00, 0x01, // ack len
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // ack[0]
+            0x00, 0x00, 0x00, 0x00, // buf
+        ];
+        assert_eq!(p.encode().to_vec(), expected);
+    }
+
+    #[test]
+    fn ack_only_golden_bytes() {
+        let p = Pdu::AckOnly(AckOnlyPdu {
+            cid: 1,
+            src: EntityId::new(0),
+            ack: vec![Seq::new(2)],
+            packed: vec![Seq::new(1)],
+            acked: vec![Seq::new(1)],
+            buf: 5,
+        });
+        let expected: Vec<u8> = vec![
+            0xC0, 0xBD, 0x01, 0x02, // magic, version, kind = ACKONLY
+            0x00, 0x00, 0x00, 0x01, // cid
+            0x00, 0x00, 0x00, 0x00, // src
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, // ack
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // packed
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, // acked
+            0x00, 0x00, 0x00, 0x05, // buf
+        ];
+        assert_eq!(p.encode().to_vec(), expected);
+    }
+}

@@ -1,0 +1,268 @@
+//! Typed PDU structs (Figures 4 and 5 of the paper).
+
+use bytes::Bytes;
+use causal_order::{EntityId, Seq, SeqMeta};
+
+/// A data PDU (Figure 4): one application message broadcast to the cluster,
+/// piggybacking the sender's receipt confirmations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataPdu {
+    /// Cluster identifier (`p.CID`).
+    pub cid: u32,
+    /// Sending entity (`p.SRC`).
+    pub src: EntityId,
+    /// Per-source sequence number (`p.SEQ`), starting at 1.
+    pub seq: Seq,
+    /// Receipt confirmations (`p.ACK`): `ack[j]` is the sequence number the
+    /// sender expects to receive next from `E_j` — i.e. the sender has
+    /// accepted every `q` from `E_j` with `q.SEQ < ack[j]`.
+    pub ack: Vec<Seq>,
+    /// Available receive-buffer units at the sender (`p.BUF`), consumed by
+    /// the flow condition.
+    pub buf: u32,
+    /// Application payload.
+    pub data: Bytes,
+}
+
+impl DataPdu {
+    /// The header view used by the Theorem 4.1 causality test.
+    pub fn seq_meta(&self) -> SeqMeta {
+        SeqMeta::new(self.src, self.seq, self.ack.clone())
+    }
+
+    /// The `ACK` entry for `entity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range for this PDU's ack vector.
+    pub fn ack_for(&self, entity: EntityId) -> Seq {
+        self.ack[entity.index()]
+    }
+}
+
+/// A retransmission-request PDU (Figure 5), broadcast when the failure
+/// condition detects lost PDUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetPdu {
+    /// Cluster identifier.
+    pub cid: u32,
+    /// The entity requesting retransmission (`r.SRC`).
+    pub src: EntityId,
+    /// The entity whose PDUs were lost (`r.LSRC`).
+    pub lsrc: EntityId,
+    /// One past the highest lost sequence number (`r.LSEQ`): the request
+    /// covers `r.ACK[lsrc] ≤ g.SEQ < r.LSEQ`.
+    pub lseq: Seq,
+    /// The requester's `REQ` vector at request time (`r.ACK`); `ack[lsrc]`
+    /// is the first lost sequence number.
+    pub ack: Vec<Seq>,
+    /// Available buffer units at the requester.
+    pub buf: u32,
+}
+
+impl RetPdu {
+    /// The half-open range of sequence numbers being requested from
+    /// [`RetPdu::lsrc`].
+    pub fn requested_range(&self) -> impl Iterator<Item = Seq> {
+        self.ack[self.lsrc.index()].range_to(self.lseq)
+    }
+}
+
+/// An unsequenced confirmation-only PDU (liveness extension, see
+/// `DESIGN.md`): carries `ACK`/`BUF` knowledge without consuming a sequence
+/// number; never logged or delivered.
+///
+/// Besides the acceptance confirmations (`ack`, the `REQ` vector that data
+/// PDUs also carry), it carries the sender's **pre-acknowledgment
+/// frontier** `packed`: `packed[j]` means "I have pre-acknowledged every
+/// PDU from `E_j` with a smaller sequence number" (the sender's `minAL_j`).
+/// Receivers may fold `packed` straight into their `PAL` matrix — it is a
+/// first-hand claim about the sender's own pre-ack state, with exactly the
+/// semantics `PAL` tracks — which keeps the acknowledgment stage live when
+/// an entity has no data PDUs to piggyback confirmations on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckOnlyPdu {
+    /// Cluster identifier.
+    pub cid: u32,
+    /// Sending entity.
+    pub src: EntityId,
+    /// The sender's current `REQ` vector.
+    pub ack: Vec<Seq>,
+    /// The sender's pre-acknowledgment frontier (its `minAL` vector).
+    pub packed: Vec<Seq>,
+    /// The sender's acknowledgment frontier (its `minPAL` vector):
+    /// `acked[j]` means "I know every entity has pre-acknowledged all PDUs
+    /// from `E_j` below this". Peers use it to notice that the sender
+    /// lags global knowledge and reply with a refresher — the mechanism
+    /// that makes tail-loss recovery converge.
+    pub acked: Vec<Seq>,
+    /// Available buffer units at the sender.
+    pub buf: u32,
+}
+
+/// Any PDU of the CO protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pdu {
+    /// A data PDU (Figure 4).
+    Data(DataPdu),
+    /// A retransmission request (Figure 5).
+    Ret(RetPdu),
+    /// An unsequenced confirmation.
+    AckOnly(AckOnlyPdu),
+}
+
+/// Discriminant of a [`Pdu`], used on the wire and in metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PduKind {
+    /// [`Pdu::Data`].
+    Data,
+    /// [`Pdu::Ret`].
+    Ret,
+    /// [`Pdu::AckOnly`].
+    AckOnly,
+}
+
+impl Pdu {
+    /// The sending entity.
+    pub fn src(&self) -> EntityId {
+        match self {
+            Pdu::Data(p) => p.src,
+            Pdu::Ret(p) => p.src,
+            Pdu::AckOnly(p) => p.src,
+        }
+    }
+
+    /// The cluster id.
+    pub fn cid(&self) -> u32 {
+        match self {
+            Pdu::Data(p) => p.cid,
+            Pdu::Ret(p) => p.cid,
+            Pdu::AckOnly(p) => p.cid,
+        }
+    }
+
+    /// The sender's piggybacked `REQ` vector (every PDU kind carries one).
+    pub fn ack(&self) -> &[Seq] {
+        match self {
+            Pdu::Data(p) => &p.ack,
+            Pdu::Ret(p) => &p.ack,
+            Pdu::AckOnly(p) => &p.ack,
+        }
+    }
+
+    /// The sender's advertised free buffer units.
+    pub fn buf(&self) -> u32 {
+        match self {
+            Pdu::Data(p) => p.buf,
+            Pdu::Ret(p) => p.buf,
+            Pdu::AckOnly(p) => p.buf,
+        }
+    }
+
+    /// The PDU kind.
+    pub fn kind(&self) -> PduKind {
+        match self {
+            Pdu::Data(_) => PduKind::Data,
+            Pdu::Ret(_) => PduKind::Ret,
+            Pdu::AckOnly(_) => PduKind::AckOnly,
+        }
+    }
+}
+
+impl std::fmt::Display for Pdu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Pdu::Data(p) => write!(f, "DT[{} {} {}B]", p.src, p.seq, p.data.len()),
+            Pdu::Ret(p) => write!(f, "RET[{} asks {} < {}]", p.src, p.lsrc, p.lseq),
+            Pdu::AckOnly(p) => write!(f, "ACK[{}]", p.src),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(v: &[u64]) -> Vec<Seq> {
+        v.iter().copied().map(Seq::new).collect()
+    }
+
+    #[test]
+    fn data_pdu_seq_meta_matches_fields() {
+        let p = DataPdu {
+            cid: 1,
+            src: EntityId::new(2),
+            seq: Seq::new(9),
+            ack: seqs(&[1, 2, 3]),
+            buf: 7,
+            data: Bytes::from_static(b"x"),
+        };
+        let m = p.seq_meta();
+        assert_eq!(m.src, EntityId::new(2));
+        assert_eq!(m.seq, Seq::new(9));
+        assert_eq!(m.ack, seqs(&[1, 2, 3]));
+        assert_eq!(p.ack_for(EntityId::new(1)), Seq::new(2));
+    }
+
+    #[test]
+    fn ret_requested_range_is_half_open() {
+        let r = RetPdu {
+            cid: 1,
+            src: EntityId::new(0),
+            lsrc: EntityId::new(1),
+            lseq: Seq::new(5),
+            ack: seqs(&[1, 3]),
+            buf: 0,
+        };
+        let range: Vec<Seq> = r.requested_range().collect();
+        assert_eq!(range, seqs(&[3, 4]));
+    }
+
+    #[test]
+    fn pdu_accessors_cover_all_kinds() {
+        let d = Pdu::Data(DataPdu {
+            cid: 1,
+            src: EntityId::new(0),
+            seq: Seq::FIRST,
+            ack: seqs(&[1, 1]),
+            buf: 4,
+            data: Bytes::new(),
+        });
+        let r = Pdu::Ret(RetPdu {
+            cid: 2,
+            src: EntityId::new(1),
+            lsrc: EntityId::new(0),
+            lseq: Seq::new(2),
+            ack: seqs(&[1, 1]),
+            buf: 5,
+        });
+        let a = Pdu::AckOnly(AckOnlyPdu {
+            cid: 3,
+            src: EntityId::new(1),
+            ack: seqs(&[2, 2]),
+            packed: seqs(&[1, 2]),
+            acked: seqs(&[1, 1]),
+            buf: 6,
+        });
+        assert_eq!(d.src(), EntityId::new(0));
+        assert_eq!(r.cid(), 2);
+        assert_eq!(a.buf(), 6);
+        assert_eq!(d.kind(), PduKind::Data);
+        assert_eq!(r.kind(), PduKind::Ret);
+        assert_eq!(a.kind(), PduKind::AckOnly);
+        assert_eq!(a.ack(), &seqs(&[2, 2])[..]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let d = Pdu::Data(DataPdu {
+            cid: 1,
+            src: EntityId::new(0),
+            seq: Seq::new(3),
+            ack: seqs(&[1, 1]),
+            buf: 4,
+            data: Bytes::from_static(b"abc"),
+        });
+        assert_eq!(d.to_string(), "DT[E1 #3 3B]");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: every structurally valid PDU survives an
+//! encode/decode roundtrip, and no byte mutation can cause a panic.
+
+use bytes::Bytes;
+use causal_order::{EntityId, Seq};
+use co_wire::{AckOnlyPdu, DataPdu, Pdu, RetPdu};
+use proptest::prelude::*;
+
+fn arb_ack() -> impl Strategy<Value = Vec<Seq>> {
+    prop::collection::vec(any::<u64>().prop_map(Seq::new), 0..32)
+}
+
+fn arb_data() -> impl Strategy<Value = Pdu> {
+    (
+        any::<u32>(),
+        0u32..64,
+        any::<u64>(),
+        arb_ack(),
+        any::<u32>(),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(cid, src, seq, ack, buf, data)| {
+            Pdu::Data(DataPdu {
+                cid,
+                src: EntityId::new(src),
+                seq: Seq::new(seq),
+                ack,
+                buf,
+                data: Bytes::from(data),
+            })
+        })
+}
+
+fn arb_ret() -> impl Strategy<Value = Pdu> {
+    (any::<u32>(), 0u32..64, 0u32..64, any::<u64>(), arb_ack(), any::<u32>()).prop_map(
+        |(cid, src, lsrc, lseq, ack, buf)| {
+            Pdu::Ret(RetPdu {
+                cid,
+                src: EntityId::new(src),
+                lsrc: EntityId::new(lsrc),
+                lseq: Seq::new(lseq),
+                ack,
+                buf,
+            })
+        },
+    )
+}
+
+fn arb_ack_only() -> impl Strategy<Value = Pdu> {
+    (any::<u32>(), 0u32..64, arb_ack(), arb_ack(), arb_ack(), any::<u32>()).prop_map(
+        |(cid, src, ack, packed, acked, buf)| {
+            Pdu::AckOnly(AckOnlyPdu {
+                cid,
+                src: EntityId::new(src),
+                ack,
+                packed,
+                acked,
+                buf,
+            })
+        },
+    )
+}
+
+fn arb_pdu() -> impl Strategy<Value = Pdu> {
+    prop_oneof![arb_data(), arb_ret(), arb_ack_only()]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_identity(pdu in arb_pdu()) {
+        let encoded = pdu.encode();
+        let decoded = Pdu::decode(&encoded).expect("valid pdu decodes");
+        prop_assert_eq!(decoded, pdu);
+    }
+
+    #[test]
+    fn encoded_len_matches(pdu in arb_pdu()) {
+        prop_assert_eq!(pdu.encode().len(), pdu.encoded_len());
+    }
+
+    #[test]
+    fn mutated_bytes_never_panic(pdu in arb_pdu(), idx in any::<prop::sample::Index>(), byte in any::<u8>()) {
+        let mut raw = pdu.encode().to_vec();
+        let i = idx.index(raw.len());
+        raw[i] = byte;
+        // Any outcome is fine except a panic.
+        let _ = Pdu::decode(&raw);
+    }
+
+    #[test]
+    fn random_garbage_never_panics(raw in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Pdu::decode(&raw);
+    }
+
+    #[test]
+    fn every_prefix_fails_cleanly(pdu in arb_pdu()) {
+        let raw = pdu.encode();
+        for cut in 0..raw.len() {
+            prop_assert!(Pdu::decode(&raw[..cut]).is_err());
+        }
+    }
+}

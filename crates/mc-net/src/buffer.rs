@@ -1,0 +1,156 @@
+//! The bounded NIC inbox — the paper's buffer-overrun loss mechanism.
+//!
+//! §2.1: "Since the transmission speed of the network layer is faster than
+//! the processing speed of the system entity, the system entity may fail to
+//! receive PDUs due to the buffer overrun." A PDU arriving while the inbox
+//! already holds `capacity` unprocessed PDUs is dropped; the rest are
+//! drained in FIFO order at the node's processing rate, so per-sender FIFO
+//! (the MC service's *local-order-preserved* guarantee) is never violated.
+
+use causal_order::EntityId;
+use std::collections::VecDeque;
+
+use crate::SimTime;
+
+/// A bounded FIFO receive buffer.
+#[derive(Debug, Clone)]
+pub struct Inbox<M> {
+    queue: VecDeque<(EntityId, M, SimTime)>,
+    capacity: usize,
+    /// Total PDUs dropped due to overrun.
+    dropped: u64,
+    /// High-water mark of queue occupancy.
+    peak: usize,
+}
+
+impl<M> Inbox<M> {
+    /// Creates an inbox holding at most `capacity` unprocessed PDUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (an entity that can never receive is a
+    /// configuration error, not a simulation scenario).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "inbox capacity must be positive");
+        Inbox {
+            queue: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            peak: 0,
+        }
+    }
+
+    /// Offers an arriving PDU. Returns `true` if accepted, `false` if the
+    /// buffer overran (the PDU is lost, per the MC service).
+    pub fn offer(&mut self, from: EntityId, msg: M, at: SimTime) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.queue.push_back((from, msg, at));
+        self.peak = self.peak.max(self.queue.len());
+        true
+    }
+
+    /// Takes the oldest buffered PDU for processing.
+    pub fn take(&mut self) -> Option<(EntityId, M, SimTime)> {
+        self.queue.pop_front()
+    }
+
+    /// Number of buffered, unprocessed PDUs.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total PDUs lost to overrun so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Highest occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Remaining free slots (the `BUF` quantity entities advertise).
+    pub fn free(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut inbox = Inbox::new(4);
+        inbox.offer(e(0), "a", SimTime::from_micros(1));
+        inbox.offer(e(1), "b", SimTime::from_micros(2));
+        assert_eq!(inbox.take().map(|(_, m, _)| m), Some("a"));
+        assert_eq!(inbox.take().map(|(_, m, _)| m), Some("b"));
+        assert_eq!(inbox.take(), None);
+    }
+
+    #[test]
+    fn overrun_drops_newest() {
+        let mut inbox = Inbox::new(2);
+        assert!(inbox.offer(e(0), 1, SimTime::ZERO));
+        assert!(inbox.offer(e(0), 2, SimTime::ZERO));
+        assert!(!inbox.offer(e(0), 3, SimTime::ZERO)); // overrun
+        assert_eq!(inbox.dropped(), 1);
+        assert_eq!(inbox.len(), 2);
+        // The two accepted PDUs survive in order — per-sender FIFO holds.
+        assert_eq!(inbox.take().map(|(_, m, _)| m), Some(1));
+        assert_eq!(inbox.take().map(|(_, m, _)| m), Some(2));
+    }
+
+    #[test]
+    fn free_and_capacity_track_occupancy() {
+        let mut inbox = Inbox::new(3);
+        assert_eq!(inbox.free(), 3);
+        inbox.offer(e(0), 1, SimTime::ZERO);
+        assert_eq!(inbox.free(), 2);
+        assert_eq!(inbox.capacity(), 3);
+        inbox.take();
+        assert_eq!(inbox.free(), 3);
+    }
+
+    #[test]
+    fn peak_is_high_water_mark() {
+        let mut inbox = Inbox::new(10);
+        inbox.offer(e(0), 1, SimTime::ZERO);
+        inbox.offer(e(0), 2, SimTime::ZERO);
+        inbox.take();
+        inbox.offer(e(0), 3, SimTime::ZERO);
+        assert_eq!(inbox.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: Inbox<u8> = Inbox::new(0);
+    }
+
+    #[test]
+    fn is_empty_reflects_state() {
+        let mut inbox = Inbox::new(1);
+        assert!(inbox.is_empty());
+        inbox.offer(e(0), 1, SimTime::ZERO);
+        assert!(!inbox.is_empty());
+    }
+}

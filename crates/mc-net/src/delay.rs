@@ -1,0 +1,141 @@
+//! Propagation-delay models.
+//!
+//! §5 of the paper reasons in units of `R`, "the maximum propagation delay
+//! time among the entities" — acceptance→pre-acknowledgment takes `R` and
+//! acceptance→acknowledgment takes `2R` when confirmations are broadcast in
+//! parallel. The delay model fixes how long a PDU spends on the wire from
+//! one entity's NIC to another's.
+
+use causal_order::EntityId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::SimDuration;
+
+/// How long a PDU takes from sender to receiver.
+#[derive(Debug, Clone)]
+pub enum DelayModel {
+    /// Every pair is `R` apart (the paper's analytical model).
+    Uniform(SimDuration),
+    /// Uniformly random in `[min, max]` per transmission (models jitter;
+    /// per-link FIFO is still enforced by the simulator).
+    Jitter {
+        /// Lower bound.
+        min: SimDuration,
+        /// Upper bound (inclusive).
+        max: SimDuration,
+    },
+    /// Explicit per-pair matrix; `matrix[from][to]` is the one-way delay.
+    PerPair(Vec<Vec<SimDuration>>),
+}
+
+impl DelayModel {
+    /// Samples the delay for one transmission `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`DelayModel::PerPair`] matrix does not cover the pair,
+    /// or if a [`DelayModel::Jitter`] range is inverted.
+    pub fn sample(&self, from: EntityId, to: EntityId, rng: &mut SmallRng) -> SimDuration {
+        match self {
+            DelayModel::Uniform(d) => *d,
+            DelayModel::Jitter { min, max } => {
+                assert!(min <= max, "jitter range inverted");
+                let us = rng.random_range(min.as_micros()..=max.as_micros());
+                SimDuration::from_micros(us)
+            }
+            DelayModel::PerPair(matrix) => matrix[from.index()][to.index()],
+        }
+    }
+
+    /// The maximum possible delay (the paper's `R`).
+    pub fn max_delay(&self) -> SimDuration {
+        match self {
+            DelayModel::Uniform(d) => *d,
+            DelayModel::Jitter { max, .. } => *max,
+            DelayModel::PerPair(matrix) => matrix
+                .iter()
+                .flat_map(|row| row.iter().copied())
+                .max()
+                .unwrap_or(SimDuration::ZERO),
+        }
+    }
+}
+
+impl Default for DelayModel {
+    /// 1 ms everywhere — a LAN-scale `R`.
+    fn default() -> Self {
+        DelayModel::Uniform(SimDuration::from_millis(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_is_constant() {
+        let m = DelayModel::Uniform(SimDuration::from_micros(500));
+        let d = m.sample(EntityId::new(0), EntityId::new(1), &mut rng());
+        assert_eq!(d.as_micros(), 500);
+        assert_eq!(m.max_delay().as_micros(), 500);
+    }
+
+    #[test]
+    fn jitter_stays_in_range() {
+        let m = DelayModel::Jitter {
+            min: SimDuration::from_micros(100),
+            max: SimDuration::from_micros(200),
+        };
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = m.sample(EntityId::new(0), EntityId::new(1), &mut r);
+            assert!((100..=200).contains(&d.as_micros()));
+        }
+        assert_eq!(m.max_delay().as_micros(), 200);
+    }
+
+    #[test]
+    fn per_pair_lookup() {
+        let m = DelayModel::PerPair(vec![
+            vec![SimDuration::ZERO, SimDuration::from_micros(10)],
+            vec![SimDuration::from_micros(30), SimDuration::ZERO],
+        ]);
+        assert_eq!(
+            m.sample(EntityId::new(1), EntityId::new(0), &mut rng()).as_micros(),
+            30
+        );
+        assert_eq!(m.max_delay().as_micros(), 30);
+    }
+
+    #[test]
+    fn default_is_one_ms() {
+        assert_eq!(DelayModel::default().max_delay().as_micros(), 1_000);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let m = DelayModel::Jitter {
+            min: SimDuration::from_micros(0),
+            max: SimDuration::from_micros(1_000),
+        };
+        let a: Vec<u64> = {
+            let mut r = rng();
+            (0..10)
+                .map(|_| m.sample(EntityId::new(0), EntityId::new(1), &mut r).as_micros())
+                .collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng();
+            (0..10)
+                .map(|_| m.sample(EntityId::new(0), EntityId::new(1), &mut r).as_micros())
+                .collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,106 @@
+//! Internal event queue types.
+
+use causal_order::EntityId;
+use std::cmp::Ordering;
+
+use crate::SimTime;
+
+/// Handle to a pending timer, returned by
+/// [`Context::set_timer`](crate::Context::set_timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
+
+impl std::fmt::Display for TimerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timer{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) enum EventKind<M, C> {
+    /// A PDU reaches `to`'s NIC.
+    Arrival {
+        from: EntityId,
+        to: EntityId,
+        msg: M,
+    },
+    /// `node` finishes processing its current PDU and takes the next.
+    ProcessNext { node: EntityId },
+    /// A timer set by `node` fires.
+    Timer { node: EntityId, id: TimerId },
+    /// An injected application command for `node`.
+    Command { node: EntityId, cmd: C },
+}
+
+#[derive(Debug)]
+pub(crate) struct QueuedEvent<M, C> {
+    pub time: SimTime,
+    /// Global insertion counter: total order + determinism for equal times.
+    pub seq: u64,
+    pub kind: EventKind<M, C>,
+}
+
+impl<M, C> PartialEq for QueuedEvent<M, C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M, C> Eq for QueuedEvent<M, C> {}
+
+impl<M, C> PartialOrd for QueuedEvent<M, C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M, C> Ord for QueuedEvent<M, C> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: u64, seq: u64) -> QueuedEvent<(), ()> {
+        QueuedEvent {
+            time: SimTime::from_micros(time),
+            seq,
+            kind: EventKind::ProcessNext { node: EntityId::new(0) },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(30, 0));
+        heap.push(ev(10, 1));
+        heap.push(ev(20, 2));
+        assert_eq!(heap.pop().unwrap().time.as_micros(), 10);
+        assert_eq!(heap.pop().unwrap().time.as_micros(), 20);
+        assert_eq!(heap.pop().unwrap().time.as_micros(), 30);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(5, 0));
+        heap.push(ev(5, 1));
+        heap.push(ev(5, 2));
+        assert_eq!(heap.pop().unwrap().seq, 0);
+        assert_eq!(heap.pop().unwrap().seq, 1);
+        assert_eq!(heap.pop().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn timer_id_display() {
+        assert_eq!(TimerId(3).to_string(), "timer3");
+    }
+}

@@ -1,0 +1,278 @@
+//! Link-level loss models.
+//!
+//! The paper's *primary* loss mechanism is receive-buffer overrun, modeled
+//! by [`crate::Inbox`]. These additional models exist for targeted tests
+//! (drop exactly the k-th PDU on one link and watch recovery) and for
+//! stress sweeps (i.i.d. loss at a configurable rate, as in the
+//! `retransmission` experiment).
+
+use causal_order::EntityId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+use crate::SimTime;
+
+/// One time-windowed drop rule for [`LossModel::Timed`]: transmissions
+/// matching the (optional) endpoints during `[from_us, to_us)` are lost.
+/// Models link failures, one-way partitions and paused (crashed-then-
+/// recovered) entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedRule {
+    /// Match only this sender (`None` = any).
+    pub from: Option<EntityId>,
+    /// Match only this receiver (`None` = any).
+    pub to: Option<EntityId>,
+    /// Window start (inclusive), µs.
+    pub from_us: u64,
+    /// Window end (exclusive), µs.
+    pub to_us: u64,
+}
+
+impl TimedRule {
+    /// Drops everything *sent to* `entity` during the window — the entity
+    /// appears crashed to its peers, then recovers.
+    pub fn pause_receiver(entity: EntityId, from_us: u64, to_us: u64) -> Self {
+        TimedRule { from: None, to: Some(entity), from_us, to_us }
+    }
+
+    /// Drops everything on the directed link `from → to` in the window.
+    pub fn cut_link(from: EntityId, to: EntityId, from_us: u64, to_us: u64) -> Self {
+        TimedRule { from: Some(from), to: Some(to), from_us, to_us }
+    }
+
+    fn matches(&self, from: EntityId, to: EntityId, now: SimTime) -> bool {
+        let t = now.as_micros();
+        self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|r| r == to)
+            && t >= self.from_us
+            && t < self.to_us
+    }
+}
+
+/// Decides whether a transmission on a link is lost in flight.
+#[derive(Debug, Clone, Default)]
+pub enum LossModel {
+    /// No in-flight loss (buffer overrun may still drop PDUs).
+    #[default]
+    None,
+    /// Each transmission is lost independently with probability `p`.
+    Iid {
+        /// Loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Drop specific transmissions: the set contains `(from, to, k)` with
+    /// `k` the zero-based count of transmissions on that link. Fully
+    /// deterministic — used by the loss-recovery unit tests.
+    Scripted {
+        /// `(from, to, k)` triples to drop.
+        drops: HashSet<(EntityId, EntityId, u64)>,
+    },
+    /// Time-windowed deterministic drops: link failures, partitions,
+    /// paused entities. See [`TimedRule`].
+    Timed {
+        /// The active rules; any match drops the transmission.
+        rules: Vec<TimedRule>,
+    },
+    /// Gilbert–Elliott two-state burst model: in the *good* state loss is
+    /// `p_good`, in the *bad* state `p_bad`; state flips with the given
+    /// transition probabilities per transmission (per link).
+    Burst {
+        /// Loss probability in the good state.
+        p_good: f64,
+        /// Loss probability in the bad state.
+        p_bad: f64,
+        /// P(good → bad) per transmission.
+        to_bad: f64,
+        /// P(bad → good) per transmission.
+        to_good: f64,
+    },
+}
+
+/// Stateful evaluator for a [`LossModel`] (tracks per-link counters and
+/// burst states).
+#[derive(Debug, Clone)]
+pub struct LossState {
+    model: LossModel,
+    counts: HashMap<(EntityId, EntityId), u64>,
+    burst_bad: HashMap<(EntityId, EntityId), bool>,
+}
+
+impl LossState {
+    /// Creates the evaluator for `model`.
+    pub fn new(model: LossModel) -> Self {
+        LossState {
+            model,
+            counts: HashMap::new(),
+            burst_bad: HashMap::new(),
+        }
+    }
+
+    /// Returns `true` if this transmission should be dropped in flight.
+    pub fn should_drop(
+        &mut self,
+        from: EntityId,
+        to: EntityId,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> bool {
+        let link = (from, to);
+        let k = {
+            let c = self.counts.entry(link).or_insert(0);
+            let k = *c;
+            *c += 1;
+            k
+        };
+        match &self.model {
+            LossModel::None => false,
+            LossModel::Iid { p } => rng.random_bool(p.clamp(0.0, 1.0)),
+            LossModel::Scripted { drops } => drops.contains(&(from, to, k)),
+            LossModel::Timed { rules } => rules.iter().any(|r| r.matches(from, to, now)),
+            LossModel::Burst {
+                p_good,
+                p_bad,
+                to_bad,
+                to_good,
+            } => {
+                let bad = self.burst_bad.entry(link).or_insert(false);
+                // State transition first, then loss draw in the new state.
+                if *bad {
+                    if rng.random_bool(to_good.clamp(0.0, 1.0)) {
+                        *bad = false;
+                    }
+                } else if rng.random_bool(to_bad.clamp(0.0, 1.0)) {
+                    *bad = true;
+                }
+                let p = if *bad { *p_bad } else { *p_good };
+                rng.random_bool(p.clamp(0.0, 1.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    fn e(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn none_never_drops() {
+        let mut s = LossState::new(LossModel::None);
+        let mut r = rng();
+        assert!((0..1000).all(|_| !s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)));
+    }
+
+    #[test]
+    fn iid_rate_is_roughly_p() {
+        let mut s = LossState::new(LossModel::Iid { p: 0.3 });
+        let mut r = rng();
+        let drops = (0..20_000)
+            .filter(|_| s.should_drop(e(0), e(1), SimTime::ZERO, &mut r))
+            .count();
+        let rate = drops as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn iid_extremes() {
+        let mut s = LossState::new(LossModel::Iid { p: 0.0 });
+        assert!(!s.should_drop(e(0), e(1), SimTime::ZERO, &mut rng()));
+        let mut s = LossState::new(LossModel::Iid { p: 1.0 });
+        assert!(s.should_drop(e(0), e(1), SimTime::ZERO, &mut rng()));
+    }
+
+    #[test]
+    fn scripted_drops_exact_transmission() {
+        let drops = HashSet::from([(e(0), e(1), 2u64)]);
+        let mut s = LossState::new(LossModel::Scripted { drops });
+        let mut r = rng();
+        // Transmission counter is per link, so drop hits the 3rd one.
+        assert!(!s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)); // k = 0
+        assert!(!s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)); // k = 1
+        assert!(s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)); // k = 2 → dropped
+        assert!(!s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)); // k = 3
+        // A different link is unaffected.
+        assert!(!s.should_drop(e(0), e(2), SimTime::ZERO, &mut r));
+    }
+
+    #[test]
+    fn scripted_counters_are_per_link() {
+        let drops = HashSet::from([(e(0), e(1), 0u64)]);
+        let mut s = LossState::new(LossModel::Scripted { drops });
+        let mut r = rng();
+        assert!(!s.should_drop(e(1), e(0), SimTime::ZERO, &mut r)); // reverse link k=0
+        assert!(s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)); // target link k=0
+    }
+
+    #[test]
+    fn burst_produces_clustered_losses() {
+        let mut s = LossState::new(LossModel::Burst {
+            p_good: 0.0,
+            p_bad: 1.0,
+            to_bad: 0.05,
+            to_good: 0.2,
+        });
+        let mut r = rng();
+        let pattern: Vec<bool> = (0..5_000).map(|_| s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)).collect();
+        let drops = pattern.iter().filter(|&&d| d).count();
+        assert!(drops > 0, "burst model never entered bad state");
+        // Losses should cluster: count adjacent drop pairs vs expectation
+        // under independence.
+        let pairs = pattern.windows(2).filter(|w| w[0] && w[1]).count();
+        let p = drops as f64 / 5_000.0;
+        let indep_pairs = (5_000.0 * p * p) as usize;
+        assert!(pairs > indep_pairs, "no clustering: {pairs} <= {indep_pairs}");
+    }
+
+    #[test]
+    fn default_model_is_none() {
+        assert!(matches!(LossModel::default(), LossModel::None));
+    }
+
+    #[test]
+    fn timed_rule_pause_receiver_matches_window() {
+        let rules = vec![TimedRule::pause_receiver(e(1), 100, 200)];
+        let mut s = LossState::new(LossModel::Timed { rules });
+        let mut r = rng();
+        // Before the window: passes.
+        assert!(!s.should_drop(e(0), e(1), SimTime::from_micros(99), &mut r));
+        // Inside: dropped regardless of the sender.
+        assert!(s.should_drop(e(0), e(1), SimTime::from_micros(100), &mut r));
+        assert!(s.should_drop(e(2), e(1), SimTime::from_micros(199), &mut r));
+        // Traffic *from* the paused entity still flows (receive-side pause).
+        assert!(!s.should_drop(e(1), e(0), SimTime::from_micros(150), &mut r));
+        // After: recovered.
+        assert!(!s.should_drop(e(0), e(1), SimTime::from_micros(200), &mut r));
+    }
+
+    #[test]
+    fn timed_rule_cut_link_is_directional() {
+        let rules = vec![TimedRule::cut_link(e(0), e(1), 0, 1_000)];
+        let mut s = LossState::new(LossModel::Timed { rules });
+        let mut r = rng();
+        assert!(s.should_drop(e(0), e(1), SimTime::from_micros(10), &mut r));
+        assert!(!s.should_drop(e(1), e(0), SimTime::from_micros(10), &mut r));
+        assert!(!s.should_drop(e(0), e(2), SimTime::from_micros(10), &mut r));
+    }
+
+    #[test]
+    fn multiple_timed_rules_any_match_drops() {
+        let rules = vec![
+            TimedRule::cut_link(e(0), e(1), 0, 10),
+            TimedRule::cut_link(e(1), e(0), 20, 30),
+        ];
+        let mut s = LossState::new(LossModel::Timed { rules });
+        let mut r = rng();
+        assert!(s.should_drop(e(0), e(1), SimTime::from_micros(5), &mut r));
+        assert!(!s.should_drop(e(0), e(1), SimTime::from_micros(25), &mut r));
+        assert!(s.should_drop(e(1), e(0), SimTime::from_micros(25), &mut r));
+    }
+}

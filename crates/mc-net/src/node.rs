@@ -1,0 +1,107 @@
+//! The node trait protocol engines implement, and the callback context.
+
+use causal_order::EntityId;
+use rand::rngs::SmallRng;
+
+use crate::event::TimerId;
+use crate::{SimDuration, SimTime};
+
+/// A protocol entity plugged into the simulator.
+///
+/// Implementations are **sans-IO**: all effects go through the
+/// [`Context`]. The same engine can therefore also be driven by the
+/// real-time transport.
+pub trait SimNode {
+    /// The PDU type exchanged over the network.
+    type Msg: Clone;
+    /// Application-level commands injected by the test/experiment driver
+    /// (e.g. "broadcast this payload now").
+    type Cmd;
+
+    /// Called once when the simulation starts, before any other callback.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// A PDU from `from` has been taken out of the NIC inbox (i.e. the
+    /// entity has *received* it in the paper's sense; whether it is
+    /// *accepted* is the protocol's business).
+    fn on_message(&mut self, from: EntityId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// A timer set through [`Context::set_timer`] fired.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, Self::Msg>);
+
+    /// An injected application command.
+    fn on_command(&mut self, cmd: Self::Cmd, ctx: &mut Context<'_, Self::Msg>);
+}
+
+/// Effects a node requests during a callback; applied by the simulator
+/// after the callback returns.
+#[derive(Debug)]
+pub(crate) enum Output<M> {
+    Broadcast(M),
+    Send { to: EntityId, msg: M },
+    SetTimer { id: TimerId, after: SimDuration },
+    CancelTimer(TimerId),
+}
+
+/// Callback context: the node's window onto the simulated world.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    pub(crate) me: EntityId,
+    pub(crate) n: usize,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) outputs: Vec<Output<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// This node's entity id.
+    pub fn me(&self) -> EntityId {
+        self.me
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic per-run randomness.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Broadcasts `msg` to every *other* entity in the cluster.
+    ///
+    /// Matching the paper, the network does not loop a broadcast back to
+    /// its sender; a protocol that must observe its own PDUs handles that
+    /// internally at send time.
+    pub fn broadcast(&mut self, msg: M) {
+        self.outputs.push(Output::Broadcast(msg));
+    }
+
+    /// Sends `msg` to a single entity (used by point-to-point baselines).
+    pub fn send(&mut self, to: EntityId, msg: M) {
+        self.outputs.push(Output::Send { to, msg });
+    }
+
+    /// Arms a timer to fire `after` from now; returns its handle.
+    pub fn set_timer(&mut self, after: SimDuration) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.outputs.push(Output::SetTimer { id, after });
+        id
+    }
+
+    /// Cancels a pending timer (firing of an already-cancelled or already-
+    /// fired timer is a silent no-op).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.outputs.push(Output::CancelTimer(id));
+    }
+}

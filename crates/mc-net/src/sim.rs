@@ -1,0 +1,644 @@
+//! The discrete-event simulation engine.
+
+use std::collections::{BinaryHeap, HashSet};
+
+use causal_order::EntityId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::buffer::Inbox;
+use crate::delay::DelayModel;
+use crate::event::{EventKind, QueuedEvent, TimerId};
+use crate::loss::{LossModel, LossState};
+use crate::node::{Context, Output, SimNode};
+use crate::trace::{NetStats, TraceEvent, TraceRecorder};
+use crate::{SimDuration, SimTime};
+
+/// Network-level configuration of a run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Propagation-delay model (the paper's `R`).
+    pub delay: DelayModel,
+    /// In-flight loss model (the buffer-overrun loss is separate and always
+    /// active through `inbox_capacity`).
+    pub loss: LossModel,
+    /// NIC receive-buffer capacity, in PDUs.
+    pub inbox_capacity: usize,
+    /// Host processing time per received PDU (what makes the entity slower
+    /// than the network, §2.1).
+    pub proc_time: SimDuration,
+    /// RNG seed; same seed → identical run.
+    pub seed: u64,
+    /// Whether to keep a full [`TraceEvent`] log.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            delay: DelayModel::default(),
+            loss: LossModel::None,
+            inbox_capacity: 1024,
+            proc_time: SimDuration::from_micros(10),
+            seed: 0,
+            trace: false,
+        }
+    }
+}
+
+/// The simulator: owns the nodes, the event queue, and the network model.
+#[derive(Debug)]
+pub struct Simulator<N: SimNode> {
+    config: SimConfig,
+    nodes: Vec<Option<N>>,
+    inboxes: Vec<Inbox<N::Msg>>,
+    /// Whether each node is currently draining its inbox.
+    busy: Vec<bool>,
+    queue: BinaryHeap<QueuedEvent<N::Msg, N::Cmd>>,
+    now: SimTime,
+    event_seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    loss: LossState,
+    rng: SmallRng,
+    stats: NetStats,
+    recorder: TraceRecorder,
+    /// Last scheduled arrival per (from, to) link, to keep links FIFO under
+    /// jittered delays.
+    link_front: Vec<SimTime>,
+    started: bool,
+}
+
+impl<N: SimNode> Simulator<N> {
+    /// Creates a simulator over `nodes` (node `i` is entity `E_{i+1}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two nodes are supplied (the paper's `n ≥ 2`).
+    pub fn new(config: SimConfig, nodes: Vec<N>) -> Self {
+        assert!(nodes.len() >= 2, "a cluster needs at least 2 entities");
+        let n = nodes.len();
+        let recorder = if config.trace {
+            TraceRecorder::enabled()
+        } else {
+            TraceRecorder::disabled()
+        };
+        Simulator {
+            inboxes: (0..n).map(|_| Inbox::new(config.inbox_capacity)).collect(),
+            busy: vec![false; n],
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            event_seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            loss: LossState::new(config.loss.clone()),
+            rng: SmallRng::seed_from_u64(config.seed),
+            stats: NetStats::default(),
+            recorder,
+            link_front: vec![SimTime::ZERO; n * n],
+            nodes: nodes.into_iter().map(Some).collect(),
+            started: false,
+            config,
+        }
+    }
+
+    /// Number of entities.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Aggregate run statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The event trace (empty unless `config.trace` was set).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.recorder.events()
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the node is mid-callback (never
+    /// the case between [`Simulator::step`] calls).
+    pub fn node(&self, id: EntityId) -> &N {
+        self.nodes[id.index()].as_ref().expect("node in callback")
+    }
+
+    /// Mutable access to a node (e.g. to drain its delivery queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: EntityId) -> &mut N {
+        self.nodes[id.index()].as_mut().expect("node in callback")
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (EntityId, &N)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (EntityId::new(i as u32), n.as_ref().expect("node in callback")))
+    }
+
+    /// Schedules an application command for `entity` at absolute time `at`.
+    pub fn schedule_command(&mut self, at: SimTime, entity: EntityId, cmd: N::Cmd) {
+        let time = at.max(self.now);
+        self.push_event(time, EventKind::Command { node: entity, cmd });
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<N::Msg, N::Cmd>) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.queue.push(QueuedEvent { time, seq, kind });
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let entity = EntityId::new(i as u32);
+            self.with_node(entity, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs `f` on the node with a fresh context, then applies the outputs.
+    fn with_node<F>(&mut self, entity: EntityId, f: F)
+    where
+        F: FnOnce(&mut N, &mut Context<'_, N::Msg>),
+    {
+        let mut node = self.nodes[entity.index()]
+            .take()
+            .expect("re-entrant node callback");
+        let mut ctx = Context {
+            me: entity,
+            n: self.nodes.len(),
+            now: self.now,
+            rng: &mut self.rng,
+            next_timer: &mut self.next_timer,
+            outputs: Vec::new(),
+        };
+        f(&mut node, &mut ctx);
+        let outputs = ctx.outputs;
+        self.nodes[entity.index()] = Some(node);
+        self.apply_outputs(entity, outputs);
+    }
+
+    fn apply_outputs(&mut self, entity: EntityId, outputs: Vec<Output<N::Msg>>) {
+        for output in outputs {
+            match output {
+                Output::Broadcast(msg) => {
+                    let peers: Vec<EntityId> = (0..self.nodes.len() as u32)
+                        .map(EntityId::new)
+                        .filter(|&e| e != entity)
+                        .collect();
+                    self.recorder.record(TraceEvent::Send {
+                        at: self.now,
+                        from: entity,
+                        copies: peers.len() as u32,
+                    });
+                    for to in peers {
+                        self.transmit(entity, to, msg.clone());
+                    }
+                }
+                Output::Send { to, msg } => {
+                    self.recorder.record(TraceEvent::Send {
+                        at: self.now,
+                        from: entity,
+                        copies: 1,
+                    });
+                    self.transmit(entity, to, msg);
+                }
+                Output::SetTimer { id, after } => {
+                    self.push_event(self.now + after, EventKind::Timer { node: entity, id });
+                }
+                Output::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, from: EntityId, to: EntityId, msg: N::Msg) {
+        self.stats.link_sends += 1;
+        if self.loss.should_drop(from, to, self.now, &mut self.rng) {
+            self.stats.link_drops += 1;
+            self.recorder
+                .record(TraceEvent::LinkDrop { at: self.now, from, to });
+            return;
+        }
+        let delay = self.config.delay.sample(from, to, &mut self.rng);
+        let link = from.index() * self.nodes.len() + to.index();
+        // Enforce per-link FIFO: an arrival never overtakes an earlier one.
+        let at = (self.now + delay).max(self.link_front[link]);
+        self.link_front[link] = at;
+        self.push_event(at, EventKind::Arrival { from, to, msg });
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        match event.kind {
+            EventKind::Arrival { from, to, msg } => {
+                let inbox = &mut self.inboxes[to.index()];
+                if inbox.offer(from, msg, self.now) {
+                    self.stats.arrivals += 1;
+                    self.recorder
+                        .record(TraceEvent::Arrival { at: self.now, from, to });
+                    if !self.busy[to.index()] {
+                        self.busy[to.index()] = true;
+                        self.push_event(
+                            self.now + self.config.proc_time,
+                            EventKind::ProcessNext { node: to },
+                        );
+                    }
+                } else {
+                    self.stats.overrun_drops += 1;
+                    self.recorder
+                        .record(TraceEvent::OverrunDrop { at: self.now, from, to });
+                }
+            }
+            EventKind::ProcessNext { node } => {
+                if let Some((from, msg, _arrived)) = self.inboxes[node.index()].take() {
+                    self.stats.processed += 1;
+                    self.recorder
+                        .record(TraceEvent::Processed { at: self.now, node, from });
+                    self.with_node(node, |n, ctx| n.on_message(from, msg, ctx));
+                }
+                if self.inboxes[node.index()].is_empty() {
+                    self.busy[node.index()] = false;
+                } else {
+                    self.push_event(
+                        self.now + self.config.proc_time,
+                        EventKind::ProcessNext { node },
+                    );
+                }
+            }
+            EventKind::Timer { node, id } => {
+                if !self.cancelled.remove(&id) {
+                    self.stats.timers_fired += 1;
+                    self.with_node(node, |n, ctx| n.on_timer(id, ctx));
+                }
+            }
+            EventKind::Command { node, cmd } => {
+                self.stats.commands += 1;
+                self.with_node(node, |n, ctx| n.on_command(cmd, ctx));
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or `max_events` have been processed;
+    /// returns the number of events processed.
+    pub fn run_until_idle_capped(&mut self, max_events: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max_events && self.step() {
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs until no events remain (panics after 100 million events, which
+    /// indicates a livelock in the protocol under test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget is exhausted.
+    pub fn run_until_idle(&mut self) {
+        const BUDGET: u64 = 100_000_000;
+        let processed = self.run_until_idle_capped(BUDGET);
+        assert!(processed < BUDGET, "simulation exceeded {BUDGET} events — livelock?");
+    }
+
+    /// Runs until simulated time reaches `deadline` (events after it stay
+    /// queued) or the queue empties.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_if_needed();
+        while let Some(next) = self.queue.peek() {
+            if next.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Peak inbox occupancy of `entity` (for buffer-sizing experiments).
+    pub fn inbox_peak(&self, entity: EntityId) -> usize {
+        self.inboxes[entity.index()].peak()
+    }
+
+    /// Free inbox slots of `entity` right now (the `BUF` quantity).
+    pub fn inbox_free(&self, entity: EntityId) -> usize {
+        self.inboxes[entity.index()].free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Node that broadcasts each command payload and logs everything it
+    /// processes.
+    struct Logger {
+        seen: Vec<(EntityId, u32)>,
+        echo: bool,
+    }
+
+    impl Logger {
+        fn new() -> Self {
+            Logger { seen: Vec::new(), echo: false }
+        }
+    }
+
+    impl SimNode for Logger {
+        type Msg = u32;
+        type Cmd = u32;
+
+        fn on_message(&mut self, from: EntityId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.seen.push((from, msg));
+            if self.echo {
+                ctx.broadcast(msg + 1000);
+                self.echo = false;
+            }
+        }
+
+        fn on_timer(&mut self, _t: TimerId, _ctx: &mut Context<'_, u32>) {}
+
+        fn on_command(&mut self, cmd: u32, ctx: &mut Context<'_, u32>) {
+            ctx.broadcast(cmd);
+        }
+    }
+
+    fn two_nodes() -> Simulator<Logger> {
+        Simulator::new(SimConfig::default(), vec![Logger::new(), Logger::new()])
+    }
+
+    #[test]
+    fn broadcast_reaches_all_peers() {
+        let mut sim = two_nodes();
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 42);
+        sim.run_until_idle();
+        assert_eq!(sim.node(EntityId::new(1)).seen, vec![(EntityId::new(0), 42)]);
+        // Sender does not hear its own broadcast.
+        assert!(sim.node(EntityId::new(0)).seen.is_empty());
+        assert_eq!(sim.stats().link_sends, 1);
+        assert_eq!(sim.stats().processed, 1);
+    }
+
+    #[test]
+    fn delivery_takes_delay_plus_processing() {
+        let mut sim = Simulator::new(
+            SimConfig {
+                delay: DelayModel::Uniform(SimDuration::from_micros(100)),
+                proc_time: SimDuration::from_micros(7),
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 1);
+        sim.run_until_idle();
+        assert_eq!(sim.now().as_micros(), 107);
+    }
+
+    #[test]
+    fn per_sender_fifo_is_preserved() {
+        let mut sim = Simulator::new(
+            SimConfig {
+                delay: DelayModel::Jitter {
+                    min: SimDuration::from_micros(10),
+                    max: SimDuration::from_micros(1_000),
+                },
+                seed: 3,
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
+        for k in 0..50 {
+            sim.schedule_command(SimTime::from_micros(k), EntityId::new(0), k as u32);
+        }
+        sim.run_until_idle();
+        let seen: Vec<u32> = sim.node(EntityId::new(1)).seen.iter().map(|&(_, m)| m).collect();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted, "MC service must preserve per-sender order");
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn buffer_overrun_drops_pdus() {
+        // Processing is much slower than the arrival rate and the inbox is
+        // tiny: the paper's §2.1 failure mode must appear.
+        let mut sim = Simulator::new(
+            SimConfig {
+                delay: DelayModel::Uniform(SimDuration::from_micros(1)),
+                proc_time: SimDuration::from_micros(1_000),
+                inbox_capacity: 2,
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
+        for k in 0..20 {
+            sim.schedule_command(SimTime::from_micros(k), EntityId::new(0), k as u32);
+        }
+        sim.run_until_idle();
+        assert!(sim.stats().overrun_drops > 0);
+        let survived: Vec<u32> = sim.node(EntityId::new(1)).seen.iter().map(|&(_, m)| m).collect();
+        // Whatever survives is still in FIFO order.
+        let mut sorted = survived.clone();
+        sorted.sort_unstable();
+        assert_eq!(survived, sorted);
+        assert_eq!(
+            survived.len() as u64 + sim.stats().overrun_drops,
+            20,
+            "every PDU is either processed or counted as dropped"
+        );
+    }
+
+    #[test]
+    fn scripted_loss_drops_exactly_one() {
+        let drops = HashSet::from([(EntityId::new(0), EntityId::new(1), 1u64)]);
+        let mut sim = Simulator::new(
+            SimConfig {
+                loss: LossModel::Scripted { drops },
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
+        for k in 0..4 {
+            sim.schedule_command(SimTime::from_micros(k * 10), EntityId::new(0), k as u32);
+        }
+        sim.run_until_idle();
+        let seen: Vec<u32> = sim.node(EntityId::new(1)).seen.iter().map(|&(_, m)| m).collect();
+        assert_eq!(seen, vec![0, 2, 3]);
+        assert_eq!(sim.stats().link_drops, 1);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(
+                SimConfig {
+                    delay: DelayModel::Jitter {
+                        min: SimDuration::from_micros(1),
+                        max: SimDuration::from_micros(500),
+                    },
+                    loss: LossModel::Iid { p: 0.2 },
+                    seed,
+                    ..SimConfig::default()
+                },
+                vec![Logger::new(), Logger::new(), Logger::new()],
+            );
+            for k in 0..100 {
+                sim.schedule_command(
+                    SimTime::from_micros(k),
+                    EntityId::new((k % 3) as u32),
+                    k as u32,
+                );
+            }
+            sim.run_until_idle();
+            (sim.stats(), sim.node(EntityId::new(0)).seen.clone())
+        };
+        assert_eq!(run(9), run(9));
+        // Different seeds should (with near-certainty) diverge.
+        assert_ne!(run(9).0, run(10).0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = two_nodes();
+        sim.schedule_command(SimTime::from_micros(50), EntityId::new(0), 1);
+        sim.schedule_command(SimTime::from_micros(5_000), EntityId::new(0), 2);
+        sim.run_until(SimTime::from_micros(2_000));
+        assert_eq!(sim.now().as_micros(), 2_000);
+        assert_eq!(sim.node(EntityId::new(1)).seen.len(), 1);
+        sim.run_until_idle();
+        assert_eq!(sim.node(EntityId::new(1)).seen.len(), 2);
+    }
+
+    #[test]
+    fn commands_in_past_execute_now() {
+        let mut sim = two_nodes();
+        sim.schedule_command(SimTime::from_micros(100), EntityId::new(0), 1);
+        sim.run_until_idle();
+        let t = sim.now();
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 2); // in the past
+        sim.run_until_idle();
+        assert!(sim.now() >= t);
+        assert_eq!(sim.node(EntityId::new(1)).seen.len(), 2);
+    }
+
+    #[test]
+    fn echo_from_callback_is_delivered() {
+        let mut sim = two_nodes();
+        sim.node_mut(EntityId::new(1)).echo = true;
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 5);
+        sim.run_until_idle();
+        assert_eq!(sim.node(EntityId::new(0)).seen, vec![(EntityId::new(1), 1005)]);
+    }
+
+    #[test]
+    fn trace_records_send_arrival_processing() {
+        let mut sim = Simulator::new(
+            SimConfig { trace: true, ..SimConfig::default() },
+            vec![Logger::new(), Logger::new()],
+        );
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 1);
+        sim.run_until_idle();
+        let kinds: Vec<&'static str> = sim
+            .trace()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Send { .. } => "send",
+                TraceEvent::Arrival { .. } => "arrival",
+                TraceEvent::Processed { .. } => "processed",
+                TraceEvent::LinkDrop { .. } => "link_drop",
+                TraceEvent::OverrunDrop { .. } => "overrun",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["send", "arrival", "processed"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn singleton_cluster_rejected() {
+        let _ = Simulator::new(SimConfig::default(), vec![Logger::new()]);
+    }
+
+    /// Node used to test timers.
+    struct TimerNode {
+        fired: Vec<TimerId>,
+        cancel_next: Option<TimerId>,
+    }
+
+    impl SimNode for TimerNode {
+        type Msg = ();
+        type Cmd = &'static str;
+
+        fn on_message(&mut self, _f: EntityId, _m: (), _c: &mut Context<'_, ()>) {}
+
+        fn on_timer(&mut self, t: TimerId, _ctx: &mut Context<'_, ()>) {
+            self.fired.push(t);
+        }
+
+        fn on_command(&mut self, cmd: &'static str, ctx: &mut Context<'_, ()>) {
+            match cmd {
+                "set" => {
+                    let id = ctx.set_timer(SimDuration::from_micros(100));
+                    self.cancel_next = Some(id);
+                }
+                "set_and_cancel" => {
+                    let id = ctx.set_timer(SimDuration::from_micros(100));
+                    ctx.cancel_timer(id);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_at_deadline() {
+        let mut sim = Simulator::new(
+            SimConfig::default(),
+            vec![
+                TimerNode { fired: vec![], cancel_next: None },
+                TimerNode { fired: vec![], cancel_next: None },
+            ],
+        );
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), "set");
+        sim.run_until_idle();
+        assert_eq!(sim.node(EntityId::new(0)).fired.len(), 1);
+        assert_eq!(sim.now().as_micros(), 100);
+        assert_eq!(sim.stats().timers_fired, 1);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let mut sim = Simulator::new(
+            SimConfig::default(),
+            vec![
+                TimerNode { fired: vec![], cancel_next: None },
+                TimerNode { fired: vec![], cancel_next: None },
+            ],
+        );
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), "set_and_cancel");
+        sim.run_until_idle();
+        assert!(sim.node(EntityId::new(0)).fired.is_empty());
+        assert_eq!(sim.stats().timers_fired, 0);
+    }
+}

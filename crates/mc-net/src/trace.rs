@@ -1,0 +1,190 @@
+//! Run statistics and optional full event tracing.
+
+use causal_order::EntityId;
+
+use crate::SimTime;
+
+/// Aggregate counters for a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NetStats {
+    /// Point-to-point transmissions put on the wire (a broadcast to `n-1`
+    /// peers counts `n-1`).
+    pub link_sends: u64,
+    /// Transmissions lost in flight by the link-level [`crate::LossModel`].
+    pub link_drops: u64,
+    /// PDUs lost to receive-buffer overrun (the paper's primary failure).
+    pub overrun_drops: u64,
+    /// PDUs accepted into an inbox.
+    pub arrivals: u64,
+    /// PDUs taken out of an inbox and handed to a node.
+    pub processed: u64,
+    /// Timers that fired (excluding cancelled ones).
+    pub timers_fired: u64,
+    /// Application commands dispatched.
+    pub commands: u64,
+}
+
+impl NetStats {
+    /// Total PDUs lost by any mechanism.
+    pub fn total_drops(&self) -> u64 {
+        self.link_drops + self.overrun_drops
+    }
+
+    /// Fraction of transmissions lost, in `[0, 1]`.
+    pub fn loss_rate(&self) -> f64 {
+        if self.link_sends == 0 {
+            0.0
+        } else {
+            self.total_drops() as f64 / self.link_sends as f64
+        }
+    }
+}
+
+/// One recorded event (only when tracing is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node put a broadcast/send on the wire.
+    Send {
+        /// When.
+        at: SimTime,
+        /// Sender.
+        from: EntityId,
+        /// Number of point-to-point copies generated.
+        copies: u32,
+    },
+    /// A transmission was dropped in flight.
+    LinkDrop {
+        /// When (at send time; the PDU never arrives).
+        at: SimTime,
+        /// Sender.
+        from: EntityId,
+        /// Intended receiver.
+        to: EntityId,
+    },
+    /// A PDU arrived but the receive buffer was full.
+    OverrunDrop {
+        /// When.
+        at: SimTime,
+        /// Sender.
+        from: EntityId,
+        /// Receiver that lost it.
+        to: EntityId,
+    },
+    /// A PDU entered a node's inbox.
+    Arrival {
+        /// When.
+        at: SimTime,
+        /// Sender.
+        from: EntityId,
+        /// Receiver.
+        to: EntityId,
+    },
+    /// A node finished processing a PDU.
+    Processed {
+        /// When.
+        at: SimTime,
+        /// Processing node.
+        node: EntityId,
+        /// Original sender of the PDU.
+        from: EntityId,
+    },
+}
+
+impl TraceEvent {
+    /// The time of the event.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::LinkDrop { at, .. }
+            | TraceEvent::OverrunDrop { at, .. }
+            | TraceEvent::Arrival { at, .. }
+            | TraceEvent::Processed { at, .. } => at,
+        }
+    }
+}
+
+/// Collects [`TraceEvent`]s when enabled; a disabled recorder costs one
+/// branch per event.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// A recorder that keeps everything.
+    pub fn enabled() -> Self {
+        TraceRecorder {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// A recorder that discards everything (the default).
+    pub fn disabled() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events, in simulation order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_total_and_rate() {
+        let stats = NetStats {
+            link_sends: 10,
+            link_drops: 1,
+            overrun_drops: 1,
+            ..NetStats::default()
+        };
+        assert_eq!(stats.total_drops(), 2);
+        assert!((stats.loss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_zero_when_no_sends() {
+        assert_eq!(NetStats::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn disabled_recorder_discards() {
+        let mut r = TraceRecorder::disabled();
+        r.record(TraceEvent::Send {
+            at: SimTime::ZERO,
+            from: EntityId::new(0),
+            copies: 1,
+        });
+        assert!(r.events().is_empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_events() {
+        let mut r = TraceRecorder::enabled();
+        let e = TraceEvent::Arrival {
+            at: SimTime::from_micros(5),
+            from: EntityId::new(0),
+            to: EntityId::new(1),
+        };
+        r.record(e);
+        assert_eq!(r.events(), &[e]);
+        assert_eq!(r.events()[0].at().as_micros(), 5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Multi-cluster demultiplexing: one node participating in two independent
+//! causal-broadcast groups over one inbound PDU stream — the role the
+//! paper's `CID` field exists for.
+//!
+//! ```sh
+//! cargo run --example multi_cluster
+//! ```
+
+use bytes::Bytes;
+use causal_order::EntityId;
+use co_broadcast::protocol::{Action, ClusterMux, Config, DeferralPolicy, Entity};
+
+fn entity(cid: u32, n: usize, me: u32) -> Entity {
+    Entity::new(
+        Config::builder(cid, n, EntityId::new(me))
+            .deferral(DeferralPolicy::Immediate)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("valid entity")
+}
+
+fn main() {
+    // Node A is E1 of the "chat" cluster (cid 10) and E1 of the "metrics"
+    // cluster (cid 20). Node B mirrors it.
+    let mut node_a = ClusterMux::new();
+    node_a.join(entity(10, 2, 0)).unwrap();
+    node_a.join(entity(20, 2, 0)).unwrap();
+    let mut node_b = ClusterMux::new();
+    node_b.join(entity(10, 2, 1)).unwrap();
+    node_b.join(entity(20, 2, 1)).unwrap();
+
+    // Submit into both clusters from node A.
+    let mut wire: Vec<co_broadcast::protocol::Pdu> = Vec::new();
+    let push_broadcasts = |actions: Vec<Action>, wire: &mut Vec<_>| {
+        for a in actions {
+            match a {
+                Action::Broadcast(pdu) => wire.push(pdu),
+                Action::Deliver(d) => println!("node A delivered {d}"),
+            }
+        }
+    };
+    let (_, acts) = node_a.submit(10, Bytes::from_static(b"chat: hi"), 0).unwrap();
+    push_broadcasts(acts, &mut wire);
+    let (_, acts) = node_a.submit(20, Bytes::from_static(b"metric: 42"), 1).unwrap();
+    push_broadcasts(acts, &mut wire);
+
+    // One shared "wire" carries both clusters' PDUs to node B; the mux
+    // routes each by CID. Confirmations flow back the same way.
+    let mut backlog = wire;
+    for step in 0..20u64 {
+        let mut to_a = Vec::new();
+        for pdu in backlog.drain(..) {
+            for action in node_b.on_pdu(pdu, step).unwrap() {
+                match action {
+                    Action::Broadcast(p) => to_a.push(p),
+                    Action::Deliver(d) => {
+                        println!("node B delivered {d}");
+                    }
+                }
+            }
+        }
+        let mut to_b = Vec::new();
+        for pdu in to_a {
+            for action in node_a.on_pdu(pdu, step).unwrap() {
+                match action {
+                    Action::Broadcast(p) => to_b.push(p),
+                    Action::Deliver(d) => println!("node A delivered {d}"),
+                }
+            }
+        }
+        if to_b.is_empty() {
+            break;
+        }
+        backlog = to_b;
+    }
+
+    // Both clusters progressed independently on both nodes.
+    for cid in [10, 20] {
+        assert_eq!(node_a.entity(cid).unwrap().req()[0].get(), 2, "cluster {cid} at A");
+        assert_eq!(node_b.entity(cid).unwrap().req()[0].get(), 2, "cluster {cid} at B");
+    }
+    println!("two independent clusters multiplexed over one node pair ✓");
+}

@@ -1,0 +1,96 @@
+//! Property-based end-to-end testing: for *any* cluster size, workload
+//! shape, network seed, loss rate and protocol options in the explored
+//! ranges, every run must terminate with the full CO service delivered —
+//! information-preserved, local-order-preserved and causality-preserved.
+
+use co_experiments::{run_co, CoRunParams, Senders};
+use co_protocol::{DeferralPolicy, RetransmissionPolicy};
+use mc_net::{LossModel, SimConfig};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = CoRunParams> {
+    (
+        2usize..=5,                // n
+        1usize..=12,               // messages per sender
+        any::<u64>(),              // seed
+        0u32..=20,                 // loss percent
+        prop::bool::ANY,           // all senders?
+        prop::bool::ANY,           // selective?
+        prop::bool::ANY,           // deferred?
+        1u64..=32,                 // window
+        50u64..=1_000,             // submit interval
+    )
+        .prop_map(
+            |(n, messages, seed, loss_pct, all, selective, deferred, window, interval)| {
+                CoRunParams {
+                    n,
+                    window,
+                    deferral: if deferred {
+                        DeferralPolicy::Deferred { timeout_us: 1_500 }
+                    } else {
+                        DeferralPolicy::Immediate
+                    },
+                    retransmission: if selective {
+                        RetransmissionPolicy::Selective
+                    } else {
+                        RetransmissionPolicy::GoBackN
+                    },
+                    sim: SimConfig {
+                        loss: if loss_pct == 0 {
+                            LossModel::None
+                        } else {
+                            LossModel::Iid { p: loss_pct as f64 / 100.0 }
+                        },
+                        seed,
+                        ..SimConfig::default()
+                    },
+                    messages_per_sender: messages,
+                    submit_interval_us: interval,
+                    senders: if all { Senders::All } else { Senders::One },
+                    payload: 32,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_run_provides_the_co_service(params in arb_params()) {
+        let result = run_co(&params);
+        prop_assert!(
+            result.all_delivered(),
+            "not information-preserved: {:?} of {} (params {:?})",
+            result.nodes.iter().map(|o| o.delivered.len()).collect::<Vec<_>>(),
+            result.total_messages,
+            params,
+        );
+        let trace = result.run_trace();
+        if let Err(violations) = trace.check_co_service() {
+            return Err(TestCaseError::fail(format!(
+                "CO service violated: {} (params {:?})",
+                violations[0], params
+            )));
+        }
+    }
+
+    #[test]
+    fn peak_buffers_bounded_by_paper_formula(params in arb_params()) {
+        // §5: buffers hold at most ≈ 2nW PDUs. Loss can transiently add
+        // the reorder buffer on top; allow it (+nW slack) but never more.
+        let result = run_co(&params);
+        let bound = 3 * params.n as u64 * params.window + params.n as u64;
+        for node in &result.nodes {
+            prop_assert!(
+                (node.peak_held as u64) <= bound,
+                "{}: peak {} exceeds bound {} (params {:?})",
+                node.id, node.peak_held, bound, params,
+            );
+        }
+    }
+}

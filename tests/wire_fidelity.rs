@@ -1,0 +1,112 @@
+//! Wire-level fidelity: run a complete protocol exchange where every PDU
+//! crosses an encode → bytes → decode boundary, exactly as on a real
+//! network, and verify nothing is lost in translation.
+
+use bytes::Bytes;
+use causal_order::EntityId;
+use co_protocol::{Action, Config, DeferralPolicy, Entity, Pdu};
+use std::collections::VecDeque;
+
+/// A two-entity network whose links carry only bytes.
+struct ByteLink {
+    entities: Vec<Entity>,
+    queue: VecDeque<(usize, Vec<u8>)>,
+    delivered: Vec<Vec<(u32, u64, Bytes)>>,
+}
+
+impl ByteLink {
+    fn new(n: usize) -> Self {
+        ByteLink {
+            entities: (0..n)
+                .map(|i| {
+                    Entity::new(
+                        Config::builder(9, n, EntityId::new(i as u32))
+                            .deferral(DeferralPolicy::Immediate)
+                            .build()
+                            .unwrap(),
+                    )
+                    .unwrap()
+                })
+                .collect(),
+            queue: VecDeque::new(),
+            delivered: vec![Vec::new(); n],
+        }
+    }
+
+    fn apply(&mut self, from: usize, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(pdu) => {
+                    let raw = pdu.encode().to_vec();
+                    // Every transmission is a fresh byte buffer.
+                    for to in 0..self.entities.len() {
+                        if to != from {
+                            self.queue.push_back((to, raw.clone()));
+                        }
+                    }
+                }
+                Action::Deliver(d) => {
+                    self.delivered[from].push((d.src.raw(), d.seq.get(), d.data));
+                }
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        let mut steps = 0;
+        while let Some((to, raw)) = self.queue.pop_front() {
+            let pdu = Pdu::decode(&raw).expect("wire-clean PDU");
+            let actions = self.entities[to].on_pdu(pdu, steps).expect("valid");
+            self.apply(to, actions);
+            steps += 1;
+            assert!(steps < 100_000, "no quiescence");
+        }
+    }
+}
+
+#[test]
+fn full_exchange_over_encoded_bytes() {
+    let mut net = ByteLink::new(3);
+    for k in 0..5u8 {
+        for i in 0..3 {
+            let (_, actions) = net.entities[i]
+                .submit(Bytes::from(vec![i as u8, k]), k as u64)
+                .expect("submit");
+            net.apply(i, actions);
+        }
+        net.run();
+    }
+    for i in 0..3 {
+        assert_eq!(net.delivered[i].len(), 15, "entity {i}");
+        // Payload bytes survive the roundtrip.
+        for &(src, seq, ref data) in &net.delivered[i] {
+            assert_eq!(data.as_ref(), &[src as u8, (seq - 1) as u8]);
+        }
+    }
+    // All logs identical (fully chained workload).
+    assert_eq!(net.delivered[0], net.delivered[1]);
+    assert_eq!(net.delivered[1], net.delivered[2]);
+}
+
+#[test]
+fn corrupted_bytes_do_not_poison_the_engine() {
+    let mut net = ByteLink::new(2);
+    let (_, actions) = net.entities[0]
+        .submit(Bytes::from_static(b"payload"), 0)
+        .expect("submit");
+    // Corrupt the wire image before delivery and confirm decode rejects it
+    // without panicking; then deliver the intact copy.
+    if let Action::Broadcast(pdu) = &actions[0] {
+        let mut raw = pdu.encode().to_vec();
+        for i in 0..raw.len() {
+            let mut bad = raw.clone();
+            bad[i] ^= 0xFF;
+            let _ = Pdu::decode(&bad); // any Err is fine; panic is not
+        }
+        raw[0] ^= 0xFF;
+        assert!(Pdu::decode(&raw).is_err());
+    }
+    net.apply(0, actions);
+    net.run();
+    assert_eq!(net.delivered[1].len(), 1);
+}
