@@ -6,7 +6,9 @@
 /// entities; membership does not change during a run. We index entities
 /// `0..n` (the paper uses `1..=n`; zero-based indexing maps directly onto
 /// vector/matrix storage).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct EntityId(u32);
 
 impl EntityId {
@@ -142,7 +144,10 @@ mod tests {
     fn cluster_members_enumerates_all() {
         let c = ClusterSpec::new(7, 3).unwrap();
         let ids: Vec<EntityId> = c.members().collect();
-        assert_eq!(ids, vec![EntityId::new(0), EntityId::new(1), EntityId::new(2)]);
+        assert_eq!(
+            ids,
+            vec![EntityId::new(0), EntityId::new(1), EntityId::new(2)]
+        );
     }
 
     #[test]
@@ -163,7 +168,10 @@ mod tests {
     fn error_messages_are_lowercase_and_informative() {
         let e = EntityIdError::ClusterTooSmall { n: 1 };
         assert!(e.to_string().starts_with("cluster must"));
-        let e = EntityIdError::OutOfRange { id: EntityId::new(9), n: 3 };
+        let e = EntityIdError::OutOfRange {
+            id: EntityId::new(9),
+            n: 3,
+        };
         assert!(e.to_string().contains("E10"));
     }
 }

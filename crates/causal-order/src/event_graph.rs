@@ -11,7 +11,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use crate::EntityId;
 
 /// Identifier of a broadcast message (assigned by the trace recorder).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct MsgId(pub u64);
 
 impl std::fmt::Display for MsgId {
@@ -163,8 +165,7 @@ impl EventGraph {
 
     /// All recorded messages, in recording order of their sends.
     pub fn messages(&self) -> Vec<MsgId> {
-        let mut msgs: Vec<(EventId, MsgId)> =
-            self.send_of.iter().map(|(&m, &e)| (e, m)).collect();
+        let mut msgs: Vec<(EventId, MsgId)> = self.send_of.iter().map(|(&m, &e)| (e, m)).collect();
         msgs.sort_by_key(|&(e, _)| e.0);
         msgs.into_iter().map(|(_, m)| m).collect()
     }
@@ -198,8 +199,14 @@ mod tests {
     fn process_order_edges() {
         let graph = figure_2();
         assert!(graph.happened_before(
-            Event::Send { entity: e(0), msg: MsgId(0) },
-            Event::Send { entity: e(0), msg: MsgId(1) },
+            Event::Send {
+                entity: e(0),
+                msg: MsgId(0)
+            },
+            Event::Send {
+                entity: e(0),
+                msg: MsgId(1)
+            },
         ));
     }
 
@@ -207,8 +214,14 @@ mod tests {
     fn message_edges() {
         let graph = figure_2();
         assert!(graph.happened_before(
-            Event::Send { entity: e(0), msg: MsgId(1) },
-            Event::Receive { entity: e(1), msg: MsgId(1) },
+            Event::Send {
+                entity: e(0),
+                msg: MsgId(1)
+            },
+            Event::Receive {
+                entity: e(1),
+                msg: MsgId(1)
+            },
         ));
     }
 
@@ -217,8 +230,14 @@ mod tests {
         let graph = figure_2();
         // s_g[g] → s_g[p] → r_h[p] → s_h[q] → r_k[q]
         assert!(graph.happened_before(
-            Event::Send { entity: e(0), msg: MsgId(0) },
-            Event::Receive { entity: e(2), msg: MsgId(2) },
+            Event::Send {
+                entity: e(0),
+                msg: MsgId(0)
+            },
+            Event::Receive {
+                entity: e(2),
+                msg: MsgId(2)
+            },
         ));
     }
 
@@ -244,7 +263,10 @@ mod tests {
     #[test]
     fn no_self_loop() {
         let graph = figure_2();
-        let s = Event::Send { entity: e(0), msg: MsgId(0) };
+        let s = Event::Send {
+            entity: e(0),
+            msg: MsgId(0),
+        };
         assert!(!graph.happened_before(s, s));
     }
 
@@ -252,8 +274,14 @@ mod tests {
     fn unknown_events_never_precede() {
         let graph = figure_2();
         assert!(!graph.happened_before(
-            Event::Send { entity: e(3), msg: MsgId(9) },
-            Event::Send { entity: e(0), msg: MsgId(0) },
+            Event::Send {
+                entity: e(3),
+                msg: MsgId(9)
+            },
+            Event::Send {
+                entity: e(0),
+                msg: MsgId(0)
+            },
         ));
     }
 

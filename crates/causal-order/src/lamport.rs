@@ -18,7 +18,9 @@
 /// let at_receive = receiver.observe(stamp); // receive event
 /// assert!(at_receive > stamp);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct LamportClock {
     time: u64,
 }

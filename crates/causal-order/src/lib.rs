@@ -55,7 +55,9 @@ pub use vector_clock::{ClockOrdering, VectorClock, VectorClockError};
 /// number of a PDU which `E_i` expects to broadcast next" and Example 4.1
 /// starts every `REQ` at 1). `Seq` is a newtype over `u64` so sequence
 /// numbers cannot be confused with buffer sizes, entity indices, etc.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Seq(u64);
 
 impl Seq {

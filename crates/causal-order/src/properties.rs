@@ -122,11 +122,25 @@ impl std::fmt::Display for Violation {
             Violation::PhantomDelivery { entity, msg } => {
                 write!(f, "{entity} delivered unknown message {msg}")
             }
-            Violation::LocalOrder { entity, first, second } => {
-                write!(f, "{entity} delivered {second} before {first} from the same sender")
+            Violation::LocalOrder {
+                entity,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "{entity} delivered {second} before {first} from the same sender"
+                )
             }
-            Violation::Causality { entity, first, second } => {
-                write!(f, "{entity} delivered {second} before causally earlier {first}")
+            Violation::Causality {
+                entity,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "{entity} delivered {second} before causally earlier {first}"
+                )
             }
             Violation::TotalOrder { left, right, msg } => {
                 write!(f, "{left} and {right} ordered {msg} differently")
@@ -412,7 +426,10 @@ mod tests {
         let errs = t.check_information_preserved().unwrap_err();
         assert_eq!(
             errs,
-            vec![Violation::MissingDelivery { entity: e(1), msg: MsgId(0) }]
+            vec![Violation::MissingDelivery {
+                entity: e(1),
+                msg: MsgId(0)
+            }]
         );
     }
 
@@ -523,9 +540,16 @@ mod tests {
 
     #[test]
     fn violation_display_messages() {
-        let v = Violation::MissingDelivery { entity: e(0), msg: MsgId(3) };
+        let v = Violation::MissingDelivery {
+            entity: e(0),
+            msg: MsgId(3),
+        };
         assert_eq!(v.to_string(), "E1 never delivered m3");
-        let v = Violation::Causality { entity: e(1), first: MsgId(0), second: MsgId(1) };
+        let v = Violation::Causality {
+            entity: e(1),
+            first: MsgId(0),
+            second: MsgId(1),
+        };
         assert!(v.to_string().contains("causally earlier"));
     }
 

@@ -237,10 +237,7 @@ mod tests {
 
     #[test]
     fn compare_concurrent() {
-        assert_eq!(
-            vc(&[2, 1]).compare(&vc(&[1, 2])),
-            ClockOrdering::Concurrent
-        );
+        assert_eq!(vc(&[2, 1]).compare(&vc(&[1, 2])), ClockOrdering::Concurrent);
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl<B: Broadcaster> BroadcasterNode<B> {
 
     /// Convenience: the delivery log as `(origin, origin_seq)` pairs.
     pub fn delivery_log(&self) -> Vec<(EntityId, u64)> {
-        self.delivered.iter().map(|d| (d.origin, d.origin_seq)).collect()
+        self.delivered
+            .iter()
+            .map(|d| (d.origin, d.origin_seq))
+            .collect()
     }
 
     fn apply(&mut self, outs: Vec<Out<B::Msg>>, ctx: &mut Context<'_, B::Msg>) {
@@ -134,14 +137,14 @@ mod tests {
     #[test]
     fn co_over_simulator_delivers_everywhere() {
         let mut sim = co_cluster(3);
-        sim.schedule_command(SimTime::ZERO, EntityId::new(0), Bytes::from_static(b"hello"));
+        sim.schedule_command(
+            SimTime::ZERO,
+            EntityId::new(0),
+            Bytes::from_static(b"hello"),
+        );
         sim.run_until_idle();
         for (id, node) in sim.nodes() {
-            assert_eq!(
-                node.delivery_log(),
-                vec![(EntityId::new(0), 1)],
-                "at {id}"
-            );
+            assert_eq!(node.delivery_log(), vec![(EntityId::new(0), 1)], "at {id}");
             assert_eq!(node.delivered()[0].data, Bytes::from_static(b"hello"));
         }
     }
@@ -195,7 +198,11 @@ mod tests {
             .collect();
         let mut sim = Simulator::new(SimConfig::default(), nodes);
         sim.schedule_command(SimTime::ZERO, EntityId::new(0), Bytes::from_static(b"m1"));
-        sim.schedule_command(SimTime::from_millis(10), EntityId::new(1), Bytes::from_static(b"m2"));
+        sim.schedule_command(
+            SimTime::from_millis(10),
+            EntityId::new(1),
+            Bytes::from_static(b"m2"),
+        );
         sim.run_until_idle();
         for (id, node) in sim.nodes() {
             assert_eq!(node.delivered().len(), 2, "at {id}");

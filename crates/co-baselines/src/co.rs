@@ -20,7 +20,9 @@ impl CoBroadcaster {
     ///
     /// Propagates [`ConfigError`] from [`Entity::new`].
     pub fn new(config: Config) -> Result<Self, ConfigError> {
-        Ok(CoBroadcaster { entity: Entity::new(config)? })
+        Ok(CoBroadcaster {
+            entity: Entity::new(config)?,
+        })
     }
 
     /// The wrapped entity (metrics, knowledge-matrix inspection).

@@ -114,11 +114,7 @@ impl Broadcaster for FifoEntity {
                 }
                 if seq > *exp {
                     // Gap: buffer and selectively NACK the missing prefix.
-                    let first_held = self.held[src.index()]
-                        .keys()
-                        .next()
-                        .copied()
-                        .unwrap_or(seq);
+                    let first_held = self.held[src.index()].keys().next().copied().unwrap_or(seq);
                     self.held[src.index()].insert(seq, data);
                     outs.push(Out::Send(
                         src,
@@ -152,7 +148,11 @@ impl Broadcaster for FifoEntity {
                     }
                 }
             }
-            FifoMsg::Nack { src, from: lo, to: hi } => {
+            FifoMsg::Nack {
+                src,
+                from: lo,
+                to: hi,
+            } => {
                 if src == self.me {
                     for m in &self.history {
                         if let FifoMsg::Data { seq, .. } = m {
@@ -218,14 +218,25 @@ mod tests {
         let outs = b.on_msg(e(0), m2, 0);
         assert!(deliveries(&outs).is_empty());
         assert_eq!(b.held_messages(), 1);
-        let Out::Send(to, nack) = &outs[0] else { panic!() };
+        let Out::Send(to, nack) = &outs[0] else {
+            panic!()
+        };
         assert_eq!(*to, e(0));
-        assert_eq!(*nack, FifoMsg::Nack { src: e(0), from: 1, to: 2 });
+        assert_eq!(
+            *nack,
+            FifoMsg::Nack {
+                src: e(0),
+                from: 1,
+                to: 2
+            }
+        );
         // Source resends exactly seq 1.
         let resent = a.on_msg(e(1), nack.clone(), 0);
         assert_eq!(resent.len(), 1);
         assert_eq!(a.retransmissions_sent, 1);
-        let Out::Send(_, m1_again) = &resent[0] else { panic!() };
+        let Out::Send(_, m1_again) = &resent[0] else {
+            panic!()
+        };
         assert_eq!(
             deliveries(&b.on_msg(e(0), m1_again.clone(), 0)),
             vec![(0, 1), (0, 2)]
@@ -243,9 +254,9 @@ mod tests {
         let m1 = data_of(&e1.on_app(Bytes::from_static(b"m1"), 0));
         e2.on_msg(e(0), m1.clone(), 0);
         let m2 = data_of(&e2.on_app(Bytes::from_static(b"m2"), 0)); // causally after m1
-        // e3 receives m2 first: the FIFO protocol happily delivers it
-        // before its cause — exactly the violation the CO protocol exists
-        // to prevent.
+                                                                    // e3 receives m2 first: the FIFO protocol happily delivers it
+                                                                    // before its cause — exactly the violation the CO protocol exists
+                                                                    // to prevent.
         assert_eq!(deliveries(&e3.on_msg(e(1), m2, 0)), vec![(1, 1)]);
         assert_eq!(deliveries(&e3.on_msg(e(0), m1, 0)), vec![(0, 1)]);
     }

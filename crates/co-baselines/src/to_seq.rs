@@ -142,7 +142,11 @@ impl SequencerEntity {
         if origin == self.me {
             self.outstanding = self.outstanding.saturating_sub(1);
         }
-        outs.push(Out::Deliver(AppDelivery { origin, origin_seq, data }));
+        outs.push(Out::Deliver(AppDelivery {
+            origin,
+            origin_seq,
+            data,
+        }));
     }
 
     fn send_nack(&mut self, now_us: u64, outs: &mut Vec<Out<ToMsg>>) {
@@ -152,7 +156,12 @@ impl SequencerEntity {
             }
         }
         self.last_nack = Some((self.next_gseq, now_us));
-        outs.push(Out::Send(SEQUENCER, ToMsg::Nack { from: self.next_gseq }));
+        outs.push(Out::Send(
+            SEQUENCER,
+            ToMsg::Nack {
+                from: self.next_gseq,
+            },
+        ));
     }
 }
 
@@ -186,13 +195,22 @@ impl Broadcaster for SequencerEntity {
     fn on_msg(&mut self, from: EntityId, msg: ToMsg, now_us: u64) -> Vec<Out<ToMsg>> {
         let mut outs = Vec::new();
         match msg {
-            ToMsg::Submit { origin, origin_seq, data } => {
+            ToMsg::Submit {
+                origin,
+                origin_seq,
+                data,
+            } => {
                 if self.is_sequencer() {
                     self.order(origin, origin_seq, data, now_us, &mut outs);
                 }
                 // Non-sequencers ignore stray submits.
             }
-            ToMsg::Ordered { gseq, origin, origin_seq, data } => {
+            ToMsg::Ordered {
+                gseq,
+                origin,
+                origin_seq,
+                data,
+            } => {
                 if self.is_sequencer() {
                     return outs; // own resends echoed back — ignore
                 }
@@ -210,7 +228,11 @@ impl Broadcaster for SequencerEntity {
                 if origin == self.me {
                     self.outstanding = self.outstanding.saturating_sub(1);
                 }
-                outs.push(Out::Deliver(AppDelivery { origin, origin_seq, data }));
+                outs.push(Out::Deliver(AppDelivery {
+                    origin,
+                    origin_seq,
+                    data,
+                }));
             }
             ToMsg::Nack { from: first } => {
                 if self.is_sequencer() {
@@ -237,7 +259,9 @@ impl Broadcaster for SequencerEntity {
         if self.is_sequencer() && self.heartbeats_left > 0 && now_us >= self.next_heartbeat_us {
             self.heartbeats_left -= 1;
             self.next_heartbeat_us = now_us + self.heartbeat_interval_us;
-            outs.push(Out::Broadcast(ToMsg::Heartbeat { next_gseq: self.assign_gseq }));
+            outs.push(Out::Broadcast(ToMsg::Heartbeat {
+                next_gseq: self.assign_gseq,
+            }));
         }
         outs
     }
@@ -300,8 +324,14 @@ mod tests {
         let Out::Broadcast(ordered) = &ordered_outs[0] else {
             panic!("expected ordered broadcast");
         };
-        assert_eq!(deliveries(&b.on_msg(e(0), ordered.clone(), 0)), vec![(1, 1)]);
-        assert_eq!(deliveries(&c.on_msg(e(0), ordered.clone(), 0)), vec![(1, 1)]);
+        assert_eq!(
+            deliveries(&b.on_msg(e(0), ordered.clone(), 0)),
+            vec![(1, 1)]
+        );
+        assert_eq!(
+            deliveries(&c.on_msg(e(0), ordered.clone(), 0)),
+            vec![(1, 1)]
+        );
         assert!(b.is_quiescent());
     }
 
@@ -394,7 +424,10 @@ mod tests {
         let resent = s.on_msg(e(1), ToMsg::Nack { from: 1 }, deadline);
         assert_eq!(resent.len(), 1);
         if let Out::Send(_, m) = &resent[0] {
-            assert_eq!(deliveries(&b.on_msg(e(0), m.clone(), deadline)), vec![(0, 1)]);
+            assert_eq!(
+                deliveries(&b.on_msg(e(0), m.clone(), deadline)),
+                vec![(0, 1)]
+            );
         }
     }
 
@@ -425,7 +458,9 @@ mod tests {
         };
         b.on_msg(e(0), m, 0);
         // B is caught up; a heartbeat announcing next_gseq = 2 is a no-op.
-        assert!(b.on_msg(e(0), ToMsg::Heartbeat { next_gseq: 2 }, 1).is_empty());
+        assert!(b
+            .on_msg(e(0), ToMsg::Heartbeat { next_gseq: 2 }, 1)
+            .is_empty());
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Hot-path regression suite: the benches whose numbers land in
+//! `BENCH_hotpath.json` (see `results/README.md` for the schema and
+//! `src/bin/hotpath.rs` for the headless runner that writes the file).
+//!
+//! Three claims are guarded:
+//!
+//! * `matrix/*` — cached row minima make `row_min` O(1) and `row_mins`
+//!   an O(1) borrow, versus the naive recompute baseline
+//!   ([`co_bench::NaiveKnowledgeMatrix`]) which scans (and, for
+//!   `row_mins`, allocates) on every read;
+//! * `entity/accept_in_order` — steady-state acceptance of an in-order
+//!   data stream through `on_pdu_into` with a reused action vector, the
+//!   path the allocation-regression test pins at zero allocs;
+//! * `e2e/sim_throughput` — a full simulated broadcast round, so a
+//!   regression anywhere in the engine shows up even if the microbenches
+//!   miss it.
+
+use bytes::Bytes;
+use causal_order::{EntityId, Seq};
+use co_baselines::{BroadcasterNode, CoBroadcaster};
+use co_bench::NaiveKnowledgeMatrix;
+use co_protocol::{Action, Config, DeferralPolicy, Entity, KnowledgeMatrix, Pdu};
+use co_wire::DataPdu;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_net::{SimConfig, SimTime, Simulator};
+use std::hint::black_box;
+
+const SIZES: [usize; 4] = [4, 16, 64, 256];
+
+/// Entity tuned for a long steady-state run: deferred confirmations with
+/// an effectively-infinite timeout, so the receive path is measured
+/// without timer-driven sends.
+fn steady_entity(me: u32, n: usize) -> Entity {
+    let config = Config::builder(1, n, EntityId::new(me))
+        .deferral(DeferralPolicy::Deferred {
+            timeout_us: 1 << 40,
+        })
+        .window(1 << 20)
+        .buffer_units(1 << 30)
+        .build()
+        .expect("valid config");
+    Entity::new(config).expect("valid entity")
+}
+
+/// In-order data PDU from entity 1 whose ack vector never runs ahead of
+/// the receiver (quiet F2 scan — the steady-state shape).
+fn in_order_pdu(seq: u64, n: usize) -> Pdu {
+    let mut ack = vec![Seq::FIRST; n];
+    ack[1] = Seq::new(seq);
+    Pdu::Data(DataPdu {
+        cid: 1,
+        src: EntityId::new(1),
+        seq: Seq::new(seq),
+        ack,
+        buf: 1 << 20,
+        data: Bytes::from_static(&[0u8; 64]),
+    })
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix/fold_column");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, &n| {
+            let mut m = KnowledgeMatrix::new(n);
+            let mut vec = vec![Seq::new(5); n];
+            let mut tick = 0u64;
+            b.iter(|| {
+                tick += 1;
+                vec[(tick % n as u64) as usize] = Seq::new(5 + tick / n as u64);
+                m.fold_column(EntityId::new((tick % n as u64) as u32), &vec);
+                black_box(m.row_min(EntityId::new(0)));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            let mut m = NaiveKnowledgeMatrix::new(n);
+            let mut vec = vec![Seq::new(5); n];
+            let mut tick = 0u64;
+            b.iter(|| {
+                tick += 1;
+                vec[(tick % n as u64) as usize] = Seq::new(5 + tick / n as u64);
+                m.fold_column(EntityId::new((tick % n as u64) as u32), &vec);
+                black_box(m.row_min(EntityId::new(0)));
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("matrix/row_mins");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, &n| {
+            let m = KnowledgeMatrix::new(n);
+            b.iter(|| black_box(m.row_mins().len()));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            let m = NaiveKnowledgeMatrix::new(n);
+            b.iter(|| black_box(m.row_mins().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_accept_in_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entity/accept_in_order");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    const BATCH: u64 = 256;
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let pdus: Vec<Pdu> = (1..=BATCH).map(|s| in_order_pdu(s, n)).collect();
+                    (steady_entity(0, n), pdus, Vec::<Action>::new())
+                },
+                |(mut entity, pdus, mut actions)| {
+                    let mut now = 0u64;
+                    for pdu in pdus {
+                        actions.clear();
+                        now += 10;
+                        entity
+                            .on_pdu_into(pdu, now, &mut actions)
+                            .expect("accepted");
+                    }
+                    black_box(entity.metrics().accepted)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e/sim_throughput");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let nodes: Vec<BroadcasterNode<CoBroadcaster>> = (0..n)
+                    .map(|i| {
+                        let cfg = Config::builder(1, n, EntityId::new(i as u32))
+                            .deferral(DeferralPolicy::Deferred { timeout_us: 1_000 })
+                            .build()
+                            .expect("valid");
+                        BroadcasterNode::new(CoBroadcaster::new(cfg).expect("valid"))
+                    })
+                    .collect();
+                let mut sim = Simulator::new(SimConfig::default(), nodes);
+                for k in 0..20 {
+                    for s in 0..n {
+                        sim.schedule_command(
+                            SimTime::from_micros(k as u64 * 300),
+                            EntityId::new(s as u32),
+                            Bytes::from_static(b"bench-payload"),
+                        );
+                    }
+                }
+                sim.run_until_idle();
+                let delivered: usize = sim.nodes().map(|(_, node)| node.delivered().len()).sum();
+                black_box(delivered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matrix,
+    bench_accept_in_order,
+    bench_sim_throughput
+);
+criterion_main!(benches);

@@ -83,5 +83,10 @@ fn bench_cpi_insert(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_seq_test, bench_vector_clock, bench_cpi_insert);
+criterion_group!(
+    benches,
+    bench_seq_test,
+    bench_vector_clock,
+    bench_cpi_insert
+);
 criterion_main!(benches);

@@ -1,0 +1,284 @@
+//! Headless hot-path regression runner.
+//!
+//! Measures the same quantities as `benches/hotpath.rs` with plain
+//! `std::time` (no harness dependency, CI-friendly) and writes
+//! `BENCH_hotpath.json` — schema documented in `results/README.md`. The
+//! file records **both** sides of the optimization PR: the `baseline`
+//! block holds the pre-change tree's numbers (measured on the same
+//! machine, same runner logic, before the cached-minima/zero-alloc work
+//! landed) and the `current` block is re-measured on every run.
+//!
+//! Usage: `cargo run --release -p co-bench --bin hotpath [out.json]`
+
+use bytes::Bytes;
+use causal_order::{EntityId, Seq};
+use co_baselines::{BroadcasterNode, CoBroadcaster};
+use co_bench::NaiveKnowledgeMatrix;
+use co_protocol::{Action, Config, DeferralPolicy, Entity, KnowledgeMatrix, Pdu};
+use co_wire::DataPdu;
+use mc_net::{SimConfig, SimTime, Simulator};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SIZES: [usize; 4] = [4, 16, 64, 256];
+
+/// Pre-change numbers (seed tree, this machine, release profile): the
+/// denominator of the PR's speedup claim. `(id, n, ns_per_op)`.
+const BASELINE_PRE_CHANGE: &[(&str, usize, f64)] = &[
+    ("matrix/fold_column/4", 4, 6.5),
+    ("matrix/fold_column/16", 16, 17.3),
+    ("matrix/fold_column/64", 64, 58.3),
+    ("matrix/fold_column/256", 256, 731.5),
+    ("matrix/row_min/4", 4, 3.1),
+    ("matrix/row_min/16", 16, 15.1),
+    ("matrix/row_min/64", 64, 48.3),
+    ("matrix/row_min/256", 256, 233.5),
+    ("matrix/row_mins/4", 4, 28.3),
+    ("matrix/row_mins/16", 16, 279.9),
+    ("matrix/row_mins/64", 64, 3370.2),
+    ("matrix/row_mins/256", 256, 53872.0),
+    ("entity/accept_in_order/4", 4, 588.6),
+    ("entity/accept_in_order/16", 16, 896.5),
+    ("entity/accept_in_order/64", 64, 6516.8),
+    ("entity/accept_in_order/256", 256, 73091.2),
+];
+
+fn steady_entity(me: u32, n: usize) -> Entity {
+    let config = Config::builder(1, n, EntityId::new(me))
+        .deferral(DeferralPolicy::Deferred {
+            timeout_us: 1 << 40,
+        })
+        .window(1 << 20)
+        .buffer_units(1 << 30)
+        .build()
+        .expect("valid config");
+    Entity::new(config).expect("valid entity")
+}
+
+/// ns/op for `f` run `iters` times.
+fn time<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// `(fold_column, row_min, row_mins)` ns/op for the production matrix.
+fn bench_matrix(n: usize) -> (f64, f64, f64) {
+    let mut m = KnowledgeMatrix::new(n);
+    let mut vec = vec![Seq::new(5); n];
+    let iters = 2_000_000u64.min(200_000_000 / n as u64);
+    let mut tick = 0u64;
+    let fold = time(iters, || {
+        tick += 1;
+        vec[(tick % n as u64) as usize] = Seq::new(5 + tick / n as u64);
+        black_box(m.fold_column(EntityId::new((tick % n as u64) as u32), &vec));
+    });
+    let row_min = time(iters, || {
+        black_box(m.row_min(EntityId::new(0)));
+    });
+    let row_mins = time(iters, || {
+        black_box(m.row_mins());
+    });
+    (fold, row_min, row_mins)
+}
+
+/// Same three quantities for the naive (seed-design) matrix, re-measured
+/// live so the cached-vs-naive comparison never goes stale.
+fn bench_naive_matrix(n: usize) -> (f64, f64, f64) {
+    let mut m = NaiveKnowledgeMatrix::new(n);
+    let mut vec = vec![Seq::new(5); n];
+    let iters = 1_000_000u64.min(50_000_000 / n as u64);
+    let mut tick = 0u64;
+    let fold = time(iters, || {
+        tick += 1;
+        vec[(tick % n as u64) as usize] = Seq::new(5 + tick / n as u64);
+        m.fold_column(EntityId::new((tick % n as u64) as u32), &vec);
+        black_box(&m);
+    });
+    let row_min = time(iters, || {
+        black_box(m.row_min(EntityId::new(0)));
+    });
+    let row_mins = time(iters.min(200_000_000 / (n * n) as u64), || {
+        black_box(m.row_mins());
+    });
+    (fold, row_min, row_mins)
+}
+
+/// Steady-state in-order acceptance ns/PDU: entity 0 receives a long
+/// in-order stream from entity 1 (quiet F2, reused action vector).
+fn bench_acceptance(n: usize, msgs: u64) -> f64 {
+    let mut e = steady_entity(0, n);
+    let payload = Bytes::from_static(&[0u8; 64]);
+    let mut actions: Vec<Action> = Vec::new();
+    let mut now = 0u64;
+    let start = Instant::now();
+    for seq in 1..=msgs {
+        let mut ack = vec![Seq::FIRST; n];
+        ack[1] = Seq::new(seq);
+        let pdu = Pdu::Data(DataPdu {
+            cid: 1,
+            src: EntityId::new(1),
+            seq: Seq::new(seq),
+            ack,
+            buf: 1 << 20,
+            data: payload.clone(),
+        });
+        now += 10;
+        actions.clear();
+        e.on_pdu_into(pdu, now, &mut actions).expect("accepted");
+        black_box(actions.len());
+    }
+    start.elapsed().as_nanos() as f64 / msgs as f64
+}
+
+/// Full simulated broadcast round; returns delivered messages per second
+/// of wall-clock time.
+fn bench_sim_throughput(n: usize, messages: usize) -> f64 {
+    let nodes: Vec<BroadcasterNode<CoBroadcaster>> = (0..n)
+        .map(|i| {
+            let cfg = Config::builder(1, n, EntityId::new(i as u32))
+                .deferral(DeferralPolicy::Deferred { timeout_us: 1_000 })
+                .build()
+                .expect("valid");
+            BroadcasterNode::new(CoBroadcaster::new(cfg).expect("valid"))
+        })
+        .collect();
+    let mut sim = Simulator::new(SimConfig::default(), nodes);
+    for k in 0..messages {
+        for s in 0..n {
+            sim.schedule_command(
+                SimTime::from_micros(k as u64 * 300),
+                EntityId::new(s as u32),
+                Bytes::from_static(b"bench-payload"),
+            );
+        }
+    }
+    let start = Instant::now();
+    sim.run_until_idle();
+    let elapsed = start.elapsed().as_secs_f64();
+    let delivered: usize = sim.nodes().map(|(_, node)| node.delivered().len()).sum();
+    delivered as f64 / elapsed.max(1e-9)
+}
+
+struct Entry {
+    id: String,
+    n: usize,
+    ns_per_op: f64,
+    throughput_per_s: Option<f64>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let mut current: Vec<Entry> = Vec::new();
+
+    for n in SIZES {
+        let (fold, row_min, row_mins) = bench_matrix(n);
+        for (op, ns) in [
+            ("fold_column", fold),
+            ("row_min", row_min),
+            ("row_mins", row_mins),
+        ] {
+            current.push(Entry {
+                id: format!("matrix/{op}/{n}"),
+                n,
+                ns_per_op: ns,
+                throughput_per_s: None,
+            });
+            eprintln!("matrix/{op}/{n}: {ns:.1} ns/op");
+        }
+        let (nfold, nrow_min, nrow_mins) = bench_naive_matrix(n);
+        for (op, ns) in [
+            ("fold_column", nfold),
+            ("row_min", nrow_min),
+            ("row_mins", nrow_mins),
+        ] {
+            current.push(Entry {
+                id: format!("matrix-naive/{op}/{n}"),
+                n,
+                ns_per_op: ns,
+                throughput_per_s: None,
+            });
+            eprintln!("matrix-naive/{op}/{n}: {ns:.1} ns/op");
+        }
+    }
+
+    for n in SIZES {
+        let msgs = 60_000u64.min(8_000_000 / n as u64);
+        let ns = bench_acceptance(n, msgs);
+        current.push(Entry {
+            id: format!("entity/accept_in_order/{n}"),
+            n,
+            ns_per_op: ns,
+            throughput_per_s: Some(1e9 / ns),
+        });
+        eprintln!("entity/accept_in_order/{n}: {ns:.1} ns/PDU");
+    }
+
+    for n in [4usize, 8] {
+        let per_s = bench_sim_throughput(n, 50);
+        current.push(Entry {
+            id: format!("e2e/sim_throughput/{n}"),
+            n,
+            // ns per delivered message, for uniformity with the other rows.
+            ns_per_op: 1e9 / per_s,
+            throughput_per_s: Some(per_s),
+        });
+        eprintln!("e2e/sim_throughput/{n}: {per_s:.0} deliveries/s");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"hotpath-v1\",\n  \"baseline\": {\n");
+    for (i, (id, n, ns)) in BASELINE_PRE_CHANGE.iter().enumerate() {
+        let comma = if i + 1 == BASELINE_PRE_CHANGE.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(
+            json,
+            "    \"{id}\": {{\"n\": {n}, \"ns_per_op\": {ns:.1}}}{comma}"
+        )
+        .expect("write to string");
+    }
+    json.push_str("  },\n  \"current\": {\n");
+    for (i, e) in current.iter().enumerate() {
+        let comma = if i + 1 == current.len() { "" } else { "," };
+        match e.throughput_per_s {
+            Some(t) => writeln!(
+                json,
+                "    \"{}\": {{\"n\": {}, \"ns_per_op\": {:.1}, \"throughput_per_s\": {:.0}}}{comma}",
+                e.id, e.n, e.ns_per_op, t
+            )
+            .expect("write to string"),
+            None => writeln!(
+                json,
+                "    \"{}\": {{\"n\": {}, \"ns_per_op\": {:.1}}}{comma}",
+                e.id, e.n, e.ns_per_op
+            )
+            .expect("write to string"),
+        }
+    }
+    json.push_str("  },\n  \"speedup_vs_baseline\": {\n");
+    let speedups: Vec<(String, f64)> = BASELINE_PRE_CHANGE
+        .iter()
+        .filter_map(|(id, _, base)| {
+            current
+                .iter()
+                .find(|e| e.id == *id)
+                .map(|e| (id.to_string(), base / e.ns_per_op))
+        })
+        .collect();
+    for (i, (id, ratio)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        writeln!(json, "    \"{id}\": {ratio:.2}{comma}").expect("write to string");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
+    eprintln!("wrote {out_path}");
+}

@@ -50,7 +50,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, A
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
-            it.next().ok_or_else(|| ArgError(format!("{name} needs a value")))
+            it.next()
+                .ok_or_else(|| ArgError(format!("{name} needs a value")))
         };
         match flag.as_str() {
             "--me" => {
@@ -98,7 +99,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, A
             "--me {me} out of range for a cluster of {n} (peers + self)"
         )));
     }
-    Ok(NodeArgs { me, bind, peers, cid, window })
+    Ok(NodeArgs {
+        me,
+        bind,
+        peers,
+        cid,
+        window,
+    })
 }
 
 #[cfg(test)]
@@ -125,8 +132,7 @@ mod tests {
 
     #[test]
     fn defaults_apply() {
-        let args =
-            parse_args(argv("--me 0 --bind 127.0.0.1:7000 --peer 127.0.0.1:7001")).unwrap();
+        let args = parse_args(argv("--me 0 --bind 127.0.0.1:7000 --peer 127.0.0.1:7001")).unwrap();
         assert_eq!(args.cid, 1);
         assert_eq!(args.window, 64);
     }
@@ -140,8 +146,7 @@ mod tests {
 
     #[test]
     fn out_of_range_me_rejected() {
-        let err =
-            parse_args(argv("--me 2 --bind 127.0.0.1:1 --peer 127.0.0.1:2")).unwrap_err();
+        let err = parse_args(argv("--me 2 --bind 127.0.0.1:1 --peer 127.0.0.1:2")).unwrap_err();
         assert!(err.0.contains("out of range"));
     }
 
@@ -154,8 +159,14 @@ mod tests {
 
     #[test]
     fn bad_values_name_the_flag() {
-        assert!(parse_args(argv("--me zero")).unwrap_err().0.contains("--me"));
-        assert!(parse_args(argv("--bind nowhere")).unwrap_err().0.contains("--bind"));
+        assert!(parse_args(argv("--me zero"))
+            .unwrap_err()
+            .0
+            .contains("--me"));
+        assert!(parse_args(argv("--bind nowhere"))
+            .unwrap_err()
+            .0
+            .contains("--bind"));
         assert!(parse_args(argv("--me 0 --bind 1.2.3.4:5 --peer nope"))
             .unwrap_err()
             .0

@@ -80,7 +80,11 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
         .spawn(move || node_loop(entity, me, socket, peer_addrs, input_rx, event_tx))
         .expect("spawn node thread");
 
-    Ok(NodeHandle { input: input_tx, events: event_rx, thread })
+    Ok(NodeHandle {
+        input: input_tx,
+        events: event_rx,
+        thread,
+    })
 }
 
 fn node_loop(
@@ -142,7 +146,8 @@ fn node_loop(
         loop {
             match input.try_recv() {
                 Ok(Some(line)) => {
-                    if let Ok((_, actions)) = entity.submit(Bytes::from(line.into_bytes()), now_us())
+                    if let Ok((_, actions)) =
+                        entity.submit(Bytes::from(line.into_bytes()), now_us())
                     {
                         dispatch(actions, &events, &socket);
                     }
@@ -181,7 +186,10 @@ mod tests {
         let sockets: Vec<UdpSocket> = (0..k)
             .map(|_| UdpSocket::bind(("127.0.0.1", 0)).unwrap())
             .collect();
-        sockets.iter().map(|s| s.local_addr().unwrap().port()).collect()
+        sockets
+            .iter()
+            .map(|s| s.local_addr().unwrap().port())
+            .collect()
     }
 
     #[test]
@@ -204,8 +212,14 @@ mod tests {
         )
         .unwrap();
 
-        assert!(matches!(a.events.recv().unwrap(), NodeEvent::Ready { n: 2, .. }));
-        assert!(matches!(b.events.recv().unwrap(), NodeEvent::Ready { n: 2, .. }));
+        assert!(matches!(
+            a.events.recv().unwrap(),
+            NodeEvent::Ready { n: 2, .. }
+        ));
+        assert!(matches!(
+            b.events.recv().unwrap(),
+            NodeEvent::Ready { n: 2, .. }
+        ));
 
         a.input.send(Some("hello from a".into())).unwrap();
         b.input.send(Some("hello from b".into())).unwrap();
@@ -226,7 +240,10 @@ mod tests {
         };
         let got_a = collect(&a.events);
         let got_b = collect(&b.events);
-        assert_eq!(got_a, vec!["hello from a".to_string(), "hello from b".to_string()]);
+        assert_eq!(
+            got_a,
+            vec!["hello from a".to_string(), "hello from b".to_string()]
+        );
         assert_eq!(got_a, got_b);
 
         a.input.send(None).unwrap();

@@ -6,14 +6,35 @@ fn main() {
     let csv = co_experiments::csv_arg();
     let runs: Vec<(&str, Vec<co_experiments::Table>)> = vec![
         ("fig8", co_experiments::experiments::fig8::run(quick)),
-        ("ack_latency", co_experiments::experiments::ack_latency::run(quick)),
-        ("buffer_occupancy", co_experiments::experiments::buffer_occupancy::run(quick)),
-        ("pdu_overhead", co_experiments::experiments::pdu_overhead::run(quick)),
-        ("retransmission", co_experiments::experiments::retransmission::run(quick)),
-        ("deferred", co_experiments::experiments::deferred::run(quick)),
+        (
+            "ack_latency",
+            co_experiments::experiments::ack_latency::run(quick),
+        ),
+        (
+            "buffer_occupancy",
+            co_experiments::experiments::buffer_occupancy::run(quick),
+        ),
+        (
+            "pdu_overhead",
+            co_experiments::experiments::pdu_overhead::run(quick),
+        ),
+        (
+            "retransmission",
+            co_experiments::experiments::retransmission::run(quick),
+        ),
+        (
+            "deferred",
+            co_experiments::experiments::deferred::run(quick),
+        ),
         ("vs_isis", co_experiments::experiments::vs_isis::run(quick)),
-        ("window_sweep", co_experiments::experiments::window_sweep::run(quick)),
-        ("ablation_strict", co_experiments::experiments::ablation_strict::run(quick)),
+        (
+            "window_sweep",
+            co_experiments::experiments::window_sweep::run(quick),
+        ),
+        (
+            "ablation_strict",
+            co_experiments::experiments::ablation_strict::run(quick),
+        ),
     ];
     for (id, tables) in &runs {
         for (i, table) in tables.iter().enumerate() {

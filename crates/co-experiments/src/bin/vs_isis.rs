@@ -4,7 +4,10 @@
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let csv = co_experiments::csv_arg();
-    for (i, table) in co_experiments::experiments::vs_isis::run(quick).iter().enumerate() {
+    for (i, table) in co_experiments::experiments::vs_isis::run(quick)
+        .iter()
+        .enumerate()
+    {
         co_experiments::experiments::emit_table(table, csv.as_deref(), "vs_isis", i);
     }
 }

@@ -34,7 +34,9 @@ pub fn measure(n: usize, messages: usize, strict: bool) -> (f64, f64) {
     let deadline = SimTime::from_micros(messages as u64 * 500 * 4 + 200_000);
     let result = run_co_for(
         &params,
-        AblationSwitches { control_updates_al: !strict },
+        AblationSwitches {
+            control_updates_al: !strict,
+        },
         deadline,
     );
     let expected = (result.total_messages * n) as f64;
@@ -85,7 +87,13 @@ mod tests {
     #[test]
     fn strict_mode_delivers_bulk_but_not_tail() {
         let (frac, _) = measure(3, 15, true);
-        assert!(frac > 0.5, "bulk must flow through data-PDU confirmations: {frac}");
-        assert!(frac < 1.0, "the tail cannot complete without ack-only knowledge: {frac}");
+        assert!(
+            frac > 0.5,
+            "bulk must flow through data-PDU confirmations: {frac}"
+        );
+        assert!(
+            frac < 1.0,
+            "the tail cannot complete without ack-only knowledge: {frac}"
+        );
     }
 }

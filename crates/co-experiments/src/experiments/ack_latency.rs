@@ -15,11 +15,21 @@ use crate::table::Table;
 
 /// Runs the sweep over cluster sizes.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 3, 4, 6, 8, 12, 16] };
+    let sizes: Vec<usize> = if quick {
+        vec![2, 4]
+    } else {
+        vec![2, 3, 4, 6, 8, 12, 16]
+    };
     let r_us = 1_000u64;
     let mut table = Table::new(
         "Acknowledgment latency (paper: acceptance + 2R ≈ 3R end-to-end)",
-        &["n", "R [µs]", "mean delivery latency [µs]", "latency / R", "paper bound"],
+        &[
+            "n",
+            "R [µs]",
+            "mean delivery latency [µs]",
+            "latency / R",
+            "paper bound",
+        ],
     );
     for &n in &sizes {
         let mean = measure(n, r_us);

@@ -13,8 +13,16 @@ use crate::table::Table;
 
 /// Runs the sweep over `n` (at fixed `W`) and over `W` (at fixed `n`).
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 3, 4, 6, 8, 12] };
-    let windows: Vec<u64> = if quick { vec![2, 8] } else { vec![1, 2, 4, 8, 16, 32] };
+    let sizes: Vec<usize> = if quick {
+        vec![2, 4]
+    } else {
+        vec![2, 3, 4, 6, 8, 12]
+    };
+    let windows: Vec<u64> = if quick {
+        vec![2, 8]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
 
     let mut by_n = Table::new(
         "Peak buffer occupancy vs n (W = 8; paper bound 2nW)",
@@ -86,7 +94,10 @@ mod tests {
     fn occupancy_grows_with_n() {
         let small = measure(2, 8);
         let large = measure(6, 8);
-        assert!(large >= small, "holding more senders' PDUs needs more buffer");
+        assert!(
+            large >= small,
+            "holding more senders' PDUs needs more buffer"
+        );
     }
 
     #[test]

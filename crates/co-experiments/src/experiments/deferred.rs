@@ -36,7 +36,11 @@ pub fn measure(n: usize, messages: usize, deferral: DeferralPolicy) -> (f64, f64
 
 /// Runs the policy × n sweep.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: Vec<usize> = if quick { vec![3, 5] } else { vec![2, 3, 4, 6, 8, 12, 16] };
+    let sizes: Vec<usize> = if quick {
+        vec![3, 5]
+    } else {
+        vec![2, 3, 4, 6, 8, 12, 16]
+    };
     let messages = if quick { 15 } else { 40 };
     let mut table = Table::new(
         "Deferred confirmation: broadcast PDUs per delivered message (single sender)",
@@ -82,7 +86,10 @@ mod tests {
     fn immediate_cost_grows_with_n() {
         let (small, _) = measure(3, 15, DeferralPolicy::Immediate);
         let (large, _) = measure(8, 15, DeferralPolicy::Immediate);
-        assert!(large > small, "O(n) confirmations per message: {small} vs {large}");
+        assert!(
+            large > small,
+            "O(n) confirmations per message: {small} vs {large}"
+        );
     }
 
     #[test]

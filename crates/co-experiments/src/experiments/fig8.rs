@@ -16,7 +16,11 @@ use crate::table::Table;
 
 /// Runs the sweep. `quick` shrinks the cluster sizes and message count.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 3, 4, 5, 6, 8, 10, 12] };
+    let sizes: Vec<usize> = if quick {
+        vec![2, 4]
+    } else {
+        vec![2, 3, 4, 5, 6, 8, 10, 12]
+    };
     let messages = if quick { 40 } else { 200 };
     let headers = [
         "n",
@@ -46,10 +50,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     // entity is a socket + thread).
     let udp_sizes: Vec<usize> = if quick { vec![2] } else { vec![2, 3, 4, 6, 8] };
     let udp_messages = if quick { 20 } else { 100 };
-    let mut udp_table = Table::new(
-        "Figure 8 over UDP loopback (real datagrams)",
-        &headers,
-    );
+    let mut udp_table = Table::new("Figure 8 over UDP loopback (real datagrams)", &headers);
     for &n in &udp_sizes {
         let (tco_mean, tco_p95, tap_mean, tap_p95, processed) = measure_udp(n, udp_messages);
         udp_table.push(vec![
@@ -83,14 +84,13 @@ fn summarize(reports: &[NodeReport]) -> (Duration, Duration, Duration, Duration,
 }
 
 /// Wall-clock measurement over real UDP loopback sockets.
-pub fn measure_udp(
-    n: usize,
-    messages: usize,
-) -> (Duration, Duration, Duration, Duration, usize) {
+pub fn measure_udp(n: usize, messages: usize) -> (Duration, Duration, Duration, Duration, usize) {
     let cluster = UdpCluster::start(n, UdpOptions::default()).expect("udp cluster start");
     for k in 0..messages {
         for i in 0..n {
-            cluster.submit(i, Bytes::from(format!("m{k}"))).expect("submit");
+            cluster
+                .submit(i, Bytes::from(format!("m{k}")))
+                .expect("submit");
         }
         if k % 16 == 15 {
             std::thread::sleep(Duration::from_micros(200));
@@ -101,10 +101,7 @@ pub fn measure_udp(
 
 /// One wall-clock measurement at cluster size `n`; every entity submits
 /// `messages` payloads ("file transfer" workload).
-pub fn measure(
-    n: usize,
-    messages: usize,
-) -> (Duration, Duration, Duration, Duration, usize) {
+pub fn measure(n: usize, messages: usize) -> (Duration, Duration, Duration, Duration, usize) {
     let cluster = Cluster::start(n, ClusterOptions::default()).expect("cluster start");
     for k in 0..messages {
         for i in 0..n {

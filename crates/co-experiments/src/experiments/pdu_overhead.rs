@@ -55,7 +55,13 @@ pub fn run(quick: bool) -> Vec<Table> {
     };
     let mut table = Table::new(
         "PDU wire size vs n (paper: O(n) from the ACK field)",
-        &["n", "DATA+64B [B]", "RET [B]", "ACKONLY [B]", "bytes/entity (DATA)"],
+        &[
+            "n",
+            "DATA+64B [B]",
+            "RET [B]",
+            "ACKONLY [B]",
+            "bytes/entity (DATA)",
+        ],
     );
     let mut prev: Option<(usize, usize)> = None;
     for &n in &sizes {

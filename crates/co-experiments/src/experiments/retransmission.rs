@@ -55,8 +55,14 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     for &p in &rates {
         for (name, cell) in [
-            ("CO selective", co_cell(n, messages, p, RetransmissionPolicy::Selective)),
-            ("CO go-back-n", co_cell(n, messages, p, RetransmissionPolicy::GoBackN)),
+            (
+                "CO selective",
+                co_cell(n, messages, p, RetransmissionPolicy::Selective),
+            ),
+            (
+                "CO go-back-n",
+                co_cell(n, messages, p, RetransmissionPolicy::GoBackN),
+            ),
             ("TO sequencer (gbn)", to_cell(n, messages, p)),
         ] {
             table.push(vec![

@@ -55,7 +55,11 @@ pub fn measure(n: usize, window: u64, messages: usize) -> WindowPoint {
 
 /// Runs the sweep.
 pub fn run(quick: bool) -> Vec<Table> {
-    let windows: Vec<u64> = if quick { vec![1, 8] } else { vec![1, 2, 4, 8, 16, 32, 64] };
+    let windows: Vec<u64> = if quick {
+        vec![1, 8]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
     let (n, messages) = if quick { (3, 20) } else { (4, 80) };
     let mut table = Table::new(
         "Window-size ablation (flow condition, §4.2)",

@@ -25,5 +25,7 @@ pub mod experiments;
 mod runner;
 mod table;
 
-pub use runner::{run_co, run_co_for, AblationSwitches, CoRunParams, CoRunResult, NodeOutcome, Senders};
+pub use runner::{
+    run_co, run_co_for, AblationSwitches, CoRunParams, CoRunResult, NodeOutcome, Senders,
+};
 pub use table::{csv_arg, Table};

@@ -159,9 +159,7 @@ impl CoRunResult {
             for (_, _, ev) in events {
                 match ev {
                     Ev::Broadcast(seq) => trace.record_broadcast(node.id, msg_id(node.id, seq)),
-                    Ev::Deliver(origin, seq) => {
-                        trace.record_delivery(node.id, msg_id(origin, seq))
-                    }
+                    Ev::Deliver(origin, seq) => trace.record_delivery(node.id, msg_id(origin, seq)),
                 }
             }
         }
@@ -180,7 +178,9 @@ pub struct AblationSwitches {
 
 impl Default for AblationSwitches {
     fn default() -> Self {
-        AblationSwitches { control_updates_al: true }
+        AblationSwitches {
+            control_updates_al: true,
+        }
     }
 }
 
@@ -236,9 +236,8 @@ fn build_sim(
     for k in 0..params.messages_per_sender {
         for &s in &senders {
             // Stagger entities slightly so submissions are not simultaneous.
-            let at = SimTime::from_micros(
-                k as u64 * params.submit_interval_us + (s as u64 * 7) % 97,
-            );
+            let at =
+                SimTime::from_micros(k as u64 * params.submit_interval_us + (s as u64 * 7) % 97);
             let payload = Bytes::from(vec![s as u8; params.payload.max(1)]);
             sim.schedule_command(at, EntityId::new(s as u32), payload);
         }
@@ -284,8 +283,15 @@ mod tests {
     fn default_run_delivers_everything() {
         let result = run_co(&CoRunParams::default());
         assert_eq!(result.total_messages, 60);
-        assert!(result.all_delivered(), "per-node: {:?}",
-            result.nodes.iter().map(|o| o.delivered.len()).collect::<Vec<_>>());
+        assert!(
+            result.all_delivered(),
+            "per-node: {:?}",
+            result
+                .nodes
+                .iter()
+                .map(|o| o.delivered.len())
+                .collect::<Vec<_>>()
+        );
         assert!(result.makespan > SimTime::ZERO);
         assert!(!result.delivery_latencies_us().is_empty());
     }
@@ -315,4 +321,3 @@ mod tests {
         assert!(lats.iter().all(|&l| l > 0));
     }
 }
-

@@ -181,7 +181,10 @@ mod tests {
     fn csv_escapes_commas_and_quotes() {
         let mut t = Table::new("x", &["a"]);
         t.push(vec!["hello, \"world\"".into()]);
-        assert_eq!(t.to_csv().lines().nth(1).unwrap(), "\"hello, \"\"world\"\"\"");
+        assert_eq!(
+            t.to_csv().lines().nth(1).unwrap(),
+            "\"hello, \"\"world\"\"\""
+        );
     }
 
     #[test]

@@ -225,7 +225,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroWindow => write!(f, "window size W must be positive"),
             ConfigError::ZeroPduUnits => write!(f, "pdu buffer units H must be positive"),
             ConfigError::BufferTooSmall { units, per_pdu } => {
-                write!(f, "buffer of {units} units cannot hold one {per_pdu}-unit pdu")
+                write!(
+                    f,
+                    "buffer of {units} units cannot hold one {per_pdu}-unit pdu"
+                )
             }
         }
     }
@@ -303,7 +306,9 @@ mod tests {
     #[test]
     fn zero_pdu_units_rejected() {
         assert_eq!(
-            Config::builder(0, 2, EntityId::new(0)).pdu_buf_units(0).build(),
+            Config::builder(0, 2, EntityId::new(0))
+                .pdu_buf_units(0)
+                .build(),
             Err(ConfigError::ZeroPduUnits)
         );
     }
@@ -315,14 +320,23 @@ mod tests {
                 .pdu_buf_units(8)
                 .buffer_units(4)
                 .build(),
-            Err(ConfigError::BufferTooSmall { units: 4, per_pdu: 8 })
+            Err(ConfigError::BufferTooSmall {
+                units: 4,
+                per_pdu: 8
+            })
         );
     }
 
     #[test]
     fn error_display() {
-        let e = ConfigError::BufferTooSmall { units: 4, per_pdu: 8 };
-        assert_eq!(e.to_string(), "buffer of 4 units cannot hold one 8-unit pdu");
+        let e = ConfigError::BufferTooSmall {
+            units: 4,
+            per_pdu: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "buffer of 4 units cannot hold one 8-unit pdu"
+        );
         assert!(ConfigError::ZeroWindow.to_string().contains("positive"));
     }
 }

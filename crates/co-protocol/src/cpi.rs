@@ -41,13 +41,21 @@
 
 use causal_order::{causally_precedes, SeqMeta};
 use co_wire::DataPdu;
+use std::collections::VecDeque;
 
 /// A causally ordered log of pre-acknowledged PDUs.
+///
+/// Backed by a ring buffer so the two operations the delivery path performs
+/// per PDU are cheap: [`dequeue`](CausalLog::dequeue) is O(1) (the old
+/// `Vec::remove(0)` memmoved the whole log per delivery), and
+/// [`insert`](CausalLog::insert) shifts only from the insertion point —
+/// which the CPI rule places at or near the tail for in-order traffic —
+/// instead of everything behind it.
 #[derive(Debug, Clone, Default)]
 pub struct CausalLog {
-    pdus: Vec<DataPdu>,
+    pdus: VecDeque<DataPdu>,
     /// Cached [`SeqMeta`]s, index-aligned with `pdus`.
-    metas: Vec<SeqMeta>,
+    metas: VecDeque<SeqMeta>,
 }
 
 impl CausalLog {
@@ -72,16 +80,16 @@ impl CausalLog {
 
     /// The oldest (top) element.
     pub fn top(&self) -> Option<&DataPdu> {
-        self.pdus.first()
+        self.pdus.front()
     }
 
-    /// Removes and returns the top element.
+    /// Removes and returns the top element. O(1).
     pub fn dequeue(&mut self) -> Option<DataPdu> {
-        if self.pdus.is_empty() {
-            return None;
+        let pdu = self.pdus.pop_front();
+        if pdu.is_some() {
+            self.metas.pop_front();
         }
-        self.metas.remove(0);
-        Some(self.pdus.remove(0))
+        pdu
     }
 
     /// Number of elements.
@@ -103,7 +111,7 @@ impl CausalLog {
     /// no element causally precedes an earlier one.
     pub fn is_causality_preserved(&self) -> bool {
         for (i, later) in self.metas.iter().enumerate() {
-            for earlier in &self.metas[..i] {
+            for earlier in self.metas.iter().take(i) {
                 if causally_precedes(later, earlier) {
                     return false;
                 }
@@ -131,11 +139,21 @@ mod tests {
     }
 
     /// Example 4.1's PDUs (Table 1).
-    fn a() -> DataPdu { pdu(0, 1, &[1, 1, 1]) }
-    fn b() -> DataPdu { pdu(2, 1, &[2, 1, 1]) }
-    fn c() -> DataPdu { pdu(0, 2, &[2, 1, 1]) }
-    fn d() -> DataPdu { pdu(1, 1, &[3, 1, 2]) }
-    fn e_() -> DataPdu { pdu(0, 3, &[3, 2, 2]) }
+    fn a() -> DataPdu {
+        pdu(0, 1, &[1, 1, 1])
+    }
+    fn b() -> DataPdu {
+        pdu(2, 1, &[2, 1, 1])
+    }
+    fn c() -> DataPdu {
+        pdu(0, 2, &[2, 1, 1])
+    }
+    fn d() -> DataPdu {
+        pdu(1, 1, &[3, 1, 2])
+    }
+    fn e_() -> DataPdu {
+        pdu(0, 3, &[3, 2, 2])
+    }
 
     fn order(log: &CausalLog) -> Vec<(u32, u64)> {
         log.iter().map(|p| (p.src.raw(), p.seq.get())).collect()

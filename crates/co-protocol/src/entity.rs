@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use causal_order::{EntityId, Seq};
 use co_wire::{AckOnlyPdu, DataPdu, Pdu, RetPdu};
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use crate::actions::{Action, Delivery, SubmitOutcome};
@@ -51,10 +52,18 @@ pub struct Entity {
     /// Which peers we have heard from since our last own transmission
     /// (drives deferred confirmation).
     heard_since_send: Vec<bool>,
-    /// The `REQ` vector as of our last confirmation-bearing transmission.
-    advertised_req: Vec<Seq>,
-    /// Our pre-ack frontier as of the last advertisement.
-    advertised_packed: Vec<Seq>,
+    /// Bumped whenever `req` changes. `REQ` entries are monotonic, so two
+    /// equal versions imply equal vectors — the O(1) advertisement check.
+    req_version: u64,
+    /// `(req_version, al.version())` as of our last confirmation-bearing
+    /// transmission (replaces storing the advertised vectors themselves).
+    advertised: (u64, u64),
+    /// Scratch for draining the AL/PAL dirty-source sets (reused across
+    /// events; never allocates past construction).
+    pack_scratch: Vec<u32>,
+    /// Memoized "`minPAL_j >= REQ_j` for every `j`" result, keyed by
+    /// `(req_version, pal.version())`, so idle stability checks are O(1).
+    stable_cache: Cell<(u64, u64, bool)>,
     /// Outstanding `RET` per source: `(lseq, when_sent_us)`.
     ret_outstanding: Vec<Option<(Seq, u64)>>,
     /// Set when a peer's confirmation shows it lags our knowledge — we owe
@@ -89,8 +98,10 @@ impl Entity {
             reorder: ReorderBuffer::new(n),
             pending: VecDeque::new(),
             heard_since_send: vec![false; n],
-            advertised_req: vec![Seq::FIRST; n],
-            advertised_packed: vec![Seq::FIRST; n],
+            req_version: 0,
+            advertised: (0, 0),
+            pack_scratch: Vec::with_capacity(n),
+            stable_cache: Cell::new((u64::MAX, u64::MAX, false)),
             ret_outstanding: vec![None; n],
             peer_needs_update: false,
             last_send_us: 0,
@@ -159,12 +170,27 @@ impl Entity {
     /// not fully stable keeps emitting heartbeat confirmations so that
     /// tail losses (a PDU or confirmation lost with no later traffic to
     /// reveal the gap) are eventually detected and repaired.
+    ///
+    /// O(1) on idle ticks: the `minPAL >= REQ` sweep is memoized on the
+    /// `(REQ, PAL)` version pair and recomputed only after either moved.
     pub fn is_fully_stable(&self) -> bool {
-        self.is_quiescent()
-            && (0..self.config.n()).all(|j| {
-                let source = EntityId::new(j as u32);
-                self.pal.row_min(source) >= self.req[j]
-            })
+        self.is_quiescent() && self.pal_covers_req()
+    }
+
+    /// Memoized `∀j: minPAL_j >= REQ_j` (both sides are monotonic, so a
+    /// version match proves the inputs are unchanged).
+    fn pal_covers_req(&self) -> bool {
+        let key = (self.req_version, self.pal.version());
+        let (k0, k1, cached) = self.stable_cache.get();
+        if (k0, k1) == key {
+            return cached;
+        }
+        let covered = (0..self.config.n()).all(|j| {
+            let source = EntityId::new(j as u32);
+            self.pal.row_min(source) >= self.req[j]
+        });
+        self.stable_cache.set((key.0, key.1, covered));
+        covered
     }
 
     /// Interval for stability heartbeats: the coarser of the deferral
@@ -223,7 +249,9 @@ impl Entity {
             SubmitOutcome::Sent(seq)
         } else {
             if self.pending.len() >= MAX_QUEUED_SUBMITS {
-                return Err(ProtocolError::SubmitQueueFull { limit: MAX_QUEUED_SUBMITS });
+                return Err(ProtocolError::SubmitQueueFull {
+                    limit: MAX_QUEUED_SUBMITS,
+                });
             }
             self.pending.push_back(data);
             self.metrics.flow_blocked += 1;
@@ -234,28 +262,61 @@ impl Entity {
 
     /// Feeds a PDU received from the network.
     ///
+    /// Convenience wrapper over [`Entity::on_pdu_into`] that allocates a
+    /// fresh action vector per call.
+    ///
     /// # Errors
     ///
     /// Hard validation failures only ([`ProtocolError`]); duplicates,
     /// gaps and stale information are handled internally.
     pub fn on_pdu(&mut self, pdu: Pdu, now_us: u64) -> Result<Vec<Action>, ProtocolError> {
+        let mut actions = Vec::new();
+        self.on_pdu_into(pdu, now_us, &mut actions)?;
+        Ok(actions)
+    }
+
+    /// Feeds a PDU received from the network, appending the resulting
+    /// actions to a caller-owned vector (reuse it across calls for an
+    /// allocation-free receive path).
+    ///
+    /// # Per-PDU cost
+    ///
+    /// For an in-order data PDU with no losses and nothing newly packable
+    /// or deliverable, the whole call is **O(n) with zero heap
+    /// allocations**: the ACK fold touches one matrix column, cached row
+    /// minima make every `minAL`/`minPAL` consultation O(1), the PACK scan
+    /// visits only sources whose `minAL` actually moved (the dirty set),
+    /// and the stability/advertisement checks are O(1) version
+    /// comparisons. Work beyond that — insertion into the causal log,
+    /// retransmission service, reorder buffering — is proportional to the
+    /// PDUs actually moved, not to the logs' sizes.
+    ///
+    /// # Errors
+    ///
+    /// Hard validation failures only ([`ProtocolError`]); duplicates,
+    /// gaps and stale information are handled internally.
+    pub fn on_pdu_into(
+        &mut self,
+        pdu: Pdu,
+        now_us: u64,
+        actions: &mut Vec<Action>,
+    ) -> Result<(), ProtocolError> {
         self.validate(&pdu)?;
         let from = pdu.src();
         self.heard_since_send[from.index()] = true;
         self.buf_known[from.index()] = pdu.buf();
 
-        let mut actions = Vec::new();
         match pdu {
-            Pdu::Data(p) => self.on_data(p, now_us, &mut actions),
-            Pdu::Ret(r) => self.on_ret(r, now_us, &mut actions),
-            Pdu::AckOnly(a) => self.on_ack_only(a, now_us, &mut actions),
+            Pdu::Data(p) => self.on_data(p, now_us, actions),
+            Pdu::Ret(r) => self.on_ret(r, now_us, actions),
+            Pdu::AckOnly(a) => self.on_ack_only(a, now_us, actions),
         }
 
-        self.run_pack_ack(&mut actions);
-        self.try_flush_pending(now_us, &mut actions);
-        self.maybe_confirm(now_us, &mut actions);
+        self.run_pack_ack(actions);
+        self.try_flush_pending(now_us, actions);
+        self.maybe_confirm(now_us, actions);
         self.note_peak();
-        Ok(actions)
+        Ok(())
     }
 
     /// Advances the entity's notion of time: fires the deferred-
@@ -387,7 +448,7 @@ impl Entity {
         // DESIGN.md).
         self.al.raise(src, src, p.seq.next());
         // Failure condition F2 over the ack vector.
-        self.scan_f2(src, &p.ack.clone(), false, now_us, actions);
+        self.scan_f2(src, &p.ack, false, now_us, actions);
 
         let expected = self.req[src.index()];
         if p.seq < expected {
@@ -432,14 +493,19 @@ impl Entity {
     }
 
     /// The acceptance (ACC) action of §4.2.
+    ///
+    /// `p`'s ACK vector and the sender's self-knowledge were already folded
+    /// into `AL` by [`Entity::on_data`] when the PDU arrived (that fold is
+    /// valid for *every* arriving PDU, buffered or accepted), so only the
+    /// acceptance itself — our own AL column mirroring `REQ` — is recorded
+    /// here.
     fn accept_data(&mut self, p: DataPdu, from_reorder: bool) {
         let src = p.src;
         debug_assert_eq!(p.seq, self.req[src.index()], "ACC condition");
         self.req[src.index()] = p.seq.next();
+        self.req_version += 1;
         // Own column of AL mirrors REQ (`AL[k][me] = REQ_k`).
         self.al.raise(src, self.config.me, self.req[src.index()]);
-        self.al.fold_column(src, &p.ack);
-        self.al.raise(src, src, p.seq.next());
         self.rrl.accept(p);
         self.metrics.accepted += 1;
         if from_reorder {
@@ -451,7 +517,7 @@ impl Entity {
         if self.config.control_updates_al {
             self.al.fold_column(r.src, &r.ack);
         }
-        self.scan_f2(r.src, &r.ack.clone(), true, now_us, actions);
+        self.scan_f2(r.src, &r.ack, true, now_us, actions);
         if r.lsrc != self.config.me {
             return;
         }
@@ -463,9 +529,8 @@ impl Entity {
             RetransmissionPolicy::GoBackN => self.req[self.config.me.index()],
         };
         let mut served = 0u64;
-        let pdus: Vec<DataPdu> = self.sl.range(from, to).cloned().collect();
-        for pdu in pdus {
-            actions.push(Action::Broadcast(Pdu::Data(pdu)));
+        for pdu in self.sl.range(from, to) {
+            actions.push(Action::Broadcast(Pdu::Data(pdu.clone())));
             served += 1;
         }
         self.metrics.retransmissions_sent += served;
@@ -484,12 +549,12 @@ impl Entity {
             // `acked[j]` asserts the sender *knows* every entity has
             // pre-acknowledged `E_j`'s PDUs below it; adopt that knowledge
             // for every PAL column (same honest-piggyback trust model as
-            // the paper's own PAL mechanism).
+            // the paper's own PAL mechanism). `raise_row` short-circuits
+            // when the row minimum already covers `acked[j]`, so the
+            // steady-state cost is O(n) over the whole loop, not O(n²).
             for j in 0..self.config.n() {
                 let source = EntityId::new(j as u32);
-                for k in 0..self.config.n() {
-                    self.pal.raise(source, EntityId::new(k as u32), a.acked[j]);
-                }
+                self.pal.raise_row(source, a.acked[j]);
             }
         }
         // If the sender lags our knowledge (it missed confirmations —
@@ -505,7 +570,7 @@ impl Entity {
                 break;
             }
         }
-        self.scan_f2(a.src, &a.ack.clone(), true, now_us, actions);
+        self.scan_f2(a.src, &a.ack, true, now_us, actions);
     }
 
     /// Failure condition F2 (§4.3): `q.ACK_j > REQ_j` proves PDUs from
@@ -609,6 +674,7 @@ impl Entity {
         // Self-acceptance: the entity's own PDU enters its receipt path so
         // it is delivered to the local application in causal position.
         self.req[me.index()] = seq.next();
+        self.req_version += 1;
         self.al.raise(me, me, self.req[me.index()]);
         self.sl.record(pdu.clone());
         self.rrl.accept(pdu.clone());
@@ -629,14 +695,16 @@ impl Entity {
         }
     }
 
+    /// Whether `REQ` or the pre-ack frontier moved since our last
+    /// confirmation-bearing transmission. O(1): both quantities are
+    /// monotonic, so version equality is value equality.
     fn unadvertised(&self) -> bool {
-        self.req != self.advertised_req || self.al.row_mins() != self.advertised_packed
+        self.advertised != (self.req_version, self.al.version())
     }
 
     fn mark_advertised(&mut self, now_us: u64) {
-        self.advertised_req = self.req.clone();
-        self.advertised_packed = self.al.row_mins();
-        self.heard_since_send = vec![false; self.config.n()];
+        self.advertised = (self.req_version, self.al.version());
+        self.heard_since_send.fill(false);
         self.last_send_us = now_us;
     }
 
@@ -678,8 +746,8 @@ impl Entity {
             cid: self.config.cluster.cid,
             src: self.config.me,
             ack: self.req.clone(),
-            packed: self.al.row_mins(),
-            acked: self.pal.row_mins(),
+            packed: self.al.row_mins().to_vec(),
+            acked: self.pal.row_mins().to_vec(),
             buf: self.free_buffer_units(),
         };
         self.metrics.ack_only_sent += 1;
@@ -693,8 +761,21 @@ impl Entity {
 
     fn run_pack_ack(&mut self, actions: &mut Vec<Action>) {
         // PACK action: move everything below minAL from RRL to PRL.
-        for j in 0..self.config.n() {
-            let source = EntityId::new(j as u32);
+        //
+        // Only sources whose `minAL` moved since the last run can have
+        // become packable: the PACK condition is `top.SEQ < minAL_k`, our
+        // own AL column mirrors `REQ_k`, and `top.SEQ >= REQ_k` held at
+        // acceptance time — so a previously unpackable top needs a *new*
+        // row minimum. The AL dirty set records exactly those rows, making
+        // this scan O(dirty) instead of O(n) per event. The drained rows
+        // are sorted so coincident PDUs from different sources enter the
+        // PRL in the same (index) order the full scan used.
+        let mut scratch = std::mem::take(&mut self.pack_scratch);
+        scratch.clear();
+        self.al.drain_dirty_into(&mut scratch);
+        scratch.sort_unstable();
+        for &k in &scratch {
+            let source = EntityId::new(k);
             let min_al = self.al.row_min(source);
             while matches!(self.rrl.top(source), Some(p) if p.seq < min_al) {
                 let p = self.rrl.dequeue(source).expect("top checked");
@@ -705,6 +786,20 @@ impl Entity {
                 self.metrics.pre_acknowledged += 1;
                 self.prl.insert(p);
             }
+        }
+        scratch.clear();
+        self.pack_scratch = scratch;
+        // Safety net for the dirty-set reasoning above: in debug builds
+        // (the test profile keeps debug assertions on) verify no source
+        // still has a packable RRL top.
+        #[cfg(debug_assertions)]
+        for j in 0..self.config.n() {
+            let source = EntityId::new(j as u32);
+            let min_al = self.al.row_min(source);
+            debug_assert!(
+                !matches!(self.rrl.top(source), Some(p) if p.seq < min_al),
+                "dirty-set PACK missed a packable PDU from source {j}"
+            );
         }
         // ACK action: deliver the PRL prefix that is acknowledged.
         while let Some(top) = self.prl.top() {

@@ -58,13 +58,19 @@ impl std::fmt::Display for ProtocolError {
                 write!(f, "received a pdu claiming to come from this entity")
             }
             ProtocolError::BadAckLength { expected, found } => {
-                write!(f, "ack vector of length {found}, cluster has {expected} entities")
+                write!(
+                    f,
+                    "ack vector of length {found}, cluster has {expected} entities"
+                )
             }
             ProtocolError::PayloadTooLarge { size, max } => {
                 write!(f, "payload of {size} bytes exceeds maximum {max}")
             }
             ProtocolError::SubmitQueueFull { limit } => {
-                write!(f, "submit queue full ({limit} payloads waiting for the flow condition)")
+                write!(
+                    f,
+                    "submit queue full ({limit} payloads waiting for the flow condition)"
+                )
             }
         }
     }
@@ -78,19 +84,32 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ProtocolError::WrongCluster { expected: 1, found: 2 }
+        assert!(ProtocolError::WrongCluster {
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("cluster 2"));
+        assert!(ProtocolError::UnknownSource {
+            src: EntityId::new(9),
+            n: 3
+        }
+        .to_string()
+        .contains("E10"));
+        assert!(ProtocolError::LoopedBack
             .to_string()
-            .contains("cluster 2"));
-        assert!(ProtocolError::UnknownSource { src: EntityId::new(9), n: 3 }
-            .to_string()
-            .contains("E10"));
-        assert!(ProtocolError::LoopedBack.to_string().contains("this entity"));
-        assert!(ProtocolError::BadAckLength { expected: 3, found: 1 }
-            .to_string()
-            .contains("length 1"));
+            .contains("this entity"));
+        assert!(ProtocolError::BadAckLength {
+            expected: 3,
+            found: 1
+        }
+        .to_string()
+        .contains("length 1"));
         assert!(ProtocolError::PayloadTooLarge { size: 10, max: 5 }
             .to_string()
             .contains("10 bytes"));
-        assert!(ProtocolError::SubmitQueueFull { limit: 7 }.to_string().contains('7'));
+        assert!(ProtocolError::SubmitQueueFull { limit: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

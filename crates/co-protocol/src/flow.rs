@@ -44,7 +44,14 @@ pub enum FlowDecision {
 
 /// Evaluates the flow condition for sending a PDU with sequence number
 /// `seq` (which is always `≥ minAL_i`; sequence numbers only grow).
-pub fn flow_decision(seq: Seq, min_al_self: Seq, window: u64, min_buf: u32, h: u32, n: usize) -> FlowDecision {
+pub fn flow_decision(
+    seq: Seq,
+    min_al_self: Seq,
+    window: u64,
+    min_buf: u32,
+    h: u32,
+    n: usize,
+) -> FlowDecision {
     let limit = flow_limit(window, min_buf, h, n);
     if limit == 0 {
         return FlowDecision::Starved;

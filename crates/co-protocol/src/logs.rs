@@ -38,7 +38,9 @@ impl SendLog {
     /// Fetches the PDUs in `[from, to)` for retransmission, in order.
     /// Sequence numbers already pruned (or never sent) are skipped.
     pub fn range(&self, from: Seq, to: Seq) -> impl Iterator<Item = &DataPdu> {
-        self.pdus.iter().filter(move |p| p.seq >= from && p.seq < to)
+        self.pdus
+            .iter()
+            .filter(move |p| p.seq >= from && p.seq < to)
     }
 
     /// Drops every PDU with `seq < acknowledged` (safe to forget).
@@ -65,9 +67,16 @@ impl SendLog {
 /// The per-source receipt logs `RRL_{i,j}`: PDUs accepted from each entity,
 /// awaiting pre-acknowledgment. Per-source FIFO queues — acceptance is in
 /// sequence order, and the PACK action always examines the top (§4.4).
+///
+/// A running total keeps [`ReceiptLogs::total_len`] O(1) — it sits on the
+/// buffer-accounting path ([`free_buffer_units`]) consulted on every
+/// transmission and receive.
+///
+/// [`free_buffer_units`]: crate::Entity::free_buffer_units
 #[derive(Debug, Clone)]
 pub struct ReceiptLogs {
     logs: Vec<VecDeque<DataPdu>>,
+    total: usize,
 }
 
 impl ReceiptLogs {
@@ -75,6 +84,7 @@ impl ReceiptLogs {
     pub fn new(n: usize) -> Self {
         ReceiptLogs {
             logs: (0..n).map(|_| VecDeque::new()).collect(),
+            total: 0,
         }
     }
 
@@ -90,6 +100,7 @@ impl ReceiptLogs {
             assert!(pdu.seq > last.seq, "acceptance out of order");
         }
         log.push_back(pdu);
+        self.total += 1;
     }
 
     /// The oldest accepted, not yet pre-acknowledged PDU from `source`.
@@ -99,7 +110,11 @@ impl ReceiptLogs {
 
     /// Removes and returns the top PDU from `source`'s log.
     pub fn dequeue(&mut self, source: EntityId) -> Option<DataPdu> {
-        self.logs[source.index()].pop_front()
+        let pdu = self.logs[source.index()].pop_front();
+        if pdu.is_some() {
+            self.total -= 1;
+        }
+        pdu
     }
 
     /// PDUs currently held for `source`.
@@ -107,9 +122,9 @@ impl ReceiptLogs {
         self.logs[source.index()].len()
     }
 
-    /// Total PDUs across all sources (for buffer accounting).
+    /// Total PDUs across all sources (for buffer accounting). O(1).
     pub fn total_len(&self) -> usize {
-        self.logs.iter().map(VecDeque::len).sum()
+        self.total
     }
 }
 
@@ -135,7 +150,10 @@ mod tests {
         for s in 1..=5 {
             sl.record(pdu(0, s));
         }
-        let got: Vec<u64> = sl.range(Seq::new(2), Seq::new(4)).map(|p| p.seq.get()).collect();
+        let got: Vec<u64> = sl
+            .range(Seq::new(2), Seq::new(4))
+            .map(|p| p.seq.get())
+            .collect();
         assert_eq!(got, vec![2, 3]);
         assert_eq!(sl.len(), 5);
     }

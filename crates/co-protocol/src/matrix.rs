@@ -13,16 +13,54 @@
 //! carry their original, older `ACK` vectors (Lemma 4.2 depends on
 //! retransmissions being bit-identical), and folding an old vector in must
 //! never move knowledge backwards.
+//!
+//! # Cost model
+//!
+//! Row minima are cached and maintained incrementally, so the protocol's
+//! hot path (§5's "ordering computation" advantage over ISIS CBCAST) never
+//! rescans the matrix:
+//!
+//! * [`KnowledgeMatrix::row_min`] / [`KnowledgeMatrix::row_mins`] — O(1),
+//!   allocation-free (the full-vector accessor returns a cached slice);
+//! * [`KnowledgeMatrix::raise`] — O(1) unless the raise removes the row's
+//!   *last* minimal cell, in which case that one row is rescanned (O(n)).
+//!   Each rescan strictly increases the row minimum, so over any workload
+//!   the rescan cost is bounded by the number of distinct minimum values
+//!   the row passes through — O(1) amortized for steady sequence traffic;
+//! * [`KnowledgeMatrix::fold_column`] — O(n) raises (one per row), each
+//!   O(1) amortized as above;
+//! * [`KnowledgeMatrix::raise_row`] — O(n) with a direct O(1) min update
+//!   (never rescans).
+//!
+//! Rows whose minimum moved since the last drain are tracked in a
+//! **dirty-source set** ([`KnowledgeMatrix::drain_dirty_into`]), letting
+//! the engine's PACK/ACK sweep visit only sources whose `minAL`/`minPAL`
+//! actually changed instead of all `n` on every event. A [`version`]
+//! counter (bumped on every row-minimum change) gives callers an O(1)
+//! "did any frontier move?" check.
+//!
+//! [`version`]: KnowledgeMatrix::version
 
 use causal_order::{EntityId, Seq};
 
 /// A dense `n × n` matrix of sequence-number knowledge with monotonic
-/// updates and cached row minima.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// updates, cached row minima and dirty-row change tracking.
+#[derive(Debug, Clone)]
 pub struct KnowledgeMatrix {
     n: usize,
     /// Row-major: `cells[source * n + observer]`.
     cells: Vec<Seq>,
+    /// Cached row minima, index-aligned with rows.
+    mins: Vec<Seq>,
+    /// How many cells of each row currently equal its minimum (so a raise
+    /// of a non-unique minimum cell needs no rescan).
+    min_count: Vec<u32>,
+    /// `true` for rows whose minimum changed since the last drain.
+    dirty: Vec<bool>,
+    /// Queue of dirty row indices (deduplicated through `dirty`).
+    dirty_rows: Vec<u32>,
+    /// Bumped every time any row minimum changes.
+    version: u64,
 }
 
 impl KnowledgeMatrix {
@@ -32,6 +70,11 @@ impl KnowledgeMatrix {
         KnowledgeMatrix {
             n,
             cells: vec![Seq::FIRST; n * n],
+            mins: vec![Seq::FIRST; n],
+            min_count: vec![n as u32; n],
+            dirty: vec![false; n],
+            dirty_rows: Vec::with_capacity(n),
+            version: 0,
         }
     }
 
@@ -52,14 +95,24 @@ impl KnowledgeMatrix {
     /// Monotonically raises the cell for (`source`, `observer`) to `value`
     /// (no-op if the cell is already at least `value`). Returns `true` if
     /// the cell changed.
+    ///
+    /// O(1) unless the raised cell was the row's only remaining minimum, in
+    /// which case the row is rescanned once (the minimum strictly grew).
     pub fn raise(&mut self, source: EntityId, observer: EntityId, value: Seq) -> bool {
-        let cell = &mut self.cells[source.index() * self.n + observer.index()];
-        if value > *cell {
-            *cell = value;
-            true
-        } else {
-            false
+        let k = source.index();
+        let idx = k * self.n + observer.index();
+        let old = self.cells[idx];
+        if value <= old {
+            return false;
         }
+        self.cells[idx] = value;
+        if old == self.mins[k] {
+            self.min_count[k] -= 1;
+            if self.min_count[k] == 0 {
+                self.rescan_row(k);
+            }
+        }
+        true
     }
 
     /// Folds a whole confirmation vector from `observer` in: for every
@@ -78,20 +131,111 @@ impl KnowledgeMatrix {
         changed
     }
 
+    /// Monotonically raises **every** cell of `source`'s row to at least
+    /// `value` (the AckOnly `acked`-adoption rule: the sender asserts all
+    /// entities pre-acknowledged `source`'s PDUs below `value`). Returns
+    /// `true` if anything changed. O(n), never rescans: the new row
+    /// minimum is simply `max(old minimum, value)`.
+    pub fn raise_row(&mut self, source: EntityId, value: Seq) -> bool {
+        let k = source.index();
+        if value <= self.mins[k] {
+            // Every cell is already >= the row minimum >= value.
+            return false;
+        }
+        let row = &mut self.cells[k * self.n..(k + 1) * self.n];
+        let mut at_value = 0u32;
+        for cell in row.iter_mut() {
+            if *cell < value {
+                *cell = value;
+                at_value += 1;
+            } else if *cell == value {
+                at_value += 1;
+            }
+        }
+        self.mins[k] = value;
+        self.min_count[k] = at_value;
+        self.note_dirty(k);
+        true
+    }
+
     /// The row minimum for `source` — the paper's `minAL_k` / `minPAL_k`.
+    /// O(1): reads the cached minimum.
     pub fn row_min(&self, source: EntityId) -> Seq {
-        let row = &self.cells[source.index() * self.n..(source.index() + 1) * self.n];
-        row.iter().copied().min().expect("n >= 2")
+        self.mins[source.index()]
     }
 
     /// The full vector of row minima (`⟨minAL_1, …, minAL_n⟩`), used as the
-    /// pre-ack frontier advertised in `AckOnly` PDUs.
-    pub fn row_mins(&self) -> Vec<Seq> {
-        (0..self.n)
-            .map(|k| self.row_min(EntityId::new(k as u32)))
-            .collect()
+    /// pre-ack frontier advertised in `AckOnly` PDUs. O(1),
+    /// allocation-free: returns the cached slice.
+    pub fn row_mins(&self) -> &[Seq] {
+        &self.mins
+    }
+
+    /// A counter bumped every time any row minimum changes; two equal
+    /// versions imply identical [`row_mins`] (minima are monotonic, so no
+    /// ABA). Lets callers compare frontiers in O(1).
+    ///
+    /// [`row_mins`]: KnowledgeMatrix::row_mins
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether any row minimum changed since the last
+    /// [`drain_dirty_into`](KnowledgeMatrix::drain_dirty_into).
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty_rows.is_empty()
+    }
+
+    /// Moves the indices of rows whose minimum changed since the last drain
+    /// into `out` (appended; `out` is *not* cleared) and resets the dirty
+    /// set. Allocation-free when `out` has capacity for `n` entries.
+    pub fn drain_dirty_into(&mut self, out: &mut Vec<u32>) {
+        for &k in &self.dirty_rows {
+            self.dirty[k as usize] = false;
+        }
+        out.append(&mut self.dirty_rows);
+    }
+
+    /// Recomputes one row's cached minimum after its last minimal cell was
+    /// raised. The minimum strictly increases, so the row becomes dirty.
+    fn rescan_row(&mut self, k: usize) {
+        let row = &self.cells[k * self.n..(k + 1) * self.n];
+        let mut min = row[0];
+        let mut count = 1u32;
+        for &cell in &row[1..] {
+            if cell < min {
+                min = cell;
+                count = 1;
+            } else if cell == min {
+                count += 1;
+            }
+        }
+        debug_assert!(min > self.mins[k], "rescan must raise the minimum");
+        self.mins[k] = min;
+        self.min_count[k] = count;
+        self.note_dirty(k);
+    }
+
+    fn note_dirty(&mut self, k: usize) {
+        self.version += 1;
+        if !self.dirty[k] {
+            self.dirty[k] = true;
+            self.dirty_rows.push(k as u32);
+        }
     }
 }
+
+/// Equality is *knowledge* equality: same cluster size and cells. The
+/// change-tracking bookkeeping (version, dirty set) is history-dependent —
+/// two matrices reached by reordered commutative folds must still compare
+/// equal.
+impl PartialEq for KnowledgeMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.cells == other.cells
+    }
+}
+
+impl Eq for KnowledgeMatrix {}
 
 impl std::fmt::Display for KnowledgeMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -124,12 +268,22 @@ mod tests {
         v.iter().copied().map(Seq::new).collect()
     }
 
+    /// Freshly recomputed row minimum, for cross-checking the cache.
+    fn fresh_min(m: &KnowledgeMatrix, k: u32) -> Seq {
+        (0..m.n())
+            .map(|j| m.get(e(k), e(j as u32)))
+            .min()
+            .expect("n >= 1")
+    }
+
     #[test]
     fn starts_at_first() {
         let m = KnowledgeMatrix::new(3);
         assert_eq!(m.get(e(0), e(2)), Seq::FIRST);
         assert_eq!(m.row_min(e(1)), Seq::FIRST);
         assert_eq!(m.n(), 3);
+        assert_eq!(m.version(), 0);
+        assert!(!m.has_dirty());
     }
 
     #[test]
@@ -174,7 +328,89 @@ mod tests {
         let mut m = KnowledgeMatrix::new(2);
         m.fold_column(e(0), &seqs(&[4, 7]));
         m.fold_column(e(1), &seqs(&[2, 9]));
-        assert_eq!(m.row_mins(), seqs(&[2, 7]));
+        assert_eq!(m.row_mins(), &seqs(&[2, 7])[..]);
+    }
+
+    #[test]
+    fn cached_minima_track_raises() {
+        let mut m = KnowledgeMatrix::new(3);
+        // Raise cells one by one; cached minimum must always match a fresh
+        // recomputation, including when the last minimal cell moves.
+        let updates = [
+            (0, 0, 4),
+            (0, 1, 2),
+            (0, 2, 2), // min now 2 (count 2)
+            (0, 1, 5), // min stays 2 (count 1)
+            (0, 2, 3), // last minimal cell raised → rescan → min 3
+            (1, 0, 9),
+            (2, 2, 7),
+        ];
+        for (k, j, v) in updates {
+            m.raise(e(k), e(j), Seq::new(v));
+            for row in 0..3 {
+                assert_eq!(m.row_min(e(row)), fresh_min(&m, row), "row {row}");
+            }
+        }
+        assert_eq!(m.row_min(e(0)), Seq::new(3));
+    }
+
+    #[test]
+    fn raise_row_lifts_whole_row() {
+        let mut m = KnowledgeMatrix::new(3);
+        m.fold_column(e(1), &seqs(&[5, 1, 1]));
+        assert!(m.raise_row(e(0), Seq::new(3)));
+        assert_eq!(m.get(e(0), e(0)), Seq::new(3));
+        assert_eq!(m.get(e(0), e(1)), Seq::new(5), "higher cells keep value");
+        assert_eq!(m.get(e(0), e(2)), Seq::new(3));
+        assert_eq!(m.row_min(e(0)), Seq::new(3));
+        assert_eq!(m.row_min(e(0)), fresh_min(&m, 0));
+        // Raising below the current minimum is a no-op.
+        assert!(!m.raise_row(e(0), Seq::new(2)));
+    }
+
+    #[test]
+    fn dirty_rows_report_min_changes_once() {
+        let mut m = KnowledgeMatrix::new(2);
+        let mut dirty = Vec::new();
+        // Raising one cell of a 2-cell row leaves the min unchanged.
+        m.raise(e(0), e(0), Seq::new(3));
+        m.drain_dirty_into(&mut dirty);
+        assert!(dirty.is_empty(), "min did not move");
+        // Raising the other cell moves the min → row 0 dirty, deduplicated.
+        m.raise(e(0), e(1), Seq::new(2));
+        m.raise(e(0), e(1), Seq::new(3));
+        assert!(m.has_dirty());
+        m.drain_dirty_into(&mut dirty);
+        assert_eq!(dirty, vec![0]);
+        assert!(!m.has_dirty());
+        // Drained: no re-report without a new change.
+        dirty.clear();
+        m.drain_dirty_into(&mut dirty);
+        assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn version_tracks_frontier_changes_only() {
+        let mut m = KnowledgeMatrix::new(2);
+        let v0 = m.version();
+        m.raise(e(0), e(0), Seq::new(5)); // min unchanged (other cell at 1)
+        assert_eq!(m.version(), v0);
+        m.raise(e(0), e(1), Seq::new(4)); // min 1 → 4
+        assert!(m.version() > v0);
+    }
+
+    #[test]
+    fn equality_ignores_change_tracking_history() {
+        let mut a = KnowledgeMatrix::new(2);
+        let mut b = KnowledgeMatrix::new(2);
+        // Same knowledge, reached through different update orders.
+        a.fold_column(e(0), &seqs(&[4, 2]));
+        a.fold_column(e(1), &seqs(&[1, 5]));
+        b.fold_column(e(1), &seqs(&[1, 5]));
+        b.fold_column(e(0), &seqs(&[4, 2]));
+        let mut sink = Vec::new();
+        a.drain_dirty_into(&mut sink);
+        assert_eq!(a, b);
     }
 
     #[test]

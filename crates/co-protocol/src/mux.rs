@@ -126,7 +126,9 @@ impl ClusterMux {
             .entities
             .get_mut(&cid)
             .ok_or(MuxSubmitError::Mux(MuxError::UnknownCluster { cid }))?;
-        entity.submit(data, now_us).map_err(MuxSubmitError::Protocol)
+        entity
+            .submit(data, now_us)
+            .map_err(MuxSubmitError::Protocol)
     }
 
     /// Routes a PDU to the entity of its `CID`.
@@ -287,7 +289,10 @@ mod tests {
         let deadline = mux.next_deadline(0);
         assert!(deadline.is_some(), "cluster 1 has pending work");
         let ticked = mux.on_tick(deadline.unwrap() + 1);
-        assert!(ticked.iter().all(|(cid, _)| *cid == 1), "only cluster 1 acts");
+        assert!(
+            ticked.iter().all(|(cid, _)| *cid == 1),
+            "only cluster 1 acts"
+        );
     }
 
     #[test]
@@ -301,7 +306,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(MuxError::DuplicateCluster { cid: 3 }.to_string().contains('3'));
-        assert!(MuxError::UnknownCluster { cid: 4 }.to_string().contains('4'));
+        assert!(MuxError::DuplicateCluster { cid: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(MuxError::UnknownCluster { cid: 4 }
+            .to_string()
+            .contains('4'));
     }
 }

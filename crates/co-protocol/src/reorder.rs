@@ -13,10 +13,12 @@ use co_wire::DataPdu;
 use std::collections::BTreeMap;
 
 /// Per-source buffers of received-but-not-yet-acceptable PDUs, keyed by
-/// sequence number.
+/// sequence number. A running total keeps [`ReorderBuffer::total_len`]
+/// O(1) for the buffer accounting done on every transmission and receive.
 #[derive(Debug, Clone)]
 pub struct ReorderBuffer {
     buffers: Vec<BTreeMap<Seq, DataPdu>>,
+    total: usize,
 }
 
 impl ReorderBuffer {
@@ -24,6 +26,7 @@ impl ReorderBuffer {
     pub fn new(n: usize) -> Self {
         ReorderBuffer {
             buffers: (0..n).map(|_| BTreeMap::new()).collect(),
+            total: 0,
         }
     }
 
@@ -35,6 +38,7 @@ impl ReorderBuffer {
         match self.buffers[pdu.src.index()].entry(pdu.seq) {
             Entry::Vacant(v) => {
                 v.insert(pdu);
+                self.total += 1;
                 true
             }
             Entry::Occupied(_) => false,
@@ -44,7 +48,11 @@ impl ReorderBuffer {
     /// Removes and returns the buffered PDU from `source` with exactly
     /// sequence `seq`, if present (called as `REQ_j` advances).
     pub fn take_exact(&mut self, source: EntityId, seq: Seq) -> Option<DataPdu> {
-        self.buffers[source.index()].remove(&seq)
+        let pdu = self.buffers[source.index()].remove(&seq);
+        if pdu.is_some() {
+            self.total -= 1;
+        }
+        pdu
     }
 
     /// Drops every buffered PDU from `source` below `seq` (now duplicates).
@@ -53,6 +61,7 @@ impl ReorderBuffer {
         let keep = buf.split_off(&seq);
         let dropped = buf.len();
         *buf = keep;
+        self.total -= dropped;
         dropped
     }
 
@@ -61,15 +70,16 @@ impl ReorderBuffer {
         self.buffers[source.index()].keys().copied()
     }
 
-    /// Total buffered PDUs across all sources (for buffer accounting).
+    /// Total buffered PDUs across all sources (for buffer accounting). O(1).
     pub fn total_len(&self) -> usize {
-        self.buffers.iter().map(BTreeMap::len).sum()
+        self.total
     }
 
     /// Clears everything from one source (go-back-n discard).
     pub fn clear_source(&mut self, source: EntityId) -> usize {
         let n = self.buffers[source.index()].len();
         self.buffers[source.index()].clear();
+        self.total -= n;
         n
     }
 }

@@ -50,7 +50,11 @@ impl std::fmt::Display for EntitySnapshot {
             "{} (cluster of {}): {}{}",
             self.id,
             self.n,
-            if self.quiescent { "quiescent" } else { "active" },
+            if self.quiescent {
+                "quiescent"
+            } else {
+                "active"
+            },
             if self.fully_stable { ", stable" } else { "" },
         )?;
         writeln!(f, "  req:     {:?}", self.req)?;
@@ -59,7 +63,10 @@ impl std::fmt::Display for EntitySnapshot {
         writeln!(
             f,
             "  held:    rrl={} prl={} reorder={} send-log={} pending={}",
-            self.rrl_pdus, self.prl_pdus, self.reorder_pdus, self.send_log_pdus,
+            self.rrl_pdus,
+            self.prl_pdus,
+            self.reorder_pdus,
+            self.send_log_pdus,
             self.pending_submits,
         )?;
         write!(

@@ -67,7 +67,8 @@ impl TestNet {
                             &pdu,
                         );
                         if !drop {
-                            self.queue.push_back((EntityId::new(to as u32), pdu.clone()));
+                            self.queue
+                                .push_back((EntityId::new(to as u32), pdu.clone()));
                         }
                     }
                 }
@@ -90,7 +91,9 @@ impl TestNet {
         let mut steps = 0;
         while let Some((to, pdu)) = self.queue.pop_front() {
             self.now += 1;
-            let actions = self.entities[to.index()].on_pdu(pdu, self.now).expect("on_pdu");
+            let actions = self.entities[to.index()]
+                .on_pdu(pdu, self.now)
+                .expect("on_pdu");
             self.apply(to.index(), actions);
             steps += 1;
             assert!(steps < 1_000_000, "network did not quiesce");
@@ -163,7 +166,10 @@ fn fifo_order_from_one_sender() {
             vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)],
             "entity {i}"
         );
-        assert_eq!(net.payloads(i), vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+        assert_eq!(
+            net.payloads(i),
+            vec![vec![0], vec![1], vec![2], vec![3], vec![4]]
+        );
     }
 }
 
@@ -229,7 +235,9 @@ fn f1_detection_and_selective_recovery() {
     // Drop E1's first DATA transmission to E2 only.
     let mut dropped = false;
     net.drop_fn = Box::new(move |from, _to, pdu| {
-        if !dropped && from == EntityId::new(0) && matches!(pdu, Pdu::Data(d) if d.seq == Seq::FIRST)
+        if !dropped
+            && from == EntityId::new(0)
+            && matches!(pdu, Pdu::Data(d) if d.seq == Seq::FIRST)
         {
             dropped = true;
             return true;
@@ -243,7 +251,10 @@ fn f1_detection_and_selective_recovery() {
     let m = net.entity(1).metrics();
     assert!(m.f1_detections >= 1, "gap must be detected via F1");
     assert!(m.ret_sent >= 1, "a RET must have been broadcast");
-    assert_eq!(m.accepted_from_reorder, 1, "the buffered PDU is accepted after repair");
+    assert_eq!(
+        m.accepted_from_reorder, 1,
+        "the buffered PDU is accepted after repair"
+    );
     let m0 = net.entity(0).metrics();
     assert!(m0.retransmissions_sent >= 1, "source must rebroadcast");
 }
@@ -322,7 +333,11 @@ fn flow_control_queues_and_flushes() {
     assert_eq!(outcomes[2..], vec![SubmitOutcome::Queued; 3][..]);
     assert!(net.entity(0).metrics().flow_blocked >= 3);
     net.run();
-    assert_eq!(net.log(1).len(), 5, "queued payloads flushed as window opens");
+    assert_eq!(
+        net.log(1).len(),
+        5,
+        "queued payloads flushed as window opens"
+    );
     assert_eq!(net.log(0).len(), 5);
 }
 
@@ -338,7 +353,9 @@ fn go_back_n_mode_recovers_too() {
     });
     let mut dropped = false;
     net.drop_fn = Box::new(move |from, _, pdu| {
-        if !dropped && from == EntityId::new(0) && matches!(pdu, Pdu::Data(d) if d.seq == Seq::FIRST)
+        if !dropped
+            && from == EntityId::new(0)
+            && matches!(pdu, Pdu::Data(d) if d.seq == Seq::FIRST)
         {
             dropped = true;
             return true;
@@ -351,7 +368,10 @@ fn go_back_n_mode_recovers_too() {
     net.run();
     assert_eq!(net.log(1), vec![(0, 1), (0, 2), (0, 3)]);
     let m = net.entity(1).metrics();
-    assert!(m.discarded_out_of_order >= 1, "go-back-n discards out-of-order PDUs");
+    assert!(
+        m.discarded_out_of_order >= 1,
+        "go-back-n discards out-of-order PDUs"
+    );
     assert_eq!(m.buffered_out_of_order, 0, "go-back-n never buffers");
     // Go-back-n resends more than was lost (1 lost, ≥2 resent).
     assert!(net.entity(0).metrics().retransmissions_sent >= 2);
@@ -368,7 +388,9 @@ fn selective_resends_only_the_gap() {
     });
     let mut dropped = false;
     net.drop_fn = Box::new(move |from, _, pdu| {
-        if !dropped && from == EntityId::new(0) && matches!(pdu, Pdu::Data(d) if d.seq == Seq::new(2))
+        if !dropped
+            && from == EntityId::new(0)
+            && matches!(pdu, Pdu::Data(d) if d.seq == Seq::new(2))
         {
             dropped = true;
             return true;
@@ -420,7 +442,10 @@ fn deferred_mode_batches_confirmations() {
         }
         net.run();
         assert_eq!(net.log(1).len(), burst as usize);
-        net.entities.iter().map(|e| e.metrics().ack_only_sent).sum::<u64>()
+        net.entities
+            .iter()
+            .map(|e| e.metrics().ack_only_sent)
+            .sum::<u64>()
     };
     let immediate = run(DeferralPolicy::Immediate);
     let deferred = run(DeferralPolicy::Deferred { timeout_us: 1_000 });
@@ -468,7 +493,10 @@ fn wrong_cluster_rejected() {
     });
     assert_eq!(
         e.on_pdu(pdu, 0),
-        Err(ProtocolError::WrongCluster { expected: 7, found: 8 })
+        Err(ProtocolError::WrongCluster {
+            expected: 7,
+            found: 8
+        })
     );
 }
 
@@ -499,7 +527,10 @@ fn bad_ack_length_rejected() {
     });
     assert_eq!(
         e.on_pdu(pdu, 0),
-        Err(ProtocolError::BadAckLength { expected: 3, found: 2 })
+        Err(ProtocolError::BadAckLength {
+            expected: 3,
+            found: 2
+        })
     );
 }
 
@@ -523,7 +554,10 @@ fn quiescence_and_buffer_accounting() {
     let mut net = TestNet::immediate(3);
     assert!(net.entity(0).is_quiescent());
     net.submit(0, b"z");
-    assert!(!net.entity(0).is_quiescent(), "own PDU sits in RRL until pre-acked");
+    assert!(
+        !net.entity(0).is_quiescent(),
+        "own PDU sits in RRL until pre-acked"
+    );
     net.run();
     for i in 0..3 {
         assert!(net.entity(i).is_quiescent(), "entity {i} must drain");
@@ -546,7 +580,11 @@ fn metrics_add_up_on_clean_run() {
     for i in 0..3 {
         let m = net.entity(i).metrics();
         assert_eq!(m.delivered, 8, "entity {i}");
-        assert_eq!(m.loss_detections(), 0, "no loss on a clean run (entity {i})");
+        assert_eq!(
+            m.loss_detections(),
+            0,
+            "no loss on a clean run (entity {i})"
+        );
         assert_eq!(m.retransmissions_sent, 0);
     }
     assert_eq!(net.entity(0).metrics().data_sent, 4);
@@ -604,5 +642,9 @@ fn req_vector_tracks_acceptance() {
     net.run();
     assert_eq!(net.entity(1).req()[0], Seq::new(3));
     assert_eq!(net.entity(1).req()[1], Seq::new(1), "nothing sent by E2");
-    assert_eq!(net.entity(0).req()[0], Seq::new(3), "self-acceptance counted");
+    assert_eq!(
+        net.entity(0).req()[0],
+        Seq::new(3),
+        "self-acceptance counted"
+    );
 }

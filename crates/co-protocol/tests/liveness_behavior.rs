@@ -62,7 +62,13 @@ fn accepting_data_arms_the_deferral_timer() {
 fn hearing_from_all_peers_confirms_without_waiting() {
     let mut e0 = entity(0, 3, DeferralPolicy::Immediate);
     let mut e2 = entity(2, 3, DeferralPolicy::Immediate);
-    let mut receiver = entity(1, 3, DeferralPolicy::Deferred { timeout_us: 1_000_000 });
+    let mut receiver = entity(
+        1,
+        3,
+        DeferralPolicy::Deferred {
+            timeout_us: 1_000_000,
+        },
+    );
     let (_, a0) = e0.submit(Bytes::from_static(b"a"), 0).unwrap();
     let (_, a2) = e2.submit(Bytes::from_static(b"b"), 0).unwrap();
     let outs0 = receiver.on_pdu(first_data(&a0), 10).unwrap();
@@ -84,7 +90,9 @@ fn unstable_entity_heartbeats_until_stable() {
     let mut now = 0;
     let mut beats = 0;
     for _ in 0..5 {
-        let deadline = sender.next_deadline(now).expect("heartbeat armed while unstable");
+        let deadline = sender
+            .next_deadline(now)
+            .expect("heartbeat armed while unstable");
         now = deadline + 1;
         beats += ack_onlys(&sender.on_tick(now));
     }
@@ -249,7 +257,10 @@ fn ret_retry_fires_until_gap_closes() {
         }
     }
     let ret = retried.expect("gap persists → re-request within a few deadlines");
-    assert!(now >= 10_000, "retry respects the retry interval (fired at {now})");
+    assert!(
+        now >= 10_000,
+        "retry respects the retry interval (fired at {now})"
+    );
     let resends = sender.on_pdu(ret, now + 1).unwrap();
     let missing = first_data(&resends);
     let _ = receiver.on_pdu(missing, now + 2).unwrap();

@@ -71,8 +71,7 @@ fn protocol_valid_order(pdus: &[DataPdu], rot: usize) -> Vec<DataPdu> {
             .position(|cand| {
                 let cm = cand.seq_meta();
                 pool.iter().all(|other| {
-                    std::ptr::eq(other, cand)
-                        || !causally_precedes(&other.seq_meta(), &cm)
+                    std::ptr::eq(other, cand) || !causally_precedes(&other.seq_meta(), &cm)
                 })
             })
             .expect("⇒ is acyclic on valid histories");
@@ -170,18 +169,132 @@ proptest! {
         updates in prop::collection::vec((0u32..4, 0u32..4, 1u64..50), 1..30),
     ) {
         let mut m = KnowledgeMatrix::new(n);
-        let mut last_mins = m.row_mins();
+        let mut last_mins = m.row_mins().to_vec();
         for (src, obs, val) in updates {
             m.raise(
                 EntityId::new(src % n as u32),
                 EntityId::new(obs % n as u32),
                 Seq::new(val),
             );
-            let mins = m.row_mins();
+            let mins = m.row_mins().to_vec();
             for (new, old) in mins.iter().zip(&last_mins) {
                 prop_assert!(new >= old, "row minimum regressed");
             }
             last_mins = mins;
+        }
+    }
+
+    /// The tentpole invariant: the *cached* row minima must equal a fresh
+    /// recompute over the cells after every mutation, for arbitrary
+    /// interleavings of `raise`, `fold_column` and `raise_row`.
+    #[test]
+    fn cached_row_minima_match_fresh_recompute(
+        n in 2usize..=6,
+        ops in prop::collection::vec(
+            (0u8..3, 0u32..6, 0u32..6, prop::collection::vec(1u64..60, 6)),
+            1..40,
+        ),
+    ) {
+        let fresh_min = |m: &KnowledgeMatrix, k: usize| -> Seq {
+            (0..n)
+                .map(|j| m.get(EntityId::new(k as u32), EntityId::new(j as u32)))
+                .min()
+                .expect("n >= 2")
+        };
+        let mut m = KnowledgeMatrix::new(n);
+        for (kind, src, obs, vals) in ops {
+            let source = EntityId::new(src % n as u32);
+            match kind {
+                0 => {
+                    m.raise(source, EntityId::new(obs % n as u32), Seq::new(vals[0]));
+                }
+                1 => {
+                    let column: Vec<Seq> =
+                        vals[..n].iter().copied().map(Seq::new).collect();
+                    m.fold_column(EntityId::new(obs % n as u32), &column);
+                }
+                _ => {
+                    m.raise_row(source, Seq::new(vals[0]));
+                }
+            }
+            for k in 0..n {
+                let expect = fresh_min(&m, k);
+                prop_assert_eq!(
+                    m.row_min(EntityId::new(k as u32)),
+                    expect,
+                    "cached min of row {} diverged from cells",
+                    k
+                );
+                prop_assert_eq!(m.row_mins()[k], expect);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CausalLog (VecDeque-backed) vs. the original Vec-backed reference
+// ---------------------------------------------------------------------
+
+/// The pre-ring-buffer `CausalLog`, verbatim: `Vec` storage, `remove(0)`
+/// dequeue. Kept here as the observational-equivalence oracle.
+#[derive(Default)]
+struct VecCausalLog {
+    pdus: Vec<DataPdu>,
+    metas: Vec<causal_order::SeqMeta>,
+}
+
+impl VecCausalLog {
+    fn insert(&mut self, pdu: DataPdu) -> usize {
+        let meta = pdu.seq_meta();
+        let pos = self
+            .metas
+            .iter()
+            .position(|q| causally_precedes(&meta, q))
+            .unwrap_or(self.pdus.len());
+        self.pdus.insert(pos, pdu);
+        self.metas.insert(pos, meta);
+        pos
+    }
+
+    fn dequeue(&mut self) -> Option<DataPdu> {
+        if self.pdus.is_empty() {
+            None
+        } else {
+            self.metas.remove(0);
+            Some(self.pdus.remove(0))
+        }
+    }
+}
+
+proptest! {
+    /// The VecDeque-backed log is observationally equivalent to the old
+    /// Vec-backed implementation: same insertion positions, same dequeue
+    /// order, under arbitrary interleavings of inserts and dequeues drawn
+    /// from valid protocol histories.
+    #[test]
+    fn ring_buffer_causal_log_matches_vec_reference(
+        (_n, pdus) in arb_history(),
+        order in any::<prop::sample::Index>(),
+        deq_before in prop::collection::vec(any::<bool>(), 24),
+    ) {
+        let arrival = protocol_valid_order(&pdus, order.index(pdus.len().max(1)));
+        let mut ring = CausalLog::new();
+        let mut reference = VecCausalLog::default();
+        for (i, pdu) in arrival.into_iter().enumerate() {
+            if deq_before[i % deq_before.len()] {
+                prop_assert_eq!(ring.dequeue(), reference.dequeue());
+            }
+            let ring_pos = ring.insert(pdu.clone());
+            let ref_pos = reference.insert(pdu);
+            prop_assert_eq!(ring_pos, ref_pos, "insertion position diverged");
+            prop_assert_eq!(ring.len(), reference.pdus.len());
+        }
+        loop {
+            let (a, b) = (ring.dequeue(), reference.dequeue());
+            prop_assert_eq!(&a, &b, "dequeue order diverged");
+            if a.is_none() {
+                break;
+            }
         }
     }
 }

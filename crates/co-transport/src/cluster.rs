@@ -157,7 +157,12 @@ impl Cluster {
                     .expect("spawn entity thread"),
             );
         }
-        Ok(Cluster { cmd_txs, threads, epoch, n })
+        Ok(Cluster {
+            cmd_txs,
+            threads,
+            epoch,
+            n,
+        })
     }
 
     /// Cluster size.

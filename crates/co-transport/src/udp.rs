@@ -112,7 +112,12 @@ impl UdpCluster {
                     .expect("spawn udp entity thread"),
             );
         }
-        Ok(UdpCluster { cmd_txs, threads, n, epoch })
+        Ok(UdpCluster {
+            cmd_txs,
+            threads,
+            n,
+            epoch,
+        })
     }
 
     /// Cluster size.
@@ -172,9 +177,9 @@ fn run_node(
     let now_us = |epoch: Instant| epoch.elapsed().as_micros() as u64;
 
     let dispatch = |actions: Vec<Action>,
-                        report: &mut NodeReport,
-                        socket: &UdpSocket,
-                        peers: &[Option<SocketAddr>]| {
+                    report: &mut NodeReport,
+                    socket: &UdpSocket,
+                    peers: &[Option<SocketAddr>]| {
         for action in actions {
             match action {
                 Action::Broadcast(pdu) => {
@@ -280,7 +285,9 @@ mod tests {
     fn udp_cluster_fifo_per_sender() {
         let cluster = UdpCluster::start(2, UdpOptions::default()).expect("start");
         for k in 0..20 {
-            cluster.submit(0, Bytes::from(format!("{k}"))).expect("submit");
+            cluster
+                .submit(0, Bytes::from(format!("{k}")))
+                .expect("submit");
         }
         let reports = cluster.shutdown();
         let seqs: Vec<u64> = reports[1]

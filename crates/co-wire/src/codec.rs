@@ -41,8 +41,12 @@ impl Pdu {
         buf.freeze()
     }
 
-    /// Serializes the PDU into `buf` (appended).
+    /// Serializes the PDU into `buf` (appended). Reserves the exact
+    /// encoded length up front so the write never reallocates mid-PDU —
+    /// at most one `reserve` per call, and none once the buffer has grown
+    /// to the cluster's working size.
     pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
         buf.put_u16(MAGIC);
         buf.put_u8(VERSION);
         match self {
@@ -97,10 +101,26 @@ impl Pdu {
     ///
     /// Any [`DecodeError`] on malformed input.
     pub fn decode(bytes: &[u8]) -> Result<Pdu, DecodeError> {
+        let mut pool = AckBufPool::new();
+        Pdu::decode_with(bytes, &mut pool)
+    }
+
+    /// Like [`Pdu::decode`], but draws the PDU's ack vectors from `pool`
+    /// instead of allocating. Recycling consumed PDUs back into the pool
+    /// ([`AckBufPool::recycle`]) makes a steady-state decode loop
+    /// allocation-free once the pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    pub fn decode_with(bytes: &[u8], pool: &mut AckBufPool) -> Result<Pdu, DecodeError> {
         let mut cursor = bytes;
-        let pdu = Pdu::decode_partial(&mut cursor)?;
+        let pdu = Pdu::decode_partial_with(&mut cursor, pool)?;
         if !cursor.is_empty() {
-            return Err(DecodeError::TrailingBytes { extra: cursor.len() });
+            pool.recycle(pdu);
+            return Err(DecodeError::TrailingBytes {
+                extra: cursor.len(),
+            });
         }
         Ok(pdu)
     }
@@ -112,6 +132,23 @@ impl Pdu {
     ///
     /// Any [`DecodeError`] on malformed input.
     pub fn decode_partial(cursor: &mut &[u8]) -> Result<Pdu, DecodeError> {
+        let mut pool = AckBufPool::new();
+        Pdu::decode_partial_with(cursor, &mut pool)
+    }
+
+    /// Like [`Pdu::decode_partial`], but draws ack vectors from `pool`.
+    ///
+    /// On a decode error, vectors already taken from the pool for the
+    /// failed PDU are returned to it, so malformed input never bleeds
+    /// pooled capacity.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] on malformed input.
+    pub fn decode_partial_with(
+        cursor: &mut &[u8],
+        pool: &mut AckBufPool,
+    ) -> Result<Pdu, DecodeError> {
         let magic = get_u16(cursor)?;
         if magic != MAGIC {
             return Err(DecodeError::BadMagic { found: magic });
@@ -126,34 +163,159 @@ impl Pdu {
         match kind {
             KIND_DATA => {
                 let seq = Seq::new(get_u64(cursor)?);
-                let ack = get_ack(cursor)?;
-                let buf = get_u32(cursor)?;
-                let data_len = get_u32(cursor)? as usize;
+                let ack = get_ack_pooled(cursor, pool)?;
+                let buf = match get_u32(cursor) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        pool.give(ack);
+                        return Err(e);
+                    }
+                };
+                let data_len = match get_u32(cursor) {
+                    Ok(v) => v as usize,
+                    Err(e) => {
+                        pool.give(ack);
+                        return Err(e);
+                    }
+                };
                 if cursor.len() < data_len {
-                    return Err(DecodeError::Truncated {
-                        needed: data_len - cursor.len(),
-                    });
+                    let needed = data_len - cursor.len();
+                    pool.give(ack);
+                    return Err(DecodeError::Truncated { needed });
                 }
                 let data = Bytes::copy_from_slice(&cursor[..data_len]);
                 cursor.advance(data_len);
-                Ok(Pdu::Data(DataPdu { cid, src, seq, ack, buf, data }))
+                Ok(Pdu::Data(DataPdu {
+                    cid,
+                    src,
+                    seq,
+                    ack,
+                    buf,
+                    data,
+                }))
             }
             KIND_RET => {
                 let lsrc = EntityId::new(get_u32(cursor)?);
                 let lseq = Seq::new(get_u64(cursor)?);
-                let ack = get_ack(cursor)?;
-                let buf = get_u32(cursor)?;
-                Ok(Pdu::Ret(RetPdu { cid, src, lsrc, lseq, ack, buf }))
+                let ack = get_ack_pooled(cursor, pool)?;
+                let buf = match get_u32(cursor) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        pool.give(ack);
+                        return Err(e);
+                    }
+                };
+                Ok(Pdu::Ret(RetPdu {
+                    cid,
+                    src,
+                    lsrc,
+                    lseq,
+                    ack,
+                    buf,
+                }))
             }
             KIND_ACK_ONLY => {
-                let ack = get_ack(cursor)?;
-                let packed = get_ack(cursor)?;
-                let acked = get_ack(cursor)?;
-                let buf = get_u32(cursor)?;
-                Ok(Pdu::AckOnly(AckOnlyPdu { cid, src, ack, packed, acked, buf }))
+                let ack = get_ack_pooled(cursor, pool)?;
+                let packed = match get_ack_pooled(cursor, pool) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        pool.give(ack);
+                        return Err(e);
+                    }
+                };
+                let acked = match get_ack_pooled(cursor, pool) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        pool.give(ack);
+                        pool.give(packed);
+                        return Err(e);
+                    }
+                };
+                let buf = match get_u32(cursor) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        pool.give(ack);
+                        pool.give(packed);
+                        pool.give(acked);
+                        return Err(e);
+                    }
+                };
+                Ok(Pdu::AckOnly(AckOnlyPdu {
+                    cid,
+                    src,
+                    ack,
+                    packed,
+                    acked,
+                    buf,
+                }))
             }
             other => Err(DecodeError::BadKind { found: other }),
         }
+    }
+}
+
+/// A free list of `Vec<Seq>` ack buffers for allocation-free decoding.
+///
+/// [`Pdu::decode_with`] / [`Pdu::decode_partial_with`] take vectors from
+/// the pool instead of allocating; when the application is done with a
+/// decoded PDU it hands the PDU (or its vectors) back via
+/// [`AckBufPool::recycle`] / [`AckBufPool::give`]. After one warm-up
+/// round-trip per concurrently live PDU, the decode loop performs no heap
+/// allocations for ack vectors (the `DATA` payload still copies into its
+/// own `Bytes`).
+#[derive(Debug, Default)]
+pub struct AckBufPool {
+    free: Vec<Vec<Seq>>,
+}
+
+impl AckBufPool {
+    /// Creates an empty pool (vectors are allocated on first use and
+    /// retained thereafter).
+    pub fn new() -> Self {
+        AckBufPool::default()
+    }
+
+    /// Creates a pool pre-seeded with `count` buffers of capacity
+    /// `capacity` (use the cluster size), so even the first decode is
+    /// allocation-free.
+    pub fn with_buffers(count: usize, capacity: usize) -> Self {
+        AckBufPool {
+            free: (0..count).map(|_| Vec::with_capacity(capacity)).collect(),
+        }
+    }
+
+    /// Takes a cleared buffer from the pool, or a fresh one if empty.
+    pub fn take(&mut self) -> Vec<Seq> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse (it is cleared here).
+    pub fn give(&mut self, mut buf: Vec<Seq>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Reclaims every ack vector of a consumed PDU.
+    pub fn recycle(&mut self, pdu: Pdu) {
+        match pdu {
+            Pdu::Data(p) => self.give(p.ack),
+            Pdu::Ret(p) => self.give(p.ack),
+            Pdu::AckOnly(p) => {
+                self.give(p.ack);
+                self.give(p.packed);
+                self.give(p.acked);
+            }
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
     }
 }
 
@@ -166,7 +328,9 @@ fn put_ack(buf: &mut BytesMut, ack: &[Seq]) {
 
 fn need(cursor: &[u8], n: usize) -> Result<(), DecodeError> {
     if cursor.len() < n {
-        Err(DecodeError::Truncated { needed: n - cursor.len() })
+        Err(DecodeError::Truncated {
+            needed: n - cursor.len(),
+        })
     } else {
         Ok(())
     }
@@ -192,17 +356,35 @@ fn get_u64(cursor: &mut &[u8]) -> Result<u64, DecodeError> {
     Ok(cursor.get_u64())
 }
 
-fn get_ack(cursor: &mut &[u8]) -> Result<Vec<Seq>, DecodeError> {
+/// Reads a length-prefixed ack vector into `out` (cleared first).
+fn get_ack_into(cursor: &mut &[u8], out: &mut Vec<Seq>) -> Result<(), DecodeError> {
     let len = get_u16(cursor)? as usize;
     if len > MAX_ACK_LEN {
-        return Err(DecodeError::AckTooLong { declared: len, max: MAX_ACK_LEN });
+        return Err(DecodeError::AckTooLong {
+            declared: len,
+            max: MAX_ACK_LEN,
+        });
     }
     need(cursor, 8 * len)?;
-    let mut ack = Vec::with_capacity(len);
+    out.clear();
+    out.reserve(len);
     for _ in 0..len {
-        ack.push(Seq::new(cursor.get_u64()));
+        out.push(Seq::new(cursor.get_u64()));
     }
-    Ok(ack)
+    Ok(())
+}
+
+/// [`get_ack_into`] over a pool-drawn buffer; the buffer goes back to the
+/// pool on error, so malformed input never bleeds pooled capacity.
+fn get_ack_pooled(cursor: &mut &[u8], pool: &mut AckBufPool) -> Result<Vec<Seq>, DecodeError> {
+    let mut out = pool.take();
+    match get_ack_into(cursor, &mut out) {
+        Ok(()) => Ok(out),
+        Err(e) => {
+            pool.give(out);
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,7 +483,10 @@ mod tests {
     fn bad_version_rejected() {
         let mut raw = sample_data(2).encode().to_vec();
         raw[2] = 99;
-        assert_eq!(Pdu::decode(&raw), Err(DecodeError::BadVersion { found: 99 }));
+        assert_eq!(
+            Pdu::decode(&raw),
+            Err(DecodeError::BadVersion { found: 99 })
+        );
     }
 
     #[test]
@@ -324,7 +509,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut raw = sample_data(2).encode().to_vec();
         raw.push(0xFF);
-        assert_eq!(Pdu::decode(&raw), Err(DecodeError::TrailingBytes { extra: 1 }));
+        assert_eq!(
+            Pdu::decode(&raw),
+            Err(DecodeError::TrailingBytes { extra: 1 })
+        );
     }
 
     #[test]
@@ -347,6 +535,54 @@ mod tests {
     }
 
     #[test]
+    fn pooled_decode_roundtrips_and_reuses_buffers() {
+        let mut pool = AckBufPool::with_buffers(3, 3);
+        let p = Pdu::AckOnly(AckOnlyPdu {
+            cid: 5,
+            src: EntityId::new(2),
+            ack: seqs(&[4, 5, 6]),
+            packed: seqs(&[1, 2, 3]),
+            acked: seqs(&[0, 1, 2]),
+            buf: 1,
+        });
+        let raw = p.encode();
+        for _ in 0..4 {
+            let decoded = Pdu::decode_with(&raw, &mut pool).unwrap();
+            assert_eq!(decoded, p);
+            assert!(pool.is_empty(), "all three buffers in use");
+            pool.recycle(decoded);
+            assert_eq!(pool.len(), 3, "recycle returns every vector");
+        }
+    }
+
+    #[test]
+    fn pooled_decode_errors_return_buffers_to_pool() {
+        let mut pool = AckBufPool::with_buffers(3, 3);
+        let raw = sample_data(3).encode();
+        for cut in 0..raw.len() {
+            assert!(Pdu::decode_with(&raw[..cut], &mut pool).is_err());
+            assert_eq!(pool.len(), 3, "no pooled buffer lost at cut {cut}");
+        }
+        // Trailing garbage also recycles the successfully decoded PDU.
+        let mut extra = raw.to_vec();
+        extra.push(0xFF);
+        assert!(matches!(
+            Pdu::decode_with(&extra, &mut pool),
+            Err(DecodeError::TrailingBytes { .. })
+        ));
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn encode_into_reserves_exactly_once() {
+        let p = sample_data(8);
+        let mut buf = BytesMut::new();
+        p.encode_into(&mut buf);
+        assert_eq!(buf.len(), p.encoded_len());
+        assert_eq!(Pdu::decode(&buf).unwrap(), p);
+    }
+
+    #[test]
     fn oversized_ack_len_rejected() {
         // Hand-craft an ACKONLY header with a huge ack_len.
         let mut raw = BytesMut::new();
@@ -358,7 +594,10 @@ mod tests {
         raw.put_u16(u16::MAX); // ack_len = 65535 > MAX_ACK_LEN
         assert!(matches!(
             Pdu::decode(&raw),
-            Err(DecodeError::AckTooLong { declared: 65535, .. })
+            Err(DecodeError::AckTooLong {
+                declared: 65535,
+                ..
+            })
         ));
     }
 }

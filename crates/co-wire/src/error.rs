@@ -74,12 +74,21 @@ mod tests {
             DecodeError::Truncated { needed: 4 }.to_string(),
             "buffer truncated, 4 more bytes needed"
         );
-        assert!(DecodeError::BadMagic { found: 0xdead }.to_string().contains("0xdead"));
-        assert!(DecodeError::BadVersion { found: 9 }.to_string().contains('9'));
-        assert!(DecodeError::BadKind { found: 7 }.to_string().contains('7'));
-        assert!(DecodeError::AckTooLong { declared: 99, max: 10 }
+        assert!(DecodeError::BadMagic { found: 0xdead }
             .to_string()
-            .contains("99"));
-        assert!(DecodeError::TrailingBytes { extra: 3 }.to_string().contains('3'));
+            .contains("0xdead"));
+        assert!(DecodeError::BadVersion { found: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(DecodeError::BadKind { found: 7 }.to_string().contains('7'));
+        assert!(DecodeError::AckTooLong {
+            declared: 99,
+            max: 10
+        }
+        .to_string()
+        .contains("99"));
+        assert!(DecodeError::TrailingBytes { extra: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -41,6 +41,6 @@ mod codec;
 mod error;
 mod pdu;
 
-pub use codec::{MAGIC, VERSION};
+pub use codec::{AckBufPool, MAGIC, VERSION};
 pub use error::DecodeError;
 pub use pdu::{AckOnlyPdu, DataPdu, Pdu, PduKind, RetPdu};

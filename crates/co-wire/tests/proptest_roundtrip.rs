@@ -32,8 +32,15 @@ fn arb_data() -> impl Strategy<Value = Pdu> {
 }
 
 fn arb_ret() -> impl Strategy<Value = Pdu> {
-    (any::<u32>(), 0u32..64, 0u32..64, any::<u64>(), arb_ack(), any::<u32>()).prop_map(
-        |(cid, src, lsrc, lseq, ack, buf)| {
+    (
+        any::<u32>(),
+        0u32..64,
+        0u32..64,
+        any::<u64>(),
+        arb_ack(),
+        any::<u32>(),
+    )
+        .prop_map(|(cid, src, lsrc, lseq, ack, buf)| {
             Pdu::Ret(RetPdu {
                 cid,
                 src: EntityId::new(src),
@@ -42,13 +49,19 @@ fn arb_ret() -> impl Strategy<Value = Pdu> {
                 ack,
                 buf,
             })
-        },
-    )
+        })
 }
 
 fn arb_ack_only() -> impl Strategy<Value = Pdu> {
-    (any::<u32>(), 0u32..64, arb_ack(), arb_ack(), arb_ack(), any::<u32>()).prop_map(
-        |(cid, src, ack, packed, acked, buf)| {
+    (
+        any::<u32>(),
+        0u32..64,
+        arb_ack(),
+        arb_ack(),
+        arb_ack(),
+        any::<u32>(),
+    )
+        .prop_map(|(cid, src, ack, packed, acked, buf)| {
             Pdu::AckOnly(AckOnlyPdu {
                 cid,
                 src: EntityId::new(src),
@@ -57,8 +70,7 @@ fn arb_ack_only() -> impl Strategy<Value = Pdu> {
                 acked,
                 buf,
             })
-        },
-    )
+        })
 }
 
 fn arb_pdu() -> impl Strategy<Value = Pdu> {

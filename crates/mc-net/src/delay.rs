@@ -107,7 +107,8 @@ mod tests {
             vec![SimDuration::from_micros(30), SimDuration::ZERO],
         ]);
         assert_eq!(
-            m.sample(EntityId::new(1), EntityId::new(0), &mut rng()).as_micros(),
+            m.sample(EntityId::new(1), EntityId::new(0), &mut rng())
+                .as_micros(),
             30
         );
         assert_eq!(m.max_delay().as_micros(), 30);
@@ -127,13 +128,19 @@ mod tests {
         let a: Vec<u64> = {
             let mut r = rng();
             (0..10)
-                .map(|_| m.sample(EntityId::new(0), EntityId::new(1), &mut r).as_micros())
+                .map(|_| {
+                    m.sample(EntityId::new(0), EntityId::new(1), &mut r)
+                        .as_micros()
+                })
                 .collect()
         };
         let b: Vec<u64> = {
             let mut r = rng();
             (0..10)
-                .map(|_| m.sample(EntityId::new(0), EntityId::new(1), &mut r).as_micros())
+                .map(|_| {
+                    m.sample(EntityId::new(0), EntityId::new(1), &mut r)
+                        .as_micros()
+                })
                 .collect()
         };
         assert_eq!(a, b);

@@ -73,7 +73,9 @@ mod tests {
         QueuedEvent {
             time: SimTime::from_micros(time),
             seq,
-            kind: EventKind::ProcessNext { node: EntityId::new(0) },
+            kind: EventKind::ProcessNext {
+                node: EntityId::new(0),
+            },
         }
     }
 

@@ -33,12 +33,22 @@ impl TimedRule {
     /// Drops everything *sent to* `entity` during the window — the entity
     /// appears crashed to its peers, then recovers.
     pub fn pause_receiver(entity: EntityId, from_us: u64, to_us: u64) -> Self {
-        TimedRule { from: None, to: Some(entity), from_us, to_us }
+        TimedRule {
+            from: None,
+            to: Some(entity),
+            from_us,
+            to_us,
+        }
     }
 
     /// Drops everything on the directed link `from → to` in the window.
     pub fn cut_link(from: EntityId, to: EntityId, from_us: u64, to_us: u64) -> Self {
-        TimedRule { from: Some(from), to: Some(to), from_us, to_us }
+        TimedRule {
+            from: Some(from),
+            to: Some(to),
+            from_us,
+            to_us,
+        }
     }
 
     fn matches(&self, from: EntityId, to: EntityId, now: SimTime) -> bool {
@@ -199,7 +209,7 @@ mod tests {
         assert!(!s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)); // k = 1
         assert!(s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)); // k = 2 → dropped
         assert!(!s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)); // k = 3
-        // A different link is unaffected.
+                                                                    // A different link is unaffected.
         assert!(!s.should_drop(e(0), e(2), SimTime::ZERO, &mut r));
     }
 
@@ -221,7 +231,9 @@ mod tests {
             to_good: 0.2,
         });
         let mut r = rng();
-        let pattern: Vec<bool> = (0..5_000).map(|_| s.should_drop(e(0), e(1), SimTime::ZERO, &mut r)).collect();
+        let pattern: Vec<bool> = (0..5_000)
+            .map(|_| s.should_drop(e(0), e(1), SimTime::ZERO, &mut r))
+            .collect();
         let drops = pattern.iter().filter(|&&d| d).count();
         assert!(drops > 0, "burst model never entered bad state");
         // Losses should cluster: count adjacent drop pairs vs expectation
@@ -229,7 +241,10 @@ mod tests {
         let pairs = pattern.windows(2).filter(|w| w[0] && w[1]).count();
         let p = drops as f64 / 5_000.0;
         let indep_pairs = (5_000.0 * p * p) as usize;
-        assert!(pairs > indep_pairs, "no clustering: {pairs} <= {indep_pairs}");
+        assert!(
+            pairs > indep_pairs,
+            "no clustering: {pairs} <= {indep_pairs}"
+        );
     }
 
     #[test]

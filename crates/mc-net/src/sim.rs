@@ -143,10 +143,12 @@ impl<N: SimNode> Simulator<N> {
 
     /// Iterates over all nodes.
     pub fn nodes(&self) -> impl Iterator<Item = (EntityId, &N)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (EntityId::new(i as u32), n.as_ref().expect("node in callback")))
+        self.nodes.iter().enumerate().map(|(i, n)| {
+            (
+                EntityId::new(i as u32),
+                n.as_ref().expect("node in callback"),
+            )
+        })
     }
 
     /// Schedules an application command for `entity` at absolute time `at`.
@@ -233,8 +235,11 @@ impl<N: SimNode> Simulator<N> {
         self.stats.link_sends += 1;
         if self.loss.should_drop(from, to, self.now, &mut self.rng) {
             self.stats.link_drops += 1;
-            self.recorder
-                .record(TraceEvent::LinkDrop { at: self.now, from, to });
+            self.recorder.record(TraceEvent::LinkDrop {
+                at: self.now,
+                from,
+                to,
+            });
             return;
         }
         let delay = self.config.delay.sample(from, to, &mut self.rng);
@@ -258,8 +263,11 @@ impl<N: SimNode> Simulator<N> {
                 let inbox = &mut self.inboxes[to.index()];
                 if inbox.offer(from, msg, self.now) {
                     self.stats.arrivals += 1;
-                    self.recorder
-                        .record(TraceEvent::Arrival { at: self.now, from, to });
+                    self.recorder.record(TraceEvent::Arrival {
+                        at: self.now,
+                        from,
+                        to,
+                    });
                     if !self.busy[to.index()] {
                         self.busy[to.index()] = true;
                         self.push_event(
@@ -269,15 +277,21 @@ impl<N: SimNode> Simulator<N> {
                     }
                 } else {
                     self.stats.overrun_drops += 1;
-                    self.recorder
-                        .record(TraceEvent::OverrunDrop { at: self.now, from, to });
+                    self.recorder.record(TraceEvent::OverrunDrop {
+                        at: self.now,
+                        from,
+                        to,
+                    });
                 }
             }
             EventKind::ProcessNext { node } => {
                 if let Some((from, msg, _arrived)) = self.inboxes[node.index()].take() {
                     self.stats.processed += 1;
-                    self.recorder
-                        .record(TraceEvent::Processed { at: self.now, node, from });
+                    self.recorder.record(TraceEvent::Processed {
+                        at: self.now,
+                        node,
+                        from,
+                    });
                     self.with_node(node, |n, ctx| n.on_message(from, msg, ctx));
                 }
                 if self.inboxes[node.index()].is_empty() {
@@ -322,7 +336,10 @@ impl<N: SimNode> Simulator<N> {
     pub fn run_until_idle(&mut self) {
         const BUDGET: u64 = 100_000_000;
         let processed = self.run_until_idle_capped(BUDGET);
-        assert!(processed < BUDGET, "simulation exceeded {BUDGET} events — livelock?");
+        assert!(
+            processed < BUDGET,
+            "simulation exceeded {BUDGET} events — livelock?"
+        );
     }
 
     /// Runs until simulated time reaches `deadline` (events after it stay
@@ -362,7 +379,10 @@ mod tests {
 
     impl Logger {
         fn new() -> Self {
-            Logger { seen: Vec::new(), echo: false }
+            Logger {
+                seen: Vec::new(),
+                echo: false,
+            }
         }
     }
 
@@ -394,7 +414,10 @@ mod tests {
         let mut sim = two_nodes();
         sim.schedule_command(SimTime::ZERO, EntityId::new(0), 42);
         sim.run_until_idle();
-        assert_eq!(sim.node(EntityId::new(1)).seen, vec![(EntityId::new(0), 42)]);
+        assert_eq!(
+            sim.node(EntityId::new(1)).seen,
+            vec![(EntityId::new(0), 42)]
+        );
         // Sender does not hear its own broadcast.
         assert!(sim.node(EntityId::new(0)).seen.is_empty());
         assert_eq!(sim.stats().link_sends, 1);
@@ -433,7 +456,12 @@ mod tests {
             sim.schedule_command(SimTime::from_micros(k), EntityId::new(0), k as u32);
         }
         sim.run_until_idle();
-        let seen: Vec<u32> = sim.node(EntityId::new(1)).seen.iter().map(|&(_, m)| m).collect();
+        let seen: Vec<u32> = sim
+            .node(EntityId::new(1))
+            .seen
+            .iter()
+            .map(|&(_, m)| m)
+            .collect();
         let mut sorted = seen.clone();
         sorted.sort_unstable();
         assert_eq!(seen, sorted, "MC service must preserve per-sender order");
@@ -458,7 +486,12 @@ mod tests {
         }
         sim.run_until_idle();
         assert!(sim.stats().overrun_drops > 0);
-        let survived: Vec<u32> = sim.node(EntityId::new(1)).seen.iter().map(|&(_, m)| m).collect();
+        let survived: Vec<u32> = sim
+            .node(EntityId::new(1))
+            .seen
+            .iter()
+            .map(|&(_, m)| m)
+            .collect();
         // Whatever survives is still in FIFO order.
         let mut sorted = survived.clone();
         sorted.sort_unstable();
@@ -484,7 +517,12 @@ mod tests {
             sim.schedule_command(SimTime::from_micros(k * 10), EntityId::new(0), k as u32);
         }
         sim.run_until_idle();
-        let seen: Vec<u32> = sim.node(EntityId::new(1)).seen.iter().map(|&(_, m)| m).collect();
+        let seen: Vec<u32> = sim
+            .node(EntityId::new(1))
+            .seen
+            .iter()
+            .map(|&(_, m)| m)
+            .collect();
         assert_eq!(seen, vec![0, 2, 3]);
         assert_eq!(sim.stats().link_drops, 1);
     }
@@ -549,13 +587,19 @@ mod tests {
         sim.node_mut(EntityId::new(1)).echo = true;
         sim.schedule_command(SimTime::ZERO, EntityId::new(0), 5);
         sim.run_until_idle();
-        assert_eq!(sim.node(EntityId::new(0)).seen, vec![(EntityId::new(1), 1005)]);
+        assert_eq!(
+            sim.node(EntityId::new(0)).seen,
+            vec![(EntityId::new(1), 1005)]
+        );
     }
 
     #[test]
     fn trace_records_send_arrival_processing() {
         let mut sim = Simulator::new(
-            SimConfig { trace: true, ..SimConfig::default() },
+            SimConfig {
+                trace: true,
+                ..SimConfig::default()
+            },
             vec![Logger::new(), Logger::new()],
         );
         sim.schedule_command(SimTime::ZERO, EntityId::new(0), 1);
@@ -616,8 +660,14 @@ mod tests {
         let mut sim = Simulator::new(
             SimConfig::default(),
             vec![
-                TimerNode { fired: vec![], cancel_next: None },
-                TimerNode { fired: vec![], cancel_next: None },
+                TimerNode {
+                    fired: vec![],
+                    cancel_next: None,
+                },
+                TimerNode {
+                    fired: vec![],
+                    cancel_next: None,
+                },
             ],
         );
         sim.schedule_command(SimTime::ZERO, EntityId::new(0), "set");
@@ -632,8 +682,14 @@ mod tests {
         let mut sim = Simulator::new(
             SimConfig::default(),
             vec![
-                TimerNode { fired: vec![], cancel_next: None },
-                TimerNode { fired: vec![], cancel_next: None },
+                TimerNode {
+                    fired: vec![],
+                    cancel_next: None,
+                },
+                TimerNode {
+                    fired: vec![],
+                    cancel_next: None,
+                },
             ],
         );
         sim.schedule_command(SimTime::ZERO, EntityId::new(0), "set_and_cancel");

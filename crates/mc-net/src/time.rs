@@ -3,11 +3,35 @@
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in microseconds since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -126,7 +150,10 @@ mod tests {
     fn subtraction_saturates() {
         let d = SimTime::from_micros(10) - SimTime::from_micros(20);
         assert_eq!(d, SimDuration::ZERO);
-        assert_eq!(SimTime::from_micros(10).since(SimTime::from_micros(20)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_micros(10).since(SimTime::from_micros(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -49,15 +49,17 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
         1u64..=100,
         prop::collection::vec((0usize..5, 0u64..20_000), 1..60),
     )
-        .prop_map(|(n, seed, loss_pct, jitter_max, inbox, proc_us, sends)| Workload {
-            n,
-            seed,
-            loss_pct,
-            jitter_max,
-            inbox,
-            proc_us,
-            sends,
-        })
+        .prop_map(
+            |(n, seed, loss_pct, jitter_max, inbox, proc_us, sends)| Workload {
+                n,
+                seed,
+                loss_pct,
+                jitter_max,
+                inbox,
+                proc_us,
+                sends,
+            },
+        )
 }
 
 fn run(w: &Workload) -> Simulator<Recorder> {
@@ -71,7 +73,9 @@ fn run(w: &Workload) -> Simulator<Recorder> {
             loss: if w.loss_pct == 0 {
                 LossModel::None
             } else {
-                LossModel::Iid { p: w.loss_pct as f64 / 100.0 }
+                LossModel::Iid {
+                    p: w.loss_pct as f64 / 100.0,
+                }
             },
             inbox_capacity: w.inbox,
             proc_time: SimDuration::from_micros(w.proc_us),

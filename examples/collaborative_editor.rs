@@ -78,8 +78,14 @@ fn main() {
     // Invariant: everyone sees bob's answer after alice's question.
     for (id, node) in sim.nodes() {
         let log = node.delivery_log();
-        let q = log.iter().position(|&(o, _)| o == EntityId::new(0)).unwrap();
-        let a = log.iter().position(|&(o, _)| o == EntityId::new(1)).unwrap();
+        let q = log
+            .iter()
+            .position(|&(o, _)| o == EntityId::new(0))
+            .unwrap();
+        let a = log
+            .iter()
+            .position(|&(o, _)| o == EntityId::new(1))
+            .unwrap();
         assert!(q < a, "{}: answer before question!", USERS[id.index()]);
     }
     println!("causal invariant holds: no participant ever sees the answer before the question ✓");

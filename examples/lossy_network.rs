@@ -51,8 +51,10 @@ fn main() {
     sim.run_until_idle();
 
     let stats = sim.stats();
-    println!("network: {} transmissions, {} lost in flight, {} lost to buffer overrun",
-        stats.link_sends, stats.link_drops, stats.overrun_drops);
+    println!(
+        "network: {} transmissions, {} lost in flight, {} lost to buffer overrun",
+        stats.link_sends, stats.link_drops, stats.overrun_drops
+    );
     println!("effective loss rate: {:.1}%\n", stats.loss_rate() * 100.0);
 
     let total = n * messages_per_sender;

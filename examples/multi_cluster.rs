@@ -40,9 +40,13 @@ fn main() {
             }
         }
     };
-    let (_, acts) = node_a.submit(10, Bytes::from_static(b"chat: hi"), 0).unwrap();
+    let (_, acts) = node_a
+        .submit(10, Bytes::from_static(b"chat: hi"), 0)
+        .unwrap();
     push_broadcasts(acts, &mut wire);
-    let (_, acts) = node_a.submit(20, Bytes::from_static(b"metric: 42"), 1).unwrap();
+    let (_, acts) = node_a
+        .submit(20, Bytes::from_static(b"metric: 42"), 1)
+        .unwrap();
     push_broadcasts(acts, &mut wire);
 
     // One shared "wire" carries both clusters' PDUs to node B; the mux
@@ -77,8 +81,16 @@ fn main() {
 
     // Both clusters progressed independently on both nodes.
     for cid in [10, 20] {
-        assert_eq!(node_a.entity(cid).unwrap().req()[0].get(), 2, "cluster {cid} at A");
-        assert_eq!(node_b.entity(cid).unwrap().req()[0].get(), 2, "cluster {cid} at B");
+        assert_eq!(
+            node_a.entity(cid).unwrap().req()[0].get(),
+            2,
+            "cluster {cid} at A"
+        );
+        assert_eq!(
+            node_b.entity(cid).unwrap().req()[0].get(),
+            2,
+            "cluster {cid} at B"
+        );
     }
     println!("two independent clusters multiplexed over one node pair ✓");
 }

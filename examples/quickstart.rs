@@ -32,7 +32,11 @@ fn main() {
 
     // A causal chain: each message is submitted well after the previous
     // one has been delivered cluster-wide, so m1 ⇒ m2 ⇒ m3.
-    sim.schedule_command(SimTime::ZERO, EntityId::new(0), Bytes::from_static(b"m1: hello"));
+    sim.schedule_command(
+        SimTime::ZERO,
+        EntityId::new(0),
+        Bytes::from_static(b"m1: hello"),
+    );
     sim.schedule_command(
         SimTime::from_millis(50),
         EntityId::new(1),

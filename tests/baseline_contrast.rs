@@ -82,7 +82,11 @@ fn fifo_baseline_violates_causality_where_co_does_not() {
     // Adversarial order at E3: m2 first, then m1 — no delivery of m2 may
     // precede m1's.
     let mut log3: Vec<AppDelivery> = Vec::new();
-    log3.extend(deliveries(&c3.on_msg(e(1), m2_pdu.expect("m2 data pdu"), 3)));
+    log3.extend(deliveries(&c3.on_msg(
+        e(1),
+        m2_pdu.expect("m2 data pdu"),
+        3,
+    )));
     log3.extend(deliveries(&c3.on_msg(e(0), p1, 4)));
     // Feed confirmations around until deliveries appear (bounded rounds).
     let mut inflight: Vec<(EntityId, co_protocol::Pdu)> = Vec::new();
@@ -253,5 +257,7 @@ fn cbcast_matches_co_ordering_on_reliable_network() {
             trace.record_broadcast(id, MsgId(id.index() as u64 * 1000 + k));
         }
     }
-    trace.check_co_service().expect("CBCAST is causally ordered on a reliable net");
+    trace
+        .check_co_service()
+        .expect("CBCAST is causally ordered on a reliable net");
 }

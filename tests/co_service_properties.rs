@@ -12,7 +12,11 @@ fn assert_co_service(params: CoRunParams, label: &str) {
     assert!(
         result.all_delivered(),
         "{label}: not information-preserved: {:?}",
-        result.nodes.iter().map(|o| o.delivered.len()).collect::<Vec<_>>()
+        result
+            .nodes
+            .iter()
+            .map(|o| o.delivered.len())
+            .collect::<Vec<_>>()
     );
     let trace = result.run_trace();
     if let Err(violations) = trace.check_co_service() {

@@ -81,7 +81,12 @@ fn one_way_link_cut_is_repaired_via_third_parties() {
     let mut sim = cluster(
         n,
         LossModel::Timed {
-            rules: vec![TimedRule::cut_link(EntityId::new(0), EntityId::new(1), 0, 40_000)],
+            rules: vec![TimedRule::cut_link(
+                EntityId::new(0),
+                EntityId::new(1),
+                0,
+                40_000,
+            )],
         },
     );
     for k in 0..10u64 {
@@ -96,7 +101,12 @@ fn one_way_link_cut_is_repaired_via_third_parties() {
         assert_eq!(node.delivered().len(), 10, "at {id}");
     }
     assert!(
-        sim.node(EntityId::new(1)).inner().entity().metrics().f2_detections > 0,
+        sim.node(EntityId::new(1))
+            .inner()
+            .entity()
+            .metrics()
+            .f2_detections
+            > 0,
         "E2 must have learned about E1's PDUs from E3"
     );
 }

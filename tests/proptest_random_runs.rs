@@ -10,15 +10,15 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = CoRunParams> {
     (
-        2usize..=5,                // n
-        1usize..=12,               // messages per sender
-        any::<u64>(),              // seed
-        0u32..=20,                 // loss percent
-        prop::bool::ANY,           // all senders?
-        prop::bool::ANY,           // selective?
-        prop::bool::ANY,           // deferred?
-        1u64..=32,                 // window
-        50u64..=1_000,             // submit interval
+        2usize..=5,      // n
+        1usize..=12,     // messages per sender
+        any::<u64>(),    // seed
+        0u32..=20,       // loss percent
+        prop::bool::ANY, // all senders?
+        prop::bool::ANY, // selective?
+        prop::bool::ANY, // deferred?
+        1u64..=32,       // window
+        50u64..=1_000,   // submit interval
     )
         .prop_map(
             |(n, messages, seed, loss_pct, all, selective, deferred, window, interval)| {
@@ -39,7 +39,9 @@ fn arb_params() -> impl Strategy<Value = CoRunParams> {
                         loss: if loss_pct == 0 {
                             LossModel::None
                         } else {
-                            LossModel::Iid { p: loss_pct as f64 / 100.0 }
+                            LossModel::Iid {
+                                p: loss_pct as f64 / 100.0,
+                            }
                         },
                         seed,
                         ..SimConfig::default()

@@ -99,7 +99,14 @@ fn tco_and_tap_are_measured() {
     }
     let reports = cluster.shutdown();
     let receiver = &reports[1];
-    assert!(receiver.tco_samples.len() >= 10, "Tco sampled per received PDU");
-    assert_eq!(receiver.tap_samples.len(), 10, "Tap sampled per remote delivery");
+    assert!(
+        receiver.tco_samples.len() >= 10,
+        "Tco sampled per received PDU"
+    );
+    assert_eq!(
+        receiver.tap_samples.len(),
+        10,
+        "Tap sampled per remote delivery"
+    );
     assert!(receiver.tap().mean > Duration::ZERO);
 }
