@@ -1,0 +1,226 @@
+//! The `co-check` explorer binary.
+//!
+//! ```text
+//! co-check [--schedules N] [--seed S] [--break-delivery]
+//!          [--out DIR] [--budget-secs T] [--replay FILE]
+//! ```
+//!
+//! Explores `N` seeded adversarial schedules; on the first oracle
+//! violation it shrinks the scenario and writes a JSON reproducer to
+//! `DIR`, then exits with status 1. `--replay FILE` instead re-runs one
+//! committed reproducer and verifies it still violates what it claims.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use co_check::{run_scenario, shrink, Category, Reproducer, Scenario};
+
+struct Args {
+    schedules: u64,
+    seed: u64,
+    break_delivery: bool,
+    out: String,
+    budget_secs: Option<u64>,
+    replay: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        schedules: 100,
+        seed: 0,
+        break_delivery: false,
+        out: ".".to_string(),
+        budget_secs: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--schedules" => {
+                args.schedules = value("--schedules")?
+                    .parse()
+                    .map_err(|e| format!("--schedules: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--break-delivery" => args.break_delivery = true,
+            "--out" => args.out = value("--out")?,
+            "--budget-secs" => {
+                args.budget_secs = Some(
+                    value("--budget-secs")?
+                        .parse()
+                        .map_err(|e| format!("--budget-secs: {e}"))?,
+                );
+            }
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: co-check [--schedules N] [--seed S] [--break-delivery] \
+                            [--out DIR] [--budget-secs T] [--replay FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("co-check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rep = match Reproducer::from_json_text(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("co-check: {path} is not a valid reproducer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_scenario(&rep.scenario);
+    println!("replay of {path} ({})", rep.note);
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    let missing: Vec<&String> = rep
+        .expect
+        .iter()
+        .filter(|name| {
+            !report
+                .violations
+                .iter()
+                .any(|v| v.category.name() == name.as_str())
+        })
+        .collect();
+    if missing.is_empty() {
+        println!(
+            "reproduced: all expected categories present ({})",
+            rep.expect.join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAILED to reproduce: missing categories {:?} (digest {:#018x})",
+            missing, report.digest
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+
+    let started = Instant::now();
+    let mut explored = 0u64;
+    let mut total_broadcasts = 0u64;
+    let mut total_deliveries = 0u64;
+    let mut total_drops = 0u64;
+
+    println!(
+        "co-check: exploring {} schedules (base seed {}{})",
+        args.schedules,
+        args.seed,
+        if args.break_delivery {
+            ", delivery bug injected"
+        } else {
+            ""
+        }
+    );
+
+    for index in 0..args.schedules {
+        if let Some(budget) = args.budget_secs {
+            if started.elapsed().as_secs() >= budget {
+                println!(
+                    "time budget of {budget}s reached after {explored} schedules — stopping clean"
+                );
+                break;
+            }
+        }
+        let scenario = Scenario::random(index, args.seed, args.break_delivery);
+        let report = run_scenario(&scenario);
+        explored += 1;
+        total_broadcasts += report.broadcasts as u64;
+        total_deliveries += report.deliveries as u64;
+        total_drops += report.stats.link_drops + report.stats.overrun_drops;
+
+        if !report.violations.is_empty() {
+            println!("\nVIOLATION at schedule {index} (seed {}):", args.seed);
+            for v in &report.violations {
+                println!("  {v}");
+            }
+            let target: Vec<Category> = {
+                let mut t: Vec<Category> = report.violations.iter().map(|v| v.category).collect();
+                t.dedup();
+                t
+            };
+            println!("shrinking (target: {:?})…", target);
+            let outcome = shrink(&scenario, &target);
+            println!(
+                "shrunk to {} submits / {} faults in {} runs",
+                outcome.scenario.workload.len(),
+                outcome.scenario.faults.len(),
+                outcome.runs
+            );
+            let reproducer = Reproducer {
+                expect: target.iter().map(|c| c.name().to_string()).collect(),
+                note: format!(
+                    "found by `co-check --schedules {} --seed {}{}` at schedule {index}",
+                    args.schedules,
+                    args.seed,
+                    if args.break_delivery {
+                        " --break-delivery"
+                    } else {
+                        ""
+                    }
+                ),
+                scenario: outcome.scenario,
+            };
+            let path = format!(
+                "{}/reproducer-seed{}-s{index}.json",
+                args.out.trim_end_matches('/'),
+                args.seed
+            );
+            let doc = format!("{}\n", reproducer.to_json());
+            match std::fs::write(&path, &doc) {
+                Ok(()) => println!("reproducer written to {path}"),
+                Err(e) => eprintln!("cannot write {path}: {e} — dumping inline:\n{doc}"),
+            }
+            return ExitCode::FAILURE;
+        }
+
+        if (index + 1) % 100 == 0 {
+            println!(
+                "  {:>6}/{} clean ({} broadcasts, {} deliveries, {} PDUs lost, {:.1}s)",
+                index + 1,
+                args.schedules,
+                total_broadcasts,
+                total_deliveries,
+                total_drops,
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    println!(
+        "\nco-check report\n  schedules explored : {explored}\n  broadcasts         : {total_broadcasts}\n  deliveries         : {total_deliveries}\n  PDUs lost          : {total_drops}\n  violations         : 0\n  wall clock         : {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,191 @@
+//! The simulator node under test: a real [`Entity`] plus event recording.
+//!
+//! [`CheckNode`] is deliberately thin — it is the same sans-IO adapter shape
+//! as `co-baselines::BroadcasterNode`, with two additions the checker
+//! needs: it records every application-level event (broadcasts and
+//! deliveries, in local order, with the oracle-facing ACK vector), and it
+//! implements the crash-restart command by round-tripping the entity
+//! through [`Entity::export_state`] / [`Entity::restore`].
+
+use bytes::Bytes;
+use causal_order::EntityId;
+use co_protocol::{Action, Config, Entity, Pdu};
+use mc_net::{Context, SimDuration, SimNode, TimerId};
+
+/// A command injected by the checker's schedule.
+#[derive(Debug, Clone)]
+pub enum CheckCmd {
+    /// The application submits a payload for broadcast.
+    Submit(Bytes),
+    /// Crash the entity and restart it from a full protocol-state snapshot.
+    /// The runner pairs this with a `ClearInbox` control so volatile
+    /// receive state is lost while protocol state survives — the paper's
+    /// failure model (§2.1) is PDU loss, not amnesia.
+    Crash,
+}
+
+/// One application-level event at this node, in local order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppEvent {
+    /// This node broadcast a *new* message (retransmissions are not
+    /// recorded: Lemma 4.2 makes them bit-identical copies).
+    Broadcast {
+        /// The per-source sequence number of the new message.
+        seq: u64,
+        /// When, µs.
+        at_us: u64,
+    },
+    /// The protocol delivered a message to this node's application.
+    Deliver {
+        /// Originating entity index.
+        src: u32,
+        /// The origin's sequence number.
+        seq: u64,
+        /// The ACK vector the origin piggybacked (§4.1) — identical at
+        /// every entity by Lemma 4.2, which the ack-integrity oracle
+        /// checks.
+        ack: Vec<u64>,
+        /// When, µs.
+        at_us: u64,
+    },
+}
+
+/// A protocol entity wired into the simulator, recording every
+/// application-level event for the oracles.
+#[derive(Debug)]
+pub struct CheckNode {
+    entity: Entity,
+    config: Config,
+    events: Vec<AppEvent>,
+    /// Sequence number the next *fresh* broadcast will carry; used to tell
+    /// new broadcasts apart from retransmissions (both surface as
+    /// [`Action::Broadcast`] with `src == me`).
+    next_broadcast_seq: u64,
+    armed_deadline: Option<u64>,
+    /// If set, silently drop the first delivery record — an injected
+    /// delivery bug the oracles must catch (`--break-delivery`).
+    break_delivery: bool,
+    suppressed: bool,
+}
+
+impl CheckNode {
+    /// Wraps a fresh entity for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is rejected (checker scenarios only
+    /// generate valid configurations).
+    pub fn new(config: Config, break_delivery: bool) -> Self {
+        CheckNode {
+            entity: Entity::new(config.clone()).expect("valid scenario config"),
+            config,
+            events: Vec::new(),
+            next_broadcast_seq: 1,
+            armed_deadline: None,
+            break_delivery,
+            suppressed: false,
+        }
+    }
+
+    /// The wrapped protocol entity.
+    pub fn entity(&self) -> &Entity {
+        &self.entity
+    }
+
+    /// The recorded application-level events, in local order.
+    pub fn events(&self) -> &[AppEvent] {
+        &self.events
+    }
+
+    fn apply(&mut self, actions: Vec<Action>, ctx: &mut Context<'_, Pdu>) {
+        let me = ctx.me();
+        for action in actions {
+            match action {
+                Action::Broadcast(pdu) => {
+                    if let Pdu::Data(ref p) = pdu {
+                        // A data PDU from me with the next fresh sequence
+                        // number is a new broadcast; anything else from me
+                        // is a retransmission.
+                        if p.src == me && p.seq.get() == self.next_broadcast_seq {
+                            self.events.push(AppEvent::Broadcast {
+                                seq: p.seq.get(),
+                                at_us: ctx.now().as_micros(),
+                            });
+                            self.next_broadcast_seq += 1;
+                        }
+                    }
+                    ctx.broadcast(pdu);
+                }
+                Action::Deliver(d) => {
+                    if self.break_delivery && !self.suppressed {
+                        self.suppressed = true;
+                        continue;
+                    }
+                    self.events.push(AppEvent::Deliver {
+                        src: d.src.index() as u32,
+                        seq: d.seq.get(),
+                        ack: d.ack.iter().map(|a| a.get()).collect(),
+                        at_us: ctx.now().as_micros(),
+                    });
+                }
+            }
+        }
+        self.rearm(ctx);
+    }
+
+    fn rearm(&mut self, ctx: &mut Context<'_, Pdu>) {
+        let now = ctx.now().as_micros();
+        if let Some(deadline) = self.entity.next_deadline(now) {
+            let fire_at = deadline.max(now);
+            if self.armed_deadline.is_none_or(|armed| fire_at < armed) {
+                ctx.set_timer(SimDuration::from_micros(fire_at - now));
+                self.armed_deadline = Some(fire_at);
+            }
+        }
+    }
+}
+
+impl SimNode for CheckNode {
+    type Msg = Pdu;
+    type Cmd = CheckCmd;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Pdu>) {
+        self.rearm(ctx);
+    }
+
+    fn on_message(&mut self, _from: EntityId, msg: Pdu, ctx: &mut Context<'_, Pdu>) {
+        let actions = self
+            .entity
+            .on_pdu(msg, ctx.now().as_micros())
+            .expect("wire PDUs are well-formed in simulation");
+        self.apply(actions, ctx);
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, Pdu>) {
+        self.armed_deadline = None;
+        let actions = self.entity.on_tick(ctx.now().as_micros());
+        self.apply(actions, ctx);
+    }
+
+    fn on_command(&mut self, cmd: CheckCmd, ctx: &mut Context<'_, Pdu>) {
+        match cmd {
+            CheckCmd::Submit(data) => {
+                let (_, actions) = self
+                    .entity
+                    .submit(data, ctx.now().as_micros())
+                    .expect("scenario payloads fit the configured maximum");
+                self.apply(actions, ctx);
+            }
+            CheckCmd::Crash => {
+                // Protocol state survives (export → restore); armed timers
+                // belong to the dead incarnation, so forget them and re-arm
+                // from the restored entity's own deadlines.
+                let state = self.entity.export_state();
+                self.entity = Entity::restore(self.config.clone(), state)
+                    .expect("own exported state always restores");
+                self.armed_deadline = None;
+                self.rearm(ctx);
+            }
+        }
+    }
+}

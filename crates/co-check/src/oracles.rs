@@ -1,0 +1,376 @@
+//! Protocol oracles: what a correct CO-protocol run must look like.
+//!
+//! The oracles judge a run purely from the application-level events the
+//! [`crate::node::CheckNode`]s recorded — never from the engine's own
+//! bookkeeping — so an engine bug cannot hide itself. They are:
+//!
+//! * **Safety** (§2.2/§2.3, via `causal_order::properties::RunTrace`):
+//!   atomicity (every broadcast delivered everywhere),
+//!   no-duplication/no-creation, per-source FIFO and causal delivery
+//!   order.
+//! * **Ack integrity** (Lemma 4.2): retransmissions are bit-identical, so
+//!   every entity must observe the *same* piggybacked ACK vector for a
+//!   given `(src, seq)` — a cheap cross-node check that loss recovery
+//!   never forges causality metadata.
+//! * **Liveness** (Theorem §4.3 territory): once the fault plan's windows
+//!   close and the workload stops, the run must quiesce with every entity
+//!   fully stable (everything accepted is known globally pre-acked).
+//!
+//! Deliberately *not* an oracle: per-delivery dependency closure derived
+//! from the ACK vectors. The CPI's inconsistent-triad scope (see
+//! `co-protocol::cpi`) means a direct `⇒` edge inside one PACK batch can be
+//! legitimately unsatisfiable, so that check would reject correct runs.
+//! The ground-truth happened-before graph built from the recorded events
+//! (what `RunTrace` uses) has no such ambiguity.
+
+use std::collections::HashMap;
+
+use causal_order::properties::{RunTrace, Violation as TraceViolation};
+use causal_order::{EntityId, MsgId};
+
+use crate::node::AppEvent;
+
+/// Multiplier folding `(src, seq)` into a [`MsgId`]: `src * SRC_STRIDE +
+/// seq`. Sequence numbers stay far below this in any bounded run.
+pub const SRC_STRIDE: u64 = 1_000_000;
+
+/// The oracle family a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// A broadcast message was never delivered at some entity.
+    Atomicity,
+    /// A message was delivered more than once at some entity.
+    Duplication,
+    /// A message was delivered that nobody broadcast.
+    Creation,
+    /// Two messages from one source were delivered out of sending order.
+    Fifo,
+    /// A message was delivered before a causal predecessor.
+    Causality,
+    /// Entities observed different ACK vectors for the same message.
+    AckIntegrity,
+    /// The run failed to quiesce, or quiesced without global stability.
+    Liveness,
+}
+
+impl Category {
+    /// All categories, in severity order.
+    pub const ALL: [Category; 7] = [
+        Category::Atomicity,
+        Category::Duplication,
+        Category::Creation,
+        Category::Fifo,
+        Category::Causality,
+        Category::AckIntegrity,
+        Category::Liveness,
+    ];
+
+    /// The stable name used in reproducer files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Atomicity => "atomicity",
+            Category::Duplication => "duplication",
+            Category::Creation => "creation",
+            Category::Fifo => "fifo",
+            Category::Causality => "causality",
+            Category::AckIntegrity => "ack-integrity",
+            Category::Liveness => "liveness",
+        }
+    }
+
+    /// Parses a stable name back into a category.
+    pub fn parse(name: &str) -> Option<Category> {
+        Category::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One oracle violation found in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckViolation {
+    /// Which oracle family failed.
+    pub category: Category,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CheckViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.category, self.detail)
+    }
+}
+
+/// Folds `(src, seq)` into the [`MsgId`] space shared with `causal-order`.
+pub fn msg_id(src: u32, seq: u64) -> MsgId {
+    MsgId(u64::from(src) * SRC_STRIDE + seq)
+}
+
+/// Renders a [`MsgId`] back as `E<i>#<seq>` for diagnostics.
+fn msg_label(m: MsgId) -> String {
+    format!("E{}#{}", m.0 / SRC_STRIDE + 1, m.0 % SRC_STRIDE)
+}
+
+/// What the runner observed, handed to [`check`].
+#[derive(Debug)]
+pub struct RunObservation<'a> {
+    /// Per-node recorded events, in each node's local order.
+    pub events: &'a [Vec<AppEvent>],
+    /// Whether the simulator drained its queue within the event budget.
+    pub quiesced: bool,
+    /// Whether every entity reported `is_fully_stable()` at the end.
+    pub all_stable: bool,
+}
+
+/// Runs every oracle over one observed run; returns all violations,
+/// most severe category first.
+pub fn check(obs: &RunObservation<'_>) -> Vec<CheckViolation> {
+    let mut violations = Vec::new();
+    check_safety(obs.events, &mut violations);
+    check_ack_integrity(obs.events, &mut violations);
+    if !obs.quiesced {
+        violations.push(CheckViolation {
+            category: Category::Liveness,
+            detail: "run did not quiesce within the event budget (livelock?)".to_string(),
+        });
+    } else if !obs.all_stable {
+        violations.push(CheckViolation {
+            category: Category::Liveness,
+            detail: "run quiesced but some entity is not fully stable \
+                     (held PDUs, queued submits, or unacknowledged state remain)"
+                .to_string(),
+        });
+    }
+    violations.sort_by(|a, b| a.category.cmp(&b.category).then(a.detail.cmp(&b.detail)));
+    violations
+}
+
+/// §2.2/§2.3 safety via the ground-truth [`RunTrace`] oracle.
+fn check_safety(events: &[Vec<AppEvent>], out: &mut Vec<CheckViolation>) {
+    let mut trace = RunTrace::new(events.len());
+    for (i, node_events) in events.iter().enumerate() {
+        let entity = EntityId::new(i as u32);
+        for event in node_events {
+            match event {
+                AppEvent::Broadcast { seq, .. } => {
+                    trace.record_broadcast(entity, msg_id(i as u32, *seq));
+                }
+                AppEvent::Deliver { src, seq, .. } => {
+                    trace.record_delivery(entity, msg_id(*src, *seq));
+                }
+            }
+        }
+    }
+    if let Err(found) = trace.check_co_service() {
+        for v in found {
+            out.push(classify_trace_violation(v));
+        }
+    }
+}
+
+fn classify_trace_violation(v: TraceViolation) -> CheckViolation {
+    match v {
+        TraceViolation::MissingDelivery { entity, msg } => CheckViolation {
+            category: Category::Atomicity,
+            detail: format!("{entity} never delivered {}", msg_label(msg)),
+        },
+        TraceViolation::DuplicateDelivery { entity, msg } => CheckViolation {
+            category: Category::Duplication,
+            detail: format!("{entity} delivered {} more than once", msg_label(msg)),
+        },
+        TraceViolation::PhantomDelivery { entity, msg } => CheckViolation {
+            category: Category::Creation,
+            detail: format!(
+                "{entity} delivered {} which nobody broadcast",
+                msg_label(msg)
+            ),
+        },
+        TraceViolation::LocalOrder {
+            entity,
+            first,
+            second,
+        } => CheckViolation {
+            category: Category::Fifo,
+            detail: format!(
+                "{entity} delivered {} before same-source {}",
+                msg_label(second),
+                msg_label(first)
+            ),
+        },
+        TraceViolation::Causality {
+            entity,
+            first,
+            second,
+        } => CheckViolation {
+            category: Category::Causality,
+            detail: format!(
+                "{entity} delivered {} before causally earlier {}",
+                msg_label(second),
+                msg_label(first)
+            ),
+        },
+        TraceViolation::TotalOrder { left, right, msg } => CheckViolation {
+            // RunTrace::check_co_service never emits this, but stay total.
+            category: Category::Causality,
+            detail: format!("{left}/{right} ordered {} differently", msg_label(msg)),
+        },
+    }
+}
+
+/// Lemma 4.2: every entity observes the identical ACK vector per message.
+fn check_ack_integrity(events: &[Vec<AppEvent>], out: &mut Vec<CheckViolation>) {
+    let mut first_seen: HashMap<MsgId, (usize, Vec<u64>)> = HashMap::new();
+    let mut flagged: Vec<MsgId> = Vec::new();
+    for (i, node_events) in events.iter().enumerate() {
+        for event in node_events {
+            let AppEvent::Deliver { src, seq, ack, .. } = event else {
+                continue;
+            };
+            let m = msg_id(*src, *seq);
+            match first_seen.get(&m) {
+                None => {
+                    first_seen.insert(m, (i, ack.clone()));
+                }
+                Some((first_node, first_ack)) => {
+                    if first_ack != ack && !flagged.contains(&m) {
+                        flagged.push(m);
+                        out.push(CheckViolation {
+                            category: Category::AckIntegrity,
+                            detail: format!(
+                                "{} carried ack {:?} at E{} but {:?} at E{} \
+                                 (Lemma 4.2: retransmissions must be bit-identical)",
+                                msg_label(m),
+                                first_ack,
+                                first_node + 1,
+                                ack,
+                                i + 1
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(src: u32, seq: u64, ack: Vec<u64>) -> AppEvent {
+        AppEvent::Deliver {
+            src,
+            seq,
+            ack,
+            at_us: 0,
+        }
+    }
+
+    fn broadcast(seq: u64) -> AppEvent {
+        AppEvent::Broadcast { seq, at_us: 0 }
+    }
+
+    fn obs(events: &[Vec<AppEvent>]) -> Vec<CheckViolation> {
+        check(&RunObservation {
+            events,
+            quiesced: true,
+            all_stable: true,
+        })
+    }
+
+    #[test]
+    fn clean_run_passes_every_oracle() {
+        let events = vec![
+            vec![broadcast(1), deliver(0, 1, vec![1, 1])],
+            vec![deliver(0, 1, vec![1, 1])],
+        ];
+        assert!(obs(&events).is_empty());
+    }
+
+    #[test]
+    fn missing_delivery_is_atomicity() {
+        let events = vec![vec![broadcast(1), deliver(0, 1, vec![1, 1])], vec![]];
+        let v = obs(&events);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].category, Category::Atomicity);
+        assert!(v[0].detail.contains("E1#1"));
+    }
+
+    #[test]
+    fn double_delivery_is_duplication_and_phantom_is_creation() {
+        let events = vec![
+            vec![
+                broadcast(1),
+                deliver(0, 1, vec![1, 1]),
+                deliver(0, 1, vec![1, 1]),
+                deliver(1, 9, vec![1, 1]),
+            ],
+            vec![deliver(0, 1, vec![1, 1])],
+        ];
+        let v = obs(&events);
+        assert!(v.iter().any(|x| x.category == Category::Duplication));
+        assert!(v.iter().any(|x| x.category == Category::Creation));
+    }
+
+    #[test]
+    fn out_of_order_same_source_is_fifo_and_causality() {
+        let events = vec![
+            vec![
+                broadcast(1),
+                broadcast(2),
+                deliver(0, 1, vec![1, 1]),
+                deliver(0, 2, vec![1, 1]),
+            ],
+            vec![deliver(0, 2, vec![1, 1]), deliver(0, 1, vec![1, 1])],
+        ];
+        let v = obs(&events);
+        assert!(v.iter().any(|x| x.category == Category::Fifo));
+        assert!(v.iter().any(|x| x.category == Category::Causality));
+    }
+
+    #[test]
+    fn mismatched_ack_vectors_are_flagged_once() {
+        let events = vec![
+            vec![broadcast(1), deliver(0, 1, vec![1, 1])],
+            vec![deliver(0, 1, vec![2, 1])],
+        ];
+        let v = obs(&events);
+        let acks: Vec<_> = v
+            .iter()
+            .filter(|x| x.category == Category::AckIntegrity)
+            .collect();
+        assert_eq!(acks.len(), 1);
+        assert!(acks[0].detail.contains("Lemma 4.2"));
+    }
+
+    #[test]
+    fn liveness_failures_are_reported() {
+        let events: Vec<Vec<AppEvent>> = vec![vec![], vec![]];
+        let v = check(&RunObservation {
+            events: &events,
+            quiesced: false,
+            all_stable: true,
+        });
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].category, Category::Liveness);
+        let v = check(&RunObservation {
+            events: &events,
+            quiesced: true,
+            all_stable: false,
+        });
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("fully stable"));
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for c in Category::ALL {
+            assert_eq!(Category::parse(c.name()), Some(c));
+        }
+        assert_eq!(Category::parse("nonsense"), None);
+    }
+}

@@ -1,0 +1,325 @@
+//! Executes one [`Scenario`] on the `mc-net` simulator and judges it.
+
+use bytes::Bytes;
+use causal_order::EntityId;
+use co_protocol::{Config, DeferralPolicy, RetransmissionPolicy};
+use mc_net::{
+    ControlEvent, DelayModel, LossModel, NetStats, SimConfig, SimDuration, SimTime, Simulator,
+    TimedRule,
+};
+
+use crate::node::{AppEvent, CheckCmd, CheckNode};
+use crate::oracles::{check, CheckViolation, RunObservation};
+use crate::plan::{FaultEvent, Scenario};
+
+/// Hard event budget per run; a scenario that exceeds it is reported as a
+/// liveness violation (livelock), not an error.
+pub const EVENT_BUDGET: u64 = 2_000_000;
+
+/// Everything observed about one executed scenario.
+///
+/// The checker's analogue of `co-transport`'s `NodeReport` / run summary:
+/// the same run-level accounting (deliveries, drops, makespan), plus the
+/// oracle verdicts only the simulated environment can produce.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Oracle violations, most severe category first; empty = clean run.
+    pub violations: Vec<CheckViolation>,
+    /// [`Simulator::trace_digest`] of the run — same scenario, same digest.
+    pub digest: u64,
+    /// Network-level counters.
+    pub stats: NetStats,
+    /// Simulated time at quiescence, µs.
+    pub makespan_us: u64,
+    /// Fresh broadcasts recorded across all nodes.
+    pub broadcasts: usize,
+    /// Deliveries recorded across all nodes.
+    pub deliveries: usize,
+}
+
+/// Builds the per-entity protocol configuration for a scenario.
+///
+/// # Panics
+///
+/// Panics if the scenario encodes an invalid configuration (generated
+/// scenarios never do; a hand-edited reproducer might).
+fn protocol_config(sc: &Scenario, index: u32) -> Config {
+    let mut b = Config::builder(0, sc.n, EntityId::new(index));
+    b.window(sc.window)
+        .retransmission(if sc.selective {
+            RetransmissionPolicy::Selective
+        } else {
+            RetransmissionPolicy::GoBackN
+        })
+        .deferral(if sc.deferral_us == 0 {
+            DeferralPolicy::Immediate
+        } else {
+            DeferralPolicy::Deferred {
+                timeout_us: sc.deferral_us,
+            }
+        });
+    b.build().expect("scenario encodes a valid protocol config")
+}
+
+/// Translates the wire-level faults into [`TimedRule`]s.
+fn loss_rules(sc: &Scenario) -> Vec<TimedRule> {
+    let mut rules = Vec::new();
+    for fault in &sc.faults {
+        match fault {
+            FaultEvent::CutLink {
+                from,
+                to,
+                from_us,
+                to_us,
+            } => rules.push(TimedRule::cut_link(
+                EntityId::new(*from),
+                EntityId::new(*to),
+                *from_us,
+                *to_us,
+            )),
+            FaultEvent::PauseReceiver {
+                node,
+                from_us,
+                to_us,
+            } => rules.push(TimedRule::pause_receiver(
+                EntityId::new(*node),
+                *from_us,
+                *to_us,
+            )),
+            FaultEvent::Partition {
+                group,
+                from_us,
+                to_us,
+            } => {
+                let side: Vec<EntityId> = group.iter().map(|&g| EntityId::new(g)).collect();
+                let rest: Vec<EntityId> = (0..sc.n as u32)
+                    .filter(|i| !group.contains(i))
+                    .map(EntityId::new)
+                    .collect();
+                rules.extend(TimedRule::partition(&side, &rest, *from_us, *to_us));
+            }
+            FaultEvent::Duplicate {
+                from,
+                to,
+                from_us,
+                to_us,
+                extra,
+            } => rules.push(TimedRule::duplicate_link(
+                EntityId::new(*from),
+                EntityId::new(*to),
+                *from_us,
+                *to_us,
+                *extra,
+            )),
+            FaultEvent::LossBurst { from_us, to_us } => {
+                rules.push(TimedRule::loss_burst(*from_us, *to_us));
+            }
+            // Host-level faults are scheduled as simulator controls, not
+            // wire rules.
+            FaultEvent::PauseNode { .. } | FaultEvent::CrashRestart { .. } => {}
+        }
+    }
+    rules
+}
+
+/// A deterministic, per-submit payload of exactly `sc.payload` bytes.
+fn payload(sc: &Scenario, submit_index: usize, node: u32) -> Bytes {
+    let tag = format!("m{node}-{submit_index};");
+    let mut data = tag.into_bytes();
+    data.resize(sc.payload.max(1), b'.');
+    Bytes::from(data)
+}
+
+/// Runs a scenario to quiescence and checks every oracle.
+pub fn run_scenario(sc: &Scenario) -> RunReport {
+    let sim_config = SimConfig {
+        delay: if sc.delay_min_us == sc.delay_max_us {
+            DelayModel::Uniform(SimDuration::from_micros(sc.delay_min_us))
+        } else {
+            DelayModel::Jitter {
+                min: SimDuration::from_micros(sc.delay_min_us),
+                max: SimDuration::from_micros(sc.delay_max_us),
+            }
+        },
+        loss: LossModel::Timed {
+            rules: loss_rules(sc),
+        },
+        inbox_capacity: sc.inbox_capacity,
+        proc_time: SimDuration::from_micros(sc.proc_time_us),
+        seed: sc.seed,
+        trace: true,
+    };
+    let nodes: Vec<CheckNode> = (0..sc.n as u32)
+        .map(|i| protocol_config(sc, i))
+        .enumerate()
+        .map(|(i, cfg)| CheckNode::new(cfg, sc.break_delivery && i == 1))
+        .collect();
+    let mut sim = Simulator::new(sim_config, nodes);
+
+    for (k, submit) in sc.workload.iter().enumerate() {
+        sim.schedule_command(
+            SimTime::from_micros(submit.at_us),
+            EntityId::new(submit.node),
+            CheckCmd::Submit(payload(sc, k, submit.node)),
+        );
+    }
+    for fault in &sc.faults {
+        match fault {
+            FaultEvent::PauseNode {
+                node,
+                from_us,
+                to_us,
+            } => {
+                let entity = EntityId::new(*node);
+                sim.schedule_control(SimTime::from_micros(*from_us), entity, ControlEvent::Pause);
+                sim.schedule_control(SimTime::from_micros(*to_us), entity, ControlEvent::Resume);
+            }
+            FaultEvent::CrashRestart { node, at_us } => {
+                let entity = EntityId::new(*node);
+                // ClearInbox is queued before the Crash command at the same
+                // timestamp (insertion order breaks the tie), so the
+                // restored entity wakes to an empty NIC.
+                sim.schedule_control(
+                    SimTime::from_micros(*at_us),
+                    entity,
+                    ControlEvent::ClearInbox,
+                );
+                sim.schedule_command(SimTime::from_micros(*at_us), entity, CheckCmd::Crash);
+            }
+            _ => {}
+        }
+    }
+
+    let processed = sim.run_until_idle_capped(EVENT_BUDGET);
+    let quiesced = processed < EVENT_BUDGET;
+    let all_stable = sim.nodes().all(|(_, node)| node.entity().is_fully_stable());
+    let events: Vec<Vec<AppEvent>> = sim.nodes().map(|(_, n)| n.events().to_vec()).collect();
+    let violations = check(&RunObservation {
+        events: &events,
+        quiesced,
+        all_stable,
+    });
+    RunReport {
+        violations,
+        digest: sim.trace_digest(),
+        stats: sim.stats(),
+        makespan_us: sim.now().as_micros(),
+        broadcasts: events
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, AppEvent::Broadcast { .. }))
+            .count(),
+        deliveries: events
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, AppEvent::Deliver { .. }))
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Submit;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            n: 3,
+            seed: 11,
+            window: 4,
+            deferral_us: 1_000,
+            selective: true,
+            inbox_capacity: 64,
+            proc_time_us: 10,
+            delay_min_us: 200,
+            delay_max_us: 400,
+            payload: 16,
+            workload: vec![
+                Submit { at_us: 0, node: 0 },
+                Submit {
+                    at_us: 500,
+                    node: 1,
+                },
+                Submit {
+                    at_us: 900,
+                    node: 2,
+                },
+            ],
+            faults: vec![],
+            break_delivery: false,
+        }
+    }
+
+    #[test]
+    fn fault_free_scenario_is_clean() {
+        let report = run_scenario(&tiny_scenario());
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.broadcasts, 3);
+        assert_eq!(report.deliveries, 9, "3 messages × 3 entities");
+        assert!(report.makespan_us > 0);
+    }
+
+    #[test]
+    fn cut_link_delays_but_does_not_break_the_service() {
+        let mut sc = tiny_scenario();
+        sc.faults = vec![FaultEvent::CutLink {
+            from: 0,
+            to: 1,
+            from_us: 0,
+            to_us: 5_000,
+        }];
+        let report = run_scenario(&sc);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.stats.link_drops > 0, "the cut must actually bite");
+    }
+
+    #[test]
+    fn crash_restart_preserves_the_service() {
+        let mut sc = tiny_scenario();
+        sc.faults = vec![FaultEvent::CrashRestart {
+            node: 1,
+            at_us: 700,
+        }];
+        let report = run_scenario(&sc);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.deliveries, 9);
+    }
+
+    #[test]
+    fn pause_node_with_tiny_inbox_forces_overrun_recovery() {
+        let mut sc = tiny_scenario();
+        sc.inbox_capacity = 2;
+        sc.workload = (0..8)
+            .map(|k| Submit {
+                at_us: k * 100,
+                node: 0,
+            })
+            .collect();
+        sc.faults = vec![FaultEvent::PauseNode {
+            node: 1,
+            from_us: 50,
+            to_us: 10_000,
+        }];
+        let report = run_scenario(&sc);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report.stats.overrun_drops > 0,
+            "the pause must overflow the 2-PDU inbox"
+        );
+    }
+
+    #[test]
+    fn break_delivery_is_caught_as_atomicity() {
+        let mut sc = tiny_scenario();
+        sc.break_delivery = true;
+        let report = run_scenario(&sc);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.category == crate::oracles::Category::Atomicity),
+            "{:?}",
+            report.violations
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Replays every committed reproducer in `tests/regressions/` at the
+//! repository root. The root-level `tests/check_regressions.rs` is the
+//! tier-1 twin of this test; this copy keeps the corpus runnable from
+//! within the crate (`cargo test -p co-check`).
+
+use co_check::{run_scenario, Reproducer};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/regressions")
+}
+
+#[test]
+fn every_committed_reproducer_still_reproduces() {
+    let dir = corpus_dir();
+    let mut checked = 0;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(_) => return, // corpus not present in this checkout layout
+    };
+    for entry in entries {
+        let path = entry.expect("readable corpus dir").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable reproducer");
+        let rep = Reproducer::from_json_text(&text)
+            .unwrap_or_else(|e| panic!("{} is not a valid reproducer: {e}", path.display()));
+        let report = run_scenario(&rep.scenario);
+        for expected in &rep.expect {
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| v.category.name() == expected.as_str()),
+                "{}: expected `{expected}` not reproduced; observed {:?}",
+                path.display(),
+                report.violations
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "regression corpus must hold at least 3 reproducers, found {checked} in {}",
+        dir.display()
+    );
+}

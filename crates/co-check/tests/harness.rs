@@ -1,0 +1,87 @@
+//! End-to-end checks of the explorer pipeline: clean exploration, bug
+//! detection, shrinking and reproducer round-trips.
+
+use co_check::{run_scenario, shrink, Category, Json, Reproducer, Scenario};
+
+/// A batch of random schedules on the healthy protocol must be clean —
+/// this is the same loop `cargo run -p co-check` executes, in miniature.
+#[test]
+fn random_schedules_on_the_healthy_protocol_are_clean() {
+    for index in 0..40 {
+        let sc = Scenario::random(index, 0, false);
+        let report = run_scenario(&sc);
+        assert!(
+            report.violations.is_empty(),
+            "schedule {index} (n={}, faults={:?}) violated: {:?}",
+            sc.n,
+            sc.faults.iter().map(|f| f.kind()).collect::<Vec<_>>(),
+            report.violations
+        );
+        assert!(report.deliveries >= report.broadcasts, "schedule {index}");
+    }
+}
+
+/// The injected delivery bug is caught by the atomicity oracle on the very
+/// first schedule, and the shrinker reduces the counterexample without
+/// losing it.
+#[test]
+fn break_delivery_is_found_and_shrinks_to_a_minimal_reproducer() {
+    let sc = Scenario::random(0, 0, true);
+    let report = run_scenario(&sc);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.category == Category::Atomicity),
+        "expected an atomicity violation, got {:?}",
+        report.violations
+    );
+
+    let target = [Category::Atomicity];
+    let outcome = shrink(&sc, &target);
+    assert!(outcome.scenario.workload.len() <= sc.workload.len());
+    assert!(outcome.scenario.faults.len() <= sc.faults.len());
+    let shrunk_report = run_scenario(&outcome.scenario);
+    assert!(
+        shrunk_report
+            .violations
+            .iter()
+            .any(|v| v.category == Category::Atomicity),
+        "shrunk scenario no longer violates: {:?}",
+        shrunk_report.violations
+    );
+}
+
+/// A reproducer survives the full JSON round trip and replays to the very
+/// same digest — byte-for-byte reproducibility.
+#[test]
+fn reproducer_round_trips_and_replays_identically() {
+    let sc = Scenario::random(2, 5, true);
+    let original = run_scenario(&sc);
+    let rep = Reproducer {
+        scenario: sc,
+        expect: vec![Category::Atomicity.name().to_string()],
+        note: "harness test".to_string(),
+    };
+    let text = rep.to_json().to_string();
+    let back = Reproducer::from_json_text(&text).expect("round trip");
+    assert_eq!(back, rep);
+
+    let replayed = run_scenario(&back.scenario);
+    assert_eq!(replayed.digest, original.digest);
+    assert_eq!(replayed.violations, original.violations);
+}
+
+/// The JSON printer output is parseable and stable (printing the parsed
+/// value reproduces the text), which keeps committed reproducers diffable.
+#[test]
+fn reproducer_json_is_byte_stable() {
+    let rep = Reproducer {
+        scenario: Scenario::random(4, 4, false),
+        expect: vec![],
+        note: "stability".to_string(),
+    };
+    let text = rep.to_json().to_string();
+    let reparsed = Json::parse(&text).expect("valid json");
+    assert_eq!(reparsed.to_string(), text);
+}

@@ -69,6 +69,10 @@ pub struct NodeOutcome {
     pub metrics: Metrics,
     /// Peak protocol-buffer occupancy in PDUs.
     pub peak_held: usize,
+    /// Whether the entity ended the run fully stable: nothing held or
+    /// queued, and everything accepted known globally pre-acked — the
+    /// liveness oracle `co-check` also asserts.
+    pub fully_stable: bool,
 }
 
 /// Aggregate result of one run.
@@ -264,6 +268,7 @@ fn collect(
             submitted: node.submitted().to_vec(),
             metrics: *node.inner().entity().metrics(),
             peak_held: node.inner().entity().peak_held_pdus(),
+            fully_stable: node.inner().entity().is_fully_stable(),
         })
         .collect();
     CoRunResult {

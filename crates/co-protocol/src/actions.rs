@@ -22,6 +22,14 @@ pub struct Delivery {
     pub src: EntityId,
     /// Its per-source sequence number.
     pub seq: Seq,
+    /// The ACK vector the source piggybacked on the PDU (§4.1): `ack[j]`
+    /// is the next sequence number the source expected from `E_j` at
+    /// broadcast time, so every `(j, s)` with `s < ack[j]` causally
+    /// precedes this message. Oracle-facing metadata: external checkers
+    /// (`co-check`) use it to validate causal ordering and the
+    /// bit-identical-retransmission property (Lemma 4.2) without peeking
+    /// into the engine.
+    pub ack: Vec<Seq>,
     /// The application payload.
     pub data: Bytes,
 }
@@ -52,6 +60,7 @@ mod tests {
         let d = Delivery {
             src: EntityId::new(0),
             seq: Seq::new(3),
+            ack: vec![Seq::new(3), Seq::FIRST],
             data: Bytes::from_static(b"ab"),
         };
         assert_eq!(d.to_string(), "deliver E1#3 (2B)");

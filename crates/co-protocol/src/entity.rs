@@ -809,6 +809,7 @@ impl Entity {
                 actions.push(Action::Deliver(Delivery {
                     src: p.src,
                     seq: p.seq,
+                    ack: p.ack,
                     data: p.data,
                 }));
             } else {
@@ -821,6 +822,130 @@ impl Entity {
 
     fn note_peak(&mut self) {
         self.peak_held_pdus = self.peak_held_pdus.max(self.held_pdus());
+    }
+
+    /// Captures the *complete* protocol state for crash-restart simulation
+    /// (see [`crate::EntityState`]). [`Entity::restore`] rebuilds an entity
+    /// that is behaviorally identical to this one.
+    pub fn export_state(&self) -> crate::snapshot::EntityState {
+        let n = self.config.n();
+        let mut al = Vec::with_capacity(n * n);
+        let mut pal = Vec::with_capacity(n * n);
+        for s in 0..n {
+            let source = EntityId::new(s as u32);
+            for o in 0..n {
+                let observer = EntityId::new(o as u32);
+                al.push(self.al.get(source, observer));
+                pal.push(self.pal.get(source, observer));
+            }
+        }
+        crate::snapshot::EntityState {
+            req: self.req.clone(),
+            al,
+            pal,
+            buf_known: self.buf_known.clone(),
+            send_log: self.sl.iter().cloned().collect(),
+            rrl: (0..n)
+                .map(|j| {
+                    self.rrl
+                        .iter_source(EntityId::new(j as u32))
+                        .cloned()
+                        .collect()
+                })
+                .collect(),
+            prl: self.prl.iter().cloned().collect(),
+            reorder: (0..n)
+                .map(|j| {
+                    self.reorder
+                        .pdus(EntityId::new(j as u32))
+                        .cloned()
+                        .collect()
+                })
+                .collect(),
+            pending: self.pending.iter().cloned().collect(),
+            heard_since_send: self.heard_since_send.clone(),
+            ret_outstanding: self.ret_outstanding.clone(),
+            peer_needs_update: self.peer_needs_update,
+            last_send_us: self.last_send_us,
+            peak_held_pdus: self.peak_held_pdus,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Rebuilds an entity from a [`crate::EntityState`] captured with
+    /// [`Entity::export_state`] — the crash-restart path: the paper's
+    /// failure model is PDU loss, not state amnesia, so a restarting
+    /// entity resumes from its full protocol state (only the volatile NIC
+    /// inbox is lost, which the simulator models separately).
+    ///
+    /// The restored entity considers its state unadvertised, so it
+    /// re-announces its frontiers on the next tick — letting peers detect
+    /// anything lost while it was down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from entity construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's dimensions do not match `config`'s cluster
+    /// size (a driver bug: state must be restored under the same config it
+    /// was exported under).
+    pub fn restore(
+        config: Config,
+        state: crate::snapshot::EntityState,
+    ) -> Result<Self, ConfigError> {
+        let mut e = Entity::new(config)?;
+        let n = e.config.n();
+        assert_eq!(state.req.len(), n, "state/config cluster size mismatch");
+        assert_eq!(state.al.len(), n * n, "AL dimension mismatch");
+        assert_eq!(state.pal.len(), n * n, "PAL dimension mismatch");
+        assert_eq!(state.buf_known.len(), n, "buf_known length mismatch");
+        assert_eq!(state.rrl.len(), n, "RRL source count mismatch");
+        assert_eq!(state.reorder.len(), n, "reorder source count mismatch");
+        assert_eq!(state.heard_since_send.len(), n, "heard flags mismatch");
+        assert_eq!(state.ret_outstanding.len(), n, "RET records mismatch");
+        e.req = state.req;
+        e.req_version = 1;
+        for s in 0..n {
+            let source = EntityId::new(s as u32);
+            for o in 0..n {
+                let observer = EntityId::new(o as u32);
+                e.al.raise(source, observer, state.al[s * n + o]);
+                e.pal.raise(source, observer, state.pal[s * n + o]);
+            }
+        }
+        e.buf_known = state.buf_known;
+        for pdu in state.send_log {
+            e.sl.record(pdu);
+        }
+        for log in state.rrl {
+            for pdu in log {
+                e.rrl.accept(pdu);
+            }
+        }
+        // Re-inserting in exported (top-first) order reproduces the PRL
+        // exactly: the stored log is causality-preserved, so no element
+        // causally precedes an earlier one and every CPI insert appends.
+        for pdu in state.prl {
+            e.prl.insert(pdu);
+        }
+        for buffer in state.reorder {
+            for pdu in buffer {
+                e.reorder.store(pdu);
+            }
+        }
+        e.pending = state.pending.into();
+        e.heard_since_send = state.heard_since_send;
+        e.ret_outstanding = state.ret_outstanding;
+        e.peer_needs_update = state.peer_needs_update;
+        e.last_send_us = state.last_send_us;
+        e.peak_held_pdus = state.peak_held_pdus;
+        e.metrics = state.metrics;
+        // Never equal to a real (req_version, al.version()) pair: the
+        // restored entity owes the cluster a fresh advertisement.
+        e.advertised = (u64::MAX, u64::MAX);
+        Ok(e)
     }
 
     /// Captures a serializable summary of the protocol state (see

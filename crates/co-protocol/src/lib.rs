@@ -107,7 +107,7 @@ pub use matrix::KnowledgeMatrix;
 pub use metrics::Metrics;
 pub use mux::{ClusterMux, MuxError, MuxSubmitError};
 pub use reorder::ReorderBuffer;
-pub use snapshot::EntitySnapshot;
+pub use snapshot::{EntitySnapshot, EntityState};
 
 /// Re-export of the wire-level PDU types the engine consumes and produces.
 pub use co_wire::{AckOnlyPdu, DataPdu, Pdu, PduKind, RetPdu};

@@ -53,6 +53,11 @@ impl SendLog {
         before - self.pdus.len()
     }
 
+    /// Iterates over every retained PDU in sequence order (state export).
+    pub fn iter(&self) -> impl Iterator<Item = &DataPdu> {
+        self.pdus.iter()
+    }
+
     /// Number of retained PDUs.
     pub fn len(&self) -> usize {
         self.pdus.len()
@@ -120,6 +125,11 @@ impl ReceiptLogs {
     /// PDUs currently held for `source`.
     pub fn len_of(&self, source: EntityId) -> usize {
         self.logs[source.index()].len()
+    }
+
+    /// Iterates over `source`'s held PDUs, oldest first (state export).
+    pub fn iter_source(&self, source: EntityId) -> impl Iterator<Item = &DataPdu> {
+        self.logs[source.index()].iter()
     }
 
     /// Total PDUs across all sources (for buffer accounting). O(1).

@@ -70,6 +70,11 @@ impl ReorderBuffer {
         self.buffers[source.index()].keys().copied()
     }
 
+    /// The buffered PDUs of `source`, ascending by sequence (state export).
+    pub fn pdus(&self, source: EntityId) -> impl Iterator<Item = &DataPdu> {
+        self.buffers[source.index()].values()
+    }
+
     /// Total buffered PDUs across all sources (for buffer accounting). O(1).
     pub fn total_len(&self) -> usize {
         self.total

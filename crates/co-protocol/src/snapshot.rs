@@ -6,9 +6,58 @@
 //! [`crate::Entity::snapshot`] exposes that view as one serializable
 //! value.
 
-use causal_order::EntityId;
+use bytes::Bytes;
+use causal_order::{EntityId, Seq};
+use co_wire::DataPdu;
 
 use crate::metrics::Metrics;
+
+/// The *complete* protocol state of an entity, captured by
+/// [`crate::Entity::export_state`] and restored with
+/// [`crate::Entity::restore`]. Unlike [`EntitySnapshot`] (a lossy summary
+/// for dashboards) this round-trips every log, matrix and queue, so a
+/// crash-restarted entity resumes exactly where it left off — the paper
+/// assumes entities keep their protocol state across failures (loss is the
+/// failure model, not amnesia), and `co-check`'s crash-restart fault
+/// exercises precisely that assumption.
+///
+/// Not serializable on purpose: it carries raw PDUs ([`DataPdu`] with
+/// [`Bytes`] payloads) and exists for in-process restart simulation, not
+/// for durable storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityState {
+    /// `REQ_j` for every `j`.
+    pub req: Vec<Seq>,
+    /// The acceptance matrix `AL`, row-major `[source][observer]`.
+    pub al: Vec<Seq>,
+    /// The pre-acknowledgment matrix `PAL`, row-major `[source][observer]`.
+    pub pal: Vec<Seq>,
+    /// Latest advertised free buffer units per entity.
+    pub buf_known: Vec<u32>,
+    /// The sending log, in sequence order.
+    pub send_log: Vec<DataPdu>,
+    /// The per-source receipt logs, oldest first.
+    pub rrl: Vec<Vec<DataPdu>>,
+    /// The causally ordered pre-acknowledged log, top first.
+    pub prl: Vec<DataPdu>,
+    /// Out-of-order PDUs awaiting gap repair, grouped per source,
+    /// ascending by sequence.
+    pub reorder: Vec<Vec<DataPdu>>,
+    /// Payloads queued behind the flow condition, oldest first.
+    pub pending: Vec<Bytes>,
+    /// Which peers were heard from since the last own transmission.
+    pub heard_since_send: Vec<bool>,
+    /// Outstanding `RET` per source: `(lseq, when_sent_us)`.
+    pub ret_outstanding: Vec<Option<(Seq, u64)>>,
+    /// Whether a lag reply is owed to a peer.
+    pub peer_needs_update: bool,
+    /// Last transmission time, µs.
+    pub last_send_us: u64,
+    /// High-water mark of protocol-buffer occupancy.
+    pub peak_held_pdus: usize,
+    /// Cumulative counters.
+    pub metrics: Metrics,
+}
 
 /// A serializable summary of an entity's protocol state.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -129,6 +178,98 @@ mod tests {
         assert!(text.contains("quiescent"));
         assert!(text.contains("minPAL"));
         assert!(text.contains("held:"));
+    }
+
+    /// An entity in a deliberately messy mid-protocol state: own PDUs in
+    /// the send log and receipt log, a queued submit behind a window of 1,
+    /// an out-of-order PDU in the reorder buffer and an outstanding RET.
+    fn messy_entity() -> Entity {
+        use causal_order::Seq;
+        use co_wire::{DataPdu, Pdu};
+
+        let cfg = Config::builder(0, 2, EntityId::new(0))
+            .window(1)
+            .deferral(DeferralPolicy::Immediate)
+            .build()
+            .unwrap();
+        let mut e = Entity::new(cfg).unwrap();
+        let _ = e.submit(Bytes::from_static(b"first"), 10).unwrap();
+        let _ = e.submit(Bytes::from_static(b"queued"), 20).unwrap();
+        // E2's seq 2 arrives before seq 1: goes to the reorder buffer and
+        // triggers a RET for the gap.
+        let gap = DataPdu {
+            cid: 0,
+            src: EntityId::new(1),
+            seq: Seq::new(2),
+            ack: vec![Seq::FIRST, Seq::new(2)],
+            buf: 4096,
+            data: Bytes::from_static(b"late"),
+        };
+        let _ = e.on_pdu(Pdu::Data(gap), 30).unwrap();
+        e
+    }
+
+    #[test]
+    fn export_restore_round_trips_exactly() {
+        let original = messy_entity();
+        let state = original.export_state();
+        // The messy state exercises every structure.
+        assert!(!state.send_log.is_empty());
+        assert!(state.rrl.iter().any(|log| !log.is_empty()));
+        assert!(state.reorder.iter().any(|buf| !buf.is_empty()));
+        assert!(!state.pending.is_empty());
+        assert!(state.ret_outstanding.iter().any(Option::is_some));
+
+        let restored = Entity::restore(original.config().clone(), state.clone()).unwrap();
+        assert_eq!(
+            restored.export_state(),
+            state,
+            "export∘restore must be identity"
+        );
+        assert_eq!(restored.snapshot(), original.snapshot());
+    }
+
+    #[test]
+    fn restored_entity_behaves_identically() {
+        use causal_order::Seq;
+        use co_wire::{DataPdu, Pdu};
+
+        let mut original = messy_entity();
+        let mut restored =
+            Entity::restore(original.config().clone(), original.export_state()).unwrap();
+        // The gap-filling PDU arrives: both must accept it, drain the
+        // reorder buffer and emit byte-identical actions.
+        let fill = DataPdu {
+            cid: 0,
+            src: EntityId::new(1),
+            seq: Seq::new(1),
+            ack: vec![Seq::FIRST, Seq::FIRST],
+            buf: 4096,
+            data: Bytes::from_static(b"fill"),
+        };
+        let a = original.on_pdu(Pdu::Data(fill.clone()), 50).unwrap();
+        let b = restored.on_pdu(Pdu::Data(fill), 50).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(original.req(), restored.req());
+        assert_eq!(original.held_pdus(), restored.held_pdus());
+    }
+
+    #[test]
+    fn restored_entity_re_advertises() {
+        let original = messy_entity();
+        let restored = Entity::restore(original.config().clone(), original.export_state()).unwrap();
+        assert!(
+            restored.next_deadline(1_000).is_some(),
+            "a restored entity must owe the cluster an advertisement"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster size mismatch")]
+    fn restore_rejects_mismatched_dimensions() {
+        let state = fresh(3).export_state();
+        let cfg = Config::builder(0, 2, EntityId::new(0)).build().unwrap();
+        let _ = Entity::restore(cfg, state);
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! Per-node measurement reports.
+//!
+//! The simulated counterparts mirror this shape: `co-experiments`'
+//! `NodeOutcome` for the §5 experiments and `co-check`'s `RunReport` for
+//! the adversarial checker, so a run is summarized the same way whether
+//! it executed on threads or inside `mc-net`.
 
 use bytes::Bytes;
 use causal_order::EntityId;

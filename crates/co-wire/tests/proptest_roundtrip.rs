@@ -1,10 +1,21 @@
 //! Property-based tests: every structurally valid PDU survives an
-//! encode/decode roundtrip, and no byte mutation can cause a panic.
+//! encode/decode roundtrip, no byte mutation can cause a panic, and the
+//! pooled decode path ([`Pdu::decode_with`]) never bleeds `AckBufPool`
+//! capacity — not on success (recycle restores every vector) and not on
+//! any error path (truncation, mutation, trailing bytes).
 
 use bytes::Bytes;
 use causal_order::{EntityId, Seq};
-use co_wire::{AckOnlyPdu, DataPdu, Pdu, RetPdu};
+use co_wire::{AckBufPool, AckOnlyPdu, DataPdu, Pdu, RetPdu};
 use proptest::prelude::*;
+
+/// How many pooled ack vectors a decoded PDU holds (and `recycle` returns).
+fn ack_vecs(pdu: &Pdu) -> usize {
+    match pdu {
+        Pdu::Data(_) | Pdu::Ret(_) => 1,
+        Pdu::AckOnly(_) => 3,
+    }
+}
 
 fn arb_ack() -> impl Strategy<Value = Vec<Seq>> {
     prop::collection::vec(any::<u64>().prop_map(Seq::new), 0..32)
@@ -109,6 +120,86 @@ proptest! {
         let raw = pdu.encode();
         for cut in 0..raw.len() {
             prop_assert!(Pdu::decode(&raw[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn pooled_decode_success_takes_exactly_the_pdus_vectors(pdu in arb_pdu()) {
+        let mut pool = AckBufPool::with_buffers(4, 64);
+        let before = pool.len();
+        let raw = pdu.encode();
+        let decoded = Pdu::decode_with(&raw, &mut pool).expect("valid pdu decodes");
+        prop_assert_eq!(before - pool.len(), ack_vecs(&decoded));
+        pool.recycle(decoded);
+        prop_assert_eq!(pool.len(), before);
+    }
+
+    #[test]
+    fn pooled_decode_of_every_prefix_preserves_pool_size(pdu in arb_pdu()) {
+        let raw = pdu.encode();
+        let mut pool = AckBufPool::with_buffers(4, 64);
+        let before = pool.len();
+        for cut in 0..raw.len() {
+            prop_assert!(Pdu::decode_with(&raw[..cut], &mut pool).is_err());
+            prop_assert_eq!(
+                pool.len(), before,
+                "decode error at prefix length {} bled pooled capacity", cut
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_decode_of_mutated_bytes_preserves_pool_size(
+        pdu in arb_pdu(),
+        idx in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut raw = pdu.encode().to_vec();
+        let i = idx.index(raw.len());
+        raw[i] = byte;
+        let mut pool = AckBufPool::with_buffers(4, 64);
+        let before = pool.len();
+        if let Ok(decoded) = Pdu::decode_with(&raw, &mut pool) {
+            // The mutation kept the PDU well-formed; the usual success
+            // accounting must hold.
+            prop_assert_eq!(before - pool.len(), ack_vecs(&decoded));
+            pool.recycle(decoded);
+        }
+        prop_assert_eq!(pool.len(), before);
+    }
+
+    #[test]
+    fn pooled_decode_with_trailing_bytes_preserves_pool_size(
+        pdu in arb_pdu(),
+        extra in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        // `decode_with` requires the buffer to hold exactly one PDU; the
+        // trailing-garbage error fires *after* a full decode, so it is the
+        // one error path where whole vectors must be recycled, not given
+        // back piecemeal.
+        let mut raw = pdu.encode().to_vec();
+        raw.extend_from_slice(&extra);
+        let mut pool = AckBufPool::with_buffers(4, 64);
+        let before = pool.len();
+        prop_assert!(Pdu::decode_with(&raw, &mut pool).is_err());
+        prop_assert_eq!(pool.len(), before);
+    }
+
+    #[test]
+    fn warm_pooled_decode_loop_is_allocation_stable(
+        pdus in prop::collection::vec(arb_pdu(), 1..8),
+    ) {
+        // Steady state: decode a stream of PDUs back-to-back from one warm
+        // pool, recycling each. The pool must end every iteration at its
+        // starting size — never growing (leaked takes) nor shrinking
+        // (forgotten gives).
+        let mut pool = AckBufPool::with_buffers(4, 64);
+        let before = pool.len();
+        for pdu in &pdus {
+            let raw = pdu.encode();
+            let decoded = Pdu::decode_with(&raw, &mut pool).expect("valid pdu decodes");
+            pool.recycle(decoded);
+            prop_assert_eq!(pool.len(), before);
         }
     }
 }

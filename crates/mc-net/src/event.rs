@@ -16,6 +16,25 @@ impl std::fmt::Display for TimerId {
     }
 }
 
+/// A scheduled control action on one node's *host*, injected with
+/// [`Simulator::schedule_control`](crate::Simulator::schedule_control).
+/// Unlike [`crate::LossModel`] faults (which act on the wire), controls act
+/// on the receiving host: they model an entity whose process stalls or
+/// loses its volatile NIC state, while the entity's protocol state lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlEvent {
+    /// Stop draining the inbox. Arrivals still queue — and may overrun the
+    /// bounded buffer, reproducing the paper's §2.1 loss while the host is
+    /// stalled.
+    Pause,
+    /// Resume draining the inbox (processing restarts one `proc_time`
+    /// later, as if the host just picked the PDU up).
+    Resume,
+    /// Discard every PDU currently buffered in the inbox: the volatile
+    /// receive state lost across a crash-restart.
+    ClearInbox,
+}
+
 #[derive(Debug)]
 pub(crate) enum EventKind<M, C> {
     /// A PDU reaches `to`'s NIC.
@@ -30,6 +49,8 @@ pub(crate) enum EventKind<M, C> {
     Timer { node: EntityId, id: TimerId },
     /// An injected application command for `node`.
     Command { node: EntityId, cmd: C },
+    /// An injected host-control action for `node`.
+    Control { node: EntityId, ctrl: ControlEvent },
 }
 
 #[derive(Debug)]

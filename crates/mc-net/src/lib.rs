@@ -57,8 +57,8 @@ mod trace;
 
 pub use buffer::Inbox;
 pub use delay::DelayModel;
-pub use event::TimerId;
-pub use loss::{LossModel, TimedRule};
+pub use event::{ControlEvent, TimerId};
+pub use loss::{FaultKind, LinkFate, LossModel, LossState, TimedRule};
 pub use node::{Context, SimNode};
 pub use sim::{SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};

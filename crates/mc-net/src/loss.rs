@@ -13,10 +13,26 @@ use std::collections::{HashMap, HashSet};
 
 use crate::SimTime;
 
-/// One time-windowed drop rule for [`LossModel::Timed`]: transmissions
-/// matching the (optional) endpoints during `[from_us, to_us)` are lost.
-/// Models link failures, one-way partitions and paused (crashed-then-
-/// recovered) entities.
+/// What a matching [`TimedRule`] does to a transmission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The transmission is lost in flight.
+    #[default]
+    Drop,
+    /// The transmission arrives *plus* `extra` duplicate copies, each with
+    /// an independently sampled delay (per-link FIFO still holds, so the MC
+    /// service's local-order guarantee survives — the receiver just sees
+    /// the same PDU again, which the CO protocol must tolerate).
+    Duplicate {
+        /// Number of extra copies injected per transmission.
+        extra: u32,
+    },
+}
+
+/// One time-windowed fault rule for [`LossModel::Timed`]: transmissions
+/// matching the (optional) endpoints during `[from_us, to_us)` suffer the
+/// rule's [`FaultKind`]. Models link failures, one-way partitions, paused
+/// (crashed-then-recovered) entities and duplicating links.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimedRule {
     /// Match only this sender (`None` = any).
@@ -27,6 +43,8 @@ pub struct TimedRule {
     pub from_us: u64,
     /// Window end (exclusive), µs.
     pub to_us: u64,
+    /// What happens to matching transmissions.
+    pub kind: FaultKind,
 }
 
 impl TimedRule {
@@ -38,6 +56,7 @@ impl TimedRule {
             to: Some(entity),
             from_us,
             to_us,
+            kind: FaultKind::Drop,
         }
     }
 
@@ -48,7 +67,51 @@ impl TimedRule {
             to: Some(to),
             from_us,
             to_us,
+            kind: FaultKind::Drop,
         }
+    }
+
+    /// Drops *every* transmission on *every* link in the window — a
+    /// cluster-wide loss burst.
+    pub fn loss_burst(from_us: u64, to_us: u64) -> Self {
+        TimedRule {
+            from: None,
+            to: None,
+            from_us,
+            to_us,
+            kind: FaultKind::Drop,
+        }
+    }
+
+    /// Duplicates every transmission on the directed link `from → to` in
+    /// the window: each send arrives `1 + extra` times.
+    pub fn duplicate_link(
+        from: EntityId,
+        to: EntityId,
+        from_us: u64,
+        to_us: u64,
+        extra: u32,
+    ) -> Self {
+        TimedRule {
+            from: Some(from),
+            to: Some(to),
+            from_us,
+            to_us,
+            kind: FaultKind::Duplicate { extra },
+        }
+    }
+
+    /// Cuts every link between `group` and its complement (both directions)
+    /// for the window: a clean two-sided partition that heals at `to_us`.
+    pub fn partition(group: &[EntityId], rest: &[EntityId], from_us: u64, to_us: u64) -> Vec<Self> {
+        let mut rules = Vec::with_capacity(2 * group.len() * rest.len());
+        for &a in group {
+            for &b in rest {
+                rules.push(TimedRule::cut_link(a, b, from_us, to_us));
+                rules.push(TimedRule::cut_link(b, a, from_us, to_us));
+            }
+        }
+        rules
     }
 
     fn matches(&self, from: EntityId, to: EntityId, now: SimTime) -> bool {
@@ -58,6 +121,20 @@ impl TimedRule {
             && t >= self.from_us
             && t < self.to_us
     }
+}
+
+/// The outcome [`LossState::fate`] assigns to one transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Delivered normally (one copy).
+    Deliver,
+    /// Lost in flight.
+    Drop,
+    /// Delivered `1 + extra` times.
+    Duplicate {
+        /// Extra copies beyond the original.
+        extra: u32,
+    },
 }
 
 /// Decides whether a transmission on a link is lost in flight.
@@ -119,6 +196,8 @@ impl LossState {
     }
 
     /// Returns `true` if this transmission should be dropped in flight.
+    /// (Shorthand for [`LossState::fate`] `== Drop`; duplication models
+    /// count the transmission but deliver it.)
     pub fn should_drop(
         &mut self,
         from: EntityId,
@@ -126,6 +205,19 @@ impl LossState {
         now: SimTime,
         rng: &mut SmallRng,
     ) -> bool {
+        self.fate(from, to, now, rng) == LinkFate::Drop
+    }
+
+    /// Decides the fate of one transmission: delivered, dropped, or
+    /// duplicated. Advances the per-link counters and (for probabilistic
+    /// models) the RNG, so call it exactly once per transmission.
+    pub fn fate(
+        &mut self,
+        from: EntityId,
+        to: EntityId,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> LinkFate {
         let link = (from, to);
         let k = {
             let c = self.counts.entry(link).or_insert(0);
@@ -133,11 +225,28 @@ impl LossState {
             *c += 1;
             k
         };
-        match &self.model {
+        let dropped = match &self.model {
             LossModel::None => false,
             LossModel::Iid { p } => rng.random_bool(p.clamp(0.0, 1.0)),
             LossModel::Scripted { drops } => drops.contains(&(from, to, k)),
-            LossModel::Timed { rules } => rules.iter().any(|r| r.matches(from, to, now)),
+            LossModel::Timed { rules } => {
+                // Drop rules win over duplication; extras from all matching
+                // duplicate rules accumulate.
+                let mut extra = 0u32;
+                for rule in rules {
+                    if !rule.matches(from, to, now) {
+                        continue;
+                    }
+                    match rule.kind {
+                        FaultKind::Drop => return LinkFate::Drop,
+                        FaultKind::Duplicate { extra: e } => extra = extra.saturating_add(e),
+                    }
+                }
+                if extra > 0 {
+                    return LinkFate::Duplicate { extra };
+                }
+                false
+            }
             LossModel::Burst {
                 p_good,
                 p_bad,
@@ -156,6 +265,11 @@ impl LossState {
                 let p = if *bad { *p_bad } else { *p_good };
                 rng.random_bool(p.clamp(0.0, 1.0))
             }
+        };
+        if dropped {
+            LinkFate::Drop
+        } else {
+            LinkFate::Deliver
         }
     }
 }
@@ -276,6 +390,83 @@ mod tests {
         assert!(s.should_drop(e(0), e(1), SimTime::from_micros(10), &mut r));
         assert!(!s.should_drop(e(1), e(0), SimTime::from_micros(10), &mut r));
         assert!(!s.should_drop(e(0), e(2), SimTime::from_micros(10), &mut r));
+    }
+
+    #[test]
+    fn duplicate_link_fate_inside_window_only() {
+        let rules = vec![TimedRule::duplicate_link(e(0), e(1), 100, 200, 2)];
+        let mut s = LossState::new(LossModel::Timed { rules });
+        let mut r = rng();
+        assert_eq!(
+            s.fate(e(0), e(1), SimTime::from_micros(99), &mut r),
+            LinkFate::Deliver
+        );
+        assert_eq!(
+            s.fate(e(0), e(1), SimTime::from_micros(150), &mut r),
+            LinkFate::Duplicate { extra: 2 }
+        );
+        // Other direction and other links are untouched.
+        assert_eq!(
+            s.fate(e(1), e(0), SimTime::from_micros(150), &mut r),
+            LinkFate::Deliver
+        );
+        assert_eq!(
+            s.fate(e(0), e(1), SimTime::from_micros(200), &mut r),
+            LinkFate::Deliver
+        );
+    }
+
+    #[test]
+    fn drop_rule_wins_over_duplicate() {
+        let rules = vec![
+            TimedRule::duplicate_link(e(0), e(1), 0, 100, 1),
+            TimedRule::cut_link(e(0), e(1), 0, 100),
+        ];
+        let mut s = LossState::new(LossModel::Timed { rules });
+        assert_eq!(
+            s.fate(e(0), e(1), SimTime::from_micros(50), &mut rng()),
+            LinkFate::Drop
+        );
+    }
+
+    #[test]
+    fn duplicate_extras_accumulate_across_rules() {
+        let rules = vec![
+            TimedRule::duplicate_link(e(0), e(1), 0, 100, 1),
+            TimedRule::duplicate_link(e(0), e(1), 0, 100, 3),
+        ];
+        let mut s = LossState::new(LossModel::Timed { rules });
+        assert_eq!(
+            s.fate(e(0), e(1), SimTime::from_micros(50), &mut rng()),
+            LinkFate::Duplicate { extra: 4 }
+        );
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_between_groups() {
+        let rules = TimedRule::partition(&[e(0)], &[e(1), e(2)], 10, 20);
+        assert_eq!(rules.len(), 4);
+        let mut s = LossState::new(LossModel::Timed { rules });
+        let mut r = rng();
+        let t = SimTime::from_micros(15);
+        assert!(s.should_drop(e(0), e(1), t, &mut r));
+        assert!(s.should_drop(e(1), e(0), t, &mut r));
+        assert!(s.should_drop(e(0), e(2), t, &mut r));
+        assert!(s.should_drop(e(2), e(0), t, &mut r));
+        // Links inside the same side stay up.
+        assert!(!s.should_drop(e(1), e(2), t, &mut r));
+        // The partition heals.
+        assert!(!s.should_drop(e(0), e(1), SimTime::from_micros(20), &mut r));
+    }
+
+    #[test]
+    fn loss_burst_hits_every_link() {
+        let rules = vec![TimedRule::loss_burst(5, 10)];
+        let mut s = LossState::new(LossModel::Timed { rules });
+        let mut r = rng();
+        assert!(s.should_drop(e(0), e(1), SimTime::from_micros(7), &mut r));
+        assert!(s.should_drop(e(2), e(0), SimTime::from_micros(9), &mut r));
+        assert!(!s.should_drop(e(0), e(1), SimTime::from_micros(10), &mut r));
     }
 
     #[test]

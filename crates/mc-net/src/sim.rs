@@ -8,10 +8,10 @@ use rand::SeedableRng;
 
 use crate::buffer::Inbox;
 use crate::delay::DelayModel;
-use crate::event::{EventKind, QueuedEvent, TimerId};
-use crate::loss::{LossModel, LossState};
+use crate::event::{ControlEvent, EventKind, QueuedEvent, TimerId};
+use crate::loss::{LinkFate, LossModel, LossState};
 use crate::node::{Context, Output, SimNode};
-use crate::trace::{NetStats, TraceEvent, TraceRecorder};
+use crate::trace::{fnv_word, NetStats, TraceEvent, TraceRecorder, FNV_OFFSET};
 use crate::{SimDuration, SimTime};
 
 /// Network-level configuration of a run.
@@ -54,6 +54,8 @@ pub struct Simulator<N: SimNode> {
     inboxes: Vec<Inbox<N::Msg>>,
     /// Whether each node is currently draining its inbox.
     busy: Vec<bool>,
+    /// Whether each node's host is paused (inbox fills but is not drained).
+    paused: Vec<bool>,
     queue: BinaryHeap<QueuedEvent<N::Msg, N::Cmd>>,
     now: SimTime,
     event_seq: u64,
@@ -86,6 +88,7 @@ impl<N: SimNode> Simulator<N> {
         Simulator {
             inboxes: (0..n).map(|_| Inbox::new(config.inbox_capacity)).collect(),
             busy: vec![false; n],
+            paused: vec![false; n],
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             event_seq: 0,
@@ -155,6 +158,21 @@ impl<N: SimNode> Simulator<N> {
     pub fn schedule_command(&mut self, at: SimTime, entity: EntityId, cmd: N::Cmd) {
         let time = at.max(self.now);
         self.push_event(time, EventKind::Command { node: entity, cmd });
+    }
+
+    /// Schedules a host-control action (pause/resume/clear-inbox) for
+    /// `entity` at absolute time `at`. Controls act on the simulated host,
+    /// not the protocol engine: a paused host stops draining its inbox (so
+    /// arrivals may overrun, §2.1), and a cleared inbox models the volatile
+    /// receive state lost across a crash-restart.
+    pub fn schedule_control(&mut self, at: SimTime, entity: EntityId, ctrl: ControlEvent) {
+        let time = at.max(self.now);
+        self.push_event(time, EventKind::Control { node: entity, ctrl });
+    }
+
+    /// Whether `entity`'s host is currently paused.
+    pub fn is_paused(&self, entity: EntityId) -> bool {
+        self.paused[entity.index()]
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind<N::Msg, N::Cmd>) {
@@ -233,21 +251,44 @@ impl<N: SimNode> Simulator<N> {
 
     fn transmit(&mut self, from: EntityId, to: EntityId, msg: N::Msg) {
         self.stats.link_sends += 1;
-        if self.loss.should_drop(from, to, self.now, &mut self.rng) {
-            self.stats.link_drops += 1;
-            self.recorder.record(TraceEvent::LinkDrop {
-                at: self.now,
-                from,
-                to,
-            });
-            return;
-        }
-        let delay = self.config.delay.sample(from, to, &mut self.rng);
+        let copies = match self.loss.fate(from, to, self.now, &mut self.rng) {
+            LinkFate::Drop => {
+                self.stats.link_drops += 1;
+                self.recorder.record(TraceEvent::LinkDrop {
+                    at: self.now,
+                    from,
+                    to,
+                });
+                return;
+            }
+            LinkFate::Deliver => 1,
+            LinkFate::Duplicate { extra } => {
+                self.stats.link_dups += extra as u64;
+                self.recorder.record(TraceEvent::LinkDup {
+                    at: self.now,
+                    from,
+                    to,
+                    extra,
+                });
+                1 + extra
+            }
+        };
         let link = from.index() * self.nodes.len() + to.index();
-        // Enforce per-link FIFO: an arrival never overtakes an earlier one.
-        let at = (self.now + delay).max(self.link_front[link]);
-        self.link_front[link] = at;
-        self.push_event(at, EventKind::Arrival { from, to, msg });
+        for _ in 0..copies {
+            let delay = self.config.delay.sample(from, to, &mut self.rng);
+            // Enforce per-link FIFO: an arrival never overtakes an earlier
+            // one (duplicate copies queue behind the original).
+            let at = (self.now + delay).max(self.link_front[link]);
+            self.link_front[link] = at;
+            self.push_event(
+                at,
+                EventKind::Arrival {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                },
+            );
+        }
     }
 
     /// Processes a single event; returns `false` when the queue is empty.
@@ -268,7 +309,7 @@ impl<N: SimNode> Simulator<N> {
                         from,
                         to,
                     });
-                    if !self.busy[to.index()] {
+                    if !self.busy[to.index()] && !self.paused[to.index()] {
                         self.busy[to.index()] = true;
                         self.push_event(
                             self.now + self.config.proc_time,
@@ -285,6 +326,12 @@ impl<N: SimNode> Simulator<N> {
                 }
             }
             EventKind::ProcessNext { node } => {
+                if self.paused[node.index()] {
+                    // The host stalled after this tick was scheduled: leave
+                    // the inbox intact; Resume restarts the drain.
+                    self.busy[node.index()] = false;
+                    return true;
+                }
                 if let Some((from, msg, _arrived)) = self.inboxes[node.index()].take() {
                     self.stats.processed += 1;
                     self.recorder.record(TraceEvent::Processed {
@@ -313,6 +360,37 @@ impl<N: SimNode> Simulator<N> {
                 self.stats.commands += 1;
                 self.with_node(node, |n, ctx| n.on_command(cmd, ctx));
             }
+            EventKind::Control { node, ctrl } => match ctrl {
+                ControlEvent::Pause => {
+                    self.paused[node.index()] = true;
+                    self.recorder
+                        .record(TraceEvent::Paused { at: self.now, node });
+                }
+                ControlEvent::Resume => {
+                    self.paused[node.index()] = false;
+                    self.recorder
+                        .record(TraceEvent::Resumed { at: self.now, node });
+                    if !self.busy[node.index()] && !self.inboxes[node.index()].is_empty() {
+                        self.busy[node.index()] = true;
+                        self.push_event(
+                            self.now + self.config.proc_time,
+                            EventKind::ProcessNext { node },
+                        );
+                    }
+                }
+                ControlEvent::ClearInbox => {
+                    let mut dropped = 0u32;
+                    while self.inboxes[node.index()].take().is_some() {
+                        dropped += 1;
+                    }
+                    self.stats.inbox_cleared += dropped as u64;
+                    self.recorder.record(TraceEvent::InboxCleared {
+                        at: self.now,
+                        node,
+                        dropped,
+                    });
+                }
+            },
         }
         true
     }
@@ -364,11 +442,42 @@ impl<N: SimNode> Simulator<N> {
     pub fn inbox_free(&self, entity: EntityId) -> usize {
         self.inboxes[entity.index()].free()
     }
+
+    /// A stable FNV-1a digest of the run so far: node count, current time,
+    /// aggregate statistics and — when tracing is enabled — every trace
+    /// event with all its fields. Identical `SimConfig` and identical
+    /// scheduled inputs produce identical digests on every platform; this
+    /// is the determinism contract the `co-check` shrinker and its
+    /// regression corpus replay against.
+    pub fn trace_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_word(h, self.nodes.len() as u64);
+        h = fnv_word(h, self.now.as_micros());
+        let s = &self.stats;
+        for word in [
+            s.link_sends,
+            s.link_drops,
+            s.overrun_drops,
+            s.arrivals,
+            s.processed,
+            s.timers_fired,
+            s.commands,
+            s.link_dups,
+            s.inbox_cleared,
+        ] {
+            h = fnv_word(h, word);
+        }
+        for event in self.recorder.events() {
+            h = event.fold_digest(h);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::loss::TimedRule;
 
     /// Node that broadcasts each command payload and logs everything it
     /// processes.
@@ -613,9 +722,170 @@ mod tests {
                 TraceEvent::Processed { .. } => "processed",
                 TraceEvent::LinkDrop { .. } => "link_drop",
                 TraceEvent::OverrunDrop { .. } => "overrun",
+                TraceEvent::LinkDup { .. } => "link_dup",
+                TraceEvent::Paused { .. } => "paused",
+                TraceEvent::Resumed { .. } => "resumed",
+                TraceEvent::InboxCleared { .. } => "inbox_cleared",
             })
             .collect();
         assert_eq!(kinds, vec!["send", "arrival", "processed"]);
+    }
+
+    #[test]
+    fn paused_node_buffers_then_resumes_in_order() {
+        let mut sim = Simulator::new(
+            SimConfig {
+                delay: DelayModel::Uniform(SimDuration::from_micros(10)),
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
+        sim.schedule_control(SimTime::ZERO, EntityId::new(1), ControlEvent::Pause);
+        for k in 0..5 {
+            sim.schedule_command(SimTime::from_micros(100 + k), EntityId::new(0), k as u32);
+        }
+        sim.run_until(SimTime::from_micros(500));
+        assert!(sim.is_paused(EntityId::new(1)));
+        assert!(
+            sim.node(EntityId::new(1)).seen.is_empty(),
+            "paused host must not process"
+        );
+        sim.schedule_control(
+            SimTime::from_micros(1_000),
+            EntityId::new(1),
+            ControlEvent::Resume,
+        );
+        sim.run_until_idle();
+        assert!(!sim.is_paused(EntityId::new(1)));
+        let seen: Vec<u32> = sim
+            .node(EntityId::new(1))
+            .seen
+            .iter()
+            .map(|&(_, m)| m)
+            .collect();
+        assert_eq!(
+            seen,
+            vec![0, 1, 2, 3, 4],
+            "buffered PDUs drain in FIFO order"
+        );
+    }
+
+    #[test]
+    fn pause_with_tiny_inbox_overruns() {
+        let mut sim = Simulator::new(
+            SimConfig {
+                inbox_capacity: 2,
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
+        sim.schedule_control(SimTime::ZERO, EntityId::new(1), ControlEvent::Pause);
+        for k in 0..6 {
+            sim.schedule_command(SimTime::from_micros(10 + k), EntityId::new(0), k as u32);
+        }
+        sim.schedule_control(
+            SimTime::from_micros(10_000),
+            EntityId::new(1),
+            ControlEvent::Resume,
+        );
+        sim.run_until_idle();
+        assert_eq!(
+            sim.stats().overrun_drops,
+            4,
+            "only the inbox capacity survives a stall"
+        );
+        let seen: Vec<u32> = sim
+            .node(EntityId::new(1))
+            .seen
+            .iter()
+            .map(|&(_, m)| m)
+            .collect();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn clear_inbox_discards_buffered_pdus() {
+        let mut sim = two_nodes();
+        sim.schedule_control(SimTime::ZERO, EntityId::new(1), ControlEvent::Pause);
+        for k in 0..3 {
+            sim.schedule_command(SimTime::from_micros(10 + k), EntityId::new(0), k as u32);
+        }
+        sim.schedule_control(
+            SimTime::from_micros(5_000),
+            EntityId::new(1),
+            ControlEvent::ClearInbox,
+        );
+        sim.schedule_control(
+            SimTime::from_micros(6_000),
+            EntityId::new(1),
+            ControlEvent::Resume,
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.stats().inbox_cleared, 3);
+        assert!(sim.node(EntityId::new(1)).seen.is_empty());
+    }
+
+    #[test]
+    fn duplicating_link_delivers_extra_copies() {
+        let rules = vec![TimedRule::duplicate_link(
+            EntityId::new(0),
+            EntityId::new(1),
+            0,
+            u64::MAX,
+            2,
+        )];
+        let mut sim = Simulator::new(
+            SimConfig {
+                loss: LossModel::Timed { rules },
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 7);
+        sim.run_until_idle();
+        let seen: Vec<u32> = sim
+            .node(EntityId::new(1))
+            .seen
+            .iter()
+            .map(|&(_, m)| m)
+            .collect();
+        assert_eq!(
+            seen,
+            vec![7, 7, 7],
+            "original + 2 duplicates, in FIFO order"
+        );
+        assert_eq!(sim.stats().link_dups, 2);
+        assert_eq!(sim.stats().link_sends, 1, "duplication is not a new send");
+    }
+
+    #[test]
+    fn trace_digest_is_deterministic_and_discriminating() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(
+                SimConfig {
+                    delay: DelayModel::Jitter {
+                        min: SimDuration::from_micros(1),
+                        max: SimDuration::from_micros(300),
+                    },
+                    loss: LossModel::Iid { p: 0.1 },
+                    seed,
+                    trace: true,
+                    ..SimConfig::default()
+                },
+                vec![Logger::new(), Logger::new(), Logger::new()],
+            );
+            for k in 0..60 {
+                sim.schedule_command(
+                    SimTime::from_micros(k * 3),
+                    EntityId::new((k % 3) as u32),
+                    k as u32,
+                );
+            }
+            sim.run_until_idle();
+            sim.trace_digest()
+        };
+        assert_eq!(run(11), run(11), "same config+inputs must hash identically");
+        assert_ne!(run(11), run(12), "different seeds must diverge");
     }
 
     #[test]

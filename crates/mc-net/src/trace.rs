@@ -22,6 +22,10 @@ pub struct NetStats {
     pub timers_fired: u64,
     /// Application commands dispatched.
     pub commands: u64,
+    /// Extra PDU copies injected by duplication faults.
+    pub link_dups: u64,
+    /// Buffered PDUs discarded by [`crate::ControlEvent::ClearInbox`].
+    pub inbox_cleared: u64,
 }
 
 impl NetStats {
@@ -88,6 +92,52 @@ pub enum TraceEvent {
         /// Original sender of the PDU.
         from: EntityId,
     },
+    /// A duplication fault injected extra copies of a transmission.
+    LinkDup {
+        /// When (at send time).
+        at: SimTime,
+        /// Sender.
+        from: EntityId,
+        /// Receiver.
+        to: EntityId,
+        /// Extra copies beyond the original.
+        extra: u32,
+    },
+    /// A node's host was paused ([`crate::ControlEvent::Pause`]).
+    Paused {
+        /// When.
+        at: SimTime,
+        /// The paused node.
+        node: EntityId,
+    },
+    /// A node's host resumed ([`crate::ControlEvent::Resume`]).
+    Resumed {
+        /// When.
+        at: SimTime,
+        /// The resumed node.
+        node: EntityId,
+    },
+    /// A node's inbox was cleared ([`crate::ControlEvent::ClearInbox`]).
+    InboxCleared {
+        /// When.
+        at: SimTime,
+        /// The node whose inbox was emptied.
+        node: EntityId,
+        /// How many buffered PDUs were discarded.
+        dropped: u32,
+    },
+}
+
+/// FNV-1a offset basis (the digest accumulator's initial value).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one 64-bit word into an FNV-1a accumulator, byte by byte.
+pub(crate) fn fnv_word(mut h: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl TraceEvent {
@@ -98,7 +148,77 @@ impl TraceEvent {
             | TraceEvent::LinkDrop { at, .. }
             | TraceEvent::OverrunDrop { at, .. }
             | TraceEvent::Arrival { at, .. }
-            | TraceEvent::Processed { at, .. } => at,
+            | TraceEvent::Processed { at, .. }
+            | TraceEvent::LinkDup { at, .. }
+            | TraceEvent::Paused { at, .. }
+            | TraceEvent::Resumed { at, .. }
+            | TraceEvent::InboxCleared { at, .. } => at,
+        }
+    }
+
+    /// Folds the event (tag + every field) into an FNV-1a accumulator;
+    /// used by [`crate::Simulator::trace_digest`].
+    pub(crate) fn fold_digest(&self, h: u64) -> u64 {
+        let id = |e: EntityId| e.index() as u64;
+        match *self {
+            TraceEvent::Send { at, from, copies } => {
+                let h = fnv_word(h, 1);
+                let h = fnv_word(h, at.as_micros());
+                let h = fnv_word(h, id(from));
+                fnv_word(h, copies as u64)
+            }
+            TraceEvent::LinkDrop { at, from, to } => {
+                let h = fnv_word(h, 2);
+                let h = fnv_word(h, at.as_micros());
+                let h = fnv_word(h, id(from));
+                fnv_word(h, id(to))
+            }
+            TraceEvent::OverrunDrop { at, from, to } => {
+                let h = fnv_word(h, 3);
+                let h = fnv_word(h, at.as_micros());
+                let h = fnv_word(h, id(from));
+                fnv_word(h, id(to))
+            }
+            TraceEvent::Arrival { at, from, to } => {
+                let h = fnv_word(h, 4);
+                let h = fnv_word(h, at.as_micros());
+                let h = fnv_word(h, id(from));
+                fnv_word(h, id(to))
+            }
+            TraceEvent::Processed { at, node, from } => {
+                let h = fnv_word(h, 5);
+                let h = fnv_word(h, at.as_micros());
+                let h = fnv_word(h, id(node));
+                fnv_word(h, id(from))
+            }
+            TraceEvent::LinkDup {
+                at,
+                from,
+                to,
+                extra,
+            } => {
+                let h = fnv_word(h, 6);
+                let h = fnv_word(h, at.as_micros());
+                let h = fnv_word(h, id(from));
+                let h = fnv_word(h, id(to));
+                fnv_word(h, extra as u64)
+            }
+            TraceEvent::Paused { at, node } => {
+                let h = fnv_word(h, 7);
+                let h = fnv_word(h, at.as_micros());
+                fnv_word(h, id(node))
+            }
+            TraceEvent::Resumed { at, node } => {
+                let h = fnv_word(h, 8);
+                let h = fnv_word(h, at.as_micros());
+                fnv_word(h, id(node))
+            }
+            TraceEvent::InboxCleared { at, node, dropped } => {
+                let h = fnv_word(h, 9);
+                let h = fnv_word(h, at.as_micros());
+                let h = fnv_word(h, id(node));
+                fnv_word(h, dropped as u64)
+            }
         }
     }
 }

@@ -1,0 +1,44 @@
+//! Tier-1 replay of the committed `co-check` regression corpus.
+//!
+//! Every JSON file in `tests/regressions/` is a shrunken counterexample
+//! produced by `cargo run -p co-check` (see its `--break-delivery` and
+//! exploration modes). Replaying a reproducer is fully deterministic —
+//! the scenario pins every seed — so each file must still exhibit exactly
+//! the violation categories it was minimized for. A reproducer that stops
+//! reproducing means the behavior it pinned has changed: either a bug was
+//! fixed (delete the file) or the oracle/scenario semantics drifted
+//! (investigate).
+
+use co_check::{run_scenario, Reproducer};
+
+#[test]
+fn committed_reproducers_replay_to_their_recorded_violations() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/regressions must exist") {
+        let path = entry.expect("readable corpus dir").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable reproducer");
+        let rep = Reproducer::from_json_text(&text)
+            .unwrap_or_else(|e| panic!("{} is not a valid reproducer: {e}", path.display()));
+        let report = run_scenario(&rep.scenario);
+        for expected in &rep.expect {
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| v.category.name() == expected.as_str()),
+                "{}: expected `{expected}` not reproduced; observed {:?}",
+                path.display(),
+                report.violations
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "regression corpus must hold at least 3 reproducers, found {checked}"
+    );
+}

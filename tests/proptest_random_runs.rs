@@ -1,19 +1,120 @@
 //! Property-based end-to-end testing: for *any* cluster size, workload
-//! shape, network seed, loss rate and protocol options in the explored
+//! shape, network seed, loss model and protocol options in the explored
 //! ranges, every run must terminate with the full CO service delivered —
-//! information-preserved, local-order-preserved and causality-preserved.
+//! information-preserved, local-order-preserved and causality-preserved —
+//! and leave every entity fully stable (the liveness oracle `co-check`
+//! enforces on its adversarial schedules).
+//!
+//! The loss models exercised here go beyond i.i.d. drops: Gilbert–Elliott
+//! loss bursts, timed cluster-wide blackouts and PDU-duplicating links
+//! (the MC service may legally re-deliver, §2.1 — the protocol must
+//! discard duplicates without forging deliveries).
 
+use causal_order::EntityId;
 use co_experiments::{run_co, CoRunParams, Senders};
 use co_protocol::{DeferralPolicy, RetransmissionPolicy};
-use mc_net::{LossModel, SimConfig};
+use mc_net::{LossModel, SimConfig, TimedRule};
 use proptest::prelude::*;
+
+/// Abstract description of a loss model, concretized once `n` is known.
+#[derive(Debug, Clone)]
+enum LossShape {
+    None,
+    Iid {
+        pct: u32,
+    },
+    Burst,
+    /// A duplicating link plus a short cluster-wide blackout; both windows
+    /// close, so the run must still fully recover.
+    Timed {
+        from: u32,
+        to_offset: u32,
+        dup_at_us: u64,
+        dup_len_us: u64,
+        extra: u32,
+        burst_at_us: u64,
+        burst_len_us: u64,
+    },
+}
+
+fn arb_loss() -> impl Strategy<Value = LossShape> {
+    prop_oneof![
+        Just(LossShape::None),
+        (1u32..=20).prop_map(|pct| LossShape::Iid { pct }),
+        Just(LossShape::Burst),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            0u64..=20_000,
+            500u64..=5_000,
+            1u32..=3,
+            0u64..=20_000,
+            500u64..=2_000,
+        )
+            .prop_map(
+                |(from, to_offset, dup_at_us, dup_len_us, extra, burst_at_us, burst_len_us)| {
+                    LossShape::Timed {
+                        from,
+                        to_offset,
+                        dup_at_us,
+                        dup_len_us,
+                        extra,
+                        burst_at_us,
+                        burst_len_us,
+                    }
+                }
+            ),
+    ]
+}
+
+impl LossShape {
+    fn concretize(&self, n: usize) -> LossModel {
+        match *self {
+            LossShape::None => LossModel::None,
+            LossShape::Iid { pct } => LossModel::Iid {
+                p: f64::from(pct) / 100.0,
+            },
+            LossShape::Burst => LossModel::Burst {
+                p_good: 0.01,
+                p_bad: 0.8,
+                to_bad: 0.05,
+                to_good: 0.2,
+            },
+            LossShape::Timed {
+                from,
+                to_offset,
+                dup_at_us,
+                dup_len_us,
+                extra,
+                burst_at_us,
+                burst_len_us,
+            } => {
+                let n = n as u32;
+                let a = from % n;
+                let b = (a + 1 + to_offset % (n - 1)) % n;
+                LossModel::Timed {
+                    rules: vec![
+                        TimedRule::duplicate_link(
+                            EntityId::new(a),
+                            EntityId::new(b),
+                            dup_at_us,
+                            dup_at_us + dup_len_us,
+                            extra,
+                        ),
+                        TimedRule::loss_burst(burst_at_us, burst_at_us + burst_len_us),
+                    ],
+                }
+            }
+        }
+    }
+}
 
 fn arb_params() -> impl Strategy<Value = CoRunParams> {
     (
-        2usize..=5,      // n
+        2usize..=8,      // n
         1usize..=12,     // messages per sender
         any::<u64>(),    // seed
-        0u32..=20,       // loss percent
+        arb_loss(),      // loss model shape
         prop::bool::ANY, // all senders?
         prop::bool::ANY, // selective?
         prop::bool::ANY, // deferred?
@@ -21,36 +122,28 @@ fn arb_params() -> impl Strategy<Value = CoRunParams> {
         50u64..=1_000,   // submit interval
     )
         .prop_map(
-            |(n, messages, seed, loss_pct, all, selective, deferred, window, interval)| {
-                CoRunParams {
-                    n,
-                    window,
-                    deferral: if deferred {
-                        DeferralPolicy::Deferred { timeout_us: 1_500 }
-                    } else {
-                        DeferralPolicy::Immediate
-                    },
-                    retransmission: if selective {
-                        RetransmissionPolicy::Selective
-                    } else {
-                        RetransmissionPolicy::GoBackN
-                    },
-                    sim: SimConfig {
-                        loss: if loss_pct == 0 {
-                            LossModel::None
-                        } else {
-                            LossModel::Iid {
-                                p: loss_pct as f64 / 100.0,
-                            }
-                        },
-                        seed,
-                        ..SimConfig::default()
-                    },
-                    messages_per_sender: messages,
-                    submit_interval_us: interval,
-                    senders: if all { Senders::All } else { Senders::One },
-                    payload: 32,
-                }
+            |(n, messages, seed, loss, all, selective, deferred, window, interval)| CoRunParams {
+                n,
+                window,
+                deferral: if deferred {
+                    DeferralPolicy::Deferred { timeout_us: 1_500 }
+                } else {
+                    DeferralPolicy::Immediate
+                },
+                retransmission: if selective {
+                    RetransmissionPolicy::Selective
+                } else {
+                    RetransmissionPolicy::GoBackN
+                },
+                sim: SimConfig {
+                    loss: loss.concretize(n),
+                    seed,
+                    ..SimConfig::default()
+                },
+                messages_per_sender: messages,
+                submit_interval_us: interval,
+                senders: if all { Senders::All } else { Senders::One },
+                payload: 32,
             },
         )
 }
@@ -78,6 +171,15 @@ proptest! {
                 "CO service violated: {} (params {:?})",
                 violations[0], params
             )));
+        }
+        // Liveness: once idle, every entity must be fully stable — no held
+        // PDUs, no queued submits, everything known globally pre-acked.
+        for node in &result.nodes {
+            prop_assert!(
+                node.fully_stable,
+                "{} ended the run without full stability (params {:?})",
+                node.id, params,
+            );
         }
     }
 
