@@ -33,13 +33,15 @@ impl CoBroadcaster {
     fn convert(actions: Vec<Action>) -> Vec<Out<Pdu>> {
         actions
             .into_iter()
-            .map(|a| match a {
-                Action::Broadcast(pdu) => Out::Broadcast(pdu),
-                Action::Deliver(d) => Out::Deliver(AppDelivery {
+            .filter_map(|a| match a {
+                Action::Broadcast(pdu) => Some(Out::Broadcast(pdu)),
+                Action::Deliver(d) => Some(Out::Deliver(AppDelivery {
                     origin: d.src,
                     origin_seq: d.seq.get(),
                     data: d.data,
-                }),
+                })),
+                // `Action` is #[non_exhaustive].
+                _ => None,
             })
             .collect()
     }
@@ -62,7 +64,7 @@ impl Broadcaster for CoBroadcaster {
     }
 
     fn on_msg(&mut self, _from: EntityId, msg: Pdu, now_us: u64) -> Vec<Out<Pdu>> {
-        match self.entity.on_pdu(msg, now_us) {
+        match self.entity.on_pdu_actions(msg, now_us) {
             Ok(actions) => Self::convert(actions),
             Err(e) => panic!("co on_pdu failed: {e}"),
         }

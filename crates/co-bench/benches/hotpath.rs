@@ -9,7 +9,8 @@
 //!   ([`co_bench::NaiveKnowledgeMatrix`]) which scans (and, for
 //!   `row_mins`, allocates) on every read;
 //! * `entity/accept_in_order` — steady-state acceptance of an in-order
-//!   data stream through `on_pdu_into` with a reused action vector, the
+//!   data stream through the sink-based `on_pdu` with a reused action
+//!   vector, the
 //!   path the allocation-regression test pins at zero allocs;
 //! * `e2e/sim_throughput` — a full simulated broadcast round, so a
 //!   regression anywhere in the engine shows up even if the microbenches
@@ -123,11 +124,9 @@ fn bench_accept_in_order(c: &mut Criterion) {
                     for pdu in pdus {
                         actions.clear();
                         now += 10;
-                        entity
-                            .on_pdu_into(pdu, now, &mut actions)
-                            .expect("accepted");
+                        entity.on_pdu(pdu, now, &mut actions).expect("accepted");
                     }
-                    black_box(entity.metrics().accepted)
+                    black_box(entity.metrics().accepted())
                 },
                 criterion::BatchSize::SmallInput,
             );

@@ -8,12 +8,21 @@
 //! machine, same runner logic, before the cached-minima/zero-alloc work
 //! landed) and the `current` block is re-measured on every run.
 //!
-//! Usage: `cargo run --release -p co-bench --bin hotpath [out.json]`
+//! The `entity/accept_*` family also measures the observability layer:
+//! `accept_in_order` is the default [`NoopObserver`] path (must stay
+//! free), `accept_latency` adds the always-on histogram tracker, and
+//! `accept_traced` additionally records every event. With `--guard` the
+//! runner exits non-zero if any `entity/accept_in_order` row exceeds
+//! 105% of its baseline — the CI tripwire for observer-hook overhead
+//! leaking into the disabled path.
+//!
+//! Usage: `cargo run --release -p co-bench --bin hotpath [--guard] [out.json]`
 
 use bytes::Bytes;
 use causal_order::{EntityId, Seq};
 use co_baselines::{BroadcasterNode, CoBroadcaster};
 use co_bench::NaiveKnowledgeMatrix;
+use co_observe::{EventLog, LatencyTracker, Observer, Tee};
 use co_protocol::{Action, Config, DeferralPolicy, Entity, KnowledgeMatrix, Pdu};
 use co_wire::DataPdu;
 use mc_net::{SimConfig, SimTime, Simulator};
@@ -44,16 +53,19 @@ const BASELINE_PRE_CHANGE: &[(&str, usize, f64)] = &[
     ("entity/accept_in_order/256", 256, 73091.2),
 ];
 
-fn steady_entity(me: u32, n: usize) -> Entity {
-    let config = Config::builder(1, n, EntityId::new(me))
+fn steady_config(me: u32, n: usize) -> Config {
+    Config::builder(1, n, EntityId::new(me))
         .deferral(DeferralPolicy::Deferred {
             timeout_us: 1 << 40,
         })
         .window(1 << 20)
         .buffer_units(1 << 30)
         .build()
-        .expect("valid config");
-    Entity::new(config).expect("valid entity")
+        .expect("valid config")
+}
+
+fn steady_entity(me: u32, n: usize) -> Entity {
+    Entity::new(steady_config(me, n)).expect("valid entity")
 }
 
 /// ns/op for `f` run `iters` times.
@@ -109,8 +121,7 @@ fn bench_naive_matrix(n: usize) -> (f64, f64, f64) {
 
 /// Steady-state in-order acceptance ns/PDU: entity 0 receives a long
 /// in-order stream from entity 1 (quiet F2, reused action vector).
-fn bench_acceptance(n: usize, msgs: u64) -> f64 {
-    let mut e = steady_entity(0, n);
+fn drive_acceptance<O: Observer>(e: &mut Entity<O>, n: usize, msgs: u64) -> f64 {
     let payload = Bytes::from_static(&[0u8; 64]);
     let mut actions: Vec<Action> = Vec::new();
     let mut now = 0u64;
@@ -128,10 +139,33 @@ fn bench_acceptance(n: usize, msgs: u64) -> f64 {
         });
         now += 10;
         actions.clear();
-        e.on_pdu_into(pdu, now, &mut actions).expect("accepted");
+        e.on_pdu(pdu, now, &mut actions).expect("accepted");
         black_box(actions.len());
     }
     start.elapsed().as_nanos() as f64 / msgs as f64
+}
+
+fn bench_acceptance(n: usize, msgs: u64) -> f64 {
+    let mut e = steady_entity(0, n);
+    drive_acceptance(&mut e, n, msgs)
+}
+
+/// Acceptance with the always-on latency histograms (the co-transport
+/// default observer).
+fn bench_acceptance_latency(n: usize, msgs: u64) -> f64 {
+    let mut e = Entity::with_observer(steady_config(0, n), LatencyTracker::default())
+        .expect("valid entity");
+    drive_acceptance(&mut e, n, msgs)
+}
+
+/// Acceptance with histograms plus a full in-memory event trace (the
+/// `trace: true` cluster configuration).
+fn bench_acceptance_traced(n: usize, msgs: u64) -> f64 {
+    let observer = Tee(LatencyTracker::default(), EventLog::default());
+    let mut e = Entity::with_observer(steady_config(0, n), observer).expect("valid entity");
+    let ns = drive_acceptance(&mut e, n, msgs);
+    black_box(e.observer().1.len());
+    ns
 }
 
 /// Full simulated broadcast round; returns delivered messages per second
@@ -171,8 +205,16 @@ struct Entry {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let guard = if let Some(i) = args.iter().position(|a| a == "--guard") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let out_path = args
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "BENCH_hotpath.json".into());
     let mut current: Vec<Entry> = Vec::new();
 
@@ -209,14 +251,19 @@ fn main() {
 
     for n in SIZES {
         let msgs = 60_000u64.min(8_000_000 / n as u64);
-        let ns = bench_acceptance(n, msgs);
-        current.push(Entry {
-            id: format!("entity/accept_in_order/{n}"),
-            n,
-            ns_per_op: ns,
-            throughput_per_s: Some(1e9 / ns),
-        });
-        eprintln!("entity/accept_in_order/{n}: {ns:.1} ns/PDU");
+        for (op, ns) in [
+            ("accept_in_order", bench_acceptance(n, msgs)),
+            ("accept_latency", bench_acceptance_latency(n, msgs)),
+            ("accept_traced", bench_acceptance_traced(n, msgs)),
+        ] {
+            current.push(Entry {
+                id: format!("entity/{op}/{n}"),
+                n,
+                ns_per_op: ns,
+                throughput_per_s: Some(1e9 / ns),
+            });
+            eprintln!("entity/{op}/{n}: {ns:.1} ns/PDU");
+        }
     }
 
     for n in [4usize, 8] {
@@ -281,4 +328,32 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
     eprintln!("wrote {out_path}");
+
+    if guard {
+        // Regression tripwire for the default (observer-less) hot path:
+        // every guarded row must stay within 105% of its recorded
+        // baseline, otherwise the observability hooks (or anything else)
+        // have leaked cost into the NoopObserver path.
+        let mut failed = false;
+        for (id, _, base) in BASELINE_PRE_CHANGE
+            .iter()
+            .filter(|(id, _, _)| id.starts_with("entity/accept_in_order/"))
+        {
+            let Some(e) = current.iter().find(|e| e.id == *id) else {
+                continue;
+            };
+            let ratio = e.ns_per_op / base;
+            let verdict = if ratio <= 1.05 { "ok" } else { "REGRESSED" };
+            eprintln!(
+                "guard {id}: {:.1} ns vs baseline {base:.1} ns ({ratio:.2}x) {verdict}",
+                e.ns_per_op
+            );
+            failed |= ratio > 1.05;
+        }
+        if failed {
+            eprintln!("guard: FAIL — NoopObserver hot path regressed past 105% of baseline");
+            std::process::exit(1);
+        }
+        eprintln!("guard: PASS");
+    }
 }

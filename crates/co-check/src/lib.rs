@@ -16,7 +16,15 @@
 //! * ack integrity: identical piggybacked ACK vectors at every entity
 //!   (Lemma 4.2);
 //! * liveness: quiescence and global stability once the fault windows
-//!   close.
+//!   close;
+//! * stage order (traced runs): every message walks §3's receipt levels
+//!   *accept → pre-ack → deliver* in order, exactly once per node, judged
+//!   from the engine's structured event stream
+//!   ([`run_scenario_traced`](crate::runner::run_scenario_traced)).
+//!
+//! Every run also folds its protocol event stream into an order-sensitive
+//! [`event_digest`](crate::runner::RunReport::event_digest) — a
+//! determinism witness one layer below the wire-schedule digest.
 //!
 //! On a violation, the greedy [`shrink`](crate::shrink::shrink) minimizer
 //! strips the scenario down to the smallest fault plan + workload that
@@ -40,8 +48,8 @@ pub mod runner;
 pub mod shrink;
 
 pub use json::Json;
-pub use node::{AppEvent, CheckCmd, CheckNode};
-pub use oracles::{check, Category, CheckViolation, RunObservation};
+pub use node::{AppEvent, CheckCmd, CheckNode, CheckObserver};
+pub use oracles::{check, check_stage_order, Category, CheckViolation, RunObservation};
 pub use plan::{FaultEvent, Reproducer, Scenario, Submit};
-pub use runner::{run_scenario, RunReport, EVENT_BUDGET};
+pub use runner::{run_scenario, run_scenario_traced, RunReport, EVENT_BUDGET};
 pub use shrink::{shrink, ShrinkOutcome, MAX_SHRINK_RUNS};

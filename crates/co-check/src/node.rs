@@ -5,12 +5,23 @@
 //! needs: it records every application-level event (broadcasts and
 //! deliveries, in local order, with the oracle-facing ACK vector), and it
 //! implements the crash-restart command by round-tripping the entity
-//! through [`Entity::export_state`] / [`Entity::restore`].
+//! through [`Entity::export_state`] / [`Entity::restore_with`].
+//!
+//! Every entity runs with a [`CheckObserver`]: an order-sensitive FNV
+//! digest of the protocol event stream (the determinism witness — same
+//! scenario, same digest), plus an opt-in full event log for the
+//! trace-level oracles. The observer is *carried across crash-restart*:
+//! the digest spans the node's whole life, both incarnations.
 
 use bytes::Bytes;
 use causal_order::EntityId;
+use co_observe::{DigestObserver, EventLog, ProtocolEvent, Tee};
 use co_protocol::{Action, Config, Entity, Pdu};
 use mc_net::{Context, SimDuration, SimNode, TimerId};
+
+/// The observer a [`CheckNode`] entity runs with: event-stream digest
+/// always, full event log only when the runner asks for a trace.
+pub type CheckObserver = Tee<DigestObserver, Option<EventLog>>;
 
 /// A command injected by the checker's schedule.
 #[derive(Debug, Clone)]
@@ -54,7 +65,7 @@ pub enum AppEvent {
 /// application-level event for the oracles.
 #[derive(Debug)]
 pub struct CheckNode {
-    entity: Entity,
+    entity: Entity<CheckObserver>,
     config: Config,
     events: Vec<AppEvent>,
     /// Sequence number the next *fresh* broadcast will carry; used to tell
@@ -69,15 +80,18 @@ pub struct CheckNode {
 }
 
 impl CheckNode {
-    /// Wraps a fresh entity for `config`.
+    /// Wraps a fresh entity for `config`. With `trace` set, the full
+    /// protocol event stream is retained (see [`CheckNode::trace`]);
+    /// the event digest is always computed.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is rejected (checker scenarios only
     /// generate valid configurations).
-    pub fn new(config: Config, break_delivery: bool) -> Self {
+    pub fn new(config: Config, break_delivery: bool, trace: bool) -> Self {
+        let observer = Tee(DigestObserver::new(), trace.then(EventLog::default));
         CheckNode {
-            entity: Entity::new(config.clone()).expect("valid scenario config"),
+            entity: Entity::with_observer(config.clone(), observer).expect("valid scenario config"),
             config,
             events: Vec::new(),
             next_broadcast_seq: 1,
@@ -88,13 +102,29 @@ impl CheckNode {
     }
 
     /// The wrapped protocol entity.
-    pub fn entity(&self) -> &Entity {
+    pub fn entity(&self) -> &Entity<CheckObserver> {
         &self.entity
     }
 
     /// The recorded application-level events, in local order.
     pub fn events(&self) -> &[AppEvent] {
         &self.events
+    }
+
+    /// Order-sensitive digest of every protocol event this node emitted,
+    /// across crash-restarts. Identical digests ⇒ identical event streams.
+    pub fn event_digest(&self) -> u64 {
+        self.entity.observer().0.digest()
+    }
+
+    /// The retained protocol event stream; empty unless the node was
+    /// created with `trace` set.
+    pub fn trace(&self) -> &[ProtocolEvent] {
+        self.entity
+            .observer()
+            .1
+            .as_ref()
+            .map_or(&[], |log| log.events())
     }
 
     fn apply(&mut self, actions: Vec<Action>, ctx: &mut Context<'_, Pdu>) {
@@ -128,6 +158,8 @@ impl CheckNode {
                         at_us: ctx.now().as_micros(),
                     });
                 }
+                // `Action` is #[non_exhaustive].
+                _ => {}
             }
         }
         self.rearm(ctx);
@@ -156,7 +188,7 @@ impl SimNode for CheckNode {
     fn on_message(&mut self, _from: EntityId, msg: Pdu, ctx: &mut Context<'_, Pdu>) {
         let actions = self
             .entity
-            .on_pdu(msg, ctx.now().as_micros())
+            .on_pdu_actions(msg, ctx.now().as_micros())
             .expect("wire PDUs are well-formed in simulation");
         self.apply(actions, ctx);
     }
@@ -179,9 +211,12 @@ impl SimNode for CheckNode {
             CheckCmd::Crash => {
                 // Protocol state survives (export → restore); armed timers
                 // belong to the dead incarnation, so forget them and re-arm
-                // from the restored entity's own deadlines.
+                // from the restored entity's own deadlines. The observer is
+                // external instrumentation, not protocol state: it outlives
+                // the incarnation so the digest covers the whole node life.
                 let state = self.entity.export_state();
-                self.entity = Entity::restore(self.config.clone(), state)
+                let observer = std::mem::take(self.entity.observer_mut());
+                self.entity = Entity::restore_with(self.config.clone(), state, observer)
                     .expect("own exported state always restores");
                 self.armed_deadline = None;
                 self.rearm(ctx);

@@ -15,6 +15,11 @@
 //! * **Liveness** (Theorem §4.3 territory): once the fault plan's windows
 //!   close and the workload stops, the run must quiesce with every entity
 //!   fully stable (everything accepted is known globally pre-acked).
+//! * **Stage order** (§3's three receipt levels), traced runs only: judged
+//!   from the structured protocol event stream instead of the app-level
+//!   events — every message must walk
+//!   *accept → pre-acknowledge → deliver* in order, each stage exactly
+//!   once per `(src, seq)` at each node.
 //!
 //! Deliberately *not* an oracle: per-delivery dependency closure derived
 //! from the ACK vectors. The CPI's inconsistent-triad scope (see
@@ -27,6 +32,7 @@ use std::collections::HashMap;
 
 use causal_order::properties::{RunTrace, Violation as TraceViolation};
 use causal_order::{EntityId, MsgId};
+use co_observe::ProtocolEvent;
 
 use crate::node::AppEvent;
 
@@ -47,6 +53,9 @@ pub enum Category {
     Fifo,
     /// A message was delivered before a causal predecessor.
     Causality,
+    /// A message skipped or repeated a receipt stage
+    /// (accept → pre-ack → deliver) in the protocol event stream.
+    StageOrder,
     /// Entities observed different ACK vectors for the same message.
     AckIntegrity,
     /// The run failed to quiesce, or quiesced without global stability.
@@ -55,12 +64,13 @@ pub enum Category {
 
 impl Category {
     /// All categories, in severity order.
-    pub const ALL: [Category; 7] = [
+    pub const ALL: [Category; 8] = [
         Category::Atomicity,
         Category::Duplication,
         Category::Creation,
         Category::Fifo,
         Category::Causality,
+        Category::StageOrder,
         Category::AckIntegrity,
         Category::Liveness,
     ];
@@ -73,6 +83,7 @@ impl Category {
             Category::Creation => "creation",
             Category::Fifo => "fifo",
             Category::Causality => "causality",
+            Category::StageOrder => "stage-order",
             Category::AckIntegrity => "ack-integrity",
             Category::Liveness => "liveness",
         }
@@ -146,6 +157,68 @@ pub fn check(obs: &RunObservation<'_>) -> Vec<CheckViolation> {
         });
     }
     violations.sort_by(|a, b| a.category.cmp(&b.category).then(a.detail.cmp(&b.detail)));
+    violations
+}
+
+/// Checks one node's protocol event stream against the paper's three
+/// receipt levels (§3): per `(src, seq)` the stages must appear in order
+/// and exactly once — `DataSent` (the origin's transmission doubles as its
+/// self-acceptance) or `Accepted` (remote), then `PreAcked`, then
+/// `Delivered`.
+///
+/// `node` is the entity index the stream belongs to, used in diagnostics
+/// and to tell own messages (which must start with `DataSent`) from remote
+/// ones (which must start with `Accepted`).
+pub fn check_stage_order(node: u32, trace: &[ProtocolEvent]) -> Vec<CheckViolation> {
+    // Receipt level reached so far: 1 = accepted, 2 = pre-acked,
+    // 3 = delivered.
+    let mut stage: HashMap<(u32, u64), u8> = HashMap::new();
+    let mut violations = Vec::new();
+    let mut fail = |detail: String| {
+        violations.push(CheckViolation {
+            category: Category::StageOrder,
+            detail,
+        });
+    };
+    for event in trace {
+        let (src, seq, expect_own, from, to) = match *event {
+            ProtocolEvent::DataSent { src, seq, .. } => (src, seq, Some(true), 0u8, 1u8),
+            ProtocolEvent::Accepted { src, seq, .. } => (src, seq, Some(false), 0, 1),
+            ProtocolEvent::PreAcked { src, seq, .. } => (src, seq, None, 1, 2),
+            ProtocolEvent::Delivered { src, seq, .. } => (src, seq, None, 2, 3),
+            _ => continue,
+        };
+        // Diagnostics print one-based, matching `EntityId`'s Display.
+        let label = format!("at E{}: {}#{}", node + 1, src, seq.get());
+        if let Some(own) = expect_own {
+            if own != (src.raw() == node) {
+                fail(format!(
+                    "{label} {} at a node that is {}the origin",
+                    if own { "DataSent" } else { "Accepted" },
+                    if src.raw() == node { "" } else { "not " },
+                ));
+                continue;
+            }
+        }
+        let level = stage.entry((src.raw(), seq.get())).or_insert(0);
+        if *level == from {
+            *level = to;
+        } else {
+            fail(format!(
+                "{label} reached receipt level {to} from level {level}, expected from {from}"
+            ));
+        }
+    }
+    for (&(src, seq), &level) in &stage {
+        if level != 3 {
+            fail(format!(
+                "at E{}: E{}#{seq} stalled at receipt level {level}, never delivered",
+                node + 1,
+                src + 1,
+            ));
+        }
+    }
+    violations.sort_by(|a, b| a.detail.cmp(&b.detail));
     violations
 }
 
@@ -372,5 +445,80 @@ mod tests {
             assert_eq!(Category::parse(c.name()), Some(c));
         }
         assert_eq!(Category::parse("nonsense"), None);
+    }
+
+    fn stage_events(own: bool) -> Vec<ProtocolEvent> {
+        use causal_order::Seq;
+        let src = EntityId::new(if own { 0 } else { 1 });
+        let seq = Seq::FIRST;
+        let first = if own {
+            ProtocolEvent::DataSent {
+                src,
+                seq,
+                now_us: 10,
+            }
+        } else {
+            ProtocolEvent::Accepted {
+                src,
+                seq,
+                from_reorder: false,
+                now_us: 10,
+            }
+        };
+        vec![
+            first,
+            ProtocolEvent::PreAcked {
+                src,
+                seq,
+                now_us: 20,
+            },
+            ProtocolEvent::Delivered {
+                src,
+                seq,
+                now_us: 30,
+            },
+        ]
+    }
+
+    #[test]
+    fn stage_order_accepts_complete_chains() {
+        assert!(check_stage_order(0, &stage_events(true)).is_empty());
+        assert!(check_stage_order(0, &stage_events(false)).is_empty());
+    }
+
+    #[test]
+    fn stage_order_flags_skipped_and_stalled_stages() {
+        // Delivered without ever being pre-acked: skip flagged.
+        let mut trace = stage_events(false);
+        trace.remove(1);
+        let v = check_stage_order(0, &trace);
+        assert!(
+            v.iter().any(|x| x.detail.contains("receipt level 3")),
+            "{v:?}"
+        );
+
+        // Accepted but never delivered: stall flagged.
+        let trace = &stage_events(false)[..1];
+        let v = check_stage_order(0, trace);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].detail.contains("stalled"), "{v:?}");
+
+        // Double delivery: repeat flagged.
+        let mut trace = stage_events(true);
+        trace.push(trace[2]);
+        let v = check_stage_order(0, &trace);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].category, Category::StageOrder);
+    }
+
+    #[test]
+    fn stage_order_flags_wrong_origin() {
+        // A DataSent for a message this node did not originate.
+        let trace = stage_events(true);
+        let v = check_stage_order(2, &trace);
+        assert!(
+            v.iter().any(|x| x.detail.contains("not the origin")),
+            "{v:?}"
+        );
     }
 }

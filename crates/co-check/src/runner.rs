@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use causal_order::EntityId;
+use co_observe::ProtocolEvent;
 use co_protocol::{Config, DeferralPolicy, RetransmissionPolicy};
 use mc_net::{
     ControlEvent, DelayModel, LossModel, NetStats, SimConfig, SimDuration, SimTime, Simulator,
@@ -27,6 +28,11 @@ pub struct RunReport {
     pub violations: Vec<CheckViolation>,
     /// [`Simulator::trace_digest`] of the run — same scenario, same digest.
     pub digest: u64,
+    /// FNV fold of every node's protocol-event-stream digest, in entity
+    /// order. A second determinism witness one layer below [`Self::digest`]:
+    /// it covers the engine's internal receipt transitions (accept,
+    /// pre-ack, CPI, deliver, F1/F2, RET), not just the wire schedule.
+    pub event_digest: u64,
     /// Network-level counters.
     pub stats: NetStats,
     /// Simulated time at quiescence, µs.
@@ -130,8 +136,31 @@ fn payload(sc: &Scenario, submit_index: usize, node: u32) -> Bytes {
     Bytes::from(data)
 }
 
+/// Folds the per-node event digests (entity order) into one run digest.
+fn fold_digests(digests: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in digests {
+        for byte in d.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// Runs a scenario to quiescence and checks every oracle.
 pub fn run_scenario(sc: &Scenario) -> RunReport {
+    run_scenario_impl(sc, false).0
+}
+
+/// Like [`run_scenario`], but additionally retains and returns every
+/// node's full protocol event stream (indexed by entity), after checking
+/// the trace-level stage-order oracle on each.
+pub fn run_scenario_traced(sc: &Scenario) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
+    run_scenario_impl(sc, true)
+}
+
+fn run_scenario_impl(sc: &Scenario, trace: bool) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
     let sim_config = SimConfig {
         delay: if sc.delay_min_us == sc.delay_max_us {
             DelayModel::Uniform(SimDuration::from_micros(sc.delay_min_us))
@@ -152,7 +181,7 @@ pub fn run_scenario(sc: &Scenario) -> RunReport {
     let nodes: Vec<CheckNode> = (0..sc.n as u32)
         .map(|i| protocol_config(sc, i))
         .enumerate()
-        .map(|(i, cfg)| CheckNode::new(cfg, sc.break_delivery && i == 1))
+        .map(|(i, cfg)| CheckNode::new(cfg, sc.break_delivery && i == 1, trace))
         .collect();
     let mut sim = Simulator::new(sim_config, nodes);
 
@@ -194,14 +223,25 @@ pub fn run_scenario(sc: &Scenario) -> RunReport {
     let quiesced = processed < EVENT_BUDGET;
     let all_stable = sim.nodes().all(|(_, node)| node.entity().is_fully_stable());
     let events: Vec<Vec<AppEvent>> = sim.nodes().map(|(_, n)| n.events().to_vec()).collect();
-    let violations = check(&RunObservation {
+    let mut violations = check(&RunObservation {
         events: &events,
         quiesced,
         all_stable,
     });
-    RunReport {
+    let traces: Vec<Vec<ProtocolEvent>> = sim.nodes().map(|(_, n)| n.trace().to_vec()).collect();
+    if trace && quiesced {
+        // The receipt-stage oracle needs a finished run: on a livelocked
+        // one, "never delivered" is the liveness oracle's verdict, not a
+        // stage violation.
+        for (i, node_trace) in traces.iter().enumerate() {
+            violations.extend(crate::oracles::check_stage_order(i as u32, node_trace));
+        }
+        violations.sort_by(|a, b| a.category.cmp(&b.category).then(a.detail.cmp(&b.detail)));
+    }
+    let report = RunReport {
         violations,
         digest: sim.trace_digest(),
+        event_digest: fold_digests(sim.nodes().map(|(_, n)| n.event_digest())),
         stats: sim.stats(),
         makespan_us: sim.now().as_micros(),
         broadcasts: events
@@ -214,7 +254,8 @@ pub fn run_scenario(sc: &Scenario) -> RunReport {
             .flatten()
             .filter(|e| matches!(e, AppEvent::Deliver { .. }))
             .count(),
-    }
+    };
+    (report, traces)
 }
 
 #[cfg(test)]
@@ -306,6 +347,52 @@ mod tests {
             report.stats.overrun_drops > 0,
             "the pause must overflow the 2-PDU inbox"
         );
+    }
+
+    #[test]
+    fn same_seed_same_event_digest() {
+        let mut sc = tiny_scenario();
+        // A lossy schedule so the digest covers recovery events too.
+        sc.faults = vec![FaultEvent::LossBurst {
+            from_us: 100,
+            to_us: 1_500,
+        }];
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        assert_eq!(a.digest, b.digest, "wire schedule must replay");
+        assert_eq!(a.event_digest, b.event_digest, "event stream must replay");
+        assert_ne!(a.event_digest, 0, "digest must cover a non-empty stream");
+    }
+
+    #[test]
+    fn event_digest_is_trace_independent() {
+        // Retaining the full log must not perturb the digest: it is the
+        // same stream either way.
+        let sc = tiny_scenario();
+        let untraced = run_scenario(&sc);
+        let (traced, traces) = run_scenario_traced(&sc);
+        assert_eq!(untraced.event_digest, traced.event_digest);
+        assert_eq!(traces.len(), 3);
+        assert!(traces.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn traced_run_passes_stage_order_oracle() {
+        // Crash-restart included: the observer survives the incarnation
+        // change, so the stage chains must still close afterwards.
+        let mut sc = tiny_scenario();
+        sc.faults = vec![FaultEvent::CrashRestart {
+            node: 1,
+            at_us: 700,
+        }];
+        let (report, traces) = run_scenario_traced(&sc);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let delivered = traces
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e, ProtocolEvent::Delivered { .. }))
+            .count();
+        assert_eq!(delivered, 9, "3 messages × 3 entities, in the trace");
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct NodeArgs {
     pub cid: u32,
     /// Flow-condition window (default 64).
     pub window: u64,
+    /// Write the structured protocol event stream as JSONL to this file.
+    pub trace: Option<String>,
+    /// Serve Prometheus-style metrics over HTTP at this address.
+    pub metrics: Option<SocketAddr>,
 }
 
 /// Argument-parsing error with a usage hint.
@@ -28,7 +32,7 @@ impl std::fmt::Display for ArgError {
         write!(
             f,
             "usage: co-node --me <index> --bind <addr:port> --peer <addr:port>... \
-             [--cid <id>] [--window <W>]"
+             [--cid <id>] [--window <W>] [--trace <file.jsonl>] [--metrics <addr:port>]"
         )
     }
 }
@@ -46,6 +50,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, A
     let mut peers: Vec<SocketAddr> = Vec::new();
     let mut cid = 1u32;
     let mut window = 64u64;
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<SocketAddr> = None;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -85,6 +91,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, A
                     .parse()
                     .map_err(|e| ArgError(format!("--window: {e}")))?;
             }
+            "--trace" => {
+                trace = Some(value("--trace")?);
+            }
+            "--metrics" => {
+                metrics = Some(
+                    value("--metrics")?
+                        .parse()
+                        .map_err(|e| ArgError(format!("--metrics: {e}")))?,
+                );
+            }
             other => return Err(ArgError(format!("unknown flag {other}"))),
         }
     }
@@ -105,6 +121,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, A
         peers,
         cid,
         window,
+        trace,
+        metrics,
     })
 }
 
@@ -135,6 +153,25 @@ mod tests {
         let args = parse_args(argv("--me 0 --bind 127.0.0.1:7000 --peer 127.0.0.1:7001")).unwrap();
         assert_eq!(args.cid, 1);
         assert_eq!(args.window, 64);
+        assert_eq!(args.trace, None);
+        assert_eq!(args.metrics, None);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let args = parse_args(argv(
+            "--me 0 --bind 127.0.0.1:7000 --peer 127.0.0.1:7001 \
+             --trace run.jsonl --metrics 127.0.0.1:9100",
+        ))
+        .unwrap();
+        assert_eq!(args.trace.as_deref(), Some("run.jsonl"));
+        assert_eq!(args.metrics, Some("127.0.0.1:9100".parse().unwrap()));
+        assert!(parse_args(argv(
+            "--me 0 --bind 1.2.3.4:5 --peer 1.2.3.4:6 --metrics nope"
+        ))
+        .unwrap_err()
+        .0
+        .contains("--metrics"));
     }
 
     #[test]

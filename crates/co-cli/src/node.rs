@@ -1,13 +1,95 @@
 //! The node loop: one entity, one UDP socket, line-oriented IO.
+//!
+//! Observability rides on the entity's observer hook: `--trace` streams
+//! every [`ProtocolEvent`] to a JSONL file as it happens, and `--metrics`
+//! serves the node's counters and per-stage latency histograms as
+//! Prometheus-style text over plain HTTP. Neither costs anything when
+//! off: the trace writer is a no-op without a file, and the histograms
+//! are a fixed handful of bucket increments per event.
 
 use bytes::Bytes;
 use causal_order::EntityId;
+use co_observe::jsonl::{self, TraceLine};
+use co_observe::{prom, LatencyTracker, Observer, ProtocolEvent, Tee};
 use co_protocol::{Action, Config, DeferralPolicy, Entity, Pdu};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
-use std::net::{SocketAddr, UdpSocket};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::args::NodeArgs;
+
+/// Streams protocol events to a JSONL trace file; a no-op when disabled.
+pub(crate) struct TraceWriter {
+    node: u32,
+    out: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl TraceWriter {
+    fn open(node: u32, path: Option<&str>) -> std::io::Result<TraceWriter> {
+        let out = match path {
+            Some(path) => Some(std::io::BufWriter::new(std::fs::File::create(path)?)),
+            None => None,
+        };
+        Ok(TraceWriter { node, out })
+    }
+
+    fn flush(&mut self) {
+        if let Some(out) = &mut self.out {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Observer for TraceWriter {
+    fn on_event(&mut self, event: ProtocolEvent) {
+        if let Some(out) = &mut self.out {
+            let line = TraceLine::Event {
+                node: self.node,
+                event,
+            };
+            let _ = writeln!(out, "{}", jsonl::encode_line(&line));
+        }
+    }
+}
+
+/// The observer a CLI node runs with: always-on latency histograms plus
+/// the optional trace stream.
+type CliObserver = Tee<LatencyTracker, TraceWriter>;
+
+/// Serves `text` (refreshed by the node loop) as an HTTP metrics
+/// endpoint. One connection at a time is plenty for a scrape target.
+fn serve_metrics(listener: TcpListener, text: Arc<Mutex<String>>) {
+    use std::io::Read;
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // Drain the request headers before responding: closing with
+        // unread bytes in the socket would RST the scrape mid-read.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut req = [0u8; 1024];
+        let mut seen = 0usize;
+        while seen < req.len() {
+            match stream.read(&mut req[seen..]) {
+                Ok(0) | Err(_) => break,
+                Ok(k) => {
+                    seen += k;
+                    if req[..seen].windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let body = text.lock().map(|t| t.clone()).unwrap_or_default();
+        let _ = write!(
+            stream,
+            "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4\r\n\
+             content-length: {}\r\nconnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+    }
+}
 
 /// Events the node reports to its frontend (stdout in the binary, a
 /// channel in tests).
@@ -58,7 +140,26 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
         .deferral(DeferralPolicy::Deferred { timeout_us: 2_000 })
         .build()
         .map_err(std::io::Error::other)?;
-    let entity = Entity::new(config).map_err(std::io::Error::other)?;
+    let observer = Tee(
+        LatencyTracker::default(),
+        TraceWriter::open(args.me, args.trace.as_deref())?,
+    );
+    let entity = Entity::with_observer(config, observer).map_err(std::io::Error::other)?;
+
+    // The metrics endpoint serves whatever the node loop last rendered.
+    let metrics_text = match args.metrics {
+        Some(addr) => {
+            let listener = TcpListener::bind(addr)?;
+            let text = Arc::new(Mutex::new(String::new()));
+            let served = Arc::clone(&text);
+            std::thread::Builder::new()
+                .name(format!("co-node-{}-metrics", args.me))
+                .spawn(move || serve_metrics(listener, served))
+                .expect("spawn metrics thread");
+            Some(text)
+        }
+        None => None,
+    };
 
     let socket = UdpSocket::bind(args.bind)?;
     socket.set_read_timeout(Some(Duration::from_micros(500)))?;
@@ -77,7 +178,17 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
 
     let thread = std::thread::Builder::new()
         .name(format!("co-node-{}", args.me))
-        .spawn(move || node_loop(entity, me, socket, peer_addrs, input_rx, event_tx))
+        .spawn(move || {
+            node_loop(
+                entity,
+                me,
+                socket,
+                peer_addrs,
+                input_rx,
+                event_tx,
+                metrics_text,
+            )
+        })
         .expect("spawn node thread");
 
     Ok(NodeHandle {
@@ -88,18 +199,20 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
 }
 
 fn node_loop(
-    mut entity: Entity,
-    _me: EntityId,
+    mut entity: Entity<CliObserver>,
+    me: EntityId,
     socket: UdpSocket,
     peers: Vec<Option<SocketAddr>>,
     input: Receiver<Option<String>>,
     events: Sender<NodeEvent>,
+    metrics_text: Option<Arc<Mutex<String>>>,
 ) {
     let epoch = Instant::now();
     let now_us = || epoch.elapsed().as_micros() as u64;
     let mut buf = vec![0u8; 64 * 1024];
     let mut stopping = false;
     let mut last_activity = Instant::now();
+    let mut last_publish: Option<Instant> = None;
 
     let dispatch = |actions: Vec<Action>, events: &Sender<NodeEvent>, socket: &UdpSocket| {
         for action in actions {
@@ -117,6 +230,8 @@ fn node_loop(
                         text: String::from_utf8_lossy(&d.data).into_owned(),
                     });
                 }
+                // `Action` is #[non_exhaustive].
+                _ => {}
             }
         }
     };
@@ -125,7 +240,7 @@ fn node_loop(
         match socket.recv_from(&mut buf) {
             Ok((len, _)) => {
                 if let Ok(pdu) = Pdu::decode(&buf[..len]) {
-                    if let Ok(actions) = entity.on_pdu(pdu, now_us()) {
+                    if let Ok(actions) = entity.on_pdu_actions(pdu, now_us()) {
                         dispatch(actions, &events, &socket);
                     }
                 }
@@ -160,6 +275,16 @@ fn node_loop(
                 Err(TryRecvError::Empty) => break,
             }
         }
+        if let Some(text) = &metrics_text {
+            if last_publish.is_none_or(|t| t.elapsed() >= PUBLISH_INTERVAL) {
+                let rendered =
+                    prom::render(me.raw(), &entity.metrics().snapshot(), &entity.observer().0);
+                if let Ok(mut slot) = text.lock() {
+                    *slot = rendered;
+                }
+                last_publish = Some(Instant::now());
+            }
+        }
         if stopping {
             let idle = last_activity.elapsed();
             if (entity.is_quiescent() && idle >= Duration::from_millis(40))
@@ -169,8 +294,12 @@ fn node_loop(
             }
         }
     }
+    entity.observer_mut().1.flush();
     let _ = events.send(NodeEvent::Stopped);
 }
+
+/// How often the node loop refreshes the metrics endpoint's text.
+const PUBLISH_INTERVAL: Duration = Duration::from_millis(250);
 
 #[cfg(test)]
 mod tests {
@@ -250,6 +379,100 @@ mod tests {
         b.input.send(None).unwrap();
         a.thread.join().unwrap();
         b.thread.join().unwrap();
+    }
+
+    #[test]
+    fn trace_and_metrics_observability() {
+        let ports = free_ports(3);
+        let trace_path = std::env::temp_dir().join(format!("co-node-trace-{}.jsonl", ports[0]));
+        let trace_str = trace_path.to_string_lossy().into_owned();
+
+        let a = run_node(
+            parse_args(argvec(format!(
+                "--me 0 --bind 127.0.0.1:{} --peer 127.0.0.1:{} \
+                 --trace {} --metrics 127.0.0.1:{}",
+                ports[0], ports[1], trace_str, ports[2]
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        let b = run_node(
+            parse_args(argvec(format!(
+                "--me 1 --bind 127.0.0.1:{} --peer 127.0.0.1:{}",
+                ports[1], ports[0]
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+
+        a.input.send(Some("traced message".into())).unwrap();
+        b.input.send(Some("reply".into())).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut delivered = 0;
+        while delivered < 2 && Instant::now() < deadline {
+            if let Ok(NodeEvent::Delivered { .. }) =
+                a.events.recv_timeout(Duration::from_millis(200))
+            {
+                delivered += 1;
+            }
+        }
+        assert_eq!(
+            delivered, 2,
+            "node A delivers its own message and the reply"
+        );
+
+        // Scrape the metrics endpoint while the node is live.
+        let scrape = {
+            use std::io::Read;
+            let mut stream =
+                std::net::TcpStream::connect(("127.0.0.1", ports[2])).expect("metrics reachable");
+            stream.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+            let mut text = String::new();
+            stream.read_to_string(&mut text).unwrap();
+            text
+        };
+        assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+        assert!(
+            scrape.contains("co_delivered_total{node=\"0\"}"),
+            "{scrape}"
+        );
+        assert!(scrape.contains("co_latency_us_count"), "{scrape}");
+
+        a.input.send(None).unwrap();
+        b.input.send(None).unwrap();
+        a.thread.join().unwrap();
+        b.thread.join().unwrap();
+
+        // The trace file must hold a parseable event stream covering the
+        // node's own broadcast and both deliveries.
+        let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+        let lines = jsonl::parse_trace(&text);
+        assert_eq!(
+            lines.len(),
+            text.lines().count(),
+            "every line must parse back"
+        );
+        let delivered_events = lines
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l,
+                    TraceLine::Event {
+                        node: 0,
+                        event: ProtocolEvent::Delivered { .. }
+                    }
+                )
+            })
+            .count();
+        assert_eq!(delivered_events, 2, "both deliveries are in the trace");
+        assert!(lines.iter().any(|l| matches!(
+            l,
+            TraceLine::Event {
+                event: ProtocolEvent::DataSent { .. },
+                ..
+            }
+        )));
+        let _ = std::fs::remove_file(&trace_path);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub fn measure(n: usize, window: u64, messages: usize) -> WindowPoint {
         throughput: result.total_messages as f64 / seconds,
         mean_latency_us: mean_latency,
         peak_held: result.nodes.iter().map(|o| o.peak_held).max().unwrap_or(0),
-        flow_blocked: result.nodes.iter().map(|o| o.metrics.flow_blocked).sum(),
+        flow_blocked: result.nodes.iter().map(|o| o.metrics.flow_blocked()).sum(),
     }
 }
 

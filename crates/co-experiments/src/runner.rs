@@ -124,10 +124,10 @@ impl CoRunResult {
     pub fn pdu_breakdown(&self) -> (u64, u64, u64, u64) {
         let mut out = (0, 0, 0, 0);
         for node in &self.nodes {
-            out.0 += node.metrics.data_sent;
-            out.1 += node.metrics.retransmissions_sent;
-            out.2 += node.metrics.ret_sent;
-            out.3 += node.metrics.ack_only_sent;
+            out.0 += node.metrics.data_sent();
+            out.1 += node.metrics.retransmissions_sent();
+            out.2 += node.metrics.ret_sent();
+            out.3 += node.metrics.ack_only_sent();
         }
         out
     }

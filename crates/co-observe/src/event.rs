@@ -1,0 +1,354 @@
+//! The structured protocol event stream.
+
+use causal_order::{EntityId, Seq};
+
+/// One instrumented protocol transition, emitted by an entity through its
+/// [`crate::Observer`] at the moment the transition happens.
+///
+/// Events are tiny `Copy` values (no heap data) so that emission through a
+/// [`crate::NoopObserver`] compiles away entirely. Every variant carries
+/// the entity-local monotonic timestamp (`now_us`) the engine was driven
+/// with; when the driver derives those timestamps from a shared epoch (as
+/// `co-transport` does), events from different nodes can be joined on the
+/// time axis.
+///
+/// The variants map onto the paper's three receipt levels and failure
+/// conditions — see DESIGN.md ("Observability") for the full table:
+///
+/// * **Acceptance** (§4.2): [`ProtocolEvent::Accepted`], with the
+///   out-of-order path around it ([`ProtocolEvent::F1Detected`],
+///   [`ProtocolEvent::ReorderEnter`]/[`ProtocolEvent::ReorderExit`],
+///   [`ProtocolEvent::OutOfOrderDiscarded`], [`ProtocolEvent::Duplicate`]).
+/// * **Pre-acknowledgment** (§4.4): [`ProtocolEvent::PreAcked`] and the
+///   CPI insertion it performs ([`ProtocolEvent::CpiInserted`]).
+/// * **Acknowledgment** (§4.5): [`ProtocolEvent::Delivered`] — in this
+///   engine the ACK transition and the application hand-off coincide.
+/// * **Loss detection and repair** (§4.3): [`ProtocolEvent::F1Detected`],
+///   [`ProtocolEvent::F2Detected`], [`ProtocolEvent::RetSent`] /
+///   [`ProtocolEvent::RetSuppressed`] (request side),
+///   [`ProtocolEvent::RetServed`] / [`ProtocolEvent::RetUnservable`]
+///   (service side).
+/// * **Flow condition** (§4.2): [`ProtocolEvent::FlowClosed`] /
+///   [`ProtocolEvent::FlowOpened`].
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// The application handed a payload to `submit` and it was admitted
+    /// (sent immediately or queued behind the flow condition).
+    Submitted {
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A submitted payload was queued: the flow condition (§4.2) is
+    /// closed.
+    FlowClosed {
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// The flow condition re-opened and at least one queued payload was
+    /// flushed.
+    FlowOpened {
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A fresh data PDU was broadcast (the transmission action; also the
+    /// entity's self-acceptance of its own PDU).
+    DataSent {
+        /// The broadcasting entity (`src` of the PDU).
+        src: EntityId,
+        /// The assigned sequence number.
+        seq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A data PDU passed the ACC condition and entered the `RRL`.
+    Accepted {
+        /// The PDU's source.
+        src: EntityId,
+        /// The PDU's sequence number.
+        seq: Seq,
+        /// Whether acceptance drained it out of the reorder buffer
+        /// (gap repaired) rather than straight off the wire.
+        from_reorder: bool,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A PDU moved `RRL → PRL` (the PACK action: every entity is known to
+    /// have accepted it).
+    PreAcked {
+        /// The PDU's source.
+        src: EntityId,
+        /// The PDU's sequence number.
+        seq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// The CPI operation inserted a pre-acknowledged PDU into the causal
+    /// log at `position` (Theorem 4.1's sequence-number test).
+    CpiInserted {
+        /// The PDU's source.
+        src: EntityId,
+        /// The PDU's sequence number.
+        seq: Seq,
+        /// Zero-based insertion position in the PRL.
+        position: u64,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A PDU reached the `ARL` and was handed to the application (the ACK
+    /// action; globally stable, causally ordered).
+    Delivered {
+        /// The PDU's source.
+        src: EntityId,
+        /// The PDU's sequence number.
+        seq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// Failure condition F1: a sequence gap on receipt
+    /// (`p.SEQ > REQ_src`).
+    F1Detected {
+        /// The source with the gap.
+        src: EntityId,
+        /// The sequence number that was expected (`REQ_src`).
+        expected: Seq,
+        /// The sequence number that arrived instead.
+        got: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// Failure condition F2: a piggybacked ACK vector proved PDUs exist
+    /// that were never received (`q.ACK_j > REQ_j`).
+    F2Detected {
+        /// The source whose PDUs are missing.
+        src: EntityId,
+        /// The confirmed frontier that exposed the loss.
+        confirmed: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A duplicate data PDU was ignored (already accepted or already
+    /// buffered).
+    Duplicate {
+        /// The PDU's source.
+        src: EntityId,
+        /// The PDU's sequence number.
+        seq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// An out-of-order data PDU entered the reorder buffer (selective
+    /// retransmission keeps it while the gap is repaired).
+    ReorderEnter {
+        /// The PDU's source.
+        src: EntityId,
+        /// The PDU's sequence number.
+        seq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A buffered PDU left the reorder buffer to be accepted (the gap
+    /// before it closed).
+    ReorderExit {
+        /// The PDU's source.
+        src: EntityId,
+        /// The PDU's sequence number.
+        seq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// An out-of-order data PDU was discarded (go-back-n policy).
+    OutOfOrderDiscarded {
+        /// The PDU's source.
+        src: EntityId,
+        /// The PDU's sequence number.
+        seq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A `RET` request for the gap `[REQ_src, lseq)` was broadcast.
+    RetSent {
+        /// The source whose PDUs are missing.
+        src: EntityId,
+        /// One past the last missing sequence number.
+        lseq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A loss detection was deduplicated: a fresh `RET` covering the gap
+    /// is already outstanding.
+    RetSuppressed {
+        /// The source whose PDUs are missing.
+        src: EntityId,
+        /// One past the last missing sequence number.
+        lseq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// This entity rebroadcast one of its own PDUs in response to a `RET`
+    /// (retransmission action, §4.3) — one event per PDU served.
+    RetServed {
+        /// The requesting entity.
+        to: EntityId,
+        /// The rebroadcast sequence number.
+        seq: Seq,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// Part of a `RET` range could not be served: the PDUs were already
+    /// pruned from the send log.
+    RetUnservable {
+        /// How many requested PDUs were missing from the send log.
+        amount: u64,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+    /// A confirmation-only PDU was broadcast (deferred confirmation, lag
+    /// reply, or stability heartbeat).
+    AckOnlySent {
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
+}
+
+impl ProtocolEvent {
+    /// The event's timestamp (entity-local monotonic µs).
+    pub fn now_us(&self) -> u64 {
+        match *self {
+            ProtocolEvent::Submitted { now_us }
+            | ProtocolEvent::FlowClosed { now_us }
+            | ProtocolEvent::FlowOpened { now_us }
+            | ProtocolEvent::DataSent { now_us, .. }
+            | ProtocolEvent::Accepted { now_us, .. }
+            | ProtocolEvent::PreAcked { now_us, .. }
+            | ProtocolEvent::CpiInserted { now_us, .. }
+            | ProtocolEvent::Delivered { now_us, .. }
+            | ProtocolEvent::F1Detected { now_us, .. }
+            | ProtocolEvent::F2Detected { now_us, .. }
+            | ProtocolEvent::Duplicate { now_us, .. }
+            | ProtocolEvent::ReorderEnter { now_us, .. }
+            | ProtocolEvent::ReorderExit { now_us, .. }
+            | ProtocolEvent::OutOfOrderDiscarded { now_us, .. }
+            | ProtocolEvent::RetSent { now_us, .. }
+            | ProtocolEvent::RetSuppressed { now_us, .. }
+            | ProtocolEvent::RetServed { now_us, .. }
+            | ProtocolEvent::RetUnservable { now_us, .. }
+            | ProtocolEvent::AckOnlySent { now_us } => now_us,
+        }
+    }
+
+    /// A short stable name for the event kind (used by the JSONL exporter
+    /// and the Prometheus endpoint; part of the trace format).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolEvent::Submitted { .. } => "submitted",
+            ProtocolEvent::FlowClosed { .. } => "flow_closed",
+            ProtocolEvent::FlowOpened { .. } => "flow_opened",
+            ProtocolEvent::DataSent { .. } => "data_sent",
+            ProtocolEvent::Accepted { .. } => "accepted",
+            ProtocolEvent::PreAcked { .. } => "pre_acked",
+            ProtocolEvent::CpiInserted { .. } => "cpi_inserted",
+            ProtocolEvent::Delivered { .. } => "delivered",
+            ProtocolEvent::F1Detected { .. } => "f1_detected",
+            ProtocolEvent::F2Detected { .. } => "f2_detected",
+            ProtocolEvent::Duplicate { .. } => "duplicate",
+            ProtocolEvent::ReorderEnter { .. } => "reorder_enter",
+            ProtocolEvent::ReorderExit { .. } => "reorder_exit",
+            ProtocolEvent::OutOfOrderDiscarded { .. } => "ooo_discarded",
+            ProtocolEvent::RetSent { .. } => "ret_sent",
+            ProtocolEvent::RetSuppressed { .. } => "ret_suppressed",
+            ProtocolEvent::RetServed { .. } => "ret_served",
+            ProtocolEvent::RetUnservable { .. } => "ret_unservable",
+            ProtocolEvent::AckOnlySent { .. } => "ack_only_sent",
+        }
+    }
+
+    /// A fixed-width stable encoding of the event, used by
+    /// [`crate::DigestObserver`]: `[tag, a, b, c, now_us]` where `a`–`c`
+    /// are the variant's fields in declaration order (zero-padded). Stable
+    /// across runs and platforms by construction — no hasher state, no
+    /// pointer values.
+    pub fn encode_words(&self) -> [u64; 5] {
+        let id = |e: EntityId| e.index() as u64;
+        match *self {
+            ProtocolEvent::Submitted { now_us } => [0, 0, 0, 0, now_us],
+            ProtocolEvent::FlowClosed { now_us } => [1, 0, 0, 0, now_us],
+            ProtocolEvent::FlowOpened { now_us } => [2, 0, 0, 0, now_us],
+            ProtocolEvent::DataSent { src, seq, now_us } => [3, id(src), seq.get(), 0, now_us],
+            ProtocolEvent::Accepted {
+                src,
+                seq,
+                from_reorder,
+                now_us,
+            } => [4, id(src), seq.get(), u64::from(from_reorder), now_us],
+            ProtocolEvent::PreAcked { src, seq, now_us } => [5, id(src), seq.get(), 0, now_us],
+            ProtocolEvent::CpiInserted {
+                src,
+                seq,
+                position,
+                now_us,
+            } => [6, id(src), seq.get(), position, now_us],
+            ProtocolEvent::Delivered { src, seq, now_us } => [7, id(src), seq.get(), 0, now_us],
+            ProtocolEvent::F1Detected {
+                src,
+                expected,
+                got,
+                now_us,
+            } => [8, id(src), expected.get(), got.get(), now_us],
+            ProtocolEvent::F2Detected {
+                src,
+                confirmed,
+                now_us,
+            } => [9, id(src), confirmed.get(), 0, now_us],
+            ProtocolEvent::Duplicate { src, seq, now_us } => [10, id(src), seq.get(), 0, now_us],
+            ProtocolEvent::ReorderEnter { src, seq, now_us } => [11, id(src), seq.get(), 0, now_us],
+            ProtocolEvent::ReorderExit { src, seq, now_us } => [12, id(src), seq.get(), 0, now_us],
+            ProtocolEvent::OutOfOrderDiscarded { src, seq, now_us } => {
+                [13, id(src), seq.get(), 0, now_us]
+            }
+            ProtocolEvent::RetSent { src, lseq, now_us } => [14, id(src), lseq.get(), 0, now_us],
+            ProtocolEvent::RetSuppressed { src, lseq, now_us } => {
+                [15, id(src), lseq.get(), 0, now_us]
+            }
+            ProtocolEvent::RetServed { to, seq, now_us } => [16, id(to), seq.get(), 0, now_us],
+            ProtocolEvent::RetUnservable { amount, now_us } => [17, amount, 0, 0, now_us],
+            ProtocolEvent::AckOnlySent { now_us } => [18, 0, 0, 0, now_us],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_round_trip() {
+        let e = ProtocolEvent::Accepted {
+            src: EntityId::new(2),
+            seq: Seq::new(7),
+            from_reorder: true,
+            now_us: 123,
+        };
+        assert_eq!(e.now_us(), 123);
+        assert_eq!(e.kind(), "accepted");
+        assert_eq!(e.encode_words(), [4, 2, 7, 1, 123]);
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let events = [
+            ProtocolEvent::Submitted { now_us: 0 },
+            ProtocolEvent::FlowClosed { now_us: 0 },
+            ProtocolEvent::FlowOpened { now_us: 0 },
+            ProtocolEvent::AckOnlySent { now_us: 0 },
+            ProtocolEvent::RetUnservable {
+                amount: 1,
+                now_us: 0,
+            },
+        ];
+        let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

@@ -1,0 +1,179 @@
+//! Fixed-bucket latency histograms.
+
+/// Number of power-of-two buckets: values up to `2^39 µs` (~6.4 days)
+/// resolve to a bucket of their own; anything larger saturates into the
+/// last bucket.
+pub const BUCKETS: usize = 40;
+
+/// A fixed-size power-of-two histogram of microsecond latencies.
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`. Recording is allocation-free and O(1) (a
+/// `leading_zeros` and an array increment), so histograms can sit on the
+/// protocol's receive path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(value_us: u64) -> usize {
+    if value_us == 0 {
+        0
+    } else {
+        ((64 - value_us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one latency sample, in microseconds.
+    pub fn record(&mut self, value_us: u64) {
+        self.buckets[bucket_index(value_us)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value_us);
+        self.min = self.min.min(value_us);
+        self.max = self.max.max(value_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, µs (saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Smallest recorded sample, µs (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max
+    }
+
+    /// An upper bound on quantile `q` (in `[0, 1]`): the inclusive upper
+    /// edge of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`. Resolution is the bucket width (a factor of 2).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Inclusive upper edge of bucket `i` (`0` for the zero bucket).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// `(upper_bound_us, cumulative_count)` per non-empty prefix bucket —
+    /// the shape Prometheus' `_bucket{le=..}` series wants.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut acc = 0u64;
+        self.buckets.iter().enumerate().map(move |(i, &n)| {
+            acc += n;
+            (Histogram::bucket_upper_bound(i), acc)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum_us(), 106);
+        assert_eq!(h.mean_us(), 26);
+        assert_eq!(h.min_us(), 1);
+        assert_eq!(h.max_us(), 100);
+    }
+
+    #[test]
+    fn quantiles_bound_from_above() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 of 1..=100 is 50; its bucket [32,64) upper edge is 63.
+        let p50 = h.quantile_us(0.5);
+        assert!((50..=63).contains(&p50), "p50 bound {p50}");
+        assert_eq!(h.quantile_us(1.0), 100);
+        assert_eq!(Histogram::new().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn cumulative_buckets_end_at_count() {
+        let mut h = Histogram::new();
+        for v in [0, 5, 5000, 70000] {
+            h.record(v);
+        }
+        let last = h.cumulative_buckets().last().unwrap();
+        assert_eq!(last.1, 4);
+        assert_eq!(last.0, u64::MAX);
+    }
+}

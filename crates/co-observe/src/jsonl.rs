@@ -1,0 +1,489 @@
+//! JSONL trace exporter, parser, and offline Tco/Tap analysis.
+//!
+//! One JSON object per line, flat, hand-rolled (the workspace carries no
+//! JSON dependency). Two record kinds share the stream:
+//!
+//! * protocol events, tagged by [`ProtocolEvent::kind`], with the fields
+//!   of the variant (`{"node":0,"kind":"accepted","t_us":812,"src":1,
+//!   "seq":5,"from_reorder":false}`);
+//! * host-measured protocol-processing samples
+//!   (`{"node":0,"kind":"host_tco","t_us":812,"dur_us":14}`) — Tco is a
+//!   *host* measurement (CPU time spent inside the engine) and cannot be
+//!   reconstructed from event timestamps alone, so the driver records it
+//!   as its own line.
+//!
+//! When every node derives its event timestamps from one shared epoch (as
+//! `co-transport` does), [`tap_samples_us`] joins `data_sent` lines
+//! against remote `delivered` lines to reproduce the paper's Tap
+//! (application-to-application delay, §5 Figure 8); [`tco_samples_us`]
+//! collects the Tco samples. EXPERIMENTS.md shows the full recipe.
+
+use std::collections::HashMap;
+
+use causal_order::{EntityId, Seq};
+
+use crate::event::ProtocolEvent;
+
+/// One line of a trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceLine {
+    /// A protocol event emitted by `node`'s entity.
+    Event {
+        /// The emitting node (entity index).
+        node: u32,
+        /// The event.
+        event: ProtocolEvent,
+    },
+    /// Host-measured time spent processing one input inside the engine.
+    HostTco {
+        /// The measuring node.
+        node: u32,
+        /// Shared-epoch time of the measurement, µs.
+        at_us: u64,
+        /// Engine processing duration, µs.
+        dur_us: u64,
+    },
+}
+
+fn push_field(out: &mut String, key: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+/// Encodes one record as a JSON line (no trailing newline).
+pub fn encode_line(line: &TraceLine) -> String {
+    let mut out = String::with_capacity(96);
+    match *line {
+        TraceLine::HostTco {
+            node,
+            at_us,
+            dur_us,
+        } => {
+            out.push_str(&format!(
+                "{{\"node\":{node},\"kind\":\"host_tco\",\"t_us\":{at_us}"
+            ));
+            push_field(&mut out, "dur_us", dur_us);
+        }
+        TraceLine::Event { node, event } => {
+            out.push_str(&format!(
+                "{{\"node\":{node},\"kind\":\"{}\",\"t_us\":{}",
+                event.kind(),
+                event.now_us()
+            ));
+            let id = |e: EntityId| e.index() as u64;
+            match event {
+                ProtocolEvent::Submitted { .. }
+                | ProtocolEvent::FlowClosed { .. }
+                | ProtocolEvent::FlowOpened { .. }
+                | ProtocolEvent::AckOnlySent { .. } => {}
+                ProtocolEvent::DataSent { src, seq, .. }
+                | ProtocolEvent::PreAcked { src, seq, .. }
+                | ProtocolEvent::Delivered { src, seq, .. }
+                | ProtocolEvent::Duplicate { src, seq, .. }
+                | ProtocolEvent::ReorderEnter { src, seq, .. }
+                | ProtocolEvent::ReorderExit { src, seq, .. }
+                | ProtocolEvent::OutOfOrderDiscarded { src, seq, .. } => {
+                    push_field(&mut out, "src", id(src));
+                    push_field(&mut out, "seq", seq.get());
+                }
+                ProtocolEvent::Accepted {
+                    src,
+                    seq,
+                    from_reorder,
+                    ..
+                } => {
+                    push_field(&mut out, "src", id(src));
+                    push_field(&mut out, "seq", seq.get());
+                    out.push_str(",\"from_reorder\":");
+                    out.push_str(if from_reorder { "true" } else { "false" });
+                }
+                ProtocolEvent::CpiInserted {
+                    src, seq, position, ..
+                } => {
+                    push_field(&mut out, "src", id(src));
+                    push_field(&mut out, "seq", seq.get());
+                    push_field(&mut out, "pos", position);
+                }
+                ProtocolEvent::F1Detected {
+                    src, expected, got, ..
+                } => {
+                    push_field(&mut out, "src", id(src));
+                    push_field(&mut out, "expected", expected.get());
+                    push_field(&mut out, "got", got.get());
+                }
+                ProtocolEvent::F2Detected { src, confirmed, .. } => {
+                    push_field(&mut out, "src", id(src));
+                    push_field(&mut out, "confirmed", confirmed.get());
+                }
+                ProtocolEvent::RetSent { src, lseq, .. }
+                | ProtocolEvent::RetSuppressed { src, lseq, .. } => {
+                    push_field(&mut out, "src", id(src));
+                    push_field(&mut out, "lseq", lseq.get());
+                }
+                ProtocolEvent::RetServed { to, seq, .. } => {
+                    push_field(&mut out, "to", id(to));
+                    push_field(&mut out, "seq", seq.get());
+                }
+                ProtocolEvent::RetUnservable { amount, .. } => {
+                    push_field(&mut out, "amount", amount);
+                }
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A parsed flat-JSON field value.
+enum FieldValue<'a> {
+    Num(u64),
+    Bool(bool),
+    Str(&'a str),
+}
+
+/// Parses one flat JSON object (string/unsigned-number/bool values only)
+/// into its fields. Returns `None` on malformed input.
+fn parse_flat<'a>(line: &'a str) -> Option<Vec<(&'a str, FieldValue<'a>)>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let key_end = rest.find('"')?;
+        let key = &rest[..key_end];
+        rest = rest[key_end + 1..]
+            .trim_start()
+            .strip_prefix(':')?
+            .trim_start();
+        let (value, after) = if let Some(tail) = rest.strip_prefix('"') {
+            let end = tail.find('"')?;
+            (FieldValue::Str(&tail[..end]), &tail[end + 1..])
+        } else if let Some(tail) = rest.strip_prefix("true") {
+            (FieldValue::Bool(true), tail)
+        } else if let Some(tail) = rest.strip_prefix("false") {
+            (FieldValue::Bool(false), tail)
+        } else {
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if end == 0 {
+                return None;
+            }
+            (FieldValue::Num(rest[..end].parse().ok()?), &rest[end..])
+        };
+        fields.push((key, value));
+        rest = after.trim_start();
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail.trim_start();
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(fields)
+}
+
+/// Parses one trace line. Returns `None` for malformed lines or unknown
+/// kinds (forward compatibility: newer writers may add kinds).
+pub fn parse_line(line: &str) -> Option<TraceLine> {
+    let fields = parse_flat(line)?;
+    let num = |key: &str| {
+        fields.iter().find_map(|(k, v)| match v {
+            FieldValue::Num(n) if *k == key => Some(*n),
+            _ => None,
+        })
+    };
+    let boolean = |key: &str| {
+        fields.iter().find_map(|(k, v)| match v {
+            FieldValue::Bool(b) if *k == key => Some(*b),
+            _ => None,
+        })
+    };
+    let kind = fields.iter().find_map(|(k, v)| match v {
+        FieldValue::Str(s) if *k == "kind" => Some(*s),
+        _ => None,
+    })?;
+    let node = u32::try_from(num("node")?).ok()?;
+    let t = num("t_us")?;
+    let src = || num("src").map(|s| EntityId::new(u32::try_from(s).ok().unwrap_or(u32::MAX)));
+    let seq = || num("seq").map(Seq::new);
+    let event = match kind {
+        "host_tco" => {
+            return Some(TraceLine::HostTco {
+                node,
+                at_us: t,
+                dur_us: num("dur_us")?,
+            })
+        }
+        "submitted" => ProtocolEvent::Submitted { now_us: t },
+        "flow_closed" => ProtocolEvent::FlowClosed { now_us: t },
+        "flow_opened" => ProtocolEvent::FlowOpened { now_us: t },
+        "ack_only_sent" => ProtocolEvent::AckOnlySent { now_us: t },
+        "data_sent" => ProtocolEvent::DataSent {
+            src: src()?,
+            seq: seq()?,
+            now_us: t,
+        },
+        "accepted" => ProtocolEvent::Accepted {
+            src: src()?,
+            seq: seq()?,
+            from_reorder: boolean("from_reorder")?,
+            now_us: t,
+        },
+        "pre_acked" => ProtocolEvent::PreAcked {
+            src: src()?,
+            seq: seq()?,
+            now_us: t,
+        },
+        "cpi_inserted" => ProtocolEvent::CpiInserted {
+            src: src()?,
+            seq: seq()?,
+            position: num("pos")?,
+            now_us: t,
+        },
+        "delivered" => ProtocolEvent::Delivered {
+            src: src()?,
+            seq: seq()?,
+            now_us: t,
+        },
+        "f1_detected" => ProtocolEvent::F1Detected {
+            src: src()?,
+            expected: Seq::new(num("expected")?),
+            got: Seq::new(num("got")?),
+            now_us: t,
+        },
+        "f2_detected" => ProtocolEvent::F2Detected {
+            src: src()?,
+            confirmed: Seq::new(num("confirmed")?),
+            now_us: t,
+        },
+        "duplicate" => ProtocolEvent::Duplicate {
+            src: src()?,
+            seq: seq()?,
+            now_us: t,
+        },
+        "reorder_enter" => ProtocolEvent::ReorderEnter {
+            src: src()?,
+            seq: seq()?,
+            now_us: t,
+        },
+        "reorder_exit" => ProtocolEvent::ReorderExit {
+            src: src()?,
+            seq: seq()?,
+            now_us: t,
+        },
+        "ooo_discarded" => ProtocolEvent::OutOfOrderDiscarded {
+            src: src()?,
+            seq: seq()?,
+            now_us: t,
+        },
+        "ret_sent" => ProtocolEvent::RetSent {
+            src: src()?,
+            lseq: Seq::new(num("lseq")?),
+            now_us: t,
+        },
+        "ret_suppressed" => ProtocolEvent::RetSuppressed {
+            src: src()?,
+            lseq: Seq::new(num("lseq")?),
+            now_us: t,
+        },
+        "ret_served" => ProtocolEvent::RetServed {
+            to: EntityId::new(u32::try_from(num("to")?).ok()?),
+            seq: seq()?,
+            now_us: t,
+        },
+        "ret_unservable" => ProtocolEvent::RetUnservable {
+            amount: num("amount")?,
+            now_us: t,
+        },
+        _ => return None,
+    };
+    Some(TraceLine::Event { node, event })
+}
+
+/// Parses a whole trace, skipping malformed/unknown lines.
+pub fn parse_trace(text: &str) -> Vec<TraceLine> {
+    text.lines().filter_map(parse_line).collect()
+}
+
+/// Application-to-application delays (the paper's Tap, §5): for every
+/// `data_sent` on the source node, the delta to each `delivered` of that
+/// `(src, seq)` on a *different* node. Requires all nodes to share a
+/// timestamp epoch.
+pub fn tap_samples_us(lines: &[TraceLine]) -> Vec<u64> {
+    let mut sent: HashMap<(u64, u64), u64> = HashMap::new();
+    for line in lines {
+        if let TraceLine::Event {
+            event: ProtocolEvent::DataSent { src, seq, now_us },
+            ..
+        } = line
+        {
+            sent.entry((src.index() as u64, seq.get()))
+                .or_insert(*now_us);
+        }
+    }
+    let mut samples = Vec::new();
+    for line in lines {
+        if let TraceLine::Event {
+            node,
+            event: ProtocolEvent::Delivered { src, seq, now_us },
+        } = line
+        {
+            if u64::from(*node) == src.index() as u64 {
+                continue; // self-delivery is not app-to-app
+            }
+            if let Some(&at) = sent.get(&(src.index() as u64, seq.get())) {
+                samples.push(now_us.saturating_sub(at));
+            }
+        }
+    }
+    samples
+}
+
+/// Host-measured protocol-processing times (the paper's Tco, §5).
+pub fn tco_samples_us(lines: &[TraceLine]) -> Vec<u64> {
+    lines
+        .iter()
+        .filter_map(|l| match l {
+            TraceLine::HostTco { dur_us, .. } => Some(*dur_us),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        let lines = [
+            TraceLine::Event {
+                node: 0,
+                event: ProtocolEvent::Submitted { now_us: 1 },
+            },
+            TraceLine::Event {
+                node: 0,
+                event: ProtocolEvent::DataSent {
+                    src: id(0),
+                    seq: Seq::new(1),
+                    now_us: 2,
+                },
+            },
+            TraceLine::Event {
+                node: 1,
+                event: ProtocolEvent::Accepted {
+                    src: id(0),
+                    seq: Seq::new(1),
+                    from_reorder: true,
+                    now_us: 3,
+                },
+            },
+            TraceLine::Event {
+                node: 1,
+                event: ProtocolEvent::CpiInserted {
+                    src: id(0),
+                    seq: Seq::new(1),
+                    position: 4,
+                    now_us: 5,
+                },
+            },
+            TraceLine::Event {
+                node: 1,
+                event: ProtocolEvent::F1Detected {
+                    src: id(0),
+                    expected: Seq::new(2),
+                    got: Seq::new(4),
+                    now_us: 6,
+                },
+            },
+            TraceLine::Event {
+                node: 1,
+                event: ProtocolEvent::RetServed {
+                    to: id(2),
+                    seq: Seq::new(9),
+                    now_us: 7,
+                },
+            },
+            TraceLine::HostTco {
+                node: 2,
+                at_us: 8,
+                dur_us: 14,
+            },
+        ];
+        for line in &lines {
+            let text = encode_line(line);
+            assert_eq!(parse_line(&text), Some(*line), "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let trace = "garbage\n{\"node\":0,\"kind\":\"submitted\",\"t_us\":5}\n{\"kind\":9}";
+        let parsed = parse_trace(trace);
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn tap_joins_across_nodes() {
+        let lines = vec![
+            TraceLine::Event {
+                node: 0,
+                event: ProtocolEvent::DataSent {
+                    src: id(0),
+                    seq: Seq::new(1),
+                    now_us: 100,
+                },
+            },
+            TraceLine::Event {
+                node: 0,
+                event: ProtocolEvent::Delivered {
+                    src: id(0),
+                    seq: Seq::new(1),
+                    now_us: 900, // self-delivery: excluded
+                },
+            },
+            TraceLine::Event {
+                node: 1,
+                event: ProtocolEvent::Delivered {
+                    src: id(0),
+                    seq: Seq::new(1),
+                    now_us: 350,
+                },
+            },
+            TraceLine::Event {
+                node: 2,
+                event: ProtocolEvent::Delivered {
+                    src: id(0),
+                    seq: Seq::new(1),
+                    now_us: 400,
+                },
+            },
+        ];
+        let mut tap = tap_samples_us(&lines);
+        tap.sort_unstable();
+        assert_eq!(tap, vec![250, 300]);
+    }
+
+    #[test]
+    fn tco_collects_host_samples() {
+        let lines = vec![
+            TraceLine::HostTco {
+                node: 0,
+                at_us: 1,
+                dur_us: 10,
+            },
+            TraceLine::HostTco {
+                node: 1,
+                at_us: 2,
+                dur_us: 20,
+            },
+        ];
+        assert_eq!(tco_samples_us(&lines), vec![10, 20]);
+    }
+}

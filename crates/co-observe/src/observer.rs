@@ -1,0 +1,220 @@
+//! The observer trait and its basic implementations.
+
+use crate::event::ProtocolEvent;
+
+/// A sink for [`ProtocolEvent`]s, plugged into an entity at construction.
+///
+/// Implementations must be cheap: `on_event` is called from the engine's
+/// hot path. The default [`NoopObserver`] is guaranteed zero-cost — its
+/// empty inline body lets the compiler eliminate event construction
+/// entirely (`co-bench`'s guard bench enforces this).
+pub trait Observer {
+    /// Called at the instant the transition happens, before the
+    /// corresponding action (if any) is pushed to the driver.
+    fn on_event(&mut self, event: ProtocolEvent);
+}
+
+/// The default observer: ignores every event, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline(always)]
+    fn on_event(&mut self, _event: ProtocolEvent) {}
+}
+
+/// Forwarding: a mutable reference to an observer is an observer.
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn on_event(&mut self, event: ProtocolEvent) {
+        (**self).on_event(event);
+    }
+}
+
+/// An optional observer: `None` behaves like [`NoopObserver`].
+impl<O: Observer> Observer for Option<O> {
+    #[inline]
+    fn on_event(&mut self, event: ProtocolEvent) {
+        if let Some(o) = self {
+            o.on_event(event);
+        }
+    }
+}
+
+/// Boxed dynamic dispatch, for drivers that choose the observer at run
+/// time (e.g. `co-cli` behind a flag).
+impl Observer for Box<dyn Observer> {
+    #[inline]
+    fn on_event(&mut self, event: ProtocolEvent) {
+        (**self).on_event(event);
+    }
+}
+
+/// Fans every event out to two observers, in order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    #[inline]
+    fn on_event(&mut self, event: ProtocolEvent) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+/// Records every event in order — the in-memory trace backing the JSONL
+/// exporter and the trace-based test assertions.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<ProtocolEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[ProtocolEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the log, returning the events.
+    pub fn into_events(self) -> Vec<ProtocolEvent> {
+        self.events
+    }
+}
+
+impl Observer for EventLog {
+    #[inline]
+    fn on_event(&mut self, event: ProtocolEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Folds the event stream into a single order-sensitive 64-bit digest
+/// (FNV-1a over each event's stable word encoding). Two runs produce the
+/// same digest iff they emitted the same events in the same order — the
+/// cheap way to assert schedule determinism without storing full traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestObserver {
+    hash: u64,
+    count: u64,
+}
+
+impl Default for DigestObserver {
+    fn default() -> Self {
+        DigestObserver {
+            hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
+            count: 0,
+        }
+    }
+}
+
+impl DigestObserver {
+    /// A fresh digest.
+    pub fn new() -> Self {
+        DigestObserver::default()
+    }
+
+    /// The digest over everything observed so far.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// How many events were folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Observer for DigestObserver {
+    #[inline]
+    fn on_event(&mut self, event: ProtocolEvent) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.hash;
+        for word in event.encode_words() {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+        self.hash = h;
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_order::{EntityId, Seq};
+
+    fn sample(now_us: u64) -> ProtocolEvent {
+        ProtocolEvent::Delivered {
+            src: EntityId::new(0),
+            seq: Seq::new(1),
+            now_us,
+        }
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut log = EventLog::new();
+        log.on_event(sample(1));
+        log.on_event(sample(2));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].now_us(), 1);
+        assert_eq!(log.events()[1].now_us(), 2);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let mut a = DigestObserver::new();
+        let mut b = DigestObserver::new();
+        a.on_event(sample(1));
+        a.on_event(sample(2));
+        b.on_event(sample(2));
+        b.on_event(sample(1));
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let mut a = DigestObserver::new();
+        let mut b = DigestObserver::new();
+        for t in 0..100 {
+            a.on_event(sample(t));
+            b.on_event(sample(t));
+        }
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut tee = Tee(EventLog::new(), DigestObserver::new());
+        tee.on_event(sample(5));
+        assert_eq!(tee.0.len(), 1);
+        assert_eq!(tee.1.count(), 1);
+    }
+
+    #[test]
+    fn option_none_is_noop() {
+        let mut o: Option<EventLog> = None;
+        o.on_event(sample(1));
+        let mut some = Some(EventLog::new());
+        some.on_event(sample(1));
+        assert_eq!(some.unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Prometheus-style text exposition of counters and histograms.
+
+use crate::counters::Counters;
+use crate::latency::LatencyTracker;
+
+/// Renders the counters in Prometheus text format, one
+/// `co_<counter>_total` metric per entry, labeled by node.
+pub fn render_counters(node: u32, counters: &Counters, out: &mut String) {
+    for (name, value) in counters.entries() {
+        out.push_str("# TYPE co_");
+        out.push_str(name);
+        out.push_str("_total counter\n");
+        out.push_str(&format!("co_{name}_total{{node=\"{node}\"}} {value}\n"));
+    }
+}
+
+/// Renders the latency histograms in Prometheus text format as
+/// `co_latency_us` histogram series labeled by node and stage.
+pub fn render_latency(node: u32, latency: &LatencyTracker, out: &mut String) {
+    out.push_str("# TYPE co_latency_us histogram\n");
+    for (stage, hist) in latency.stages() {
+        let mut last = 0;
+        for (le, cumulative) in hist.cumulative_buckets() {
+            // Only emit buckets that add information (plus the +Inf edge).
+            if cumulative != last || le == u64::MAX {
+                let le = if le == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    le.to_string()
+                };
+                out.push_str(&format!(
+                    "co_latency_us_bucket{{node=\"{node}\",stage=\"{stage}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+                last = cumulative;
+            }
+        }
+        out.push_str(&format!(
+            "co_latency_us_sum{{node=\"{node}\",stage=\"{stage}\"}} {}\n",
+            hist.sum_us()
+        ));
+        out.push_str(&format!(
+            "co_latency_us_count{{node=\"{node}\",stage=\"{stage}\"}} {}\n",
+            hist.count()
+        ));
+    }
+}
+
+/// Full exposition: counters plus histograms.
+pub fn render(node: u32, counters: &Counters, latency: &LatencyTracker) -> String {
+    let mut out = String::with_capacity(4096);
+    render_counters(node, counters, &mut out);
+    render_latency(node, latency, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ProtocolEvent;
+    use crate::observer::Observer;
+    use causal_order::{EntityId, Seq};
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let counters = Counters {
+            delivered: 3,
+            ..Counters::default()
+        };
+        let mut latency = LatencyTracker::new();
+        latency.on_event(ProtocolEvent::Accepted {
+            src: EntityId::new(1),
+            seq: Seq::new(1),
+            from_reorder: false,
+            now_us: 0,
+        });
+        latency.on_event(ProtocolEvent::Delivered {
+            src: EntityId::new(1),
+            seq: Seq::new(1),
+            now_us: 750,
+        });
+        let text = render(0, &counters, &latency);
+        assert!(text.contains("co_delivered_total{node=\"0\"} 3"));
+        assert!(text.contains("co_latency_us_count{node=\"0\",stage=\"accept_to_deliver\"} 1"));
+        assert!(text.contains("co_latency_us_sum{node=\"0\",stage=\"accept_to_deliver\"} 750"));
+        assert!(text.contains("le=\"+Inf\""));
+        // Every line is either a comment or a metric sample.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "bad line {line}"
+            );
+        }
+    }
+}

@@ -5,6 +5,10 @@ use causal_order::{EntityId, Seq};
 use co_wire::Pdu;
 
 /// An effect the driver must carry out after an [`crate::Entity`] call.
+///
+/// Marked `#[non_exhaustive]`: drivers must keep a wildcard arm so future
+/// action kinds are not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
     /// Broadcast this PDU to every other entity in the cluster.
@@ -40,6 +44,52 @@ impl std::fmt::Display for Delivery {
     }
 }
 
+/// Receives the [`Action`]s produced by an [`crate::Entity`] call, in
+/// order.
+///
+/// This is the engine's single output interface: every entry point
+/// (`on_pdu`, `submit_with`, `on_tick_with`) streams its actions into a
+/// caller-supplied sink, so drivers choose between collecting
+/// (`Vec<Action>` implements the trait — reuse one across calls for an
+/// allocation-free receive path) and handling actions in place
+/// ([`FnSink`]), without the engine buffering anything itself.
+pub trait ActionSink {
+    /// Accepts the next action. Called in the exact order the protocol
+    /// produced them; sinks must preserve that order when forwarding.
+    fn accept(&mut self, action: Action);
+}
+
+/// The collecting sink: appends each action.
+impl ActionSink for Vec<Action> {
+    #[inline]
+    fn accept(&mut self, action: Action) {
+        self.push(action);
+    }
+}
+
+/// Forwarding: a mutable reference to a sink is a sink.
+impl<S: ActionSink + ?Sized> ActionSink for &mut S {
+    #[inline]
+    fn accept(&mut self, action: Action) {
+        (**self).accept(action);
+    }
+}
+
+/// Adapts a closure into an [`ActionSink`], for drivers that dispatch
+/// actions as they are produced instead of collecting them.
+///
+/// (A wrapper type rather than a blanket `impl` for closures so the
+/// `Vec<Action>` impl and closure impls cannot conflict.)
+#[derive(Debug, Clone, Copy)]
+pub struct FnSink<F: FnMut(Action)>(pub F);
+
+impl<F: FnMut(Action)> ActionSink for FnSink<F> {
+    #[inline]
+    fn accept(&mut self, action: Action) {
+        (self.0)(action);
+    }
+}
+
 /// What happened to a payload handed to [`crate::Entity::submit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitOutcome {
@@ -69,5 +119,27 @@ mod tests {
     #[test]
     fn submit_outcome_variants_distinct() {
         assert_ne!(SubmitOutcome::Sent(Seq::FIRST), SubmitOutcome::Queued);
+    }
+
+    #[test]
+    fn vec_and_fn_sinks_preserve_order() {
+        let deliver = |seq: u64| {
+            Action::Deliver(Delivery {
+                src: EntityId::new(0),
+                seq: Seq::new(seq),
+                ack: vec![],
+                data: Bytes::new(),
+            })
+        };
+        let mut collected = Vec::new();
+        collected.accept(deliver(1));
+        collected.accept(deliver(2));
+        assert_eq!(collected.len(), 2);
+
+        let mut seen = Vec::new();
+        let mut sink = FnSink(|a: Action| seen.push(a));
+        sink.accept(deliver(1));
+        sink.accept(deliver(2));
+        assert_eq!(seen, collected);
     }
 }

@@ -45,7 +45,12 @@ pub enum RetransmissionPolicy {
 /// Full configuration of one protocol entity.
 ///
 /// Construct through [`Config::builder`]; all parameters have
-/// paper-faithful defaults.
+/// paper-faithful defaults and are validated at
+/// [`ConfigBuilder::build`]. The struct is `#[non_exhaustive]`: fields
+/// stay readable, but direct literal construction is reserved to the
+/// builder so configurations can never skip validation (and new knobs
+/// are not breaking changes).
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Config {
     /// The cluster this entity belongs to.
@@ -169,7 +174,10 @@ impl ConfigBuilder {
     /// * [`ConfigError::Cluster`] if `n < 2` or `me` is out of range;
     /// * [`ConfigError::ZeroWindow`] if `W == 0`;
     /// * [`ConfigError::ZeroPduUnits`] if `H == 0`;
-    /// * [`ConfigError::BufferTooSmall`] if fewer than `H` buffer units.
+    /// * [`ConfigError::BufferTooSmall`] if fewer than `H` buffer units;
+    /// * [`ConfigError::ZeroTimerPeriod`] if the RET retry interval or a
+    ///   deferred-confirmation timeout is zero (a zero period would make
+    ///   the corresponding timer fire on every tick).
     pub fn build(&self) -> Result<Config, ConfigError> {
         let cluster = ClusterSpec::new(self.cid, self.n).map_err(ConfigError::Cluster)?;
         cluster.validate(self.me).map_err(ConfigError::Cluster)?;
@@ -184,6 +192,12 @@ impl ConfigBuilder {
                 units: self.buffer_units,
                 per_pdu: self.pdu_buf_units,
             });
+        }
+        if self.ret_retry_us == 0 {
+            return Err(ConfigError::ZeroTimerPeriod { timer: "ret_retry" });
+        }
+        if self.deferral == (DeferralPolicy::Deferred { timeout_us: 0 }) {
+            return Err(ConfigError::ZeroTimerPeriod { timer: "deferral" });
         }
         Ok(Config {
             cluster,
@@ -201,6 +215,7 @@ impl ConfigBuilder {
 }
 
 /// Error produced when validating a [`Config`].
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// Invalid cluster shape or entity id.
@@ -216,6 +231,11 @@ pub enum ConfigError {
         /// Units required per PDU.
         per_pdu: u32,
     },
+    /// A timer period is zero (the timer would fire on every tick).
+    ZeroTimerPeriod {
+        /// Which timer: `"ret_retry"` or `"deferral"`.
+        timer: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -229,6 +249,9 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "buffer of {units} units cannot hold one {per_pdu}-unit pdu"
                 )
+            }
+            ConfigError::ZeroTimerPeriod { timer } => {
+                write!(f, "{timer} timer period must be positive")
             }
         }
     }

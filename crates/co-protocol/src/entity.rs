@@ -6,7 +6,7 @@ use co_wire::{AckOnlyPdu, DataPdu, Pdu, RetPdu};
 use std::cell::Cell;
 use std::collections::VecDeque;
 
-use crate::actions::{Action, Delivery, SubmitOutcome};
+use crate::actions::{Action, ActionSink, Delivery, SubmitOutcome};
 use crate::config::{Config, ConfigError, DeferralPolicy, RetransmissionPolicy};
 use crate::cpi::CausalLog;
 use crate::error::ProtocolError;
@@ -15,6 +15,7 @@ use crate::logs::{ReceiptLogs, SendLog};
 use crate::matrix::KnowledgeMatrix;
 use crate::metrics::Metrics;
 use crate::reorder::ReorderBuffer;
+use co_observe::{NoopObserver, Observer, ProtocolEvent};
 
 /// Upper bound on payloads queued while the flow condition is closed.
 pub const MAX_QUEUED_SUBMITS: usize = 1 << 16;
@@ -22,13 +23,20 @@ pub const MAX_QUEUED_SUBMITS: usize = 1 << 16;
 /// One entity of the cluster, implementing the CO protocol.
 ///
 /// Drive it with [`Entity::submit`], [`Entity::on_pdu`] and
-/// [`Entity::on_tick`]; carry out the returned [`Action`]s. Time is a
-/// caller-supplied monotonic microsecond counter — the engine never reads a
-/// clock.
+/// [`Entity::on_tick`]; the resulting [`Action`]s stream into a
+/// caller-supplied [`ActionSink`] (a `Vec<Action>` works, and the
+/// `*_actions` wrappers collect into a fresh one). Time is a
+/// caller-supplied monotonic microsecond counter — the engine never reads
+/// a clock.
+///
+/// The `O` parameter is the [`Observer`] receiving the structured
+/// [`ProtocolEvent`] stream; the default [`NoopObserver`] compiles the
+/// whole instrumentation away. Construct instrumented entities with
+/// [`Entity::with_observer`].
 ///
 /// See the crate docs for a walk-through and an example.
 #[derive(Debug)]
-pub struct Entity {
+pub struct Entity<O: Observer = NoopObserver> {
     config: Config,
     /// `REQ_j`: next sequence number expected from `E_j`; `REQ_me` is the
     /// next sequence number this entity will assign (the paper's `SEQ`).
@@ -74,11 +82,14 @@ pub struct Entity {
     /// High-water mark of protocol-buffer occupancy, in PDUs.
     peak_held_pdus: usize,
     metrics: Metrics,
+    /// Receives the [`ProtocolEvent`] stream (zero-cost by default).
+    observer: O,
 }
 
 impl Entity {
     /// Creates the entity in its initial state (all sequence numbers at 1,
-    /// empty logs — Example 4.1's starting point).
+    /// empty logs — Example 4.1's starting point), with the zero-cost
+    /// [`NoopObserver`].
     ///
     /// # Errors
     ///
@@ -86,6 +97,36 @@ impl Entity {
     /// validated at construction); the `Result` keeps room for stateful
     /// initialization failures without a breaking change.
     pub fn new(config: Config) -> Result<Self, ConfigError> {
+        Entity::with_observer(config, NoopObserver)
+    }
+
+    /// Rebuilds an entity from a [`crate::EntityState`] with the zero-cost
+    /// [`NoopObserver`]; see [`Entity::restore_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from entity construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's dimensions do not match `config`'s cluster
+    /// size (see [`Entity::restore_with`]).
+    pub fn restore(
+        config: Config,
+        state: crate::snapshot::EntityState,
+    ) -> Result<Self, ConfigError> {
+        Entity::restore_with(config, state, NoopObserver)
+    }
+}
+
+impl<O: Observer> Entity<O> {
+    /// Creates the entity in its initial state with `observer` plugged in
+    /// as the sink for the structured [`ProtocolEvent`] stream.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for a valid [`Config`]; see [`Entity::new`].
+    pub fn with_observer(config: Config, observer: O) -> Result<Self, ConfigError> {
         let n = config.n();
         Ok(Entity {
             req: vec![Seq::FIRST; n],
@@ -107,6 +148,7 @@ impl Entity {
             last_send_us: 0,
             peak_held_pdus: 0,
             metrics: Metrics::default(),
+            observer,
             config,
         })
     }
@@ -114,6 +156,23 @@ impl Entity {
     /// This entity's id.
     pub fn id(&self) -> EntityId {
         self.config.me
+    }
+
+    /// The plugged-in observer.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the observer (e.g. to cut a snapshot or drain a
+    /// trace mid-run).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Consumes the entity, returning the observer (e.g. to extract a
+    /// recorded trace at the end of a run).
+    pub fn into_observer(self) -> O {
+        self.observer
     }
 
     /// The configuration in force.
@@ -222,9 +281,8 @@ impl Entity {
     /// The application submits a payload for causally ordered broadcast
     /// (the paper's DT request).
     ///
-    /// Returns the outcome plus the actions to carry out. If the flow
-    /// condition (§4.2) is closed the payload is queued and flushed
-    /// automatically as confirmations open the window.
+    /// Convenience wrapper over [`Entity::submit_with`] that collects the
+    /// actions into a fresh vector.
     ///
     /// # Errors
     ///
@@ -236,48 +294,58 @@ impl Entity {
         data: Bytes,
         now_us: u64,
     ) -> Result<(SubmitOutcome, Vec<Action>), ProtocolError> {
+        let mut actions = Vec::new();
+        let outcome = self.submit_with(data, now_us, &mut actions)?;
+        Ok((outcome, actions))
+    }
+
+    /// The application submits a payload for causally ordered broadcast,
+    /// streaming the resulting actions into `sink`.
+    ///
+    /// Returns the outcome. If the flow condition (§4.2) is closed the
+    /// payload is queued and flushed automatically as confirmations open
+    /// the window.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::PayloadTooLarge`] for oversized payloads;
+    /// * [`ProtocolError::SubmitQueueFull`] when [`MAX_QUEUED_SUBMITS`]
+    ///   payloads are already waiting.
+    pub fn submit_with(
+        &mut self,
+        data: Bytes,
+        now_us: u64,
+        sink: &mut impl ActionSink,
+    ) -> Result<SubmitOutcome, ProtocolError> {
         if data.len() > self.config.max_payload {
             return Err(ProtocolError::PayloadTooLarge {
                 size: data.len(),
                 max: self.config.max_payload,
             });
         }
-        let mut actions = Vec::new();
-        let outcome = if self.pending.is_empty() && self.flow_open() {
-            let seq = self.broadcast_data(data, now_us, &mut actions);
-            self.run_pack_ack(&mut actions);
-            SubmitOutcome::Sent(seq)
+        if self.pending.is_empty() && self.flow_open() {
+            self.observer.on_event(ProtocolEvent::Submitted { now_us });
+            let seq = self.broadcast_data(data, now_us, sink);
+            self.run_pack_ack(now_us, sink);
+            Ok(SubmitOutcome::Sent(seq))
         } else {
             if self.pending.len() >= MAX_QUEUED_SUBMITS {
                 return Err(ProtocolError::SubmitQueueFull {
                     limit: MAX_QUEUED_SUBMITS,
                 });
             }
+            self.observer.on_event(ProtocolEvent::Submitted { now_us });
+            self.observer.on_event(ProtocolEvent::FlowClosed { now_us });
             self.pending.push_back(data);
             self.metrics.flow_blocked += 1;
-            SubmitOutcome::Queued
-        };
-        Ok((outcome, actions))
+            Ok(SubmitOutcome::Queued)
+        }
     }
 
-    /// Feeds a PDU received from the network.
-    ///
-    /// Convenience wrapper over [`Entity::on_pdu_into`] that allocates a
-    /// fresh action vector per call.
-    ///
-    /// # Errors
-    ///
-    /// Hard validation failures only ([`ProtocolError`]); duplicates,
-    /// gaps and stale information are handled internally.
-    pub fn on_pdu(&mut self, pdu: Pdu, now_us: u64) -> Result<Vec<Action>, ProtocolError> {
-        let mut actions = Vec::new();
-        self.on_pdu_into(pdu, now_us, &mut actions)?;
-        Ok(actions)
-    }
-
-    /// Feeds a PDU received from the network, appending the resulting
-    /// actions to a caller-owned vector (reuse it across calls for an
-    /// allocation-free receive path).
+    /// Feeds a PDU received from the network, streaming the resulting
+    /// actions into `sink` — the engine's single receive entry point. Pass
+    /// a reused `Vec<Action>` for an allocation-free receive path, or a
+    /// [`crate::FnSink`] to handle actions in place.
     ///
     /// # Per-PDU cost
     ///
@@ -295,11 +363,11 @@ impl Entity {
     ///
     /// Hard validation failures only ([`ProtocolError`]); duplicates,
     /// gaps and stale information are handled internally.
-    pub fn on_pdu_into(
+    pub fn on_pdu(
         &mut self,
         pdu: Pdu,
         now_us: u64,
-        actions: &mut Vec<Action>,
+        sink: &mut impl ActionSink,
     ) -> Result<(), ProtocolError> {
         self.validate(&pdu)?;
         let from = pdu.src();
@@ -307,22 +375,47 @@ impl Entity {
         self.buf_known[from.index()] = pdu.buf();
 
         match pdu {
-            Pdu::Data(p) => self.on_data(p, now_us, actions),
-            Pdu::Ret(r) => self.on_ret(r, now_us, actions),
-            Pdu::AckOnly(a) => self.on_ack_only(a, now_us, actions),
+            Pdu::Data(p) => self.on_data(p, now_us, sink),
+            Pdu::Ret(r) => self.on_ret(r, now_us, sink),
+            Pdu::AckOnly(a) => self.on_ack_only(a, now_us, sink),
         }
 
-        self.run_pack_ack(actions);
-        self.try_flush_pending(now_us, actions);
-        self.maybe_confirm(now_us, actions);
+        self.run_pack_ack(now_us, sink);
+        self.try_flush_pending(now_us, sink);
+        self.maybe_confirm(now_us, sink);
         self.note_peak();
         Ok(())
     }
 
+    /// Feeds a PDU received from the network.
+    ///
+    /// Convenience wrapper over [`Entity::on_pdu`] that collects the
+    /// actions into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Hard validation failures only ([`ProtocolError`]); duplicates,
+    /// gaps and stale information are handled internally.
+    pub fn on_pdu_actions(&mut self, pdu: Pdu, now_us: u64) -> Result<Vec<Action>, ProtocolError> {
+        let mut actions = Vec::new();
+        self.on_pdu(pdu, now_us, &mut actions)?;
+        Ok(actions)
+    }
+
     /// Advances the entity's notion of time: fires the deferred-
     /// confirmation fallback and retries outstanding `RET` requests.
+    ///
+    /// Convenience wrapper over [`Entity::on_tick_with`] that collects the
+    /// actions into a fresh vector.
     pub fn on_tick(&mut self, now_us: u64) -> Vec<Action> {
         let mut actions = Vec::new();
+        self.on_tick_with(now_us, &mut actions);
+        actions
+    }
+
+    /// Advances the entity's notion of time, streaming the resulting
+    /// actions into `sink`.
+    pub fn on_tick_with(&mut self, now_us: u64, sink: &mut impl ActionSink) {
         // Deferred-confirmation fallback ("or after some time units").
         let timeout = match self.config.deferral {
             DeferralPolicy::Immediate => 0,
@@ -333,15 +426,15 @@ impl Entity {
         {
             // Deferred lag reply (paced; see maybe_confirm).
             self.peer_needs_update = false;
-            self.send_ack_only(now_us, &mut actions);
+            self.send_ack_only(now_us, sink);
         } else if self.unadvertised() && now_us.saturating_sub(self.last_send_us) >= timeout {
-            self.send_ack_only(now_us, &mut actions);
+            self.send_ack_only(now_us, sink);
         } else if !self.is_fully_stable()
             && now_us.saturating_sub(self.last_send_us) >= self.heartbeat_interval()
         {
             // Stability heartbeat: something is still in flight (ours or a
             // peer's); keep re-advertising so tail losses surface via F2.
-            self.send_ack_only(now_us, &mut actions);
+            self.send_ack_only(now_us, sink);
         }
         // RET retry for gaps that persist (the RET or the retransmission
         // itself may have been lost).
@@ -356,11 +449,10 @@ impl Entity {
             }
             if now_us.saturating_sub(when) >= self.config.ret_retry_us {
                 self.ret_outstanding[j] = None; // force re-send
-                self.send_ret(source, lseq, now_us, &mut actions);
+                self.send_ret(source, lseq, now_us, sink);
             }
         }
         self.note_peak();
-        actions
     }
 
     /// The next time at which [`Entity::on_tick`] has work to do, if any.
@@ -437,7 +529,7 @@ impl Entity {
     // PDU handling
     // ------------------------------------------------------------------
 
-    fn on_data(&mut self, p: DataPdu, now_us: u64, actions: &mut Vec<Action>) {
+    fn on_data(&mut self, p: DataPdu, now_us: u64, sink: &mut impl ActionSink) {
         let src = p.src;
         // The piggybacked ACK vector is first-hand receipt information from
         // `src`, valid whether or not `p` itself is acceptable (monotonic
@@ -448,38 +540,60 @@ impl Entity {
         // DESIGN.md).
         self.al.raise(src, src, p.seq.next());
         // Failure condition F2 over the ack vector.
-        self.scan_f2(src, &p.ack, false, now_us, actions);
+        self.scan_f2(src, &p.ack, false, now_us, sink);
 
         let expected = self.req[src.index()];
         if p.seq < expected {
             self.metrics.duplicates += 1;
+            self.observer.on_event(ProtocolEvent::Duplicate {
+                src,
+                seq: p.seq,
+                now_us,
+            });
             return;
         }
         if p.seq > expected {
             // Failure condition F1: gap [REQ_src, p.SEQ) lost.
             self.metrics.f1_detections += 1;
+            self.observer.on_event(ProtocolEvent::F1Detected {
+                src,
+                expected,
+                got: p.seq,
+                now_us,
+            });
             match self.config.retransmission {
                 RetransmissionPolicy::Selective => {
-                    if self.reorder.store(p.clone()) {
+                    let seq = p.seq;
+                    if self.reorder.store(p) {
                         self.metrics.buffered_out_of_order += 1;
+                        self.observer
+                            .on_event(ProtocolEvent::ReorderEnter { src, seq, now_us });
                     } else {
                         self.metrics.duplicates += 1;
+                        self.observer
+                            .on_event(ProtocolEvent::Duplicate { src, seq, now_us });
                     }
+                    self.send_ret(src, seq, now_us, sink);
                 }
                 RetransmissionPolicy::GoBackN => {
                     self.metrics.discarded_out_of_order += 1;
+                    self.observer.on_event(ProtocolEvent::OutOfOrderDiscarded {
+                        src,
+                        seq: p.seq,
+                        now_us,
+                    });
+                    self.send_ret(src, p.seq, now_us, sink);
                 }
             }
-            self.send_ret(src, p.seq, now_us, actions);
             return;
         }
         // ACC condition holds.
-        self.accept_data(p, false);
+        self.accept_data(p, false, now_us);
         // Drain any consecutive run repaired by retransmissions.
         loop {
             let next = self.req[src.index()];
             match self.reorder.take_exact(src, next) {
-                Some(q) => self.accept_data(q, true),
+                Some(q) => self.accept_data(q, true, now_us),
                 None => break,
             }
         }
@@ -499,8 +613,9 @@ impl Entity {
     /// valid for *every* arriving PDU, buffered or accepted), so only the
     /// acceptance itself — our own AL column mirroring `REQ` — is recorded
     /// here.
-    fn accept_data(&mut self, p: DataPdu, from_reorder: bool) {
+    fn accept_data(&mut self, p: DataPdu, from_reorder: bool, now_us: u64) {
         let src = p.src;
+        let seq = p.seq;
         debug_assert_eq!(p.seq, self.req[src.index()], "ACC condition");
         self.req[src.index()] = p.seq.next();
         self.req_version += 1;
@@ -510,14 +625,22 @@ impl Entity {
         self.metrics.accepted += 1;
         if from_reorder {
             self.metrics.accepted_from_reorder += 1;
+            self.observer
+                .on_event(ProtocolEvent::ReorderExit { src, seq, now_us });
         }
+        self.observer.on_event(ProtocolEvent::Accepted {
+            src,
+            seq,
+            from_reorder,
+            now_us,
+        });
     }
 
-    fn on_ret(&mut self, r: RetPdu, now_us: u64, actions: &mut Vec<Action>) {
+    fn on_ret(&mut self, r: RetPdu, now_us: u64, sink: &mut impl ActionSink) {
         if self.config.control_updates_al {
             self.al.fold_column(r.src, &r.ack);
         }
-        self.scan_f2(r.src, &r.ack, true, now_us, actions);
+        self.scan_f2(r.src, &r.ack, true, now_us, sink);
         if r.lsrc != self.config.me {
             return;
         }
@@ -529,18 +652,29 @@ impl Entity {
             RetransmissionPolicy::GoBackN => self.req[self.config.me.index()],
         };
         let mut served = 0u64;
-        for pdu in self.sl.range(from, to) {
-            actions.push(Action::Broadcast(Pdu::Data(pdu.clone())));
+        // Disjoint borrows: iterate the send log while emitting events.
+        let sl = &self.sl;
+        let observer = &mut self.observer;
+        for pdu in sl.range(from, to) {
+            observer.on_event(ProtocolEvent::RetServed {
+                to: r.src,
+                seq: pdu.seq,
+                now_us,
+            });
+            sink.accept(Action::Broadcast(Pdu::Data(pdu.clone())));
             served += 1;
         }
         self.metrics.retransmissions_sent += served;
         let requested = to.get().saturating_sub(from.get());
         if served < requested {
-            self.metrics.ret_unservable += requested - served;
+            let amount = requested - served;
+            self.metrics.ret_unservable += amount;
+            self.observer
+                .on_event(ProtocolEvent::RetUnservable { amount, now_us });
         }
     }
 
-    fn on_ack_only(&mut self, a: AckOnlyPdu, now_us: u64, actions: &mut Vec<Action>) {
+    fn on_ack_only(&mut self, a: AckOnlyPdu, now_us: u64, sink: &mut impl ActionSink) {
         if self.config.control_updates_al {
             self.al.fold_column(a.src, &a.ack);
             // `packed` is the sender's own pre-ack frontier — exactly the
@@ -570,7 +704,7 @@ impl Entity {
                 break;
             }
         }
-        self.scan_f2(a.src, &a.ack, true, now_us, actions);
+        self.scan_f2(a.src, &a.ack, true, now_us, sink);
     }
 
     /// Failure condition F2 (§4.3): `q.ACK_j > REQ_j` proves PDUs from
@@ -589,7 +723,7 @@ impl Entity {
         ack: &[Seq],
         include_sender_column: bool,
         now_us: u64,
-        actions: &mut Vec<Action>,
+        sink: &mut impl ActionSink,
     ) {
         for (j, &confirmed) in ack.iter().enumerate().take(self.config.n()) {
             let source = EntityId::new(j as u32);
@@ -598,7 +732,12 @@ impl Entity {
             }
             if confirmed > self.req[j] {
                 self.metrics.f2_detections += 1;
-                self.send_ret(source, confirmed, now_us, actions);
+                self.observer.on_event(ProtocolEvent::F2Detected {
+                    src: source,
+                    confirmed,
+                    now_us,
+                });
+                self.send_ret(source, confirmed, now_us, sink);
             }
         }
     }
@@ -609,7 +748,7 @@ impl Entity {
     /// first *buffered* sequence number — PDUs sitting in the reorder
     /// buffer were received, so only the missing prefix needs resending
     /// (the point of selective retransmission).
-    fn send_ret(&mut self, source: EntityId, lseq: Seq, now_us: u64, actions: &mut Vec<Action>) {
+    fn send_ret(&mut self, source: EntityId, lseq: Seq, now_us: u64, sink: &mut impl ActionSink) {
         debug_assert_ne!(source, self.config.me);
         let lseq = match self.reorder.buffered(source).next() {
             Some(first_buffered) => lseq.min(first_buffered),
@@ -623,6 +762,11 @@ impl Entity {
             let fresh = now_us.saturating_sub(when) < self.config.ret_retry_us;
             if fresh && lseq <= prev_lseq {
                 self.metrics.ret_suppressed += 1;
+                self.observer.on_event(ProtocolEvent::RetSuppressed {
+                    src: source,
+                    lseq,
+                    now_us,
+                });
                 return;
             }
         }
@@ -636,7 +780,12 @@ impl Entity {
             buf: self.free_buffer_units(),
         };
         self.metrics.ret_sent += 1;
-        actions.push(Action::Broadcast(Pdu::Ret(ret)));
+        self.observer.on_event(ProtocolEvent::RetSent {
+            src: source,
+            lseq,
+            now_us,
+        });
+        sink.accept(Action::Broadcast(Pdu::Ret(ret)));
     }
 
     // ------------------------------------------------------------------
@@ -660,7 +809,7 @@ impl Entity {
 
     /// The transmission action of §4.2. Returns the assigned sequence
     /// number.
-    fn broadcast_data(&mut self, data: Bytes, now_us: u64, actions: &mut Vec<Action>) -> Seq {
+    fn broadcast_data(&mut self, data: Bytes, now_us: u64, sink: &mut impl ActionSink) -> Seq {
         let me = self.config.me;
         let seq = self.req[me.index()];
         let pdu = DataPdu {
@@ -679,7 +828,12 @@ impl Entity {
         self.sl.record(pdu.clone());
         self.rrl.accept(pdu.clone());
         self.metrics.data_sent += 1;
-        actions.push(Action::Broadcast(Pdu::Data(pdu)));
+        self.observer.on_event(ProtocolEvent::DataSent {
+            src: me,
+            seq,
+            now_us,
+        });
+        sink.accept(Action::Broadcast(Pdu::Data(pdu)));
         // A data PDU carries our REQ vector (and, through the PAL
         // mechanism, eventually our pre-ack state): count it as an
         // advertisement.
@@ -687,11 +841,15 @@ impl Entity {
         seq
     }
 
-    fn try_flush_pending(&mut self, now_us: u64, actions: &mut Vec<Action>) {
+    fn try_flush_pending(&mut self, now_us: u64, sink: &mut impl ActionSink) {
+        if self.pending.is_empty() || !self.flow_open() {
+            return;
+        }
+        self.observer.on_event(ProtocolEvent::FlowOpened { now_us });
         while !self.pending.is_empty() && self.flow_open() {
             let data = self.pending.pop_front().expect("checked non-empty");
-            self.broadcast_data(data, now_us, actions);
-            self.run_pack_ack(actions);
+            self.broadcast_data(data, now_us, sink);
+            self.run_pack_ack(now_us, sink);
         }
     }
 
@@ -714,12 +872,12 @@ impl Entity {
         self.heartbeat_interval() / 2 + 1
     }
 
-    fn maybe_confirm(&mut self, now_us: u64, actions: &mut Vec<Action>) {
+    fn maybe_confirm(&mut self, now_us: u64, sink: &mut impl ActionSink) {
         if self.peer_needs_update
             && now_us.saturating_sub(self.last_send_us) >= self.reply_pace_us()
         {
             self.peer_needs_update = false;
-            self.send_ack_only(now_us, actions);
+            self.send_ack_only(now_us, sink);
             return;
         }
         if !self.unadvertised() {
@@ -737,11 +895,11 @@ impl Entity {
             }
         };
         if should {
-            self.send_ack_only(now_us, actions);
+            self.send_ack_only(now_us, sink);
         }
     }
 
-    fn send_ack_only(&mut self, now_us: u64, actions: &mut Vec<Action>) {
+    fn send_ack_only(&mut self, now_us: u64, sink: &mut impl ActionSink) {
         let pdu = AckOnlyPdu {
             cid: self.config.cluster.cid,
             src: self.config.me,
@@ -751,7 +909,9 @@ impl Entity {
             buf: self.free_buffer_units(),
         };
         self.metrics.ack_only_sent += 1;
-        actions.push(Action::Broadcast(Pdu::AckOnly(pdu)));
+        self.observer
+            .on_event(ProtocolEvent::AckOnlySent { now_us });
+        sink.accept(Action::Broadcast(Pdu::AckOnly(pdu)));
         self.mark_advertised(now_us);
     }
 
@@ -759,7 +919,7 @@ impl Entity {
     // Pre-acknowledgment and acknowledgment (§4.4, §4.5)
     // ------------------------------------------------------------------
 
-    fn run_pack_ack(&mut self, actions: &mut Vec<Action>) {
+    fn run_pack_ack(&mut self, now_us: u64, sink: &mut impl ActionSink) {
         // PACK action: move everything below minAL from RRL to PRL.
         //
         // Only sources whose `minAL` moved since the last run can have
@@ -784,7 +944,19 @@ impl Entity {
                 self.pal.fold_column(source, &p.ack);
                 self.pal.raise(source, self.config.me, p.seq.next());
                 self.metrics.pre_acknowledged += 1;
-                self.prl.insert(p);
+                let seq = p.seq;
+                self.observer.on_event(ProtocolEvent::PreAcked {
+                    src: source,
+                    seq,
+                    now_us,
+                });
+                let position = self.prl.insert(p);
+                self.observer.on_event(ProtocolEvent::CpiInserted {
+                    src: source,
+                    seq,
+                    position: position as u64,
+                    now_us,
+                });
             }
         }
         scratch.clear();
@@ -806,7 +978,12 @@ impl Entity {
             if top.seq < self.pal.row_min(top.src) {
                 let p = self.prl.dequeue().expect("top checked");
                 self.metrics.delivered += 1;
-                actions.push(Action::Deliver(Delivery {
+                self.observer.on_event(ProtocolEvent::Delivered {
+                    src: p.src,
+                    seq: p.seq,
+                    now_us,
+                });
+                sink.accept(Action::Deliver(Delivery {
                     src: p.src,
                     seq: p.seq,
                     ack: p.ack,
@@ -876,7 +1053,9 @@ impl Entity {
     /// [`Entity::export_state`] — the crash-restart path: the paper's
     /// failure model is PDU loss, not state amnesia, so a restarting
     /// entity resumes from its full protocol state (only the volatile NIC
-    /// inbox is lost, which the simulator models separately).
+    /// inbox is lost, which the simulator models separately). `observer`
+    /// receives the restarted entity's event stream; the restore itself
+    /// emits nothing.
     ///
     /// The restored entity considers its state unadvertised, so it
     /// re-announces its frontiers on the next tick — letting peers detect
@@ -891,11 +1070,12 @@ impl Entity {
     /// Panics if the state's dimensions do not match `config`'s cluster
     /// size (a driver bug: state must be restored under the same config it
     /// was exported under).
-    pub fn restore(
+    pub fn restore_with(
         config: Config,
         state: crate::snapshot::EntityState,
+        observer: O,
     ) -> Result<Self, ConfigError> {
-        let mut e = Entity::new(config)?;
+        let mut e = Entity::with_observer(config, observer)?;
         let n = e.config.n();
         assert_eq!(state.req.len(), n, "state/config cluster size mismatch");
         assert_eq!(state.al.len(), n * n, "AL dimension mismatch");

@@ -5,6 +5,10 @@ use causal_order::EntityId;
 /// Hard errors from feeding an [`crate::Entity`]. Anything recoverable
 /// (duplicates, stale confirmations, out-of-order arrivals) is handled
 /// internally and surfaces only in [`crate::Metrics`].
+///
+/// Marked `#[non_exhaustive]`: handlers must keep a wildcard arm so
+/// future error kinds are not breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
     /// The PDU names a different cluster.

@@ -11,8 +11,20 @@
 //!   retransmission-retry timers) —
 //!
 //! and responds with [`Action`]s: PDUs to broadcast and messages to deliver
-//! to the application. No IO, no clocks, no threads inside; the same engine
-//! runs on the `mc-net` simulator and the `co-transport` real-time runtime.
+//! to the application, streamed into a caller-supplied [`ActionSink`]
+//! (a plain `Vec<Action>` works; the `*_actions` wrappers collect into a
+//! fresh one). No IO, no clocks, no threads inside; the same engine runs
+//! on the `mc-net` simulator and the `co-transport` real-time runtime.
+//!
+//! # Observability
+//!
+//! Every protocol transition — acceptance, pre-acknowledgment, delivery,
+//! F1/F2 loss detection, retransmission request and service, flow-window
+//! transitions, CPI insertions — is also emitted as a structured
+//! [`ProtocolEvent`] through the entity's [`Observer`] (the `co-observe`
+//! crate, re-exported here). The default [`NoopObserver`] compiles the
+//! whole event stream away; plug in an [`EventLog`], [`DigestObserver`],
+//! latency tracker or custom sink with [`Entity::with_observer`].
 //!
 //! # Protocol walk-through
 //!
@@ -66,13 +78,14 @@
 //! let mut deliveries = 0;
 //! while let Some((to, pdu)) = queue.pop() {
 //!     let (entity, other) = if to == 1 { (&mut e2, 0) } else { (&mut e1, 1) };
-//!     for a in entity.on_pdu(pdu, 1_000)? {
+//!     for a in entity.on_pdu_actions(pdu, 1_000)? {
 //!         match a {
 //!             Action::Broadcast(p) => queue.push((other, p)),
 //!             Action::Deliver(d) => {
 //!                 assert_eq!(&d.data[..], b"hi");
 //!                 deliveries += 1;
 //!             }
+//!             _ => {} // Action is #[non_exhaustive]
 //!         }
 //!     }
 //! }
@@ -96,7 +109,7 @@ mod mux;
 mod reorder;
 mod snapshot;
 
-pub use actions::{Action, Delivery, SubmitOutcome};
+pub use actions::{Action, ActionSink, Delivery, FnSink, SubmitOutcome};
 pub use config::{Config, ConfigBuilder, ConfigError, DeferralPolicy, RetransmissionPolicy};
 pub use cpi::CausalLog;
 pub use entity::Entity;
@@ -111,3 +124,7 @@ pub use snapshot::{EntitySnapshot, EntityState};
 
 /// Re-export of the wire-level PDU types the engine consumes and produces.
 pub use co_wire::{AckOnlyPdu, DataPdu, Pdu, PduKind, RetPdu};
+
+/// Re-export of the observability layer: the structured event stream the
+/// engine emits and the observers that consume it.
+pub use co_observe::{DigestObserver, EventLog, NoopObserver, Observer, ProtocolEvent, Tee};

@@ -1,41 +1,107 @@
 //! Protocol counters, exposed for the experiments and for observability.
 
+use co_observe::Counters;
+
 /// Event counters maintained by an [`crate::Entity`]. All counters are
 /// cumulative since construction.
+///
+/// Read individual counters through the accessor methods, or take a
+/// [`Metrics::snapshot`] to get all of them at once as a plain
+/// [`Counters`] value (the exchange type shared with the `co-observe`
+/// fold — the event stream reconstructs the snapshot exactly). The struct
+/// is `#[non_exhaustive]` with private fields so future counters are not
+/// breaking changes.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Metrics {
     /// Data PDUs broadcast for fresh application payloads.
-    pub data_sent: u64,
+    pub(crate) data_sent: u64,
     /// Data PDUs rebroadcast in response to `RET` requests.
-    pub retransmissions_sent: u64,
+    pub(crate) retransmissions_sent: u64,
     /// `RET` PDUs broadcast.
-    pub ret_sent: u64,
+    pub(crate) ret_sent: u64,
     /// Confirmation-only PDUs broadcast.
-    pub ack_only_sent: u64,
+    pub(crate) ack_only_sent: u64,
     /// Data PDUs accepted (ACC condition held).
-    pub accepted: u64,
+    pub(crate) accepted: u64,
     /// Data PDUs accepted out of the reorder buffer after gap repair.
-    pub accepted_from_reorder: u64,
+    pub(crate) accepted_from_reorder: u64,
     /// Messages delivered to the application (reached `ARL`).
-    pub delivered: u64,
+    pub(crate) delivered: u64,
     /// Data PDUs pre-acknowledged (moved `RRL → PRL`).
-    pub pre_acknowledged: u64,
+    pub(crate) pre_acknowledged: u64,
     /// Gaps detected by failure condition F1 (sequence gap on receipt).
-    pub f1_detections: u64,
+    pub(crate) f1_detections: u64,
     /// Gaps detected by failure condition F2 (ack-vector evidence).
-    pub f2_detections: u64,
+    pub(crate) f2_detections: u64,
     /// Duplicate data PDUs ignored (already accepted).
-    pub duplicates: u64,
+    pub(crate) duplicates: u64,
     /// Out-of-order data PDUs stored in the reorder buffer.
-    pub buffered_out_of_order: u64,
+    pub(crate) buffered_out_of_order: u64,
     /// Out-of-order data PDUs discarded (go-back-n policy).
-    pub discarded_out_of_order: u64,
+    pub(crate) discarded_out_of_order: u64,
     /// Payloads queued because the flow condition was closed.
-    pub flow_blocked: u64,
+    pub(crate) flow_blocked: u64,
     /// `RET` requests suppressed because one is already outstanding.
-    pub ret_suppressed: u64,
+    pub(crate) ret_suppressed: u64,
     /// PDUs retransmitted but missing from the send log (already pruned).
-    pub ret_unservable: u64,
+    pub(crate) ret_unservable: u64,
+}
+
+macro_rules! metrics_accessors {
+    ($($(#[$doc:meta])+ $name:ident;)+) => {
+        impl Metrics {
+            $(
+                $(#[$doc])+
+                pub fn $name(&self) -> u64 {
+                    self.$name
+                }
+            )+
+
+            /// All counters at once, as the exchange type shared with the
+            /// `co-observe` event fold.
+            pub fn snapshot(&self) -> Counters {
+                Counters {
+                    $($name: self.$name,)+
+                }
+            }
+        }
+    };
+}
+
+metrics_accessors! {
+    /// Data PDUs broadcast for fresh application payloads.
+    data_sent;
+    /// Data PDUs rebroadcast in response to `RET` requests.
+    retransmissions_sent;
+    /// `RET` PDUs broadcast.
+    ret_sent;
+    /// Confirmation-only PDUs broadcast.
+    ack_only_sent;
+    /// Data PDUs accepted (ACC condition held).
+    accepted;
+    /// Data PDUs accepted out of the reorder buffer after gap repair.
+    accepted_from_reorder;
+    /// Messages delivered to the application (reached `ARL`).
+    delivered;
+    /// Data PDUs pre-acknowledged (moved `RRL → PRL`).
+    pre_acknowledged;
+    /// Gaps detected by failure condition F1 (sequence gap on receipt).
+    f1_detections;
+    /// Gaps detected by failure condition F2 (ack-vector evidence).
+    f2_detections;
+    /// Duplicate data PDUs ignored (already accepted).
+    duplicates;
+    /// Out-of-order data PDUs stored in the reorder buffer.
+    buffered_out_of_order;
+    /// Out-of-order data PDUs discarded (go-back-n policy).
+    discarded_out_of_order;
+    /// Payloads queued because the flow condition was closed.
+    flow_blocked;
+    /// `RET` requests suppressed because one is already outstanding.
+    ret_suppressed;
+    /// PDUs retransmitted but missing from the send log (already pruned).
+    ret_unservable;
 }
 
 impl Metrics {
@@ -73,6 +139,35 @@ mod tests {
     fn default_is_zero() {
         let m = Metrics::default();
         assert_eq!(m.pdus_sent(), 0);
-        assert_eq!(m.delivered, 0);
+        assert_eq!(m.delivered(), 0);
+    }
+
+    #[test]
+    fn snapshot_mirrors_every_counter() {
+        let m = Metrics {
+            data_sent: 1,
+            retransmissions_sent: 2,
+            ret_sent: 3,
+            ack_only_sent: 4,
+            accepted: 5,
+            accepted_from_reorder: 6,
+            delivered: 7,
+            pre_acknowledged: 8,
+            f1_detections: 9,
+            f2_detections: 10,
+            duplicates: 11,
+            buffered_out_of_order: 12,
+            discarded_out_of_order: 13,
+            flow_blocked: 14,
+            ret_suppressed: 15,
+            ret_unservable: 16,
+        };
+        let s = m.snapshot();
+        for (i, (_, v)) in s.entries().iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+        assert_eq!(s.pdus_sent(), m.pdus_sent());
+        assert_eq!(m.accepted(), 5);
+        assert_eq!(m.accepted_from_reorder(), 6);
     }
 }

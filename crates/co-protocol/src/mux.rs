@@ -143,7 +143,9 @@ impl ClusterMux {
             .entities
             .get_mut(&cid)
             .ok_or(MuxSubmitError::Mux(MuxError::UnknownCluster { cid }))?;
-        entity.on_pdu(pdu, now_us).map_err(MuxSubmitError::Protocol)
+        entity
+            .on_pdu_actions(pdu, now_us)
+            .map_err(MuxSubmitError::Protocol)
     }
 
     /// Ticks every entity; returns `(cid, action)` pairs so the driver can
@@ -239,13 +241,13 @@ mod tests {
         for a in actions1 {
             if let Action::Broadcast(pdu) = a {
                 assert_eq!(pdu.cid(), 1);
-                peer_c1.on_pdu(pdu, 1).unwrap();
+                peer_c1.on_pdu_actions(pdu, 1).unwrap();
             }
         }
         for a in actions2 {
             if let Action::Broadcast(pdu) = a {
                 assert_eq!(pdu.cid(), 2);
-                peer_c2.on_pdu(pdu, 1).unwrap();
+                peer_c2.on_pdu_actions(pdu, 1).unwrap();
             }
         }
         assert_eq!(mux.entity(1).unwrap().req()[0].get(), 2);

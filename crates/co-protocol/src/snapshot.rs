@@ -205,7 +205,7 @@ mod tests {
             buf: 4096,
             data: Bytes::from_static(b"late"),
         };
-        let _ = e.on_pdu(Pdu::Data(gap), 30).unwrap();
+        let _ = e.on_pdu_actions(Pdu::Data(gap), 30).unwrap();
         e
     }
 
@@ -247,8 +247,10 @@ mod tests {
             buf: 4096,
             data: Bytes::from_static(b"fill"),
         };
-        let a = original.on_pdu(Pdu::Data(fill.clone()), 50).unwrap();
-        let b = restored.on_pdu(Pdu::Data(fill), 50).unwrap();
+        let a = original
+            .on_pdu_actions(Pdu::Data(fill.clone()), 50)
+            .unwrap();
+        let b = restored.on_pdu_actions(Pdu::Data(fill), 50).unwrap();
         assert_eq!(a, b);
         assert_eq!(original.req(), restored.req());
         assert_eq!(original.held_pdus(), restored.held_pdus());

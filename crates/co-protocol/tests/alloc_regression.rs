@@ -1,7 +1,8 @@
 //! Allocation-regression guard for the steady-state receive path.
 //!
 //! A counting global allocator measures heap allocations while an entity
-//! accepts a run of in-order data PDUs through [`Entity::on_pdu_into`]
+//! accepts a run of in-order data PDUs through the sink-based
+//! [`Entity::on_pdu`]
 //! with a reused action vector. After a warm-up that grows every internal
 //! buffer to its working size, the steady phase must perform **zero**
 //! allocations per PDU — the tentpole claim of the O(1)-amortized
@@ -126,8 +127,7 @@ fn steady_state_receive_path_does_not_allocate() {
             for pdu in steady_pdus {
                 actions.clear();
                 *now += 10;
-                e.on_pdu_into(pdu, *now, actions)
-                    .expect("steady PDU accepted");
+                e.on_pdu(pdu, *now, actions).expect("steady PDU accepted");
                 assert!(actions.is_empty(), "steady phase must emit no actions");
             }
         });
@@ -135,7 +135,7 @@ fn steady_state_receive_path_does_not_allocate() {
         actions.clear();
         *now += 10;
         let (_, boundary_allocs) = counted(|| {
-            e.on_pdu_into(boundary, *now, actions)
+            e.on_pdu(boundary, *now, actions)
                 .expect("boundary accepted");
         });
         // The boundary delivers the whole cycle and emits one AckOnly.
@@ -170,7 +170,7 @@ fn steady_state_receive_path_does_not_allocate() {
         "boundary allocations ballooned: {boundary_worst}"
     );
     assert_eq!(
-        e.metrics().delivered,
+        e.metrics().delivered(),
         STEADY * (WARMUP_CYCLES + MEASURED_CYCLES)
     );
 }

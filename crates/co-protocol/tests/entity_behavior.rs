@@ -73,6 +73,8 @@ impl TestNet {
                     }
                 }
                 Action::Deliver(d) => self.delivered[from].push(d),
+                // `Action` is #[non_exhaustive].
+                _ => {}
             }
         }
     }
@@ -92,7 +94,7 @@ impl TestNet {
         while let Some((to, pdu)) = self.queue.pop_front() {
             self.now += 1;
             let actions = self.entities[to.index()]
-                .on_pdu(pdu, self.now)
+                .on_pdu_actions(pdu, self.now)
                 .expect("on_pdu");
             self.apply(to.index(), actions);
             steps += 1;
@@ -249,14 +251,15 @@ fn f1_detection_and_selective_recovery() {
     net.run();
     assert_eq!(net.log(1), vec![(0, 1), (0, 2)], "gap repaired in order");
     let m = net.entity(1).metrics();
-    assert!(m.f1_detections >= 1, "gap must be detected via F1");
-    assert!(m.ret_sent >= 1, "a RET must have been broadcast");
+    assert!(m.f1_detections() >= 1, "gap must be detected via F1");
+    assert!(m.ret_sent() >= 1, "a RET must have been broadcast");
     assert_eq!(
-        m.accepted_from_reorder, 1,
+        m.accepted_from_reorder(),
+        1,
         "the buffered PDU is accepted after repair"
     );
     let m0 = net.entity(0).metrics();
-    assert!(m0.retransmissions_sent >= 1, "source must rebroadcast");
+    assert!(m0.retransmissions_sent() >= 1, "source must rebroadcast");
 }
 
 #[test]
@@ -280,7 +283,7 @@ fn f2_detection_via_third_party_ack() {
     net.run();
     assert_eq!(net.log(2), vec![(0, 1)]);
     assert!(
-        net.entity(2).metrics().f2_detections >= 1,
+        net.entity(2).metrics().f2_detections() >= 1,
         "loss must be detected from a third party's ack vector"
     );
 }
@@ -308,11 +311,11 @@ fn duplicates_are_ignored() {
             })
             .unwrap()
     };
-    let before = net.entity(1).metrics().duplicates;
-    let actions = net.entities[1].on_pdu(dup, 99).unwrap();
+    let before = net.entity(1).metrics().duplicates();
+    let actions = net.entities[1].on_pdu_actions(dup, 99).unwrap();
     net.apply(1, actions);
     net.run();
-    assert_eq!(net.entity(1).metrics().duplicates, before + 1);
+    assert_eq!(net.entity(1).metrics().duplicates(), before + 1);
     assert_eq!(net.log(1), vec![(0, 1)], "no double delivery");
 }
 
@@ -331,7 +334,7 @@ fn flow_control_queues_and_flushes() {
     assert_eq!(outcomes[0], SubmitOutcome::Sent(Seq::new(1)));
     assert_eq!(outcomes[1], SubmitOutcome::Sent(Seq::new(2)));
     assert_eq!(outcomes[2..], vec![SubmitOutcome::Queued; 3][..]);
-    assert!(net.entity(0).metrics().flow_blocked >= 3);
+    assert!(net.entity(0).metrics().flow_blocked() >= 3);
     net.run();
     assert_eq!(
         net.log(1).len(),
@@ -369,12 +372,12 @@ fn go_back_n_mode_recovers_too() {
     assert_eq!(net.log(1), vec![(0, 1), (0, 2), (0, 3)]);
     let m = net.entity(1).metrics();
     assert!(
-        m.discarded_out_of_order >= 1,
+        m.discarded_out_of_order() >= 1,
         "go-back-n discards out-of-order PDUs"
     );
-    assert_eq!(m.buffered_out_of_order, 0, "go-back-n never buffers");
+    assert_eq!(m.buffered_out_of_order(), 0, "go-back-n never buffers");
     // Go-back-n resends more than was lost (1 lost, ≥2 resent).
-    assert!(net.entity(0).metrics().retransmissions_sent >= 2);
+    assert!(net.entity(0).metrics().retransmissions_sent() >= 2);
 }
 
 #[test]
@@ -403,7 +406,7 @@ fn selective_resends_only_the_gap() {
     net.run();
     assert_eq!(net.log(1).len(), 5);
     assert_eq!(
-        net.entity(0).metrics().retransmissions_sent,
+        net.entity(0).metrics().retransmissions_sent(),
         1,
         "selective retransmission resends exactly the lost PDU"
     );
@@ -444,7 +447,7 @@ fn deferred_mode_batches_confirmations() {
         assert_eq!(net.log(1).len(), burst as usize);
         net.entities
             .iter()
-            .map(|e| e.metrics().ack_only_sent)
+            .map(|e| e.metrics().ack_only_sent())
             .sum::<u64>()
     };
     let immediate = run(DeferralPolicy::Immediate);
@@ -469,7 +472,7 @@ fn pack_before_ack_stages() {
             _ => None,
         })
         .unwrap();
-    let actions2 = net.entities[1].on_pdu(pdu, 2).unwrap();
+    let actions2 = net.entities[1].on_pdu_actions(pdu, 2).unwrap();
     let delivered_immediately = actions2.iter().any(|a| matches!(a, Action::Deliver(_)));
     assert!(
         !delivered_immediately,
@@ -492,7 +495,7 @@ fn wrong_cluster_rejected() {
         buf: 0,
     });
     assert_eq!(
-        e.on_pdu(pdu, 0),
+        e.on_pdu_actions(pdu, 0),
         Err(ProtocolError::WrongCluster {
             expected: 7,
             found: 8
@@ -511,7 +514,7 @@ fn looped_back_pdu_rejected() {
         acked: vec![Seq::FIRST; 2],
         buf: 0,
     });
-    assert_eq!(e.on_pdu(pdu, 0), Err(ProtocolError::LoopedBack));
+    assert_eq!(e.on_pdu_actions(pdu, 0), Err(ProtocolError::LoopedBack));
 }
 
 #[test]
@@ -526,7 +529,7 @@ fn bad_ack_length_rejected() {
         buf: 0,
     });
     assert_eq!(
-        e.on_pdu(pdu, 0),
+        e.on_pdu_actions(pdu, 0),
         Err(ProtocolError::BadAckLength {
             expected: 3,
             found: 2
@@ -579,18 +582,18 @@ fn metrics_add_up_on_clean_run() {
     net.run();
     for i in 0..3 {
         let m = net.entity(i).metrics();
-        assert_eq!(m.delivered, 8, "entity {i}");
+        assert_eq!(m.delivered(), 8, "entity {i}");
         assert_eq!(
             m.loss_detections(),
             0,
             "no loss on a clean run (entity {i})"
         );
-        assert_eq!(m.retransmissions_sent, 0);
+        assert_eq!(m.retransmissions_sent(), 0);
     }
-    assert_eq!(net.entity(0).metrics().data_sent, 4);
-    assert_eq!(net.entity(2).metrics().data_sent, 0);
+    assert_eq!(net.entity(0).metrics().data_sent(), 4);
+    assert_eq!(net.entity(2).metrics().data_sent(), 0);
     // Every data PDU is accepted at both remote entities plus self.
-    assert_eq!(net.entity(2).metrics().accepted, 8);
+    assert_eq!(net.entity(2).metrics().accepted(), 8);
 }
 
 #[test]
@@ -616,7 +619,7 @@ fn ret_suppression_limits_duplicate_requests() {
     assert_eq!(net.log(1).len(), 6);
     let m = net.entity(1).metrics();
     assert!(
-        m.ret_suppressed > 0,
+        m.ret_suppressed() > 0,
         "repeated detections of one gap must be suppressed"
     );
 }

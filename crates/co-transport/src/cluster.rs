@@ -2,6 +2,7 @@
 
 use bytes::Bytes;
 use causal_order::EntityId;
+use co_observe::{EventLog, LatencyTracker, Tee};
 use co_protocol::{Config, DeferralPolicy, Entity};
 use crossbeam::channel::{bounded, unbounded, Sender};
 use std::sync::atomic::AtomicU64;
@@ -29,6 +30,10 @@ pub struct ClusterOptions {
     pub drain_idle: Duration,
     /// Cluster id stamped on PDUs.
     pub cid: u32,
+    /// Record the full structured event trace (plus host-Tco lines) in
+    /// each [`NodeReport`]. Latency histograms are always collected; the
+    /// trace is opt-in because it grows with the run.
+    pub trace: bool,
 }
 
 impl Default for ClusterOptions {
@@ -41,6 +46,7 @@ impl Default for ClusterOptions {
             proc_delay: Duration::ZERO,
             drain_idle: Duration::from_millis(30),
             cid: 1,
+            trace: false,
         }
     }
 }
@@ -124,7 +130,12 @@ impl Cluster {
                 .window(options.window)
                 .build()
                 .map_err(TransportError::BadConfig)?;
-            let entity = Entity::new(config).map_err(TransportError::BadConfig)?;
+            let observer = Tee(
+                LatencyTracker::default(),
+                options.trace.then(EventLog::default),
+            );
+            let entity =
+                Entity::with_observer(config, observer).map_err(TransportError::BadConfig)?;
             let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
             cmd_txs.push(cmd_tx);
             let peers: Vec<Option<Sender<Bytes>>> = pdu_txs
@@ -140,6 +151,7 @@ impl Cluster {
             let runtime = NodeRuntime {
                 entity,
                 me,
+                trace: options.trace,
                 peers,
                 peer_overruns,
                 pdu_rx,

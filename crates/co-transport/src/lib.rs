@@ -38,5 +38,5 @@ mod report;
 mod udp;
 
 pub use cluster::{Cluster, ClusterOptions, TransportError};
-pub use report::{NodeReport, TimingSummary};
+pub use report::{merged_trace, NodeReport, TimingSummary};
 pub use udp::{UdpCluster, UdpOptions};

@@ -2,13 +2,18 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use causal_order::EntityId;
+use co_observe::{EventLog, LatencyTracker, Tee, TraceLine};
 use co_protocol::{Action, Entity, Pdu};
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::report::NodeReport;
+use crate::report::{trace_time_us, NodeReport};
+
+/// The observer every cluster entity runs with: latency histograms always
+/// (cheap, bounded state), plus an event log when tracing is on.
+pub(crate) type NodeObserver = Tee<LatencyTracker, Option<EventLog>>;
 
 /// Control-plane commands to a node thread.
 #[derive(Debug)]
@@ -20,8 +25,10 @@ pub(crate) enum Cmd {
 }
 
 pub(crate) struct NodeRuntime {
-    pub entity: Entity,
+    pub entity: Entity<NodeObserver>,
     pub me: EntityId,
+    /// Whether to record host-Tco trace lines and keep the event log.
+    pub trace: bool,
     /// Encoded-PDU channels to every peer (index = entity index; own slot
     /// unused).
     pub peers: Vec<Option<Sender<Bytes>>>,
@@ -98,6 +105,8 @@ impl NodeRuntime {
                         report.delivered.push((d.src, d.seq.get(), d.data));
                     }
                 }
+                // `Action` is #[non_exhaustive].
+                _ => {}
             }
         }
     }
@@ -114,11 +123,22 @@ impl NodeRuntime {
             return; // corrupt frame: drop, like a bad checksum
         };
         let now = self.now_us();
-        match self.entity.on_pdu(pdu, now) {
+        match self.entity.on_pdu_actions(pdu, now) {
             Ok(actions) => self.dispatch(actions, report),
             Err(_) => { /* mis-addressed PDU: drop */ }
         }
-        report.tco_samples.push(started.elapsed());
+        let dur = started.elapsed();
+        report.tco_samples.push(dur);
+        if self.trace {
+            // Tco is a host measurement (CPU time inside the engine); it
+            // cannot be reconstructed from event timestamps, so it gets
+            // its own trace record.
+            report.trace.push(TraceLine::HostTco {
+                node: self.me.raw(),
+                at_us: now,
+                dur_us: dur.as_micros() as u64,
+            });
+        }
     }
 
     pub(crate) fn run(mut self) -> NodeReport {
@@ -129,6 +149,8 @@ impl NodeRuntime {
             tap_samples: Vec::new(),
             overrun_drops: 0,
             metrics: co_protocol::Metrics::default(),
+            latency: LatencyTracker::default(),
+            trace: Vec::new(),
         };
         let mut shutting_down = false;
         let mut last_activity = Instant::now();
@@ -179,6 +201,19 @@ impl NodeRuntime {
         }
         report.overrun_drops = self.overruns.load(Ordering::Relaxed);
         report.metrics = *self.entity.metrics();
+        let Tee(latency, log) = self.entity.into_observer();
+        report.latency = latency;
+        if let Some(log) = log {
+            let node = self.me.raw();
+            report.trace.extend(
+                log.into_events()
+                    .into_iter()
+                    .map(|event| TraceLine::Event { node, event }),
+            );
+            // Events were appended after the HostTco lines; restore time
+            // order (stable within equal timestamps).
+            report.trace.sort_by_key(trace_time_us);
+        }
         report
     }
 }

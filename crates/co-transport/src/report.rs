@@ -7,6 +7,7 @@
 
 use bytes::Bytes;
 use causal_order::EntityId;
+use co_observe::{LatencyTracker, TraceLine};
 use co_protocol::Metrics;
 use std::time::Duration;
 
@@ -28,6 +29,13 @@ pub struct NodeReport {
     pub overrun_drops: u64,
     /// The protocol engine's own counters.
     pub metrics: Metrics,
+    /// Per-stage latency histograms folded live from the entity's event
+    /// stream (submit→accept, accept→pre-ack, accept→deliver, RET
+    /// round-trip).
+    pub latency: LatencyTracker,
+    /// The structured event trace, time-sorted, including host-measured
+    /// Tco records. Empty unless tracing was enabled in the options.
+    pub trace: Vec<TraceLine>,
 }
 
 impl NodeReport {
@@ -40,6 +48,27 @@ impl NodeReport {
     pub fn tap(&self) -> TimingSummary {
         TimingSummary::of(&self.tap_samples)
     }
+}
+
+/// Sort key shared by traces: the shared-epoch timestamp of a line.
+pub(crate) fn trace_time_us(line: &TraceLine) -> u64 {
+    match line {
+        TraceLine::Event { event, .. } => event.now_us(),
+        TraceLine::HostTco { at_us, .. } => *at_us,
+    }
+}
+
+/// Merges the per-node traces of a run into one time-sorted stream — the
+/// cluster-wide trace the JSONL exporter writes and the offline Tco/Tap
+/// analysis (`co_observe::jsonl`) consumes. Nodes share the cluster
+/// epoch, so timestamps are directly comparable.
+pub fn merged_trace(reports: &[NodeReport]) -> Vec<TraceLine> {
+    let mut lines: Vec<TraceLine> = reports
+        .iter()
+        .flat_map(|r| r.trace.iter().copied())
+        .collect();
+    lines.sort_by_key(trace_time_us);
+    lines
 }
 
 /// Mean / median / p95 / max over a set of duration samples.

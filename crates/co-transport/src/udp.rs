@@ -169,6 +169,8 @@ fn run_node(
         tap_samples: Vec::new(),
         overrun_drops: 0,
         metrics: co_protocol::Metrics::default(),
+        latency: co_observe::LatencyTracker::default(),
+        trace: Vec::new(),
     };
     let shutting_down = Arc::new(AtomicBool::new(false));
     let mut last_activity = Instant::now();
@@ -204,6 +206,8 @@ fn run_node(
                         report.delivered.push((d.src, d.seq.get(), d.data));
                     }
                 }
+                // `Action` is #[non_exhaustive].
+                _ => {}
             }
         }
     };
@@ -214,7 +218,7 @@ fn run_node(
             Ok((len, _addr)) => {
                 let started = Instant::now();
                 if let Ok(pdu) = Pdu::decode(&buf[..len]) {
-                    if let Ok(actions) = entity.on_pdu(pdu, now_us(epoch)) {
+                    if let Ok(actions) = entity.on_pdu_actions(pdu, now_us(epoch)) {
                         dispatch(actions, &mut report, &socket, &peers);
                     }
                 }

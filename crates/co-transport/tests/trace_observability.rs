@@ -1,0 +1,106 @@
+//! End-to-end observability over the threaded transport: a traced cluster
+//! run must yield a JSONL trace that round-trips losslessly and
+//! reproduces the host-measured Tco/Tap figures — the paper's Figure-8
+//! quantities recovered *offline* from the event stream instead of from
+//! the live `NodeReport` instrumentation.
+
+use bytes::Bytes;
+use co_observe::jsonl::{self, TraceLine};
+use co_transport::{merged_trace, Cluster, ClusterOptions};
+
+fn traced_run(n: usize, rounds: usize) -> Vec<co_transport::NodeReport> {
+    let options = ClusterOptions {
+        trace: true,
+        ..ClusterOptions::default()
+    };
+    let cluster = Cluster::start(n, options).expect("cluster starts");
+    for round in 0..rounds {
+        for i in 0..n {
+            cluster
+                .submit(i, Bytes::from(format!("m-{round}-{i}").into_bytes()))
+                .expect("submit");
+        }
+    }
+    cluster.shutdown()
+}
+
+#[test]
+fn trace_round_trips_through_jsonl() {
+    let reports = traced_run(3, 4);
+    let trace = merged_trace(&reports);
+    assert!(!trace.is_empty(), "traced run must record events");
+    let text: String = trace.iter().map(|l| jsonl::encode_line(l) + "\n").collect();
+    let parsed = jsonl::parse_trace(&text);
+    assert_eq!(parsed, trace, "JSONL encode/parse must be lossless");
+}
+
+#[test]
+fn trace_reproduces_tap_sample_count() {
+    let reports = traced_run(3, 4);
+    let trace = merged_trace(&reports);
+    let from_trace = jsonl::tap_samples_us(&trace);
+    let from_reports: usize = reports.iter().map(|r| r.tap_samples.len()).sum();
+    // Every remote delivery contributes exactly one Tap sample in both
+    // views: the live report (submit timestamp framed in the payload) and
+    // the offline join of DataSent → remote Delivered events.
+    assert_eq!(from_trace.len(), from_reports);
+    assert_eq!(
+        from_trace.len(),
+        4 * 3 * 2,
+        "4 rounds × 3 senders × 2 remotes"
+    );
+}
+
+#[test]
+fn trace_reproduces_tco_samples() {
+    let reports = traced_run(3, 2);
+    let trace = merged_trace(&reports);
+    let mut from_trace = jsonl::tco_samples_us(&trace);
+    // The HostTco record stores whole microseconds; truncate the live
+    // samples the same way before comparing the multisets.
+    let mut from_reports: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.tco_samples.iter().map(|d| d.as_micros() as u64))
+        .collect();
+    from_trace.sort_unstable();
+    from_reports.sort_unstable();
+    assert_eq!(from_trace, from_reports);
+}
+
+#[test]
+fn latency_histograms_populated_without_tracing() {
+    // Histograms are always-on (bounded state); the trace stays empty
+    // unless requested.
+    let cluster = Cluster::start(3, ClusterOptions::default()).expect("cluster starts");
+    cluster
+        .submit(0, Bytes::from_static(b"hello"))
+        .expect("submit");
+    let reports = cluster.shutdown();
+    for r in &reports {
+        assert!(r.trace.is_empty(), "tracing is opt-in");
+        assert!(
+            r.latency.accept_to_deliver().count() >= 1,
+            "at {}: every node delivers and must time the accept→deliver stage",
+            r.id
+        );
+    }
+    // The sender timed submit→accept; remotes did not submit.
+    assert!(reports[0].latency.submit_to_accept().count() >= 1);
+}
+
+#[test]
+fn merged_trace_is_time_sorted() {
+    let reports = traced_run(3, 3);
+    let trace = merged_trace(&reports);
+    let times: Vec<u64> = trace
+        .iter()
+        .map(|l| match l {
+            TraceLine::Event { event, .. } => event.now_us(),
+            TraceLine::HostTco { at_us, .. } => *at_us,
+        })
+        .collect();
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "trace must be time-sorted"
+    );
+}

@@ -64,11 +64,11 @@ fn main() {
             "{id}: delivered {}/{total}  (F1 gaps {}, F2 gaps {}, RETs sent {}, \
              retransmitted {}, repaired out-of-order {})",
             node.delivered().len(),
-            m.f1_detections,
-            m.f2_detections,
-            m.ret_sent,
-            m.retransmissions_sent,
-            m.accepted_from_reorder,
+            m.f1_detections(),
+            m.f2_detections(),
+            m.ret_sent(),
+            m.retransmissions_sent(),
+            m.accepted_from_reorder(),
         );
         assert_eq!(node.delivered().len(), total, "lost deliveries at {id}");
     }

@@ -37,6 +37,7 @@ fn main() {
             match a {
                 Action::Broadcast(pdu) => wire.push(pdu),
                 Action::Deliver(d) => println!("node A delivered {d}"),
+                _ => {}
             }
         }
     };
@@ -61,6 +62,7 @@ fn main() {
                     Action::Deliver(d) => {
                         println!("node B delivered {d}");
                     }
+                    _ => {}
                 }
             }
         }
@@ -70,6 +72,7 @@ fn main() {
                 match action {
                     Action::Broadcast(p) => to_b.push(p),
                     Action::Deliver(d) => println!("node A delivered {d}"),
+                    _ => {}
                 }
             }
         }

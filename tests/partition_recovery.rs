@@ -105,7 +105,7 @@ fn one_way_link_cut_is_repaired_via_third_parties() {
             .inner()
             .entity()
             .metrics()
-            .f2_detections
+            .f2_detections()
             > 0,
         "E2 must have learned about E1's PDUs from E3"
     );

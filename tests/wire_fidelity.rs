@@ -48,6 +48,8 @@ impl ByteLink {
                 Action::Deliver(d) => {
                     self.delivered[from].push((d.src.raw(), d.seq.get(), d.data));
                 }
+                // `Action` is #[non_exhaustive].
+                _ => {}
             }
         }
     }
@@ -56,7 +58,7 @@ impl ByteLink {
         let mut steps = 0;
         while let Some((to, raw)) = self.queue.pop_front() {
             let pdu = Pdu::decode(&raw).expect("wire-clean PDU");
-            let actions = self.entities[to].on_pdu(pdu, steps).expect("valid");
+            let actions = self.entities[to].on_pdu_actions(pdu, steps).expect("valid");
             self.apply(to, actions);
             steps += 1;
             assert!(steps < 100_000, "no quiescence");
