@@ -1,12 +1,16 @@
 //! Headless hot-path regression runner.
 //!
 //! Measures the same quantities as `benches/hotpath.rs` with plain
-//! `std::time` (no harness dependency, CI-friendly) and writes
-//! `BENCH_hotpath.json` — schema documented in `results/README.md`. The
-//! file records **both** sides of the optimization PR: the `baseline`
-//! block holds the pre-change tree's numbers (measured on the same
-//! machine, same runner logic, before the cached-minima/zero-alloc work
-//! landed) and the `current` block is re-measured on every run.
+//! `std::time` (no harness dependency, CI-friendly) and appends a
+//! timestamped run entry to `BENCH_hotpath.json` — a JSON **array** of
+//! runs, newest last, so the file accumulates a perf trajectory across
+//! commits instead of overwriting itself (schema in
+//! `results/README.md`; a legacy single-object artifact is absorbed as
+//! the trajectory's first entry). Each entry records **both** sides of
+//! the optimization PR: the `baseline` block holds the pre-change
+//! tree's numbers (measured on the same machine, same runner logic,
+//! before the cached-minima/zero-alloc work landed) and the `current`
+//! block is re-measured on every run.
 //!
 //! The `entity/accept_*` family also measures the observability layer:
 //! `accept_in_order` is the default [`NoopObserver`] path (must stay
@@ -204,6 +208,26 @@ struct Entry {
     throughput_per_s: Option<f64>,
 }
 
+/// Appends one run entry to the trajectory artifact. The file is a JSON
+/// array of run objects, newest last; an empty/missing file starts a
+/// fresh array, and a legacy single-object (`hotpath-v1` pre-trajectory)
+/// artifact is absorbed as the first entry rather than discarded.
+fn append_run(existing: &str, run: &str) -> String {
+    let trimmed = existing.trim();
+    if trimmed.is_empty() {
+        return format!("[\n{run}\n]\n");
+    }
+    if let Some(body) = trimmed.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let body = body.trim();
+        if body.is_empty() {
+            return format!("[\n{run}\n]\n");
+        }
+        return format!("[\n{body},\n{run}\n]\n");
+    }
+    // Legacy single-object artifact: keep it as the trajectory's origin.
+    format!("[\n{trimmed},\n{run}\n]\n")
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let guard = if let Some(i) = args.iter().position(|a| a == "--guard") {
@@ -278,8 +302,17 @@ fn main() {
         eprintln!("e2e/sim_throughput/{n}: {per_s:.0} deliveries/s");
     }
 
+    let at_epoch_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"hotpath-v1\",\n  \"baseline\": {\n");
+    writeln!(
+        json,
+        "{{\n  \"schema\": \"hotpath-v1\",\n  \"at_epoch_secs\": {at_epoch_secs},"
+    )
+    .expect("write to string");
+    json.push_str("  \"baseline\": {\n");
     for (i, (id, n, ns)) in BASELINE_PRE_CHANGE.iter().enumerate() {
         let comma = if i + 1 == BASELINE_PRE_CHANGE.len() {
             ""
@@ -324,10 +357,14 @@ fn main() {
         let comma = if i + 1 == speedups.len() { "" } else { "," };
         writeln!(json, "    \"{id}\": {ratio:.2}{comma}").expect("write to string");
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  }\n}");
 
-    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
-    eprintln!("wrote {out_path}");
+    let trajectory = append_run(
+        &std::fs::read_to_string(&out_path).unwrap_or_default(),
+        &json,
+    );
+    std::fs::write(&out_path, &trajectory).expect("write BENCH_hotpath.json");
+    eprintln!("appended run to {out_path}");
 
     if guard {
         // Regression tripwire for the default (observer-less) hot path:
@@ -355,5 +392,34 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("guard: PASS");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::append_run;
+
+    #[test]
+    fn first_run_starts_an_array() {
+        assert_eq!(append_run("", "{\"a\": 1}"), "[\n{\"a\": 1}\n]\n");
+        assert_eq!(append_run("  \n", "{\"a\": 1}"), "[\n{\"a\": 1}\n]\n");
+        assert_eq!(append_run("[]", "{\"a\": 1}"), "[\n{\"a\": 1}\n]\n");
+    }
+
+    #[test]
+    fn later_runs_append_newest_last() {
+        let one = append_run("", "{\"a\": 1}");
+        let two = append_run(&one, "{\"b\": 2}");
+        assert_eq!(two, "[\n{\"a\": 1},\n{\"b\": 2}\n]\n");
+        let three = append_run(&two, "{\"c\": 3}");
+        assert_eq!(three, "[\n{\"a\": 1},\n{\"b\": 2},\n{\"c\": 3}\n]\n");
+    }
+
+    #[test]
+    fn legacy_object_becomes_the_first_entry() {
+        let legacy = "{\n  \"schema\": \"hotpath-v1\",\n  \"current\": {}\n}\n";
+        let out = append_run(legacy, "{\"d\": 4}");
+        assert!(out.starts_with("[\n{\n  \"schema\": \"hotpath-v1\""));
+        assert!(out.ends_with("},\n{\"d\": 4}\n]\n"));
     }
 }

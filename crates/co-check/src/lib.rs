@@ -20,7 +20,12 @@
 //! * stage order (traced runs): every message walks §3's receipt levels
 //!   *accept → pre-ack → deliver* in order, exactly once per node, judged
 //!   from the engine's structured event stream
-//!   ([`run_scenario_traced`](crate::runner::run_scenario_traced)).
+//!   ([`run_scenario_traced`](crate::runner::run_scenario_traced));
+//! * span consistency (traced runs): the per-node streams are stitched
+//!   into cross-node `co-trace` spans, and every *delivered* PDU must
+//!   have a complete, stage-ordered span at **every** node
+//!   ([`check_spans`](crate::oracles::check_spans)) — strictly stronger
+//!   than the per-node stage-order oracle.
 //!
 //! Every run also folds its protocol event stream into an order-sensitive
 //! [`event_digest`](crate::runner::RunReport::event_digest) — a
@@ -49,7 +54,9 @@ pub mod shrink;
 
 pub use json::Json;
 pub use node::{AppEvent, CheckCmd, CheckNode, CheckObserver};
-pub use oracles::{check, check_stage_order, Category, CheckViolation, RunObservation};
+pub use oracles::{
+    check, check_spans, check_stage_order, Category, CheckViolation, RunObservation,
+};
 pub use plan::{FaultEvent, Reproducer, Scenario, Submit};
 pub use runner::{run_scenario, run_scenario_traced, RunReport, EVENT_BUDGET};
 pub use shrink::{shrink, ShrinkOutcome, MAX_SHRINK_RUNS};

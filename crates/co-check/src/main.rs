@@ -3,17 +3,29 @@
 //! ```text
 //! co-check [--schedules N] [--seed S] [--break-delivery]
 //!          [--out DIR] [--budget-secs T] [--replay FILE]
+//!          [--trace-out FILE] [--force-loss-burst]
 //! ```
 //!
 //! Explores `N` seeded adversarial schedules; on the first oracle
 //! violation it shrinks the scenario and writes a JSON reproducer to
 //! `DIR`, then exits with status 1. `--replay FILE` instead re-runs one
 //! committed reproducer and verifies it still violates what it claims.
+//!
+//! `--trace-out FILE` runs each schedule traced (which also arms the
+//! stage-order and span-consistency oracles) and writes the merged
+//! cluster-wide JSONL trace of the *last* explored schedule to `FILE` —
+//! feed it to `co-cli trace analyze`. `--force-loss-burst` appends a
+//! cluster-wide loss burst over the early workload window to every
+//! schedule, to provoke the recovery machinery (RET storms, F1/F2
+//! clusters) on demand.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use co_check::{run_scenario, shrink, Category, Reproducer, Scenario};
+use co_check::{
+    run_scenario, run_scenario_traced, shrink, Category, FaultEvent, Reproducer, Scenario,
+};
+use co_observe::{jsonl, ProtocolEvent, TraceLine};
 
 struct Args {
     schedules: u64,
@@ -22,6 +34,8 @@ struct Args {
     out: String,
     budget_secs: Option<u64>,
     replay: Option<String>,
+    trace_out: Option<String>,
+    force_loss_burst: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +46,8 @@ fn parse_args() -> Result<Args, String> {
         out: ".".to_string(),
         budget_secs: None,
         replay: None,
+        trace_out: None,
+        force_loss_burst: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -57,10 +73,13 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--replay" => args.replay = Some(value("--replay")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--force-loss-burst" => args.force_loss_burst = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: co-check [--schedules N] [--seed S] [--break-delivery] \
-                            [--out DIR] [--budget-secs T] [--replay FILE]"
+                            [--out DIR] [--budget-secs T] [--replay FILE] \
+                            [--trace-out FILE] [--force-loss-burst]"
                         .to_string(),
                 )
             }
@@ -115,6 +134,28 @@ fn replay(path: &str) -> ExitCode {
     }
 }
 
+/// Merges the per-node event streams into one time-sorted, shared-epoch
+/// JSONL trace — the same shape `co-transport` produces, so
+/// `co-cli trace analyze` consumes either.
+fn write_merged_trace(path: &str, traces: &[Vec<ProtocolEvent>]) -> std::io::Result<()> {
+    let mut lines: Vec<TraceLine> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(i, t)| {
+            t.iter().map(move |&event| TraceLine::Event {
+                node: i as u32,
+                event,
+            })
+        })
+        .collect();
+    lines.sort_by_key(|l| match l {
+        TraceLine::Event { event, .. } => event.now_us(),
+        TraceLine::HostTco { at_us, .. } => *at_us,
+    });
+    let text: String = lines.iter().map(|l| jsonl::encode_line(l) + "\n").collect();
+    std::fs::write(path, text)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -153,8 +194,27 @@ fn main() -> ExitCode {
                 break;
             }
         }
-        let scenario = Scenario::random(index, args.seed, args.break_delivery);
-        let report = run_scenario(&scenario);
+        let mut scenario = Scenario::random(index, args.seed, args.break_delivery);
+        if args.force_loss_burst {
+            // A cluster-wide blackout across the early workload window:
+            // enough traffic lands inside it to exercise F1/F2 detection
+            // and the RET machinery, and the quiet tail after
+            // FAULT_HORIZON_US still lets the run quiesce cleanly.
+            scenario.faults.push(FaultEvent::LossBurst {
+                from_us: 500,
+                to_us: 12_000,
+            });
+        }
+        let report = if let Some(path) = &args.trace_out {
+            let (report, traces) = run_scenario_traced(&scenario);
+            if let Err(e) = write_merged_trace(path, &traces) {
+                eprintln!("co-check: cannot write trace to {path}: {e}");
+                return ExitCode::from(2);
+            }
+            report
+        } else {
+            run_scenario(&scenario)
+        };
         explored += 1;
         total_broadcasts += report.broadcasts as u64;
         total_deliveries += report.deliveries as u64;

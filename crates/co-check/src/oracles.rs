@@ -56,6 +56,10 @@ pub enum Category {
     /// A message skipped or repeated a receipt stage
     /// (accept → pre-ack → deliver) in the protocol event stream.
     StageOrder,
+    /// A delivered message's cross-node span was incomplete or
+    /// stage-disordered somewhere in the cluster (the stitched-trace
+    /// oracle, strictly stronger than [`Category::StageOrder`]).
+    SpanConsistency,
     /// Entities observed different ACK vectors for the same message.
     AckIntegrity,
     /// The run failed to quiesce, or quiesced without global stability.
@@ -64,13 +68,14 @@ pub enum Category {
 
 impl Category {
     /// All categories, in severity order.
-    pub const ALL: [Category; 8] = [
+    pub const ALL: [Category; 9] = [
         Category::Atomicity,
         Category::Duplication,
         Category::Creation,
         Category::Fifo,
         Category::Causality,
         Category::StageOrder,
+        Category::SpanConsistency,
         Category::AckIntegrity,
         Category::Liveness,
     ];
@@ -84,6 +89,7 @@ impl Category {
             Category::Fifo => "fifo",
             Category::Causality => "causality",
             Category::StageOrder => "stage-order",
+            Category::SpanConsistency => "span-consistency",
             Category::AckIntegrity => "ack-integrity",
             Category::Liveness => "liveness",
         }
@@ -216,6 +222,89 @@ pub fn check_stage_order(node: u32, trace: &[ProtocolEvent]) -> Vec<CheckViolati
                 node + 1,
                 src + 1,
             ));
+        }
+    }
+    violations.sort_by(|a, b| a.detail.cmp(&b.detail));
+    violations
+}
+
+/// The span-consistency oracle, judged from the *stitched* cross-node
+/// trace (`co-trace`) instead of per-node streams: on a quiesced run,
+/// every PDU that was delivered anywhere must have a complete
+/// [`co_trace::BroadcastSpan`] — a recorded send plus accept, pre-ack and
+/// deliver at **every** node — with monotonically ordered stage times at
+/// each of them, and no stage recorded twice.
+///
+/// Strictly stronger than [`check_stage_order`]: that oracle validates
+/// each node's chain in isolation, so a PDU that one node never even
+/// heard of passes it trivially there; the span view cross-references the
+/// nodes and catches exactly that hole (and clock-order violations the
+/// per-node transition counter cannot see).
+pub fn check_spans(traces: &[Vec<ProtocolEvent>]) -> Vec<CheckViolation> {
+    let lines: Vec<co_observe::TraceLine> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(i, t)| {
+            t.iter().map(move |&event| co_observe::TraceLine::Event {
+                node: i as u32,
+                event,
+            })
+        })
+        .collect();
+    let set = co_trace::stitch(&lines);
+    let n = traces.len();
+    let mut violations = Vec::new();
+    let mut fail = |detail: String| {
+        violations.push(CheckViolation {
+            category: Category::SpanConsistency,
+            detail,
+        });
+    };
+    for dup in &set.duplicates {
+        fail(format!(
+            "E{}#{} recorded stage `{}` twice at E{}",
+            dup.src + 1,
+            dup.seq,
+            dup.stage.name(),
+            dup.node + 1,
+        ));
+    }
+    for ((src, seq), span) in &set.spans {
+        let label = format!("E{}#{seq}", src + 1);
+        if !span.delivered_anywhere() {
+            // Never delivered at all: the liveness/atomicity oracles own
+            // that verdict; the span oracle only judges delivered PDUs.
+            continue;
+        }
+        if span.sent_us.is_none() {
+            fail(format!(
+                "{label} was delivered but its send was never traced"
+            ));
+        }
+        for missing in span.missing_deliveries(n) {
+            fail(format!(
+                "{label} was delivered elsewhere but its span at E{} never closed",
+                missing + 1,
+            ));
+        }
+        for (node, stage) in span.stages.iter().enumerate() {
+            if stage.deliver_us.is_some() && !stage.complete() {
+                fail(format!(
+                    "{label} delivered at E{} with a gap in its span \
+                     (accept {:?}, pre-ack {:?})",
+                    node + 1,
+                    stage.accept_us,
+                    stage.pre_ack_us,
+                ));
+            }
+            if let Some((a, b)) = stage.order_violation() {
+                fail(format!(
+                    "{label} at E{}: stage `{}` timed before `{}`",
+                    node + 1,
+                    b.name(),
+                    a.name(),
+                ));
+            }
         }
     }
     violations.sort_by(|a, b| a.detail.cmp(&b.detail));

@@ -236,6 +236,10 @@ fn run_scenario_impl(sc: &Scenario, trace: bool) -> (RunReport, Vec<Vec<Protocol
         for (i, node_trace) in traces.iter().enumerate() {
             violations.extend(crate::oracles::check_stage_order(i as u32, node_trace));
         }
+        // And the strictly stronger cross-node view: every delivered
+        // PDU's stitched span must be complete and stage-ordered at
+        // every node.
+        violations.extend(crate::oracles::check_spans(&traces));
         violations.sort_by(|a, b| a.category.cmp(&b.category).then(a.detail.cmp(&b.detail)));
     }
     let report = RunReport {

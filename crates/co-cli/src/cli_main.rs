@@ -1,0 +1,46 @@
+//! `co-cli` — offline tooling over the observability surface.
+//!
+//! ```text
+//! co-cli trace analyze <run.jsonl> [--json]
+//!        [--stuck-preack-us N] [--ret-storm-requests N]
+//!        [--ret-storm-window-us N] [--loss-cluster-gap-us N]
+//!        [--loss-cluster-min N] [--flow-blocked-min N]
+//! ```
+//!
+//! Stitches a merged JSONL trace (from `co-node --trace`, a traced
+//! `co-transport` run, or `co-check --trace-out`) into cross-node
+//! broadcast spans, prints the receipt-level latency breakdown, and runs
+//! the anomaly detector. Exit status: 0 on a successful analysis (even
+//! with findings — gate on the JSON `anomalies` count instead), 1 on an
+//! unreadable or malformed trace, 2 on a usage error.
+
+use co_cli::{analyze_file, parse_trace_args};
+
+const USAGE: &str = "usage: co-cli trace analyze <run.jsonl> [--json] \
+    [--stuck-preack-us N] [--ret-storm-requests N] [--ret-storm-window-us N] \
+    [--loss-cluster-gap-us N] [--loss-cluster-min N] [--flow-blocked-min N]";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match (args.next().as_deref(), args.next().as_deref()) {
+        (Some("trace"), Some("analyze")) => {}
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    let parsed = match parse_trace_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("co-cli: {}\n{USAGE}", e.0);
+            std::process::exit(2);
+        }
+    };
+    match analyze_file(&parsed) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("co-cli: {e}");
+            std::process::exit(1);
+        }
+    }
+}

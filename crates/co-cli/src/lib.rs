@@ -17,12 +17,19 @@
 //!
 //! The library half is IO-parameterized so the whole node loop is testable
 //! in-process (see the tests at the bottom).
+//!
+//! A second binary, `co-cli`, hosts the offline tooling: `co-cli trace
+//! analyze <run.jsonl>` stitches a merged JSONL trace into cross-node
+//! broadcast spans, prints the receipt-level latency breakdown and any
+//! protocol anomalies (see [`analyze_file`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod args;
 mod node;
+mod trace_cmd;
 
 pub use args::{parse_args, ArgError, NodeArgs};
 pub use node::{run_node, NodeEvent, NodeHandle};
+pub use trace_cmd::{analyze_file, parse_trace_args, TraceArgs};

@@ -10,7 +10,7 @@
 use bytes::Bytes;
 use causal_order::EntityId;
 use co_observe::jsonl::{self, TraceLine};
-use co_observe::{prom, LatencyTracker, Observer, ProtocolEvent, Tee};
+use co_observe::{prom, FlowGauge, LatencyTracker, Observer, ProtocolEvent, Tee};
 use co_protocol::{Action, Config, DeferralPolicy, Entity, Pdu};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use std::io::Write;
@@ -54,9 +54,10 @@ impl Observer for TraceWriter {
     }
 }
 
-/// The observer a CLI node runs with: always-on latency histograms plus
-/// the optional trace stream.
-type CliObserver = Tee<LatencyTracker, TraceWriter>;
+/// The observer a CLI node runs with: always-on latency histograms and
+/// flow-condition gauges (both bounded state), plus the optional trace
+/// stream.
+type CliObserver = Tee<LatencyTracker, Tee<FlowGauge, TraceWriter>>;
 
 /// Serves `text` (refreshed by the node loop) as an HTTP metrics
 /// endpoint. One connection at a time is plenty for a scrape target.
@@ -142,7 +143,10 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
         .map_err(std::io::Error::other)?;
     let observer = Tee(
         LatencyTracker::default(),
-        TraceWriter::open(args.me, args.trace.as_deref())?,
+        Tee(
+            FlowGauge::default(),
+            TraceWriter::open(args.me, args.trace.as_deref())?,
+        ),
     );
     let entity = Entity::with_observer(config, observer).map_err(std::io::Error::other)?;
 
@@ -277,8 +281,9 @@ fn node_loop(
         }
         if let Some(text) = &metrics_text {
             if last_publish.is_none_or(|t| t.elapsed() >= PUBLISH_INTERVAL) {
+                let Tee(latency, Tee(flow, _)) = entity.observer();
                 let rendered =
-                    prom::render(me.raw(), &entity.metrics().snapshot(), &entity.observer().0);
+                    prom::render_with_flow(me.raw(), &entity.metrics().snapshot(), latency, flow);
                 if let Ok(mut slot) = text.lock() {
                     *slot = rendered;
                 }
@@ -294,7 +299,7 @@ fn node_loop(
             }
         }
     }
-    entity.observer_mut().1.flush();
+    entity.observer_mut().1 .1.flush();
     let _ = events.send(NodeEvent::Stopped);
 }
 
@@ -437,6 +442,12 @@ mod tests {
             "{scrape}"
         );
         assert!(scrape.contains("co_latency_us_count"), "{scrape}");
+        // The flow-condition gauges ride the same endpoint.
+        assert!(scrape.contains("co_flow_blocked{node=\"0\"}"), "{scrape}");
+        assert!(
+            scrape.contains("co_flow_blocked_events_total{node=\"0\"}"),
+            "{scrape}"
+        );
 
         a.input.send(None).unwrap();
         b.input.send(None).unwrap();

@@ -1,0 +1,167 @@
+//! The `co-cli trace analyze` subcommand: offline span analysis of a
+//! merged JSONL trace (from `co-node --trace`, a traced `co-transport`
+//! run, or `co-check --trace-out`).
+
+use co_trace::AnomalyConfig;
+
+use crate::args::ArgError;
+
+/// Parsed `trace analyze` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceArgs {
+    /// The JSONL trace file to analyze.
+    pub path: String,
+    /// Emit the machine-readable JSON report instead of text.
+    pub json: bool,
+    /// Anomaly thresholds (each has a flag; defaults are the library's).
+    pub config: AnomalyConfig,
+}
+
+/// Parses the arguments following `trace analyze`.
+///
+/// # Errors
+///
+/// [`ArgError`] naming the offending flag or value.
+pub fn parse_trace_args<I: IntoIterator<Item = String>>(args: I) -> Result<TraceArgs, ArgError> {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    let mut config = AnomalyConfig::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| ArgError(format!("{name} needs a value")))
+        };
+        let mut num = |name: &str| -> Result<u64, ArgError> {
+            value(name)?
+                .parse()
+                .map_err(|e| ArgError(format!("{name}: {e}")))
+        };
+        match flag.as_str() {
+            "--json" => json = true,
+            "--stuck-preack-us" => config.stuck_preack_us = num("--stuck-preack-us")?,
+            "--ret-storm-requests" => {
+                config.ret_storm_requests = num("--ret-storm-requests")? as usize;
+            }
+            "--ret-storm-window-us" => config.ret_storm_window_us = num("--ret-storm-window-us")?,
+            "--loss-cluster-gap-us" => config.loss_cluster_gap_us = num("--loss-cluster-gap-us")?,
+            "--loss-cluster-min" => config.loss_cluster_min = num("--loss-cluster-min")? as usize,
+            "--flow-blocked-min" => config.flow_blocked_min = num("--flow-blocked-min")? as usize,
+            other if other.starts_with("--") => {
+                return Err(ArgError(format!("unknown flag {other}")));
+            }
+            file => {
+                if path.replace(file.to_string()).is_some() {
+                    return Err(ArgError("more than one trace file given".into()));
+                }
+            }
+        }
+    }
+    let path = path.ok_or_else(|| ArgError("a trace file is required".into()))?;
+    Ok(TraceArgs { path, json, config })
+}
+
+/// Reads, parses (strictly — malformed lines are errors with their line
+/// number, not silent skips), and analyzes the trace; returns the
+/// rendered report.
+///
+/// # Errors
+///
+/// A human-readable message: unreadable file, or a malformed trace line.
+pub fn analyze_file(args: &TraceArgs) -> Result<String, String> {
+    let text = std::fs::read_to_string(&args.path)
+        .map_err(|e| format!("cannot read {}: {e}", args.path))?;
+    let lines =
+        co_observe::jsonl::parse_trace_strict(&text).map_err(|e| format!("{}: {e}", args.path))?;
+    let report = co_trace::analyze(&lines, &args.config);
+    Ok(if args.json {
+        report.to_json()
+    } else {
+        report.render_text()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_and_flags_parse() {
+        let args = parse_trace_args(argv("run.jsonl")).unwrap();
+        assert_eq!(args.path, "run.jsonl");
+        assert!(!args.json);
+        assert_eq!(args.config, AnomalyConfig::default());
+
+        let args = parse_trace_args(argv(
+            "--json run.jsonl --ret-storm-requests 2 --ret-storm-window-us 30000 \
+             --stuck-preack-us 5000 --loss-cluster-gap-us 9 --loss-cluster-min 4 \
+             --flow-blocked-min 1",
+        ))
+        .unwrap();
+        assert!(args.json);
+        assert_eq!(args.config.ret_storm_requests, 2);
+        assert_eq!(args.config.ret_storm_window_us, 30_000);
+        assert_eq!(args.config.stuck_preack_us, 5_000);
+        assert_eq!(args.config.loss_cluster_gap_us, 9);
+        assert_eq!(args.config.loss_cluster_min, 4);
+        assert_eq!(args.config.flow_blocked_min, 1);
+    }
+
+    #[test]
+    fn bad_invocations_are_rejected() {
+        assert!(parse_trace_args(argv("")).is_err());
+        assert!(parse_trace_args(argv("a.jsonl b.jsonl")).is_err());
+        assert!(parse_trace_args(argv("a.jsonl --bogus")).is_err());
+        assert!(parse_trace_args(argv("a.jsonl --ret-storm-requests nope")).is_err());
+    }
+
+    #[test]
+    fn analyze_renders_text_and_json() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("co-cli-trace-analyze-test.jsonl");
+        let trace = "\
+{\"node\":0,\"kind\":\"data_sent\",\"t_us\":10,\"src\":0,\"seq\":1}\n\
+{\"node\":1,\"kind\":\"accepted\",\"t_us\":20,\"src\":0,\"seq\":1,\"from_reorder\":false}\n\
+{\"node\":0,\"kind\":\"pre_acked\",\"t_us\":30,\"src\":0,\"seq\":1}\n\
+{\"node\":1,\"kind\":\"pre_acked\",\"t_us\":31,\"src\":0,\"seq\":1}\n\
+{\"node\":0,\"kind\":\"delivered\",\"t_us\":40,\"src\":0,\"seq\":1}\n\
+{\"node\":1,\"kind\":\"delivered\",\"t_us\":41,\"src\":0,\"seq\":1}\n";
+        std::fs::write(&path, trace).unwrap();
+        let mut args = parse_trace_args(vec![path.to_string_lossy().into_owned()]).unwrap();
+
+        let text = analyze_file(&args).unwrap();
+        assert!(text.contains("1 complete"), "{text}");
+        assert!(text.contains("anomalies: none"), "{text}");
+
+        args.json = true;
+        let json = analyze_file(&args).unwrap();
+        assert!(json.contains("\"complete_spans\":1"), "{json}");
+        assert!(json.contains("\"anomalies\":0"), "{json}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_traces_fail_with_the_line_number() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("co-cli-trace-analyze-bad.jsonl");
+        std::fs::write(
+            &path,
+            "{\"node\":0,\"kind\":\"submitted\",\"t_us\":1}\nnot json\n",
+        )
+        .unwrap();
+        let args = parse_trace_args(vec![path.to_string_lossy().into_owned()]).unwrap();
+        let err = analyze_file(&args).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let args = parse_trace_args(argv("/nonexistent/nope.jsonl")).unwrap();
+        assert!(analyze_file(&args).unwrap_err().contains("cannot read"));
+    }
+}

@@ -138,6 +138,7 @@ impl Observer for CounterFold {
             ProtocolEvent::RetUnservable { amount, .. } => c.ret_unservable += amount,
             ProtocolEvent::Submitted { .. }
             | ProtocolEvent::FlowOpened { .. }
+            | ProtocolEvent::FlowBlocked { .. }
             | ProtocolEvent::CpiInserted { .. }
             | ProtocolEvent::ReorderExit { .. } => {} // `ProtocolEvent` is non_exhaustive for downstream crates;
                                                       // within the defining layer the match is complete.

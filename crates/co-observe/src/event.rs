@@ -51,6 +51,20 @@ pub enum ProtocolEvent {
         /// Entity-local monotonic time, µs.
         now_us: u64,
     },
+    /// Gauge snapshot of the send window at the moment the flow condition
+    /// (§4.2) blocked a submit. Emitted alongside
+    /// [`ProtocolEvent::FlowClosed`]; the extra fields let offline
+    /// analysis distinguish window exhaustion from buffer starvation.
+    FlowBlocked {
+        /// Own PDUs sent but not yet known accepted everywhere
+        /// (`SEQ − minAL_i`).
+        outstanding: u64,
+        /// Effective window limit `min(W, minBUF/(H·2n))`; `0` means the
+        /// slowest receiver's advertised buffer starves the share.
+        limit: u64,
+        /// Entity-local monotonic time, µs.
+        now_us: u64,
+    },
     /// A fresh data PDU was broadcast (the transmission action; also the
     /// entity's self-acceptance of its own PDU).
     DataSent {
@@ -124,6 +138,9 @@ pub enum ProtocolEvent {
         src: EntityId,
         /// The confirmed frontier that exposed the loss.
         confirmed: Seq,
+        /// The peer whose ACK vector carried the evidence (span
+        /// correlation: ties the detection to that peer's PDU).
+        via: EntityId,
         /// Entity-local monotonic time, µs.
         now_us: u64,
     },
@@ -218,6 +235,7 @@ impl ProtocolEvent {
             ProtocolEvent::Submitted { now_us }
             | ProtocolEvent::FlowClosed { now_us }
             | ProtocolEvent::FlowOpened { now_us }
+            | ProtocolEvent::FlowBlocked { now_us, .. }
             | ProtocolEvent::DataSent { now_us, .. }
             | ProtocolEvent::Accepted { now_us, .. }
             | ProtocolEvent::PreAcked { now_us, .. }
@@ -244,6 +262,7 @@ impl ProtocolEvent {
             ProtocolEvent::Submitted { .. } => "submitted",
             ProtocolEvent::FlowClosed { .. } => "flow_closed",
             ProtocolEvent::FlowOpened { .. } => "flow_opened",
+            ProtocolEvent::FlowBlocked { .. } => "flow_blocked",
             ProtocolEvent::DataSent { .. } => "data_sent",
             ProtocolEvent::Accepted { .. } => "accepted",
             ProtocolEvent::PreAcked { .. } => "pre_acked",
@@ -298,8 +317,9 @@ impl ProtocolEvent {
             ProtocolEvent::F2Detected {
                 src,
                 confirmed,
+                via,
                 now_us,
-            } => [9, id(src), confirmed.get(), 0, now_us],
+            } => [9, id(src), confirmed.get(), id(via), now_us],
             ProtocolEvent::Duplicate { src, seq, now_us } => [10, id(src), seq.get(), 0, now_us],
             ProtocolEvent::ReorderEnter { src, seq, now_us } => [11, id(src), seq.get(), 0, now_us],
             ProtocolEvent::ReorderExit { src, seq, now_us } => [12, id(src), seq.get(), 0, now_us],
@@ -313,6 +333,11 @@ impl ProtocolEvent {
             ProtocolEvent::RetServed { to, seq, now_us } => [16, id(to), seq.get(), 0, now_us],
             ProtocolEvent::RetUnservable { amount, now_us } => [17, amount, 0, 0, now_us],
             ProtocolEvent::AckOnlySent { now_us } => [18, 0, 0, 0, now_us],
+            ProtocolEvent::FlowBlocked {
+                outstanding,
+                limit,
+                now_us,
+            } => [19, outstanding, limit, 0, now_us],
         }
     }
 }
@@ -340,6 +365,11 @@ mod tests {
             ProtocolEvent::Submitted { now_us: 0 },
             ProtocolEvent::FlowClosed { now_us: 0 },
             ProtocolEvent::FlowOpened { now_us: 0 },
+            ProtocolEvent::FlowBlocked {
+                outstanding: 4,
+                limit: 4,
+                now_us: 0,
+            },
             ProtocolEvent::AckOnlySent { now_us: 0 },
             ProtocolEvent::RetUnservable {
                 amount: 1,

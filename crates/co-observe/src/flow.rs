@@ -1,0 +1,94 @@
+//! Flow-condition gauge fold: the window state as last observed.
+//!
+//! [`ProtocolEvent::FlowBlocked`] is a gauge event — it carries the send
+//! window's state (`outstanding`, effective `limit`) at the moment the §4.2
+//! flow condition blocked a submit. This fold keeps the latest snapshot
+//! plus a cumulative blocked count, in the shape the Prometheus exporter
+//! ([`crate::prom::render_flow`]) wants.
+
+use crate::event::ProtocolEvent;
+use crate::observer::Observer;
+
+/// Folds flow events into gauge values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowGauge {
+    blocked_events: u64,
+    last_outstanding: u64,
+    last_limit: u64,
+    blocked_now: bool,
+}
+
+impl FlowGauge {
+    /// A zeroed gauge (flow open, nothing observed).
+    pub fn new() -> Self {
+        FlowGauge::default()
+    }
+
+    /// Cumulative number of blocked submits observed.
+    pub fn blocked_events(&self) -> u64 {
+        self.blocked_events
+    }
+
+    /// `outstanding` from the most recent [`ProtocolEvent::FlowBlocked`]
+    /// (own PDUs sent but not yet known accepted everywhere).
+    pub fn last_outstanding(&self) -> u64 {
+        self.last_outstanding
+    }
+
+    /// `limit` from the most recent [`ProtocolEvent::FlowBlocked`]; `0`
+    /// means the buffer share was starved.
+    pub fn last_limit(&self) -> u64 {
+        self.last_limit
+    }
+
+    /// Whether the flow condition is currently closed (a block was
+    /// observed and no re-open since).
+    pub fn blocked_now(&self) -> bool {
+        self.blocked_now
+    }
+}
+
+impl Observer for FlowGauge {
+    fn on_event(&mut self, event: ProtocolEvent) {
+        match event {
+            ProtocolEvent::FlowBlocked {
+                outstanding, limit, ..
+            } => {
+                self.blocked_events += 1;
+                self.last_outstanding = outstanding;
+                self.last_limit = limit;
+                self.blocked_now = true;
+            }
+            ProtocolEvent::FlowOpened { .. } => self.blocked_now = false,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_block_and_reopen() {
+        let mut g = FlowGauge::new();
+        assert!(!g.blocked_now());
+        g.on_event(ProtocolEvent::FlowBlocked {
+            outstanding: 8,
+            limit: 8,
+            now_us: 1,
+        });
+        g.on_event(ProtocolEvent::FlowBlocked {
+            outstanding: 9,
+            limit: 4,
+            now_us: 2,
+        });
+        assert_eq!(g.blocked_events(), 2);
+        assert_eq!(g.last_outstanding(), 9);
+        assert_eq!(g.last_limit(), 4);
+        assert!(g.blocked_now());
+        g.on_event(ProtocolEvent::FlowOpened { now_us: 3 });
+        assert!(!g.blocked_now());
+        assert_eq!(g.blocked_events(), 2, "count is cumulative");
+    }
+}

@@ -55,6 +55,21 @@ impl Histogram {
         self.max = self.max.max(value_us);
     }
 
+    /// Merges another histogram into this one. Equivalent to having
+    /// recorded the union of both sample sets: bucket counts add, and the
+    /// summary statistics (count, sum, min, max) combine losslessly —
+    /// quantile queries on the merge answer exactly as they would on the
+    /// folded union.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -164,6 +179,40 @@ mod tests {
         assert!((50..=63).contains(&p50), "p50 bound {p50}");
         assert_eq!(h.quantile_us(1.0), 100);
         assert_eq!(Histogram::new().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn merge_equals_folding_the_union() {
+        let (a_samples, b_samples) = ([1u64, 7, 300], [0u64, 7, 9_000_000]);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for v in a_samples {
+            a.record(v);
+            union.record(v);
+        }
+        for v in b_samples {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let before = h;
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        assert_eq!(both, Histogram::new());
+        assert_eq!(both.min_us(), 0);
     }
 
     #[test]

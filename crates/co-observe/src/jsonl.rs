@@ -113,9 +113,21 @@ pub fn encode_line(line: &TraceLine) -> String {
                     push_field(&mut out, "expected", expected.get());
                     push_field(&mut out, "got", got.get());
                 }
-                ProtocolEvent::F2Detected { src, confirmed, .. } => {
+                ProtocolEvent::F2Detected {
+                    src,
+                    confirmed,
+                    via,
+                    ..
+                } => {
                     push_field(&mut out, "src", id(src));
                     push_field(&mut out, "confirmed", confirmed.get());
+                    push_field(&mut out, "via", id(via));
+                }
+                ProtocolEvent::FlowBlocked {
+                    outstanding, limit, ..
+                } => {
+                    push_field(&mut out, "outstanding", outstanding);
+                    push_field(&mut out, "limit", limit);
                 }
                 ProtocolEvent::RetSent { src, lseq, .. }
                 | ProtocolEvent::RetSuppressed { src, lseq, .. } => {
@@ -184,33 +196,108 @@ fn parse_flat<'a>(line: &'a str) -> Option<Vec<(&'a str, FieldValue<'a>)>> {
     Some(fields)
 }
 
-/// Parses one trace line. Returns `None` for malformed lines or unknown
-/// kinds (forward compatibility: newer writers may add kinds).
-pub fn parse_line(line: &str) -> Option<TraceLine> {
-    let fields = parse_flat(line)?;
-    let num = |key: &str| {
-        fields.iter().find_map(|(k, v)| match v {
-            FieldValue::Num(n) if *k == key => Some(*n),
+/// Why one trace line failed to parse strictly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineError {
+    /// Not a flat JSON object: bad syntax, a truncated line, or a nested
+    /// value the flat format does not allow.
+    Malformed,
+    /// A required field is absent (or present with the wrong type).
+    MissingField(&'static str),
+    /// The `kind` tag names no record this decoder knows.
+    UnknownKind(String),
+    /// An entity-id field exceeds the 32-bit id space.
+    EntityOutOfRange {
+        /// The offending field key.
+        field: &'static str,
+        /// The out-of-range value as written.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineError::Malformed => write!(f, "malformed flat-JSON object"),
+            LineError::MissingField(key) => write!(f, "missing field `{key}`"),
+            LineError::UnknownKind(kind) => write!(f, "unknown event kind `{kind}`"),
+            LineError::EntityOutOfRange { field, value } => {
+                write!(f, "entity id `{field}`={value} exceeds the u32 id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
+/// A strict-parse failure, locating the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number within the trace text.
+    pub line: usize,
+    /// What was wrong with it.
+    pub error: LineError,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses one trace line, reporting exactly why it failed. Unknown kinds
+/// are an error here — use [`parse_line`]/[`parse_trace`] when forward
+/// compatibility with newer writers matters more than diagnostics.
+pub fn parse_line_strict(line: &str) -> Result<TraceLine, LineError> {
+    let fields = parse_flat(line).ok_or(LineError::Malformed)?;
+    let num = |key: &'static str| {
+        fields
+            .iter()
+            .find_map(|(k, v)| match v {
+                FieldValue::Num(n) if *k == key => Some(*n),
+                _ => None,
+            })
+            .ok_or(LineError::MissingField(key))
+    };
+    let boolean = |key: &'static str| {
+        fields
+            .iter()
+            .find_map(|(k, v)| match v {
+                FieldValue::Bool(b) if *k == key => Some(*b),
+                _ => None,
+            })
+            .ok_or(LineError::MissingField(key))
+    };
+    let ent = |key: &'static str| {
+        let raw = num(key)?;
+        u32::try_from(raw)
+            .map(EntityId::new)
+            .map_err(|_| LineError::EntityOutOfRange {
+                field: key,
+                value: raw,
+            })
+    };
+    let kind = fields
+        .iter()
+        .find_map(|(k, v)| match v {
+            FieldValue::Str(s) if *k == "kind" => Some(*s),
             _ => None,
         })
+        .ok_or(LineError::MissingField("kind"))?;
+    let node = {
+        let raw = num("node")?;
+        u32::try_from(raw).map_err(|_| LineError::EntityOutOfRange {
+            field: "node",
+            value: raw,
+        })?
     };
-    let boolean = |key: &str| {
-        fields.iter().find_map(|(k, v)| match v {
-            FieldValue::Bool(b) if *k == key => Some(*b),
-            _ => None,
-        })
-    };
-    let kind = fields.iter().find_map(|(k, v)| match v {
-        FieldValue::Str(s) if *k == "kind" => Some(*s),
-        _ => None,
-    })?;
-    let node = u32::try_from(num("node")?).ok()?;
     let t = num("t_us")?;
-    let src = || num("src").map(|s| EntityId::new(u32::try_from(s).ok().unwrap_or(u32::MAX)));
     let seq = || num("seq").map(Seq::new);
     let event = match kind {
         "host_tco" => {
-            return Some(TraceLine::HostTco {
+            return Ok(TraceLine::HostTco {
                 node,
                 at_us: t,
                 dur_us: num("dur_us")?,
@@ -219,77 +306,83 @@ pub fn parse_line(line: &str) -> Option<TraceLine> {
         "submitted" => ProtocolEvent::Submitted { now_us: t },
         "flow_closed" => ProtocolEvent::FlowClosed { now_us: t },
         "flow_opened" => ProtocolEvent::FlowOpened { now_us: t },
+        "flow_blocked" => ProtocolEvent::FlowBlocked {
+            outstanding: num("outstanding")?,
+            limit: num("limit")?,
+            now_us: t,
+        },
         "ack_only_sent" => ProtocolEvent::AckOnlySent { now_us: t },
         "data_sent" => ProtocolEvent::DataSent {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             now_us: t,
         },
         "accepted" => ProtocolEvent::Accepted {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             from_reorder: boolean("from_reorder")?,
             now_us: t,
         },
         "pre_acked" => ProtocolEvent::PreAcked {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             now_us: t,
         },
         "cpi_inserted" => ProtocolEvent::CpiInserted {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             position: num("pos")?,
             now_us: t,
         },
         "delivered" => ProtocolEvent::Delivered {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             now_us: t,
         },
         "f1_detected" => ProtocolEvent::F1Detected {
-            src: src()?,
+            src: ent("src")?,
             expected: Seq::new(num("expected")?),
             got: Seq::new(num("got")?),
             now_us: t,
         },
         "f2_detected" => ProtocolEvent::F2Detected {
-            src: src()?,
+            src: ent("src")?,
             confirmed: Seq::new(num("confirmed")?),
+            via: ent("via")?,
             now_us: t,
         },
         "duplicate" => ProtocolEvent::Duplicate {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             now_us: t,
         },
         "reorder_enter" => ProtocolEvent::ReorderEnter {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             now_us: t,
         },
         "reorder_exit" => ProtocolEvent::ReorderExit {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             now_us: t,
         },
         "ooo_discarded" => ProtocolEvent::OutOfOrderDiscarded {
-            src: src()?,
+            src: ent("src")?,
             seq: seq()?,
             now_us: t,
         },
         "ret_sent" => ProtocolEvent::RetSent {
-            src: src()?,
+            src: ent("src")?,
             lseq: Seq::new(num("lseq")?),
             now_us: t,
         },
         "ret_suppressed" => ProtocolEvent::RetSuppressed {
-            src: src()?,
+            src: ent("src")?,
             lseq: Seq::new(num("lseq")?),
             now_us: t,
         },
         "ret_served" => ProtocolEvent::RetServed {
-            to: EntityId::new(u32::try_from(num("to")?).ok()?),
+            to: ent("to")?,
             seq: seq()?,
             now_us: t,
         },
@@ -297,14 +390,38 @@ pub fn parse_line(line: &str) -> Option<TraceLine> {
             amount: num("amount")?,
             now_us: t,
         },
-        _ => return None,
+        other => return Err(LineError::UnknownKind(other.to_string())),
     };
-    Some(TraceLine::Event { node, event })
+    Ok(TraceLine::Event { node, event })
+}
+
+/// Parses one trace line. Returns `None` for malformed lines or unknown
+/// kinds (forward compatibility: newer writers may add kinds).
+pub fn parse_line(line: &str) -> Option<TraceLine> {
+    parse_line_strict(line).ok()
 }
 
 /// Parses a whole trace, skipping malformed/unknown lines.
 pub fn parse_trace(text: &str) -> Vec<TraceLine> {
     text.lines().filter_map(parse_line).collect()
+}
+
+/// Parses a whole trace strictly: the first bad line aborts with a
+/// [`TraceError`] naming the 1-based line number. Blank lines are
+/// allowed (trailing newlines are common in JSONL files).
+pub fn parse_trace_strict(text: &str) -> Result<Vec<TraceLine>, TraceError> {
+    let mut lines = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = parse_line_strict(line).map_err(|error| TraceError {
+            line: idx + 1,
+            error,
+        })?;
+        lines.push(parsed);
+    }
+    Ok(lines)
 }
 
 /// Application-to-application delays (the paper's Tap, §5): for every
@@ -427,6 +544,93 @@ mod tests {
         let trace = "garbage\n{\"node\":0,\"kind\":\"submitted\",\"t_us\":5}\n{\"kind\":9}";
         let parsed = parse_trace(trace);
         assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn round_trips_span_correlation_fields() {
+        let lines = [
+            TraceLine::Event {
+                node: 2,
+                event: ProtocolEvent::F2Detected {
+                    src: id(0),
+                    confirmed: Seq::new(5),
+                    via: id(1),
+                    now_us: 10,
+                },
+            },
+            TraceLine::Event {
+                node: 0,
+                event: ProtocolEvent::FlowBlocked {
+                    outstanding: 8,
+                    limit: 8,
+                    now_us: 11,
+                },
+            },
+        ];
+        for line in &lines {
+            let text = encode_line(line);
+            assert_eq!(parse_line_strict(&text), Ok(*line), "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn truncated_line_is_malformed() {
+        let full = encode_line(&TraceLine::Event {
+            node: 0,
+            event: ProtocolEvent::Delivered {
+                src: id(1),
+                seq: Seq::new(3),
+                now_us: 7,
+            },
+        });
+        let truncated = &full[..full.len() - 1];
+        assert_eq!(parse_line_strict(truncated), Err(LineError::Malformed));
+    }
+
+    #[test]
+    fn unknown_kind_is_a_typed_error() {
+        let line = "{\"node\":0,\"kind\":\"wormhole\",\"t_us\":5}";
+        assert_eq!(
+            parse_line_strict(line),
+            Err(LineError::UnknownKind("wormhole".to_string()))
+        );
+        // The lenient parser still skips it (forward compatibility).
+        assert_eq!(parse_line(line), None);
+    }
+
+    #[test]
+    fn out_of_range_entity_id_is_a_typed_error() {
+        let line = "{\"node\":0,\"kind\":\"delivered\",\"t_us\":5,\"src\":4294967296,\"seq\":1}";
+        assert_eq!(
+            parse_line_strict(line),
+            Err(LineError::EntityOutOfRange {
+                field: "src",
+                value: 4_294_967_296,
+            })
+        );
+        let line = "{\"node\":4294967296,\"kind\":\"submitted\",\"t_us\":5}";
+        assert!(matches!(
+            parse_line_strict(line),
+            Err(LineError::EntityOutOfRange { field: "node", .. })
+        ));
+    }
+
+    #[test]
+    fn missing_field_is_a_typed_error() {
+        let line = "{\"node\":0,\"kind\":\"delivered\",\"t_us\":5,\"seq\":1}";
+        assert_eq!(parse_line_strict(line), Err(LineError::MissingField("src")));
+    }
+
+    #[test]
+    fn strict_trace_parse_reports_the_line_number() {
+        let trace =
+            "{\"node\":0,\"kind\":\"submitted\",\"t_us\":5}\n\n{\"node\":0,\"kind\":\"submitted\"";
+        let err = parse_trace_strict(trace).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.error, LineError::Malformed);
+        assert!(err.to_string().contains("line 3"));
+        let ok = parse_trace_strict("{\"node\":0,\"kind\":\"submitted\",\"t_us\":5}\n").unwrap();
+        assert_eq!(ok.len(), 1);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 mod counters;
 mod event;
+mod flow;
 mod histogram;
 pub mod jsonl;
 mod latency;
@@ -42,6 +43,7 @@ mod snapshot;
 
 pub use counters::{CounterFold, Counters};
 pub use event::ProtocolEvent;
+pub use flow::FlowGauge;
 pub use histogram::{Histogram, BUCKETS};
 pub use jsonl::TraceLine;
 pub use latency::LatencyTracker;

@@ -1,12 +1,58 @@
-//! Prometheus-style text exposition of counters and histograms.
+//! Prometheus-style text exposition of counters, histograms, and flow
+//! gauges.
 
 use crate::counters::Counters;
+use crate::flow::FlowGauge;
 use crate::latency::LatencyTracker;
+
+/// Escapes a label value per the Prometheus text-format spec: backslash,
+/// double quote, and line feed become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// One-line help text for a counter, keyed by its
+/// [`Counters::entries`] name.
+fn counter_help(name: &str) -> &'static str {
+    match name {
+        "data_sent" => "Data PDUs broadcast for fresh application payloads.",
+        "retransmissions_sent" => "Data PDUs rebroadcast in response to RET requests.",
+        "ret_sent" => "RET PDUs broadcast.",
+        "ack_only_sent" => "Confirmation-only PDUs broadcast.",
+        "accepted" => "Data PDUs accepted (ACC condition held).",
+        "accepted_from_reorder" => "Data PDUs accepted out of the reorder buffer after gap repair.",
+        "delivered" => "Messages delivered to the application (reached ARL).",
+        "pre_acknowledged" => "Data PDUs pre-acknowledged (moved RRL to PRL).",
+        "f1_detections" => "Gaps detected by failure condition F1 (sequence gap on receipt).",
+        "f2_detections" => "Gaps detected by failure condition F2 (ack-vector evidence).",
+        "duplicates" => "Duplicate data PDUs ignored (already accepted).",
+        "buffered_out_of_order" => "Out-of-order data PDUs stored in the reorder buffer.",
+        "discarded_out_of_order" => "Out-of-order data PDUs discarded (go-back-n policy).",
+        "flow_blocked" => "Payloads queued because the flow condition was closed.",
+        "ret_suppressed" => "RET requests suppressed because one is already outstanding.",
+        "ret_unservable" => "PDUs requested for retransmission but missing from the send log.",
+        _ => "Protocol counter.",
+    }
+}
 
 /// Renders the counters in Prometheus text format, one
 /// `co_<counter>_total` metric per entry, labeled by node.
 pub fn render_counters(node: u32, counters: &Counters, out: &mut String) {
     for (name, value) in counters.entries() {
+        out.push_str("# HELP co_");
+        out.push_str(name);
+        out.push_str("_total ");
+        out.push_str(counter_help(name));
+        out.push('\n');
         out.push_str("# TYPE co_");
         out.push_str(name);
         out.push_str("_total counter\n");
@@ -17,8 +63,10 @@ pub fn render_counters(node: u32, counters: &Counters, out: &mut String) {
 /// Renders the latency histograms in Prometheus text format as
 /// `co_latency_us` histogram series labeled by node and stage.
 pub fn render_latency(node: u32, latency: &LatencyTracker, out: &mut String) {
+    out.push_str("# HELP co_latency_us Per-stage protocol latency, microseconds.\n");
     out.push_str("# TYPE co_latency_us histogram\n");
     for (stage, hist) in latency.stages() {
+        let stage = escape_label_value(stage);
         let mut last = 0;
         for (le, cumulative) in hist.cumulative_buckets() {
             // Only emit buckets that add information (plus the +Inf edge).
@@ -45,11 +93,56 @@ pub fn render_latency(node: u32, latency: &LatencyTracker, out: &mut String) {
     }
 }
 
+/// Renders the flow-condition gauges (§4.2 send-window state) in
+/// Prometheus text format.
+pub fn render_flow(node: u32, flow: &FlowGauge, out: &mut String) {
+    out.push_str("# HELP co_flow_blocked Whether the flow condition currently blocks sends (1) or not (0).\n");
+    out.push_str("# TYPE co_flow_blocked gauge\n");
+    out.push_str(&format!(
+        "co_flow_blocked{{node=\"{node}\"}} {}\n",
+        u64::from(flow.blocked_now())
+    ));
+    out.push_str(
+        "# HELP co_flow_outstanding Own PDUs sent but not yet known accepted everywhere, at the last blocked submit.\n",
+    );
+    out.push_str("# TYPE co_flow_outstanding gauge\n");
+    out.push_str(&format!(
+        "co_flow_outstanding{{node=\"{node}\"}} {}\n",
+        flow.last_outstanding()
+    ));
+    out.push_str(
+        "# HELP co_flow_limit Effective send-window limit min(W, minBUF/(H*2n)) at the last blocked submit; 0 means starved.\n",
+    );
+    out.push_str("# TYPE co_flow_limit gauge\n");
+    out.push_str(&format!(
+        "co_flow_limit{{node=\"{node}\"}} {}\n",
+        flow.last_limit()
+    ));
+    out.push_str("# HELP co_flow_blocked_events_total Submits blocked by the flow condition.\n");
+    out.push_str("# TYPE co_flow_blocked_events_total counter\n");
+    out.push_str(&format!(
+        "co_flow_blocked_events_total{{node=\"{node}\"}} {}\n",
+        flow.blocked_events()
+    ));
+}
+
 /// Full exposition: counters plus histograms.
 pub fn render(node: u32, counters: &Counters, latency: &LatencyTracker) -> String {
     let mut out = String::with_capacity(4096);
     render_counters(node, counters, &mut out);
     render_latency(node, latency, &mut out);
+    out
+}
+
+/// Full exposition including the flow gauges.
+pub fn render_with_flow(
+    node: u32,
+    counters: &Counters,
+    latency: &LatencyTracker,
+    flow: &FlowGauge,
+) -> String {
+    let mut out = render(node, counters, latency);
+    render_flow(node, flow, &mut out);
     out
 }
 
@@ -80,6 +173,7 @@ mod tests {
         });
         let text = render(0, &counters, &latency);
         assert!(text.contains("co_delivered_total{node=\"0\"} 3"));
+        assert!(text.contains("# HELP co_delivered_total "));
         assert!(text.contains("co_latency_us_count{node=\"0\",stage=\"accept_to_deliver\"} 1"));
         assert!(text.contains("co_latency_us_sum{node=\"0\",stage=\"accept_to_deliver\"} 750"));
         assert!(text.contains("le=\"+Inf\""));
@@ -90,5 +184,33 @@ mod tests {
                 "bad line {line}"
             );
         }
+    }
+
+    #[test]
+    fn renders_flow_gauges_with_help_and_type() {
+        let mut flow = FlowGauge::new();
+        flow.on_event(ProtocolEvent::FlowBlocked {
+            outstanding: 12,
+            limit: 8,
+            now_us: 5,
+        });
+        let text = render_with_flow(2, &Counters::default(), &LatencyTracker::new(), &flow);
+        assert!(text.contains("# TYPE co_flow_blocked gauge"));
+        assert!(text.contains("# HELP co_flow_blocked "));
+        assert!(text.contains("co_flow_blocked{node=\"2\"} 1"));
+        assert!(text.contains("co_flow_outstanding{node=\"2\"} 12"));
+        assert!(text.contains("co_flow_limit{node=\"2\"} 8"));
+        assert!(text.contains("# TYPE co_flow_blocked_events_total counter"));
+        assert!(text.contains("co_flow_blocked_events_total{node=\"2\"} 1"));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        // Composition: every special character in one value.
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
     }
 }

@@ -1,0 +1,148 @@
+//! Property tests for the observability layer: histogram merge is
+//! exactly the fold of the union, and the JSONL codec round-trips every
+//! event shape — including the span-correlation fields (`via` on F2,
+//! the flow-gauge payload) the trace analyzer joins on.
+
+use causal_order::{EntityId, Seq};
+use co_observe::jsonl::{self, TraceLine};
+use co_observe::{Histogram, ProtocolEvent};
+use proptest::prelude::*;
+
+/// Samples spanning all bucket regimes: the zero bucket, small values,
+/// and the wide tail.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..1024,
+        1024u64..1_000_000,
+        1_000_000u64..(1u64 << 41),
+    ]
+}
+
+fn entity() -> impl Strategy<Value = EntityId> {
+    (0u32..64).prop_map(EntityId::new)
+}
+
+fn seq() -> impl Strategy<Value = Seq> {
+    (1u64..1_000_000).prop_map(Seq::new)
+}
+
+fn event() -> impl Strategy<Value = ProtocolEvent> {
+    let t = 0u64..10_000_000;
+    prop_oneof![
+        (0u64..10_000_000).prop_map(|now_us| ProtocolEvent::Submitted { now_us }),
+        (0u64..10_000_000).prop_map(|now_us| ProtocolEvent::FlowClosed { now_us }),
+        (0u64..10_000_000).prop_map(|now_us| ProtocolEvent::FlowOpened { now_us }),
+        (0u64..1_000, 0u64..1_000, t.clone()).prop_map(|(outstanding, limit, now_us)| {
+            ProtocolEvent::FlowBlocked {
+                outstanding,
+                limit,
+                now_us,
+            }
+        }),
+        (entity(), seq(), t.clone()).prop_map(|(src, seq, now_us)| ProtocolEvent::DataSent {
+            src,
+            seq,
+            now_us
+        }),
+        (entity(), seq(), proptest::bool::ANY, t.clone()).prop_map(
+            |(src, seq, from_reorder, now_us)| ProtocolEvent::Accepted {
+                src,
+                seq,
+                from_reorder,
+                now_us,
+            }
+        ),
+        (entity(), seq(), t.clone()).prop_map(|(src, seq, now_us)| ProtocolEvent::PreAcked {
+            src,
+            seq,
+            now_us
+        }),
+        (entity(), seq(), 0u64..64, t.clone()).prop_map(|(src, seq, position, now_us)| {
+            ProtocolEvent::CpiInserted {
+                src,
+                seq,
+                position,
+                now_us,
+            }
+        }),
+        (entity(), seq(), t.clone()).prop_map(|(src, seq, now_us)| ProtocolEvent::Delivered {
+            src,
+            seq,
+            now_us
+        }),
+        (entity(), seq(), seq(), t.clone()).prop_map(|(src, expected, got, now_us)| {
+            ProtocolEvent::F1Detected {
+                src,
+                expected,
+                got,
+                now_us,
+            }
+        }),
+        (entity(), seq(), entity(), t.clone()).prop_map(|(src, confirmed, via, now_us)| {
+            ProtocolEvent::F2Detected {
+                src,
+                confirmed,
+                via,
+                now_us,
+            }
+        }),
+        (entity(), seq(), t.clone()).prop_map(|(src, lseq, now_us)| ProtocolEvent::RetSent {
+            src,
+            lseq,
+            now_us
+        }),
+        (entity(), seq(), t.clone()).prop_map(|(to, seq, now_us)| ProtocolEvent::RetServed {
+            to,
+            seq,
+            now_us
+        }),
+        (0u64..100, t.clone())
+            .prop_map(|(amount, now_us)| ProtocolEvent::RetUnservable { amount, now_us }),
+        t.prop_map(|now_us| ProtocolEvent::AckOnlySent { now_us }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_equals_union_fold(
+        left in proptest::collection::vec(sample(), 0..200),
+        right in proptest::collection::vec(sample(), 0..200),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for &v in &left {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a, union);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(a.quantile_us(q), union.quantile_us(q));
+        }
+        prop_assert_eq!(a.count(), (left.len() + right.len()) as u64);
+    }
+
+    #[test]
+    fn jsonl_round_trips_arbitrary_events(
+        nodes_events in proptest::collection::vec((0u32..16, event()), 1..64),
+    ) {
+        let lines: Vec<TraceLine> = nodes_events
+            .into_iter()
+            .map(|(node, event)| TraceLine::Event { node, event })
+            .collect();
+        let text: String = lines
+            .iter()
+            .map(|l| jsonl::encode_line(l) + "\n")
+            .collect();
+        let strict = jsonl::parse_trace_strict(&text).expect("writer output parses strictly");
+        prop_assert_eq!(&strict, &lines);
+        let lenient = jsonl::parse_trace(&text);
+        prop_assert_eq!(&lenient, &lines);
+    }
+}

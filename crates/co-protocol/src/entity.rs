@@ -10,7 +10,7 @@ use crate::actions::{Action, ActionSink, Delivery, SubmitOutcome};
 use crate::config::{Config, ConfigError, DeferralPolicy, RetransmissionPolicy};
 use crate::cpi::CausalLog;
 use crate::error::ProtocolError;
-use crate::flow::{flow_decision, FlowDecision};
+use crate::flow::{flow_decision, flow_limit, FlowDecision};
 use crate::logs::{ReceiptLogs, SendLog};
 use crate::matrix::KnowledgeMatrix;
 use crate::metrics::Metrics;
@@ -336,6 +336,17 @@ impl<O: Observer> Entity<O> {
             }
             self.observer.on_event(ProtocolEvent::Submitted { now_us });
             self.observer.on_event(ProtocolEvent::FlowClosed { now_us });
+            let me = self.config.me;
+            self.observer.on_event(ProtocolEvent::FlowBlocked {
+                outstanding: self.req[me.index()].get() - self.al.row_min(me).get(),
+                limit: flow_limit(
+                    self.config.window,
+                    self.min_buf(),
+                    self.config.pdu_buf_units,
+                    self.config.n(),
+                ),
+                now_us,
+            });
             self.pending.push_back(data);
             self.metrics.flow_blocked += 1;
             Ok(SubmitOutcome::Queued)
@@ -735,6 +746,7 @@ impl<O: Observer> Entity<O> {
                 self.observer.on_event(ProtocolEvent::F2Detected {
                     src: source,
                     confirmed,
+                    via: from,
                     now_us,
                 });
                 self.send_ret(source, confirmed, now_us, sink);

@@ -1,0 +1,593 @@
+//! Anomaly rules over a stitched trace.
+
+use std::collections::BTreeMap;
+
+use co_observe::{ProtocolEvent, TraceLine};
+
+use crate::span::{BroadcastSpan, SpanSet};
+
+/// Thresholds for [`detect`]. The defaults are tuned so a clean,
+/// quiesced schedule produces zero findings; `co-cli trace analyze`
+/// exposes each as a flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnomalyConfig {
+    /// A PDU pre-acked but not delivered for longer than this (measured
+    /// against the trace's last timestamp) is stuck. The same staleness
+    /// gate is applied to never-acknowledged PDUs, so a broadcast still
+    /// legitimately in flight at the end of the trace is not flagged.
+    pub stuck_preack_us: u64,
+    /// At least this many `RET` requests for one source within
+    /// [`AnomalyConfig::ret_storm_window_us`] is a retransmission storm.
+    pub ret_storm_requests: usize,
+    /// Sliding window for the RET-storm rule, µs.
+    pub ret_storm_window_us: u64,
+    /// F1/F2 detections closer together than this gap belong to the same
+    /// loss burst.
+    pub loss_cluster_gap_us: u64,
+    /// Minimum detections for a cluster to be reported as a loss burst.
+    pub loss_cluster_min: usize,
+    /// Minimum `flow_blocked` gauge events at one node to report flow
+    /// saturation.
+    pub flow_blocked_min: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            stuck_preack_us: 100_000,
+            ret_storm_requests: 6,
+            ret_storm_window_us: 20_000,
+            loss_cluster_gap_us: 10_000,
+            loss_cluster_min: 3,
+            flow_blocked_min: 32,
+        }
+    }
+}
+
+/// One detected protocol anomaly, with the evidence that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    /// A PDU reached the `PRL` at `node` but never the `ARL`: the
+    /// stability frontier stalled underneath it.
+    StuckAtPreAck {
+        /// The node where the PDU is stuck.
+        node: u32,
+        /// The PDU's source.
+        src: u32,
+        /// The PDU's sequence number.
+        seq: u64,
+        /// Time from pre-ack to the end of the trace, µs.
+        waited_us: u64,
+        /// The full span, as evidence.
+        span: BroadcastSpan,
+    },
+    /// A broadcast old enough to have quiesced was never delivered by
+    /// every destination.
+    NeverAcknowledged {
+        /// The PDU's source.
+        src: u32,
+        /// The PDU's sequence number.
+        seq: u64,
+        /// Destinations that never delivered it.
+        missing: Vec<u32>,
+        /// The full span, as evidence.
+        span: BroadcastSpan,
+    },
+    /// A burst of `RET` requests for one source — its PDUs are being
+    /// lost (or its retransmissions are) faster than repair converges.
+    RetStorm {
+        /// The source whose PDUs keep being re-requested.
+        src: u32,
+        /// Requests inside the densest window.
+        requests: usize,
+        /// The configured window width, µs.
+        window_us: u64,
+        /// Start of the densest window, µs.
+        from_us: u64,
+        /// End of the densest window, µs.
+        to_us: u64,
+        /// The nodes that issued the requests, ascending.
+        requesters: Vec<u32>,
+    },
+    /// A cluster of F1/F2 loss detections tight enough in time to be one
+    /// loss event (e.g. an outage window, not independent drops).
+    LossBurst {
+        /// Total detections in the cluster.
+        detections: usize,
+        /// How many were F1 (sequence gap on receipt).
+        f1: usize,
+        /// How many were F2 (exposed by a peer's ACK vector).
+        f2: usize,
+        /// First detection, µs.
+        from_us: u64,
+        /// Last detection, µs.
+        to_us: u64,
+        /// Sources whose PDUs were detected missing, ascending.
+        sources: Vec<u32>,
+    },
+    /// The §4.2 flow condition repeatedly blocked submits at one node.
+    FlowSaturation {
+        /// The blocked node.
+        node: u32,
+        /// Number of blocked submits.
+        blocked: usize,
+        /// Largest outstanding-PDU count observed while blocked.
+        max_outstanding: u64,
+        /// Smallest effective window limit observed while blocked.
+        min_limit: u64,
+        /// Whether the limit ever hit zero (buffer starvation, not mere
+        /// window exhaustion).
+        starved: bool,
+        /// First blocked submit, µs.
+        from_us: u64,
+        /// Last blocked submit, µs.
+        to_us: u64,
+    },
+}
+
+impl Finding {
+    /// Short stable name of the rule that fired (used in text and JSON
+    /// renderings).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Finding::StuckAtPreAck { .. } => "stuck_at_pre_ack",
+            Finding::NeverAcknowledged { .. } => "never_acknowledged",
+            Finding::RetStorm { .. } => "ret_storm",
+            Finding::LossBurst { .. } => "loss_burst",
+            Finding::FlowSaturation { .. } => "flow_saturation",
+        }
+    }
+}
+
+fn detect_ret_storms(lines: &[TraceLine], cfg: &AnomalyConfig, out: &mut Vec<Finding>) {
+    // (time, requester) per missing source, in trace order.
+    let mut per_src: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
+    for line in lines {
+        if let TraceLine::Event {
+            node,
+            event: ProtocolEvent::RetSent { src, now_us, .. },
+        } = *line
+        {
+            per_src
+                .entry(src.index() as u32)
+                .or_default()
+                .push((now_us, node));
+        }
+    }
+    for (src, mut reqs) in per_src {
+        reqs.sort_unstable();
+        // Densest fixed-width window over the sorted request times.
+        let mut best: Option<(usize, usize, usize)> = None; // (count, lo, hi)
+        let mut lo = 0;
+        for hi in 0..reqs.len() {
+            while reqs[hi].0 - reqs[lo].0 > cfg.ret_storm_window_us {
+                lo += 1;
+            }
+            let count = hi - lo + 1;
+            if best.is_none_or(|(c, ..)| count > c) {
+                best = Some((count, lo, hi));
+            }
+        }
+        if let Some((count, lo, hi)) = best {
+            if count >= cfg.ret_storm_requests {
+                let mut requesters: Vec<u32> = reqs[lo..=hi].iter().map(|&(_, n)| n).collect();
+                requesters.sort_unstable();
+                requesters.dedup();
+                out.push(Finding::RetStorm {
+                    src,
+                    requests: count,
+                    window_us: cfg.ret_storm_window_us,
+                    from_us: reqs[lo].0,
+                    to_us: reqs[hi].0,
+                    requesters,
+                });
+            }
+        }
+    }
+}
+
+fn detect_loss_bursts(lines: &[TraceLine], cfg: &AnomalyConfig, out: &mut Vec<Finding>) {
+    // (time, source, is_f2) per detection.
+    let mut detections: Vec<(u64, u32, bool)> = Vec::new();
+    for line in lines {
+        if let TraceLine::Event { event, .. } = line {
+            match *event {
+                ProtocolEvent::F1Detected { src, now_us, .. } => {
+                    detections.push((now_us, src.index() as u32, false));
+                }
+                ProtocolEvent::F2Detected { src, now_us, .. } => {
+                    detections.push((now_us, src.index() as u32, true));
+                }
+                _ => {}
+            }
+        }
+    }
+    detections.sort_unstable();
+    let mut cluster_start = 0;
+    for i in 0..=detections.len() {
+        let closes_cluster = i == detections.len()
+            || (i > cluster_start
+                && detections[i].0 - detections[i - 1].0 > cfg.loss_cluster_gap_us);
+        if !closes_cluster {
+            continue;
+        }
+        let cluster = &detections[cluster_start..i];
+        cluster_start = i;
+        if cluster.len() < cfg.loss_cluster_min {
+            continue;
+        }
+        let f2 = cluster.iter().filter(|&&(_, _, is_f2)| is_f2).count();
+        let mut sources: Vec<u32> = cluster.iter().map(|&(_, s, _)| s).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        out.push(Finding::LossBurst {
+            detections: cluster.len(),
+            f1: cluster.len() - f2,
+            f2,
+            from_us: cluster[0].0,
+            to_us: cluster[cluster.len() - 1].0,
+            sources,
+        });
+    }
+}
+
+fn detect_flow_saturation(lines: &[TraceLine], cfg: &AnomalyConfig, out: &mut Vec<Finding>) {
+    struct Gauge {
+        blocked: usize,
+        max_outstanding: u64,
+        min_limit: u64,
+        from_us: u64,
+        to_us: u64,
+    }
+    let mut per_node: BTreeMap<u32, Gauge> = BTreeMap::new();
+    for line in lines {
+        if let TraceLine::Event {
+            node,
+            event:
+                ProtocolEvent::FlowBlocked {
+                    outstanding,
+                    limit,
+                    now_us,
+                },
+        } = *line
+        {
+            let g = per_node.entry(node).or_insert(Gauge {
+                blocked: 0,
+                max_outstanding: 0,
+                min_limit: u64::MAX,
+                from_us: now_us,
+                to_us: now_us,
+            });
+            g.blocked += 1;
+            g.max_outstanding = g.max_outstanding.max(outstanding);
+            g.min_limit = g.min_limit.min(limit);
+            g.from_us = g.from_us.min(now_us);
+            g.to_us = g.to_us.max(now_us);
+        }
+    }
+    for (node, g) in per_node {
+        if g.blocked >= cfg.flow_blocked_min {
+            out.push(Finding::FlowSaturation {
+                node,
+                blocked: g.blocked,
+                max_outstanding: g.max_outstanding,
+                min_limit: g.min_limit,
+                starved: g.min_limit == 0,
+                from_us: g.from_us,
+                to_us: g.to_us,
+            });
+        }
+    }
+}
+
+fn detect_span_anomalies(set: &SpanSet, cfg: &AnomalyConfig, out: &mut Vec<Finding>) {
+    for span in set.spans.values() {
+        for (node, stage) in span.stages.iter().enumerate() {
+            if let (Some(preack), None) = (stage.pre_ack_us, stage.deliver_us) {
+                let waited_us = set.end_us.saturating_sub(preack);
+                if waited_us > cfg.stuck_preack_us {
+                    out.push(Finding::StuckAtPreAck {
+                        node: node as u32,
+                        src: span.src,
+                        seq: span.seq,
+                        waited_us,
+                        span: span.clone(),
+                    });
+                }
+            }
+        }
+        if let Some(sent) = span.sent_us {
+            let missing = span.missing_deliveries(set.n);
+            if !missing.is_empty() && set.end_us.saturating_sub(sent) > cfg.stuck_preack_us {
+                out.push(Finding::NeverAcknowledged {
+                    src: span.src,
+                    seq: span.seq,
+                    missing,
+                    span: span.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Runs every anomaly rule over the raw trace and its stitched
+/// [`SpanSet`]. Findings come out in a deterministic order: RET storms,
+/// loss bursts, flow saturation (each keyed ascending), then the
+/// span-derived rules in span order.
+pub fn detect(lines: &[TraceLine], set: &SpanSet, cfg: &AnomalyConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    detect_ret_storms(lines, cfg, &mut out);
+    detect_loss_bursts(lines, cfg, &mut out);
+    detect_flow_saturation(lines, cfg, &mut out);
+    detect_span_anomalies(set, cfg, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::stitch;
+    use causal_order::{EntityId, Seq};
+
+    fn ev(node: u32, event: ProtocolEvent) -> TraceLine {
+        TraceLine::Event { node, event }
+    }
+
+    fn id(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    #[test]
+    fn clean_complete_trace_has_no_findings() {
+        let (src, seq) = (id(0), Seq::new(1));
+        let mut lines = vec![ev(
+            0,
+            ProtocolEvent::DataSent {
+                src,
+                seq,
+                now_us: 10,
+            },
+        )];
+        for node in 0..2u32 {
+            if node != 0 {
+                lines.push(ev(
+                    node,
+                    ProtocolEvent::Accepted {
+                        src,
+                        seq,
+                        from_reorder: false,
+                        now_us: 20,
+                    },
+                ));
+            }
+            lines.push(ev(
+                node,
+                ProtocolEvent::PreAcked {
+                    src,
+                    seq,
+                    now_us: 30,
+                },
+            ));
+            lines.push(ev(
+                node,
+                ProtocolEvent::Delivered {
+                    src,
+                    seq,
+                    now_us: 40,
+                },
+            ));
+        }
+        let set = stitch(&lines);
+        assert!(detect(&lines, &set, &AnomalyConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn ret_storm_uses_the_densest_window() {
+        let cfg = AnomalyConfig {
+            ret_storm_requests: 3,
+            ret_storm_window_us: 100,
+            ..AnomalyConfig::default()
+        };
+        let ret = |node: u32, src: u32, now_us: u64| {
+            ev(
+                node,
+                ProtocolEvent::RetSent {
+                    src: id(src),
+                    lseq: Seq::new(9),
+                    now_us,
+                },
+            )
+        };
+        // Source 0: requests at 0, 50, 90, 500 — densest window holds 3.
+        // Source 1: only 2 requests — below threshold.
+        let lines = vec![
+            ret(1, 0, 0),
+            ret(2, 0, 50),
+            ret(1, 0, 90),
+            ret(2, 0, 500),
+            ret(1, 1, 0),
+            ret(1, 1, 10),
+        ];
+        let set = stitch(&lines);
+        let findings = detect(&lines, &set, &cfg);
+        assert_eq!(findings.len(), 1);
+        match &findings[0] {
+            Finding::RetStorm {
+                src,
+                requests,
+                from_us,
+                to_us,
+                requesters,
+                ..
+            } => {
+                assert_eq!(*src, 0);
+                assert_eq!(*requests, 3);
+                assert_eq!((*from_us, *to_us), (0, 90));
+                assert_eq!(requesters, &[1, 2]);
+            }
+            other => panic!("expected RetStorm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_detections_cluster_by_gap() {
+        let cfg = AnomalyConfig {
+            loss_cluster_gap_us: 100,
+            loss_cluster_min: 2,
+            ..AnomalyConfig::default()
+        };
+        let f1 = |now_us: u64, src: u32| {
+            ev(
+                0,
+                ProtocolEvent::F1Detected {
+                    src: id(src),
+                    expected: Seq::new(1),
+                    got: Seq::new(3),
+                    now_us,
+                },
+            )
+        };
+        let f2 = |now_us: u64, src: u32| {
+            ev(
+                1,
+                ProtocolEvent::F2Detected {
+                    src: id(src),
+                    confirmed: Seq::new(2),
+                    via: id(0),
+                    now_us,
+                },
+            )
+        };
+        // Cluster A: 3 detections at 0/40/120. A lone one at 5000.
+        // Cluster B: 2 detections at 9000/9050.
+        let lines = vec![
+            f1(0, 2),
+            f2(40, 2),
+            f1(120, 1),
+            f1(5000, 1),
+            f2(9000, 0),
+            f1(9050, 0),
+        ];
+        let set = stitch(&lines);
+        let findings = detect(&lines, &set, &cfg);
+        let bursts: Vec<_> = findings
+            .iter()
+            .filter(|f| matches!(f, Finding::LossBurst { .. }))
+            .collect();
+        assert_eq!(bursts.len(), 2);
+        match bursts[0] {
+            Finding::LossBurst {
+                detections,
+                f1,
+                f2,
+                from_us,
+                to_us,
+                sources,
+            } => {
+                assert_eq!((*detections, *f1, *f2), (3, 2, 1));
+                assert_eq!((*from_us, *to_us), (0, 120));
+                assert_eq!(sources, &[1, 2]);
+            }
+            other => panic!("expected LossBurst, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flow_saturation_aggregates_gauges() {
+        let cfg = AnomalyConfig {
+            flow_blocked_min: 2,
+            ..AnomalyConfig::default()
+        };
+        let blocked = |node: u32, outstanding: u64, limit: u64, now_us: u64| {
+            ev(
+                node,
+                ProtocolEvent::FlowBlocked {
+                    outstanding,
+                    limit,
+                    now_us,
+                },
+            )
+        };
+        let lines = vec![
+            blocked(0, 8, 8, 100),
+            blocked(0, 12, 0, 200),
+            blocked(1, 4, 4, 150),
+        ];
+        let set = stitch(&lines);
+        let findings = detect(&lines, &set, &cfg);
+        assert_eq!(findings.len(), 1);
+        match &findings[0] {
+            Finding::FlowSaturation {
+                node,
+                blocked,
+                max_outstanding,
+                min_limit,
+                starved,
+                from_us,
+                to_us,
+            } => {
+                assert_eq!(*node, 0);
+                assert_eq!(*blocked, 2);
+                assert_eq!(*max_outstanding, 12);
+                assert_eq!(*min_limit, 0);
+                assert!(*starved);
+                assert_eq!((*from_us, *to_us), (100, 200));
+            }
+            other => panic!("expected FlowSaturation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stuck_and_never_acked_respect_the_staleness_gate() {
+        let (src, seq) = (id(0), Seq::new(1));
+        let mut lines = vec![
+            ev(
+                0,
+                ProtocolEvent::DataSent {
+                    src,
+                    seq,
+                    now_us: 10,
+                },
+            ),
+            ev(
+                1,
+                ProtocolEvent::Accepted {
+                    src,
+                    seq,
+                    from_reorder: false,
+                    now_us: 20,
+                },
+            ),
+            ev(
+                1,
+                ProtocolEvent::PreAcked {
+                    src,
+                    seq,
+                    now_us: 30,
+                },
+            ),
+        ];
+        // Trace ends shortly after: still in flight, no findings.
+        lines.push(ev(0, ProtocolEvent::AckOnlySent { now_us: 50 }));
+        let set = stitch(&lines);
+        let cfg = AnomalyConfig {
+            stuck_preack_us: 1_000,
+            ..AnomalyConfig::default()
+        };
+        assert!(detect(&lines, &set, &cfg).is_empty());
+
+        // Trace ends much later: both rules fire.
+        lines.push(ev(0, ProtocolEvent::AckOnlySent { now_us: 10_000 }));
+        let set = stitch(&lines);
+        let findings = detect(&lines, &set, &cfg);
+        let kinds: Vec<_> = findings.iter().map(Finding::kind).collect();
+        assert!(kinds.contains(&"stuck_at_pre_ack"), "{kinds:?}");
+        assert!(kinds.contains(&"never_acknowledged"), "{kinds:?}");
+        match findings.iter().find(|f| f.kind() == "never_acknowledged") {
+            Some(Finding::NeverAcknowledged { missing, .. }) => {
+                assert_eq!(missing, &[0, 1]);
+            }
+            other => panic!("expected NeverAcknowledged, got {other:?}"),
+        }
+    }
+}

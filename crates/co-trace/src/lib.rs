@@ -1,0 +1,41 @@
+//! Cross-node causal span reconstruction for the CO protocol.
+//!
+//! `co-observe` gives each entity a local event stream; the paper's
+//! central objects — atomic receipt of one broadcast across *all*
+//! destinations (§4.1 acceptance → pre-acknowledgment → acknowledgment)
+//! and the Tap/Tco delays of Figure 8 — are inherently cluster-wide.
+//! This crate stitches the merged per-node JSONL trace back into those
+//! objects:
+//!
+//! * [`stitch`] joins `data_sent` / `accepted` / `pre_acked` /
+//!   `delivered` lines on `(source, seq)` into one [`BroadcastSpan`] per
+//!   PDU, with per-destination [`StageTimes`];
+//! * [`SpanSet::breakdown`] folds spans into the receipt-level latency
+//!   [`Breakdown`] (send→accept, accept→pre-ack, pre-ack→deliver,
+//!   send→deliver), per destination or aggregated, using the same
+//!   fixed-bucket [`co_observe::Histogram`]s as the live trackers —
+//!   `send→deliver` over remote destinations is exactly the paper's Tap;
+//! * [`detect`] runs the anomaly rules ([`Finding`]): stuck-at-pre-ack,
+//!   RET storms, F1/F2 loss-burst clusters, flow-condition saturation,
+//!   and never-acknowledged PDUs — each carrying the evidence that
+//!   produced it;
+//! * [`analyze`] bundles all of the above into a [`SpanReport`] with
+//!   text and JSON renderings (`co-cli trace analyze`, the
+//!   `co-transport` post-run report, and the `co-check` span oracle all
+//!   consume it).
+//!
+//! In this engine the ACK transition and the application hand-off
+//! coincide (one `delivered` event), so the paper's pre-ack→ack and
+//! ack→deliver stages appear merged as `pre-ack→deliver`; DESIGN.md
+//! ("Observability") tabulates the exact mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anomaly;
+mod report;
+mod span;
+
+pub use anomaly::{detect, AnomalyConfig, Finding};
+pub use report::{analyze, SpanReport};
+pub use span::{stitch, Breakdown, BroadcastSpan, DuplicateStage, SpanSet, Stage, StageTimes};

@@ -1,0 +1,387 @@
+//! The bundled analysis report, with text and JSON renderings.
+
+use std::fmt::Write as _;
+
+use co_observe::{Histogram, TraceLine};
+
+use crate::anomaly::{detect, AnomalyConfig, Finding};
+use crate::span::{stitch, Breakdown, SpanSet};
+
+/// Everything `analyze` extracts from one merged trace: the stitched
+/// spans, the receipt-level latency breakdown (aggregate and per
+/// destination), the host-measured Tco histogram, and the anomaly
+/// findings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanReport {
+    /// The stitched spans (kept so callers can drill into evidence).
+    pub spans: SpanSet,
+    /// Spans complete across every destination.
+    pub complete_spans: usize,
+    /// Aggregated receipt-level breakdown over all destinations.
+    pub breakdown: Breakdown,
+    /// Per-destination breakdowns, indexed by node.
+    pub per_dest: Vec<Breakdown>,
+    /// Host-measured protocol-processing time (the paper's Tco).
+    pub tco: Histogram,
+    /// Anomaly findings, in [`detect`]'s deterministic order.
+    pub findings: Vec<Finding>,
+}
+
+/// Stitches, folds, and scans one merged trace in a single pass over
+/// the reconstructed spans.
+pub fn analyze(lines: &[TraceLine], cfg: &AnomalyConfig) -> SpanReport {
+    let spans = stitch(lines);
+    let mut tco = Histogram::new();
+    for line in lines {
+        if let TraceLine::HostTco { dur_us, .. } = line {
+            tco.record(*dur_us);
+        }
+    }
+    let findings = detect(lines, &spans, cfg);
+    let breakdown = spans.breakdown();
+    let per_dest = (0..spans.n)
+        .map(|node| spans.breakdown_for(node as u32))
+        .collect();
+    SpanReport {
+        complete_spans: spans.complete_count(),
+        breakdown,
+        per_dest,
+        tco,
+        findings,
+        spans,
+    }
+}
+
+fn histogram_row(name: &str, h: &Histogram, out: &mut String) {
+    let _ = writeln!(
+        out,
+        "  {name:<18} n={:<6} min={}us p50={}us p90={}us p99={}us max={}us",
+        h.count(),
+        h.min_us(),
+        h.quantile_us(0.5),
+        h.quantile_us(0.9),
+        h.quantile_us(0.99),
+        h.max_us(),
+    );
+}
+
+fn describe(finding: &Finding) -> String {
+    match finding {
+        Finding::StuckAtPreAck {
+            node,
+            src,
+            seq,
+            waited_us,
+            ..
+        } => format!("pdu {src}:{seq} stuck at pre-ack on node {node} for {waited_us}us"),
+        Finding::NeverAcknowledged {
+            src, seq, missing, ..
+        } => format!("pdu {src}:{seq} never delivered by nodes {missing:?}"),
+        Finding::RetStorm {
+            src,
+            requests,
+            window_us,
+            from_us,
+            to_us,
+            requesters,
+        } => format!(
+            "ret storm: {requests} requests for source {src} within {window_us}us \
+             ([{from_us}us, {to_us}us], requesters {requesters:?})"
+        ),
+        Finding::LossBurst {
+            detections,
+            f1,
+            f2,
+            from_us,
+            to_us,
+            sources,
+        } => format!(
+            "loss burst: {detections} detections ({f1} F1, {f2} F2) in \
+             [{from_us}us, {to_us}us], sources {sources:?}"
+        ),
+        Finding::FlowSaturation {
+            node,
+            blocked,
+            max_outstanding,
+            min_limit,
+            starved,
+            from_us,
+            to_us,
+        } => format!(
+            "flow saturation: node {node} blocked {blocked} submits in \
+             [{from_us}us, {to_us}us] (outstanding<={max_outstanding}, \
+             limit>={min_limit}{})",
+            if *starved { ", starved" } else { "" }
+        ),
+    }
+}
+
+fn histogram_json(h: &Histogram, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"min_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{},\"mean_us\":{}}}",
+        h.count(),
+        h.min_us(),
+        h.quantile_us(0.5),
+        h.quantile_us(0.9),
+        h.quantile_us(0.99),
+        h.max_us(),
+        h.mean_us(),
+    );
+}
+
+fn breakdown_json(b: &Breakdown, out: &mut String) {
+    out.push('{');
+    for (i, (name, h)) in b.stages().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":");
+        histogram_json(h, out);
+    }
+    out.push('}');
+}
+
+fn finding_json(f: &Finding, out: &mut String) {
+    let _ = write!(out, "{{\"kind\":\"{}\"", f.kind());
+    match f {
+        Finding::StuckAtPreAck {
+            node,
+            src,
+            seq,
+            waited_us,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                ",\"node\":{node},\"src\":{src},\"seq\":{seq},\"waited_us\":{waited_us}"
+            );
+        }
+        Finding::NeverAcknowledged {
+            src, seq, missing, ..
+        } => {
+            let _ = write!(out, ",\"src\":{src},\"seq\":{seq},\"missing\":{missing:?}");
+        }
+        Finding::RetStorm {
+            src,
+            requests,
+            window_us,
+            from_us,
+            to_us,
+            requesters,
+        } => {
+            let _ = write!(
+                out,
+                ",\"src\":{src},\"requests\":{requests},\"window_us\":{window_us},\
+                 \"from_us\":{from_us},\"to_us\":{to_us},\"requesters\":{requesters:?}"
+            );
+        }
+        Finding::LossBurst {
+            detections,
+            f1,
+            f2,
+            from_us,
+            to_us,
+            sources,
+        } => {
+            let _ = write!(
+                out,
+                ",\"detections\":{detections},\"f1\":{f1},\"f2\":{f2},\
+                 \"from_us\":{from_us},\"to_us\":{to_us},\"sources\":{sources:?}"
+            );
+        }
+        Finding::FlowSaturation {
+            node,
+            blocked,
+            max_outstanding,
+            min_limit,
+            starved,
+            from_us,
+            to_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"node\":{node},\"blocked\":{blocked},\"max_outstanding\":{max_outstanding},\
+                 \"min_limit\":{min_limit},\"starved\":{starved},\"from_us\":{from_us},\
+                 \"to_us\":{to_us}"
+            );
+        }
+    }
+    out.push('}');
+}
+
+impl SpanReport {
+    /// Human-readable rendering (the default `co-cli trace analyze`
+    /// output).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "spans: {} broadcasts across {} nodes, {} complete, {} duplicate stage records",
+            self.spans.spans.len(),
+            self.spans.n,
+            self.complete_spans,
+            self.spans.duplicates.len(),
+        );
+        out.push_str("receipt-level breakdown (all destinations):\n");
+        for (name, h) in self.breakdown.stages() {
+            histogram_row(name, h, &mut out);
+        }
+        if self.tco.count() > 0 {
+            out.push_str("host tco:\n");
+            histogram_row("tco", &self.tco, &mut out);
+        }
+        if self.findings.is_empty() {
+            out.push_str("anomalies: none\n");
+        } else {
+            let _ = writeln!(out, "anomalies: {}", self.findings.len());
+            for f in &self.findings {
+                let _ = writeln!(out, "  [{}] {}", f.kind(), describe(f));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable rendering (`co-cli trace analyze --json`); one
+    /// JSON object, hand-rolled like the rest of the workspace's JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"nodes\":{},\"spans\":{},\"complete_spans\":{},\"duplicates\":{},\"end_us\":{}",
+            self.spans.n,
+            self.spans.spans.len(),
+            self.complete_spans,
+            self.spans.duplicates.len(),
+            self.spans.end_us,
+        );
+        out.push_str(",\"breakdown\":");
+        breakdown_json(&self.breakdown, &mut out);
+        out.push_str(",\"per_dest\":[");
+        for (i, b) in self.per_dest.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            breakdown_json(b, &mut out);
+        }
+        out.push_str("],\"tco\":");
+        histogram_json(&self.tco, &mut out);
+        let _ = write!(out, ",\"anomalies\":{},\"findings\":[", self.findings.len());
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            finding_json(f, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_order::{EntityId, Seq};
+    use co_observe::ProtocolEvent;
+
+    fn ev(node: u32, event: ProtocolEvent) -> TraceLine {
+        TraceLine::Event { node, event }
+    }
+
+    fn clean_trace() -> Vec<TraceLine> {
+        let (src, seq) = (EntityId::new(0), Seq::new(1));
+        let mut lines = vec![ev(
+            0,
+            ProtocolEvent::DataSent {
+                src,
+                seq,
+                now_us: 10,
+            },
+        )];
+        for node in 0..2u32 {
+            if node != 0 {
+                lines.push(ev(
+                    node,
+                    ProtocolEvent::Accepted {
+                        src,
+                        seq,
+                        from_reorder: false,
+                        now_us: 20,
+                    },
+                ));
+            }
+            lines.push(ev(
+                node,
+                ProtocolEvent::PreAcked {
+                    src,
+                    seq,
+                    now_us: 30,
+                },
+            ));
+            lines.push(ev(
+                node,
+                ProtocolEvent::Delivered {
+                    src,
+                    seq,
+                    now_us: 40,
+                },
+            ));
+        }
+        lines.push(TraceLine::HostTco {
+            node: 1,
+            at_us: 41,
+            dur_us: 6,
+        });
+        lines
+    }
+
+    #[test]
+    fn analyze_bundles_spans_breakdown_tco_and_findings() {
+        let report = analyze(&clean_trace(), &AnomalyConfig::default());
+        assert_eq!(report.spans.n, 2);
+        assert_eq!(report.complete_spans, 1);
+        assert_eq!(report.per_dest.len(), 2);
+        assert_eq!(report.breakdown.send_to_deliver.count(), 1);
+        assert_eq!(report.tco.count(), 1);
+        assert_eq!(report.tco.max_us(), 6);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn text_report_mentions_spans_and_anomalies() {
+        let report = analyze(&clean_trace(), &AnomalyConfig::default());
+        let text = report.render_text();
+        assert!(text.contains("1 complete"), "{text}");
+        assert!(text.contains("send_to_deliver"), "{text}");
+        assert!(text.contains("anomalies: none"), "{text}");
+    }
+
+    #[test]
+    fn json_report_is_parsable_and_counts_findings() {
+        // A storm-only config so a finding appears.
+        let mut lines = clean_trace();
+        lines.push(ev(
+            1,
+            ProtocolEvent::RetSent {
+                src: EntityId::new(0),
+                lseq: Seq::new(5),
+                now_us: 45,
+            },
+        ));
+        let cfg = AnomalyConfig {
+            ret_storm_requests: 1,
+            ..AnomalyConfig::default()
+        };
+        let report = analyze(&lines, &cfg);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"anomalies\":1"), "{json}");
+        assert!(json.contains("\"kind\":\"ret_storm\""), "{json}");
+        assert!(json.contains("\"complete_spans\":1"), "{json}");
+        assert!(json.contains("\"requesters\":[1]"), "{json}");
+        // Balanced braces/brackets — cheap well-formedness check.
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,557 @@
+//! Span model and the trace stitcher.
+
+use std::collections::BTreeMap;
+
+use co_observe::{Histogram, ProtocolEvent, TraceLine};
+
+/// A receipt-level stage of one broadcast at one destination (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Transmission at the origin (`data_sent`).
+    Send,
+    /// Acceptance into the `RRL` (`accepted`; at the origin the send is
+    /// its own acceptance).
+    Accept,
+    /// Pre-acknowledgment, `RRL → PRL` (`pre_acked`).
+    PreAck,
+    /// Acknowledgment and application hand-off (`delivered` — the two
+    /// coincide in this engine).
+    Deliver,
+}
+
+impl Stage {
+    /// Short stable name, used in reports and oracle messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Send => "send",
+            Stage::Accept => "accept",
+            Stage::PreAck => "pre_ack",
+            Stage::Deliver => "deliver",
+        }
+    }
+}
+
+/// Stage timestamps of one broadcast at one destination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// When the PDU entered this node's `RRL` (shared-epoch µs). At the
+    /// origin this equals the send time (self-acceptance).
+    pub accept_us: Option<u64>,
+    /// When it moved `RRL → PRL`.
+    pub pre_ack_us: Option<u64>,
+    /// When it reached the `ARL` and the application.
+    pub deliver_us: Option<u64>,
+    /// Whether acceptance drained the reorder buffer (gap repair) rather
+    /// than coming straight off the wire.
+    pub from_reorder: bool,
+}
+
+impl StageTimes {
+    /// All three stages present.
+    pub fn complete(&self) -> bool {
+        self.accept_us.is_some() && self.pre_ack_us.is_some() && self.deliver_us.is_some()
+    }
+
+    /// The stages present, in receipt-level order, violate monotonicity?
+    /// Returns the offending pair if so.
+    pub fn order_violation(&self) -> Option<(Stage, Stage)> {
+        if let (Some(a), Some(p)) = (self.accept_us, self.pre_ack_us) {
+            if p < a {
+                return Some((Stage::Accept, Stage::PreAck));
+            }
+        }
+        if let (Some(p), Some(d)) = (self.pre_ack_us, self.deliver_us) {
+            if d < p {
+                return Some((Stage::PreAck, Stage::Deliver));
+            }
+        }
+        if let (Some(a), Some(d)) = (self.accept_us, self.deliver_us) {
+            if d < a {
+                return Some((Stage::Accept, Stage::Deliver));
+            }
+        }
+        None
+    }
+}
+
+/// The cluster-wide lifecycle of one `(source, seq)` broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastSpan {
+    /// Originating entity index.
+    pub src: u32,
+    /// Origin sequence number.
+    pub seq: u64,
+    /// Send time at the origin (`data_sent`), shared-epoch µs.
+    pub sent_us: Option<u64>,
+    /// Per-destination stage times, indexed by node; includes the origin
+    /// (whose acceptance coincides with the send).
+    pub stages: Vec<StageTimes>,
+}
+
+impl BroadcastSpan {
+    /// The span is complete: the send was recorded and every one of the
+    /// `n` destinations accepted, pre-acked, and delivered.
+    pub fn complete(&self, n: usize) -> bool {
+        self.sent_us.is_some()
+            && self.stages.len() >= n
+            && self.stages[..n].iter().all(StageTimes::complete)
+    }
+
+    /// Nodes (indices) that never delivered this PDU.
+    pub fn missing_deliveries(&self, n: usize) -> Vec<u32> {
+        (0..n as u32)
+            .filter(|&i| {
+                self.stages
+                    .get(i as usize)
+                    .is_none_or(|s| s.deliver_us.is_none())
+            })
+            .collect()
+    }
+
+    /// Delivered at one or more nodes.
+    pub fn delivered_anywhere(&self) -> bool {
+        self.stages.iter().any(|s| s.deliver_us.is_some())
+    }
+}
+
+/// A stage that was recorded twice for the same `(src, seq)` at the same
+/// node — a protocol invariant violation the stitcher surfaces rather
+/// than silently overwriting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateStage {
+    /// The node that double-recorded.
+    pub node: u32,
+    /// The span's source.
+    pub src: u32,
+    /// The span's sequence number.
+    pub seq: u64,
+    /// Which stage repeated.
+    pub stage: Stage,
+}
+
+/// Receipt-level latency breakdown, folded into the same fixed-bucket
+/// histograms the live `LatencyTracker` uses.
+///
+/// The paper's pre-ack→ack and ack→deliver stages coincide in this
+/// engine (`delivered` is both), so they appear merged as
+/// [`Breakdown::preack_to_deliver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Send → acceptance at a *remote* destination (time-to-accept).
+    pub send_to_accept: Histogram,
+    /// Acceptance → pre-acknowledgment, every destination.
+    pub accept_to_preack: Histogram,
+    /// Pre-acknowledgment → delivery (= the paper's pre-ack→ack plus
+    /// ack→deliver), every destination.
+    pub preack_to_deliver: Histogram,
+    /// Send → delivery at a *remote* destination — the paper's **Tap**.
+    pub send_to_deliver: Histogram,
+}
+
+impl Breakdown {
+    /// `(stage name, histogram)` rows in pipeline order.
+    pub fn stages(&self) -> [(&'static str, &Histogram); 4] {
+        [
+            ("send_to_accept", &self.send_to_accept),
+            ("accept_to_preack", &self.accept_to_preack),
+            ("preack_to_deliver", &self.preack_to_deliver),
+            ("send_to_deliver", &self.send_to_deliver),
+        ]
+    }
+
+    /// Merges another breakdown into this one, stage by stage.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.send_to_accept.merge(&other.send_to_accept);
+        self.accept_to_preack.merge(&other.accept_to_preack);
+        self.preack_to_deliver.merge(&other.preack_to_deliver);
+        self.send_to_deliver.merge(&other.send_to_deliver);
+    }
+
+    fn record_dest(&mut self, sent_us: Option<u64>, dest: usize, src: u32, s: &StageTimes) {
+        let remote = dest as u32 != src;
+        if let (Some(sent), Some(accept), true) = (sent_us, s.accept_us, remote) {
+            self.send_to_accept.record(accept.saturating_sub(sent));
+        }
+        if let (Some(accept), Some(preack)) = (s.accept_us, s.pre_ack_us) {
+            self.accept_to_preack.record(preack.saturating_sub(accept));
+        }
+        if let (Some(preack), Some(deliver)) = (s.pre_ack_us, s.deliver_us) {
+            self.preack_to_deliver
+                .record(deliver.saturating_sub(preack));
+        }
+        if let (Some(sent), Some(deliver), true) = (sent_us, s.deliver_us, remote) {
+            self.send_to_deliver.record(deliver.saturating_sub(sent));
+        }
+    }
+}
+
+/// All spans reconstructed from one merged trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanSet {
+    /// Number of nodes inferred from the trace (highest index + 1).
+    pub n: usize,
+    /// Spans keyed by `(source, seq)`, iteration-ordered.
+    pub spans: BTreeMap<(u32, u64), BroadcastSpan>,
+    /// Stages recorded twice (invariant violations, not overwritten).
+    pub duplicates: Vec<DuplicateStage>,
+    /// The trace's last timestamp, µs — "now" for staleness thresholds.
+    pub end_us: u64,
+}
+
+impl SpanSet {
+    /// Spans complete across all `n` destinations.
+    pub fn complete_count(&self) -> usize {
+        self.spans.values().filter(|s| s.complete(self.n)).count()
+    }
+
+    /// Aggregated receipt-level breakdown over every destination.
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for span in self.spans.values() {
+            for (dest, stage) in span.stages.iter().enumerate() {
+                b.record_dest(span.sent_us, dest, span.src, stage);
+            }
+        }
+        b
+    }
+
+    /// Receipt-level breakdown of one destination node.
+    pub fn breakdown_for(&self, node: u32) -> Breakdown {
+        let mut b = Breakdown::default();
+        for span in self.spans.values() {
+            if let Some(stage) = span.stages.get(node as usize) {
+                b.record_dest(span.sent_us, node as usize, span.src, stage);
+            }
+        }
+        b
+    }
+}
+
+fn set_stage(
+    set: &mut SpanSet,
+    node: u32,
+    src: u32,
+    seq: u64,
+    stage: Stage,
+    at_us: u64,
+    from_reorder: bool,
+) {
+    let span = set
+        .spans
+        .entry((src, seq))
+        .or_insert_with(|| BroadcastSpan {
+            src,
+            seq,
+            sent_us: None,
+            stages: Vec::new(),
+        });
+    if stage == Stage::Send {
+        if span.sent_us.is_some() {
+            set.duplicates.push(DuplicateStage {
+                node,
+                src,
+                seq,
+                stage,
+            });
+        } else {
+            span.sent_us = Some(at_us);
+        }
+        // The send is also the origin's acceptance; fall through so the
+        // origin's StageTimes carries it too.
+    }
+    if span.stages.len() <= node as usize {
+        span.stages.resize(node as usize + 1, StageTimes::default());
+    }
+    let times = &mut span.stages[node as usize];
+    let slot = match stage {
+        Stage::Send | Stage::Accept => &mut times.accept_us,
+        Stage::PreAck => &mut times.pre_ack_us,
+        Stage::Deliver => &mut times.deliver_us,
+    };
+    if slot.is_some() {
+        if stage != Stage::Send {
+            // A duplicate send was already recorded above.
+            set.duplicates.push(DuplicateStage {
+                node,
+                src,
+                seq,
+                stage,
+            });
+        }
+    } else {
+        *slot = Some(at_us);
+        if stage == Stage::Accept {
+            times.from_reorder = from_reorder;
+        }
+    }
+}
+
+/// Reconstructs every broadcast's lifecycle span from a merged,
+/// shared-epoch trace (any line order; the stitcher does not require
+/// time sorting). The node count is inferred from the highest node or
+/// source index seen.
+pub fn stitch(lines: &[TraceLine]) -> SpanSet {
+    let mut set = SpanSet::default();
+    let mut max_index: Option<u32> = None;
+    let bump = |i: u32, max_index: &mut Option<u32>| {
+        *max_index = Some(max_index.map_or(i, |m| m.max(i)));
+    };
+    for line in lines {
+        match *line {
+            TraceLine::HostTco { node, at_us, .. } => {
+                bump(node, &mut max_index);
+                set.end_us = set.end_us.max(at_us);
+            }
+            TraceLine::Event { node, event } => {
+                bump(node, &mut max_index);
+                set.end_us = set.end_us.max(event.now_us());
+                match event {
+                    ProtocolEvent::DataSent { src, seq, now_us } => {
+                        bump(src.index() as u32, &mut max_index);
+                        set_stage(
+                            &mut set,
+                            node,
+                            src.index() as u32,
+                            seq.get(),
+                            Stage::Send,
+                            now_us,
+                            false,
+                        );
+                    }
+                    ProtocolEvent::Accepted {
+                        src,
+                        seq,
+                        from_reorder,
+                        now_us,
+                    } => {
+                        bump(src.index() as u32, &mut max_index);
+                        set_stage(
+                            &mut set,
+                            node,
+                            src.index() as u32,
+                            seq.get(),
+                            Stage::Accept,
+                            now_us,
+                            from_reorder,
+                        );
+                    }
+                    ProtocolEvent::PreAcked { src, seq, now_us } => {
+                        bump(src.index() as u32, &mut max_index);
+                        set_stage(
+                            &mut set,
+                            node,
+                            src.index() as u32,
+                            seq.get(),
+                            Stage::PreAck,
+                            now_us,
+                            false,
+                        );
+                    }
+                    ProtocolEvent::Delivered { src, seq, now_us } => {
+                        bump(src.index() as u32, &mut max_index);
+                        set_stage(
+                            &mut set,
+                            node,
+                            src.index() as u32,
+                            seq.get(),
+                            Stage::Deliver,
+                            now_us,
+                            false,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    set.n = max_index.map_or(0, |m| m as usize + 1);
+    for span in set.spans.values_mut() {
+        if span.stages.len() < set.n {
+            span.stages.resize(set.n, StageTimes::default());
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal_order::{EntityId, Seq};
+
+    fn ev(node: u32, event: ProtocolEvent) -> TraceLine {
+        TraceLine::Event { node, event }
+    }
+
+    fn id(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    /// One broadcast from node 0, fully received by nodes 0..3.
+    fn full_span_trace() -> Vec<TraceLine> {
+        let (src, seq) = (id(0), Seq::new(1));
+        let mut lines = vec![ev(
+            0,
+            ProtocolEvent::DataSent {
+                src,
+                seq,
+                now_us: 100,
+            },
+        )];
+        for node in 1..3u32 {
+            lines.push(ev(
+                node,
+                ProtocolEvent::Accepted {
+                    src,
+                    seq,
+                    from_reorder: false,
+                    now_us: 150 + u64::from(node),
+                },
+            ));
+        }
+        for node in 0..3u32 {
+            lines.push(ev(
+                node,
+                ProtocolEvent::PreAcked {
+                    src,
+                    seq,
+                    now_us: 300 + u64::from(node),
+                },
+            ));
+            lines.push(ev(
+                node,
+                ProtocolEvent::Delivered {
+                    src,
+                    seq,
+                    now_us: 400 + u64::from(node),
+                },
+            ));
+        }
+        lines
+    }
+
+    #[test]
+    fn stitches_a_complete_span() {
+        let set = stitch(&full_span_trace());
+        assert_eq!(set.n, 3);
+        assert_eq!(set.spans.len(), 1);
+        assert_eq!(set.complete_count(), 1);
+        assert!(set.duplicates.is_empty());
+        let span = &set.spans[&(0, 1)];
+        assert_eq!(span.sent_us, Some(100));
+        assert!(span.complete(3));
+        assert_eq!(span.stages[0].accept_us, Some(100), "origin self-accepts");
+        assert_eq!(span.stages[2].accept_us, Some(152));
+        assert_eq!(span.missing_deliveries(3), Vec::<u32>::new());
+        assert!(span.stages.iter().all(|s| s.order_violation().is_none()));
+        assert_eq!(set.end_us, 402);
+    }
+
+    #[test]
+    fn breakdown_matches_hand_computation() {
+        let set = stitch(&full_span_trace());
+        let b = set.breakdown();
+        // Two remote destinations: accepts at 151/152 for a send at 100.
+        assert_eq!(b.send_to_accept.count(), 2);
+        assert_eq!(b.send_to_accept.min_us(), 51);
+        assert_eq!(b.send_to_accept.max_us(), 52);
+        // Every node runs accept→pre-ack and pre-ack→deliver.
+        assert_eq!(b.accept_to_preack.count(), 3);
+        assert_eq!(b.preack_to_deliver.count(), 3);
+        assert_eq!(b.preack_to_deliver.min_us(), 100);
+        // Tap: remote deliveries at 401/402 minus send at 100.
+        assert_eq!(b.send_to_deliver.count(), 2);
+        assert_eq!(b.send_to_deliver.max_us(), 302);
+        // Per-destination view: node 1 only.
+        let d1 = set.breakdown_for(1);
+        assert_eq!(d1.send_to_deliver.count(), 1);
+        assert_eq!(d1.send_to_deliver.max_us(), 301);
+    }
+
+    #[test]
+    fn incomplete_and_unordered_spans_are_visible() {
+        let (src, seq) = (id(1), Seq::new(4));
+        let lines = vec![
+            ev(
+                1,
+                ProtocolEvent::DataSent {
+                    src,
+                    seq,
+                    now_us: 10,
+                },
+            ),
+            ev(
+                0,
+                ProtocolEvent::Accepted {
+                    src,
+                    seq,
+                    from_reorder: true,
+                    now_us: 20,
+                },
+            ),
+            // Pre-ack before accept: order violation at node 0.
+            ev(
+                0,
+                ProtocolEvent::PreAcked {
+                    src,
+                    seq,
+                    now_us: 15,
+                },
+            ),
+        ];
+        let set = stitch(&lines);
+        assert_eq!(set.n, 2);
+        let span = &set.spans[&(1, 4)];
+        assert!(!span.complete(2));
+        assert_eq!(span.missing_deliveries(2), vec![0, 1]);
+        assert_eq!(
+            span.stages[0].order_violation(),
+            Some((Stage::Accept, Stage::PreAck))
+        );
+        assert!(span.stages[0].from_reorder);
+    }
+
+    #[test]
+    fn duplicate_stages_are_reported_not_overwritten() {
+        let (src, seq) = (id(0), Seq::new(2));
+        let lines = vec![
+            ev(
+                0,
+                ProtocolEvent::DataSent {
+                    src,
+                    seq,
+                    now_us: 5,
+                },
+            ),
+            ev(
+                1,
+                ProtocolEvent::Delivered {
+                    src,
+                    seq,
+                    now_us: 9,
+                },
+            ),
+            ev(
+                1,
+                ProtocolEvent::Delivered {
+                    src,
+                    seq,
+                    now_us: 11,
+                },
+            ),
+        ];
+        let set = stitch(&lines);
+        assert_eq!(set.duplicates.len(), 1);
+        assert_eq!(set.duplicates[0].stage, Stage::Deliver);
+        assert_eq!(set.duplicates[0].node, 1);
+        // First timestamp wins.
+        assert_eq!(set.spans[&(0, 2)].stages[1].deliver_us, Some(9));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_set() {
+        let set = stitch(&[]);
+        assert_eq!(set.n, 0);
+        assert!(set.spans.is_empty());
+        assert_eq!(set.complete_count(), 0);
+    }
+}

@@ -100,6 +100,7 @@ pub struct Cluster {
     threads: Vec<JoinHandle<NodeReport>>,
     epoch: Instant,
     n: usize,
+    trace: bool,
 }
 
 impl Cluster {
@@ -174,6 +175,7 @@ impl Cluster {
             threads,
             epoch,
             n,
+            trace: options.trace,
         })
     }
 
@@ -199,15 +201,27 @@ impl Cluster {
     }
 
     /// Requests shutdown, waits for every node to drain, and returns the
-    /// per-node reports (indexed by entity).
+    /// per-node reports (indexed by entity). When tracing was enabled the
+    /// per-node traces are merged and analyzed once ([`co_trace::analyze`]
+    /// with default thresholds), and the resulting cluster-wide
+    /// [`co_trace::SpanReport`] is attached to every report.
     pub fn shutdown(self) -> Vec<NodeReport> {
         for tx in &self.cmd_txs {
             let _ = tx.send(Cmd::Shutdown);
         }
-        self.threads
+        let mut reports: Vec<NodeReport> = self
+            .threads
             .into_iter()
             .map(|t| t.join().expect("entity thread panicked"))
-            .collect()
+            .collect();
+        if self.trace {
+            let trace = crate::report::merged_trace(&reports);
+            let analysis = co_trace::analyze(&trace, &co_trace::AnomalyConfig::default());
+            for report in &mut reports {
+                report.span_report = Some(analysis.clone());
+            }
+        }
+        reports
     }
 }
 

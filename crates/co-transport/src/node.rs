@@ -151,6 +151,7 @@ impl NodeRuntime {
             metrics: co_protocol::Metrics::default(),
             latency: LatencyTracker::default(),
             trace: Vec::new(),
+            span_report: None,
         };
         let mut shutting_down = false;
         let mut last_activity = Instant::now();

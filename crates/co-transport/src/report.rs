@@ -36,6 +36,11 @@ pub struct NodeReport {
     /// The structured event trace, time-sorted, including host-measured
     /// Tco records. Empty unless tracing was enabled in the options.
     pub trace: Vec<TraceLine>,
+    /// Cross-node span analysis of the whole run, computed once from the
+    /// merged trace at shutdown and shared by every node's report (the
+    /// spans are cluster-wide objects, so each node carries the same
+    /// view). `None` unless tracing was enabled.
+    pub span_report: Option<co_trace::SpanReport>,
 }
 
 impl NodeReport {

@@ -171,6 +171,7 @@ fn run_node(
         metrics: co_protocol::Metrics::default(),
         latency: co_observe::LatencyTracker::default(),
         trace: Vec::new(),
+        span_report: None,
     };
     let shutting_down = Arc::new(AtomicBool::new(false));
     let mut last_activity = Instant::now();

@@ -89,6 +89,91 @@ fn latency_histograms_populated_without_tracing() {
 }
 
 #[test]
+fn span_report_matches_live_instrumentation() {
+    let reports = traced_run(3, 4);
+    let trace = merged_trace(&reports);
+
+    // Every report carries the same cluster-wide analysis.
+    let span_report = reports[0].span_report.as_ref().expect("traced run");
+    for r in &reports {
+        assert_eq!(r.span_report.as_ref(), Some(span_report), "shared view");
+    }
+
+    // Every broadcast quiesced, so every span is complete.
+    assert_eq!(span_report.spans.spans.len(), 4 * 3);
+    assert_eq!(span_report.complete_spans, 4 * 3);
+    assert!(span_report.spans.duplicates.is_empty());
+    assert!(
+        span_report.findings.is_empty(),
+        "{:?}",
+        span_report.findings
+    );
+
+    // Offline send→deliver is the event-join Tap: identical, sample for
+    // sample, to the jsonl helper folding the same events.
+    let mut tap_hist = co_observe::Histogram::new();
+    for v in jsonl::tap_samples_us(&trace) {
+        tap_hist.record(v);
+    }
+    assert_eq!(span_report.breakdown.send_to_deliver, tap_hist);
+
+    // And the offline Tco histogram folds exactly the HostTco records,
+    // which mirror the live tco_samples (whole-µs truncation).
+    let mut tco_hist = co_observe::Histogram::new();
+    for v in jsonl::tco_samples_us(&trace) {
+        tco_hist.record(v);
+    }
+    assert_eq!(span_report.tco, tco_hist);
+    let live_tco: usize = reports.iter().map(|r| r.tco_samples.len()).sum();
+    assert_eq!(span_report.tco.count() as usize, live_tco);
+
+    // Live Tap embeds the submit timestamp, which precedes the DataSent
+    // event by the submit-processing time — so live samples are a hair
+    // larger than the offline join. Same count, and the medians agree
+    // within the histogram's bucket resolution (a factor of two) plus
+    // that sub-millisecond framing skew.
+    let live_tap: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.tap_samples.iter().map(|d| d.as_micros() as u64))
+        .collect();
+    assert_eq!(
+        span_report.breakdown.send_to_deliver.count() as usize,
+        live_tap.len()
+    );
+    let mut live_hist = co_observe::Histogram::new();
+    for v in &live_tap {
+        live_hist.record(*v);
+    }
+    let (live_p50, off_p50) = (
+        live_hist.quantile_us(0.5),
+        span_report.breakdown.send_to_deliver.quantile_us(0.5),
+    );
+    assert!(
+        off_p50 <= live_p50.saturating_mul(2) + 1_000
+            && live_p50 <= off_p50.saturating_mul(2) + 1_000,
+        "offline p50 {off_p50}us vs live p50 {live_p50}us"
+    );
+
+    // Per-destination views partition the aggregate.
+    let merged: u64 = span_report
+        .per_dest
+        .iter()
+        .map(|b| b.send_to_deliver.count())
+        .sum();
+    assert_eq!(merged, span_report.breakdown.send_to_deliver.count());
+}
+
+#[test]
+fn span_report_absent_without_tracing() {
+    let cluster = Cluster::start(2, ClusterOptions::default()).expect("cluster starts");
+    cluster
+        .submit(0, Bytes::from_static(b"hi"))
+        .expect("submit");
+    let reports = cluster.shutdown();
+    assert!(reports.iter().all(|r| r.span_report.is_none()));
+}
+
+#[test]
 fn merged_trace_is_time_sorted() {
     let reports = traced_run(3, 3);
     let trace = merged_trace(&reports);
