@@ -12,6 +12,11 @@
 //!   data stream through the sink-based `on_pdu` with a reused action
 //!   vector, the
 //!   path the allocation-regression test pins at zero allocs;
+//! * `batch_throughput` — the wire-level receive pipeline (decode +
+//!   accept + per-peer fan-out of emissions) per-PDU versus through the
+//!   batched drain (`Pdu::decode_batch_into` + `Entity::on_pdus_into`),
+//!   under immediate confirmations so the per-PDU `AckOnly` storm is
+//!   priced at its real O(n²) fan-out cost;
 //! * `e2e/sim_throughput` — a full simulated broadcast round, so a
 //!   regression anywhere in the engine shows up even if the microbenches
 //!   miss it.
@@ -21,7 +26,7 @@ use causal_order::{EntityId, Seq};
 use co_baselines::{BroadcasterNode, CoBroadcaster};
 use co_bench::NaiveKnowledgeMatrix;
 use co_protocol::{Action, Config, DeferralPolicy, Entity, KnowledgeMatrix, Pdu};
-use co_wire::DataPdu;
+use co_wire::{AckBufPool, DataPdu};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mc_net::{SimConfig, SimTime, Simulator};
 use std::hint::black_box;
@@ -135,6 +140,121 @@ fn bench_accept_in_order(c: &mut Criterion) {
     group.finish();
 }
 
+/// The transport's send half: one encode per `Broadcast`, one
+/// refcounted clone enqueued per peer (a bounded NIC-like ring) — the
+/// same shape as `co-transport`'s per-peer `try_send(encoded.clone())`.
+struct FanOut {
+    ring: std::collections::VecDeque<Bytes>,
+    peers: usize,
+}
+
+impl FanOut {
+    const CAP: usize = 1024;
+
+    fn new(peers: usize) -> Self {
+        Self {
+            ring: std::collections::VecDeque::with_capacity(Self::CAP),
+            peers,
+        }
+    }
+
+    fn dispatch(&mut self, actions: &[Action]) {
+        for action in actions {
+            if let Action::Broadcast(pdu) = action {
+                let encoded = pdu.encode();
+                for _ in 0..self.peers {
+                    if self.ring.len() == Self::CAP {
+                        self.ring.pop_front();
+                    }
+                    self.ring.push_back(encoded.clone());
+                }
+            }
+        }
+        black_box(self.ring.len());
+    }
+}
+
+/// Entity with *immediate* confirmations: every accepted PDU answers
+/// with a freshly built O(n) `AckOnly` on the per-PDU path — the cost
+/// the batched drain coalesces to one per batch.
+fn immediate_entity(me: u32, n: usize) -> Entity {
+    let config = Config::builder(1, n, EntityId::new(me))
+        .deferral(DeferralPolicy::Immediate)
+        .window(1 << 20)
+        .buffer_units(1 << 30)
+        .build()
+        .expect("valid config");
+    Entity::new(config).expect("valid entity")
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    const TOTAL: u64 = 256;
+    const WIDTH: usize = 32; // co-transport's default drain width
+    for n in SIZES {
+        let frames: Vec<Bytes> = (1..=TOTAL).map(|s| in_order_pdu(s, n).encode()).collect();
+        group.bench_with_input(BenchmarkId::new("per_pdu", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    (
+                        immediate_entity(0, n),
+                        Vec::<Action>::new(),
+                        FanOut::new(n - 1),
+                    )
+                },
+                |(mut entity, mut actions, mut fan)| {
+                    let mut now = 0u64;
+                    for drain in frames.chunks(WIDTH) {
+                        now += 10;
+                        for frame in drain {
+                            actions.clear();
+                            let pdu = Pdu::decode(frame).expect("well-formed");
+                            entity.on_pdu(pdu, now, &mut actions).expect("accepted");
+                            fan.dispatch(&actions);
+                        }
+                    }
+                    black_box(entity.metrics().accepted())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    (
+                        immediate_entity(0, n),
+                        Vec::<Action>::new(),
+                        FanOut::new(n - 1),
+                        AckBufPool::new(),
+                        Vec::<Pdu>::new(),
+                    )
+                },
+                |(mut entity, mut actions, mut fan, mut pool, mut pdus)| {
+                    let mut now = 0u64;
+                    for drain in frames.chunks(WIDTH) {
+                        now += 10;
+                        actions.clear();
+                        pdus.clear();
+                        Pdu::decode_batch_into(
+                            drain.iter().map(|f| f.as_ref()),
+                            &mut pool,
+                            &mut pdus,
+                        );
+                        entity.on_pdus_into(pdus.drain(..), now, &mut actions);
+                        fan.dispatch(&actions);
+                    }
+                    black_box(entity.metrics().accepted())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
 fn bench_sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2e/sim_throughput");
     group.sample_size(20);
@@ -175,6 +295,7 @@ criterion_group!(
     benches,
     bench_matrix,
     bench_accept_in_order,
+    bench_batch_throughput,
     bench_sim_throughput
 );
 criterion_main!(benches);

@@ -15,10 +15,34 @@
 //! The `entity/accept_*` family also measures the observability layer:
 //! `accept_in_order` is the default [`NoopObserver`] path (must stay
 //! free), `accept_latency` adds the always-on histogram tracker, and
-//! `accept_traced` additionally records every event. With `--guard` the
-//! runner exits non-zero if any `entity/accept_in_order` row exceeds
-//! 105% of its baseline — the CI tripwire for observer-hook overhead
-//! leaking into the disabled path.
+//! `accept_traced` additionally records every event. The
+//! `batch_throughput/*` family measures the wire-level receive pipeline
+//! both ways: `per_pdu` decodes each frame standalone and feeds
+//! [`Entity::on_pdu`] (the pre-batching transport loop), `batched`
+//! decodes a whole inbox drain through the shared ack-buffer pool and
+//! feeds it to [`Entity::on_pdus_into`]. Both legs pay the transport's
+//! send half for everything the engine emits — encode plus per-peer
+//! fan-out ([`FanOut`]) — so the per-PDU `AckOnly` storm is priced at
+//! its real O(n²) cost.
+//!
+//! `--guard` turns the trajectory into a one-way ratchet and exits
+//! non-zero when the run it just appended regresses a guarded metric:
+//!
+//! * every `entity/accept_in_order/*` and `batch_throughput/batched/*`
+//!   row must stay within its tolerance ([`GUARD_TOLERANCE`] /
+//!   [`BATCH_GUARD_TOLERANCE`]) of the same row in the *previous*
+//!   trajectory entry (improvements re-base automatically — the next
+//!   run is compared against them, hence "one-way");
+//! * `entity/accept_in_order/256` must stay under
+//!   [`ACCEPT_256_CEILING_NS`] absolutely, and
+//!   `batch_throughput/batched/256` must beat the per-PDU leg by at
+//!   least [`BATCH_256_MIN_SPEEDUP`]× in PDUs/s — the floors this
+//!   optimization PR claims.
+//!
+//! Setting `CO_BENCH_GUARD_ACCEPT=1` downgrades guard failures to
+//! warnings for one run — the escape hatch for *intentional* trade-offs
+//! (e.g. a feature that must spend hot-path time). The accepted entry
+//! then becomes the new comparison base, so the ratchet resumes from it.
 //!
 //! Usage: `cargo run --release -p co-bench --bin hotpath [--guard] [out.json]`
 
@@ -28,13 +52,35 @@ use co_baselines::{BroadcasterNode, CoBroadcaster};
 use co_bench::NaiveKnowledgeMatrix;
 use co_observe::{EventLog, LatencyTracker, Observer, Tee};
 use co_protocol::{Action, Config, DeferralPolicy, Entity, KnowledgeMatrix, Pdu};
-use co_wire::DataPdu;
+use co_wire::{AckBufPool, DataPdu};
 use mc_net::{SimConfig, SimTime, Simulator};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
 const SIZES: [usize; 4] = [4, 16, 64, 256];
+
+/// Inbox-drain width for the `batch_throughput` rows — the
+/// `co-transport` default (`ClusterOptions::drain_batch`).
+const BATCH_WIDTH: usize = 32;
+
+/// `--guard`: an `entity/accept_in_order/*` row may be at most this
+/// factor slower than the same row in the previous trajectory entry.
+const GUARD_TOLERANCE: f64 = 1.10;
+
+/// `--guard`: ratchet tolerance for the `batch_throughput/batched/*`
+/// rows. Wire-level throughput swings more with allocator and page
+/// state than the acceptance microbench does (~±20% observed between a
+/// cold and a warm process), so the ratchet is looser; the
+/// [`BATCH_256_MIN_SPEEDUP`] floor is the hard bound.
+const BATCH_GUARD_TOLERANCE: f64 = 1.35;
+
+/// `--guard`: absolute ceiling for `entity/accept_in_order/256`.
+const ACCEPT_256_CEILING_NS: f64 = 2100.0;
+
+/// `--guard`: minimum `batch_throughput` speedup (batched over per-PDU
+/// PDUs/s) at n = 256.
+const BATCH_256_MIN_SPEEDUP: f64 = 3.0;
 
 /// Pre-change numbers (seed tree, this machine, release profile): the
 /// denominator of the PR's speedup claim. `(id, n, ns_per_op)`.
@@ -92,6 +138,9 @@ fn bench_matrix(n: usize) -> (f64, f64, f64) {
         vec[(tick % n as u64) as usize] = Seq::new(5 + tick / n as u64);
         black_box(m.fold_column(EntityId::new((tick % n as u64) as u32), &vec));
     });
+    // Folds defer min-cache rescans; one flush resolves them all before
+    // the O(1) read benchmarks (the engine flushes once per PDU/batch).
+    m.flush();
     let row_min = time(iters, || {
         black_box(m.row_min(EntityId::new(0)));
     });
@@ -170,6 +219,139 @@ fn bench_acceptance_traced(n: usize, msgs: u64) -> f64 {
     let ns = drive_acceptance(&mut e, n, msgs);
     black_box(e.observer().1.len());
     ns
+}
+
+/// Entity tuned for the wire-level pipeline rows: *immediate*
+/// confirmations, so every accepted PDU costs a freshly built O(n)
+/// `AckOnly` on the per-PDU path — the cost the batch path coalesces to
+/// one per drain. This is the shape the paper's steady state pays
+/// without the deferral optimization, and the worst case for per-PDU
+/// processing.
+fn immediate_entity(me: u32, n: usize) -> Entity {
+    let config = Config::builder(1, n, EntityId::new(me))
+        .deferral(DeferralPolicy::Immediate)
+        .window(1 << 20)
+        .buffer_units(1 << 30)
+        .build()
+        .expect("valid config");
+    Entity::new(config).expect("valid entity")
+}
+
+/// `total` in-order DATA frames from entity 1, pre-encoded to wire form
+/// so both pipeline legs start from identical bytes.
+fn in_order_frames(n: usize, total: u64) -> Vec<Bytes> {
+    let payload = Bytes::from_static(&[0u8; 64]);
+    (1..=total)
+        .map(|seq| {
+            let mut ack = vec![Seq::FIRST; n];
+            ack[1] = Seq::new(seq);
+            Pdu::Data(DataPdu {
+                cid: 1,
+                src: EntityId::new(1),
+                seq: Seq::new(seq),
+                ack,
+                buf: 1 << 20,
+                data: payload.clone(),
+            })
+            .encode()
+        })
+        .collect()
+}
+
+/// The transport's send half for outbound emissions: one encode per
+/// `Broadcast`, then a per-peer enqueue of a refcounted clone — exactly
+/// what `co-transport` does (`try_send(encoded.clone())` per peer, or
+/// one `send_to` per peer over UDP) and what `mc-net` does with its
+/// per-peer inbox pushes. The ring is bounded like a NIC queue, so the
+/// bench prices the enqueue, not unbounded growth. This is where the
+/// per-PDU `AckOnly` storm hurts at scale: every inbound PDU answered
+/// immediately costs an (n-1)-peer fan-out — O(n²) per round — which
+/// the batched drain coalesces.
+struct FanOut {
+    ring: std::collections::VecDeque<Bytes>,
+    peers: usize,
+}
+
+impl FanOut {
+    const CAP: usize = 1024;
+
+    fn new(peers: usize) -> Self {
+        Self {
+            ring: std::collections::VecDeque::with_capacity(Self::CAP),
+            peers,
+        }
+    }
+
+    fn dispatch(&mut self, actions: &[Action]) {
+        for action in actions {
+            if let Action::Broadcast(pdu) = action {
+                let encoded = pdu.encode();
+                for _ in 0..self.peers {
+                    if self.ring.len() == Self::CAP {
+                        self.ring.pop_front();
+                    }
+                    self.ring.push_back(encoded.clone());
+                }
+            }
+        }
+        black_box(self.ring.len());
+    }
+}
+
+/// Wire-level receive pipeline throughput in PDUs/s, both ways:
+/// `(per_pdu, batched)`. Frames arrive in drains of [`BATCH_WIDTH`]; the
+/// per-PDU leg decodes each frame standalone and feeds `on_pdu`, the
+/// batched leg decodes through the shared ack-buffer pool and feeds the
+/// whole drain to `on_pdus_into`. Both legs pay the same per-emission
+/// send cost ([`FanOut`]). Each leg runs twice and keeps the second
+/// measurement: the first pass faults in the frame set and warms the
+/// allocator, which otherwise skews whichever leg runs first.
+fn bench_batch_throughput(n: usize, total: u64) -> (f64, f64) {
+    let frames = in_order_frames(n, total);
+
+    let per_pdu_leg = |frames: &[Bytes]| {
+        let mut e = immediate_entity(0, n);
+        let mut actions: Vec<Action> = Vec::new();
+        let mut fan = FanOut::new(n - 1);
+        let mut now = 0u64;
+        let start = Instant::now();
+        for drain in frames.chunks(BATCH_WIDTH) {
+            now += 10;
+            for frame in drain {
+                actions.clear();
+                let pdu = Pdu::decode(frame).expect("well-formed frame");
+                e.on_pdu(pdu, now, &mut actions).expect("accepted");
+                fan.dispatch(&actions);
+            }
+        }
+        total as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let batched_leg = |frames: &[Bytes]| {
+        let mut e = immediate_entity(0, n);
+        let mut actions: Vec<Action> = Vec::new();
+        let mut fan = FanOut::new(n - 1);
+        let mut pool = AckBufPool::new();
+        let mut pdus: Vec<Pdu> = Vec::new();
+        let mut now = 0u64;
+        let start = Instant::now();
+        for drain in frames.chunks(BATCH_WIDTH) {
+            now += 10;
+            actions.clear();
+            pdus.clear();
+            Pdu::decode_batch_into(drain.iter().map(|f| f.as_ref()), &mut pool, &mut pdus);
+            let outcome = e.on_pdus_into(pdus.drain(..), now, &mut actions);
+            assert_eq!(outcome.rejected, 0, "well-formed frames");
+            fan.dispatch(&actions);
+        }
+        total as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    per_pdu_leg(&frames);
+    let per_pdu = per_pdu_leg(&frames);
+    batched_leg(&frames);
+    let batched = batched_leg(&frames);
+    (per_pdu, batched)
 }
 
 /// Full simulated broadcast round; returns delivered messages per second
@@ -290,6 +472,21 @@ fn main() {
         }
     }
 
+    for n in SIZES {
+        let total = 40_000u64.min(6_000_000 / n as u64);
+        let (per_pdu, batched) = bench_batch_throughput(n, total);
+        for (leg, per_s) in [("per_pdu", per_pdu), ("batched", batched)] {
+            current.push(Entry {
+                id: format!("batch_throughput/{leg}/{n}"),
+                n,
+                ns_per_op: 1e9 / per_s,
+                throughput_per_s: Some(per_s),
+            });
+            eprintln!("batch_throughput/{leg}/{n}: {per_s:.0} PDUs/s");
+        }
+        eprintln!("batch_throughput/speedup/{n}: {:.2}x", batched / per_pdu);
+    }
+
     for n in [4usize, 8] {
         let per_s = bench_sim_throughput(n, 50);
         current.push(Entry {
@@ -359,45 +556,155 @@ fn main() {
     }
     json.push_str("  }\n}");
 
-    let trajectory = append_run(
-        &std::fs::read_to_string(&out_path).unwrap_or_default(),
-        &json,
-    );
+    // The pre-append file text is the guard's comparison base: its last
+    // entry is the previous run of this trajectory.
+    let existing = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let trajectory = append_run(&existing, &json);
     std::fs::write(&out_path, &trajectory).expect("write BENCH_hotpath.json");
     eprintln!("appended run to {out_path}");
 
     if guard {
-        // Regression tripwire for the default (observer-less) hot path:
-        // every guarded row must stay within 105% of its recorded
-        // baseline, otherwise the observability hooks (or anything else)
-        // have leaked cost into the NoopObserver path.
-        let mut failed = false;
-        for (id, _, base) in BASELINE_PRE_CHANGE
-            .iter()
-            .filter(|(id, _, _)| id.starts_with("entity/accept_in_order/"))
-        {
-            let Some(e) = current.iter().find(|e| e.id == *id) else {
-                continue;
-            };
-            let ratio = e.ns_per_op / base;
-            let verdict = if ratio <= 1.05 { "ok" } else { "REGRESSED" };
-            eprintln!(
-                "guard {id}: {:.1} ns vs baseline {base:.1} ns ({ratio:.2}x) {verdict}",
-                e.ns_per_op
-            );
-            failed |= ratio > 1.05;
+        let ok = run_guard(&existing, &current);
+        if !ok {
+            if std::env::var("CO_BENCH_GUARD_ACCEPT").as_deref() == Ok("1") {
+                eprintln!(
+                    "guard: FAILURES ACCEPTED (CO_BENCH_GUARD_ACCEPT=1) — this run \
+                     becomes the new comparison base"
+                );
+            } else {
+                eprintln!(
+                    "guard: FAIL — hot path regressed (rerun with CO_BENCH_GUARD_ACCEPT=1 \
+                     to accept an intentional trade-off)"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!("guard: PASS");
         }
-        if failed {
-            eprintln!("guard: FAIL — NoopObserver hot path regressed past 105% of baseline");
-            std::process::exit(1);
-        }
-        eprintln!("guard: PASS");
     }
+}
+
+/// Extracts a row's `ns_per_op` from the *last* (newest) trajectory
+/// entry in the artifact text, scanning backwards. The artifact is
+/// machine-written by this binary with one `"id": {...}` object per
+/// line, so a textual scan is exact; a hand-mangled file simply yields
+/// `None` and the trajectory comparison is skipped for that row.
+fn last_ns_per_op(existing: &str, id: &str) -> Option<f64> {
+    let needle = format!("\"{id}\": {{");
+    let at = existing.rfind(&needle)?;
+    let rest = &existing[at + needle.len()..];
+    let field = "\"ns_per_op\": ";
+    let v = &rest[rest.find(field)? + field.len()..];
+    let end = v
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+        .unwrap_or(v.len());
+    v[..end].parse().ok()
+}
+
+/// The one-way trajectory guard: compares the run just measured against
+/// the previous trajectory entry (tolerance ratchet) and against the
+/// absolute floors this optimization claims. Returns `false` on any
+/// regression; all verdicts are printed either way.
+fn run_guard(existing: &str, current: &[Entry]) -> bool {
+    let mut ok = true;
+
+    // Ratchet: guarded rows may not drift more than GUARD_TOLERANCE past
+    // the previous entry. Improvements re-base automatically because the
+    // next run compares against the entry this one just appended.
+    for e in current.iter().filter(|e| {
+        e.id.starts_with("entity/accept_in_order/") || e.id.starts_with("batch_throughput/batched/")
+    }) {
+        let Some(prev) = last_ns_per_op(existing, &e.id) else {
+            eprintln!(
+                "guard {}: no previous trajectory entry — baseline run",
+                e.id
+            );
+            continue;
+        };
+        let tolerance = if e.id.starts_with("batch_throughput/") {
+            BATCH_GUARD_TOLERANCE
+        } else {
+            GUARD_TOLERANCE
+        };
+        let ratio = e.ns_per_op / prev;
+        let verdict = if ratio <= tolerance {
+            "ok"
+        } else {
+            ok = false;
+            "REGRESSED"
+        };
+        eprintln!(
+            "guard {}: {:.1} ns vs previous {prev:.1} ns ({ratio:.2}x, tolerance {tolerance:.2}x) {verdict}",
+            e.id, e.ns_per_op
+        );
+    }
+
+    // Absolute floors.
+    if let Some(e) = current
+        .iter()
+        .find(|e| e.id == "entity/accept_in_order/256")
+    {
+        let verdict = if e.ns_per_op <= ACCEPT_256_CEILING_NS {
+            "ok"
+        } else {
+            ok = false;
+            "REGRESSED"
+        };
+        eprintln!(
+            "guard entity/accept_in_order/256: {:.1} ns vs absolute ceiling {ACCEPT_256_CEILING_NS:.0} ns {verdict}",
+            e.ns_per_op
+        );
+    }
+    let per_pdu = current
+        .iter()
+        .find(|e| e.id == "batch_throughput/per_pdu/256")
+        .and_then(|e| e.throughput_per_s);
+    let batched = current
+        .iter()
+        .find(|e| e.id == "batch_throughput/batched/256")
+        .and_then(|e| e.throughput_per_s);
+    if let (Some(per_pdu), Some(batched)) = (per_pdu, batched) {
+        let speedup = batched / per_pdu;
+        let verdict = if speedup >= BATCH_256_MIN_SPEEDUP {
+            "ok"
+        } else {
+            ok = false;
+            "REGRESSED"
+        };
+        eprintln!(
+            "guard batch_throughput/256: {speedup:.2}x batched over per-PDU \
+             (floor {BATCH_256_MIN_SPEEDUP:.1}x) {verdict}"
+        );
+    }
+
+    ok
 }
 
 #[cfg(test)]
 mod tests {
-    use super::append_run;
+    use super::{append_run, last_ns_per_op};
+
+    #[test]
+    fn last_ns_per_op_reads_the_newest_entry() {
+        let text = concat!(
+            "[\n{\n  \"current\": {\n",
+            "    \"entity/accept_in_order/256\": {\"n\": 256, \"ns_per_op\": 2000.5}\n",
+            "  }\n},\n{\n  \"current\": {\n",
+            "    \"entity/accept_in_order/256\": {\"n\": 256, \"ns_per_op\": 1550.1},\n",
+            "    \"batch_throughput/batched/256\": {\"n\": 256, \"ns_per_op\": 700.0, \"throughput_per_s\": 1428571}\n",
+            "  }\n}\n]\n"
+        );
+        assert_eq!(
+            last_ns_per_op(text, "entity/accept_in_order/256"),
+            Some(1550.1)
+        );
+        assert_eq!(
+            last_ns_per_op(text, "batch_throughput/batched/256"),
+            Some(700.0)
+        );
+        assert_eq!(last_ns_per_op(text, "entity/accept_in_order/4"), None);
+        assert_eq!(last_ns_per_op("", "entity/accept_in_order/256"), None);
+    }
 
     #[test]
     fn first_run_starts_an_array() {

@@ -3,7 +3,7 @@
 //! ```text
 //! co-check [--schedules N] [--seed S] [--break-delivery]
 //!          [--out DIR] [--budget-secs T] [--replay FILE]
-//!          [--trace-out FILE] [--force-loss-burst]
+//!          [--trace-out FILE] [--force-loss-burst] [--batch K]
 //! ```
 //!
 //! Explores `N` seeded adversarial schedules; on the first oracle
@@ -18,6 +18,11 @@
 //! cluster-wide loss burst over the early workload window to every
 //! schedule, to provoke the recovery machinery (RET storms, F1/F2
 //! clusters) on demand.
+//!
+//! `--batch K` forces every schedule's inbox-drain width to `K` instead
+//! of the per-scenario random draw: `--batch 8` pushes all traffic
+//! through the engine's batched acceptance (`Entity::on_pdus_into`),
+//! `--batch 1` pins the strict per-PDU path.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -36,6 +41,7 @@ struct Args {
     replay: Option<String>,
     trace_out: Option<String>,
     force_loss_burst: bool,
+    batch: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         trace_out: None,
         force_loss_burst: false,
+        batch: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -75,11 +82,18 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(value("--replay")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--force-loss-burst" => args.force_loss_burst = true,
+            "--batch" => {
+                args.batch = Some(
+                    value("--batch")?
+                        .parse()
+                        .map_err(|e| format!("--batch: {e}"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: co-check [--schedules N] [--seed S] [--break-delivery] \
                             [--out DIR] [--budget-secs T] [--replay FILE] \
-                            [--trace-out FILE] [--force-loss-burst]"
+                            [--trace-out FILE] [--force-loss-burst] [--batch K]"
                         .to_string(),
                 )
             }
@@ -195,6 +209,12 @@ fn main() -> ExitCode {
             }
         }
         let mut scenario = Scenario::random(index, args.seed, args.break_delivery);
+        if let Some(batch) = args.batch {
+            // Force every schedule through one drain width (e.g. the
+            // batched acceptance path with `--batch 8`, or strict per-PDU
+            // with `--batch 1`) instead of the per-scenario random draw.
+            scenario.drain_batch = batch.max(1);
+        }
         if args.force_loss_burst {
             // A cluster-wide blackout across the early workload window:
             // enough traffic lands inside it to exercise F1/F2 detection

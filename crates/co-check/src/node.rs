@@ -193,6 +193,23 @@ impl SimNode for CheckNode {
         self.apply(actions, ctx);
     }
 
+    fn on_batch(&mut self, batch: &mut Vec<(EntityId, Pdu)>, ctx: &mut Context<'_, Pdu>) {
+        // Scenarios with `drain_batch > 1` push whole inbox drains through
+        // the engine's batched acceptance, so the checker's oracles cover
+        // the amortized PACK/ACK path too.
+        let mut actions = Vec::new();
+        let outcome = self.entity.on_pdus_into(
+            batch.drain(..).map(|(_, msg)| msg),
+            ctx.now().as_micros(),
+            &mut actions,
+        );
+        assert_eq!(
+            outcome.rejected, 0,
+            "wire PDUs are well-formed in simulation"
+        );
+        self.apply(actions, ctx);
+    }
+
     fn on_timer(&mut self, _timer: TimerId, ctx: &mut Context<'_, Pdu>) {
         self.armed_deadline = None;
         let actions = self.entity.on_tick(ctx.now().as_micros());

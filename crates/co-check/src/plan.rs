@@ -273,6 +273,11 @@ pub struct Scenario {
     pub inbox_capacity: usize,
     /// Host processing time per received PDU, µs.
     pub proc_time_us: u64,
+    /// Maximum PDUs a node drains from its inbox per processing step.
+    /// Above 1, whole drains go through the engine's batched acceptance
+    /// ([`co_protocol::Entity::on_pdus_into`]); `1` is the strict per-PDU
+    /// path. Omitted in older reproducer JSON, where it defaults to 1.
+    pub drain_batch: usize,
     /// Propagation delay lower bound, µs.
     pub delay_min_us: u64,
     /// Propagation delay upper bound (inclusive), µs; equal to the minimum
@@ -343,6 +348,11 @@ impl Scenario {
             workload,
             faults,
             break_delivery,
+            // Drawn last so scenario generation for a given (index, seed)
+            // keeps every earlier field identical to pre-batching corpora.
+            drain_batch: *[1usize, 2, 4, 8]
+                .get(rng.random_range(0..4usize))
+                .expect("index in range"),
         }
     }
 
@@ -412,6 +422,10 @@ impl Scenario {
                 Json::Num(self.inbox_capacity as u64),
             ),
             ("proc_time_us".to_string(), Json::Num(self.proc_time_us)),
+            (
+                "drain_batch".to_string(),
+                Json::Num(self.drain_batch as u64),
+            ),
             ("delay_min_us".to_string(), Json::Num(self.delay_min_us)),
             ("delay_max_us".to_string(), Json::Num(self.delay_max_us)),
             ("payload".to_string(), Json::Num(self.payload as u64)),
@@ -470,6 +484,15 @@ impl Scenario {
             selective: v.field_bool("selective")?,
             inbox_capacity: v.field_u64("inbox_capacity")? as usize,
             proc_time_us: v.field_u64("proc_time_us")?,
+            // Absent in reproducers committed before batched acceptance
+            // existed; those replay on the strict per-PDU path.
+            drain_batch: match v.get("drain_batch") {
+                None => 1,
+                Some(j) => j
+                    .as_u64()
+                    .ok_or_else(|| "missing or non-integer field `drain_batch`".to_string())?
+                    as usize,
+            },
             delay_min_us: v.field_u64("delay_min_us")?,
             delay_max_us: v.field_u64("delay_max_us")?,
             payload: v.field_u64("payload")? as usize,

@@ -177,6 +177,7 @@ fn run_scenario_impl(sc: &Scenario, trace: bool) -> (RunReport, Vec<Vec<Protocol
         proc_time: SimDuration::from_micros(sc.proc_time_us),
         seed: sc.seed,
         trace: true,
+        drain_batch: sc.drain_batch.max(1),
     };
     let nodes: Vec<CheckNode> = (0..sc.n as u32)
         .map(|i| protocol_config(sc, i))
@@ -276,6 +277,7 @@ mod tests {
             selective: true,
             inbox_capacity: 64,
             proc_time_us: 10,
+            drain_batch: 1,
             delay_min_us: 200,
             delay_max_us: 400,
             payload: 16,

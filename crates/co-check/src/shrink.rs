@@ -49,6 +49,19 @@ pub fn shrink(scenario: &Scenario, target: &[Category]) -> ShrinkOutcome {
     loop {
         let mut improved = false;
 
+        // Batched drains first: a violation that survives on the strict
+        // per-PDU path is easier to read (and localizes the bug away from
+        // the batching layer).
+        if best.drain_batch > 1 && runs < MAX_SHRINK_RUNS {
+            let mut candidate = best.clone();
+            candidate.drain_batch = 1;
+            runs += 1;
+            if reproduces(&candidate, target) {
+                best = candidate;
+                improved = true;
+            }
+        }
+
         // Faults, highest index first so removals do not disturb the
         // indices still to be tried.
         for i in (0..best.faults.len()).rev() {
@@ -112,6 +125,7 @@ mod tests {
             selective: true,
             inbox_capacity: 64,
             proc_time_us: 10,
+            drain_batch: 4,
             delay_min_us: 200,
             delay_max_us: 600,
             payload: 16,
@@ -148,6 +162,8 @@ mod tests {
         // The injected delivery bug needs no faults and only one message.
         assert!(outcome.scenario.faults.is_empty());
         assert_eq!(outcome.scenario.workload.len(), 1);
+        // The bug is not batching-dependent, so the drain collapses too.
+        assert_eq!(outcome.scenario.drain_batch, 1);
         assert!(outcome.runs <= MAX_SHRINK_RUNS);
     }
 

@@ -45,3 +45,40 @@ fn every_committed_reproducer_still_reproduces() {
         dir.display()
     );
 }
+
+/// The inverse corpus: scenarios that violated an oracle before a
+/// protocol fix (their `expect` field records what they violated then)
+/// must now replay completely clean, so the fix can never silently
+/// regress.
+#[test]
+fn fixed_reproducers_replay_clean() {
+    let dir = corpus_dir().join("fixed");
+    let mut checked = 0;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(_) => return, // corpus not present in this checkout layout
+    };
+    for entry in entries {
+        let path = entry.expect("readable corpus dir").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable reproducer");
+        let rep = Reproducer::from_json_text(&text)
+            .unwrap_or_else(|e| panic!("{} is not a valid reproducer: {e}", path.display()));
+        let report = run_scenario(&rep.scenario);
+        assert!(
+            report.violations.is_empty(),
+            "{}: once-fixed scenario violates again (was minimized for {:?}): {:?}",
+            path.display(),
+            rep.expect,
+            report.violations
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 1,
+        "fixed corpus must hold at least 1 reproducer, found {checked} in {}",
+        dir.display()
+    );
+}

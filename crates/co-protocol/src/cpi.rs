@@ -11,33 +11,53 @@
 //!   everything → append;
 //! * (3) otherwise insert between `q1 ⇒ p ⇒ q2`.
 //!
-//! All four cases collapse to: *insert `p` immediately before the first
-//! element that `p` causally precedes; append if there is none.* This is
-//! sound because `PRL` is always causality-preserved: if `r` sits before
-//! the first causal successor `q` of `p`, then `r ⇏ q` would be violated by
-//! `r ⇐ p` (transitivity), so `r` may stay in front of `p`.
+//! All four cases collapse to: *insert `p` after the last element already
+//! known to precede `p`, immediately before the first element past that
+//! point that `p` causally precedes; append if there is none.* When the
+//! `⇒`-evidence among the elements is consistent (a partial order whose
+//! restriction to the log is transitively closed), the predecessor bound
+//! is redundant and this is exactly the paper's "before the first causal
+//! successor" rule: a successor of `p` sitting before a predecessor `r`
+//! of `p` would need `r ⇒ q` by transitivity, contradicting the log being
+//! causality-preserved with `q` in front of `r`.
 //!
-//! **Scope of correctness.** The sequence-number relation of Theorem 4.1
-//! captures *direct* acceptance dependencies and is not transitively
-//! closed: over three senders, `A ∥ B`, `B ⇒ C`, `C ⇒ A` can hold
-//! simultaneously (the `⇒`-evidence for `B ⇒ A` is not carried by any
-//! field), and a log already containing `⟨A B⟩` then admits *no* position
-//! for `C` that satisfies both remaining edges — a limitation inherent to
-//! the paper's data structures, not to this implementation. Two things
-//! keep the protocol correct regardless:
+//! **Why the predecessor bound exists.** The sequence-number relation of
+//! Theorem 4.1 captures *direct* acceptance dependencies and is not
+//! transitively closed: over three senders, `A ∥ B`, `B ⇒ C`, `C ⇒ A` can
+//! hold simultaneously (the `⇒`-evidence for `B ⇒ A` is not carried by
+//! any field), and a log already containing `⟨A B⟩` then admits *no*
+//! position for `C` that satisfies both remaining edges — a limitation
+//! inherent to the paper's data structures, not to this implementation.
+//! Such triads really occur: one PACK round can pre-acknowledge several
+//! sources at once (a single `AckOnly` fold, or a batched drain, can move
+//! many `minAL` rows together), so `A` and `B` can enter the `PRL` in
+//! earlier rounds than `C`. The naive successor scan would then insert
+//! `C` *in front of its own predecessor* `B` — and a later same-source
+//! `B' > B` with `B' ⇒ C` evidence would land before `B`, breaking FIFO
+//! delivery (found by `co-check` schedule exploration over batched
+//! drains; regressions: `cpi-triad-fifo-inversion.json` in
+//! `tests/regressions/fixed/`, and `batch_fifo_triad` below).
 //!
-//! 1. Proposition 4.3 orders pre-acknowledgment *between* PACK rounds, so
-//!    inconsistent triads can only meet inside one insertion batch, where
-//!    the PACK action presents same-source PDUs in sequence order;
-//! 2. the guarantee that matters to applications — deliveries respect
-//!    happened-before over *application* events, the same level ISIS
-//!    CBCAST provides — only requires ordering pairs whose dependency went
-//!    through a delivery, and those always carry direct `⇒` evidence.
+//! The predecessor bound resolves every triad in favor of the edges that
+//! can carry application-level causality: elements already known to
+//! precede `p` stay in front of it, unconditionally — in particular
+//! same-source sequence order (FIFO) always holds. What it sacrifices is
+//! `p`'s successor-evidence toward elements *ahead of* `p`'s last
+//! predecessor — edges that in a consistent execution cannot be
+//! delivery-real for that log order (a delivery-based dependency `p ⇒ q`
+//! means `q`'s sender delivered `p` before sending `q`, which forces the
+//! transitive evidence the triad lacks). The guarantee that matters to
+//! applications — deliveries respect happened-before over *application*
+//! events, the same level ISIS CBCAST provides — only requires ordering
+//! pairs whose dependency went through a delivery.
 //!
 //! The end-to-end oracle tests (`tests/co_service_properties.rs`,
-//! `tests/proptest_random_runs.rs`) verify property 2 on full runs; the
-//! property tests in `tests/proptest_protocol.rs` verify the insertion
-//! rule over ⇒-respecting arrival orders and Example 4.1's batch.
+//! `tests/proptest_random_runs.rs`) verify delivery-level causality on
+//! full runs, and `co-check`'s ground-truth happened-before oracles
+//! verify it across adversarial fault schedules on both the per-PDU and
+//! batched acceptance paths; the property tests in
+//! `tests/proptest_protocol.rs` verify the insertion rule over
+//! ⇒-respecting arrival orders and Example 4.1's batch.
 
 use causal_order::{causally_precedes, SeqMeta};
 use co_wire::DataPdu;
@@ -66,13 +86,23 @@ impl CausalLog {
 
     /// The CPI operation `L < p`: inserts `pdu` keeping the log
     /// causality-preserved. Returns the insertion index.
+    ///
+    /// Implements the predecessor-dominant rule from the module docs:
+    /// `pdu` goes after every element already known to precede it, then
+    /// before the first causal successor past that point.
     pub fn insert(&mut self, pdu: DataPdu) -> usize {
         let meta = pdu.seq_meta();
+        let start = self
+            .metas
+            .iter()
+            .rposition(|q| causally_precedes(q, &meta))
+            .map_or(0, |last_pred| last_pred + 1);
         let pos = self
             .metas
             .iter()
+            .skip(start)
             .position(|q| causally_precedes(&meta, q))
-            .unwrap_or(self.pdus.len());
+            .map_or(self.pdus.len(), |offset| start + offset);
         self.pdus.insert(pos, pdu);
         self.metas.insert(pos, meta);
         pos
@@ -240,6 +270,41 @@ mod tests {
         log.insert(a());
         assert!(log.is_causality_preserved());
         assert_eq!(order(&log)[0], (0, 1));
+    }
+
+    /// The inconsistent triad from the module docs, in the shape
+    /// `co-check` found it over batched drains (n = 5, entities E1..E5):
+    /// the log holds `⟨A B⟩` with `A = E4#5 ∥ B = E1#2`; then `C = E5#3`
+    /// arrives carrying `B ⇒ C` and `C ⇒ A` — no position satisfies both
+    /// edges. The predecessor bound must keep `C` behind `B`, so that the
+    /// same-source follow-up `B' = E1#3` (with `B' ⇒ C` evidence) cannot
+    /// be pulled in front of `B` and break FIFO delivery.
+    #[test]
+    fn batch_fifo_triad() {
+        let a = pdu(3, 5, &[1, 1, 1, 6, 4]); // accepted E5#1..3, not E1#2
+        let b = pdu(0, 2, &[3, 1, 1, 1, 1]); // predates A's source entirely
+        let c = pdu(4, 3, &[4, 1, 1, 1, 4]); // accepted E1#1..3 → B ⇒ C
+        let b2 = pdu(0, 3, &[4, 1, 1, 1, 1]);
+
+        let mut log = CausalLog::new();
+        assert_eq!(log.insert(a), 0);
+        assert_eq!(log.insert(b), 1, "A ∥ B appends");
+        // Naive first-successor placement would put C at 0 (before its
+        // own predecessor B, via C ⇒ A); the predecessor bound forces it
+        // after B, sacrificing only the C ⇒ A edge the triad cannot keep.
+        assert_eq!(log.insert(c), 2, "C stays behind its predecessor B");
+        assert_eq!(
+            log.insert(b2),
+            2,
+            "same-source B' lands between B and its successor C"
+        );
+        assert_eq!(order(&log), vec![(3, 5), (0, 2), (0, 3), (4, 3)]);
+        let positions: Vec<u64> = log
+            .iter()
+            .filter(|p| p.src.raw() == 0)
+            .map(|p| p.seq.get())
+            .collect();
+        assert_eq!(positions, vec![2, 3], "FIFO preserved for E1");
     }
 
     #[test]

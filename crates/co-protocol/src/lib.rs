@@ -112,7 +112,7 @@ mod snapshot;
 pub use actions::{Action, ActionSink, Delivery, FnSink, SubmitOutcome};
 pub use config::{Config, ConfigBuilder, ConfigError, DeferralPolicy, RetransmissionPolicy};
 pub use cpi::CausalLog;
-pub use entity::Entity;
+pub use entity::{BatchOutcome, Entity};
 pub use error::ProtocolError;
 pub use flow::{flow_limit, FlowDecision};
 pub use logs::{ReceiptLogs, SendLog};

@@ -14,53 +14,109 @@
 //! retransmissions being bit-identical), and folding an old vector in must
 //! never move knowledge backwards.
 //!
-//! # Cost model
+//! # Layout
 //!
-//! Row minima are cached and maintained incrementally, so the protocol's
-//! hot path (§5's "ordering computation" advantage over ISIS CBCAST) never
-//! rescans the matrix:
+//! Storage is **lane-major**: `cells[observer * n + source]`, one
+//! contiguous `u64`-word *lane* per observer. Every bulk mutation the
+//! protocol performs writes along an observer lane ([`fold_column`] folds
+//! one peer's confirmation vector in) or streams all lanes in source order
+//! ([`raise_rows`] adopts an `AckOnly` frontier), so the hot path walks
+//! word-adjacent memory the CPU can prefetch and auto-vectorize instead of
+//! touching `n` cache lines `n` words apart. At `n = 256` a fold visits
+//! 32 cache lines (2 KiB lane) instead of 256 lines spread over a 512 KiB
+//! matrix — the layout change that recovered the `accept_in_order/256`
+//! regression.
 //!
-//! * [`KnowledgeMatrix::row_min`] / [`KnowledgeMatrix::row_mins`] — O(1),
-//!   allocation-free (the full-vector accessor returns a cached slice);
-//! * [`KnowledgeMatrix::raise`] — O(1) unless the raise removes the row's
-//!   *last* minimal cell, in which case that one row is rescanned (O(n)).
-//!   Each rescan strictly increases the row minimum, so over any workload
-//!   the rescan cost is bounded by the number of distinct minimum values
-//!   the row passes through — O(1) amortized for steady sequence traffic;
-//! * [`KnowledgeMatrix::fold_column`] — O(n) raises (one per row), each
-//!   O(1) amortized as above;
-//! * [`KnowledgeMatrix::raise_row`] — O(n) with a direct O(1) min update
-//!   (never rescans).
+//! # Cost model: dirty-lane lazy minima
+//!
+//! Row minima are cached, and the cache is maintained **lazily** with
+//! lane-granular dirty bits — a bulk mutation never rescans anything, and
+//! never even touches per-row bookkeeping:
+//!
+//! * [`fold_column`] is a pure branchless component-wise max over one lane
+//!   (the same inner loop a cache-less matrix would run) plus a single
+//!   dirty bit set on that lane;
+//! * each row caches its minimum (`mins`) and the lane that held it at the
+//!   last resolution (`holder`). A row's cached minimum is trustworthy
+//!   exactly while its holder lane is clean: folds into *other* lanes
+//!   cannot raise the holder cell, so the minimum provably stands. Only
+//!   `holder[k]` being dirty makes row `k` *possibly stale* — its cached
+//!   minimum is then still a valid lower bound (monotonicity), just maybe
+//!   overtaken;
+//! * [`flush`] re-resolves every possibly-stale row at once, at a point
+//!   the *caller* chooses (the engine flushes once per PDU, batched
+//!   acceptance once per batch), then clears all lane dirt: a handful of
+//!   stale rows get individual strided rescans, while a large batch
+//!   (≥ n/4 rows, as after adopting a far-ahead frontier) is recomputed
+//!   with one *sequential* whole-matrix pass — the same streaming shape as
+//!   the mutations that dirtied it. Rescans pick the new holder from a
+//!   clean lane when one ties for the minimum, so a busy observer folding
+//!   over and over doesn't force wasted rescans of rows whose minimum also
+//!   lives elsewhere;
+//! * [`row_min`] — O(1) for rows with a clean holder, and still *exact*
+//!   for possibly-stale ones (it recomputes on the fly without touching
+//!   the cache), so interleaved reads never require a flush for
+//!   correctness, only for speed. [`row_mins`] returns the cached slice
+//!   and therefore does demand a fully clean matrix (debug-asserted) —
+//!   flush first;
+//! * [`raise`] / [`raise_row`] stay eagerly exact (single-row operations
+//!   where deferral buys nothing); [`raise_rows`] — the batched frontier
+//!   adoption — flushes, then lifts every row in one sequential pass over
+//!   the whole matrix, replacing n strided row walks.
 //!
 //! Rows whose minimum moved since the last drain are tracked in a
-//! **dirty-source set** ([`KnowledgeMatrix::drain_dirty_into`]), letting
-//! the engine's PACK/ACK sweep visit only sources whose `minAL`/`minPAL`
-//! actually changed instead of all `n` on every event. A [`version`]
-//! counter (bumped on every row-minimum change) gives callers an O(1)
-//! "did any frontier move?" check.
+//! **dirty-source set** ([`drain_dirty_into`], which flushes first),
+//! letting the engine's PACK/ACK sweep visit only sources whose
+//! `minAL`/`minPAL` actually changed instead of all `n` on every event. A
+//! [`version`] counter (bumped on every row-minimum change, at resolution
+//! time) gives callers an O(1) "did any frontier move?" check over flushed
+//! state.
 //!
+//! [`fold_column`]: KnowledgeMatrix::fold_column
+//! [`raise`]: KnowledgeMatrix::raise
+//! [`raise_row`]: KnowledgeMatrix::raise_row
+//! [`raise_rows`]: KnowledgeMatrix::raise_rows
+//! [`row_min`]: KnowledgeMatrix::row_min
+//! [`row_mins`]: KnowledgeMatrix::row_mins
+//! [`drain_dirty_into`]: KnowledgeMatrix::drain_dirty_into
+//! [`flush`]: KnowledgeMatrix::flush
 //! [`version`]: KnowledgeMatrix::version
 
 use causal_order::{EntityId, Seq};
 
+/// How many possibly-stale rows trigger the sequential whole-matrix
+/// recompute instead of per-row strided rescans (denominator of n).
+const FULL_RESCAN_DIVISOR: usize = 4;
+
 /// A dense `n × n` matrix of sequence-number knowledge with monotonic
-/// updates, cached row minima and dirty-row change tracking.
+/// updates, lazily cached row minima and dirty-row change tracking.
 #[derive(Debug, Clone)]
 pub struct KnowledgeMatrix {
     n: usize,
-    /// Row-major: `cells[source * n + observer]`.
+    /// Lane-major: `cells[observer * n + source]`.
     cells: Vec<Seq>,
-    /// Cached row minima, index-aligned with rows.
+    /// Cached row minima, index-aligned with rows (sources). Exact while
+    /// the row's holder lane is clean; a lower bound otherwise.
     mins: Vec<Seq>,
-    /// How many cells of each row currently equal its minimum (so a raise
-    /// of a non-unique minimum cell needs no rescan).
-    min_count: Vec<u32>,
+    /// For each row, the lane (observer) whose cell held the minimum at
+    /// the last resolution. While that lane is clean, no mutation can have
+    /// raised the cell, so the cached minimum provably still stands.
+    holder: Vec<u32>,
+    /// Per-lane dirty bit: set by any fold that changed the lane, cleared
+    /// by [`KnowledgeMatrix::flush`].
+    lane_dirty: Vec<bool>,
+    /// `true` iff any lane-dirty bit is set (the clean fast-path check).
+    any_lane_dirty: bool,
     /// `true` for rows whose minimum changed since the last drain.
     dirty: Vec<bool>,
     /// Queue of dirty row indices (deduplicated through `dirty`).
     dirty_rows: Vec<u32>,
     /// Bumped every time any row minimum changes.
     version: u64,
+    /// Scratch for the sequential whole-matrix rescan (candidate minima).
+    scratch_min: Vec<Seq>,
+    /// Scratch for the sequential whole-matrix rescan (candidate holders).
+    scratch_holder: Vec<u32>,
 }
 
 impl KnowledgeMatrix {
@@ -71,10 +127,14 @@ impl KnowledgeMatrix {
             n,
             cells: vec![Seq::FIRST; n * n],
             mins: vec![Seq::FIRST; n],
-            min_count: vec![n as u32; n],
+            holder: vec![0; n],
+            lane_dirty: vec![false; n],
+            any_lane_dirty: false,
             dirty: vec![false; n],
             dirty_rows: Vec::with_capacity(n),
             version: 0,
+            scratch_min: vec![Seq::FIRST; n],
+            scratch_holder: vec![0; n],
         }
     }
 
@@ -89,28 +149,28 @@ impl KnowledgeMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn get(&self, source: EntityId, observer: EntityId) -> Seq {
-        self.cells[source.index() * self.n + observer.index()]
+        self.cells[observer.index() * self.n + source.index()]
     }
 
     /// Monotonically raises the cell for (`source`, `observer`) to `value`
     /// (no-op if the cell is already at least `value`). Returns `true` if
     /// the cell changed.
     ///
-    /// O(1) unless the raised cell was the row's only remaining minimum, in
-    /// which case the row is rescanned once (the minimum strictly grew).
+    /// O(1) unless the raised cell was the row's recorded minimum holder,
+    /// in which case that one row is rescanned immediately — unlike
+    /// [`fold_column`](KnowledgeMatrix::fold_column), a single-cell raise
+    /// never defers (there is nothing to batch).
     pub fn raise(&mut self, source: EntityId, observer: EntityId, value: Seq) -> bool {
         let k = source.index();
-        let idx = k * self.n + observer.index();
+        let j = observer.index();
+        let idx = j * self.n + k;
         let old = self.cells[idx];
         if value <= old {
             return false;
         }
         self.cells[idx] = value;
-        if old == self.mins[k] {
-            self.min_count[k] -= 1;
-            if self.min_count[k] == 0 {
-                self.rescan_row(k);
-            }
+        if self.holder[k] == j as u32 {
+            self.rescan_row(k);
         }
         true
     }
@@ -119,14 +179,32 @@ impl KnowledgeMatrix {
     /// source `k`, `cell[k][observer] = max(cell, vector[k])`. Returns
     /// `true` if anything changed.
     ///
+    /// One sequential, branchless walk over the observer's lane — no row
+    /// bookkeeping at all, just a dirty bit on the lane if anything grew.
+    /// Rows whose minimum lived in this lane are resolved together at the
+    /// next [`flush`] (or exactly, on the fly, by [`row_min`]).
+    ///
+    /// [`flush`]: KnowledgeMatrix::flush
+    /// [`row_min`]: KnowledgeMatrix::row_min
+    ///
     /// # Panics
     ///
     /// Panics if `vector.len() != n`.
+    #[inline]
     pub fn fold_column(&mut self, observer: EntityId, vector: &[Seq]) -> bool {
         assert_eq!(vector.len(), self.n, "confirmation vector length mismatch");
+        let j = observer.index();
+        let lane = &mut self.cells[j * self.n..(j + 1) * self.n];
         let mut changed = false;
-        for (k, &value) in vector.iter().enumerate() {
-            changed |= self.raise(EntityId::new(k as u32), observer, value);
+        for (cell, &value) in lane.iter_mut().zip(vector) {
+            let old = *cell;
+            let grew = value > old;
+            *cell = if grew { value } else { old };
+            changed |= grew;
+        }
+        if changed {
+            self.lane_dirty[j] = true;
+            self.any_lane_dirty = true;
         }
         changed
     }
@@ -134,86 +212,271 @@ impl KnowledgeMatrix {
     /// Monotonically raises **every** cell of `source`'s row to at least
     /// `value` (the AckOnly `acked`-adoption rule: the sender asserts all
     /// entities pre-acknowledged `source`'s PDUs below `value`). Returns
-    /// `true` if anything changed. O(n), never rescans: the new row
-    /// minimum is simply `max(old minimum, value)`.
+    /// `true` if anything changed. O(n) strided with a direct O(1) min
+    /// update (the new row minimum is simply `max(old minimum, value)`);
+    /// a possibly-stale row is rescanned first so the update stays exact.
+    ///
+    /// To lift many rows at once, prefer [`raise_rows`], which streams the
+    /// matrix sequentially instead of striding per row.
+    ///
+    /// [`raise_rows`]: KnowledgeMatrix::raise_rows
     pub fn raise_row(&mut self, source: EntityId, value: Seq) -> bool {
         let k = source.index();
         if value <= self.mins[k] {
-            // Every cell is already >= the row minimum >= value.
+            // Every cell is already >= the row minimum >= value (for a
+            // possibly-stale row the cached minimum is a lower bound, so
+            // this no-op test is still sound).
             return false;
         }
-        let row = &mut self.cells[k * self.n..(k + 1) * self.n];
-        let mut at_value = 0u32;
-        for cell in row.iter_mut() {
-            if *cell < value {
-                *cell = value;
-                at_value += 1;
-            } else if *cell == value {
-                at_value += 1;
+        if self.lane_dirty[self.holder[k] as usize] {
+            self.rescan_row(k);
+            if value <= self.mins[k] {
+                return false;
             }
         }
+        let KnowledgeMatrix {
+            n,
+            cells,
+            lane_dirty,
+            ..
+        } = self;
+        let n = *n;
+        let mut first_eq = u32::MAX;
+        let mut first_clean_eq = u32::MAX;
+        for j in 0..n {
+            let cell = &mut cells[j * n + k];
+            if *cell < value {
+                *cell = value;
+            }
+            if *cell == value {
+                if first_eq == u32::MAX {
+                    first_eq = j as u32;
+                }
+                if first_clean_eq == u32::MAX && !lane_dirty[j] {
+                    first_clean_eq = j as u32;
+                }
+            }
+        }
+        // value > (exact) old minimum, so the old-min cell was raised to
+        // exactly `value` — some holder candidate must exist.
+        debug_assert_ne!(first_eq, u32::MAX, "new minimum must be attained");
+        self.holder[k] = if first_clean_eq != u32::MAX {
+            first_clean_eq
+        } else {
+            first_eq
+        };
         self.mins[k] = value;
-        self.min_count[k] = at_value;
         self.note_dirty(k);
         true
     }
 
+    /// Batched [`raise_row`] for the whole matrix: lifts row `k` to at
+    /// least `values[k]` for every source at once. Returns `true` if any
+    /// row minimum moved.
+    ///
+    /// One *sequential* pass over all lanes (plus O(n) pre/post work on
+    /// the cached minima, after a [`flush`]) — the cache-friendly
+    /// replacement for n strided row walks when adopting a full `AckOnly`
+    /// frontier.
+    ///
+    /// [`raise_row`]: KnowledgeMatrix::raise_row
+    /// [`flush`]: KnowledgeMatrix::flush
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n`.
+    pub fn raise_rows(&mut self, values: &[Seq]) -> bool {
+        assert_eq!(values.len(), self.n, "frontier vector length mismatch");
+        if values
+            .iter()
+            .zip(&self.mins)
+            .all(|(&value, &min)| value <= min)
+        {
+            // Sound even with possibly-stale rows: cached minima are
+            // lower bounds.
+            return false;
+        }
+        self.flush();
+        // A row's new minimum is max(old, value): if value exceeds the old
+        // minimum, some cell sat at the old minimum and is raised to
+        // exactly `value`, and no cell ends below `value`.
+        for (target, (&min, &value)) in self
+            .scratch_min
+            .iter_mut()
+            .zip(self.mins.iter().zip(values))
+        {
+            *target = min.max(value);
+        }
+        self.scratch_holder.fill(u32::MAX);
+        for (j, lane) in self.cells.chunks_exact_mut(self.n).enumerate() {
+            for (k, cell) in lane.iter_mut().enumerate() {
+                let raised = (*cell).max(values[k]);
+                *cell = raised;
+                if raised == self.scratch_min[k] && self.scratch_holder[k] == u32::MAX {
+                    self.scratch_holder[k] = j as u32;
+                }
+            }
+        }
+        let mut changed = false;
+        for k in 0..self.n {
+            debug_assert_ne!(self.scratch_holder[k], u32::MAX, "minimum must be attained");
+            self.holder[k] = self.scratch_holder[k];
+            if self.scratch_min[k] > self.mins[k] {
+                self.mins[k] = self.scratch_min[k];
+                self.note_dirty(k);
+                changed = true;
+            }
+        }
+        changed
+    }
+
     /// The row minimum for `source` — the paper's `minAL_k` / `minPAL_k`.
-    /// O(1): reads the cached minimum.
+    /// Always exact: O(1) for a row whose holder lane is clean; a
+    /// possibly-stale row (folds dirtied the lane holding its minimum
+    /// since the last [`flush`]) is recomputed on the fly without touching
+    /// the cache.
+    ///
+    /// [`flush`]: KnowledgeMatrix::flush
+    #[inline]
     pub fn row_min(&self, source: EntityId) -> Seq {
-        self.mins[source.index()]
+        let k = source.index();
+        if !self.lane_dirty[self.holder[k] as usize] {
+            return self.mins[k];
+        }
+        (0..self.n)
+            .map(|j| self.cells[j * self.n + k])
+            .min()
+            .expect("n >= 1")
     }
 
     /// The full vector of row minima (`⟨minAL_1, …, minAL_n⟩`), used as the
     /// pre-ack frontier advertised in `AckOnly` PDUs. O(1),
-    /// allocation-free: returns the cached slice.
+    /// allocation-free: returns the cached slice, which is only exact when
+    /// the matrix is clean — call [`flush`] after mutating.
+    ///
+    /// [`flush`]: KnowledgeMatrix::flush
     pub fn row_mins(&self) -> &[Seq] {
+        debug_assert!(!self.any_lane_dirty, "row_mins read without flush()");
         &self.mins
+    }
+
+    /// Re-resolves every possibly-stale row's cached minimum and clears
+    /// all lane dirt: strided per-row rescans while few rows are affected,
+    /// one sequential whole-matrix pass once enough are that striding
+    /// would touch more cache lines than streaming. O(1) when no lane is
+    /// dirty, O(n) when dirty lanes hold no row minima.
+    ///
+    /// Mutating calls leave the cache lazily out of date instead of paying
+    /// for rescans inline ([`fold_column`] in particular is a pure
+    /// streaming walk); the engine flushes once per PDU — or once per
+    /// *batch* — before reading frontiers, which is where the deferral
+    /// pays off.
+    ///
+    /// [`fold_column`]: KnowledgeMatrix::fold_column
+    pub fn flush(&mut self) {
+        if !self.any_lane_dirty {
+            return;
+        }
+        let stale = (0..self.n)
+            .filter(|&k| self.lane_dirty[self.holder[k] as usize])
+            .count();
+        if stale >= self.n.div_ceil(FULL_RESCAN_DIVISOR) {
+            // One sequential pass: candidate minimum and holder per row.
+            self.scratch_min.copy_from_slice(&self.cells[..self.n]);
+            self.scratch_holder.fill(0);
+            for (j, lane) in self.cells[self.n..].chunks_exact(self.n).enumerate() {
+                for (k, &cell) in lane.iter().enumerate() {
+                    if cell < self.scratch_min[k] {
+                        self.scratch_min[k] = cell;
+                        self.scratch_holder[k] = (j + 1) as u32;
+                    }
+                }
+            }
+            for k in 0..self.n {
+                if self.lane_dirty[self.holder[k] as usize] {
+                    self.holder[k] = self.scratch_holder[k];
+                    debug_assert!(self.scratch_min[k] >= self.mins[k], "minima are monotonic");
+                    if self.scratch_min[k] > self.mins[k] {
+                        self.mins[k] = self.scratch_min[k];
+                        self.note_dirty(k);
+                    }
+                }
+            }
+        } else if stale > 0 {
+            for k in 0..self.n {
+                if self.lane_dirty[self.holder[k] as usize] {
+                    self.rescan_row(k);
+                }
+            }
+        }
+        self.lane_dirty.fill(false);
+        self.any_lane_dirty = false;
     }
 
     /// A counter bumped every time any row minimum changes; two equal
     /// versions imply identical [`row_mins`] (minima are monotonic, so no
-    /// ABA). Lets callers compare frontiers in O(1).
+    /// ABA). Lets callers compare frontiers in O(1). Reflects *flushed*
+    /// state: mutations whose rescan is still deferred have not bumped it
+    /// yet.
     ///
     /// [`row_mins`]: KnowledgeMatrix::row_mins
     pub fn version(&self) -> u64 {
         self.version
     }
 
-    /// Whether any row minimum changed since the last
-    /// [`drain_dirty_into`](KnowledgeMatrix::drain_dirty_into).
+    /// Whether any row minimum *may* have changed since the last
+    /// [`drain_dirty_into`](KnowledgeMatrix::drain_dirty_into): resolved
+    /// changes, plus possibly-stale rows whose deferred rescan hasn't run
+    /// yet (those may turn out unchanged — this is a conservative check).
     pub fn has_dirty(&self) -> bool {
         !self.dirty_rows.is_empty()
+            || (self.any_lane_dirty
+                && (0..self.n).any(|k| self.lane_dirty[self.holder[k] as usize]))
     }
 
     /// Moves the indices of rows whose minimum changed since the last drain
     /// into `out` (appended; `out` is *not* cleared) and resets the dirty
-    /// set. Allocation-free when `out` has capacity for `n` entries.
+    /// set. Flushes first, so deferred minimum changes are included.
+    /// Allocation-free when `out` has capacity for `n` entries.
     pub fn drain_dirty_into(&mut self, out: &mut Vec<u32>) {
+        self.flush();
         for &k in &self.dirty_rows {
             self.dirty[k as usize] = false;
         }
         out.append(&mut self.dirty_rows);
     }
 
-    /// Recomputes one row's cached minimum after its last minimal cell was
-    /// raised. The minimum strictly increases, so the row becomes dirty.
+    /// Recomputes one row's cached minimum and holder by a strided scan.
+    /// The minimum may turn out unchanged (the raise that triggered the
+    /// rescan only displaced *one* of several minimum-holding cells); the
+    /// row is marked dirty only if it actually moved.
     fn rescan_row(&mut self, k: usize) {
-        let row = &self.cells[k * self.n..(k + 1) * self.n];
-        let mut min = row[0];
-        let mut count = 1u32;
-        for &cell in &row[1..] {
+        let mut min = self.cells[k];
+        let mut holder = 0u32;
+        for j in 1..self.n {
+            let cell = self.cells[j * self.n + k];
             if cell < min {
                 min = cell;
-                count = 1;
-            } else if cell == min {
-                count += 1;
+                holder = j as u32;
             }
         }
-        debug_assert!(min > self.mins[k], "rescan must raise the minimum");
-        self.mins[k] = min;
-        self.min_count[k] = count;
-        self.note_dirty(k);
+        // Prefer a minimum-holding cell in a clean lane, so a busy
+        // observer folding repeatedly doesn't force wasted rescans of rows
+        // whose minimum also lives elsewhere.
+        if self.any_lane_dirty && self.lane_dirty[holder as usize] {
+            for j in 0..self.n {
+                if !self.lane_dirty[j] && self.cells[j * self.n + k] == min {
+                    holder = j as u32;
+                    break;
+                }
+            }
+        }
+        self.holder[k] = holder;
+        debug_assert!(min >= self.mins[k], "minima are monotonic");
+        if min > self.mins[k] {
+            self.mins[k] = min;
+            self.note_dirty(k);
+        }
     }
 
     fn note_dirty(&mut self, k: usize) {
@@ -226,9 +489,9 @@ impl KnowledgeMatrix {
 }
 
 /// Equality is *knowledge* equality: same cluster size and cells. The
-/// change-tracking bookkeeping (version, dirty set) is history-dependent —
-/// two matrices reached by reordered commutative folds must still compare
-/// equal.
+/// change-tracking bookkeeping (version, dirty set, deferred rescans) is
+/// history-dependent — two matrices reached by reordered commutative folds
+/// must still compare equal.
 impl PartialEq for KnowledgeMatrix {
     fn eq(&self, other: &Self) -> bool {
         self.n == other.n && self.cells == other.cells
@@ -248,7 +511,7 @@ impl std::fmt::Display for KnowledgeMatrix {
                 if j > 0 {
                     write!(f, " ")?;
                 }
-                write!(f, "{}", self.cells[k * self.n + j].get())?;
+                write!(f, "{}", self.cells[j * self.n + k].get())?;
             }
             write!(f, "]")?;
         }
@@ -274,6 +537,55 @@ mod tests {
             .map(|j| m.get(e(k), e(j as u32)))
             .min()
             .expect("n >= 1")
+    }
+
+    /// Deterministic long-run stress: a quarter-million random
+    /// raise/fold/raise-row/flush operations, cross-checking every cached
+    /// row minimum against a fresh recompute after each one. The proptest
+    /// twin (`tests/proptest_protocol.rs`) explores shapes; this pins a
+    /// deep deterministic trajectory in the plain test suite.
+    #[test]
+    fn stress_cached_minima_stay_exact() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [2usize, 3, 5, 8] {
+            let mut m = KnowledgeMatrix::new(n);
+            for _ in 0..8_000 {
+                match rng() % 5 {
+                    0 => {
+                        let src = e((rng() % n as u64) as u32);
+                        let obs = e((rng() % n as u64) as u32);
+                        m.raise(src, obs, Seq::new(rng() % 64 + 1));
+                    }
+                    1 => {
+                        let obs = e((rng() % n as u64) as u32);
+                        let vector: Vec<Seq> = (0..n).map(|_| Seq::new(rng() % 64 + 1)).collect();
+                        m.fold_column(obs, &vector);
+                    }
+                    2 => {
+                        let src = e((rng() % n as u64) as u32);
+                        m.raise_row(src, Seq::new(rng() % 64 + 1));
+                    }
+                    3 => {
+                        let values: Vec<Seq> = (0..n).map(|_| Seq::new(rng() % 64 + 1)).collect();
+                        m.raise_rows(&values);
+                    }
+                    _ => m.flush(),
+                }
+                for k in 0..n as u32 {
+                    assert_eq!(m.row_min(e(k)), fresh_min(&m, k), "n={n} row {k}");
+                }
+            }
+            m.flush();
+            for k in 0..n as u32 {
+                assert_eq!(m.row_mins()[k as usize], fresh_min(&m, k));
+            }
+        }
     }
 
     #[test]
@@ -328,19 +640,39 @@ mod tests {
         let mut m = KnowledgeMatrix::new(2);
         m.fold_column(e(0), &seqs(&[4, 7]));
         m.fold_column(e(1), &seqs(&[2, 9]));
+        m.flush();
         assert_eq!(m.row_mins(), &seqs(&[2, 7])[..]);
+    }
+
+    #[test]
+    fn row_min_exact_without_flush() {
+        // Folds defer cache maintenance, but row_min must stay exact even
+        // before any flush (it recomputes possibly-stale rows on the fly).
+        let mut m = KnowledgeMatrix::new(3);
+        m.fold_column(e(0), &seqs(&[4, 3, 5]));
+        m.fold_column(e(1), &seqs(&[2, 6, 5]));
+        m.fold_column(e(2), &seqs(&[3, 3, 2]));
+        for k in 0..3 {
+            assert_eq!(m.row_min(e(k)), fresh_min(&m, k), "row {k}");
+        }
+        // Flushing doesn't change the answer, only the cache.
+        m.flush();
+        for k in 0..3 {
+            assert_eq!(m.row_min(e(k)), fresh_min(&m, k), "row {k}");
+        }
+        assert_eq!(m.row_mins(), &seqs(&[2, 3, 2])[..]);
     }
 
     #[test]
     fn cached_minima_track_raises() {
         let mut m = KnowledgeMatrix::new(3);
         // Raise cells one by one; cached minimum must always match a fresh
-        // recomputation, including when the last minimal cell moves.
+        // recomputation, including when the minimum-holding cell moves.
         let updates = [
             (0, 0, 4),
             (0, 1, 2),
-            (0, 2, 2), // min now 2 (count 2)
-            (0, 1, 5), // min stays 2 (count 1)
+            (0, 2, 2), // min now 2 (held twice)
+            (0, 1, 5), // min stays 2 (one holder left)
             (0, 2, 3), // last minimal cell raised → rescan → min 3
             (1, 0, 9),
             (2, 2, 7),
@@ -355,6 +687,43 @@ mod tests {
     }
 
     #[test]
+    fn cached_minima_track_folds() {
+        // Folds drive the deferred (flush-time) rescan path; cross-check
+        // the cache against fresh recomputation after every fold+flush,
+        // with enough rows going stale at once to trigger the sequential
+        // full rescan, and interleave unflushed reads to exercise the
+        // on-the-fly path.
+        let n = 8;
+        let mut m = KnowledgeMatrix::new(n);
+        let folds: Vec<(u32, Vec<u64>)> = (0..40)
+            .map(|t| {
+                let j = (t * 5 % n as u64) as u32;
+                let vec = (0..n as u64).map(|k| 1 + (t + k * 3) % 17).collect();
+                (j, vec)
+            })
+            .collect();
+        for (i, (j, vec)) in folds.into_iter().enumerate() {
+            m.fold_column(e(j), &seqs(&vec));
+            // Exact before the flush...
+            for row in 0..n as u32 {
+                assert_eq!(m.row_min(e(row)), fresh_min(&m, row), "row {row}");
+            }
+            // ...and flush every few folds so stale rows accumulate enough
+            // to take the whole-matrix recompute path too.
+            if i % 3 == 0 {
+                m.flush();
+                for row in 0..n as u32 {
+                    assert_eq!(m.row_min(e(row)), fresh_min(&m, row), "row {row}");
+                }
+            }
+        }
+        m.flush();
+        for (row, &min) in m.row_mins().iter().enumerate() {
+            assert_eq!(min, fresh_min(&m, row as u32), "row {row}");
+        }
+    }
+
+    #[test]
     fn raise_row_lifts_whole_row() {
         let mut m = KnowledgeMatrix::new(3);
         m.fold_column(e(1), &seqs(&[5, 1, 1]));
@@ -366,6 +735,55 @@ mod tests {
         assert_eq!(m.row_min(e(0)), fresh_min(&m, 0));
         // Raising below the current minimum is a no-op.
         assert!(!m.raise_row(e(0), Seq::new(2)));
+    }
+
+    #[test]
+    fn raise_row_resolves_stale_row_first() {
+        let mut m = KnowledgeMatrix::new(2);
+        // Both cells of row 0 grow past the cached minimum of 1 with the
+        // rescans deferred.
+        m.fold_column(e(0), &seqs(&[5, 1]));
+        m.fold_column(e(1), &seqs(&[4, 1]));
+        // True min is 4; raising to 3 must be a no-op despite the stale
+        // cached minimum of 1.
+        assert!(!m.raise_row(e(0), Seq::new(3)));
+        assert_eq!(m.row_min(e(0)), Seq::new(4));
+        assert!(m.raise_row(e(0), Seq::new(6)));
+        assert_eq!(m.row_min(e(0)), Seq::new(6));
+        assert_eq!(m.row_min(e(0)), fresh_min(&m, 0));
+    }
+
+    #[test]
+    fn raise_rows_matches_per_row_raises() {
+        let n = 5;
+        let mut batched = KnowledgeMatrix::new(n);
+        let mut one_by_one = KnowledgeMatrix::new(n);
+        for m in [&mut batched, &mut one_by_one] {
+            m.fold_column(e(1), &seqs(&[5, 1, 4, 2, 9]));
+            m.fold_column(e(3), &seqs(&[2, 6, 1, 1, 3]));
+        }
+        let frontier = seqs(&[3, 1, 7, 2, 4]);
+        let mut changed = false;
+        for (k, &value) in frontier.iter().enumerate() {
+            changed |= one_by_one.raise_row(e(k as u32), value);
+        }
+        assert_eq!(batched.raise_rows(&frontier), changed);
+        assert_eq!(batched, one_by_one);
+        batched.flush();
+        one_by_one.flush();
+        assert_eq!(batched.row_mins(), one_by_one.row_mins());
+        for k in 0..n as u32 {
+            assert_eq!(batched.row_min(e(k)), fresh_min(&batched, k));
+        }
+        let mut d1 = Vec::new();
+        let mut d2 = Vec::new();
+        batched.drain_dirty_into(&mut d1);
+        one_by_one.drain_dirty_into(&mut d2);
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2, "same rows reported dirty");
+        // A frontier at-or-below every row minimum is a no-op.
+        assert!(!batched.raise_rows(&seqs(&[1, 1, 1, 1, 1])));
     }
 
     #[test]
@@ -387,6 +805,20 @@ mod tests {
         dirty.clear();
         m.drain_dirty_into(&mut dirty);
         assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn drain_includes_deferred_min_changes() {
+        let mut m = KnowledgeMatrix::new(2);
+        // Both cells of row 0 leave the minimum; the rescan is deferred,
+        // but the drain must still report the row (it flushes first).
+        m.fold_column(e(0), &seqs(&[3, 1]));
+        m.fold_column(e(1), &seqs(&[2, 1]));
+        assert!(m.has_dirty(), "deferred min change counts as dirty");
+        let mut dirty = Vec::new();
+        m.drain_dirty_into(&mut dirty);
+        assert_eq!(dirty, vec![0]);
+        assert_eq!(m.row_mins(), &seqs(&[2, 1])[..]);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Deterministic batch-acceptance equivalence: replaying the exact event
+//! stream an entity observed during a lossy, reordering, duplicating
+//! simulation through [`Entity::on_pdus_into`] must produce the same
+//! protocol state, the same delivery sequence, and the same `Data`/`Ret`
+//! broadcasts as feeding the PDUs one at a time — with no more `AckOnly`
+//! traffic. Seed-driven (no external dependencies) so it runs everywhere;
+//! the proptest twin (`proptest_batch.rs`) explores the same contract
+//! over arbitrary schedules.
+//!
+//! [`Entity::on_pdus_into`]: co_protocol::Entity::on_pdus_into
+
+#[path = "support/batch_harness.rs"]
+mod harness;
+
+use co_protocol::DeferralPolicy;
+use harness::{assert_equivalent, record_schedule, replay_batched, replay_per_pdu, Rng};
+
+fn run_seed(seed: u64, n: usize, steps: usize, deferral: DeferralPolicy) {
+    let mut rng = Rng(seed);
+    let schedule = record_schedule(n, steps, &mut rng);
+    assert!(
+        schedule
+            .iter()
+            .any(|(_, ev)| matches!(ev, harness::Ev::Recv(_))),
+        "seed {seed} recorded no receives — not a meaningful schedule"
+    );
+    let reference = replay_per_pdu(n, deferral, &schedule);
+    let mut batch_rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let batched = replay_batched(n, deferral, &schedule, &mut batch_rng);
+    assert_equivalent(&reference, &batched);
+    assert!(
+        !reference.delivered.is_empty(),
+        "seed {seed} delivered nothing — not a meaningful schedule"
+    );
+}
+
+#[test]
+fn batched_acceptance_matches_per_pdu_immediate() {
+    for seed in [3, 17, 101, 4242, 0xDEAD_BEEF] {
+        run_seed(seed, 4, 260, DeferralPolicy::Immediate);
+    }
+}
+
+#[test]
+fn batched_acceptance_matches_per_pdu_deferred() {
+    for seed in [7, 55, 9001] {
+        run_seed(seed, 4, 260, DeferralPolicy::Deferred { timeout_us: 500 });
+    }
+}
+
+#[test]
+fn batched_acceptance_matches_per_pdu_larger_cluster() {
+    for seed in [13, 777] {
+        run_seed(seed, 6, 320, DeferralPolicy::Immediate);
+    }
+}
+
+#[test]
+fn batch_coalesces_ack_only_traffic() {
+    // Under Immediate deferral the per-PDU path confirms once per
+    // accepted PDU; the batched path must measurably coalesce.
+    let mut rng = Rng(0xC0FFEE);
+    let schedule = record_schedule(4, 300, &mut rng);
+    let reference = replay_per_pdu(4, DeferralPolicy::Immediate, &schedule);
+    let mut batch_rng = Rng(0xF00D);
+    let batched = replay_batched(4, DeferralPolicy::Immediate, &schedule, &mut batch_rng);
+    assert_equivalent(&reference, &batched);
+    assert!(
+        batched.ack_only_count < reference.ack_only_count,
+        "expected fewer AckOnly PDUs from the batch path \
+         ({} vs {})",
+        batched.ack_only_count,
+        reference.ack_only_count,
+    );
+}
+
+#[test]
+fn batch_outcome_counts_rejections() {
+    use bytes::Bytes;
+    use causal_order::{EntityId, Seq};
+    use co_protocol::{Entity, Pdu};
+    use co_wire::DataPdu;
+
+    let mut e = Entity::new(harness::config(3, 0, DeferralPolicy::Immediate)).unwrap();
+    let good = |seq: u64| {
+        Pdu::Data(DataPdu {
+            cid: 0,
+            src: EntityId::new(1),
+            seq: Seq::new(seq),
+            ack: vec![Seq::FIRST; 3],
+            buf: 0,
+            data: Bytes::from_static(b"x"),
+        })
+    };
+    let mut bad = good(3);
+    if let Pdu::Data(p) = &mut bad {
+        p.cid = 999; // wrong cluster: must be dropped, not poison the batch
+    }
+    let (actions, outcome) = e.accept_batch([good(1), bad, good(2)], 10);
+    assert_eq!(outcome.accepted, 2);
+    assert_eq!(outcome.rejected, 1);
+    assert_eq!(e.req()[1], Seq::new(3), "both valid PDUs accepted");
+    assert!(!actions.is_empty());
+}

@@ -184,14 +184,17 @@ proptest! {
         }
     }
 
-    /// The tentpole invariant: the *cached* row minima must equal a fresh
-    /// recompute over the cells after every mutation, for arbitrary
-    /// interleavings of `raise`, `fold_column` and `raise_row`.
+    /// The tentpole invariant: `row_min` must equal a fresh recompute over
+    /// the cells after every mutation — with or without an intervening
+    /// `flush` (folds defer their min-cache rescans; `row_min` resolves
+    /// dirty rows on the fly) — for arbitrary interleavings of `raise`,
+    /// `fold_column`, `raise_row` and `raise_rows`; and after a `flush`
+    /// the cached `row_mins` slice must agree.
     #[test]
     fn cached_row_minima_match_fresh_recompute(
         n in 2usize..=6,
         ops in prop::collection::vec(
-            (0u8..3, 0u32..6, 0u32..6, prop::collection::vec(1u64..60, 6)),
+            (0u8..4, 0u32..6, 0u32..6, prop::collection::vec(1u64..60, 6), any::<bool>()),
             1..40,
         ),
     ) {
@@ -202,7 +205,7 @@ proptest! {
                 .expect("n >= 2")
         };
         let mut m = KnowledgeMatrix::new(n);
-        for (kind, src, obs, vals) in ops {
+        for (kind, src, obs, vals, flush) in ops {
             let source = EntityId::new(src % n as u32);
             match kind {
                 0 => {
@@ -213,9 +216,17 @@ proptest! {
                         vals[..n].iter().copied().map(Seq::new).collect();
                     m.fold_column(EntityId::new(obs % n as u32), &column);
                 }
-                _ => {
+                2 => {
                     m.raise_row(source, Seq::new(vals[0]));
                 }
+                _ => {
+                    let frontier: Vec<Seq> =
+                        vals[..n].iter().copied().map(Seq::new).collect();
+                    m.raise_rows(&frontier);
+                }
+            }
+            if flush {
+                m.flush();
             }
             for k in 0..n {
                 let expect = fresh_min(&m, k);
@@ -225,8 +236,11 @@ proptest! {
                     "cached min of row {} diverged from cells",
                     k
                 );
-                prop_assert_eq!(m.row_mins()[k], expect);
             }
+        }
+        m.flush();
+        for k in 0..n {
+            prop_assert_eq!(m.row_mins()[k], fresh_min(&m, k));
         }
     }
 }

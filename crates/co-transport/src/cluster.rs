@@ -34,6 +34,12 @@ pub struct ClusterOptions {
     /// each [`NodeReport`]. Latency histograms are always collected; the
     /// trace is opt-in because it grows with the run.
     pub trace: bool,
+    /// Maximum PDUs a node accepts per inbox drain (clamped to ≥ 1).
+    /// When a node thread wakes with several PDUs queued, they are
+    /// decoded through one warm pool and fed to the engine as a single
+    /// batch ([`co_protocol::Entity::on_pdus_into`]), amortizing the
+    /// confirmation traffic; `1` reproduces strict per-PDU processing.
+    pub drain_batch: usize,
 }
 
 impl Default for ClusterOptions {
@@ -47,6 +53,7 @@ impl Default for ClusterOptions {
             drain_idle: Duration::from_millis(30),
             cid: 1,
             trace: false,
+            drain_batch: 32,
         }
     }
 }
@@ -162,6 +169,10 @@ impl Cluster {
                 tick_interval: options.tick_interval,
                 proc_delay: options.proc_delay,
                 drain_idle: options.drain_idle,
+                drain_batch: options.drain_batch.max(1),
+                ack_pool: co_wire::AckBufPool::new(),
+                frame_scratch: Vec::new(),
+                pdu_scratch: Vec::new(),
             };
             threads.push(
                 std::thread::Builder::new()

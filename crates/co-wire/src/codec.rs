@@ -125,6 +125,30 @@ impl Pdu {
         Ok(pdu)
     }
 
+    /// Decodes a batch of independently framed PDUs through one shared
+    /// `pool`, appending the successes to `out`. Corrupt frames are
+    /// skipped — the same drop-a-bad-checksum treatment transports give
+    /// them — and counted in the returned value.
+    ///
+    /// This is the decode half of a batched inbox drain: one warm pool
+    /// across the whole batch makes the steady state allocation-free,
+    /// where per-frame [`Pdu::decode`] would grow fresh ack vectors for
+    /// every PDU.
+    pub fn decode_batch_into<'a>(
+        frames: impl IntoIterator<Item = &'a [u8]>,
+        pool: &mut AckBufPool,
+        out: &mut Vec<Pdu>,
+    ) -> usize {
+        let mut corrupt = 0;
+        for frame in frames {
+            match Pdu::decode_with(frame, pool) {
+                Ok(pdu) => out.push(pdu),
+                Err(_) => corrupt += 1,
+            }
+        }
+        corrupt
+    }
+
     /// Decodes one PDU from the front of `cursor`, advancing it (for
     /// stream parsing of back-to-back PDUs).
     ///

@@ -28,6 +28,26 @@ pub trait SimNode {
     /// *accepted* is the protocol's business).
     fn on_message(&mut self, from: EntityId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
 
+    /// Several PDUs were taken out of the NIC inbox in one drain (only
+    /// called when [`SimConfig::drain_batch`] is above 1 and more than one
+    /// message was queued). The callback owns the batch and must drain it;
+    /// the default forwards each message to [`SimNode::on_message`] in
+    /// arrival order, so batching is invisible to engines that do not opt
+    /// in. Batch-aware engines override this to amortize per-PDU work
+    /// (e.g. [`co-protocol`'s `Entity::on_pdus_into`]).
+    ///
+    /// [`SimConfig::drain_batch`]: crate::SimConfig::drain_batch
+    /// [`co-protocol`'s `Entity::on_pdus_into`]: ../co_protocol/struct.Entity.html#method.on_pdus_into
+    fn on_batch(
+        &mut self,
+        batch: &mut Vec<(EntityId, Self::Msg)>,
+        ctx: &mut Context<'_, Self::Msg>,
+    ) {
+        for (from, msg) in batch.drain(..) {
+            self.on_message(from, msg, ctx);
+        }
+    }
+
     /// A timer set through [`Context::set_timer`] fired.
     fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, Self::Msg>);
 

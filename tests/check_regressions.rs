@@ -6,8 +6,14 @@
 //! the scenario pins every seed — so each file must still exhibit exactly
 //! the violation categories it was minimized for. A reproducer that stops
 //! reproducing means the behavior it pinned has changed: either a bug was
-//! fixed (delete the file) or the oracle/scenario semantics drifted
-//! (investigate).
+//! fixed (move the file into `tests/regressions/fixed/`) or the
+//! oracle/scenario semantics drifted (investigate).
+//!
+//! `tests/regressions/fixed/` holds the inverse corpus: scenarios that
+//! *used to* violate an oracle before a protocol fix. Their `expect`
+//! field records the categories they violated at the time; replaying
+//! them must now be completely clean, so the fix can never silently
+//! regress.
 
 use co_check::{run_scenario, Reproducer};
 
@@ -40,5 +46,33 @@ fn committed_reproducers_replay_to_their_recorded_violations() {
     assert!(
         checked >= 3,
         "regression corpus must hold at least 3 reproducers, found {checked}"
+    );
+}
+
+#[test]
+fn fixed_reproducers_replay_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions/fixed");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("tests/regressions/fixed must exist") {
+        let path = entry.expect("readable corpus dir").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable reproducer");
+        let rep = Reproducer::from_json_text(&text)
+            .unwrap_or_else(|e| panic!("{} is not a valid reproducer: {e}", path.display()));
+        let report = run_scenario(&rep.scenario);
+        assert!(
+            report.violations.is_empty(),
+            "{}: once-fixed scenario violates again (was minimized for {:?}): {:?}",
+            path.display(),
+            rep.expect,
+            report.violations
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 1,
+        "fixed corpus must hold at least 1 reproducer, found {checked}"
     );
 }
