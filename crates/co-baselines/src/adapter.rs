@@ -191,6 +191,36 @@ mod tests {
     }
 
     #[test]
+    fn wire_round_trip_preserves_broadcaster_pdus() {
+        // The adapter hands PDUs to the simulator as typed values; the only
+        // encoder/decoder in the workspace is co-wire. Pin encode∘decode as
+        // the identity on every PDU the cores emit, so a datagram transport
+        // can interpose on this adapter without growing a second codec.
+        use co_protocol::{HybridCore, Pdu, SenderCore};
+
+        fn check<C: co_protocol::DeliveryCore>() {
+            let cfg = Config::builder(0, 2, EntityId::new(0))
+                .deferral(DeferralPolicy::Immediate)
+                .build()
+                .unwrap();
+            let mut b = crate::co::CoreBroadcaster::<C>::new(cfg).unwrap();
+            let outs = b.on_app(Bytes::from_static(b"payload"), 0);
+            let mut checked = 0;
+            for out in outs {
+                if let Out::Broadcast(pdu) = out {
+                    let decoded = Pdu::decode(&pdu.encode()).expect("decodes");
+                    assert_eq!(decoded, pdu, "core {} wire round-trip", C::NAME);
+                    checked += 1;
+                }
+            }
+            assert!(checked > 0, "core {} broadcast nothing", C::NAME);
+        }
+        check::<co_protocol::CoCore>();
+        check::<HybridCore>();
+        check::<SenderCore>();
+    }
+
+    #[test]
     fn isis_over_simulator_reliable_network() {
         let n = 3;
         let nodes = (0..n)

@@ -1,32 +1,46 @@
-//! The CO protocol behind the [`Broadcaster`] trait.
+//! The delivery-core engines behind the [`Broadcaster`] trait.
+//!
+//! One adapter, [`CoreBroadcaster`], covers every [`DeliveryCore`]: the
+//! engine-specific behavior lives in the core, the adapter only translates
+//! [`Action`]s into [`Out`]s. The named aliases pick the core.
 
 use bytes::Bytes;
 use causal_order::EntityId;
-use co_protocol::{Action, Config, ConfigError, Entity, Pdu};
+use co_protocol::{
+    Action, CoCore, Config, ConfigError, DeliveryCore, Entity, HybridCore, NoopObserver, Pdu,
+    SenderCore,
+};
 
 use crate::traits::{AppDelivery, Broadcaster, Out};
 
-/// Adapter: drives a [`co_protocol::Entity`] through the protocol-agnostic
-/// [`Broadcaster`] interface.
+/// Adapter: drives an [`Entity`] running any [`DeliveryCore`] through the
+/// protocol-agnostic [`Broadcaster`] interface.
 #[derive(Debug)]
-pub struct CoBroadcaster {
-    entity: Entity,
+pub struct CoreBroadcaster<C: DeliveryCore = CoCore> {
+    entity: Entity<C>,
 }
 
-impl CoBroadcaster {
+/// The reference matrix/CPI engine (§4) behind the trait.
+pub type CoBroadcaster = CoreBroadcaster<CoCore>;
+/// The hybrid-buffering causal engine behind the trait.
+pub type HybridBroadcaster = CoreBroadcaster<HybridCore>;
+/// The sender-side causal engine behind the trait.
+pub type SenderBroadcaster = CoreBroadcaster<SenderCore>;
+
+impl<C: DeliveryCore> CoreBroadcaster<C> {
     /// Wraps a fresh entity built from `config`.
     ///
     /// # Errors
     ///
     /// Propagates [`ConfigError`] from [`Entity::new`].
     pub fn new(config: Config) -> Result<Self, ConfigError> {
-        Ok(CoBroadcaster {
-            entity: Entity::new(config)?,
+        Ok(CoreBroadcaster {
+            entity: Entity::<C, _>::with_observer(config, NoopObserver)?,
         })
     }
 
-    /// The wrapped entity (metrics, knowledge-matrix inspection).
-    pub fn entity(&self) -> &Entity {
+    /// The wrapped entity (metrics, core-state inspection).
+    pub fn entity(&self) -> &Entity<C> {
         &self.entity
     }
 
@@ -47,7 +61,7 @@ impl CoBroadcaster {
     }
 }
 
-impl Broadcaster for CoBroadcaster {
+impl<C: DeliveryCore> Broadcaster for CoreBroadcaster<C> {
     type Msg = Pdu;
 
     fn id(&self) -> EntityId {
@@ -64,8 +78,9 @@ impl Broadcaster for CoBroadcaster {
     }
 
     fn on_msg(&mut self, _from: EntityId, msg: Pdu, now_us: u64) -> Vec<Out<Pdu>> {
-        match self.entity.on_pdu_actions(msg, now_us) {
-            Ok(actions) => Self::convert(actions),
+        let mut actions = Vec::new();
+        match self.entity.on_pdu(msg, now_us, &mut actions) {
+            Ok(()) => Self::convert(actions),
             Err(e) => panic!("co on_pdu failed: {e}"),
         }
     }
@@ -146,5 +161,57 @@ mod tests {
         let a = CoBroadcaster::new(cfg(1, 3)).unwrap();
         assert_eq!(a.id(), EntityId::new(1));
         assert!(a.is_quiescent());
+    }
+
+    fn round_trip_with_core<C: DeliveryCore>() {
+        let mut a = CoreBroadcaster::<C>::new(cfg(0, 2)).unwrap();
+        let mut b = CoreBroadcaster::<C>::new(cfg(1, 2)).unwrap();
+        let outs = a.on_app(Bytes::from_static(b"m"), 0);
+        let mut delivered_at_b = false;
+        let mut to_b: Vec<Pdu> = outs
+            .iter()
+            .filter_map(|o| match o {
+                Out::Broadcast(p) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        let mut to_a: Vec<Pdu> = Vec::new();
+        for _ in 0..20 {
+            for pdu in std::mem::take(&mut to_b) {
+                for o in b.on_msg(EntityId::new(0), pdu, 1) {
+                    match o {
+                        Out::Broadcast(p) => to_a.push(p),
+                        Out::Deliver(d) => {
+                            assert_eq!(d.origin, EntityId::new(0));
+                            delivered_at_b = true;
+                        }
+                        Out::Send(..) => unreachable!("cores never unicast"),
+                    }
+                }
+            }
+            for pdu in std::mem::take(&mut to_a) {
+                for o in a.on_msg(EntityId::new(1), pdu, 2) {
+                    if let Out::Broadcast(p) = o {
+                        to_b.push(p);
+                    }
+                }
+            }
+            if to_a.is_empty() && to_b.is_empty() {
+                break;
+            }
+        }
+        assert!(delivered_at_b, "core {} never delivered", C::NAME);
+        assert!(
+            a.is_quiescent() && b.is_quiescent(),
+            "core {} did not quiesce",
+            C::NAME
+        );
+    }
+
+    #[test]
+    fn every_core_round_trips_through_trait() {
+        round_trip_with_core::<CoCore>();
+        round_trip_with_core::<HybridCore>();
+        round_trip_with_core::<SenderCore>();
     }
 }

@@ -12,7 +12,9 @@
 //!   selective scheme).
 //! * [`FifoEntity`] — the **PO/LO** protocol [16]: per-source FIFO only, the
 //!   weakest of the three services of §1.
-//! * [`CoBroadcaster`] — the CO protocol itself wrapped in the same trait.
+//! * [`CoreBroadcaster`] — any [`co_protocol::DeliveryCore`] engine wrapped
+//!   in the same trait: [`CoBroadcaster`] (the CO protocol itself),
+//!   [`HybridBroadcaster`] and [`SenderBroadcaster`].
 //!
 //! [`BroadcasterNode`] plugs any of them into the `mc-net` simulator and
 //! records delivery logs with timestamps for the oracles and experiments.
@@ -28,7 +30,7 @@ mod to_seq;
 mod traits;
 
 pub use adapter::{BroadcasterNode, RecordedDelivery};
-pub use co::CoBroadcaster;
+pub use co::{CoBroadcaster, CoreBroadcaster, HybridBroadcaster, SenderBroadcaster};
 pub use fifo::{FifoEntity, FifoMsg};
 pub use isis::{CbcastEntity, CbcastMsg};
 pub use to_seq::{SequencerEntity, ToMsg};

@@ -17,7 +17,8 @@ fn bench_acceptance(c: &mut Criterion) {
             b.iter_batched(
                 || (bench_entity(0, n), Pdu::Data(data_pdu(1, 1, n, 64))),
                 |(mut entity, pdu)| {
-                    let actions = entity.on_pdu_actions(pdu, 0).expect("accepted");
+                    let mut actions = Vec::new();
+                    entity.on_pdu(pdu, 0, &mut actions).expect("accepted");
                     black_box(actions.len())
                 },
                 criterion::BatchSize::SmallInput,

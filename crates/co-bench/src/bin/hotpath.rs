@@ -25,6 +25,17 @@
 //! fan-out ([`FanOut`]) — so the per-PDU `AckOnly` storm is priced at
 //! its real O(n²) cost.
 //!
+//! The `core_matrix/{core}/{accept,deliver,mem}/{n}` family races the
+//! pluggable delivery cores (`co`, `hybrid`, `sender` — see
+//! [`co_protocol::DeliveryCore`]) head-to-head on identical inputs at
+//! n ∈ {4, 16, 64, 256}: `accept` prices the dependency-free in-order
+//! receive path, `deliver` prices real ordering work under an
+//! all-to-all round workload (ns per *delivered* message), and `mem`
+//! snapshots each engine's resident state bytes at steady state —
+//! O(n²) knowledge structures on the reference and sender cores versus
+//! the hybrid core's O(n) vectors. These rows are informational (no
+//! guard): the ratchet stays pinned to the reference-core rows below.
+//!
 //! `--guard` turns the trajectory into a one-way ratchet and exits
 //! non-zero when the run it just appended regresses a guarded metric:
 //!
@@ -51,7 +62,10 @@ use causal_order::{EntityId, Seq};
 use co_baselines::{BroadcasterNode, CoBroadcaster};
 use co_bench::NaiveKnowledgeMatrix;
 use co_observe::{EventLog, LatencyTracker, Observer, Tee};
-use co_protocol::{Action, Config, DeferralPolicy, Entity, KnowledgeMatrix, Pdu};
+use co_protocol::{
+    Action, CoCore, Config, DeferralPolicy, DeliveryCore, Entity, HybridCore, KnowledgeMatrix,
+    NoopObserver, Pdu, SenderCore,
+};
 use co_wire::{AckBufPool, DataPdu};
 use mc_net::{SimConfig, SimTime, Simulator};
 use std::fmt::Write as _;
@@ -118,6 +132,12 @@ fn steady_entity(me: u32, n: usize) -> Entity {
     Entity::new(steady_config(me, n)).expect("valid entity")
 }
 
+/// [`steady_entity`], generic over the delivery core under test — the
+/// `core_matrix/*` rows race every engine on identical inputs.
+fn steady_core_entity<C: DeliveryCore>(me: u32, n: usize) -> Entity<C, NoopObserver> {
+    Entity::<C, _>::with_observer(steady_config(me, n), NoopObserver).expect("valid entity")
+}
+
 /// ns/op for `f` run `iters` times.
 fn time<F: FnMut()>(iters: u64, mut f: F) -> f64 {
     let start = Instant::now();
@@ -174,7 +194,11 @@ fn bench_naive_matrix(n: usize) -> (f64, f64, f64) {
 
 /// Steady-state in-order acceptance ns/PDU: entity 0 receives a long
 /// in-order stream from entity 1 (quiet F2, reused action vector).
-fn drive_acceptance<O: Observer>(e: &mut Entity<O>, n: usize, msgs: u64) -> f64 {
+fn drive_acceptance<C: DeliveryCore, O: Observer>(
+    e: &mut Entity<C, O>,
+    n: usize,
+    msgs: u64,
+) -> f64 {
     let payload = Bytes::from_static(&[0u8; 64]);
     let mut actions: Vec<Action> = Vec::new();
     let mut now = 0u64;
@@ -206,7 +230,7 @@ fn bench_acceptance(n: usize, msgs: u64) -> f64 {
 /// Acceptance with the always-on latency histograms (the co-transport
 /// default observer).
 fn bench_acceptance_latency(n: usize, msgs: u64) -> f64 {
-    let mut e = Entity::with_observer(steady_config(0, n), LatencyTracker::default())
+    let mut e = Entity::<CoCore, _>::with_observer(steady_config(0, n), LatencyTracker::default())
         .expect("valid entity");
     drive_acceptance(&mut e, n, msgs)
 }
@@ -215,10 +239,111 @@ fn bench_acceptance_latency(n: usize, msgs: u64) -> f64 {
 /// `trace: true` cluster configuration).
 fn bench_acceptance_traced(n: usize, msgs: u64) -> f64 {
     let observer = Tee(LatencyTracker::default(), EventLog::default());
-    let mut e = Entity::with_observer(steady_config(0, n), observer).expect("valid entity");
+    let mut e =
+        Entity::<CoCore, _>::with_observer(steady_config(0, n), observer).expect("valid entity");
     let ns = drive_acceptance(&mut e, n, msgs);
     black_box(e.observer().1.len());
     ns
+}
+
+/// In-order acceptance ns/PDU on an arbitrary delivery core — the same
+/// stream [`drive_acceptance`] prices on the reference engine, re-run
+/// per core for the `core_matrix/{core}/accept/*` rows. On the hybrid
+/// and sender cores this stream also *delivers* on arrival (the
+/// sender's own column is exempt from their dependency tests), so the
+/// row prices each engine's full receive path for dependency-free
+/// traffic.
+fn bench_core_accept<C: DeliveryCore>(n: usize, msgs: u64) -> f64 {
+    let mut e = steady_core_entity::<C>(0, n);
+    drive_acceptance(&mut e, n, msgs)
+}
+
+/// Steady-state delivery pricing for the `core_matrix/{core}/deliver/*`
+/// and `/mem/*` rows: entity 0 observes `rounds` all-to-all rounds —
+/// every peer broadcasts once per round, acks carrying the previous
+/// round's full frontier — so every engine must do real ordering work
+/// to deliver (knowledge folds + CPI on the reference core, causal
+/// buffer sweeps on the hybrid core, FIFO acceptance on the sender
+/// core). Returns `(ns_per_delivery, state_bytes)`: the footprint is
+/// snapshotted at steady state, when a core holds only its resident
+/// ordering structures plus whatever delivery tail it has not yet
+/// released — the space axis of the core comparison.
+fn bench_core_deliver<C: DeliveryCore>(n: usize, rounds: u64) -> (f64, usize) {
+    let payload = Bytes::from_static(&[0u8; 64]);
+    let mut e = steady_core_entity::<C>(0, n);
+    let mut actions: Vec<Action> = Vec::new();
+    let mut delivered = 0u64;
+    let mut now = 0u64;
+    let start = Instant::now();
+    for round in 1..=rounds {
+        for src in 1..n {
+            let mut ack = vec![Seq::FIRST; n];
+            for slot in ack.iter_mut().skip(1) {
+                *slot = Seq::new(round);
+            }
+            let pdu = Pdu::Data(DataPdu {
+                cid: 1,
+                src: EntityId::new(src as u32),
+                seq: Seq::new(round),
+                ack,
+                buf: 1 << 20,
+                data: payload.clone(),
+            });
+            now += 10;
+            actions.clear();
+            e.on_pdu(pdu, now, &mut actions).expect("accepted");
+            delivered += actions
+                .iter()
+                .filter(|a| matches!(a, Action::Deliver(_)))
+                .count() as u64;
+        }
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    assert!(
+        delivered > 0,
+        "{}: delivery never unlocked under the all-to-all round workload",
+        C::NAME
+    );
+    (elapsed / delivered as f64, e.state_bytes())
+}
+
+/// Emits the nine `core_matrix/{core}/{accept,deliver,mem}/{n}` rows
+/// for one engine.
+fn core_matrix_rows<C: DeliveryCore>(current: &mut Vec<Entry>) {
+    for n in SIZES {
+        let msgs = 20_000u64.min(2_000_000 / n as u64);
+        let accept = bench_core_accept::<C>(n, msgs);
+        current.push(Entry {
+            id: format!("core_matrix/{}/accept/{n}", C::NAME),
+            n,
+            ns_per_op: accept,
+            throughput_per_s: Some(1e9 / accept),
+            bytes: None,
+        });
+        eprintln!("core_matrix/{}/accept/{n}: {accept:.1} ns/PDU", C::NAME);
+
+        let rounds = (30_000u64.min(4_000_000 / n as u64) / (n as u64 - 1)).max(2);
+        let (deliver, bytes) = bench_core_deliver::<C>(n, rounds);
+        current.push(Entry {
+            id: format!("core_matrix/{}/deliver/{n}", C::NAME),
+            n,
+            ns_per_op: deliver,
+            throughput_per_s: Some(1e9 / deliver),
+            bytes: None,
+        });
+        eprintln!(
+            "core_matrix/{}/deliver/{n}: {deliver:.1} ns/delivery",
+            C::NAME
+        );
+        current.push(Entry {
+            id: format!("core_matrix/{}/mem/{n}", C::NAME),
+            n,
+            ns_per_op: 0.0,
+            throughput_per_s: None,
+            bytes: Some(bytes),
+        });
+        eprintln!("core_matrix/{}/mem/{n}: {bytes} bytes", C::NAME);
+    }
 }
 
 /// Entity tuned for the wire-level pipeline rows: *immediate*
@@ -388,6 +513,9 @@ struct Entry {
     n: usize,
     ns_per_op: f64,
     throughput_per_s: Option<f64>,
+    /// Memory-footprint rows (`core_matrix/*/mem/*`) report resident
+    /// bytes instead of a timing; `Some` switches the JSON field.
+    bytes: Option<usize>,
 }
 
 /// Appends one run entry to the trajectory artifact. The file is a JSON
@@ -436,6 +564,7 @@ fn main() {
                 n,
                 ns_per_op: ns,
                 throughput_per_s: None,
+                bytes: None,
             });
             eprintln!("matrix/{op}/{n}: {ns:.1} ns/op");
         }
@@ -450,6 +579,7 @@ fn main() {
                 n,
                 ns_per_op: ns,
                 throughput_per_s: None,
+                bytes: None,
             });
             eprintln!("matrix-naive/{op}/{n}: {ns:.1} ns/op");
         }
@@ -467,10 +597,15 @@ fn main() {
                 n,
                 ns_per_op: ns,
                 throughput_per_s: Some(1e9 / ns),
+                bytes: None,
             });
             eprintln!("entity/{op}/{n}: {ns:.1} ns/PDU");
         }
     }
+
+    core_matrix_rows::<CoCore>(&mut current);
+    core_matrix_rows::<HybridCore>(&mut current);
+    core_matrix_rows::<SenderCore>(&mut current);
 
     for n in SIZES {
         let total = 40_000u64.min(6_000_000 / n as u64);
@@ -481,6 +616,7 @@ fn main() {
                 n,
                 ns_per_op: 1e9 / per_s,
                 throughput_per_s: Some(per_s),
+                bytes: None,
             });
             eprintln!("batch_throughput/{leg}/{n}: {per_s:.0} PDUs/s");
         }
@@ -495,6 +631,7 @@ fn main() {
             // ns per delivered message, for uniformity with the other rows.
             ns_per_op: 1e9 / per_s,
             throughput_per_s: Some(per_s),
+            bytes: None,
         });
         eprintln!("e2e/sim_throughput/{n}: {per_s:.0} deliveries/s");
     }
@@ -525,6 +662,15 @@ fn main() {
     json.push_str("  },\n  \"current\": {\n");
     for (i, e) in current.iter().enumerate() {
         let comma = if i + 1 == current.len() { "" } else { "," };
+        if let Some(b) = e.bytes {
+            writeln!(
+                json,
+                "    \"{}\": {{\"n\": {}, \"bytes\": {b}}}{comma}",
+                e.id, e.n
+            )
+            .expect("write to string");
+            continue;
+        }
         match e.throughput_per_s {
             Some(t) => writeln!(
                 json,

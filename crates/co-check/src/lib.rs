@@ -3,8 +3,11 @@
 //!
 //! The tier-1 tests prove the protocol correct on handpicked schedules;
 //! `co-check` hunts for the schedules nobody picked. It drives the real
-//! [`co_protocol::Entity`] through thousands of seeded adversarial
-//! schedules on the `mc-net` simulator — timed loss bursts, link cuts,
+//! [`co_protocol::Entity`] — running any pluggable
+//! [`co_protocol::DeliveryCore`] engine a scenario names
+//! ([`Scenario::core`] / `--core`, see
+//! [`CORE_NAMES`](crate::runner::CORE_NAMES)) — through thousands of
+//! seeded adversarial schedules on the `mc-net` simulator — timed loss bursts, link cuts,
 //! two-sided partitions that heal, PDU duplication, host pauses that
 //! overrun the receive buffer (§2.1's loss model) and crash-restarts from
 //! a full protocol-state snapshot — and judges every run with protocol
@@ -17,11 +20,13 @@
 //!   (Lemma 4.2);
 //! * liveness: quiescence and global stability once the fault windows
 //!   close;
-//! * stage order (traced runs): every message walks §3's receipt levels
+//! * stage order (traced runs, reference core only): every message walks
+//!   §3's receipt levels
 //!   *accept → pre-ack → deliver* in order, exactly once per node, judged
 //!   from the engine's structured event stream
 //!   ([`run_scenario_traced`](crate::runner::run_scenario_traced));
-//! * span consistency (traced runs): the per-node streams are stitched
+//! * span consistency (traced runs, reference core only): the per-node
+//!   streams are stitched
 //!   into cross-node `co-trace` spans, and every *delivered* PDU must
 //!   have a complete, stage-ordered span at **every** node
 //!   ([`check_spans`](crate::oracles::check_spans)) — strictly stronger
@@ -58,5 +63,5 @@ pub use oracles::{
     check, check_spans, check_stage_order, Category, CheckViolation, RunObservation,
 };
 pub use plan::{FaultEvent, Reproducer, Scenario, Submit};
-pub use runner::{run_scenario, run_scenario_traced, RunReport, EVENT_BUDGET};
+pub use runner::{run_scenario, run_scenario_traced, RunReport, CORE_NAMES, EVENT_BUDGET};
 pub use shrink::{shrink, ShrinkOutcome, MAX_SHRINK_RUNS};

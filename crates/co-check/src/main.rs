@@ -1,7 +1,7 @@
 //! The `co-check` explorer binary.
 //!
 //! ```text
-//! co-check [--schedules N] [--seed S] [--break-delivery]
+//! co-check [--schedules N] [--seed S] [--core NAME] [--break-delivery]
 //!          [--out DIR] [--budget-secs T] [--replay FILE]
 //!          [--trace-out FILE] [--force-loss-burst] [--batch K]
 //! ```
@@ -23,18 +23,25 @@
 //! of the per-scenario random draw: `--batch 8` pushes all traffic
 //! through the engine's batched acceptance (`Entity::on_pdus_into`),
 //! `--batch 1` pins the strict per-PDU path.
+//!
+//! `--core NAME` runs every schedule on that delivery core (`co`,
+//! `hybrid` or `sender`) instead of the default reference engine; the
+//! same seeds generate the same schedules for every core, so core runs
+//! race head-to-head on identical adversarial inputs.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use co_check::{
     run_scenario, run_scenario_traced, shrink, Category, FaultEvent, Reproducer, Scenario,
+    CORE_NAMES,
 };
 use co_observe::{jsonl, ProtocolEvent, TraceLine};
 
 struct Args {
     schedules: u64,
     seed: u64,
+    core: Option<String>,
     break_delivery: bool,
     out: String,
     budget_secs: Option<u64>,
@@ -48,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         schedules: 100,
         seed: 0,
+        core: None,
         break_delivery: false,
         out: ".".to_string(),
         budget_secs: None,
@@ -70,6 +78,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--core" => {
+                let core = value("--core")?;
+                if !CORE_NAMES.contains(&core.as_str()) {
+                    return Err(format!(
+                        "--core: unknown delivery core `{core}` (known: {})",
+                        CORE_NAMES.join(", ")
+                    ));
+                }
+                args.core = Some(core);
+            }
             "--break-delivery" => args.break_delivery = true,
             "--out" => args.out = value("--out")?,
             "--budget-secs" => {
@@ -90,12 +108,11 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: co-check [--schedules N] [--seed S] [--break-delivery] \
-                            [--out DIR] [--budget-secs T] [--replay FILE] \
-                            [--trace-out FILE] [--force-loss-burst] [--batch K]"
-                        .to_string(),
-                )
+                return Err("usage: co-check [--schedules N] [--seed S] [--core NAME] \
+                            [--break-delivery] [--out DIR] [--budget-secs T] \
+                            [--replay FILE] [--trace-out FILE] \
+                            [--force-loss-burst] [--batch K]"
+                    .to_string())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
@@ -189,9 +206,10 @@ fn main() -> ExitCode {
     let mut total_drops = 0u64;
 
     println!(
-        "co-check: exploring {} schedules (base seed {}{})",
+        "co-check: exploring {} schedules (base seed {}, core {}{})",
         args.schedules,
         args.seed,
+        args.core.as_deref().unwrap_or("co"),
         if args.break_delivery {
             ", delivery bug injected"
         } else {
@@ -209,6 +227,12 @@ fn main() -> ExitCode {
             }
         }
         let mut scenario = Scenario::random(index, args.seed, args.break_delivery);
+        if let Some(core) = &args.core {
+            // Generation always pins the reference core so the schedule
+            // itself is core-independent; the flag only swaps the engine,
+            // keeping every core racing on identical adversarial inputs.
+            scenario.core = core.clone();
+        }
         if let Some(batch) = args.batch {
             // Force every schedule through one drain width (e.g. the
             // batched acceptance path with `--batch 8`, or strict per-PDU
@@ -258,18 +282,19 @@ fn main() -> ExitCode {
                 outcome.scenario.faults.len(),
                 outcome.runs
             );
+            let mut invocation = format!(
+                "co-check --schedules {} --seed {}",
+                args.schedules, args.seed
+            );
+            if let Some(core) = &args.core {
+                invocation.push_str(&format!(" --core {core}"));
+            }
+            if args.break_delivery {
+                invocation.push_str(" --break-delivery");
+            }
             let reproducer = Reproducer {
                 expect: target.iter().map(|c| c.name().to_string()).collect(),
-                note: format!(
-                    "found by `co-check --schedules {} --seed {}{}` at schedule {index}",
-                    args.schedules,
-                    args.seed,
-                    if args.break_delivery {
-                        " --break-delivery"
-                    } else {
-                        ""
-                    }
-                ),
+                note: format!("found by `{invocation}` at schedule {index}"),
                 scenario: outcome.scenario,
             };
             let path = format!(

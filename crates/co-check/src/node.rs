@@ -7,6 +7,11 @@
 //! implements the crash-restart command by round-tripping the entity
 //! through [`Entity::export_state`] / [`Entity::restore_with`].
 //!
+//! The node is generic over the [`DeliveryCore`] under test: the checker
+//! drives any engine behind the trait through the identical harness, so a
+//! verdict difference between cores is a core difference, never a harness
+//! one.
+//!
 //! Every entity runs with a [`CheckObserver`]: an order-sensitive FNV
 //! digest of the protocol event stream (the determinism witness — same
 //! scenario, same digest), plus an opt-in full event log for the
@@ -16,7 +21,7 @@
 use bytes::Bytes;
 use causal_order::EntityId;
 use co_observe::{DigestObserver, EventLog, ProtocolEvent, Tee};
-use co_protocol::{Action, Config, Entity, Pdu};
+use co_protocol::{Action, CoCore, Config, DeliveryCore, Entity, Pdu};
 use mc_net::{Context, SimDuration, SimNode, TimerId};
 
 /// The observer a [`CheckNode`] entity runs with: event-stream digest
@@ -64,8 +69,8 @@ pub enum AppEvent {
 /// A protocol entity wired into the simulator, recording every
 /// application-level event for the oracles.
 #[derive(Debug)]
-pub struct CheckNode {
-    entity: Entity<CheckObserver>,
+pub struct CheckNode<C: DeliveryCore = CoCore> {
+    entity: Entity<C, CheckObserver>,
     config: Config,
     events: Vec<AppEvent>,
     /// Sequence number the next *fresh* broadcast will carry; used to tell
@@ -79,7 +84,7 @@ pub struct CheckNode {
     suppressed: bool,
 }
 
-impl CheckNode {
+impl<C: DeliveryCore> CheckNode<C> {
     /// Wraps a fresh entity for `config`. With `trace` set, the full
     /// protocol event stream is retained (see [`CheckNode::trace`]);
     /// the event digest is always computed.
@@ -91,7 +96,8 @@ impl CheckNode {
     pub fn new(config: Config, break_delivery: bool, trace: bool) -> Self {
         let observer = Tee(DigestObserver::new(), trace.then(EventLog::default));
         CheckNode {
-            entity: Entity::with_observer(config.clone(), observer).expect("valid scenario config"),
+            entity: Entity::<C, _>::with_observer(config.clone(), observer)
+                .expect("valid scenario config"),
             config,
             events: Vec::new(),
             next_broadcast_seq: 1,
@@ -102,7 +108,7 @@ impl CheckNode {
     }
 
     /// The wrapped protocol entity.
-    pub fn entity(&self) -> &Entity<CheckObserver> {
+    pub fn entity(&self) -> &Entity<C, CheckObserver> {
         &self.entity
     }
 
@@ -177,7 +183,7 @@ impl CheckNode {
     }
 }
 
-impl SimNode for CheckNode {
+impl<C: DeliveryCore> SimNode for CheckNode<C> {
     type Msg = Pdu;
     type Cmd = CheckCmd;
 
@@ -186,9 +192,9 @@ impl SimNode for CheckNode {
     }
 
     fn on_message(&mut self, _from: EntityId, msg: Pdu, ctx: &mut Context<'_, Pdu>) {
-        let actions = self
-            .entity
-            .on_pdu_actions(msg, ctx.now().as_micros())
+        let mut actions = Vec::new();
+        self.entity
+            .on_pdu(msg, ctx.now().as_micros(), &mut actions)
             .expect("wire PDUs are well-formed in simulation");
         self.apply(actions, ctx);
     }

@@ -33,6 +33,7 @@ use std::collections::HashMap;
 use causal_order::properties::{RunTrace, Violation as TraceViolation};
 use causal_order::{EntityId, MsgId};
 use co_observe::ProtocolEvent;
+use co_protocol::Guarantee;
 
 use crate::node::AppEvent;
 
@@ -141,13 +142,19 @@ pub struct RunObservation<'a> {
     pub quiesced: bool,
     /// Whether every entity reported `is_fully_stable()` at the end.
     pub all_stable: bool,
+    /// The delivery guarantee the core under test promises
+    /// ([`co_protocol::DeliveryCore::GUARANTEE`]). Oracle expectations
+    /// weaken to match: a FIFO-only core is not judged for causal delivery
+    /// order, while atomicity, no-duplication, no-creation, per-source
+    /// FIFO, ack integrity and liveness apply to every core.
+    pub guarantee: Guarantee,
 }
 
 /// Runs every oracle over one observed run; returns all violations,
 /// most severe category first.
 pub fn check(obs: &RunObservation<'_>) -> Vec<CheckViolation> {
     let mut violations = Vec::new();
-    check_safety(obs.events, &mut violations);
+    check_safety(obs.events, obs.guarantee, &mut violations);
     check_ack_integrity(obs.events, &mut violations);
     if !obs.quiesced {
         violations.push(CheckViolation {
@@ -311,8 +318,9 @@ pub fn check_spans(traces: &[Vec<ProtocolEvent>]) -> Vec<CheckViolation> {
     violations
 }
 
-/// §2.2/§2.3 safety via the ground-truth [`RunTrace`] oracle.
-fn check_safety(events: &[Vec<AppEvent>], out: &mut Vec<CheckViolation>) {
+/// §2.2/§2.3 safety via the ground-truth [`RunTrace`] oracle, expecting
+/// no more ordering than `guarantee` promises.
+fn check_safety(events: &[Vec<AppEvent>], guarantee: Guarantee, out: &mut Vec<CheckViolation>) {
     let mut trace = RunTrace::new(events.len());
     for (i, node_events) in events.iter().enumerate() {
         let entity = EntityId::new(i as u32);
@@ -329,7 +337,13 @@ fn check_safety(events: &[Vec<AppEvent>], out: &mut Vec<CheckViolation>) {
     }
     if let Err(found) = trace.check_co_service() {
         for v in found {
-            out.push(classify_trace_violation(v));
+            let violation = classify_trace_violation(v);
+            // A core promising only per-source FIFO is allowed to deliver
+            // causally unordered; every stronger expectation still holds.
+            if violation.category == Category::Causality && guarantee < Guarantee::Causal {
+                continue;
+            }
+            out.push(violation);
         }
     }
 }
@@ -441,6 +455,7 @@ mod tests {
             events,
             quiesced: true,
             all_stable: true,
+            guarantee: Guarantee::Causal,
         })
     }
 
@@ -516,6 +531,7 @@ mod tests {
             events: &events,
             quiesced: false,
             all_stable: true,
+            guarantee: Guarantee::Causal,
         });
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].category, Category::Liveness);
@@ -523,9 +539,51 @@ mod tests {
             events: &events,
             quiesced: true,
             all_stable: false,
+            guarantee: Guarantee::Causal,
         });
         assert_eq!(v.len(), 1);
         assert!(v[0].detail.contains("fully stable"));
+    }
+
+    #[test]
+    fn fifo_guarantee_relaxes_the_causality_oracle_only() {
+        // E3 delivers E2's message (causally after E1#1 at its origin)
+        // before E1#1: a causality violation between *different* sources,
+        // so per-source FIFO is clean.
+        let ack = vec![1u64, 1, 1];
+        let events = vec![
+            vec![
+                broadcast(1),
+                deliver(0, 1, ack.clone()),
+                deliver(1, 1, ack.clone()),
+            ],
+            vec![
+                deliver(0, 1, ack.clone()),
+                broadcast(1),
+                deliver(1, 1, ack.clone()),
+            ],
+            vec![deliver(1, 1, ack.clone()), deliver(0, 1, ack)],
+        ];
+        let causal = check(&RunObservation {
+            events: &events,
+            quiesced: true,
+            all_stable: true,
+            guarantee: Guarantee::Causal,
+        });
+        assert!(
+            causal.iter().any(|v| v.category == Category::Causality),
+            "{causal:?}"
+        );
+        let fifo_only = check(&RunObservation {
+            events: &events,
+            quiesced: true,
+            all_stable: true,
+            guarantee: Guarantee::Fifo,
+        });
+        assert!(
+            fifo_only.is_empty(),
+            "a FIFO-only core is not judged for causal order: {fifo_only:?}"
+        );
     }
 
     #[test]

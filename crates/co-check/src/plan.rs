@@ -257,6 +257,11 @@ impl FaultEvent {
 /// A complete, self-contained description of one adversarial run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
+    /// The delivery core (engine) under test — one of
+    /// [`crate::runner::CORE_NAMES`] (`"co"`, `"hybrid"`, `"sender"`); see
+    /// [`co_protocol::DeliveryCore`]. Omitted in reproducer JSON committed
+    /// before pluggable cores existed, where it defaults to `"co"`.
+    pub core: String,
     /// Cluster size (`n ≥ 2`).
     pub n: usize,
     /// Simulator RNG seed (drives delay jitter).
@@ -333,6 +338,11 @@ impl Scenario {
             .collect();
 
         Scenario {
+            // Pinned, never drawn: changing the engine under test is an
+            // explorer-level decision (`co-check --core` rewrites it after
+            // generation), and drawing it here would shift every later RNG
+            // draw and invalidate the committed corpora.
+            core: "co".to_string(),
             n,
             seed: rng.random_range(0..u64::MAX),
             window: rng.random_range(1..=8),
@@ -412,6 +422,7 @@ impl Scenario {
     /// Serializes to a JSON value.
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
+            ("core".to_string(), Json::Str(self.core.clone())),
             ("n".to_string(), Json::Num(self.n as u64)),
             ("seed".to_string(), Json::Num(self.seed)),
             ("window".to_string(), Json::Num(self.window)),
@@ -477,6 +488,15 @@ impl Scenario {
             .map(FaultEvent::from_json)
             .collect::<Result<_, _>>()?;
         Ok(Scenario {
+            // Absent in reproducers committed before pluggable delivery
+            // cores existed; those replay on the reference engine.
+            core: match v.get("core") {
+                None => "co".to_string(),
+                Some(j) => j
+                    .as_str()
+                    .ok_or_else(|| "missing or non-string field `core`".to_string())?
+                    .to_string(),
+            },
             n: v.field_u64("n")? as usize,
             seed: v.field_u64("seed")?,
             window: v.field_u64("window")?,
@@ -627,6 +647,24 @@ mod tests {
             let back = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, sc, "index {i}");
         }
+    }
+
+    #[test]
+    fn core_field_round_trips_and_defaults_to_co() {
+        let mut sc = Scenario::random(1, 9, false);
+        assert_eq!(sc.core, "co", "generation pins the reference engine");
+        sc.core = "hybrid".to_string();
+        let text = sc.to_json().to_string();
+        let back = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, sc);
+
+        // Reproducers committed before pluggable cores carry no `core`
+        // field: they replay on the reference engine.
+        let Json::Obj(fields) = Scenario::random(1, 9, false).to_json() else {
+            unreachable!("scenarios serialize to objects")
+        };
+        let legacy = Json::Obj(fields.into_iter().filter(|(k, _)| k != "core").collect());
+        assert_eq!(Scenario::from_json(&legacy).unwrap().core, "co");
     }
 
     #[test]

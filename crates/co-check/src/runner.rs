@@ -3,7 +3,9 @@
 use bytes::Bytes;
 use causal_order::EntityId;
 use co_observe::ProtocolEvent;
-use co_protocol::{Config, DeferralPolicy, RetransmissionPolicy};
+use co_protocol::{
+    CoCore, Config, DeferralPolicy, DeliveryCore, HybridCore, RetransmissionPolicy, SenderCore,
+};
 use mc_net::{
     ControlEvent, DelayModel, LossModel, NetStats, SimConfig, SimDuration, SimTime, Simulator,
     TimedRule,
@@ -16,6 +18,15 @@ use crate::plan::{FaultEvent, Scenario};
 /// Hard event budget per run; a scenario that exceeds it is reported as a
 /// liveness violation (livelock), not an error.
 pub const EVENT_BUDGET: u64 = 2_000_000;
+
+/// The delivery cores a scenario may name in [`Scenario::core`], in the
+/// order `co-check --core` documents them: the reference matrix/CPI
+/// engine, the hybrid-buffering engine, and the sender-side engine.
+pub const CORE_NAMES: [&str; 3] = [
+    co_protocol::CoCore::NAME,
+    co_protocol::HybridCore::NAME,
+    co_protocol::SenderCore::NAME,
+];
 
 /// Everything observed about one executed scenario.
 ///
@@ -148,19 +159,39 @@ fn fold_digests(digests: impl Iterator<Item = u64>) -> u64 {
     h
 }
 
-/// Runs a scenario to quiescence and checks every oracle.
+/// Runs a scenario to quiescence and checks every applicable oracle,
+/// on the delivery core the scenario names ([`Scenario::core`]).
+///
+/// # Panics
+///
+/// Panics if the scenario names a core outside [`CORE_NAMES`] (generated
+/// scenarios never do; a hand-edited reproducer might).
 pub fn run_scenario(sc: &Scenario) -> RunReport {
     run_scenario_impl(sc, false).0
 }
 
 /// Like [`run_scenario`], but additionally retains and returns every
 /// node's full protocol event stream (indexed by entity), after checking
-/// the trace-level stage-order oracle on each.
+/// the trace-level stage-order oracle on each (reference core only: the
+/// other engines have no §3 pre-ack stage to judge).
 pub fn run_scenario_traced(sc: &Scenario) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
     run_scenario_impl(sc, true)
 }
 
+/// Monomorphizes the run on the core the scenario names.
 fn run_scenario_impl(sc: &Scenario, trace: bool) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
+    match sc.core.as_str() {
+        "co" => run_scenario_with::<CoCore>(sc, trace),
+        "hybrid" => run_scenario_with::<HybridCore>(sc, trace),
+        "sender" => run_scenario_with::<SenderCore>(sc, trace),
+        other => panic!("scenario names unknown delivery core `{other}` (known: {CORE_NAMES:?})"),
+    }
+}
+
+fn run_scenario_with<C: DeliveryCore>(
+    sc: &Scenario,
+    trace: bool,
+) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
     let sim_config = SimConfig {
         delay: if sc.delay_min_us == sc.delay_max_us {
             DelayModel::Uniform(SimDuration::from_micros(sc.delay_min_us))
@@ -179,7 +210,7 @@ fn run_scenario_impl(sc: &Scenario, trace: bool) -> (RunReport, Vec<Vec<Protocol
         trace: true,
         drain_batch: sc.drain_batch.max(1),
     };
-    let nodes: Vec<CheckNode> = (0..sc.n as u32)
+    let nodes: Vec<CheckNode<C>> = (0..sc.n as u32)
         .map(|i| protocol_config(sc, i))
         .enumerate()
         .map(|(i, cfg)| CheckNode::new(cfg, sc.break_delivery && i == 1, trace))
@@ -228,12 +259,15 @@ fn run_scenario_impl(sc: &Scenario, trace: bool) -> (RunReport, Vec<Vec<Protocol
         events: &events,
         quiesced,
         all_stable,
+        guarantee: C::GUARANTEE,
     });
     let traces: Vec<Vec<ProtocolEvent>> = sim.nodes().map(|(_, n)| n.trace().to_vec()).collect();
-    if trace && quiesced {
+    if trace && quiesced && C::NAME == CoCore::NAME {
         // The receipt-stage oracle needs a finished run: on a livelocked
         // one, "never delivered" is the liveness oracle's verdict, not a
-        // stage violation.
+        // stage violation. It also only applies to the reference engine —
+        // §3's accept → pre-ack → deliver levels are the matrix/CPI
+        // pipeline's structure; the other cores never emit a pre-ack.
         for (i, node_trace) in traces.iter().enumerate() {
             violations.extend(crate::oracles::check_stage_order(i as u32, node_trace));
         }
@@ -270,6 +304,7 @@ mod tests {
 
     fn tiny_scenario() -> Scenario {
         Scenario {
+            core: "co".to_string(),
             n: 3,
             seed: 11,
             window: 4,
@@ -414,5 +449,78 @@ mod tests {
             "{:?}",
             report.violations
         );
+    }
+
+    #[test]
+    fn every_core_runs_the_tiny_scenario_clean() {
+        for core in CORE_NAMES {
+            let mut sc = tiny_scenario();
+            sc.core = core.to_string();
+            let report = run_scenario(&sc);
+            assert!(
+                report.violations.is_empty(),
+                "core {core}: {:?}",
+                report.violations
+            );
+            assert_eq!(report.broadcasts, 3, "core {core}");
+            assert_eq!(report.deliveries, 9, "core {core}: 3 messages × 3 entities");
+        }
+    }
+
+    #[test]
+    fn every_core_is_deterministic_per_seed() {
+        for core in CORE_NAMES {
+            let mut sc = tiny_scenario();
+            sc.core = core.to_string();
+            let a = run_scenario(&sc);
+            let b = run_scenario(&sc);
+            assert_eq!(a.digest, b.digest, "core {core}: wire schedule");
+            assert_eq!(a.event_digest, b.event_digest, "core {core}: event stream");
+        }
+    }
+
+    #[test]
+    fn break_delivery_is_caught_on_every_core() {
+        // The injected bug lives in the harness node, not the engine, so
+        // the oracles must convict it identically no matter which core is
+        // underneath.
+        for core in CORE_NAMES {
+            let mut sc = tiny_scenario();
+            sc.core = core.to_string();
+            sc.break_delivery = true;
+            let report = run_scenario(&sc);
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| v.category == crate::oracles::Category::Atomicity),
+                "core {core}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn traced_runs_skip_stage_oracles_off_the_reference_core() {
+        // Hybrid and sender cores never pre-ack, so arming the trace must
+        // not convict them of stage-order violations.
+        for core in ["hybrid", "sender"] {
+            let mut sc = tiny_scenario();
+            sc.core = core.to_string();
+            let (report, _traces) = run_scenario_traced(&sc);
+            assert!(
+                report.violations.is_empty(),
+                "core {core}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown delivery core")]
+    fn unknown_core_panics_with_the_known_list() {
+        let mut sc = tiny_scenario();
+        sc.core = "quantum".to_string();
+        run_scenario(&sc);
     }
 }

@@ -1,13 +1,21 @@
 //! Greedy trace shrinking: minimize a failing scenario while it still
 //! reproduces the same violation categories.
 //!
-//! The shrinker removes one component at a time — faults first (they are
-//! the noisiest part of a counterexample), then workload submits (always
-//! keeping at least one) — re-running the candidate scenario after each
-//! removal and keeping it only if every *target* violation category still
-//! appears. Iterates to a fixpoint under a hard budget of
-//! [`MAX_SHRINK_RUNS`] simulator runs, so shrinking always terminates
-//! quickly even on pathological inputs.
+//! Shrinking works through a fixed list of *reduction passes*, each
+//! proposing one-step-smaller candidates: collapse the inbox drain width
+//! to the strict per-PDU path, drop one fault, drop one workload submit
+//! (always keeping at least one). Every pass is engine-agnostic — passes
+//! only touch the schedule, never the engine under test, so a
+//! counterexample found on one [`co_protocol::DeliveryCore`] shrinks and
+//! replays on that same core ([`Scenario::core`] is preserved verbatim).
+//!
+//! After each candidate the scenario is re-run and kept only if every
+//! *target* violation category still appears; the first accepted
+//! reduction restarts the pass list, since a removal can unlock an
+//! earlier pass (e.g. dropping a fault may let the drain width collapse).
+//! Iterates to a fixpoint under a hard budget of [`MAX_SHRINK_RUNS`]
+//! simulator runs, so shrinking always terminates quickly even on
+//! pathological inputs.
 //!
 //! Greedy one-at-a-time removal is not globally minimal, but it is
 //! deterministic and in practice collapses a 16-submit/4-fault random
@@ -38,6 +46,41 @@ fn reproduces(sc: &Scenario, target: &[Category]) -> bool {
         .all(|t| report.violations.iter().any(|v| v.category == *t))
 }
 
+/// Every one-step reduction of `sc`, in pass priority order:
+///
+/// 1. collapse the drain width to the strict per-PDU path — a violation
+///    that survives there is easier to read and localizes the bug away
+///    from the harness's batching layer;
+/// 2. drop one fault (highest index first, the noisiest part of a
+///    counterexample);
+/// 3. drop one workload submit, always keeping at least one — an empty
+///    workload is a different (trivial) scenario, not a smaller version
+///    of this one.
+///
+/// Passes only shrink the schedule; the engine under test
+/// ([`Scenario::core`]) is never a reduction dimension.
+fn reductions(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if sc.drain_batch > 1 {
+        let mut candidate = sc.clone();
+        candidate.drain_batch = 1;
+        out.push(candidate);
+    }
+    for i in (0..sc.faults.len()).rev() {
+        let mut candidate = sc.clone();
+        candidate.faults.remove(i);
+        out.push(candidate);
+    }
+    if sc.workload.len() > 1 {
+        for i in (0..sc.workload.len()).rev() {
+            let mut candidate = sc.clone();
+            candidate.workload.remove(i);
+            out.push(candidate);
+        }
+    }
+    out
+}
+
 /// Minimizes `scenario`, preserving every violation category in `target`.
 ///
 /// `target` is typically the category set observed in the original failing
@@ -46,67 +89,27 @@ fn reproduces(sc: &Scenario, target: &[Category]) -> bool {
 pub fn shrink(scenario: &Scenario, target: &[Category]) -> ShrinkOutcome {
     let mut best = scenario.clone();
     let mut runs = 0u32;
-    loop {
-        let mut improved = false;
-
-        // Batched drains first: a violation that survives on the strict
-        // per-PDU path is easier to read (and localizes the bug away from
-        // the batching layer).
-        if best.drain_batch > 1 && runs < MAX_SHRINK_RUNS {
-            let mut candidate = best.clone();
-            candidate.drain_batch = 1;
-            runs += 1;
-            if reproduces(&candidate, target) {
-                best = candidate;
-                improved = true;
-            }
-        }
-
-        // Faults, highest index first so removals do not disturb the
-        // indices still to be tried.
-        for i in (0..best.faults.len()).rev() {
+    'fixpoint: loop {
+        for candidate in reductions(&best) {
             if runs >= MAX_SHRINK_RUNS {
-                return ShrinkOutcome {
-                    scenario: best,
-                    runs,
-                };
+                break 'fixpoint;
             }
-            let mut candidate = best.clone();
-            candidate.faults.remove(i);
+            debug_assert_eq!(
+                candidate.core, best.core,
+                "shrink passes must not change the engine under test"
+            );
             runs += 1;
             if reproduces(&candidate, target) {
                 best = candidate;
-                improved = true;
+                continue 'fixpoint;
             }
         }
-
-        // Workload, keeping at least one submit — an empty workload is a
-        // different (trivial) scenario, not a smaller version of this one.
-        for i in (0..best.workload.len()).rev() {
-            if best.workload.len() == 1 {
-                break;
-            }
-            if runs >= MAX_SHRINK_RUNS {
-                return ShrinkOutcome {
-                    scenario: best,
-                    runs,
-                };
-            }
-            let mut candidate = best.clone();
-            candidate.workload.remove(i);
-            runs += 1;
-            if reproduces(&candidate, target) {
-                best = candidate;
-                improved = true;
-            }
-        }
-
-        if !improved {
-            return ShrinkOutcome {
-                scenario: best,
-                runs,
-            };
-        }
+        // No reduction reproduces: fixpoint reached.
+        break;
+    }
+    ShrinkOutcome {
+        scenario: best,
+        runs,
     }
 }
 
@@ -118,6 +121,7 @@ mod tests {
     /// A noisy break-delivery scenario: lots of removable structure.
     fn noisy_failing_scenario() -> Scenario {
         Scenario {
+            core: "co".to_string(),
             n: 3,
             seed: 5,
             window: 4,
@@ -175,5 +179,19 @@ mod tests {
         sc.break_delivery = false;
         let outcome = shrink(&sc, &[Category::Atomicity]);
         assert_eq!(outcome.scenario, sc);
+    }
+
+    #[test]
+    fn shrinking_preserves_the_core_under_test() {
+        // A counterexample found on a non-reference core must shrink on
+        // that same core: minimizing on a different engine would prove
+        // nothing about the original failure.
+        let mut sc = noisy_failing_scenario();
+        sc.core = "hybrid".to_string();
+        let target = [Category::Atomicity];
+        assert!(reproduces(&sc, &target), "precondition");
+        let outcome = shrink(&sc, &target);
+        assert_eq!(outcome.scenario.core, "hybrid");
+        assert!(reproduces(&outcome.scenario, &target));
     }
 }

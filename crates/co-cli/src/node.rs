@@ -11,7 +11,7 @@ use bytes::Bytes;
 use causal_order::EntityId;
 use co_observe::jsonl::{self, TraceLine};
 use co_observe::{prom, FlowGauge, LatencyTracker, Observer, ProtocolEvent, Tee};
-use co_protocol::{Action, Config, DeferralPolicy, Entity, Pdu};
+use co_protocol::{Action, CoCore, Config, DeferralPolicy, Entity, Pdu};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, UdpSocket};
@@ -203,7 +203,7 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
 }
 
 fn node_loop(
-    mut entity: Entity<CliObserver>,
+    mut entity: Entity<CoCore, CliObserver>,
     me: EntityId,
     socket: UdpSocket,
     peers: Vec<Option<SocketAddr>>,
@@ -244,7 +244,8 @@ fn node_loop(
         match socket.recv_from(&mut buf) {
             Ok((len, _)) => {
                 if let Ok(pdu) = Pdu::decode(&buf[..len]) {
-                    if let Ok(actions) = entity.on_pdu_actions(pdu, now_us()) {
+                    let mut actions = Vec::new();
+                    if entity.on_pdu(pdu, now_us(), &mut actions).is_ok() {
                         dispatch(actions, &events, &socket);
                     }
                 }

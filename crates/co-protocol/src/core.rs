@@ -1,0 +1,234 @@
+//! The pluggable delivery-core abstraction.
+//!
+//! Everything between "validated PDU in" and "ordered delivery + protocol
+//! actions out" — the acceptance test, buffering/reordering, ack
+//! bookkeeping and flow gating — lives behind the [`DeliveryCore`] trait.
+//! The [`crate::Entity`] shell owns what is *not* ordering-specific: input
+//! validation, observer plumbing and the batching loop, all of which are
+//! identical no matter how delivery is decided.
+//!
+//! Three cores ship with this crate:
+//!
+//! * [`crate::CoCore`] — the paper's AL/PAL matrix + CPI engine (§4), the
+//!   reference implementation. O(n²) knowledge state; messages wait two
+//!   confirmation rounds and deliver globally stable.
+//! * [`crate::HybridCore`] — hybrid buffering in the style of Almeida's
+//!   causal-delivery work (PAPERS.md): FIFO links plus a small causal
+//!   buffer keyed on the piggybacked dependency vector. O(n) knowledge
+//!   state; messages deliver as soon as their dependencies have, with no
+//!   stability rounds.
+//! * [`crate::SenderCore`] — sender-side enforcement in the style of Tong,
+//!   Liittschwager and Kuper (PAPERS.md): the *sender* delays a broadcast
+//!   until its causal dependencies are known received everywhere, so
+//!   receivers deliver on (FIFO) arrival.
+//!
+//! All three speak the same `co-wire` PDU vocabulary (DATA / RET /
+//! AckOnly), reuse the same loss-detection conditions (F1 sequence gaps,
+//! F2 ack-vector evidence) and the same selective-retransmission machinery
+//! — so `co-check` can race them under identical schedules and oracles,
+//! and `co-bench`'s `core_matrix` suite can price them head-to-head.
+//!
+//! # Contract
+//!
+//! A core is a deterministic sans-IO state machine: no clocks, no IO, no
+//! randomness. Time is the caller-supplied microsecond counter. For a
+//! fixed input sequence (submits, validated PDUs, ticks) a core must
+//! produce the identical action and event streams on every run — that is
+//! what makes `co-check`'s digest-determinism oracle meaningful.
+//!
+//! What each callback may do:
+//!
+//! * [`DeliveryCore::submit`] — assign the payload a sequence number and
+//!   broadcast it, or queue it (flow/ordering gate closed). May emit any
+//!   actions and events.
+//! * [`DeliveryCore::on_validated_pdu`] — the per-element half of receive
+//!   processing. The shell has already validated the PDU (cluster id,
+//!   source range, vector lengths, not looped back). The core must fully
+//!   integrate the PDU — acceptance test, loss detection, retransmission
+//!   service, delivery — but should defer *batch-amortizable* work
+//!   (confirmation emission, gauge updates) to `end_batch`.
+//! * [`DeliveryCore::end_batch`] — the per-batch epilogue, called once
+//!   after one or more `on_validated_pdu` calls. A single-PDU receive is
+//!   exactly `on_validated_pdu` + `end_batch`; batching N PDUs calls the
+//!   element half N times and the epilogue once. Cores must keep protocol
+//!   state and the DATA/RET/Deliver streams identical either way — only
+//!   confirmation (`AckOnly`) timing and count may differ.
+//! * [`DeliveryCore::on_tick`] — timers only: deferred confirmations,
+//!   heartbeats, RET retries. Must be idempotent for the same `now_us`.
+//!
+//! State ownership: the core owns *all* ordering state and exports it
+//! losslessly through [`DeliveryCore::export_state`] /
+//! [`DeliveryCore::restore`] (the crash-restart path — the paper's
+//! failure model is PDU loss, not amnesia). The shell owns nothing but
+//! the observer.
+
+use bytes::Bytes;
+use co_wire::Pdu;
+
+use crate::actions::{ActionSink, SubmitOutcome};
+use crate::config::{Config, ConfigError};
+use crate::error::ProtocolError;
+use crate::metrics::Metrics;
+use co_observe::Observer;
+
+/// Upper bound on payloads queued while a core's send gate is closed
+/// (flow condition, sender-side causal delay, …).
+pub const MAX_QUEUED_SUBMITS: usize = 1 << 16;
+
+/// The ordering guarantee a [`DeliveryCore`] provides, from weakest to
+/// strongest. `co-check` parameterizes its causality oracle on this: a
+/// FIFO-only core is exempt from the cross-source causality check, a
+/// causal core must satisfy it, and a total-order core must additionally
+/// deliver in one global sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Guarantee {
+    /// Per-source FIFO only.
+    Fifo,
+    /// Causality-preserving delivery (the paper's CO service, §2.3).
+    Causal,
+    /// A single total order consistent with causality.
+    Total,
+}
+
+impl Guarantee {
+    /// Stable lowercase name (used in reports and bench row ids).
+    pub fn name(self) -> &'static str {
+        match self {
+            Guarantee::Fifo => "fifo",
+            Guarantee::Causal => "causal",
+            Guarantee::Total => "total",
+        }
+    }
+}
+
+/// A pluggable delivery engine: the ordering half of an [`crate::Entity`].
+///
+/// See the [module docs](self) for the contract. Implementations in this
+/// crate: [`crate::CoCore`], [`crate::HybridCore`], [`crate::SenderCore`].
+///
+/// The observer is threaded in per call (rather than owned) so the shell
+/// can keep a single observer across core generations (crash-restart
+/// replaces the core, not the observer) and so cores monomorphize against
+/// the zero-cost [`co_observe::NoopObserver`] exactly like the
+/// pre-redesign entity did — the bench trajectory guard holds the shell
+/// to that.
+pub trait DeliveryCore: Sized + Send + std::fmt::Debug + 'static {
+    /// Complete exported protocol state for crash-restart simulation.
+    type State: Clone + Send + std::fmt::Debug;
+
+    /// Stable lowercase identifier (`"co"`, `"hybrid"`, `"sender"`) used
+    /// by `co-check --core`, scenario plans and bench row ids.
+    const NAME: &'static str;
+
+    /// The delivery guarantee this core provides.
+    const GUARANTEE: Guarantee;
+
+    /// Creates the core in its initial state.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject configurations they cannot honor; the
+    /// cores in this crate are infallible for a valid [`Config`].
+    fn new(config: Config) -> Result<Self, ConfigError>;
+
+    /// Rebuilds a core from exported state (crash-restart).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from construction.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the state's dimensions do not match `config` (a
+    /// driver bug: state must be restored under its exporting config).
+    fn restore(config: Config, state: Self::State) -> Result<Self, ConfigError>;
+
+    /// Captures the complete protocol state (lossless; see
+    /// [`DeliveryCore::restore`]).
+    fn export_state(&self) -> Self::State;
+
+    /// The configuration in force.
+    fn config(&self) -> &Config;
+
+    /// Cumulative counters.
+    fn metrics(&self) -> &Metrics;
+
+    /// Approximate resident bytes of ordering state: knowledge
+    /// vectors/matrices plus buffered PDUs (headers, ack vectors and
+    /// payloads). This is the space-cost axis of the core comparison —
+    /// `co-bench`'s `core_matrix/mem` rows report it after a fixed
+    /// workload, exposing the O(n²)-matrix vs O(n)-vector trade.
+    fn state_bytes(&self) -> usize;
+
+    /// PDUs currently held in ordering buffers.
+    fn held_pdus(&self) -> usize;
+
+    /// High-water mark of [`DeliveryCore::held_pdus`].
+    fn peak_held_pdus(&self) -> usize;
+
+    /// Payloads queued behind the send gate.
+    fn pending_submits(&self) -> usize;
+
+    /// `true` when nothing is buffered or queued anywhere.
+    fn is_quiescent(&self) -> bool;
+
+    /// `true` when, additionally, the core knows every peer has seen
+    /// everything it sent (and, where the core tracks it, everything it
+    /// accepted). A core that is not fully stable keeps emitting
+    /// heartbeat confirmations from [`DeliveryCore::on_tick`] so tail
+    /// losses are eventually detected and repaired.
+    fn is_fully_stable(&self) -> bool;
+
+    /// Free protocol-buffer units (advertised as `BUF` on the wire).
+    fn free_buffer_units(&self) -> u32;
+
+    /// The application submits a payload for causally ordered broadcast.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::PayloadTooLarge`] for oversized payloads;
+    /// * [`ProtocolError::SubmitQueueFull`] when [`MAX_QUEUED_SUBMITS`]
+    ///   payloads are already queued behind the send gate.
+    fn submit<O: Observer>(
+        &mut self,
+        data: Bytes,
+        now_us: u64,
+        observer: &mut O,
+        sink: &mut impl ActionSink,
+    ) -> Result<SubmitOutcome, ProtocolError>;
+
+    /// Integrates one already-validated PDU (the per-element half of the
+    /// receive pipeline; see the [module docs](self) for the batching
+    /// contract).
+    fn on_validated_pdu<O: Observer>(
+        &mut self,
+        pdu: Pdu,
+        now_us: u64,
+        observer: &mut O,
+        sink: &mut impl ActionSink,
+    );
+
+    /// The per-batch receive epilogue (confirmation emission, gauges).
+    fn end_batch<O: Observer>(&mut self, now_us: u64, observer: &mut O, sink: &mut impl ActionSink);
+
+    /// Advances the core's notion of time (deferred confirmations,
+    /// stability heartbeats, RET retries).
+    fn on_tick<O: Observer>(&mut self, now_us: u64, observer: &mut O, sink: &mut impl ActionSink);
+
+    /// The next time at which [`DeliveryCore::on_tick`] has work, if any.
+    fn next_deadline(&self, now_us: u64) -> Option<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_ordering_and_names() {
+        assert!(Guarantee::Fifo < Guarantee::Causal);
+        assert!(Guarantee::Causal < Guarantee::Total);
+        assert_eq!(Guarantee::Causal.name(), "causal");
+        assert_eq!(Guarantee::Fifo.name(), "fifo");
+        assert_eq!(Guarantee::Total.name(), "total");
+    }
+}

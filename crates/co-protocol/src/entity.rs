@@ -1,29 +1,28 @@
-//! The protocol entity `E_i` (§4) as a sans-IO state machine.
+//! The protocol entity `E_i` (§4): a thin sans-IO shell around a
+//! pluggable [`DeliveryCore`].
+//!
+//! The shell owns what is *not* ordering-specific — input validation,
+//! the observer, and the batching loop — and delegates every ordering
+//! decision (acceptance, buffering, ack bookkeeping, flow gating) to the
+//! core. See [`crate::core`] for the trait contract and the cores that
+//! ship with this crate.
 
 use bytes::Bytes;
-use causal_order::{EntityId, Seq};
-use co_wire::{AckOnlyPdu, DataPdu, Pdu, RetPdu};
-use std::cell::Cell;
-use std::collections::VecDeque;
+use causal_order::EntityId;
+use co_wire::Pdu;
 
-use crate::actions::{Action, ActionSink, Delivery, SubmitOutcome};
-use crate::config::{Config, ConfigError, DeferralPolicy, RetransmissionPolicy};
-use crate::cpi::CausalLog;
+use crate::actions::{Action, ActionSink, SubmitOutcome};
+use crate::co_core::CoCore;
+use crate::config::{Config, ConfigError};
+use crate::core::{DeliveryCore, Guarantee};
 use crate::error::ProtocolError;
-use crate::flow::{flow_decision, flow_limit, FlowDecision};
-use crate::logs::{ReceiptLogs, SendLog};
-use crate::matrix::KnowledgeMatrix;
 use crate::metrics::Metrics;
-use crate::reorder::ReorderBuffer;
-use co_observe::{NoopObserver, Observer, ProtocolEvent};
+use co_observe::{NoopObserver, Observer};
 
-/// Upper bound on payloads queued while the flow condition is closed.
-pub const MAX_QUEUED_SUBMITS: usize = 1 << 16;
-
-/// Per-batch summary returned by [`Entity::on_pdus_into`] /
-/// [`Entity::accept_batch`]: how many PDUs entered the receive pipeline
-/// and how many failed validation and were dropped (the same drop-and-
-/// continue treatment transports give per-PDU errors).
+/// Per-batch summary returned by [`Entity::on_pdus_into`]: how many PDUs
+/// entered the receive pipeline and how many failed validation and were
+/// dropped (the same drop-and-continue treatment transports give per-PDU
+/// errors).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchOutcome {
     /// PDUs that passed validation and were processed.
@@ -33,76 +32,38 @@ pub struct BatchOutcome {
     pub rejected: usize,
 }
 
-/// One entity of the cluster, implementing the CO protocol.
+/// One entity of the cluster: wire-facing shell + delivery core.
 ///
 /// Drive it with [`Entity::submit`], [`Entity::on_pdu`] and
 /// [`Entity::on_tick`]; the resulting [`Action`]s stream into a
-/// caller-supplied [`ActionSink`] (a `Vec<Action>` works, and the
-/// `*_actions` wrappers collect into a fresh one). Time is a
-/// caller-supplied monotonic microsecond counter — the engine never reads
-/// a clock.
+/// caller-supplied [`ActionSink`] (a `Vec<Action>` works, and
+/// [`crate::FnSink`] handles actions in place). Time is a caller-supplied
+/// monotonic microsecond counter — the engine never reads a clock.
 ///
-/// The `O` parameter is the [`Observer`] receiving the structured
-/// [`ProtocolEvent`] stream; the default [`NoopObserver`] compiles the
-/// whole instrumentation away. Construct instrumented entities with
-/// [`Entity::with_observer`].
+/// The `C` parameter selects the [`DeliveryCore`] — the ordering engine
+/// between "validated PDU in" and "ordered delivery + protocol actions
+/// out". The default [`CoCore`] is the paper's matrix/CPI engine;
+/// [`crate::HybridCore`] and [`crate::SenderCore`] trade its O(n²)
+/// knowledge state for other points in the design space. The `O`
+/// parameter is the [`Observer`] receiving the structured
+/// [`co_observe::ProtocolEvent`] stream; the default
+/// [`NoopObserver`] compiles the whole instrumentation away. Construct
+/// instrumented entities with [`Entity::with_observer`].
 ///
 /// See the crate docs for a walk-through and an example.
 #[derive(Debug)]
-pub struct Entity<O: Observer = NoopObserver> {
-    config: Config,
-    /// `REQ_j`: next sequence number expected from `E_j`; `REQ_me` is the
-    /// next sequence number this entity will assign (the paper's `SEQ`).
-    req: Vec<Seq>,
-    /// Acceptance knowledge (`AL`, §4.4).
-    al: KnowledgeMatrix,
-    /// Pre-acknowledgment knowledge (`PAL`, §4.5).
-    pal: KnowledgeMatrix,
-    /// Latest advertised free buffer units per entity (`BUF`, §4.1).
-    buf_known: Vec<u32>,
-    /// Sending log for retransmission.
-    sl: SendLog,
-    /// Accepted, not yet pre-acknowledged PDUs, per source.
-    rrl: ReceiptLogs,
-    /// Pre-acknowledged PDUs in causal order.
-    prl: CausalLog,
-    /// Out-of-order PDUs awaiting gap repair (selective mode only).
-    reorder: ReorderBuffer,
-    /// Payloads waiting for the flow condition to open.
-    pending: VecDeque<Bytes>,
-    /// Which peers we have heard from since our last own transmission
-    /// (drives deferred confirmation).
-    heard_since_send: Vec<bool>,
-    /// Bumped whenever `req` changes. `REQ` entries are monotonic, so two
-    /// equal versions imply equal vectors — the O(1) advertisement check.
-    req_version: u64,
-    /// `(req_version, al.version())` as of our last confirmation-bearing
-    /// transmission (replaces storing the advertised vectors themselves).
-    advertised: (u64, u64),
-    /// Scratch for draining the AL/PAL dirty-source sets (reused across
-    /// events; never allocates past construction).
-    pack_scratch: Vec<u32>,
-    /// Memoized "`minPAL_j >= REQ_j` for every `j`" result, keyed by
-    /// `(req_version, pal.version())`, so idle stability checks are O(1).
-    stable_cache: Cell<(u64, u64, bool)>,
-    /// Outstanding `RET` per source: `(lseq, when_sent_us)`.
-    ret_outstanding: Vec<Option<(Seq, u64)>>,
-    /// Set when a peer's confirmation shows it lags our knowledge — we owe
-    /// it an `AckOnly` reply (stability convergence; see DESIGN.md).
-    peer_needs_update: bool,
-    /// Last time this entity transmitted anything, in µs.
-    last_send_us: u64,
-    /// High-water mark of protocol-buffer occupancy, in PDUs.
-    peak_held_pdus: usize,
-    metrics: Metrics,
-    /// Receives the [`ProtocolEvent`] stream (zero-cost by default).
+pub struct Entity<C: DeliveryCore = CoCore, O: Observer = NoopObserver> {
+    core: C,
+    /// Receives the [`co_observe::ProtocolEvent`] stream (zero-cost by
+    /// default). Owned by the shell, not the core, so it survives
+    /// crash-restart core replacement.
     observer: O,
 }
 
 impl Entity {
-    /// Creates the entity in its initial state (all sequence numbers at 1,
-    /// empty logs — Example 4.1's starting point), with the zero-cost
-    /// [`NoopObserver`].
+    /// Creates a [`CoCore`] entity in its initial state (all sequence
+    /// numbers at 1, empty logs — Example 4.1's starting point), with the
+    /// zero-cost [`NoopObserver`].
     ///
     /// # Errors
     ///
@@ -113,8 +74,8 @@ impl Entity {
         Entity::with_observer(config, NoopObserver)
     }
 
-    /// Rebuilds an entity from a [`crate::EntityState`] with the zero-cost
-    /// [`NoopObserver`]; see [`Entity::restore_with`].
+    /// Rebuilds a [`CoCore`] entity from a [`crate::EntityState`] with the
+    /// zero-cost [`NoopObserver`]; see [`Entity::restore_with`].
     ///
     /// # Errors
     ///
@@ -132,43 +93,74 @@ impl Entity {
     }
 }
 
-impl<O: Observer> Entity<O> {
+impl<C: DeliveryCore, O: Observer> Entity<C, O> {
     /// Creates the entity in its initial state with `observer` plugged in
-    /// as the sink for the structured [`ProtocolEvent`] stream.
+    /// as the sink for the structured [`co_observe::ProtocolEvent`]
+    /// stream.
+    ///
+    /// The core type is inferred from context (a typed binding or field),
+    /// or selected explicitly: `Entity::<HybridCore, _>::with_observer(…)`.
     ///
     /// # Errors
     ///
-    /// Currently infallible for a valid [`Config`]; see [`Entity::new`].
+    /// Propagates core construction failure; see [`Entity::new`].
     pub fn with_observer(config: Config, observer: O) -> Result<Self, ConfigError> {
-        let n = config.n();
         Ok(Entity {
-            req: vec![Seq::FIRST; n],
-            al: KnowledgeMatrix::new(n),
-            pal: KnowledgeMatrix::new(n),
-            buf_known: vec![config.buffer_units; n],
-            sl: SendLog::new(),
-            rrl: ReceiptLogs::new(n),
-            prl: CausalLog::new(),
-            reorder: ReorderBuffer::new(n),
-            pending: VecDeque::new(),
-            heard_since_send: vec![false; n],
-            req_version: 0,
-            advertised: (0, 0),
-            pack_scratch: Vec::with_capacity(n),
-            stable_cache: Cell::new((u64::MAX, u64::MAX, false)),
-            ret_outstanding: vec![None; n],
-            peer_needs_update: false,
-            last_send_us: 0,
-            peak_held_pdus: 0,
-            metrics: Metrics::default(),
+            core: C::new(config)?,
             observer,
-            config,
+        })
+    }
+
+    /// Wraps an already-constructed core (e.g. one restored elsewhere).
+    pub fn from_core(core: C, observer: O) -> Self {
+        Entity { core, observer }
+    }
+
+    /// Rebuilds an entity from exported core state — the crash-restart
+    /// path: the paper's failure model is PDU loss, not state amnesia, so
+    /// a restarting entity resumes from its full protocol state (only the
+    /// volatile NIC inbox is lost, which the simulator models
+    /// separately). `observer` receives the restarted entity's event
+    /// stream; the restore itself emits nothing.
+    ///
+    /// The restored entity considers its state unadvertised, so it
+    /// re-announces its frontiers on the next tick — letting peers detect
+    /// anything lost while it was down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from core construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's dimensions do not match `config`'s cluster
+    /// size (a driver bug: state must be restored under the same config it
+    /// was exported under).
+    pub fn restore_with(config: Config, state: C::State, observer: O) -> Result<Self, ConfigError> {
+        Ok(Entity {
+            core: C::restore(config, state)?,
+            observer,
         })
     }
 
     /// This entity's id.
     pub fn id(&self) -> EntityId {
-        self.config.me
+        self.core.config().me
+    }
+
+    /// The delivery core's stable name (`"co"`, `"hybrid"`, `"sender"`).
+    pub fn core_name(&self) -> &'static str {
+        C::NAME
+    }
+
+    /// The ordering guarantee the delivery core provides.
+    pub fn guarantee(&self) -> Guarantee {
+        C::GUARANTEE
+    }
+
+    /// The delivery core (e.g. for core-specific introspection).
+    pub fn core(&self) -> &C {
+        &self.core
     }
 
     /// The plugged-in observer.
@@ -190,105 +182,57 @@ impl<O: Observer> Entity<O> {
 
     /// The configuration in force.
     pub fn config(&self) -> &Config {
-        &self.config
+        self.core.config()
     }
 
     /// Cumulative counters.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.core.metrics()
     }
 
-    /// The current `REQ` vector.
-    pub fn req(&self) -> &[Seq] {
-        &self.req
-    }
-
-    /// `minAL_j` — everything from `E_j` below this is known accepted
-    /// everywhere.
-    pub fn min_al(&self, source: EntityId) -> Seq {
-        self.al.row_min(source)
-    }
-
-    /// `minPAL_j` — everything from `E_j` below this is known
-    /// pre-acknowledged everywhere.
-    pub fn min_pal(&self, source: EntityId) -> Seq {
-        self.pal.row_min(source)
-    }
-
-    /// PDUs currently held in protocol buffers (`RRL` + `PRL` + reorder).
+    /// PDUs currently held in the core's ordering buffers.
     pub fn held_pdus(&self) -> usize {
-        self.rrl.total_len() + self.prl.len() + self.reorder.total_len()
+        self.core.held_pdus()
     }
 
     /// High-water mark of [`Entity::held_pdus`] over the entity's lifetime
     /// (§5's O(n)-buffer claim is measured against this).
     pub fn peak_held_pdus(&self) -> usize {
-        self.peak_held_pdus
+        self.core.peak_held_pdus()
     }
 
-    /// Payloads queued behind the flow condition.
+    /// Payloads queued behind the core's send gate (flow condition,
+    /// sender-side causal delay, …).
     pub fn pending_submits(&self) -> usize {
-        self.pending.len()
+        self.core.pending_submits()
+    }
+
+    /// Approximate resident bytes of the core's ordering state (knowledge
+    /// vectors/matrices plus buffered PDUs) — the space-cost axis of the
+    /// core comparison.
+    pub fn state_bytes(&self) -> usize {
+        self.core.state_bytes()
     }
 
     /// `true` when nothing is buffered or queued anywhere — every accepted
     /// PDU has been delivered and no payload awaits transmission.
     pub fn is_quiescent(&self) -> bool {
-        self.held_pdus() == 0 && self.pending.is_empty()
+        self.core.is_quiescent()
     }
 
-    /// `true` when, additionally, everything this entity has accepted is —
-    /// to its knowledge — pre-acknowledged everywhere. An entity that is
-    /// not fully stable keeps emitting heartbeat confirmations so that
-    /// tail losses (a PDU or confirmation lost with no later traffic to
-    /// reveal the gap) are eventually detected and repaired.
-    ///
-    /// O(1) on idle ticks: the `minPAL >= REQ` sweep is memoized on the
-    /// `(REQ, PAL)` version pair and recomputed only after either moved.
+    /// `true` when, additionally, everything this entity has sent (and,
+    /// where the core tracks it, accepted) is — to its knowledge — seen
+    /// everywhere. An entity that is not fully stable keeps emitting
+    /// heartbeat confirmations so that tail losses (a PDU or confirmation
+    /// lost with no later traffic to reveal the gap) are eventually
+    /// detected and repaired.
     pub fn is_fully_stable(&self) -> bool {
-        self.is_quiescent() && self.pal_covers_req()
-    }
-
-    /// Memoized `∀j: minPAL_j >= REQ_j` (both sides are monotonic, so a
-    /// version match proves the inputs are unchanged).
-    fn pal_covers_req(&self) -> bool {
-        let key = (self.req_version, self.pal.version());
-        let (k0, k1, cached) = self.stable_cache.get();
-        if (k0, k1) == key {
-            return cached;
-        }
-        let covered = (0..self.config.n()).all(|j| {
-            let source = EntityId::new(j as u32);
-            self.pal.row_min(source) >= self.req[j]
-        });
-        self.stable_cache.set((key.0, key.1, covered));
-        covered
-    }
-
-    /// Interval for stability heartbeats: the coarser of the deferral
-    /// timeout and the RET retry interval, never zero.
-    fn heartbeat_interval(&self) -> u64 {
-        let deferral = match self.config.deferral {
-            DeferralPolicy::Immediate => 0,
-            DeferralPolicy::Deferred { timeout_us } => timeout_us,
-        };
-        deferral.max(self.config.ret_retry_us).max(1)
+        self.core.is_fully_stable()
     }
 
     /// Free protocol-buffer units (advertised as `BUF`).
     pub fn free_buffer_units(&self) -> u32 {
-        let held = self.held_pdus() as u64 * u64::from(self.config.pdu_buf_units);
-        u32::try_from(u64::from(self.config.buffer_units).saturating_sub(held)).unwrap_or(0)
-    }
-
-    fn min_buf(&self) -> u32 {
-        let me = self.config.me.index();
-        self.buf_known
-            .iter()
-            .enumerate()
-            .map(|(j, &b)| if j == me { self.free_buffer_units() } else { b })
-            .min()
-            .expect("n >= 2")
+        self.core.free_buffer_units()
     }
 
     /// The application submits a payload for causally ordered broadcast
@@ -300,8 +244,8 @@ impl<O: Observer> Entity<O> {
     /// # Errors
     ///
     /// * [`ProtocolError::PayloadTooLarge`] for oversized payloads;
-    /// * [`ProtocolError::SubmitQueueFull`] when [`MAX_QUEUED_SUBMITS`]
-    ///   payloads are already waiting.
+    /// * [`ProtocolError::SubmitQueueFull`] when
+    ///   [`crate::MAX_QUEUED_SUBMITS`] payloads are already waiting.
     pub fn submit(
         &mut self,
         data: Bytes,
@@ -315,55 +259,23 @@ impl<O: Observer> Entity<O> {
     /// The application submits a payload for causally ordered broadcast,
     /// streaming the resulting actions into `sink`.
     ///
-    /// Returns the outcome. If the flow condition (§4.2) is closed the
-    /// payload is queued and flushed automatically as confirmations open
-    /// the window.
+    /// Returns the outcome. If the core's send gate (the flow condition of
+    /// §4.2 for [`CoCore`], the causal send delay for
+    /// [`crate::SenderCore`]) is closed the payload is queued and flushed
+    /// automatically as the gate opens.
     ///
     /// # Errors
     ///
     /// * [`ProtocolError::PayloadTooLarge`] for oversized payloads;
-    /// * [`ProtocolError::SubmitQueueFull`] when [`MAX_QUEUED_SUBMITS`]
-    ///   payloads are already waiting.
+    /// * [`ProtocolError::SubmitQueueFull`] when
+    ///   [`crate::MAX_QUEUED_SUBMITS`] payloads are already waiting.
     pub fn submit_with(
         &mut self,
         data: Bytes,
         now_us: u64,
         sink: &mut impl ActionSink,
     ) -> Result<SubmitOutcome, ProtocolError> {
-        if data.len() > self.config.max_payload {
-            return Err(ProtocolError::PayloadTooLarge {
-                size: data.len(),
-                max: self.config.max_payload,
-            });
-        }
-        if self.pending.is_empty() && self.flow_open() {
-            self.observer.on_event(ProtocolEvent::Submitted { now_us });
-            let seq = self.broadcast_data(data, now_us, sink);
-            self.run_pack_ack(now_us, sink);
-            Ok(SubmitOutcome::Sent(seq))
-        } else {
-            if self.pending.len() >= MAX_QUEUED_SUBMITS {
-                return Err(ProtocolError::SubmitQueueFull {
-                    limit: MAX_QUEUED_SUBMITS,
-                });
-            }
-            self.observer.on_event(ProtocolEvent::Submitted { now_us });
-            self.observer.on_event(ProtocolEvent::FlowClosed { now_us });
-            let me = self.config.me;
-            self.observer.on_event(ProtocolEvent::FlowBlocked {
-                outstanding: self.req[me.index()].get() - self.al.row_min(me).get(),
-                limit: flow_limit(
-                    self.config.window,
-                    self.min_buf(),
-                    self.config.pdu_buf_units,
-                    self.config.n(),
-                ),
-                now_us,
-            });
-            self.pending.push_back(data);
-            self.metrics.flow_blocked += 1;
-            Ok(SubmitOutcome::Queued)
-        }
+        self.core.submit(data, now_us, &mut self.observer, sink)
     }
 
     /// Feeds a PDU received from the network, streaming the resulting
@@ -373,15 +285,16 @@ impl<O: Observer> Entity<O> {
     ///
     /// # Per-PDU cost
     ///
-    /// For an in-order data PDU with no losses and nothing newly packable
-    /// or deliverable, the whole call is **O(n) with zero heap
-    /// allocations**: the ACK fold touches one matrix column, cached row
-    /// minima make every `minAL`/`minPAL` consultation O(1), the PACK scan
-    /// visits only sources whose `minAL` actually moved (the dirty set),
-    /// and the stability/advertisement checks are O(1) version
-    /// comparisons. Work beyond that — insertion into the causal log,
-    /// retransmission service, reorder buffering — is proportional to the
-    /// PDUs actually moved, not to the logs' sizes.
+    /// Shell-side work is O(1) plus one validation pass over the PDU's
+    /// vectors; everything else is the core's. For [`CoCore`] an in-order
+    /// data PDU with no losses and nothing newly packable or deliverable
+    /// costs **O(n) with zero heap allocations**: the ACK fold touches one
+    /// matrix column, cached row minima make every `minAL`/`minPAL`
+    /// consultation O(1), the PACK scan visits only sources whose `minAL`
+    /// actually moved (the dirty set), and the stability/advertisement
+    /// checks are O(1) version comparisons. Work beyond that — insertion
+    /// into the causal log, retransmission service, reorder buffering — is
+    /// proportional to the PDUs actually moved, not to the logs' sizes.
     ///
     /// # Errors
     ///
@@ -394,32 +307,19 @@ impl<O: Observer> Entity<O> {
         sink: &mut impl ActionSink,
     ) -> Result<(), ProtocolError> {
         self.validate(&pdu)?;
-        let from = pdu.src();
-        self.heard_since_send[from.index()] = true;
-        self.buf_known[from.index()] = pdu.buf();
-
-        match pdu {
-            Pdu::Data(p) => self.on_data(p, now_us, sink),
-            Pdu::Ret(r) => self.on_ret(r, now_us, sink),
-            Pdu::AckOnly(a) => self.on_ack_only(a, now_us, sink),
-        }
-
-        self.run_pack_ack(now_us, sink);
-        self.try_flush_pending(now_us, sink);
-        self.maybe_confirm(now_us, sink);
-        self.note_peak();
+        self.core
+            .on_validated_pdu(pdu, now_us, &mut self.observer, sink);
+        self.core.end_batch(now_us, &mut self.observer, sink);
         Ok(())
     }
 
     /// Feeds a PDU received from the network.
     ///
-    /// Convenience wrapper over [`Entity::on_pdu`] that collects the
-    /// actions into a fresh vector.
-    ///
     /// # Errors
     ///
     /// Hard validation failures only ([`ProtocolError`]); duplicates,
     /// gaps and stale information are handled internally.
+    #[deprecated(note = "use `on_pdu` with a `Vec<Action>` (or any `ActionSink`) instead")]
     pub fn on_pdu_actions(&mut self, pdu: Pdu, now_us: u64) -> Result<Vec<Action>, ProtocolError> {
         let mut actions = Vec::new();
         self.on_pdu(pdu, now_us, &mut actions)?;
@@ -430,35 +330,38 @@ impl<O: Observer> Entity<O> {
     /// streaming the resulting actions into `sink`.
     ///
     /// Each PDU individually goes through the same receive pipeline as
-    /// [`Entity::on_pdu`] — validation, the knowledge folds, loss
-    /// detection, the PACK/ACK sweep, and the flow-controlled submission
-    /// flush. All of these stay per-PDU deliberately: the PACK/ACK sweep
-    /// because the CPI insertion interleaving (and with it the delivery
-    /// order) must be *identical* to feeding the PDUs one at a time, and
-    /// the pending flush because a queued submission must go out at the
-    /// exact point the flow condition opens, with the same `ACK` vector
-    /// the per-PDU path would stamp (it is O(1) when nothing is pending —
-    /// the steady state — so there is nothing to amortize anyway).
+    /// [`Entity::on_pdu`] — validation, then the core's per-element
+    /// processing ([`DeliveryCore::on_validated_pdu`]): knowledge folds,
+    /// loss detection, the delivery sweep, and the gated-submission flush.
+    /// All of these stay per-PDU deliberately: the delivery sweep because
+    /// the delivery interleaving must be *identical* to feeding the PDUs
+    /// one at a time, and the pending flush because a queued submission
+    /// must go out at the exact point the send gate opens, with the same
+    /// `ACK` vector the per-PDU path would stamp (it is O(1) when nothing
+    /// is pending — the steady state — so there is nothing to amortize
+    /// anyway).
     ///
-    /// What the batch amortizes is the confirmation epilogue, run once at
-    /// the end instead of once per PDU:
+    /// What the batch amortizes is the core's epilogue
+    /// ([`DeliveryCore::end_batch`]), run once at the end instead of once
+    /// per PDU:
     ///
-    /// * **advertisement** (`maybe_confirm`): under
-    ///   [`DeferralPolicy::Immediate`] the per-PDU path emits one `AckOnly`
-    ///   confirmation per accepted PDU; the batch path coalesces them into
-    ///   a single `AckOnly` carrying the batch-final frontier — the
-    ///   dominant saving (three O(n) vector clones per PDU become three
-    ///   per batch). The paper explicitly allows deferring confirmations
-    ///   ("or after some time units"), and peers fold the final frontier
-    ///   identically;
+    /// * **advertisement**: under
+    ///   [`crate::DeferralPolicy::Immediate`] the per-PDU path emits one
+    ///   `AckOnly` confirmation per accepted PDU; the batch path coalesces
+    ///   them into a single `AckOnly` carrying the batch-final frontier —
+    ///   the dominant saving (three O(n) vector clones per PDU become
+    ///   three per batch). The paper explicitly allows deferring
+    ///   confirmations ("or after some time units"), and peers fold the
+    ///   final frontier identically;
     /// * the held-PDU peak gauge, which consequently may not observe
     ///   transient within-batch peaks.
     ///
-    /// Protocol *state* — matrices, `REQ`, logs — and the `Deliver`,
-    /// `Data` and `RET` action streams end identical to the per-PDU path;
-    /// only `AckOnly` emissions differ, in timing and count (never more
-    /// than per-PDU). `crates/co-protocol/tests/batch_equivalence.rs` and
-    /// its proptest twin pin exactly this contract.
+    /// Protocol *state* — frontiers, logs, matrices where the core keeps
+    /// them — and the `Deliver`, `Data` and `RET` action streams end
+    /// identical to the per-PDU path; only `AckOnly` emissions differ, in
+    /// timing and count (never more than per-PDU).
+    /// `crates/co-protocol/tests/batch_equivalence.rs` and its proptest
+    /// twin pin exactly this contract.
     ///
     /// Invalid PDUs (wrong cluster, looped back, malformed vectors) are
     /// dropped and counted, mirroring how transports treat per-PDU errors;
@@ -476,26 +379,17 @@ impl<O: Observer> Entity<O> {
                 continue;
             }
             outcome.accepted += 1;
-            let from = pdu.src();
-            self.heard_since_send[from.index()] = true;
-            self.buf_known[from.index()] = pdu.buf();
-            match pdu {
-                Pdu::Data(p) => self.on_data(p, now_us, sink),
-                Pdu::Ret(r) => self.on_ret(r, now_us, sink),
-                Pdu::AckOnly(a) => self.on_ack_only(a, now_us, sink),
-            }
-            self.run_pack_ack(now_us, sink);
-            self.try_flush_pending(now_us, sink);
+            self.core
+                .on_validated_pdu(pdu, now_us, &mut self.observer, sink);
         }
         if outcome.accepted > 0 {
-            self.maybe_confirm(now_us, sink);
-            self.note_peak();
+            self.core.end_batch(now_us, &mut self.observer, sink);
         }
         outcome
     }
 
-    /// Convenience wrapper over [`Entity::on_pdus_into`] that collects the
-    /// actions into a fresh vector.
+    /// Feeds a batch of PDUs, collecting the actions into a fresh vector.
+    #[deprecated(note = "use `on_pdus_into` with a `Vec<Action>` (or any `ActionSink`) instead")]
     pub fn accept_batch(
         &mut self,
         pdus: impl IntoIterator<Item = Pdu>,
@@ -520,86 +414,35 @@ impl<O: Observer> Entity<O> {
     /// Advances the entity's notion of time, streaming the resulting
     /// actions into `sink`.
     pub fn on_tick_with(&mut self, now_us: u64, sink: &mut impl ActionSink) {
-        // Deferred-confirmation fallback ("or after some time units").
-        let timeout = match self.config.deferral {
-            DeferralPolicy::Immediate => 0,
-            DeferralPolicy::Deferred { timeout_us } => timeout_us,
-        };
-        if self.peer_needs_update
-            && now_us.saturating_sub(self.last_send_us) >= self.reply_pace_us()
-        {
-            // Deferred lag reply (paced; see maybe_confirm).
-            self.peer_needs_update = false;
-            self.send_ack_only(now_us, sink);
-        } else if self.unadvertised() && now_us.saturating_sub(self.last_send_us) >= timeout {
-            self.send_ack_only(now_us, sink);
-        } else if !self.is_fully_stable()
-            && now_us.saturating_sub(self.last_send_us) >= self.heartbeat_interval()
-        {
-            // Stability heartbeat: something is still in flight (ours or a
-            // peer's); keep re-advertising so tail losses surface via F2.
-            self.send_ack_only(now_us, sink);
-        }
-        // RET retry for gaps that persist (the RET or the retransmission
-        // itself may have been lost).
-        for j in 0..self.config.n() {
-            let source = EntityId::new(j as u32);
-            let Some((lseq, when)) = self.ret_outstanding[j] else {
-                continue;
-            };
-            if self.req[j] >= lseq {
-                self.ret_outstanding[j] = None;
-                continue;
-            }
-            if now_us.saturating_sub(when) >= self.config.ret_retry_us {
-                self.ret_outstanding[j] = None; // force re-send
-                self.send_ret(source, lseq, now_us, sink);
-            }
-        }
-        self.note_peak();
+        self.core.on_tick(now_us, &mut self.observer, sink);
     }
 
     /// The next time at which [`Entity::on_tick`] has work to do, if any.
-    pub fn next_deadline(&self, _now_us: u64) -> Option<u64> {
-        let mut deadline: Option<u64> = None;
-        let mut consider = |t: u64| {
-            deadline = Some(deadline.map_or(t, |d: u64| d.min(t)));
-        };
-        if self.peer_needs_update {
-            consider(self.last_send_us.saturating_add(self.reply_pace_us()));
-        }
-        if self.unadvertised() {
-            let timeout = match self.config.deferral {
-                DeferralPolicy::Immediate => 0,
-                DeferralPolicy::Deferred { timeout_us } => timeout_us,
-            };
-            consider(self.last_send_us.saturating_add(timeout));
-        } else if !self.is_fully_stable() {
-            consider(self.last_send_us.saturating_add(self.heartbeat_interval()));
-        }
-        for j in 0..self.config.n() {
-            if let Some((lseq, when)) = self.ret_outstanding[j] {
-                if self.req[j] < lseq {
-                    consider(when.saturating_add(self.config.ret_retry_us));
-                }
-            }
-        }
-        deadline
+    pub fn next_deadline(&self, now_us: u64) -> Option<u64> {
+        self.core.next_deadline(now_us)
+    }
+
+    /// Captures the core's *complete* protocol state for crash-restart
+    /// simulation. [`Entity::restore_with`] rebuilds an entity that is
+    /// behaviorally identical to this one.
+    pub fn export_state(&self) -> C::State {
+        self.core.export_state()
     }
 
     // ------------------------------------------------------------------
-    // Input validation
+    // Input validation (wire-facing, core-agnostic)
     // ------------------------------------------------------------------
 
     fn validate(&self, pdu: &Pdu) -> Result<(), ProtocolError> {
-        let n = self.config.n();
-        if pdu.cid() != self.config.cluster.cid {
+        let config = self.core.config();
+        let n = config.n();
+        if pdu.cid() != config.cluster.cid {
             return Err(ProtocolError::WrongCluster {
-                expected: self.config.cluster.cid,
+                expected: config.cluster.cid,
                 found: pdu.cid(),
             });
         }
-        if pdu.src() == self.config.me {
+        if pdu.src() == config.me {
             return Err(ProtocolError::LoopedBack);
         }
         if pdu.src().index() >= n {
@@ -628,645 +471,32 @@ impl<O: Observer> Entity<O> {
         }
         Ok(())
     }
+}
 
-    // ------------------------------------------------------------------
-    // PDU handling
-    // ------------------------------------------------------------------
-
-    fn on_data(&mut self, p: DataPdu, now_us: u64, sink: &mut impl ActionSink) {
-        let src = p.src;
-        // The piggybacked ACK vector is first-hand receipt information from
-        // `src`, valid whether or not `p` itself is acceptable (monotonic
-        // fold, so retransmissions with old vectors are harmless).
-        self.al.fold_column(src, &p.ack);
-        // A sender trivially holds its own PDUs: anyone receiving `p` knows
-        // `src` has everything of its own up to `p.SEQ` (inference rule,
-        // DESIGN.md).
-        self.al.raise(src, src, p.seq.next());
-        // Failure condition F2 over the ack vector.
-        self.scan_f2(src, &p.ack, false, now_us, sink);
-
-        let expected = self.req[src.index()];
-        if p.seq < expected {
-            self.metrics.duplicates += 1;
-            self.observer.on_event(ProtocolEvent::Duplicate {
-                src,
-                seq: p.seq,
-                now_us,
-            });
-            return;
-        }
-        if p.seq > expected {
-            // Failure condition F1: gap [REQ_src, p.SEQ) lost.
-            self.metrics.f1_detections += 1;
-            self.observer.on_event(ProtocolEvent::F1Detected {
-                src,
-                expected,
-                got: p.seq,
-                now_us,
-            });
-            match self.config.retransmission {
-                RetransmissionPolicy::Selective => {
-                    let seq = p.seq;
-                    if self.reorder.store(p) {
-                        self.metrics.buffered_out_of_order += 1;
-                        self.observer
-                            .on_event(ProtocolEvent::ReorderEnter { src, seq, now_us });
-                    } else {
-                        self.metrics.duplicates += 1;
-                        self.observer
-                            .on_event(ProtocolEvent::Duplicate { src, seq, now_us });
-                    }
-                    self.send_ret(src, seq, now_us, sink);
-                }
-                RetransmissionPolicy::GoBackN => {
-                    self.metrics.discarded_out_of_order += 1;
-                    self.observer.on_event(ProtocolEvent::OutOfOrderDiscarded {
-                        src,
-                        seq: p.seq,
-                        now_us,
-                    });
-                    self.send_ret(src, p.seq, now_us, sink);
-                }
-            }
-            return;
-        }
-        // ACC condition holds.
-        self.accept_data(p, false, now_us);
-        // Drain any consecutive run repaired by retransmissions.
-        loop {
-            let next = self.req[src.index()];
-            match self.reorder.take_exact(src, next) {
-                Some(q) => self.accept_data(q, true, now_us),
-                None => break,
-            }
-        }
-        // The gap (or part of it) closed; drop a satisfied RET record.
-        if let Some((lseq, _)) = self.ret_outstanding[src.index()] {
-            if self.req[src.index()] >= lseq {
-                self.ret_outstanding[src.index()] = None;
-            }
-        }
-        self.reorder.drop_below(src, self.req[src.index()]);
+/// [`CoCore`]-specific introspection, kept on the entity for source
+/// compatibility with the pre-redesign API (these concepts — `REQ`,
+/// `minAL`, `minPAL` — are the matrix engine's).
+impl<O: Observer> Entity<CoCore, O> {
+    /// The current `REQ` vector.
+    pub fn req(&self) -> &[causal_order::Seq] {
+        self.core.req()
     }
 
-    /// The acceptance (ACC) action of §4.2.
-    ///
-    /// `p`'s ACK vector and the sender's self-knowledge were already folded
-    /// into `AL` by [`Entity::on_data`] when the PDU arrived (that fold is
-    /// valid for *every* arriving PDU, buffered or accepted), so only the
-    /// acceptance itself — our own AL column mirroring `REQ` — is recorded
-    /// here.
-    fn accept_data(&mut self, p: DataPdu, from_reorder: bool, now_us: u64) {
-        let src = p.src;
-        let seq = p.seq;
-        debug_assert_eq!(p.seq, self.req[src.index()], "ACC condition");
-        self.req[src.index()] = p.seq.next();
-        self.req_version += 1;
-        // Own column of AL mirrors REQ (`AL[k][me] = REQ_k`).
-        self.al.raise(src, self.config.me, self.req[src.index()]);
-        self.rrl.accept(p);
-        self.metrics.accepted += 1;
-        if from_reorder {
-            self.metrics.accepted_from_reorder += 1;
-            self.observer
-                .on_event(ProtocolEvent::ReorderExit { src, seq, now_us });
-        }
-        self.observer.on_event(ProtocolEvent::Accepted {
-            src,
-            seq,
-            from_reorder,
-            now_us,
-        });
+    /// `minAL_j` — everything from `E_j` below this is known accepted
+    /// everywhere.
+    pub fn min_al(&self, source: EntityId) -> causal_order::Seq {
+        self.core.min_al(source)
     }
 
-    fn on_ret(&mut self, r: RetPdu, now_us: u64, sink: &mut impl ActionSink) {
-        if self.config.control_updates_al {
-            self.al.fold_column(r.src, &r.ack);
-        }
-        self.scan_f2(r.src, &r.ack, true, now_us, sink);
-        if r.lsrc != self.config.me {
-            return;
-        }
-        // Retransmission action (§4.3): rebroadcast the requested range
-        // (selective) or everything from the first loss (go-back-n).
-        let from = r.ack[self.config.me.index()];
-        let to = match self.config.retransmission {
-            RetransmissionPolicy::Selective => r.lseq,
-            RetransmissionPolicy::GoBackN => self.req[self.config.me.index()],
-        };
-        let mut served = 0u64;
-        // Disjoint borrows: iterate the send log while emitting events.
-        let sl = &self.sl;
-        let observer = &mut self.observer;
-        for pdu in sl.range(from, to) {
-            observer.on_event(ProtocolEvent::RetServed {
-                to: r.src,
-                seq: pdu.seq,
-                now_us,
-            });
-            sink.accept(Action::Broadcast(Pdu::Data(pdu.clone())));
-            served += 1;
-        }
-        self.metrics.retransmissions_sent += served;
-        let requested = to.get().saturating_sub(from.get());
-        if served < requested {
-            let amount = requested - served;
-            self.metrics.ret_unservable += amount;
-            self.observer
-                .on_event(ProtocolEvent::RetUnservable { amount, now_us });
-        }
-    }
-
-    fn on_ack_only(&mut self, a: AckOnlyPdu, now_us: u64, sink: &mut impl ActionSink) {
-        if self.config.control_updates_al {
-            self.al.fold_column(a.src, &a.ack);
-            // `packed` is the sender's own pre-ack frontier — exactly the
-            // semantics of a PAL column (see co-wire docs and DESIGN.md).
-            self.pal.fold_column(a.src, &a.packed);
-            // `acked[j]` asserts the sender *knows* every entity has
-            // pre-acknowledged `E_j`'s PDUs below it; adopt that knowledge
-            // for every PAL column (same honest-piggyback trust model as
-            // the paper's own PAL mechanism). The batched raise
-            // short-circuits when the row minima already cover the whole
-            // frontier (the steady state), and otherwise lifts every row
-            // in one sequential pass over the matrix instead of n strided
-            // row walks.
-            self.pal.raise_rows(&a.acked);
-        }
-        // If the sender lags our knowledge (it missed confirmations —
-        // possibly because ours were lost), owe it a refresher: this is the
-        // reply half of the stability-heartbeat convergence. The n row-min
-        // reads want clean caches.
-        self.al.flush();
-        self.pal.flush();
-        for j in 0..self.config.n() {
-            let source = EntityId::new(j as u32);
-            if a.ack[j] < self.req[j]
-                || a.packed[j] < self.al.row_min(source)
-                || a.acked[j] < self.pal.row_min(source)
-            {
-                self.peer_needs_update = true;
-                break;
-            }
-        }
-        self.scan_f2(a.src, &a.ack, true, now_us, sink);
-    }
-
-    /// Failure condition F2 (§4.3): `q.ACK_j > REQ_j` proves PDUs from
-    /// `E_j` exist that we never received.
-    ///
-    /// For **data** PDUs the sender's own column is excluded as in the
-    /// paper (`j ≠ k`): there `ack[src] == p.SEQ` and condition F1 already
-    /// covers it. For **control** PDUs (`RET`, `AckOnly`) the sender's own
-    /// column must be included: `ack[src]` is the sender's next own
-    /// sequence number, and it is the *only* evidence of loss when a tail
-    /// of data PDUs was dropped at every receiver (no later data PDU to
-    /// trigger F1, no third-party acceptance to trigger classic F2).
-    fn scan_f2(
-        &mut self,
-        from: EntityId,
-        ack: &[Seq],
-        include_sender_column: bool,
-        now_us: u64,
-        sink: &mut impl ActionSink,
-    ) {
-        for (j, &confirmed) in ack.iter().enumerate().take(self.config.n()) {
-            let source = EntityId::new(j as u32);
-            if source == self.config.me || (source == from && !include_sender_column) {
-                continue;
-            }
-            if confirmed > self.req[j] {
-                self.metrics.f2_detections += 1;
-                self.observer.on_event(ProtocolEvent::F2Detected {
-                    src: source,
-                    confirmed,
-                    via: from,
-                    now_us,
-                });
-                self.send_ret(source, confirmed, now_us, sink);
-            }
-        }
-    }
-
-    /// Broadcasts a `RET` for the gap `[REQ_source, lseq)`, with
-    /// deduplication: while a request covering the gap is outstanding and
-    /// fresh, new detections are suppressed. The range is clamped at the
-    /// first *buffered* sequence number — PDUs sitting in the reorder
-    /// buffer were received, so only the missing prefix needs resending
-    /// (the point of selective retransmission).
-    fn send_ret(&mut self, source: EntityId, lseq: Seq, now_us: u64, sink: &mut impl ActionSink) {
-        debug_assert_ne!(source, self.config.me);
-        let lseq = match self.reorder.buffered(source).next() {
-            Some(first_buffered) => lseq.min(first_buffered),
-            None => lseq,
-        };
-        if lseq <= self.req[source.index()] {
-            return; // nothing actually missing
-        }
-        let slot = &mut self.ret_outstanding[source.index()];
-        if let Some((prev_lseq, when)) = *slot {
-            let fresh = now_us.saturating_sub(when) < self.config.ret_retry_us;
-            if fresh && lseq <= prev_lseq {
-                self.metrics.ret_suppressed += 1;
-                self.observer.on_event(ProtocolEvent::RetSuppressed {
-                    src: source,
-                    lseq,
-                    now_us,
-                });
-                return;
-            }
-        }
-        *slot = Some((lseq, now_us));
-        let ret = RetPdu {
-            cid: self.config.cluster.cid,
-            src: self.config.me,
-            lsrc: source,
-            lseq,
-            ack: self.req.clone(),
-            buf: self.free_buffer_units(),
-        };
-        self.metrics.ret_sent += 1;
-        self.observer.on_event(ProtocolEvent::RetSent {
-            src: source,
-            lseq,
-            now_us,
-        });
-        sink.accept(Action::Broadcast(Pdu::Ret(ret)));
-    }
-
-    // ------------------------------------------------------------------
-    // Transmission
-    // ------------------------------------------------------------------
-
-    fn flow_open(&self) -> bool {
-        let me = self.config.me;
-        matches!(
-            flow_decision(
-                self.req[me.index()],
-                self.al.row_min(me),
-                self.config.window,
-                self.min_buf(),
-                self.config.pdu_buf_units,
-                self.config.n(),
-            ),
-            FlowDecision::Open
-        )
-    }
-
-    /// The transmission action of §4.2. Returns the assigned sequence
-    /// number.
-    fn broadcast_data(&mut self, data: Bytes, now_us: u64, sink: &mut impl ActionSink) -> Seq {
-        let me = self.config.me;
-        let seq = self.req[me.index()];
-        let pdu = DataPdu {
-            cid: self.config.cluster.cid,
-            src: me,
-            seq,
-            ack: self.req.clone(),
-            buf: self.free_buffer_units(),
-            data,
-        };
-        // Self-acceptance: the entity's own PDU enters its receipt path so
-        // it is delivered to the local application in causal position.
-        self.req[me.index()] = seq.next();
-        self.req_version += 1;
-        self.al.raise(me, me, self.req[me.index()]);
-        self.sl.record(pdu.clone());
-        self.rrl.accept(pdu.clone());
-        self.metrics.data_sent += 1;
-        self.observer.on_event(ProtocolEvent::DataSent {
-            src: me,
-            seq,
-            now_us,
-        });
-        sink.accept(Action::Broadcast(Pdu::Data(pdu)));
-        // A data PDU carries our REQ vector (and, through the PAL
-        // mechanism, eventually our pre-ack state): count it as an
-        // advertisement.
-        self.mark_advertised(now_us);
-        seq
-    }
-
-    fn try_flush_pending(&mut self, now_us: u64, sink: &mut impl ActionSink) {
-        if self.pending.is_empty() || !self.flow_open() {
-            return;
-        }
-        self.observer.on_event(ProtocolEvent::FlowOpened { now_us });
-        while !self.pending.is_empty() && self.flow_open() {
-            let data = self.pending.pop_front().expect("checked non-empty");
-            self.broadcast_data(data, now_us, sink);
-            self.run_pack_ack(now_us, sink);
-        }
-    }
-
-    /// Whether `REQ` or the pre-ack frontier moved since our last
-    /// confirmation-bearing transmission. O(1): both quantities are
-    /// monotonic, so version equality is value equality.
-    fn unadvertised(&self) -> bool {
-        self.advertised != (self.req_version, self.al.version())
-    }
-
-    fn mark_advertised(&mut self, now_us: u64) {
-        self.advertised = (self.req_version, self.al.version());
-        self.heard_since_send.fill(false);
-        self.last_send_us = now_us;
-    }
-
-    /// Pacing for lag replies and stability heartbeats: without it, two
-    /// mutually lagging entities would answer each other's answers forever.
-    fn reply_pace_us(&self) -> u64 {
-        self.heartbeat_interval() / 2 + 1
-    }
-
-    fn maybe_confirm(&mut self, now_us: u64, sink: &mut impl ActionSink) {
-        // `unadvertised` compares AL versions, which only reflect flushed
-        // state; resolve any deferred row-min changes first so a frontier
-        // move can't hide from the advertisement check.
-        self.al.flush();
-        if self.peer_needs_update
-            && now_us.saturating_sub(self.last_send_us) >= self.reply_pace_us()
-        {
-            self.peer_needs_update = false;
-            self.send_ack_only(now_us, sink);
-            return;
-        }
-        if !self.unadvertised() {
-            return;
-        }
-        let should = match self.config.deferral {
-            DeferralPolicy::Immediate => true,
-            DeferralPolicy::Deferred { .. } => {
-                // The paper's trigger: heard from every other entity since
-                // our last transmission.
-                self.config
-                    .cluster
-                    .peers(self.config.me)
-                    .all(|p| self.heard_since_send[p.index()])
-            }
-        };
-        if should {
-            self.send_ack_only(now_us, sink);
-        }
-    }
-
-    fn send_ack_only(&mut self, now_us: u64, sink: &mut impl ActionSink) {
-        // `row_mins` returns the cached slices, exact only after a flush.
-        self.al.flush();
-        self.pal.flush();
-        let pdu = AckOnlyPdu {
-            cid: self.config.cluster.cid,
-            src: self.config.me,
-            ack: self.req.clone(),
-            packed: self.al.row_mins().to_vec(),
-            acked: self.pal.row_mins().to_vec(),
-            buf: self.free_buffer_units(),
-        };
-        self.metrics.ack_only_sent += 1;
-        self.observer
-            .on_event(ProtocolEvent::AckOnlySent { now_us });
-        sink.accept(Action::Broadcast(Pdu::AckOnly(pdu)));
-        self.mark_advertised(now_us);
-    }
-
-    // ------------------------------------------------------------------
-    // Pre-acknowledgment and acknowledgment (§4.4, §4.5)
-    // ------------------------------------------------------------------
-
-    fn run_pack_ack(&mut self, now_us: u64, sink: &mut impl ActionSink) {
-        // PACK action: move everything below minAL from RRL to PRL.
-        //
-        // Only sources whose `minAL` moved since the last run can have
-        // become packable: the PACK condition is `top.SEQ < minAL_k`, our
-        // own AL column mirrors `REQ_k`, and `top.SEQ >= REQ_k` held at
-        // acceptance time — so a previously unpackable top needs a *new*
-        // row minimum. The AL dirty set records exactly those rows, making
-        // this scan O(dirty) instead of O(n) per event. The drained rows
-        // are sorted so coincident PDUs from different sources enter the
-        // PRL in the same (index) order the full scan used.
-        let mut scratch = std::mem::take(&mut self.pack_scratch);
-        scratch.clear();
-        self.al.drain_dirty_into(&mut scratch);
-        scratch.sort_unstable();
-        for &k in &scratch {
-            let source = EntityId::new(k);
-            let min_al = self.al.row_min(source);
-            while matches!(self.rrl.top(source), Some(p) if p.seq < min_al) {
-                let p = self.rrl.dequeue(source).expect("top checked");
-                // PAL update: p's confirmations, recorded at pre-ack time
-                // (§4.5), plus our own pre-ack frontier for this source.
-                self.pal.fold_column(source, &p.ack);
-                self.pal.raise(source, self.config.me, p.seq.next());
-                self.metrics.pre_acknowledged += 1;
-                let seq = p.seq;
-                self.observer.on_event(ProtocolEvent::PreAcked {
-                    src: source,
-                    seq,
-                    now_us,
-                });
-                let position = self.prl.insert(p);
-                self.observer.on_event(ProtocolEvent::CpiInserted {
-                    src: source,
-                    seq,
-                    position: position as u64,
-                    now_us,
-                });
-            }
-        }
-        scratch.clear();
-        self.pack_scratch = scratch;
-        // Safety net for the dirty-set reasoning above: in debug builds
-        // (the test profile keeps debug assertions on) verify no source
-        // still has a packable RRL top.
-        #[cfg(debug_assertions)]
-        for j in 0..self.config.n() {
-            let source = EntityId::new(j as u32);
-            let min_al = self.al.row_min(source);
-            debug_assert!(
-                !matches!(self.rrl.top(source), Some(p) if p.seq < min_al),
-                "dirty-set PACK missed a packable PDU from source {j}"
-            );
-        }
-        // ACK action: deliver the PRL prefix that is acknowledged. The
-        // PACK loop's PAL folds deferred their min-cache rescans; resolve
-        // them once here so the per-PDU `minPAL` reads below are O(1).
-        self.pal.flush();
-        while let Some(top) = self.prl.top() {
-            if top.seq < self.pal.row_min(top.src) {
-                let p = self.prl.dequeue().expect("top checked");
-                self.metrics.delivered += 1;
-                self.observer.on_event(ProtocolEvent::Delivered {
-                    src: p.src,
-                    seq: p.seq,
-                    now_us,
-                });
-                sink.accept(Action::Deliver(Delivery {
-                    src: p.src,
-                    seq: p.seq,
-                    ack: p.ack,
-                    data: p.data,
-                }));
-            } else {
-                break;
-            }
-        }
-        // Our own acknowledged PDUs can never be RET-requested again.
-        self.sl.prune_below(self.pal.row_min(self.config.me));
-    }
-
-    fn note_peak(&mut self) {
-        self.peak_held_pdus = self.peak_held_pdus.max(self.held_pdus());
-    }
-
-    /// Captures the *complete* protocol state for crash-restart simulation
-    /// (see [`crate::EntityState`]). [`Entity::restore`] rebuilds an entity
-    /// that is behaviorally identical to this one.
-    pub fn export_state(&self) -> crate::snapshot::EntityState {
-        let n = self.config.n();
-        let mut al = Vec::with_capacity(n * n);
-        let mut pal = Vec::with_capacity(n * n);
-        for s in 0..n {
-            let source = EntityId::new(s as u32);
-            for o in 0..n {
-                let observer = EntityId::new(o as u32);
-                al.push(self.al.get(source, observer));
-                pal.push(self.pal.get(source, observer));
-            }
-        }
-        crate::snapshot::EntityState {
-            req: self.req.clone(),
-            al,
-            pal,
-            buf_known: self.buf_known.clone(),
-            send_log: self.sl.iter().cloned().collect(),
-            rrl: (0..n)
-                .map(|j| {
-                    self.rrl
-                        .iter_source(EntityId::new(j as u32))
-                        .cloned()
-                        .collect()
-                })
-                .collect(),
-            prl: self.prl.iter().cloned().collect(),
-            reorder: (0..n)
-                .map(|j| {
-                    self.reorder
-                        .pdus(EntityId::new(j as u32))
-                        .cloned()
-                        .collect()
-                })
-                .collect(),
-            pending: self.pending.iter().cloned().collect(),
-            heard_since_send: self.heard_since_send.clone(),
-            ret_outstanding: self.ret_outstanding.clone(),
-            peer_needs_update: self.peer_needs_update,
-            last_send_us: self.last_send_us,
-            peak_held_pdus: self.peak_held_pdus,
-            metrics: self.metrics,
-        }
-    }
-
-    /// Rebuilds an entity from a [`crate::EntityState`] captured with
-    /// [`Entity::export_state`] — the crash-restart path: the paper's
-    /// failure model is PDU loss, not state amnesia, so a restarting
-    /// entity resumes from its full protocol state (only the volatile NIC
-    /// inbox is lost, which the simulator models separately). `observer`
-    /// receives the restarted entity's event stream; the restore itself
-    /// emits nothing.
-    ///
-    /// The restored entity considers its state unadvertised, so it
-    /// re-announces its frontiers on the next tick — letting peers detect
-    /// anything lost while it was down.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`ConfigError`] from entity construction.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the state's dimensions do not match `config`'s cluster
-    /// size (a driver bug: state must be restored under the same config it
-    /// was exported under).
-    pub fn restore_with(
-        config: Config,
-        state: crate::snapshot::EntityState,
-        observer: O,
-    ) -> Result<Self, ConfigError> {
-        let mut e = Entity::with_observer(config, observer)?;
-        let n = e.config.n();
-        assert_eq!(state.req.len(), n, "state/config cluster size mismatch");
-        assert_eq!(state.al.len(), n * n, "AL dimension mismatch");
-        assert_eq!(state.pal.len(), n * n, "PAL dimension mismatch");
-        assert_eq!(state.buf_known.len(), n, "buf_known length mismatch");
-        assert_eq!(state.rrl.len(), n, "RRL source count mismatch");
-        assert_eq!(state.reorder.len(), n, "reorder source count mismatch");
-        assert_eq!(state.heard_since_send.len(), n, "heard flags mismatch");
-        assert_eq!(state.ret_outstanding.len(), n, "RET records mismatch");
-        e.req = state.req;
-        e.req_version = 1;
-        for s in 0..n {
-            let source = EntityId::new(s as u32);
-            for o in 0..n {
-                let observer = EntityId::new(o as u32);
-                e.al.raise(source, observer, state.al[s * n + o]);
-                e.pal.raise(source, observer, state.pal[s * n + o]);
-            }
-        }
-        e.buf_known = state.buf_known;
-        for pdu in state.send_log {
-            e.sl.record(pdu);
-        }
-        for log in state.rrl {
-            for pdu in log {
-                e.rrl.accept(pdu);
-            }
-        }
-        // Re-inserting in exported (top-first) order reproduces the PRL
-        // exactly: the stored log is causality-preserved, so no element
-        // causally precedes an earlier one and every CPI insert appends.
-        for pdu in state.prl {
-            e.prl.insert(pdu);
-        }
-        for buffer in state.reorder {
-            for pdu in buffer {
-                e.reorder.store(pdu);
-            }
-        }
-        e.pending = state.pending.into();
-        e.heard_since_send = state.heard_since_send;
-        e.ret_outstanding = state.ret_outstanding;
-        e.peer_needs_update = state.peer_needs_update;
-        e.last_send_us = state.last_send_us;
-        e.peak_held_pdus = state.peak_held_pdus;
-        e.metrics = state.metrics;
-        // Never equal to a real (req_version, al.version()) pair: the
-        // restored entity owes the cluster a fresh advertisement.
-        e.advertised = (u64::MAX, u64::MAX);
-        Ok(e)
+    /// `minPAL_j` — everything from `E_j` below this is known
+    /// pre-acknowledged everywhere.
+    pub fn min_pal(&self, source: EntityId) -> causal_order::Seq {
+        self.core.min_pal(source)
     }
 
     /// Captures a serializable summary of the protocol state (see
-    /// [`EntitySnapshot`]).
+    /// [`crate::EntitySnapshot`]).
     pub fn snapshot(&self) -> crate::snapshot::EntitySnapshot {
-        let n = self.config.n();
-        let seqs = |f: &dyn Fn(EntityId) -> Seq| -> Vec<u64> {
-            (0..n).map(|j| f(EntityId::new(j as u32)).get()).collect()
-        };
-        crate::snapshot::EntitySnapshot {
-            id: self.config.me,
-            n,
-            req: self.req.iter().map(|s| s.get()).collect(),
-            min_al: seqs(&|j| self.al.row_min(j)),
-            min_pal: seqs(&|j| self.pal.row_min(j)),
-            rrl_pdus: self.rrl.total_len(),
-            prl_pdus: self.prl.len(),
-            reorder_pdus: self.reorder.total_len(),
-            send_log_pdus: self.sl.len(),
-            pending_submits: self.pending.len(),
-            free_buffer_units: self.free_buffer_units(),
-            quiescent: self.is_quiescent(),
-            fully_stable: self.is_fully_stable(),
-            metrics: self.metrics,
-        }
+        self.core.snapshot()
     }
 }

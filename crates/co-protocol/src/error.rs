@@ -2,9 +2,11 @@
 
 use causal_order::EntityId;
 
-/// Hard errors from feeding an [`crate::Entity`]. Anything recoverable
-/// (duplicates, stale confirmations, out-of-order arrivals) is handled
-/// internally and surfaces only in [`crate::Metrics`].
+/// Hard errors from feeding an [`crate::Entity`] or routing through a
+/// [`crate::ClusterMux`] — one enum, so mux and entity callers match on a
+/// single type. Anything recoverable (duplicates, stale confirmations,
+/// out-of-order arrivals) is handled internally and surfaces only in
+/// [`crate::Metrics`].
 ///
 /// Marked `#[non_exhaustive]`: handlers must keep a wildcard arm so
 /// future error kinds are not breaking changes.
@@ -47,6 +49,17 @@ pub enum ProtocolError {
         /// The configured bound.
         limit: usize,
     },
+    /// An entity for this cluster id is already registered with the
+    /// [`crate::ClusterMux`].
+    DuplicateCluster {
+        /// The conflicting id.
+        cid: u32,
+    },
+    /// No entity serves this cluster id (mux routing failure).
+    UnknownCluster {
+        /// The unrecognized id.
+        cid: u32,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -75,6 +88,12 @@ impl std::fmt::Display for ProtocolError {
                     f,
                     "submit queue full ({limit} payloads waiting for the flow condition)"
                 )
+            }
+            ProtocolError::DuplicateCluster { cid } => {
+                write!(f, "an entity for cluster {cid} is already registered")
+            }
+            ProtocolError::UnknownCluster { cid } => {
+                write!(f, "no entity serves cluster {cid}")
             }
         }
     }
@@ -115,5 +134,11 @@ mod tests {
         assert!(ProtocolError::SubmitQueueFull { limit: 7 }
             .to_string()
             .contains('7'));
+        assert!(ProtocolError::DuplicateCluster { cid: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(ProtocolError::UnknownCluster { cid: 4 }
+            .to_string()
+            .contains('4'));
     }
 }

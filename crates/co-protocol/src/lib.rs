@@ -78,7 +78,9 @@
 //! let mut deliveries = 0;
 //! while let Some((to, pdu)) = queue.pop() {
 //!     let (entity, other) = if to == 1 { (&mut e2, 0) } else { (&mut e1, 1) };
-//!     for a in entity.on_pdu_actions(pdu, 1_000)? {
+//!     let mut actions = Vec::new();
+//!     entity.on_pdu(pdu, 1_000, &mut actions)?;
+//!     for a in actions {
 //!         match a {
 //!             Action::Broadcast(p) => queue.push((other, p)),
 //!             Action::Deliver(d) => {
@@ -97,29 +99,37 @@
 #![warn(missing_docs)]
 
 mod actions;
+mod co_core;
 mod config;
+mod core;
 mod cpi;
 mod entity;
 mod error;
 mod flow;
+mod hybrid;
 mod logs;
 mod matrix;
 mod metrics;
 mod mux;
 mod reorder;
+mod sender;
 mod snapshot;
 
 pub use actions::{Action, ActionSink, Delivery, FnSink, SubmitOutcome};
+pub use co_core::CoCore;
 pub use config::{Config, ConfigBuilder, ConfigError, DeferralPolicy, RetransmissionPolicy};
+pub use core::{DeliveryCore, Guarantee, MAX_QUEUED_SUBMITS};
 pub use cpi::CausalLog;
 pub use entity::{BatchOutcome, Entity};
 pub use error::ProtocolError;
 pub use flow::{flow_limit, FlowDecision};
+pub use hybrid::{HybridCore, HybridState};
 pub use logs::{ReceiptLogs, SendLog};
 pub use matrix::KnowledgeMatrix;
 pub use metrics::Metrics;
-pub use mux::{ClusterMux, MuxError, MuxSubmitError};
+pub use mux::ClusterMux;
 pub use reorder::ReorderBuffer;
+pub use sender::{SenderCore, SenderState};
 pub use snapshot::{EntitySnapshot, EntityState};
 
 /// Re-export of the wire-level PDU types the engine consumes and produces.

@@ -5,47 +5,24 @@
 //! is a set of … SAPs"; every PDU names its cluster). [`ClusterMux`] hosts
 //! one [`Entity`] per cluster id on a single node and routes inbound PDUs
 //! by their `CID` — so one process/socket can participate in many
-//! independent causal-broadcast groups.
+//! independent causal-broadcast groups. All routed operations surface
+//! [`ProtocolError`], the same enum the entity itself returns.
 
 use bytes::Bytes;
 use co_wire::Pdu;
 use std::collections::BTreeMap;
 
 use crate::actions::{Action, SubmitOutcome};
+use crate::co_core::CoCore;
+use crate::core::DeliveryCore;
 use crate::entity::Entity;
 use crate::error::ProtocolError;
 
-/// Error from [`ClusterMux`] membership management.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MuxError {
-    /// An entity for this cluster id is already registered.
-    DuplicateCluster {
-        /// The conflicting id.
-        cid: u32,
-    },
-    /// No entity serves this cluster id.
-    UnknownCluster {
-        /// The unrecognized id.
-        cid: u32,
-    },
-}
-
-impl std::fmt::Display for MuxError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MuxError::DuplicateCluster { cid } => {
-                write!(f, "an entity for cluster {cid} is already registered")
-            }
-            MuxError::UnknownCluster { cid } => {
-                write!(f, "no entity serves cluster {cid}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for MuxError {}
-
 /// Routes PDUs of several co-located clusters to their entities.
+///
+/// Generic over the [`DeliveryCore`] the hosted entities run (all
+/// clusters in one mux share a core type; mixed-core nodes can run one
+/// mux per core).
 ///
 /// # Example
 ///
@@ -62,12 +39,20 @@ impl std::error::Error for MuxError {}
 /// assert!(!actions.is_empty());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Default)]
-pub struct ClusterMux {
-    entities: BTreeMap<u32, Entity>,
+#[derive(Debug)]
+pub struct ClusterMux<C: DeliveryCore = CoCore> {
+    entities: BTreeMap<u32, Entity<C>>,
 }
 
-impl ClusterMux {
+impl<C: DeliveryCore> Default for ClusterMux<C> {
+    fn default() -> Self {
+        ClusterMux {
+            entities: BTreeMap::new(),
+        }
+    }
+}
+
+impl<C: DeliveryCore> ClusterMux<C> {
     /// Creates an empty mux.
     pub fn new() -> Self {
         ClusterMux::default()
@@ -77,28 +62,28 @@ impl ClusterMux {
     ///
     /// # Errors
     ///
-    /// [`MuxError::DuplicateCluster`] if the id is taken.
-    pub fn join(&mut self, entity: Entity) -> Result<(), MuxError> {
+    /// [`ProtocolError::DuplicateCluster`] if the id is taken.
+    pub fn join(&mut self, entity: Entity<C>) -> Result<(), ProtocolError> {
         let cid = entity.config().cluster.cid;
         if self.entities.contains_key(&cid) {
-            return Err(MuxError::DuplicateCluster { cid });
+            return Err(ProtocolError::DuplicateCluster { cid });
         }
         self.entities.insert(cid, entity);
         Ok(())
     }
 
     /// Removes and returns the entity for `cid`.
-    pub fn leave(&mut self, cid: u32) -> Option<Entity> {
+    pub fn leave(&mut self, cid: u32) -> Option<Entity<C>> {
         self.entities.remove(&cid)
     }
 
     /// The entity serving `cid`.
-    pub fn entity(&self, cid: u32) -> Option<&Entity> {
+    pub fn entity(&self, cid: u32) -> Option<&Entity<C>> {
         self.entities.get(&cid)
     }
 
     /// Mutable access to the entity serving `cid`.
-    pub fn entity_mut(&mut self, cid: u32) -> Option<&mut Entity> {
+    pub fn entity_mut(&mut self, cid: u32) -> Option<&mut Entity<C>> {
         self.entities.get_mut(&cid)
     }
 
@@ -111,41 +96,37 @@ impl ClusterMux {
     ///
     /// # Errors
     ///
-    /// [`MuxError::UnknownCluster`] wrapped as
-    /// [`ProtocolError`]-compatible error via `Result` nesting is avoided:
-    /// the mux returns its own error type; protocol errors from the entity
-    /// are passed through in the `Ok` position's `Result`.
+    /// [`ProtocolError::UnknownCluster`] for routing failures; entity
+    /// rejections pass through unchanged.
     #[allow(clippy::type_complexity)]
     pub fn submit(
         &mut self,
         cid: u32,
         data: Bytes,
         now_us: u64,
-    ) -> Result<(SubmitOutcome, Vec<Action>), MuxSubmitError> {
+    ) -> Result<(SubmitOutcome, Vec<Action>), ProtocolError> {
         let entity = self
             .entities
             .get_mut(&cid)
-            .ok_or(MuxSubmitError::Mux(MuxError::UnknownCluster { cid }))?;
-        entity
-            .submit(data, now_us)
-            .map_err(MuxSubmitError::Protocol)
+            .ok_or(ProtocolError::UnknownCluster { cid })?;
+        entity.submit(data, now_us)
     }
 
     /// Routes a PDU to the entity of its `CID`.
     ///
     /// # Errors
     ///
-    /// [`MuxSubmitError::Mux`] for unknown cluster ids,
-    /// [`MuxSubmitError::Protocol`] for entity-level rejections.
-    pub fn on_pdu(&mut self, pdu: Pdu, now_us: u64) -> Result<Vec<Action>, MuxSubmitError> {
+    /// [`ProtocolError::UnknownCluster`] for unroutable cluster ids;
+    /// entity-level rejections pass through unchanged.
+    pub fn on_pdu(&mut self, pdu: Pdu, now_us: u64) -> Result<Vec<Action>, ProtocolError> {
         let cid = pdu.cid();
         let entity = self
             .entities
             .get_mut(&cid)
-            .ok_or(MuxSubmitError::Mux(MuxError::UnknownCluster { cid }))?;
-        entity
-            .on_pdu_actions(pdu, now_us)
-            .map_err(MuxSubmitError::Protocol)
+            .ok_or(ProtocolError::UnknownCluster { cid })?;
+        let mut actions = Vec::new();
+        entity.on_pdu(pdu, now_us, &mut actions)?;
+        Ok(actions)
     }
 
     /// Ticks every entity; returns `(cid, action)` pairs so the driver can
@@ -166,33 +147,6 @@ impl ClusterMux {
             .values()
             .filter_map(|e| e.next_deadline(now_us))
             .min()
-    }
-}
-
-/// Error from mux-routed operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MuxSubmitError {
-    /// Routing failure.
-    Mux(MuxError),
-    /// The target entity rejected the input.
-    Protocol(ProtocolError),
-}
-
-impl std::fmt::Display for MuxSubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            MuxSubmitError::Mux(e) => e.fmt(f),
-            MuxSubmitError::Protocol(e) => e.fmt(f),
-        }
-    }
-}
-
-impl std::error::Error for MuxSubmitError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            MuxSubmitError::Mux(e) => Some(e),
-            MuxSubmitError::Protocol(e) => Some(e),
-        }
     }
 }
 
@@ -218,7 +172,7 @@ mod tests {
         mux.join(entity(1, 2, 0)).unwrap();
         assert_eq!(
             mux.join(entity(1, 3, 1)),
-            Err(MuxError::DuplicateCluster { cid: 1 })
+            Err(ProtocolError::DuplicateCluster { cid: 1 })
         );
         mux.join(entity(2, 2, 1)).unwrap();
         assert_eq!(mux.clusters().collect::<Vec<_>>(), vec![1, 2]);
@@ -238,16 +192,17 @@ mod tests {
         let (_, actions2) = mux.submit(2, Bytes::from_static(b"c2"), 0).unwrap();
         // Both clusters' traffic flows through the same mux, fully
         // independently.
+        let mut sink = Vec::new();
         for a in actions1 {
             if let Action::Broadcast(pdu) = a {
                 assert_eq!(pdu.cid(), 1);
-                peer_c1.on_pdu_actions(pdu, 1).unwrap();
+                peer_c1.on_pdu(pdu, 1, &mut sink).unwrap();
             }
         }
         for a in actions2 {
             if let Action::Broadcast(pdu) = a {
                 assert_eq!(pdu.cid(), 2);
-                peer_c2.on_pdu_actions(pdu, 1).unwrap();
+                peer_c2.on_pdu(pdu, 1, &mut sink).unwrap();
             }
         }
         assert_eq!(mux.entity(1).unwrap().req()[0].get(), 2);
@@ -258,7 +213,7 @@ mod tests {
 
     #[test]
     fn unknown_cluster_pdu_rejected() {
-        let mut mux = ClusterMux::new();
+        let mut mux = ClusterMux::<CoCore>::new();
         mux.join(entity(1, 2, 0)).unwrap();
         let mut foreign = entity(9, 2, 1);
         let (_, actions) = foreign.submit(Bytes::from_static(b"x"), 0).unwrap();
@@ -271,7 +226,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             mux.on_pdu(pdu, 0),
-            Err(MuxSubmitError::Mux(MuxError::UnknownCluster { cid: 9 }))
+            Err(ProtocolError::UnknownCluster { cid: 9 })
         );
     }
 
@@ -307,12 +262,19 @@ mod tests {
     }
 
     #[test]
-    fn error_display() {
-        assert!(MuxError::DuplicateCluster { cid: 3 }
-            .to_string()
-            .contains('3'));
-        assert!(MuxError::UnknownCluster { cid: 4 }
-            .to_string()
-            .contains('4'));
+    fn mux_over_hybrid_core() {
+        // The mux is core-generic: a hybrid-core entity routes the same.
+        let mut mux: ClusterMux<crate::HybridCore> = ClusterMux::new();
+        let config = Config::builder(1, 2, EntityId::new(0))
+            .deferral(DeferralPolicy::Immediate)
+            .build()
+            .unwrap();
+        mux.join(Entity::with_observer(config, co_observe::NoopObserver).unwrap())
+            .unwrap();
+        let (outcome, actions) = mux.submit(1, Bytes::from_static(b"h"), 0).unwrap();
+        assert_eq!(outcome, SubmitOutcome::Sent(causal_order::Seq::FIRST));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Pdu::Data(_)))));
     }
 }

@@ -205,7 +205,7 @@ mod tests {
             buf: 4096,
             data: Bytes::from_static(b"late"),
         };
-        let _ = e.on_pdu_actions(Pdu::Data(gap), 30).unwrap();
+        e.on_pdu(Pdu::Data(gap), 30, &mut Vec::new()).unwrap();
         e
     }
 
@@ -247,10 +247,12 @@ mod tests {
             buf: 4096,
             data: Bytes::from_static(b"fill"),
         };
-        let a = original
-            .on_pdu_actions(Pdu::Data(fill.clone()), 50)
+        let mut a = Vec::new();
+        original
+            .on_pdu(Pdu::Data(fill.clone()), 50, &mut a)
             .unwrap();
-        let b = restored.on_pdu_actions(Pdu::Data(fill), 50).unwrap();
+        let mut b = Vec::new();
+        restored.on_pdu(Pdu::Data(fill), 50, &mut b).unwrap();
         assert_eq!(a, b);
         assert_eq!(original.req(), restored.req());
         assert_eq!(original.held_pdus(), restored.held_pdus());

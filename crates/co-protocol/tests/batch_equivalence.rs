@@ -96,7 +96,8 @@ fn batch_outcome_counts_rejections() {
     if let Pdu::Data(p) = &mut bad {
         p.cid = 999; // wrong cluster: must be dropped, not poison the batch
     }
-    let (actions, outcome) = e.accept_batch([good(1), bad, good(2)], 10);
+    let mut actions = Vec::new();
+    let outcome = e.on_pdus_into([good(1), bad, good(2)], 10, &mut actions);
     assert_eq!(outcome.accepted, 2);
     assert_eq!(outcome.rejected, 1);
     assert_eq!(e.req()[1], Seq::new(3), "both valid PDUs accepted");

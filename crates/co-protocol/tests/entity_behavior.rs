@@ -93,8 +93,9 @@ impl TestNet {
         let mut steps = 0;
         while let Some((to, pdu)) = self.queue.pop_front() {
             self.now += 1;
-            let actions = self.entities[to.index()]
-                .on_pdu_actions(pdu, self.now)
+            let mut actions = Vec::new();
+            self.entities[to.index()]
+                .on_pdu(pdu, self.now, &mut actions)
                 .expect("on_pdu");
             self.apply(to.index(), actions);
             steps += 1;
@@ -312,7 +313,8 @@ fn duplicates_are_ignored() {
             .unwrap()
     };
     let before = net.entity(1).metrics().duplicates();
-    let actions = net.entities[1].on_pdu_actions(dup, 99).unwrap();
+    let mut actions = Vec::new();
+    net.entities[1].on_pdu(dup, 99, &mut actions).unwrap();
     net.apply(1, actions);
     net.run();
     assert_eq!(net.entity(1).metrics().duplicates(), before + 1);
@@ -472,7 +474,8 @@ fn pack_before_ack_stages() {
             _ => None,
         })
         .unwrap();
-    let actions2 = net.entities[1].on_pdu_actions(pdu, 2).unwrap();
+    let mut actions2 = Vec::new();
+    net.entities[1].on_pdu(pdu, 2, &mut actions2).unwrap();
     let delivered_immediately = actions2.iter().any(|a| matches!(a, Action::Deliver(_)));
     assert!(
         !delivered_immediately,
@@ -495,7 +498,7 @@ fn wrong_cluster_rejected() {
         buf: 0,
     });
     assert_eq!(
-        e.on_pdu_actions(pdu, 0),
+        e.on_pdu(pdu, 0, &mut Vec::new()),
         Err(ProtocolError::WrongCluster {
             expected: 7,
             found: 8
@@ -514,7 +517,10 @@ fn looped_back_pdu_rejected() {
         acked: vec![Seq::FIRST; 2],
         buf: 0,
     });
-    assert_eq!(e.on_pdu_actions(pdu, 0), Err(ProtocolError::LoopedBack));
+    assert_eq!(
+        e.on_pdu(pdu, 0, &mut Vec::new()),
+        Err(ProtocolError::LoopedBack)
+    );
 }
 
 #[test]
@@ -529,7 +535,7 @@ fn bad_ack_length_rejected() {
         buf: 0,
     });
     assert_eq!(
-        e.on_pdu_actions(pdu, 0),
+        e.on_pdu(pdu, 0, &mut Vec::new()),
         Err(ProtocolError::BadAckLength {
             expected: 3,
             found: 2

@@ -89,8 +89,9 @@ impl Net {
                 } else {
                     self.inflight[i].pop().expect("non-empty")
                 };
-                let actions = self.entities[i]
-                    .on_pdu_actions(pdu, self.now)
+                let mut actions = Vec::new();
+                self.entities[i]
+                    .on_pdu(pdu, self.now, &mut actions)
                     .expect("well-addressed PDU");
                 self.apply(i, actions);
             }
@@ -131,8 +132,9 @@ impl Net {
                         Some(inbox.remove(0))
                     }
                 } {
-                    let actions = net.entities[i]
-                        .on_pdu_actions(pdu, net.now)
+                    let mut actions = Vec::new();
+                    net.entities[i]
+                        .on_pdu(pdu, net.now, &mut actions)
                         .expect("well-addressed PDU");
                     net.apply(i, actions);
                 }

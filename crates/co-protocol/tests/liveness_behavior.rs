@@ -18,6 +18,12 @@ fn entity(i: u32, n: usize, deferral: DeferralPolicy) -> Entity {
     .unwrap()
 }
 
+fn pdu_actions(e: &mut Entity, pdu: Pdu, now: u64) -> Vec<Action> {
+    let mut out = Vec::new();
+    e.on_pdu(pdu, now, &mut out).unwrap();
+    out
+}
+
 fn first_data(actions: &[Action]) -> Pdu {
     actions
         .iter()
@@ -47,7 +53,7 @@ fn accepting_data_arms_the_deferral_timer() {
     let mut sender = entity(0, 3, DeferralPolicy::Immediate);
     let mut receiver = entity(1, 3, DeferralPolicy::Deferred { timeout_us: 2_000 });
     let (_, actions) = sender.submit(Bytes::from_static(b"x"), 0).unwrap();
-    let outs = receiver.on_pdu_actions(first_data(&actions), 100).unwrap();
+    let outs = pdu_actions(&mut receiver, first_data(&actions), 100);
     // Deferred mode, heard from only 1 of 2 peers: no immediate AckOnly.
     assert_eq!(ack_onlys(&outs), 0);
     // But the timer is armed for the deferral timeout.
@@ -71,9 +77,9 @@ fn hearing_from_all_peers_confirms_without_waiting() {
     );
     let (_, a0) = e0.submit(Bytes::from_static(b"a"), 0).unwrap();
     let (_, a2) = e2.submit(Bytes::from_static(b"b"), 0).unwrap();
-    let outs0 = receiver.on_pdu_actions(first_data(&a0), 10).unwrap();
+    let outs0 = pdu_actions(&mut receiver, first_data(&a0), 10);
     assert_eq!(ack_onlys(&outs0), 0, "only one peer heard so far");
-    let outs2 = receiver.on_pdu_actions(first_data(&a2), 20).unwrap();
+    let outs2 = pdu_actions(&mut receiver, first_data(&a2), 20);
     assert_eq!(
         ack_onlys(&outs2),
         1,
@@ -131,14 +137,14 @@ fn lagging_peer_gets_a_reply() {
     let mut to_e0: Vec<Pdu> = Vec::new();
     for round in 0..20 {
         for p in std::mem::take(&mut to_e1) {
-            for a in e1.on_pdu_actions(p, round * 10).unwrap() {
+            for a in pdu_actions(&mut e1, p, round * 10) {
                 if let Action::Broadcast(p) = a {
                     to_e0.push(p);
                 }
             }
         }
         for p in std::mem::take(&mut to_e0) {
-            for a in e0.on_pdu_actions(p, round * 10 + 5).unwrap() {
+            for a in pdu_actions(&mut e0, p, round * 10 + 5) {
                 if let Action::Broadcast(p) = a {
                     to_e1.push(p);
                 }
@@ -159,7 +165,7 @@ fn lagging_peer_gets_a_reply() {
         acked: vec![Seq::FIRST, Seq::FIRST],
         buf: 100,
     });
-    let outs = e0.on_pdu_actions(stale, 1_000_000).unwrap();
+    let outs = pdu_actions(&mut e0, stale, 1_000_000);
     assert_eq!(
         ack_onlys(&outs),
         1,
@@ -185,7 +191,7 @@ fn lag_replies_are_paced() {
     let _ = e0.submit(Bytes::from_static(b"m"), 0).unwrap();
     // At t=0 e0 just transmitted, so the first stale heartbeat cannot be
     // answered immediately (pacing) …
-    let outs1 = e0.on_pdu_actions(stale(2), 10).unwrap();
+    let outs1 = pdu_actions(&mut e0, stale(2), 10);
     assert_eq!(ack_onlys(&outs1), 0, "reply paced right after a send");
     // … but the reply is owed: the deadline reflects it, and firing the
     // tick sends exactly one.
@@ -211,7 +217,7 @@ fn stability_reached_after_full_exchange_means_silence() {
         steps += 1;
         assert!(steps < 200, "exchange must terminate");
         let (ent, other) = if to == 1 { (&mut e1, 0) } else { (&mut e0, 1) };
-        for a in ent.on_pdu_actions(pdu, steps).unwrap() {
+        for a in pdu_actions(ent, pdu, steps) {
             if let Action::Broadcast(p) = a {
                 queue.push((other, p));
             }
@@ -232,7 +238,7 @@ fn ret_retry_fires_until_gap_closes() {
     // seq 1 lost; seq 2 arrives → RET.
     let (_, _a1) = sender.submit(Bytes::from_static(b"one"), 0).unwrap();
     let (_, a2) = sender.submit(Bytes::from_static(b"two"), 0).unwrap();
-    let outs = receiver.on_pdu_actions(first_data(&a2), 10).unwrap();
+    let outs = pdu_actions(&mut receiver, first_data(&a2), 10);
     let rets = |actions: &[Action]| {
         actions
             .iter()
@@ -261,8 +267,8 @@ fn ret_retry_fires_until_gap_closes() {
         now >= 10_000,
         "retry respects the retry interval (fired at {now})"
     );
-    let resends = sender.on_pdu_actions(ret, now + 1).unwrap();
+    let resends = pdu_actions(&mut sender, ret, now + 1);
     let missing = first_data(&resends);
-    let _ = receiver.on_pdu_actions(missing, now + 2).unwrap();
+    let _ = pdu_actions(&mut receiver, missing, now + 2);
     assert_eq!(receiver.req()[0], Seq::new(3), "gap closed");
 }

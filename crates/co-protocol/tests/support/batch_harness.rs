@@ -134,7 +134,8 @@ pub fn record_schedule(n: usize, steps: usize, rng: &mut Rng) -> Vec<(u64, Ev)> 
                     if who == 0 {
                         schedule.push((*now, Ev::Recv(pdu.clone())));
                     }
-                    if let Ok(actions) = entities[who].on_pdu_actions(pdu, *now) {
+                    let mut actions = Vec::new();
+                    if entities[who].on_pdu(pdu, *now, &mut actions).is_ok() {
                         fan_out(who, actions, inbox, rng);
                     }
                 }
@@ -230,7 +231,11 @@ pub fn replay_per_pdu(n: usize, deferral: DeferralPolicy, schedule: &[(u64, Ev)]
     };
     for (now, ev) in schedule {
         let actions = match ev {
-            Ev::Recv(pdu) => e.on_pdu_actions(pdu.clone(), *now).unwrap_or_default(),
+            Ev::Recv(pdu) => {
+                let mut actions = Vec::new();
+                let _ = e.on_pdu(pdu.clone(), *now, &mut actions);
+                actions
+            }
             Ev::Submit(data) => {
                 let (_, actions) = e.submit(data.clone(), *now).expect("payload fits");
                 actions

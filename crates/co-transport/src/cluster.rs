@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use causal_order::EntityId;
 use co_observe::{EventLog, LatencyTracker, Tee};
-use co_protocol::{Config, DeferralPolicy, Entity};
+use co_protocol::{CoCore, Config, DeferralPolicy, DeliveryCore, Entity};
 use crossbeam::channel::{bounded, unbounded, Sender};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -111,13 +111,26 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Spawns `n` entity threads fully meshed with bounded channels.
+    /// Spawns `n` entity threads fully meshed with bounded channels, all
+    /// running the reference [`CoCore`] delivery engine.
     ///
     /// # Errors
     ///
     /// [`TransportError::BadConfig`] if the derived engine configuration is
     /// invalid (e.g. `n < 2`).
     pub fn start(n: usize, options: ClusterOptions) -> Result<Cluster, TransportError> {
+        Cluster::start_with_core::<CoCore>(n, options)
+    }
+
+    /// Spawns a cluster whose entities run the delivery core `C` —
+    /// [`CoCore`], [`co_protocol::HybridCore`], [`co_protocol::SenderCore`]
+    /// or any other [`DeliveryCore`]. All nodes share the core type; the
+    /// returned handle is core-erased (reports carry the core's name via
+    /// its metrics, not its type).
+    pub fn start_with_core<C: DeliveryCore>(
+        n: usize,
+        options: ClusterOptions,
+    ) -> Result<Cluster, TransportError> {
         let epoch = Instant::now();
         // Wire the full mesh.
         let mut pdu_txs = Vec::with_capacity(n);
@@ -142,8 +155,8 @@ impl Cluster {
                 LatencyTracker::default(),
                 options.trace.then(EventLog::default),
             );
-            let entity =
-                Entity::with_observer(config, observer).map_err(TransportError::BadConfig)?;
+            let entity = Entity::<C, _>::with_observer(config, observer)
+                .map_err(TransportError::BadConfig)?;
             let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
             cmd_txs.push(cmd_tx);
             let peers: Vec<Option<Sender<Bytes>>> = pdu_txs

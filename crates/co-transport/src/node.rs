@@ -3,7 +3,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 use causal_order::EntityId;
 use co_observe::{EventLog, LatencyTracker, Tee, TraceLine};
-use co_protocol::{Action, Entity, Pdu};
+use co_protocol::{Action, DeliveryCore, Entity, Pdu};
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,8 +24,8 @@ pub(crate) enum Cmd {
     Shutdown,
 }
 
-pub(crate) struct NodeRuntime {
-    pub entity: Entity<NodeObserver>,
+pub(crate) struct NodeRuntime<C: DeliveryCore> {
+    pub entity: Entity<C, NodeObserver>,
     pub me: EntityId,
     /// Whether to record host-Tco trace lines and keep the event log.
     pub trace: bool,
@@ -77,7 +77,7 @@ pub(crate) fn unframe_payload(data: &Bytes) -> Option<(u64, Bytes)> {
     Some((u64::from_be_bytes(ts), data.slice(8..)))
 }
 
-impl NodeRuntime {
+impl<C: DeliveryCore> NodeRuntime<C> {
     fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }

@@ -219,7 +219,8 @@ fn run_node(
             Ok((len, _addr)) => {
                 let started = Instant::now();
                 if let Ok(pdu) = Pdu::decode(&buf[..len]) {
-                    if let Ok(actions) = entity.on_pdu_actions(pdu, now_us(epoch)) {
+                    let mut actions = Vec::new();
+                    if entity.on_pdu(pdu, now_us(epoch), &mut actions).is_ok() {
                         dispatch(actions, &mut report, &socket, &peers);
                     }
                 }

@@ -58,7 +58,10 @@ impl ByteLink {
         let mut steps = 0;
         while let Some((to, raw)) = self.queue.pop_front() {
             let pdu = Pdu::decode(&raw).expect("wire-clean PDU");
-            let actions = self.entities[to].on_pdu_actions(pdu, steps).expect("valid");
+            let mut actions = Vec::new();
+            self.entities[to]
+                .on_pdu(pdu, steps, &mut actions)
+                .expect("valid");
             self.apply(to, actions);
             steps += 1;
             assert!(steps < 100_000, "no quiescence");
