@@ -62,6 +62,8 @@ pub use node::{AppEvent, CheckCmd, CheckNode, CheckObserver};
 pub use oracles::{
     check, check_spans, check_stage_order, Category, CheckViolation, RunObservation,
 };
-pub use plan::{FaultEvent, Reproducer, Scenario, Submit};
-pub use runner::{run_scenario, run_scenario_traced, RunReport, CORE_NAMES, EVENT_BUDGET};
+pub use plan::{FaultEvent, NetworkSpec, Reproducer, Scenario, Submit, NETWORK_PRESETS};
+pub use runner::{
+    run_scenario, run_scenario_traced, LatencyStats, RunReport, CORE_NAMES, EVENT_BUDGET,
+};
 pub use shrink::{shrink, ShrinkOutcome, MAX_SHRINK_RUNS};

@@ -1,9 +1,10 @@
 //! The `co-check` explorer binary.
 //!
 //! ```text
-//! co-check [--schedules N] [--seed S] [--core NAME] [--break-delivery]
-//!          [--out DIR] [--budget-secs T] [--replay FILE]
-//!          [--trace-out FILE] [--force-loss-burst] [--batch K]
+//! co-check [--schedules N] [--seed S] [--core NAME] [--network NAME]
+//!          [--break-delivery] [--out DIR] [--budget-secs T]
+//!          [--replay FILE] [--trace-out FILE] [--force-loss-burst]
+//!          [--batch K]
 //! ```
 //!
 //! Explores `N` seeded adversarial schedules; on the first oracle
@@ -28,13 +29,20 @@
 //! `hybrid` or `sender`) instead of the default reference engine; the
 //! same seeds generate the same schedules for every core, so core runs
 //! race head-to-head on identical adversarial inputs.
+//!
+//! `--network NAME` pins every schedule's network model to a named preset
+//! (`uniform`, `contended`, `asymmetric` or `wan`) instead of the
+//! per-scenario random draw. Like `--core`, the override happens *after*
+//! generation, so a (core, network) matrix runs every cell on identical
+//! workloads and fault plans — the held-PDU / RET / latency aggregates in
+//! the final report are then directly comparable across cells.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use co_check::{
-    run_scenario, run_scenario_traced, shrink, Category, FaultEvent, Reproducer, Scenario,
-    CORE_NAMES,
+    run_scenario, run_scenario_traced, shrink, Category, FaultEvent, NetworkSpec, Reproducer,
+    Scenario, CORE_NAMES, NETWORK_PRESETS,
 };
 use co_observe::{jsonl, ProtocolEvent, TraceLine};
 
@@ -42,6 +50,7 @@ struct Args {
     schedules: u64,
     seed: u64,
     core: Option<String>,
+    network: Option<String>,
     break_delivery: bool,
     out: String,
     budget_secs: Option<u64>,
@@ -56,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         schedules: 100,
         seed: 0,
         core: None,
+        network: None,
         break_delivery: false,
         out: ".".to_string(),
         budget_secs: None,
@@ -88,6 +98,16 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.core = Some(core);
             }
+            "--network" => {
+                let network = value("--network")?;
+                if !NETWORK_PRESETS.contains(&network.as_str()) {
+                    return Err(format!(
+                        "--network: unknown preset `{network}` (known: {})",
+                        NETWORK_PRESETS.join(", ")
+                    ));
+                }
+                args.network = Some(network);
+            }
             "--break-delivery" => args.break_delivery = true,
             "--out" => args.out = value("--out")?,
             "--budget-secs" => {
@@ -109,8 +129,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: co-check [--schedules N] [--seed S] [--core NAME] \
-                            [--break-delivery] [--out DIR] [--budget-secs T] \
-                            [--replay FILE] [--trace-out FILE] \
+                            [--network NAME] [--break-delivery] [--out DIR] \
+                            [--budget-secs T] [--replay FILE] [--trace-out FILE] \
                             [--force-loss-burst] [--batch K]"
                     .to_string())
             }
@@ -204,12 +224,19 @@ fn main() -> ExitCode {
     let mut total_broadcasts = 0u64;
     let mut total_deliveries = 0u64;
     let mut total_drops = 0u64;
+    let mut peak_held = 0usize;
+    let mut total_ret_pdus = 0u64;
+    let mut total_retransmissions = 0u64;
+    let mut latency_samples = 0u64;
+    let mut latency_total_us = 0u64;
+    let mut latency_max_us = 0u64;
 
     println!(
-        "co-check: exploring {} schedules (base seed {}, core {}{})",
+        "co-check: exploring {} schedules (base seed {}, core {}, network {}{})",
         args.schedules,
         args.seed,
         args.core.as_deref().unwrap_or("co"),
+        args.network.as_deref().unwrap_or("per-scenario"),
         if args.break_delivery {
             ", delivery bug injected"
         } else {
@@ -232,6 +259,13 @@ fn main() -> ExitCode {
             // itself is core-independent; the flag only swaps the engine,
             // keeping every core racing on identical adversarial inputs.
             scenario.core = core.clone();
+        }
+        if let Some(network) = &args.network {
+            // Same post-generation override discipline as `--core`: the
+            // workload and fault plan are already drawn, so every cell of
+            // a (core, network) matrix replays identical schedules.
+            scenario.network =
+                NetworkSpec::preset(network).expect("parse_args validated the preset name");
         }
         if let Some(batch) = args.batch {
             // Force every schedule through one drain width (e.g. the
@@ -263,6 +297,12 @@ fn main() -> ExitCode {
         total_broadcasts += report.broadcasts as u64;
         total_deliveries += report.deliveries as u64;
         total_drops += report.stats.link_drops + report.stats.overrun_drops;
+        peak_held = peak_held.max(report.peak_held);
+        total_ret_pdus += report.ret_pdus;
+        total_retransmissions += report.retransmissions;
+        latency_samples += report.latency.samples as u64;
+        latency_total_us += report.latency.mean_us * report.latency.samples as u64;
+        latency_max_us = latency_max_us.max(report.latency.max_us);
 
         if !report.violations.is_empty() {
             println!("\nVIOLATION at schedule {index} (seed {}):", args.seed);
@@ -288,6 +328,9 @@ fn main() -> ExitCode {
             );
             if let Some(core) = &args.core {
                 invocation.push_str(&format!(" --core {core}"));
+            }
+            if let Some(network) = &args.network {
+                invocation.push_str(&format!(" --network {network}"));
             }
             if args.break_delivery {
                 invocation.push_str(" --break-delivery");
@@ -323,8 +366,9 @@ fn main() -> ExitCode {
         }
     }
 
+    let latency_mean_us = latency_total_us / latency_samples.max(1);
     println!(
-        "\nco-check report\n  schedules explored : {explored}\n  broadcasts         : {total_broadcasts}\n  deliveries         : {total_deliveries}\n  PDUs lost          : {total_drops}\n  violations         : 0\n  wall clock         : {:.1}s",
+        "\nco-check report\n  schedules explored : {explored}\n  broadcasts         : {total_broadcasts}\n  deliveries         : {total_deliveries}\n  PDUs lost          : {total_drops}\n  peak held PDUs     : {peak_held}\n  RET PDUs sent      : {total_ret_pdus}\n  retransmissions    : {total_retransmissions}\n  delivery latency   : mean {latency_mean_us}µs, max {latency_max_us}µs\n  violations         : 0\n  wall clock         : {:.1}s",
         started.elapsed().as_secs_f64()
     );
     ExitCode::SUCCESS

@@ -187,6 +187,12 @@ impl<C: DeliveryCore> SimNode for CheckNode<C> {
     type Msg = Pdu;
     type Cmd = CheckCmd;
 
+    fn msg_bytes(msg: &Pdu) -> u64 {
+        // Real wire size, so bandwidth-constrained networks charge DATA
+        // frames by payload and control frames (ACK/RET) stay cheap.
+        msg.encoded_len() as u64
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, Pdu>) {
         self.rearm(ctx);
     }

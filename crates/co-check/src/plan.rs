@@ -254,6 +254,167 @@ impl FaultEvent {
     }
 }
 
+/// Names of the network presets `--network` accepts, in the order the
+/// nightly matrix runs them.
+pub const NETWORK_PRESETS: [&str; 4] = ["uniform", "contended", "asymmetric", "wan"];
+
+/// The network model of a scenario, in scenario-level (integer, `Eq`-safe)
+/// parameters; [`crate::runner`] lowers it to an [`mc_net::NetworkModel`].
+///
+/// `Uniform` is the historical model: the scenario's `delay_min_us..=
+/// delay_max_us` propagation band with unlimited bandwidth. The other
+/// variants keep that band as the base delay and layer one realism axis on
+/// top, so any divergence a preset exposes is attributable to that axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkSpec {
+    /// The paper's idealized network: delay band only, infinite bandwidth.
+    Uniform,
+    /// Finite shared links: every node's egress and ingress serialize
+    /// PDUs at these rates, so concurrent traffic queues (§2.1 pressure
+    /// without any loss fault).
+    Contended {
+        /// Sender-side rate, bytes per simulated millisecond.
+        egress_bytes_per_ms: u64,
+        /// Receiver-side rate, bytes per simulated millisecond.
+        ingress_bytes_per_ms: u64,
+    },
+    /// Asymmetric per-direction links: `i → j` with `i < j` runs at the
+    /// scenario's `delay_min_us`, the reverse direction at `delay_max_us ×
+    /// skew_x10 / 10` — a deterministic per-pair matrix, no RNG involved.
+    Asymmetric {
+        /// Reverse-direction multiplier, tenths (30 = 3.0×).
+        skew_x10: u64,
+    },
+    /// Heavy-tailed WAN delays ([`mc_net::WanDelay`]) with the scenario's
+    /// `delay_min_us` as the jitter floor. Samples come from the
+    /// simulator's dedicated delay stream, so loss fates and workload
+    /// randomness are untouched.
+    Wan {
+        /// Scale of the heavy-tailed component, µs.
+        median_us: u64,
+        /// Maximum tail doublings.
+        octaves: u32,
+        /// Per-octave continuation probability, ‰.
+        tail_per_mille: u32,
+        /// Second-mode (bimodal) extra delay, µs.
+        spike_us: u64,
+        /// Second-mode probability, ‰.
+        spike_per_mille: u32,
+    },
+}
+
+impl NetworkSpec {
+    /// A short stable tag naming the variant (used in JSON, logs and CI
+    /// artifact names).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetworkSpec::Uniform => "uniform",
+            NetworkSpec::Contended { .. } => "contended",
+            NetworkSpec::Asymmetric { .. } => "asymmetric",
+            NetworkSpec::Wan { .. } => "wan",
+        }
+    }
+
+    /// The named preset used by `co-check --network` and the CI matrix,
+    /// or `None` for an unknown name. Parameters are fixed so every CI
+    /// cell is reproducible from its name alone.
+    pub fn preset(name: &str) -> Option<NetworkSpec> {
+        match name {
+            "uniform" => Some(NetworkSpec::Uniform),
+            // 2 MB/s per direction: a 64-byte PDU costs 32µs of NIC time,
+            // so bursts of broadcasts visibly queue without starving the
+            // 20ms workload horizon.
+            "contended" => Some(NetworkSpec::Contended {
+                egress_bytes_per_ms: 2_000,
+                ingress_bytes_per_ms: 2_000,
+            }),
+            // Reverse direction 3× the scenario's max delay: the classic
+            // slow-uplink shape.
+            "asymmetric" => Some(NetworkSpec::Asymmetric { skew_x10: 30 }),
+            // 800µs median, up to 8× tail at 30%/octave, 2% 5ms spikes.
+            "wan" => Some(NetworkSpec::Wan {
+                median_us: 800,
+                octaves: 3,
+                tail_per_mille: 300,
+                spike_us: 5_000,
+                spike_per_mille: 20,
+            }),
+            _ => None,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut fields = vec![("kind".to_string(), Json::Str(self.kind().to_string()))];
+        match self {
+            NetworkSpec::Uniform => {}
+            NetworkSpec::Contended {
+                egress_bytes_per_ms,
+                ingress_bytes_per_ms,
+            } => {
+                fields.push((
+                    "egress_bytes_per_ms".to_string(),
+                    Json::Num(egress_bytes_per_ms),
+                ));
+                fields.push((
+                    "ingress_bytes_per_ms".to_string(),
+                    Json::Num(ingress_bytes_per_ms),
+                ));
+            }
+            NetworkSpec::Asymmetric { skew_x10 } => {
+                fields.push(("skew_x10".to_string(), Json::Num(skew_x10)));
+            }
+            NetworkSpec::Wan {
+                median_us,
+                octaves,
+                tail_per_mille,
+                spike_us,
+                spike_per_mille,
+            } => {
+                fields.push(("median_us".to_string(), Json::Num(median_us)));
+                fields.push(("octaves".to_string(), Json::Num(u64::from(octaves))));
+                fields.push((
+                    "tail_per_mille".to_string(),
+                    Json::Num(u64::from(tail_per_mille)),
+                ));
+                fields.push(("spike_us".to_string(), Json::Num(spike_us)));
+                fields.push((
+                    "spike_per_mille".to_string(),
+                    Json::Num(u64::from(spike_per_mille)),
+                ));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<NetworkSpec, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("network without `kind`")?;
+        let u32_field = |k: &str| -> Result<u32, String> {
+            u32::try_from(v.field_u64(k)?).map_err(|_| format!("network field `{k}` out of range"))
+        };
+        Ok(match kind {
+            "uniform" => NetworkSpec::Uniform,
+            "contended" => NetworkSpec::Contended {
+                egress_bytes_per_ms: v.field_u64("egress_bytes_per_ms")?,
+                ingress_bytes_per_ms: v.field_u64("ingress_bytes_per_ms")?,
+            },
+            "asymmetric" => NetworkSpec::Asymmetric {
+                skew_x10: v.field_u64("skew_x10")?,
+            },
+            "wan" => NetworkSpec::Wan {
+                median_us: v.field_u64("median_us")?,
+                octaves: u32_field("octaves")?,
+                tail_per_mille: u32_field("tail_per_mille")?,
+                spike_us: v.field_u64("spike_us")?,
+                spike_per_mille: u32_field("spike_per_mille")?,
+            },
+            other => return Err(format!("unknown network kind `{other}`")),
+        })
+    }
+}
+
 /// A complete, self-contained description of one adversarial run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
@@ -283,6 +444,10 @@ pub struct Scenario {
     /// ([`co_protocol::Entity::on_pdus_into`]); `1` is the strict per-PDU
     /// path. Omitted in older reproducer JSON, where it defaults to 1.
     pub drain_batch: usize,
+    /// The network model ([`NetworkSpec::Uniform`] is the historical
+    /// delay-band-only network). Omitted in older reproducer JSON, where
+    /// it defaults to `Uniform`.
+    pub network: NetworkSpec,
     /// Propagation delay lower bound, µs.
     pub delay_min_us: u64,
     /// Propagation delay upper bound (inclusive), µs; equal to the minimum
@@ -358,11 +523,32 @@ impl Scenario {
             workload,
             faults,
             break_delivery,
-            // Drawn last so scenario generation for a given (index, seed)
-            // keeps every earlier field identical to pre-batching corpora.
+            // Drawn after every pre-batching field so scenario generation
+            // for a given (index, seed) keeps those identical to older
+            // corpora.
             drain_batch: *[1usize, 2, 4, 8]
                 .get(rng.random_range(0..4usize))
                 .expect("index in range"),
+            // Drawn last (struct-literal fields evaluate textually): adding
+            // the network dimension shifts no earlier draw, so pre-network
+            // corpora regenerate byte-identically.
+            network: match rng.random_range(0..4u32) {
+                0 => NetworkSpec::Uniform,
+                1 => NetworkSpec::Contended {
+                    egress_bytes_per_ms: rng.random_range(1_000..=4_000),
+                    ingress_bytes_per_ms: rng.random_range(1_000..=4_000),
+                },
+                2 => NetworkSpec::Asymmetric {
+                    skew_x10: rng.random_range(15..=40),
+                },
+                _ => NetworkSpec::Wan {
+                    median_us: rng.random_range(200..=1_500),
+                    octaves: rng.random_range(1..=3),
+                    tail_per_mille: rng.random_range(100..=500),
+                    spike_us: rng.random_range(1_000..=8_000),
+                    spike_per_mille: rng.random_range(5..=50),
+                },
+            },
         }
     }
 
@@ -437,6 +623,7 @@ impl Scenario {
                 "drain_batch".to_string(),
                 Json::Num(self.drain_batch as u64),
             ),
+            ("network".to_string(), self.network.to_json()),
             ("delay_min_us".to_string(), Json::Num(self.delay_min_us)),
             ("delay_max_us".to_string(), Json::Num(self.delay_max_us)),
             ("payload".to_string(), Json::Num(self.payload as u64)),
@@ -512,6 +699,12 @@ impl Scenario {
                     .as_u64()
                     .ok_or_else(|| "missing or non-integer field `drain_batch`".to_string())?
                     as usize,
+            },
+            // Absent in reproducers committed before network models
+            // existed; those replay on the historical uniform network.
+            network: match v.get("network") {
+                None => NetworkSpec::Uniform,
+                Some(j) => NetworkSpec::from_json(j)?,
             },
             delay_min_us: v.field_u64("delay_min_us")?,
             delay_max_us: v.field_u64("delay_max_us")?,
@@ -665,6 +858,79 @@ mod tests {
         };
         let legacy = Json::Obj(fields.into_iter().filter(|(k, _)| k != "core").collect());
         assert_eq!(Scenario::from_json(&legacy).unwrap().core, "co");
+    }
+
+    #[test]
+    fn network_field_round_trips_and_defaults_to_uniform() {
+        // Every variant survives a JSON round trip.
+        let mut sc = Scenario::random(2, 11, false);
+        for network in [
+            NetworkSpec::Uniform,
+            NetworkSpec::Contended {
+                egress_bytes_per_ms: 1_500,
+                ingress_bytes_per_ms: 3_000,
+            },
+            NetworkSpec::Asymmetric { skew_x10: 25 },
+            NetworkSpec::Wan {
+                median_us: 900,
+                octaves: 2,
+                tail_per_mille: 250,
+                spike_us: 4_000,
+                spike_per_mille: 15,
+            },
+        ] {
+            sc.network = network;
+            let text = sc.to_json().to_string();
+            let back = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, sc, "{}", network.kind());
+        }
+
+        // Reproducers committed before network models carry no `network`
+        // field: they replay on the historical uniform network.
+        let Json::Obj(fields) = Scenario::random(2, 11, false).to_json() else {
+            unreachable!("scenarios serialize to objects")
+        };
+        let legacy = Json::Obj(fields.into_iter().filter(|(k, _)| k != "network").collect());
+        assert_eq!(
+            Scenario::from_json(&legacy).unwrap().network,
+            NetworkSpec::Uniform
+        );
+    }
+
+    #[test]
+    fn network_presets_cover_every_kind() {
+        for name in NETWORK_PRESETS {
+            let spec = NetworkSpec::preset(name).expect("preset must exist");
+            assert_eq!(spec.kind(), name, "preset name matches its kind tag");
+        }
+        assert!(NetworkSpec::preset("lan-party").is_none());
+    }
+
+    #[test]
+    fn network_draw_does_not_shift_earlier_fields() {
+        // The network dimension is drawn last: every pre-network field of
+        // a generated scenario must be independent of it. Spot-check by
+        // comparing against the scenario with network collapsed.
+        for i in 0..50 {
+            let sc = Scenario::random(i, 4, false);
+            let mut collapsed = sc.clone();
+            collapsed.network = NetworkSpec::Uniform;
+            let again = Scenario::random(i, 4, false);
+            assert_eq!(sc, again, "generation is deterministic");
+            assert_eq!(collapsed.drain_batch, sc.drain_batch);
+            assert_eq!(collapsed.workload, sc.workload);
+            assert_eq!(collapsed.faults, sc.faults);
+        }
+        // All four kinds appear across a modest index sweep.
+        let mut kinds: Vec<&str> = (0..64)
+            .map(|i| {
+                let sc = Scenario::random(i, 4, false);
+                sc.network.kind()
+            })
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds, vec!["asymmetric", "contended", "uniform", "wan"]);
     }
 
     #[test]

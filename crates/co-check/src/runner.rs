@@ -7,13 +7,13 @@ use co_protocol::{
     CoCore, Config, DeferralPolicy, DeliveryCore, HybridCore, RetransmissionPolicy, SenderCore,
 };
 use mc_net::{
-    ControlEvent, DelayModel, LossModel, NetStats, SimConfig, SimDuration, SimTime, Simulator,
-    TimedRule,
+    BandwidthModel, ControlEvent, DelayModel, LossModel, NetStats, NetworkModel, SimConfig,
+    SimDuration, SimTime, Simulator, TimedRule, WanDelay,
 };
 
 use crate::node::{AppEvent, CheckCmd, CheckNode};
 use crate::oracles::{check, CheckViolation, RunObservation};
-use crate::plan::{FaultEvent, Scenario};
+use crate::plan::{FaultEvent, NetworkSpec, Scenario};
 
 /// Hard event budget per run; a scenario that exceeds it is reported as a
 /// liveness violation (livelock), not an error.
@@ -27,6 +27,128 @@ pub const CORE_NAMES: [&str; 3] = [
     co_protocol::HybridCore::NAME,
     co_protocol::SenderCore::NAME,
 ];
+
+/// Broadcast-to-delivery latency aggregates for one run, measured from
+/// each fresh broadcast's submit-side [`AppEvent::Broadcast`] to every
+/// [`AppEvent::Deliver`] of that `(src, seq)` across the cluster. This is
+/// the application-visible cost the paper's §5 bounds (`R` to pre-ack,
+/// `2R` to full ack) — the number that moves when the network model does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Deliveries measured (each delivery of each message counts once).
+    pub samples: usize,
+    /// Mean broadcast→delivery latency, µs (0 when no samples).
+    pub mean_us: u64,
+    /// Worst broadcast→delivery latency, µs.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    fn from_events(events: &[Vec<AppEvent>]) -> LatencyStats {
+        let mut sent = std::collections::HashMap::new();
+        for (node, stream) in events.iter().enumerate() {
+            for event in stream {
+                if let AppEvent::Broadcast { seq, at_us } = event {
+                    sent.insert((node as u32, *seq), *at_us);
+                }
+            }
+        }
+        let mut stats = LatencyStats::default();
+        let mut total = 0u64;
+        for stream in events {
+            for event in stream {
+                let AppEvent::Deliver {
+                    src, seq, at_us, ..
+                } = event
+                else {
+                    continue;
+                };
+                let Some(&sent_at) = sent.get(&(*src, *seq)) else {
+                    continue;
+                };
+                let lat = at_us.saturating_sub(sent_at);
+                stats.samples += 1;
+                total += lat;
+                stats.max_us = stats.max_us.max(lat);
+            }
+        }
+        if stats.samples > 0 {
+            stats.mean_us = total / stats.samples as u64;
+        }
+        stats
+    }
+}
+
+/// Lowers a scenario's [`NetworkSpec`] to the simulator's network model.
+///
+/// `Uniform` reproduces the historical configuration bit-identically:
+/// constant delay when the band is degenerate, jitter otherwise, unlimited
+/// bandwidth.
+///
+/// # Panics
+///
+/// Panics if the spec encodes an invalid model (generated scenarios and
+/// named presets never do; a hand-edited reproducer might).
+fn network_model(sc: &Scenario) -> NetworkModel {
+    let band = if sc.delay_min_us == sc.delay_max_us {
+        DelayModel::Uniform(SimDuration::from_micros(sc.delay_min_us))
+    } else {
+        DelayModel::Jitter {
+            min: SimDuration::from_micros(sc.delay_min_us),
+            max: SimDuration::from_micros(sc.delay_max_us),
+        }
+    };
+    match sc.network {
+        NetworkSpec::Uniform => band.into(),
+        NetworkSpec::Contended {
+            egress_bytes_per_ms,
+            ingress_bytes_per_ms,
+        } => NetworkModel {
+            delay: band,
+            bandwidth: BandwidthModel::shared(egress_bytes_per_ms, ingress_bytes_per_ms)
+                .expect("scenario encodes valid bandwidth rates"),
+        },
+        NetworkSpec::Asymmetric { skew_x10 } => {
+            // Deterministic per-pair matrix, no RNG: low-index → high-index
+            // links run at the scenario minimum, the reverse direction at
+            // `delay_max × skew`.
+            let fwd = SimDuration::from_micros(sc.delay_min_us.max(1));
+            let rev = SimDuration::from_micros((sc.delay_max_us.max(1) * skew_x10 / 10).max(1));
+            let matrix = (0..sc.n)
+                .map(|from| {
+                    (0..sc.n)
+                        .map(|to| match from.cmp(&to) {
+                            std::cmp::Ordering::Less => fwd,
+                            std::cmp::Ordering::Equal => SimDuration::ZERO,
+                            std::cmp::Ordering::Greater => rev,
+                        })
+                        .collect()
+                })
+                .collect();
+            DelayModel::per_pair(matrix)
+                .expect("constructed matrix is square")
+                .into()
+        }
+        NetworkSpec::Wan {
+            median_us,
+            octaves,
+            tail_per_mille,
+            spike_us,
+            spike_per_mille,
+        } => DelayModel::Wan(
+            WanDelay::new(
+                SimDuration::from_micros(sc.delay_min_us),
+                SimDuration::from_micros(median_us.max(1)),
+                octaves,
+                tail_per_mille,
+                SimDuration::from_micros(spike_us),
+                spike_per_mille,
+            )
+            .expect("scenario encodes a valid WAN shape"),
+        )
+        .into(),
+    }
+}
 
 /// Everything observed about one executed scenario.
 ///
@@ -52,6 +174,16 @@ pub struct RunReport {
     pub broadcasts: usize,
     /// Deliveries recorded across all nodes.
     pub deliveries: usize,
+    /// Worst held-PDU high-water mark across all entities — the §4 buffer
+    /// bound under pressure, and the number that diverges between cores
+    /// when the network model turns hostile.
+    pub peak_held: usize,
+    /// RET (retransmission-request) PDUs sent across all entities.
+    pub ret_pdus: u64,
+    /// Data PDUs retransmitted across all entities.
+    pub retransmissions: u64,
+    /// Broadcast→delivery latency breakdown.
+    pub latency: LatencyStats,
 }
 
 /// Builds the per-entity protocol configuration for a scenario.
@@ -193,14 +325,7 @@ fn run_scenario_with<C: DeliveryCore>(
     trace: bool,
 ) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
     let sim_config = SimConfig {
-        delay: if sc.delay_min_us == sc.delay_max_us {
-            DelayModel::Uniform(SimDuration::from_micros(sc.delay_min_us))
-        } else {
-            DelayModel::Jitter {
-                min: SimDuration::from_micros(sc.delay_min_us),
-                max: SimDuration::from_micros(sc.delay_max_us),
-            }
-        },
+        network: network_model(sc),
         loss: LossModel::Timed {
             rules: loss_rules(sc),
         },
@@ -277,12 +402,29 @@ fn run_scenario_with<C: DeliveryCore>(
         violations.extend(crate::oracles::check_spans(&traces));
         violations.sort_by(|a, b| a.category.cmp(&b.category).then(a.detail.cmp(&b.detail)));
     }
+    let peak_held = sim
+        .nodes()
+        .map(|(_, n)| n.entity().peak_held_pdus())
+        .max()
+        .unwrap_or(0);
+    let ret_pdus = sim
+        .nodes()
+        .map(|(_, n)| n.entity().metrics().ret_sent())
+        .sum();
+    let retransmissions = sim
+        .nodes()
+        .map(|(_, n)| n.entity().metrics().retransmissions_sent())
+        .sum();
     let report = RunReport {
         violations,
         digest: sim.trace_digest(),
         event_digest: fold_digests(sim.nodes().map(|(_, n)| n.event_digest())),
         stats: sim.stats(),
         makespan_us: sim.now().as_micros(),
+        peak_held,
+        ret_pdus,
+        retransmissions,
+        latency: LatencyStats::from_events(&events),
         broadcasts: events
             .iter()
             .flatten()
@@ -329,6 +471,7 @@ mod tests {
             ],
             faults: vec![],
             break_delivery: false,
+            network: NetworkSpec::Uniform,
         }
     }
 
@@ -522,5 +665,104 @@ mod tests {
         let mut sc = tiny_scenario();
         sc.core = "quantum".to_string();
         run_scenario(&sc);
+    }
+
+    #[test]
+    fn every_network_preset_runs_clean_on_every_core() {
+        for preset in crate::plan::NETWORK_PRESETS {
+            for core in CORE_NAMES {
+                let mut sc = tiny_scenario();
+                sc.core = core.to_string();
+                sc.network = NetworkSpec::preset(preset).unwrap();
+                let report = run_scenario(&sc);
+                assert!(
+                    report.violations.is_empty(),
+                    "core {core} × network {preset}: {:?}",
+                    report.violations
+                );
+                assert_eq!(report.deliveries, 9, "core {core} × network {preset}");
+                assert!(
+                    report.latency.samples == 9 && report.latency.max_us >= report.latency.mean_us,
+                    "core {core} × network {preset}: latency {:?}",
+                    report.latency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_network_preset_is_deterministic_per_seed() {
+        for preset in crate::plan::NETWORK_PRESETS {
+            let mut sc = tiny_scenario();
+            sc.network = NetworkSpec::preset(preset).unwrap();
+            let a = run_scenario(&sc);
+            let b = run_scenario(&sc);
+            assert_eq!(a.digest, b.digest, "network {preset}: wire schedule");
+            assert_eq!(a.event_digest, b.event_digest, "network {preset}: events");
+            assert_eq!(a.makespan_us, b.makespan_us, "network {preset}: makespan");
+        }
+    }
+
+    #[test]
+    fn uniform_network_spec_matches_the_legacy_configuration() {
+        // `NetworkSpec::Uniform` must lower to exactly what the checker
+        // built before the network dimension existed: the committed
+        // reproducer corpus replays through this path.
+        let sc = tiny_scenario();
+        let model = network_model(&sc);
+        assert_eq!(model.bandwidth, BandwidthModel::Unlimited);
+        assert_eq!(
+            model.delay,
+            DelayModel::Jitter {
+                min: SimDuration::from_micros(200),
+                max: SimDuration::from_micros(400),
+            }
+        );
+        let mut flat = sc.clone();
+        flat.delay_max_us = flat.delay_min_us;
+        assert_eq!(
+            network_model(&flat).delay,
+            DelayModel::Uniform(SimDuration::from_micros(200))
+        );
+    }
+
+    #[test]
+    fn network_models_change_the_schedule_but_not_the_outcome() {
+        // Same scenario, different network: the wire schedule must move
+        // (the model is real) while the service stays intact (checked
+        // above); broadcast counts are workload-determined and identical.
+        let base = run_scenario(&tiny_scenario());
+        for preset in ["contended", "asymmetric", "wan"] {
+            let mut sc = tiny_scenario();
+            sc.network = NetworkSpec::preset(preset).unwrap();
+            let report = run_scenario(&sc);
+            assert_eq!(report.broadcasts, base.broadcasts, "network {preset}");
+            assert_ne!(
+                report.digest, base.digest,
+                "network {preset} must perturb the wire schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn contended_preset_accrues_serialization_wait() {
+        // A burst of back-to-back submits through a 2 MB/s NIC must queue:
+        // the serialization-wait gauge is the witness that bandwidth
+        // contention actually engaged.
+        let mut sc = tiny_scenario();
+        sc.network = NetworkSpec::preset("contended").unwrap();
+        sc.workload = (0..12)
+            .map(|k| Submit {
+                at_us: k * 10,
+                node: 0,
+            })
+            .collect();
+        let report = run_scenario(&sc);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(
+            report.stats.ser_wait_us > 0,
+            "burst through a shared link must queue ({:?})",
+            report.stats
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! The determinism contract: a scenario is a complete description of a run.
 
-use co_check::{run_scenario, Scenario};
+use co_check::{run_scenario, NetworkSpec, Scenario};
 
 #[test]
 fn same_scenario_same_digest_and_verdict() {
@@ -28,7 +28,10 @@ fn different_base_seeds_explore_different_runs() {
 #[test]
 fn digest_depends_on_the_simulator_seed_alone_given_a_scenario() {
     let mut sc = Scenario::random(3, 7, false);
-    // Force a jittered network so the simulator seed actually matters.
+    // Force a jittered uniform network so the simulator seed actually
+    // matters (an asymmetric draw would pin delays to a deterministic
+    // per-pair matrix and the seed would legitimately not show up).
+    sc.network = NetworkSpec::Uniform;
     sc.delay_max_us = sc.delay_min_us + 500;
     let a = run_scenario(&sc);
     sc.seed ^= 1;

@@ -51,7 +51,7 @@ pub fn measure(n: usize, r_us: u64) -> f64 {
         n,
         deferral: DeferralPolicy::Immediate,
         sim: SimConfig {
-            delay: DelayModel::Uniform(SimDuration::from_micros(r_us)),
+            network: DelayModel::Uniform(SimDuration::from_micros(r_us)).into(),
             proc_time: SimDuration::from_micros(1),
             ..SimConfig::default()
         },

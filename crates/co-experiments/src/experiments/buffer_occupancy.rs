@@ -65,7 +65,7 @@ pub fn measure(n: usize, window: u64) -> usize {
         window,
         deferral: DeferralPolicy::Deferred { timeout_us: 2_000 },
         sim: SimConfig {
-            delay: DelayModel::Uniform(SimDuration::from_micros(500)),
+            network: DelayModel::Uniform(SimDuration::from_micros(500)).into(),
             proc_time: SimDuration::from_micros(5),
             ..SimConfig::default()
         },

@@ -26,6 +26,13 @@ pub struct ClusterOptions {
     pub tick_interval: Duration,
     /// Artificial extra per-PDU processing cost (zero = none).
     pub proc_delay: Duration,
+    /// Artificial per-copy egress serialization cost (zero = none). The
+    /// real-time parity knob for `mc-net`'s `BandwidthModel::Shared`: a
+    /// broadcast of `k` copies holds the sender's thread for `k × pace`,
+    /// so checker findings under the `contended` preset can be reproduced
+    /// on the threaded transport. E.g. a 64-byte PDU on a 2 MB/s NIC is
+    /// ~32µs of pace.
+    pub egress_pace: Duration,
     /// How long nodes keep draining after shutdown before reporting.
     pub drain_idle: Duration,
     /// Cluster id stamped on PDUs.
@@ -50,6 +57,7 @@ impl Default for ClusterOptions {
             window: 64,
             tick_interval: Duration::from_micros(500),
             proc_delay: Duration::ZERO,
+            egress_pace: Duration::ZERO,
             drain_idle: Duration::from_millis(30),
             cid: 1,
             trace: false,
@@ -181,6 +189,7 @@ impl Cluster {
                 epoch,
                 tick_interval: options.tick_interval,
                 proc_delay: options.proc_delay,
+                egress_pace: options.egress_pace,
                 drain_idle: options.drain_idle,
                 drain_batch: options.drain_batch.max(1),
                 ack_pool: co_wire::AckBufPool::new(),
@@ -298,6 +307,29 @@ mod tests {
         }
         // Tco was measured on every received PDU.
         assert!(reports.iter().all(|r| !r.tco_samples.is_empty()));
+    }
+
+    #[test]
+    fn egress_pacing_delays_but_delivers_everything() {
+        // A paced sender serializes its broadcast copies instead of
+        // blasting them: throughput drops, the service does not.
+        let cluster = Cluster::start(
+            3,
+            ClusterOptions {
+                egress_pace: Duration::from_micros(50),
+                ..ClusterOptions::default()
+            },
+        )
+        .unwrap();
+        for k in 0..6 {
+            cluster
+                .submit(0, Bytes::from(format!("paced-{k}").into_bytes()))
+                .unwrap();
+        }
+        let reports = cluster.shutdown();
+        for r in &reports {
+            assert_eq!(r.delivered.len(), 6, "at {}", r.id);
+        }
     }
 
     #[test]

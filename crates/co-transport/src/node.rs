@@ -42,6 +42,9 @@ pub(crate) struct NodeRuntime<C: DeliveryCore> {
     pub tick_interval: Duration,
     /// Artificial extra per-PDU processing cost (to provoke overruns).
     pub proc_delay: Duration,
+    /// Artificial per-copy egress serialization cost (zero = none); the
+    /// real-time analogue of `mc-net`'s shared-bandwidth model.
+    pub egress_pace: Duration,
     /// How long the node keeps draining after a shutdown request.
     pub drain_idle: Duration,
     /// Maximum PDUs accepted per inbox drain (≥ 1). Everything already
@@ -87,9 +90,11 @@ impl<C: DeliveryCore> NodeRuntime<C> {
             match action {
                 Action::Broadcast(pdu) => {
                     let encoded = pdu.encode();
+                    let mut copies = 0u32;
                     for (i, peer) in self.peers.iter().enumerate() {
                         let Some(tx) = peer else { continue };
                         debug_assert_ne!(i, self.me.index());
+                        copies += 1;
                         match tx.try_send(encoded.clone()) {
                             Ok(()) => {}
                             Err(TrySendError::Full(_)) => {
@@ -101,6 +106,18 @@ impl<C: DeliveryCore> NodeRuntime<C> {
                                 }
                             }
                             Err(TrySendError::Disconnected(_)) => {}
+                        }
+                    }
+                    if !self.egress_pace.is_zero() && copies > 0 {
+                        // Busy-wait out the NIC serialization time of every
+                        // copy just sent — the shared-egress-link model
+                        // (`mc-net`'s `BandwidthModel::Shared`) in real
+                        // time: a broadcast burst drains at link rate, not
+                        // instantaneously.
+                        let budget = self.egress_pace * copies;
+                        let started = Instant::now();
+                        while started.elapsed() < budget {
+                            std::hint::spin_loop();
                         }
                     }
                 }

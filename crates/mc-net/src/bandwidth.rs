@@ -1,0 +1,300 @@
+//! Bandwidth contention and the composed [`NetworkModel`].
+//!
+//! The paper's analysis assumes transmission is instantaneous relative to
+//! propagation — `R` covers the wire, and a broadcast to `n−1` receivers
+//! leaves the sender all at once. Real NICs serialize: each copy of a PDU
+//! occupies the sender's egress link for `bytes / rate`, and concurrent
+//! transmissions on a shared link queue behind each other (dslab-network
+//! style busy-until accounting). [`BandwidthModel::Shared`] adds that
+//! contention with per-direction rates, so asymmetric links (fast
+//! downlink, slow uplink) are expressible; [`BandwidthModel::Unlimited`]
+//! is the historical instantaneous model and the default.
+//!
+//! Everything is integer microsecond arithmetic off the schedule seed:
+//! serialization delays are `div_ceil` exact, so per-link FIFO and
+//! replayability survive (same seed ⇒ same busy-until chains ⇒ same
+//! [`trace_digest`](crate::Simulator::trace_digest)).
+
+use crate::delay::{DelayModel, NetworkError};
+use crate::{SimDuration, SimTime};
+
+/// How link capacity constrains transmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BandwidthModel {
+    /// Infinite capacity: transmissions never queue (the historical
+    /// model, and the paper's implicit assumption).
+    #[default]
+    Unlimited,
+    /// Finite shared links with busy-until fair queuing: each node has
+    /// one egress link all its outgoing copies serialize through, and one
+    /// ingress link all its incoming copies serialize through. A
+    /// `bytes`-long PDU occupies a link for `⌈bytes·1000 / rate⌉` µs.
+    Shared {
+        /// Sender-side rate, bytes per simulated millisecond.
+        egress_bytes_per_ms: u64,
+        /// Receiver-side rate, bytes per simulated millisecond.
+        ingress_bytes_per_ms: u64,
+    },
+}
+
+impl BandwidthModel {
+    /// Builds a validated shared-bandwidth model.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::ZeroBandwidth`] when either rate is zero.
+    pub fn shared(
+        egress_bytes_per_ms: u64,
+        ingress_bytes_per_ms: u64,
+    ) -> Result<BandwidthModel, NetworkError> {
+        if egress_bytes_per_ms == 0 || ingress_bytes_per_ms == 0 {
+            return Err(NetworkError::ZeroBandwidth);
+        }
+        Ok(BandwidthModel::Shared {
+            egress_bytes_per_ms,
+            ingress_bytes_per_ms,
+        })
+    }
+
+    /// Re-checks the invariants [`BandwidthModel::shared`] establishes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::ZeroBandwidth`] when a hand-built `Shared` literal
+    /// carries a zero rate.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        match self {
+            BandwidthModel::Unlimited => Ok(()),
+            BandwidthModel::Shared {
+                egress_bytes_per_ms,
+                ingress_bytes_per_ms,
+            } => {
+                if *egress_bytes_per_ms == 0 || *ingress_bytes_per_ms == 0 {
+                    Err(NetworkError::ZeroBandwidth)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Microseconds a `bytes`-long PDU occupies a `rate` bytes/ms link.
+fn serialization_us(bytes: u64, rate_bytes_per_ms: u64) -> u64 {
+    (bytes * 1_000).div_ceil(rate_bytes_per_ms.max(1))
+}
+
+/// Per-run busy-until ledger for every node's egress and ingress link.
+///
+/// Deterministic fair queuing in its simplest exact form: a link is busy
+/// until some time `T`; a new transmission starts at `max(now, T)` and
+/// pushes `T` forward by its serialization time. Arrival order of
+/// reservations is the simulator's deterministic event order, so the
+/// ledger is replayable by construction.
+#[derive(Debug, Clone)]
+pub(crate) struct BandwidthState {
+    model: BandwidthModel,
+    egress_free: Vec<SimTime>,
+    ingress_free: Vec<SimTime>,
+}
+
+impl BandwidthState {
+    pub(crate) fn new(model: BandwidthModel, n: usize) -> BandwidthState {
+        BandwidthState {
+            model,
+            egress_free: vec![SimTime::ZERO; n],
+            ingress_free: vec![SimTime::ZERO; n],
+        }
+    }
+
+    /// Reserves the sender's egress link for one `bytes`-long PDU put on
+    /// the wire at `now`. Returns when the last bit leaves the NIC and
+    /// how long the PDU waited behind earlier traffic.
+    pub(crate) fn reserve_egress(
+        &mut self,
+        from: usize,
+        bytes: u64,
+        now: SimTime,
+    ) -> (SimTime, u64) {
+        let BandwidthModel::Shared {
+            egress_bytes_per_ms,
+            ..
+        } = self.model
+        else {
+            return (now, 0);
+        };
+        let start = self.egress_free[from].max(now);
+        let done = start + SimDuration::from_micros(serialization_us(bytes, egress_bytes_per_ms));
+        self.egress_free[from] = done;
+        (done, (start - now).as_micros())
+    }
+
+    /// Reserves the receiver's ingress link for one copy reaching its NIC
+    /// at `wire_at`. Returns when the copy is fully received and how long
+    /// it queued behind earlier arrivals.
+    pub(crate) fn reserve_ingress(
+        &mut self,
+        to: usize,
+        bytes: u64,
+        wire_at: SimTime,
+    ) -> (SimTime, u64) {
+        let BandwidthModel::Shared {
+            ingress_bytes_per_ms,
+            ..
+        } = self.model
+        else {
+            return (wire_at, 0);
+        };
+        let start = self.ingress_free[to].max(wire_at);
+        let done = start + SimDuration::from_micros(serialization_us(bytes, ingress_bytes_per_ms));
+        self.ingress_free[to] = done;
+        (done, (start - wire_at).as_micros())
+    }
+
+    /// Whether reservations are no-ops (skips byte accounting entirely).
+    pub(crate) fn is_unlimited(&self) -> bool {
+        matches!(self.model, BandwidthModel::Unlimited)
+    }
+}
+
+/// The full network model: propagation delay composed with bandwidth
+/// contention. This is what [`SimConfig`](crate::SimConfig) carries; the
+/// historical delay-only configuration converts via
+/// `DelayModel::…​.into()`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetworkModel {
+    /// Propagation-delay distribution (the paper's `R` lives here).
+    pub delay: DelayModel,
+    /// Link-capacity constraint ([`BandwidthModel::Unlimited`] restores
+    /// the historical instantaneous-transmission behavior exactly).
+    pub bandwidth: BandwidthModel,
+}
+
+impl NetworkModel {
+    /// Checks the composed model against a cluster of `n` entities.
+    ///
+    /// # Errors
+    ///
+    /// The first [`NetworkError`] found, delay model first.
+    pub fn validate(&self, n: usize) -> Result<(), NetworkError> {
+        self.delay.validate(n)?;
+        self.bandwidth.validate()
+    }
+
+    /// The maximum propagation delay — the paper's `R`. (Serialization
+    /// and queuing delays come on top under [`BandwidthModel::Shared`];
+    /// they are workload-dependent and unbounded in general.)
+    pub fn max_delay(&self) -> SimDuration {
+        self.delay.max_delay()
+    }
+}
+
+impl From<DelayModel> for NetworkModel {
+    /// A delay model alone is a network with unlimited bandwidth — the
+    /// exact pre-`NetworkModel` semantics.
+    fn from(delay: DelayModel) -> NetworkModel {
+        NetworkModel {
+            delay,
+            bandwidth: BandwidthModel::Unlimited,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_rounds_up() {
+        // 64 bytes at 1000 bytes/ms = 64µs exactly.
+        assert_eq!(serialization_us(64, 1_000), 64);
+        // 1 byte at 3 bytes/ms = ⌈1000/3⌉ = 334µs.
+        assert_eq!(serialization_us(1, 3), 334);
+        // Zero-byte PDUs are free.
+        assert_eq!(serialization_us(0, 1_000), 0);
+    }
+
+    #[test]
+    fn zero_rate_is_rejected() {
+        assert_eq!(
+            BandwidthModel::shared(0, 1_000).unwrap_err(),
+            NetworkError::ZeroBandwidth
+        );
+        assert_eq!(
+            BandwidthModel::shared(1_000, 0).unwrap_err(),
+            NetworkError::ZeroBandwidth
+        );
+        assert!(BandwidthModel::shared(1, 1).is_ok());
+        let literal = BandwidthModel::Shared {
+            egress_bytes_per_ms: 0,
+            ingress_bytes_per_ms: 5,
+        };
+        assert_eq!(literal.validate().unwrap_err(), NetworkError::ZeroBandwidth);
+    }
+
+    #[test]
+    fn unlimited_reservations_are_no_ops() {
+        let mut state = BandwidthState::new(BandwidthModel::Unlimited, 3);
+        assert!(state.is_unlimited());
+        let now = SimTime::from_micros(100);
+        assert_eq!(state.reserve_egress(0, 1_000_000, now), (now, 0));
+        assert_eq!(state.reserve_ingress(2, 1_000_000, now), (now, 0));
+    }
+
+    #[test]
+    fn busy_until_chains_and_reports_waits() {
+        let model = BandwidthModel::shared(1_000, 2_000).unwrap();
+        let mut state = BandwidthState::new(model, 2);
+        let t0 = SimTime::from_micros(0);
+        // First 100-byte PDU: starts immediately, done at 100µs.
+        let (done, wait) = state.reserve_egress(0, 100, t0);
+        assert_eq!((done.as_micros(), wait), (100, 0));
+        // Second queued at t=0: waits 100µs behind the first.
+        let (done, wait) = state.reserve_egress(0, 100, t0);
+        assert_eq!((done.as_micros(), wait), (200, 100));
+        // A transmission after the link drains starts fresh.
+        let (done, wait) = state.reserve_egress(0, 100, SimTime::from_micros(500));
+        assert_eq!((done.as_micros(), wait), (600, 0));
+        // Ingress is an independent ledger at its own rate (2000 B/ms →
+        // 50µs per 100 bytes) and per-node.
+        let (done, wait) = state.reserve_ingress(1, 100, SimTime::from_micros(10));
+        assert_eq!((done.as_micros(), wait), (60, 0));
+        let (done, wait) = state.reserve_ingress(1, 100, SimTime::from_micros(10));
+        assert_eq!((done.as_micros(), wait), (110, 50));
+        // Node 0's ingress is untouched by node 1's traffic.
+        let (done, wait) = state.reserve_ingress(0, 100, SimTime::from_micros(10));
+        assert_eq!((done.as_micros(), wait), (60, 0));
+    }
+
+    #[test]
+    fn network_model_composes_and_validates() {
+        let net = NetworkModel::default();
+        assert!(net.validate(5).is_ok());
+        assert_eq!(net.bandwidth, BandwidthModel::Unlimited);
+        assert_eq!(net.max_delay(), SimDuration::from_millis(1));
+
+        let from_delay: NetworkModel = DelayModel::Uniform(SimDuration::from_micros(42)).into();
+        assert_eq!(from_delay.bandwidth, BandwidthModel::Unlimited);
+        assert_eq!(from_delay.max_delay().as_micros(), 42);
+
+        let bad = NetworkModel {
+            delay: DelayModel::Jitter {
+                min: SimDuration::from_micros(9),
+                max: SimDuration::from_micros(1),
+            },
+            bandwidth: BandwidthModel::Unlimited,
+        };
+        assert!(matches!(
+            bad.validate(2),
+            Err(NetworkError::InvertedJitter { .. })
+        ));
+        let bad_bw = NetworkModel {
+            delay: DelayModel::default(),
+            bandwidth: BandwidthModel::Shared {
+                egress_bytes_per_ms: 0,
+                ingress_bytes_per_ms: 0,
+            },
+        };
+        assert_eq!(bad_bw.validate(2).unwrap_err(), NetworkError::ZeroBandwidth);
+    }
+}

@@ -5,6 +5,14 @@
 //! acceptance→acknowledgment takes `2R` when confirmations are broadcast in
 //! parallel. The delay model fixes how long a PDU spends on the wire from
 //! one entity's NIC to another's.
+//!
+//! Models are **validated at construction** (or at
+//! [`Simulator::try_new`](crate::Simulator::try_new), which re-checks the
+//! model against the actual cluster size): [`DelayModel::sample`] is a
+//! total function with no panic paths. Invalid shapes — an inverted
+//! [`DelayModel::Jitter`] range, a ragged or undersized
+//! [`DelayModel::PerPair`] matrix, a degenerate [`WanDelay`] — are typed
+//! [`NetworkError`]s, not runtime aborts.
 
 use causal_order::EntityId;
 use rand::rngs::SmallRng;
@@ -12,13 +20,216 @@ use rand::Rng;
 
 use crate::SimDuration;
 
+/// Maximum tail octaves a [`WanDelay`] may double through (factor `2^10`
+/// over the median — far past any realistic WAN tail, and small enough
+/// that `max_delay` arithmetic cannot overflow for sane medians).
+pub const MAX_WAN_OCTAVES: u32 = 10;
+
+/// A network-model shape rejected at construction or validation time.
+///
+/// Replaces the historical panic paths inside [`DelayModel::sample`]
+/// (uncovered `PerPair` pair, inverted `Jitter` range): malformed models
+/// are now refused *before* the simulation starts, with a typed error the
+/// caller can match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A [`DelayModel::Jitter`] range with `min > max`.
+    InvertedJitter {
+        /// The rejected lower bound, µs.
+        min_us: u64,
+        /// The rejected upper bound, µs.
+        max_us: u64,
+    },
+    /// A [`DelayModel::PerPair`] matrix row whose width differs from the
+    /// row count (the matrix must be square).
+    RaggedPerPair {
+        /// Index of the offending row.
+        row: usize,
+        /// Its width.
+        len: usize,
+        /// The expected width (the row count).
+        expected: usize,
+    },
+    /// A [`DelayModel::PerPair`] matrix smaller than the cluster it must
+    /// cover (detected when the model meets the simulator).
+    PerPairTooSmall {
+        /// Matrix dimension.
+        rows: usize,
+        /// Cluster size.
+        cluster: usize,
+    },
+    /// A [`WanDelay`] with a zero `median` — the heavy-tailed component
+    /// would be degenerate.
+    WanZeroMedian,
+    /// A [`WanDelay`] with more doubling octaves than [`MAX_WAN_OCTAVES`].
+    WanTooManyOctaves {
+        /// The rejected octave count.
+        octaves: u32,
+    },
+    /// A per-mille probability of 1000 or more (must be a probability).
+    BadPerMille {
+        /// The rejected value.
+        value: u32,
+    },
+    /// A [`BandwidthModel::Shared`](crate::BandwidthModel::Shared) with a
+    /// zero byte rate on either direction.
+    ZeroBandwidth,
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::InvertedJitter { min_us, max_us } => {
+                write!(f, "jitter range inverted: min {min_us}µs > max {max_us}µs")
+            }
+            NetworkError::RaggedPerPair { row, len, expected } => write!(
+                f,
+                "per-pair matrix row {row} has width {len}, expected {expected} (square matrix)"
+            ),
+            NetworkError::PerPairTooSmall { rows, cluster } => write!(
+                f,
+                "per-pair matrix covers {rows} entities but the cluster has {cluster}"
+            ),
+            NetworkError::WanZeroMedian => write!(f, "WAN delay median must be non-zero"),
+            NetworkError::WanTooManyOctaves { octaves } => write!(
+                f,
+                "WAN tail octaves {octaves} exceed the supported maximum {MAX_WAN_OCTAVES}"
+            ),
+            NetworkError::BadPerMille { value } => {
+                write!(f, "per-mille probability {value} out of range (0..=999)")
+            }
+            NetworkError::ZeroBandwidth => {
+                write!(f, "shared bandwidth rates must be at least 1 byte/ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// WAN-ish heavy-tailed propagation delay: a fixed jitter floor plus a
+/// log-scale geometric tail, with an optional second (bimodal) mode.
+///
+/// The tail is a *discrete lognormal-like* walk: starting from `median`,
+/// each of up to `octaves` doublings happens with probability
+/// `tail_per_mille`/1000, then the sample is jittered uniformly within the
+/// final octave. `log₂(delay − floor)` is therefore geometrically
+/// distributed — the integer-exact analogue of a lognormal body with a
+/// power-ish tail, chosen over `exp`/`ln` sampling so every platform
+/// produces bit-identical streams (the determinism contract behind
+/// [`trace_digest`](crate::Simulator::trace_digest)). With probability
+/// `spike_per_mille`/1000 an extra `spike` is added: the second mode of a
+/// bimodal WAN (route flaps, bufferbloat episodes).
+///
+/// The paper's `R` for this model is [`DelayModel::max_delay`]:
+/// `floor + 1.5·median·2^octaves + spike`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WanDelay {
+    /// Jitter floor added to every sample (speed-of-light latency).
+    pub floor: SimDuration,
+    /// Scale of the heavy-tailed component; the minimum non-floor part.
+    pub median: SimDuration,
+    /// Maximum number of tail doublings (`≤` [`MAX_WAN_OCTAVES`]).
+    pub octaves: u32,
+    /// Per-octave continuation probability, in ‰ (`0..=999`).
+    pub tail_per_mille: u32,
+    /// Extra delay of the second (bimodal) mode.
+    pub spike: SimDuration,
+    /// Probability of the second mode, in ‰ (`0..=999`).
+    pub spike_per_mille: u32,
+}
+
+impl WanDelay {
+    /// Builds a validated WAN delay model.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::WanZeroMedian`] for a zero median,
+    /// [`NetworkError::WanTooManyOctaves`] above [`MAX_WAN_OCTAVES`], and
+    /// [`NetworkError::BadPerMille`] for probabilities outside `0..=999`.
+    pub fn new(
+        floor: SimDuration,
+        median: SimDuration,
+        octaves: u32,
+        tail_per_mille: u32,
+        spike: SimDuration,
+        spike_per_mille: u32,
+    ) -> Result<WanDelay, NetworkError> {
+        let model = WanDelay {
+            floor,
+            median,
+            octaves,
+            tail_per_mille,
+            spike,
+            spike_per_mille,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Re-checks the invariants [`WanDelay::new`] establishes (a
+    /// hand-built literal may bypass the constructor).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WanDelay::new`].
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        if self.median == SimDuration::ZERO {
+            return Err(NetworkError::WanZeroMedian);
+        }
+        if self.octaves > MAX_WAN_OCTAVES {
+            return Err(NetworkError::WanTooManyOctaves {
+                octaves: self.octaves,
+            });
+        }
+        for value in [self.tail_per_mille, self.spike_per_mille] {
+            if value >= 1000 {
+                return Err(NetworkError::BadPerMille { value });
+            }
+        }
+        Ok(())
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> SimDuration {
+        let mut base = self.median.as_micros().max(1);
+        for _ in 0..self.octaves {
+            if rng.random_range(0..1000u32) < self.tail_per_mille {
+                base *= 2;
+            } else {
+                break;
+            }
+        }
+        // Uniform spread within the final octave keeps the distribution
+        // continuous-looking instead of a comb of spikes.
+        let within = rng.random_range(0..=base / 2);
+        let spike = if rng.random_range(0..1000u32) < self.spike_per_mille {
+            self.spike.as_micros()
+        } else {
+            0
+        };
+        SimDuration::from_micros(self.floor.as_micros() + base + within + spike)
+    }
+
+    fn max_delay(&self) -> SimDuration {
+        let top = (self.median.as_micros().max(1)) << self.octaves.min(MAX_WAN_OCTAVES);
+        SimDuration::from_micros(
+            self.floor
+                .as_micros()
+                .saturating_add(top)
+                .saturating_add(top / 2)
+                .saturating_add(self.spike.as_micros()),
+        )
+    }
+}
+
 /// How long a PDU takes from sender to receiver.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DelayModel {
     /// Every pair is `R` apart (the paper's analytical model).
     Uniform(SimDuration),
     /// Uniformly random in `[min, max]` per transmission (models jitter;
-    /// per-link FIFO is still enforced by the simulator).
+    /// per-link FIFO is still enforced by the simulator). Build through
+    /// [`DelayModel::jitter`] to reject inverted ranges up front.
     Jitter {
         /// Lower bound.
         min: SimDuration,
@@ -26,25 +237,129 @@ pub enum DelayModel {
         max: SimDuration,
     },
     /// Explicit per-pair matrix; `matrix[from][to]` is the one-way delay.
+    /// Asymmetric links are expressed here: `matrix[a][b]` and
+    /// `matrix[b][a]` are independent per-direction profiles. Build
+    /// through [`DelayModel::per_pair`] to reject ragged matrices up
+    /// front.
     PerPair(Vec<Vec<SimDuration>>),
+    /// Heavy-tailed WAN delay with a jitter floor and an optional second
+    /// mode; see [`WanDelay`].
+    Wan(WanDelay),
 }
 
 impl DelayModel {
+    /// Builds a validated jitter model.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::InvertedJitter`] when `min > max`.
+    pub fn jitter(min: SimDuration, max: SimDuration) -> Result<DelayModel, NetworkError> {
+        if min > max {
+            return Err(NetworkError::InvertedJitter {
+                min_us: min.as_micros(),
+                max_us: max.as_micros(),
+            });
+        }
+        Ok(DelayModel::Jitter { min, max })
+    }
+
+    /// Builds a validated per-pair matrix model (must be square; coverage
+    /// of the actual cluster size is checked when the model meets the
+    /// simulator).
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::RaggedPerPair`] naming the first offending row.
+    pub fn per_pair(matrix: Vec<Vec<SimDuration>>) -> Result<DelayModel, NetworkError> {
+        let expected = matrix.len();
+        for (row, entries) in matrix.iter().enumerate() {
+            if entries.len() != expected {
+                return Err(NetworkError::RaggedPerPair {
+                    row,
+                    len: entries.len(),
+                    expected,
+                });
+            }
+        }
+        Ok(DelayModel::PerPair(matrix))
+    }
+
+    /// Checks the model against a cluster of `n` entities. The simulator
+    /// calls this on construction, so [`DelayModel::sample`] never meets a
+    /// shape it cannot serve.
+    ///
+    /// # Errors
+    ///
+    /// The same rejections as the typed constructors, plus
+    /// [`NetworkError::PerPairTooSmall`] when a matrix does not cover the
+    /// cluster.
+    pub fn validate(&self, n: usize) -> Result<(), NetworkError> {
+        match self {
+            DelayModel::Uniform(_) => Ok(()),
+            DelayModel::Jitter { min, max } => {
+                if min > max {
+                    Err(NetworkError::InvertedJitter {
+                        min_us: min.as_micros(),
+                        max_us: max.as_micros(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            DelayModel::PerPair(matrix) => {
+                let expected = matrix.len();
+                for (row, entries) in matrix.iter().enumerate() {
+                    if entries.len() != expected {
+                        return Err(NetworkError::RaggedPerPair {
+                            row,
+                            len: entries.len(),
+                            expected,
+                        });
+                    }
+                }
+                if expected < n {
+                    return Err(NetworkError::PerPairTooSmall {
+                        rows: expected,
+                        cluster: n,
+                    });
+                }
+                Ok(())
+            }
+            DelayModel::Wan(wan) => wan.validate(),
+        }
+    }
+
+    /// Whether this model samples from the simulator's *dedicated* network
+    /// RNG stream instead of the main one. Legacy models (`Uniform`,
+    /// `Jitter`, `PerPair`) stay on the main stream so historical runs —
+    /// including the committed reproducer corpus — replay bit-identically;
+    /// new heavy-tailed models draw from a derived, delay-only stream so
+    /// enabling them never perturbs loss fates or workload randomness.
+    pub fn dedicated_stream(&self) -> bool {
+        matches!(self, DelayModel::Wan(_))
+    }
+
     /// Samples the delay for one transmission `from → to`.
     ///
-    /// # Panics
-    ///
-    /// Panics if a [`DelayModel::PerPair`] matrix does not cover the pair,
-    /// or if a [`DelayModel::Jitter`] range is inverted.
+    /// Total for every validated model (see [`DelayModel::validate`]); as
+    /// belt-and-braces for hand-built literals that bypassed validation,
+    /// an inverted jitter range is normalized and an uncovered per-pair
+    /// lookup falls back to [`DelayModel::max_delay`] instead of aborting
+    /// the run.
     pub fn sample(&self, from: EntityId, to: EntityId, rng: &mut SmallRng) -> SimDuration {
         match self {
             DelayModel::Uniform(d) => *d,
             DelayModel::Jitter { min, max } => {
-                assert!(min <= max, "jitter range inverted");
-                let us = rng.random_range(min.as_micros()..=max.as_micros());
+                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                let us = rng.random_range(lo.as_micros()..=hi.as_micros());
                 SimDuration::from_micros(us)
             }
-            DelayModel::PerPair(matrix) => matrix[from.index()][to.index()],
+            DelayModel::PerPair(matrix) => matrix
+                .get(from.index())
+                .and_then(|row| row.get(to.index()))
+                .copied()
+                .unwrap_or_else(|| self.max_delay()),
+            DelayModel::Wan(wan) => wan.sample(rng),
         }
     }
 
@@ -58,6 +373,7 @@ impl DelayModel {
                 .flat_map(|row| row.iter().copied())
                 .max()
                 .unwrap_or(SimDuration::ZERO),
+            DelayModel::Wan(wan) => wan.max_delay(),
         }
     }
 }
@@ -88,10 +404,8 @@ mod tests {
 
     #[test]
     fn jitter_stays_in_range() {
-        let m = DelayModel::Jitter {
-            min: SimDuration::from_micros(100),
-            max: SimDuration::from_micros(200),
-        };
+        let m = DelayModel::jitter(SimDuration::from_micros(100), SimDuration::from_micros(200))
+            .unwrap();
         let mut r = rng();
         for _ in 0..100 {
             let d = m.sample(EntityId::new(0), EntityId::new(1), &mut r);
@@ -102,10 +416,11 @@ mod tests {
 
     #[test]
     fn per_pair_lookup() {
-        let m = DelayModel::PerPair(vec![
+        let m = DelayModel::per_pair(vec![
             vec![SimDuration::ZERO, SimDuration::from_micros(10)],
             vec![SimDuration::from_micros(30), SimDuration::ZERO],
-        ]);
+        ])
+        .unwrap();
         assert_eq!(
             m.sample(EntityId::new(1), EntityId::new(0), &mut rng())
                 .as_micros(),
@@ -144,5 +459,188 @@ mod tests {
                 .collect()
         };
         assert_eq!(a, b);
+    }
+
+    // ---- typed construction-time rejections (formerly `sample` panics) --
+
+    #[test]
+    fn inverted_jitter_is_rejected_at_construction() {
+        let err = DelayModel::jitter(SimDuration::from_micros(500), SimDuration::from_micros(100))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetworkError::InvertedJitter {
+                min_us: 500,
+                max_us: 100
+            }
+        );
+        // validate() reaches the same verdict on a hand-built literal.
+        let literal = DelayModel::Jitter {
+            min: SimDuration::from_micros(500),
+            max: SimDuration::from_micros(100),
+        };
+        assert_eq!(literal.validate(2).unwrap_err(), err);
+        // The error names the offending bounds.
+        assert!(err.to_string().contains("500"));
+    }
+
+    #[test]
+    fn ragged_per_pair_is_rejected_at_construction() {
+        let err = DelayModel::per_pair(vec![
+            vec![SimDuration::ZERO, SimDuration::from_micros(10)],
+            vec![SimDuration::from_micros(30)],
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            NetworkError::RaggedPerPair {
+                row: 1,
+                len: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn undersized_per_pair_is_rejected_by_validate() {
+        let m = DelayModel::per_pair(vec![
+            vec![SimDuration::ZERO, SimDuration::from_micros(10)],
+            vec![SimDuration::from_micros(30), SimDuration::ZERO],
+        ])
+        .unwrap();
+        assert!(m.validate(2).is_ok());
+        assert_eq!(
+            m.validate(3).unwrap_err(),
+            NetworkError::PerPairTooSmall {
+                rows: 2,
+                cluster: 3
+            }
+        );
+    }
+
+    #[test]
+    fn uncovered_per_pair_sample_is_total() {
+        // A literal that bypassed validation must not abort the run: the
+        // uncovered pair falls back to the matrix maximum.
+        let m = DelayModel::PerPair(vec![
+            vec![SimDuration::ZERO, SimDuration::from_micros(10)],
+            vec![SimDuration::from_micros(30), SimDuration::ZERO],
+        ]);
+        let d = m.sample(EntityId::new(2), EntityId::new(0), &mut rng());
+        assert_eq!(d.as_micros(), 30);
+    }
+
+    #[test]
+    fn inverted_jitter_sample_is_total() {
+        let m = DelayModel::Jitter {
+            min: SimDuration::from_micros(200),
+            max: SimDuration::from_micros(100),
+        };
+        let d = m.sample(EntityId::new(0), EntityId::new(1), &mut rng());
+        assert!((100..=200).contains(&d.as_micros()));
+    }
+
+    #[test]
+    fn wan_rejects_degenerate_shapes() {
+        let wan = |median: u64, octaves: u32, tail: u32, spike_pm: u32| {
+            WanDelay::new(
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(median),
+                octaves,
+                tail,
+                SimDuration::from_micros(1_000),
+                spike_pm,
+            )
+        };
+        assert_eq!(wan(0, 2, 100, 10).unwrap_err(), NetworkError::WanZeroMedian);
+        assert_eq!(
+            wan(500, MAX_WAN_OCTAVES + 1, 100, 10).unwrap_err(),
+            NetworkError::WanTooManyOctaves {
+                octaves: MAX_WAN_OCTAVES + 1
+            }
+        );
+        assert_eq!(
+            wan(500, 2, 1000, 10).unwrap_err(),
+            NetworkError::BadPerMille { value: 1000 }
+        );
+        assert_eq!(
+            wan(500, 2, 100, 1001).unwrap_err(),
+            NetworkError::BadPerMille { value: 1001 }
+        );
+        assert!(wan(500, 2, 100, 10).is_ok());
+    }
+
+    #[test]
+    fn wan_samples_stay_within_floor_and_r() {
+        let wan = WanDelay::new(
+            SimDuration::from_micros(200),
+            SimDuration::from_micros(500),
+            3,
+            400,
+            SimDuration::from_micros(2_000),
+            50,
+        )
+        .unwrap();
+        let m = DelayModel::Wan(wan);
+        let r = m.max_delay();
+        // floor + median is the minimum; R = floor + 1.5·median·2³ + spike.
+        assert_eq!(r.as_micros(), 200 + 4_000 + 2_000 + 2_000);
+        let mut rng = rng();
+        let mut tail_seen = false;
+        for _ in 0..2_000 {
+            let d = m.sample(EntityId::new(0), EntityId::new(1), &mut rng);
+            assert!(d.as_micros() >= 700, "below floor+median: {d:?}");
+            assert!(d <= r, "above R: {d:?}");
+            if d.as_micros() >= 200 + 2 * 500 {
+                tail_seen = true;
+            }
+        }
+        assert!(tail_seen, "a 40%-per-octave tail must actually appear");
+    }
+
+    #[test]
+    fn wan_sampling_is_deterministic_per_seed() {
+        let m = DelayModel::Wan(
+            WanDelay::new(
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(300),
+                2,
+                250,
+                SimDuration::from_micros(1_500),
+                30,
+            )
+            .unwrap(),
+        );
+        let draw = || {
+            let mut r = rng();
+            (0..64)
+                .map(|_| {
+                    m.sample(EntityId::new(0), EntityId::new(1), &mut r)
+                        .as_micros()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn only_wan_uses_the_dedicated_stream() {
+        assert!(!DelayModel::default().dedicated_stream());
+        assert!(!DelayModel::Jitter {
+            min: SimDuration::ZERO,
+            max: SimDuration::from_micros(1),
+        }
+        .dedicated_stream());
+        assert!(!DelayModel::PerPair(vec![]).dedicated_stream());
+        let wan = WanDelay::new(
+            SimDuration::ZERO,
+            SimDuration::from_micros(1),
+            0,
+            0,
+            SimDuration::ZERO,
+            0,
+        )
+        .unwrap();
+        assert!(DelayModel::Wan(wan).dedicated_stream());
     }
 }

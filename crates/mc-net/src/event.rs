@@ -42,6 +42,10 @@ pub(crate) enum EventKind<M, C> {
         from: EntityId,
         to: EntityId,
         msg: M,
+        /// When the sender put it on the wire — the event time minus
+        /// `sent` is the PDU's full transit (serialization + queuing +
+        /// propagation), accumulated into per-run latency statistics.
+        sent: SimTime,
     },
     /// `node` finishes processing its current PDU and takes the next.
     ProcessNext { node: EntityId },
@@ -97,6 +101,20 @@ mod tests {
             kind: EventKind::ProcessNext {
                 node: EntityId::new(0),
             },
+        }
+    }
+
+    #[test]
+    fn arrival_carries_send_time() {
+        let e: EventKind<u32, ()> = EventKind::Arrival {
+            from: EntityId::new(0),
+            to: EntityId::new(1),
+            msg: 7,
+            sent: SimTime::from_micros(42),
+        };
+        match e {
+            EventKind::Arrival { sent, .. } => assert_eq!(sent.as_micros(), 42),
+            _ => unreachable!(),
         }
     }
 

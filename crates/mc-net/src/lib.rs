@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bandwidth;
 mod buffer;
 mod delay;
 mod event;
@@ -55,8 +56,9 @@ mod sim;
 mod time;
 mod trace;
 
+pub use bandwidth::{BandwidthModel, NetworkModel};
 pub use buffer::Inbox;
-pub use delay::DelayModel;
+pub use delay::{DelayModel, NetworkError, WanDelay, MAX_WAN_OCTAVES};
 pub use event::{ControlEvent, TimerId};
 pub use loss::{FaultKind, LinkFate, LossModel, LossState, TimedRule};
 pub use node::{Context, SimNode};

@@ -23,6 +23,17 @@ pub trait SimNode {
         let _ = ctx;
     }
 
+    /// Wire size of a PDU in bytes, used by
+    /// [`BandwidthModel::Shared`](crate::BandwidthModel::Shared) to charge
+    /// serialization time. Only consulted when bandwidth is finite, so the
+    /// default — a flat 64-byte frame — costs nothing under the unlimited
+    /// model. Engines with real codecs override this with their encoded
+    /// length.
+    fn msg_bytes(msg: &Self::Msg) -> u64 {
+        let _ = msg;
+        64
+    }
+
     /// A PDU from `from` has been taken out of the NIC inbox (i.e. the
     /// entity has *received* it in the paper's sense; whether it is
     /// *accepted* is the protocol's business).

@@ -6,8 +6,9 @@ use causal_order::EntityId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::bandwidth::{BandwidthState, NetworkModel};
 use crate::buffer::Inbox;
-use crate::delay::DelayModel;
+use crate::delay::NetworkError;
 use crate::event::{ControlEvent, EventKind, QueuedEvent, TimerId};
 use crate::loss::{LinkFate, LossModel, LossState};
 use crate::node::{Context, Output, SimNode};
@@ -17,8 +18,11 @@ use crate::{SimDuration, SimTime};
 /// Network-level configuration of a run.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Propagation-delay model (the paper's `R`).
-    pub delay: DelayModel,
+    /// Network model: propagation delay (the paper's `R`) composed with
+    /// link bandwidth. A bare [`DelayModel`](crate::DelayModel) converts
+    /// via `.into()` — that is the historical delay-only configuration
+    /// with unlimited bandwidth.
+    pub network: NetworkModel,
     /// In-flight loss model (the buffer-overrun loss is separate and always
     /// active through `inbox_capacity`).
     pub loss: LossModel,
@@ -44,7 +48,7 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
-            delay: DelayModel::default(),
+            network: NetworkModel::default(),
             loss: LossModel::None,
             inbox_capacity: 1024,
             proc_time: SimDuration::from_micros(10),
@@ -72,6 +76,12 @@ pub struct Simulator<N: SimNode> {
     cancelled: HashSet<TimerId>,
     loss: LossState,
     rng: SmallRng,
+    /// Dedicated stream for delay models that opt in (see
+    /// [`DelayModel::dedicated_stream`](crate::DelayModel::dedicated_stream)):
+    /// derived from the same seed, but drawing from it never perturbs
+    /// loss fates or workload randomness on the main `rng`.
+    net_rng: SmallRng,
+    bandwidth: BandwidthState,
     stats: NetStats,
     recorder: TraceRecorder,
     /// Last scheduled arrival per (from, to) link, to keep links FIFO under
@@ -87,16 +97,39 @@ impl<N: SimNode> Simulator<N> {
     ///
     /// # Panics
     ///
-    /// Panics if fewer than two nodes are supplied (the paper's `n ≥ 2`).
+    /// Panics if fewer than two nodes are supplied (the paper's `n ≥ 2`)
+    /// or the network model is malformed; [`Simulator::try_new`] returns
+    /// the latter as a typed error instead.
     pub fn new(config: SimConfig, nodes: Vec<N>) -> Self {
+        match Simulator::try_new(config, nodes) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid network model: {e}"),
+        }
+    }
+
+    /// Like [`Simulator::new`], but a malformed network model (inverted
+    /// jitter range, per-pair matrix not covering the cluster, degenerate
+    /// WAN shape, zero bandwidth) is a typed [`NetworkError`] instead of a
+    /// panic. Validating here makes [`DelayModel::sample`](crate::DelayModel::sample)
+    /// total for the whole run.
+    ///
+    /// # Errors
+    ///
+    /// The first [`NetworkError`] found in `config.network`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two nodes are supplied (the paper's `n ≥ 2`).
+    pub fn try_new(config: SimConfig, nodes: Vec<N>) -> Result<Self, NetworkError> {
         assert!(nodes.len() >= 2, "a cluster needs at least 2 entities");
         let n = nodes.len();
+        config.network.validate(n)?;
         let recorder = if config.trace {
             TraceRecorder::enabled()
         } else {
             TraceRecorder::disabled()
         };
-        Simulator {
+        Ok(Simulator {
             inboxes: (0..n).map(|_| Inbox::new(config.inbox_capacity)).collect(),
             busy: vec![false; n],
             paused: vec![false; n],
@@ -107,6 +140,10 @@ impl<N: SimNode> Simulator<N> {
             cancelled: HashSet::new(),
             loss: LossState::new(config.loss.clone()),
             rng: SmallRng::seed_from_u64(config.seed),
+            // Same seed, distinct stream (splitmix64's golden-gamma keeps
+            // the two seeds decorrelated even for adjacent seed values).
+            net_rng: SmallRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15),
+            bandwidth: BandwidthState::new(config.network.bandwidth, n),
             stats: NetStats::default(),
             recorder,
             link_front: vec![SimTime::ZERO; n * n],
@@ -114,7 +151,7 @@ impl<N: SimNode> Simulator<N> {
             nodes: nodes.into_iter().map(Some).collect(),
             started: false,
             config,
-        }
+        })
     }
 
     /// Number of entities.
@@ -263,6 +300,19 @@ impl<N: SimNode> Simulator<N> {
 
     fn transmit(&mut self, from: EntityId, to: EntityId, msg: N::Msg) {
         self.stats.link_sends += 1;
+        // Egress serialization: each point-to-point copy occupies the
+        // sender's NIC for its wire time, so a broadcast to n−1 peers
+        // leaves the host staggered, not all at once. Reserved before the
+        // loss fate (the bits go on the wire either way) and consuming no
+        // randomness, so finite bandwidth leaves the loss and delay RNG
+        // streams — and therefore legacy runs — untouched.
+        let bytes = if self.bandwidth.is_unlimited() {
+            0
+        } else {
+            N::msg_bytes(&msg)
+        };
+        let (tx_done, egress_wait) = self.bandwidth.reserve_egress(from.index(), bytes, self.now);
+        self.stats.ser_wait_us += egress_wait;
         let copies = match self.loss.fate(from, to, self.now, &mut self.rng) {
             LinkFate::Drop => {
                 self.stats.link_drops += 1;
@@ -287,10 +337,25 @@ impl<N: SimNode> Simulator<N> {
         };
         let link = from.index() * self.nodes.len() + to.index();
         for _ in 0..copies {
-            let delay = self.config.delay.sample(from, to, &mut self.rng);
+            let delay = if self.config.network.delay.dedicated_stream() {
+                self.config
+                    .network
+                    .delay
+                    .sample(from, to, &mut self.net_rng)
+            } else {
+                self.config.network.delay.sample(from, to, &mut self.rng)
+            };
+            // Propagation starts when the last bit leaves the sender NIC;
+            // the receiver NIC then serializes the copy in (duplicate
+            // copies consume ingress but not egress — they were minted on
+            // the wire, not by the host).
+            let wire_at = tx_done + delay;
+            let (rx_done, ingress_wait) =
+                self.bandwidth.reserve_ingress(to.index(), bytes, wire_at);
+            self.stats.ser_wait_us += ingress_wait;
             // Enforce per-link FIFO: an arrival never overtakes an earlier
             // one (duplicate copies queue behind the original).
-            let at = (self.now + delay).max(self.link_front[link]);
+            let at = rx_done.max(self.link_front[link]);
             self.link_front[link] = at;
             self.push_event(
                 at,
@@ -298,6 +363,7 @@ impl<N: SimNode> Simulator<N> {
                     from,
                     to,
                     msg: msg.clone(),
+                    sent: self.now,
                 },
             );
         }
@@ -312,7 +378,15 @@ impl<N: SimNode> Simulator<N> {
         debug_assert!(event.time >= self.now, "time went backwards");
         self.now = event.time;
         match event.kind {
-            EventKind::Arrival { from, to, msg } => {
+            EventKind::Arrival {
+                from,
+                to,
+                msg,
+                sent,
+            } => {
+                let transit = (self.now - sent).as_micros();
+                self.stats.transit_us_total += transit;
+                self.stats.transit_us_max = self.stats.transit_us_max.max(transit);
                 let inbox = &mut self.inboxes[to.index()];
                 if inbox.offer(from, msg, self.now) {
                     self.stats.arrivals += 1;
@@ -487,6 +561,10 @@ impl<N: SimNode> Simulator<N> {
         h = fnv_word(h, self.nodes.len() as u64);
         h = fnv_word(h, self.now.as_micros());
         let s = &self.stats;
+        // Exactly the nine historical counters, in their historical order:
+        // the newer latency/serialization gauges are derived views of the
+        // same event stream, and folding them in would change every digest
+        // the committed reproducer corpus replays against.
         for word in [
             s.link_sends,
             s.link_drops,
@@ -510,10 +588,13 @@ impl<N: SimNode> Simulator<N> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bandwidth::BandwidthModel;
+    use crate::delay::DelayModel;
     use crate::loss::TimedRule;
 
     /// Node that broadcasts each command payload and logs everything it
     /// processes.
+    #[derive(Debug)]
     struct Logger {
         seen: Vec<(EntityId, u32)>,
         echo: bool,
@@ -570,7 +651,7 @@ mod tests {
     fn delivery_takes_delay_plus_processing() {
         let mut sim = Simulator::new(
             SimConfig {
-                delay: DelayModel::Uniform(SimDuration::from_micros(100)),
+                network: DelayModel::Uniform(SimDuration::from_micros(100)).into(),
                 proc_time: SimDuration::from_micros(7),
                 ..SimConfig::default()
             },
@@ -585,10 +666,11 @@ mod tests {
     fn per_sender_fifo_is_preserved() {
         let mut sim = Simulator::new(
             SimConfig {
-                delay: DelayModel::Jitter {
+                network: DelayModel::Jitter {
                     min: SimDuration::from_micros(10),
                     max: SimDuration::from_micros(1_000),
-                },
+                }
+                .into(),
                 seed: 3,
                 ..SimConfig::default()
             },
@@ -616,7 +698,7 @@ mod tests {
         // tiny: the paper's §2.1 failure mode must appear.
         let mut sim = Simulator::new(
             SimConfig {
-                delay: DelayModel::Uniform(SimDuration::from_micros(1)),
+                network: DelayModel::Uniform(SimDuration::from_micros(1)).into(),
                 proc_time: SimDuration::from_micros(1_000),
                 inbox_capacity: 2,
                 ..SimConfig::default()
@@ -674,10 +756,11 @@ mod tests {
         let run = |seed: u64| {
             let mut sim = Simulator::new(
                 SimConfig {
-                    delay: DelayModel::Jitter {
+                    network: DelayModel::Jitter {
                         min: SimDuration::from_micros(1),
                         max: SimDuration::from_micros(500),
-                    },
+                    }
+                    .into(),
                     loss: LossModel::Iid { p: 0.2 },
                     seed,
                     ..SimConfig::default()
@@ -768,7 +851,7 @@ mod tests {
     fn paused_node_buffers_then_resumes_in_order() {
         let mut sim = Simulator::new(
             SimConfig {
-                delay: DelayModel::Uniform(SimDuration::from_micros(10)),
+                network: DelayModel::Uniform(SimDuration::from_micros(10)).into(),
                 ..SimConfig::default()
             },
             vec![Logger::new(), Logger::new()],
@@ -896,10 +979,11 @@ mod tests {
         let run = |seed: u64| {
             let mut sim = Simulator::new(
                 SimConfig {
-                    delay: DelayModel::Jitter {
+                    network: DelayModel::Jitter {
                         min: SimDuration::from_micros(1),
                         max: SimDuration::from_micros(300),
-                    },
+                    }
+                    .into(),
                     loss: LossModel::Iid { p: 0.1 },
                     seed,
                     trace: true,
@@ -1087,5 +1171,204 @@ mod tests {
         );
         // One proc_time per drain: the batched host finishes sooner.
         assert!(batched.now() <= strict.now());
+    }
+
+    // ------------------------- network models ------------------------- //
+
+    fn shared_config(rate: u64) -> SimConfig {
+        SimConfig {
+            network: NetworkModel {
+                delay: DelayModel::Uniform(SimDuration::from_micros(100)),
+                bandwidth: BandwidthModel::shared(rate, rate).unwrap(),
+            },
+            trace: true,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn shared_bandwidth_adds_serialization_delay() {
+        // 64-byte default frame at 1000 bytes/ms = 64µs on each NIC:
+        // egress 0→64, propagation 64→164, ingress 164→228, then the
+        // default 10µs proc_time → idle at 238.
+        let mut sim = Simulator::new(shared_config(1_000), vec![Logger::new(), Logger::new()]);
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 1);
+        sim.run_until_idle();
+        assert_eq!(sim.now().as_micros(), 238);
+        let s = sim.stats();
+        assert_eq!(s.ser_wait_us, 0, "a lone transmission never queues");
+        assert_eq!(s.transit_us_total, 228);
+        assert_eq!(s.transit_us_max, 228);
+    }
+
+    #[test]
+    fn contended_link_queues_transmissions() {
+        // Two back-to-back sends: the second waits 64µs for the sender's
+        // egress link, so its copy lands one full serialization later.
+        let mut sim = Simulator::new(shared_config(1_000), vec![Logger::new(), Logger::new()]);
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 1);
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 2);
+        sim.run_until_idle();
+        let arrivals: Vec<u64> = sim
+            .trace()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Arrival { at, .. } => Some(at.as_micros()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(arrivals, vec![228, 292]);
+        assert_eq!(sim.stats().ser_wait_us, 64);
+        assert_eq!(sim.stats().transit_us_max, 292);
+    }
+
+    #[test]
+    fn unlimited_bandwidth_has_no_serialization_cost() {
+        let mut sim = Simulator::new(
+            SimConfig {
+                network: DelayModel::Uniform(SimDuration::from_micros(100)).into(),
+                proc_time: SimDuration::from_micros(7),
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
+        sim.schedule_command(SimTime::ZERO, EntityId::new(0), 1);
+        sim.run_until_idle();
+        assert_eq!(sim.now().as_micros(), 107, "legacy timing is unchanged");
+        assert_eq!(sim.stats().ser_wait_us, 0);
+        assert_eq!(sim.stats().transit_us_total, 100);
+    }
+
+    #[test]
+    fn wan_delays_do_not_perturb_the_loss_stream() {
+        // The WAN model samples from the dedicated net_rng, so swapping it
+        // in changes *when* PDUs land but not *which* are lost: the i.i.d.
+        // loss fates draw the same main-rng sequence either way.
+        let run = |network: NetworkModel| {
+            let mut sim = Simulator::new(
+                SimConfig {
+                    network,
+                    loss: LossModel::Iid { p: 0.3 },
+                    seed: 5,
+                    ..SimConfig::default()
+                },
+                vec![Logger::new(), Logger::new()],
+            );
+            for k in 0..100 {
+                sim.schedule_command(SimTime::from_micros(k * 2), EntityId::new(0), k as u32);
+            }
+            sim.run_until_idle();
+            (sim.stats().link_sends, sim.stats().link_drops)
+        };
+        let wan = crate::WanDelay::new(
+            SimDuration::from_micros(50),
+            SimDuration::from_micros(400),
+            3,
+            300,
+            SimDuration::from_micros(2_000),
+            20,
+        )
+        .unwrap();
+        let uniform = run(DelayModel::Uniform(SimDuration::from_micros(500)).into());
+        let wan = run(DelayModel::Wan(wan).into());
+        assert_eq!(uniform, wan, "loss fates must be delay-model independent");
+        assert!(uniform.1 > 0, "the comparison must actually exercise loss");
+    }
+
+    #[test]
+    fn wan_network_runs_are_deterministic() {
+        let digest = |seed: u64| {
+            let wan = crate::WanDelay::new(
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(600),
+                2,
+                250,
+                SimDuration::from_micros(3_000),
+                30,
+            )
+            .unwrap();
+            let mut sim = Simulator::new(
+                SimConfig {
+                    network: NetworkModel {
+                        delay: DelayModel::Wan(wan),
+                        bandwidth: BandwidthModel::shared(2_000, 2_000).unwrap(),
+                    },
+                    seed,
+                    trace: true,
+                    ..SimConfig::default()
+                },
+                vec![Logger::new(), Logger::new(), Logger::new()],
+            );
+            for k in 0..50 {
+                sim.schedule_command(
+                    SimTime::from_micros(k * 5),
+                    EntityId::new((k % 3) as u32),
+                    k as u32,
+                );
+            }
+            sim.run_until_idle();
+            sim.trace_digest()
+        };
+        assert_eq!(digest(4), digest(4));
+        assert_ne!(digest(4), digest(5));
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_networks() {
+        let bad = SimConfig {
+            network: NetworkModel {
+                delay: DelayModel::Jitter {
+                    min: SimDuration::from_micros(10),
+                    max: SimDuration::from_micros(1),
+                },
+                bandwidth: BandwidthModel::Unlimited,
+            },
+            ..SimConfig::default()
+        };
+        let err = Simulator::try_new(bad, vec![Logger::new(), Logger::new()]).unwrap_err();
+        assert_eq!(
+            err,
+            NetworkError::InvertedJitter {
+                min_us: 10,
+                max_us: 1
+            }
+        );
+        // An undersized per-pair matrix is caught against the real n.
+        let small = SimConfig {
+            network: DelayModel::per_pair(vec![
+                vec![SimDuration::ZERO, SimDuration::from_micros(1)],
+                vec![SimDuration::from_micros(1), SimDuration::ZERO],
+            ])
+            .unwrap()
+            .into(),
+            ..SimConfig::default()
+        };
+        let err = Simulator::try_new(small, vec![Logger::new(), Logger::new(), Logger::new()])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetworkError::PerPairTooSmall {
+                rows: 2,
+                cluster: 3
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network model")]
+    fn new_panics_on_malformed_network() {
+        let _ = Simulator::new(
+            SimConfig {
+                network: NetworkModel {
+                    delay: DelayModel::default(),
+                    bandwidth: BandwidthModel::Shared {
+                        egress_bytes_per_ms: 0,
+                        ingress_bytes_per_ms: 0,
+                    },
+                },
+                ..SimConfig::default()
+            },
+            vec![Logger::new(), Logger::new()],
+        );
     }
 }

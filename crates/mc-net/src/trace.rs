@@ -26,6 +26,15 @@ pub struct NetStats {
     pub link_dups: u64,
     /// Buffered PDUs discarded by [`crate::ControlEvent::ClearInbox`].
     pub inbox_cleared: u64,
+    /// Total µs transmissions waited behind earlier traffic for a shared
+    /// link (zero under [`crate::BandwidthModel::Unlimited`]).
+    pub ser_wait_us: u64,
+    /// Total µs PDUs spent in transit, send → NIC, summed over arrivals
+    /// (including ones the inbox then dropped). `transit_us_total /
+    /// (arrivals + overrun_drops)` is the mean network latency.
+    pub transit_us_total: u64,
+    /// Worst single PDU transit, µs.
+    pub transit_us_max: u64,
 }
 
 impl NetStats {

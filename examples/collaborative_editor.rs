@@ -40,7 +40,7 @@ fn main() {
     ];
     let mut sim = Simulator::new(
         SimConfig {
-            delay: DelayModel::PerPair(delays),
+            network: DelayModel::PerPair(delays).into(),
             ..SimConfig::default()
         },
         nodes,

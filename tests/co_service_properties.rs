@@ -134,10 +134,11 @@ fn jittered_delays() {
             n: 5,
             messages_per_sender: 15,
             sim: SimConfig {
-                delay: DelayModel::Jitter {
+                network: DelayModel::Jitter {
                     min: SimDuration::from_micros(50),
                     max: SimDuration::from_micros(5_000),
-                },
+                }
+                .into(),
                 seed: 13,
                 ..SimConfig::default()
             },
