@@ -14,8 +14,14 @@
 //!
 //! The `entity/accept_*` family also measures the observability layer:
 //! `accept_in_order` is the default [`NoopObserver`] path (must stay
-//! free), `accept_latency` adds the always-on histogram tracker, and
-//! `accept_traced` additionally records every event. The
+//! free), `accept_latency` adds the always-on histogram tracker,
+//! `accept_traced` additionally records every event, `accept_recorder`
+//! swaps the unbounded log for the fixed-depth [`FlightRecorder`] ring
+//! (the always-on black box, behind `Box<dyn Observer>` — paired with
+//! the layout-identical `accept_dyn_noop` baseline row the guard
+//! divides by), and `accept_live` prices the full
+//! `co-transport` cluster stack — histograms + flight recorder +
+//! streaming anomaly detectors ([`LiveDetector`]). The
 //! `batch_throughput/*` family measures the wire-level receive pipeline
 //! both ways: `per_pdu` decodes each frame standalone and feeds
 //! [`Entity::on_pdu`] (the pre-batching transport loop), `batched`
@@ -48,7 +54,18 @@
 //!   [`ACCEPT_256_CEILING_NS`] absolutely, and
 //!   `batch_throughput/batched/256` must beat the per-PDU leg by at
 //!   least [`BATCH_256_MIN_SPEEDUP`]× in PDUs/s — the floors this
-//!   optimization PR claims.
+//!   optimization PR claims;
+//! * `entity/accept_recorder/256` must stay within
+//!   [`RECORDER_GUARD_TOLERANCE`] of `entity/accept_dyn_noop/256`
+//!   measured *in the same run* — the flight recorder's "always-on"
+//!   claim, priced against the no-op observer. Both legs of the pair run
+//!   behind `Box<dyn Observer>` so they share one monomorphized accept
+//!   loop: two statically dispatched instantiations differ in code
+//!   layout, which alone swings these rows ±15% across process restarts
+//!   of the *same binary* — far more than the ring write costs. The
+//!   ratio is pinned at n = 256 like the absolute ceiling: the smaller
+//!   rows sit at 100–400 ns where timer jitter dominates (their ratios
+//!   are printed for the record, without a verdict).
 //!
 //! Setting `CO_BENCH_GUARD_ACCEPT=1` downgrades guard failures to
 //! warnings for one run — the escape hatch for *intentional* trade-offs
@@ -61,11 +78,12 @@ use bytes::Bytes;
 use causal_order::{EntityId, Seq};
 use co_baselines::{BroadcasterNode, CoBroadcaster};
 use co_bench::NaiveKnowledgeMatrix;
-use co_observe::{EventLog, LatencyTracker, Observer, Tee};
+use co_observe::{EventLog, FlightRecorder, LatencyTracker, Observer, Tee, DEFAULT_RECORDER_DEPTH};
 use co_protocol::{
     Action, CoCore, Config, DeferralPolicy, DeliveryCore, Entity, HybridCore, KnowledgeMatrix,
     NoopObserver, Pdu, SenderCore,
 };
+use co_trace::{AnomalyConfig, LiveDetector};
 use co_wire::{AckBufPool, DataPdu};
 use mc_net::{SimConfig, SimTime, Simulator};
 use std::fmt::Write as _;
@@ -91,6 +109,13 @@ const BATCH_GUARD_TOLERANCE: f64 = 1.35;
 
 /// `--guard`: absolute ceiling for `entity/accept_in_order/256`.
 const ACCEPT_256_CEILING_NS: f64 = 2100.0;
+
+/// `--guard`: `entity/accept_recorder/256` may cost at most this factor
+/// of the same-run `entity/accept_dyn_noop/256` row. Within-run rather
+/// than trajectory-based, and both rows share one boxed accept loop
+/// (see the module docs), so the ratio isolates the recorder's
+/// ring-write overhead from machine drift and code-layout luck.
+const RECORDER_GUARD_TOLERANCE: f64 = 1.10;
 
 /// `--guard`: minimum `batch_throughput` speedup (batched over per-PDU
 /// PDUs/s) at n = 256.
@@ -243,6 +268,58 @@ fn bench_acceptance_traced(n: usize, msgs: u64) -> f64 {
         Entity::<CoCore, _>::with_observer(steady_config(0, n), observer).expect("valid entity");
     let ns = drive_acceptance(&mut e, n, msgs);
     black_box(e.observer().1.len());
+    ns
+}
+
+/// Baseline leg of the recorder-overhead pair: the no-op observer behind
+/// the same `Box<dyn Observer>` indirection [`bench_acceptance_recorder`]
+/// uses. Boxing both legs makes them share one monomorphized accept loop,
+/// so their ratio isolates the observer callee's cost — two *statically*
+/// dispatched loops differ in code layout, which alone swings
+/// sub-microsecond rows by more than the recorder costs (±15% observed
+/// across process restarts of an identical binary).
+fn bench_acceptance_dyn_noop(n: usize, msgs: u64) -> f64 {
+    let observer: Box<dyn Observer> = Box::new(NoopObserver);
+    let mut e =
+        Entity::<CoCore, _>::with_observer(steady_config(0, n), observer).expect("valid entity");
+    let ns = drive_acceptance(&mut e, n, msgs);
+    black_box(e.observer());
+    ns
+}
+
+/// Acceptance with the fixed-depth flight recorder alone — the always-on
+/// black box every `co-transport` node now carries. Unlike
+/// [`bench_acceptance_traced`]'s unbounded log this is a ring overwrite:
+/// cost must stay flat no matter how long the run. Dispatched through
+/// `Box<dyn Observer>` (the `co-cli` runtime-chosen configuration) so the
+/// guard can compare it against [`bench_acceptance_dyn_noop`]'s
+/// layout-identical loop.
+fn bench_acceptance_recorder(n: usize, msgs: u64) -> f64 {
+    let observer: Box<dyn Observer> = Box::new(FlightRecorder::new(DEFAULT_RECORDER_DEPTH));
+    let mut e =
+        Entity::<CoCore, _>::with_observer(steady_config(0, n), observer).expect("valid entity");
+    let ns = drive_acceptance(&mut e, n, msgs);
+    black_box(e.observer());
+    ns
+}
+
+/// Acceptance under the full default cluster observer stack: latency
+/// histograms + flight recorder + streaming anomaly detectors — what a
+/// `co-transport` node pays per PDU out of the box. Informational (no
+/// guard): the detectors legitimately spend hot-path time maintaining
+/// span state.
+fn bench_acceptance_live(n: usize, msgs: u64) -> f64 {
+    let observer = Tee(
+        LatencyTracker::default(),
+        Tee(
+            FlightRecorder::new(DEFAULT_RECORDER_DEPTH),
+            LiveDetector::new(0, AnomalyConfig::default()),
+        ),
+    );
+    let mut e =
+        Entity::<CoCore, _>::with_observer(steady_config(0, n), observer).expect("valid entity");
+    let ns = drive_acceptance(&mut e, n, msgs);
+    black_box(e.observer().1 .1.findings().len());
     ns
 }
 
@@ -428,9 +505,11 @@ impl FanOut {
 /// per-PDU leg decodes each frame standalone and feeds `on_pdu`, the
 /// batched leg decodes through the shared ack-buffer pool and feeds the
 /// whole drain to `on_pdus_into`. Both legs pay the same per-emission
-/// send cost ([`FanOut`]). Each leg runs twice and keeps the second
-/// measurement: the first pass faults in the frame set and warms the
-/// allocator, which otherwise skews whichever leg runs first.
+/// send cost ([`FanOut`]). Each leg runs three times and keeps the
+/// fastest pass: the first pass faults in the frame set and warms the
+/// allocator, and keeping the best (rather than the second) measurement
+/// makes the ratchet rows robust to a scheduler hiccup landing on any
+/// one pass.
 fn bench_batch_throughput(n: usize, total: u64) -> (f64, f64) {
     let frames = in_order_frames(n, total);
 
@@ -472,10 +551,8 @@ fn bench_batch_throughput(n: usize, total: u64) -> (f64, f64) {
         total as f64 / start.elapsed().as_secs_f64().max(1e-9)
     };
 
-    per_pdu_leg(&frames);
-    let per_pdu = per_pdu_leg(&frames);
-    batched_leg(&frames);
-    let batched = batched_leg(&frames);
+    let per_pdu = (0..3).map(|_| per_pdu_leg(&frames)).fold(0.0, f64::max);
+    let batched = (0..3).map(|_| batched_leg(&frames)).fold(0.0, f64::max);
     (per_pdu, batched)
 }
 
@@ -587,11 +664,30 @@ fn main() {
 
     for n in SIZES {
         let msgs = 60_000u64.min(8_000_000 / n as u64);
-        for (op, ns) in [
-            ("accept_in_order", bench_acceptance(n, msgs)),
-            ("accept_latency", bench_acceptance_latency(n, msgs)),
-            ("accept_traced", bench_acceptance_traced(n, msgs)),
-        ] {
+        type AcceptBench = fn(usize, u64) -> f64;
+        let ops: [(&str, AcceptBench); 6] = [
+            ("accept_in_order", bench_acceptance),
+            ("accept_latency", bench_acceptance_latency),
+            ("accept_traced", bench_acceptance_traced),
+            ("accept_dyn_noop", bench_acceptance_dyn_noop),
+            ("accept_recorder", bench_acceptance_recorder),
+            ("accept_live", bench_acceptance_live),
+        ];
+        // Round-robin passes, keep each op's fastest: pass one faults in
+        // code and warms the allocator, and interleaving means a slow
+        // stretch of the machine hits every op instead of biasing
+        // whichever op it happened to land on — the recorder guard
+        // compares two of these rows at 10% tolerance, which
+        // block-sequential measurement cannot support. Three passes so a
+        // transient load spike has to span the whole schedule to skew a
+        // row's minimum.
+        let mut mins = [f64::INFINITY; 6];
+        for _pass in 0..3 {
+            for (slot, (_, bench)) in ops.iter().enumerate() {
+                mins[slot] = mins[slot].min(bench(n, msgs));
+            }
+        }
+        for ((op, _), ns) in ops.iter().zip(mins) {
             current.push(Entry {
                 id: format!("entity/{op}/{n}"),
                 n,
@@ -782,6 +878,37 @@ fn run_guard(existing: &str, current: &[Entry]) -> bool {
         eprintln!(
             "guard {}: {:.1} ns vs previous {prev:.1} ns ({ratio:.2}x, tolerance {tolerance:.2}x) {verdict}",
             e.id, e.ns_per_op
+        );
+    }
+
+    // Within-run recorder overhead: the always-on black box against the
+    // no-op observer, both measured through the same boxed accept loop in
+    // the same process, so the ratio is callee cost and nothing else.
+    for n in SIZES {
+        let row = |op: &str| {
+            current
+                .iter()
+                .find(|e| e.id == format!("entity/{op}/{n}"))
+                .map(|e| e.ns_per_op)
+        };
+        let (Some(base), Some(recorder)) = (row("accept_dyn_noop"), row("accept_recorder")) else {
+            continue;
+        };
+        let ratio = recorder / base;
+        // Only the n = 256 ratio carries a verdict: the smaller rows are
+        // dominated by timer and scheduler jitter, not recorder cost
+        // (see module docs).
+        let verdict = if n != 256 {
+            "(informational)"
+        } else if ratio <= RECORDER_GUARD_TOLERANCE {
+            "ok"
+        } else {
+            ok = false;
+            "REGRESSED"
+        };
+        eprintln!(
+            "guard entity/accept_recorder/{n}: {recorder:.1} ns vs same-run dyn-noop baseline \
+             {base:.1} ns ({ratio:.2}x, tolerance {RECORDER_GUARD_TOLERANCE:.2}x) {verdict}"
         );
     }
 

@@ -30,6 +30,18 @@
 //! same seeds generate the same schedules for every core, so core runs
 //! race head-to-head on identical adversarial inputs.
 //!
+//! `--flight-recorder DEPTH` sizes the per-node flight recorder (default
+//! 256 events, 0 disables retention). The recorder is always-on black-box
+//! telemetry: when an oracle trips, the shrunken reproducer embeds every
+//! node's last `DEPTH` protocol transitions under `flight_recorders`, and
+//! per-node `recorder-*.jsonl` dumps land next to the reproducer — enough
+//! to see the failing transition without re-running under `--trace-out`.
+//!
+//! `--json` prints the final report as one JSON object on stdout (clean
+//! runs and violations alike) instead of the human-readable text, so CI
+//! and scripts can consume the latency / peak-held / RET aggregates
+//! directly.
+//!
 //! `--network NAME` pins every schedule's network model to a named preset
 //! (`uniform`, `contended`, `asymmetric` or `wan`) instead of the
 //! per-scenario random draw. Like `--core`, the override happens *after*
@@ -41,10 +53,19 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use co_check::{
-    run_scenario, run_scenario_traced, shrink, Category, FaultEvent, NetworkSpec, Reproducer,
-    Scenario, CORE_NAMES, NETWORK_PRESETS,
+    run_scenario, run_scenario_observed, shrink, Category, FaultEvent, Json, NetworkSpec,
+    Reproducer, Scenario, CORE_NAMES, NETWORK_PRESETS,
 };
-use co_observe::{jsonl, ProtocolEvent, TraceLine};
+use co_observe::{jsonl, ProtocolEvent, TraceLine, DEFAULT_RECORDER_DEPTH};
+
+/// The `--force-loss-burst` fault: a cluster-wide blackout across the
+/// early workload window. Enough traffic lands inside it to exercise
+/// F1/F2 detection and the RET machinery, and the quiet tail after the
+/// fault horizon still lets the run quiesce cleanly.
+const FORCED_LOSS_BURST: FaultEvent = FaultEvent::LossBurst {
+    from_us: 500,
+    to_us: 12_000,
+};
 
 struct Args {
     schedules: u64,
@@ -58,6 +79,8 @@ struct Args {
     trace_out: Option<String>,
     force_loss_burst: bool,
     batch: Option<usize>,
+    flight_recorder: usize,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         force_loss_burst: false,
         batch: None,
+        flight_recorder: DEFAULT_RECORDER_DEPTH,
+        json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -127,11 +152,18 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--batch: {e}"))?,
                 );
             }
+            "--flight-recorder" => {
+                args.flight_recorder = value("--flight-recorder")?
+                    .parse()
+                    .map_err(|e| format!("--flight-recorder: {e}"))?;
+            }
+            "--json" => args.json = true,
             "--help" | "-h" => {
                 return Err("usage: co-check [--schedules N] [--seed S] [--core NAME] \
                             [--network NAME] [--break-delivery] [--out DIR] \
                             [--budget-secs T] [--replay FILE] [--trace-out FILE] \
-                            [--force-loss-burst] [--batch K]"
+                            [--force-loss-burst] [--batch K] \
+                            [--flight-recorder DEPTH] [--json]"
                     .to_string())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -274,25 +306,16 @@ fn main() -> ExitCode {
             scenario.drain_batch = batch.max(1);
         }
         if args.force_loss_burst {
-            // A cluster-wide blackout across the early workload window:
-            // enough traffic lands inside it to exercise F1/F2 detection
-            // and the RET machinery, and the quiet tail after
-            // FAULT_HORIZON_US still lets the run quiesce cleanly.
-            scenario.faults.push(FaultEvent::LossBurst {
-                from_us: 500,
-                to_us: 12_000,
-            });
+            scenario.faults.push(FORCED_LOSS_BURST);
         }
-        let report = if let Some(path) = &args.trace_out {
-            let (report, traces) = run_scenario_traced(&scenario);
+        let (report, traces) =
+            run_scenario_observed(&scenario, args.trace_out.is_some(), args.flight_recorder);
+        if let Some(path) = &args.trace_out {
             if let Err(e) = write_merged_trace(path, &traces) {
                 eprintln!("co-check: cannot write trace to {path}: {e}");
                 return ExitCode::from(2);
             }
-            report
-        } else {
-            run_scenario(&scenario)
-        };
+        }
         explored += 1;
         total_broadcasts += report.broadcasts as u64;
         total_deliveries += report.deliveries as u64;
@@ -316,10 +339,29 @@ fn main() -> ExitCode {
             };
             println!("shrinking (target: {:?})…", target);
             let outcome = shrink(&scenario, &target);
+            let mut shrunk = outcome.scenario;
+            if args.force_loss_burst && !shrunk.faults.contains(&FORCED_LOSS_BURST) {
+                // A forced burst is requested environment, not searchable
+                // structure: if the violation reproduces regardless of the
+                // burst the shrinker rightly drops it, but the reproducer
+                // (and its flight recorders) should still show the recovery
+                // machinery the flag was meant to provoke. Pin it back —
+                // only if the target violation survives the re-addition.
+                let mut pinned = shrunk.clone();
+                pinned.faults.push(FORCED_LOSS_BURST);
+                let rerun = run_scenario(&pinned);
+                if target
+                    .iter()
+                    .all(|t| rerun.violations.iter().any(|v| v.category == *t))
+                {
+                    shrunk = pinned;
+                    println!("pinned the forced loss burst back into the shrunken scenario");
+                }
+            }
             println!(
                 "shrunk to {} submits / {} faults in {} runs",
-                outcome.scenario.workload.len(),
-                outcome.scenario.faults.len(),
+                shrunk.workload.len(),
+                shrunk.faults.len(),
                 outcome.runs
             );
             let mut invocation = format!(
@@ -335,20 +377,73 @@ fn main() -> ExitCode {
             if args.break_delivery {
                 invocation.push_str(" --break-delivery");
             }
+            // The black box: one execution of the shrunken scenario under
+            // the same recorder depth captures every node's final
+            // transitions, so the artifact shows the failing window
+            // without a `--trace-out` re-run.
+            let flight_recorders = if args.flight_recorder == 0 {
+                Vec::new()
+            } else {
+                run_scenario_observed(&shrunk, false, args.flight_recorder)
+                    .0
+                    .recorders
+            };
+            let out_dir = args.out.trim_end_matches('/');
+            for dump in &flight_recorders {
+                let dump_path = format!(
+                    "{out_dir}/recorder-seed{}-s{index}-node{}.jsonl",
+                    args.seed, dump.node
+                );
+                let text: String = dump
+                    .event_lines()
+                    .iter()
+                    .map(|l| l.clone() + "\n")
+                    .collect();
+                if let Err(e) = std::fs::write(&dump_path, text) {
+                    eprintln!("cannot write {dump_path}: {e}");
+                } else {
+                    println!(
+                        "flight recorder for node {} ({} events, {} evicted) written to {dump_path}",
+                        dump.node,
+                        dump.events.len(),
+                        dump.evicted
+                    );
+                }
+            }
             let reproducer = Reproducer {
                 expect: target.iter().map(|c| c.name().to_string()).collect(),
                 note: format!("found by `{invocation}` at schedule {index}"),
-                scenario: outcome.scenario,
+                scenario: shrunk,
+                flight_recorders,
             };
-            let path = format!(
-                "{}/reproducer-seed{}-s{index}.json",
-                args.out.trim_end_matches('/'),
-                args.seed
-            );
+            let path = format!("{out_dir}/reproducer-seed{}-s{index}.json", args.seed);
             let doc = format!("{}\n", reproducer.to_json());
             match std::fs::write(&path, &doc) {
                 Ok(()) => println!("reproducer written to {path}"),
                 Err(e) => eprintln!("cannot write {path}: {e} — dumping inline:\n{doc}"),
+            }
+            if args.json {
+                let summary = Json::Obj(vec![
+                    ("schedules_explored".to_string(), Json::Num(explored)),
+                    (
+                        "violations".to_string(),
+                        Json::Num(report.violations.len() as u64),
+                    ),
+                    ("failing_schedule".to_string(), Json::Num(index)),
+                    ("seed".to_string(), Json::Num(args.seed)),
+                    (
+                        "expect".to_string(),
+                        Json::Arr(
+                            reproducer
+                                .expect
+                                .iter()
+                                .map(|e| Json::Str(e.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("reproducer".to_string(), Json::Str(path)),
+                ]);
+                println!("{summary}");
             }
             return ExitCode::FAILURE;
         }
@@ -367,9 +462,40 @@ fn main() -> ExitCode {
     }
 
     let latency_mean_us = latency_total_us / latency_samples.max(1);
-    println!(
-        "\nco-check report\n  schedules explored : {explored}\n  broadcasts         : {total_broadcasts}\n  deliveries         : {total_deliveries}\n  PDUs lost          : {total_drops}\n  peak held PDUs     : {peak_held}\n  RET PDUs sent      : {total_ret_pdus}\n  retransmissions    : {total_retransmissions}\n  delivery latency   : mean {latency_mean_us}µs, max {latency_max_us}µs\n  violations         : 0\n  wall clock         : {:.1}s",
-        started.elapsed().as_secs_f64()
-    );
+    if args.json {
+        // One machine-readable object surfacing the RunReport aggregates
+        // (latency, peak-held, RET traffic) CI dashboards scrape.
+        let summary = Json::Obj(vec![
+            ("schedules_explored".to_string(), Json::Num(explored)),
+            ("violations".to_string(), Json::Num(0)),
+            ("broadcasts".to_string(), Json::Num(total_broadcasts)),
+            ("deliveries".to_string(), Json::Num(total_deliveries)),
+            ("pdus_lost".to_string(), Json::Num(total_drops)),
+            ("peak_held".to_string(), Json::Num(peak_held as u64)),
+            ("ret_pdus".to_string(), Json::Num(total_ret_pdus)),
+            (
+                "retransmissions".to_string(),
+                Json::Num(total_retransmissions),
+            ),
+            (
+                "latency".to_string(),
+                Json::Obj(vec![
+                    ("samples".to_string(), Json::Num(latency_samples)),
+                    ("mean_us".to_string(), Json::Num(latency_mean_us)),
+                    ("max_us".to_string(), Json::Num(latency_max_us)),
+                ]),
+            ),
+            (
+                "wall_ms".to_string(),
+                Json::Num(started.elapsed().as_millis() as u64),
+            ),
+        ]);
+        println!("{summary}");
+    } else {
+        println!(
+            "\nco-check report\n  schedules explored : {explored}\n  broadcasts         : {total_broadcasts}\n  deliveries         : {total_deliveries}\n  PDUs lost          : {total_drops}\n  peak held PDUs     : {peak_held}\n  RET PDUs sent      : {total_ret_pdus}\n  retransmissions    : {total_retransmissions}\n  delivery latency   : mean {latency_mean_us}µs, max {latency_max_us}µs\n  violations         : 0\n  wall clock         : {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
+    }
     ExitCode::SUCCESS
 }

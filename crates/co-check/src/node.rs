@@ -14,19 +14,22 @@
 //!
 //! Every entity runs with a [`CheckObserver`]: an order-sensitive FNV
 //! digest of the protocol event stream (the determinism witness — same
-//! scenario, same digest), plus an opt-in full event log for the
-//! trace-level oracles. The observer is *carried across crash-restart*:
-//! the digest spans the node's whole life, both incarnations.
+//! scenario, same digest), a [`FlightRecorder`] ring of the most recent
+//! events (the black box a reproducer embeds when an oracle trips), plus
+//! an opt-in full event log for the trace-level oracles. The observer is
+//! *carried across crash-restart*: the digest and the recorder span the
+//! node's whole life, both incarnations.
 
 use bytes::Bytes;
 use causal_order::EntityId;
-use co_observe::{DigestObserver, EventLog, ProtocolEvent, Tee};
+use co_observe::{DigestObserver, EventLog, FlightRecorder, ProtocolEvent, Tee};
 use co_protocol::{Action, CoCore, Config, DeliveryCore, Entity, Pdu};
 use mc_net::{Context, SimDuration, SimNode, TimerId};
 
 /// The observer a [`CheckNode`] entity runs with: event-stream digest
-/// always, full event log only when the runner asks for a trace.
-pub type CheckObserver = Tee<DigestObserver, Option<EventLog>>;
+/// always, flight recorder always (depth 0 disables retention), full
+/// event log only when the runner asks for a trace.
+pub type CheckObserver = Tee<DigestObserver, Tee<Option<EventLog>, FlightRecorder>>;
 
 /// A command injected by the checker's schedule.
 #[derive(Debug, Clone)]
@@ -87,14 +90,21 @@ pub struct CheckNode<C: DeliveryCore = CoCore> {
 impl<C: DeliveryCore> CheckNode<C> {
     /// Wraps a fresh entity for `config`. With `trace` set, the full
     /// protocol event stream is retained (see [`CheckNode::trace`]);
-    /// the event digest is always computed.
+    /// the event digest is always computed, and a flight recorder keeps
+    /// the last `recorder_depth` events (0 retains nothing).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is rejected (checker scenarios only
     /// generate valid configurations).
-    pub fn new(config: Config, break_delivery: bool, trace: bool) -> Self {
-        let observer = Tee(DigestObserver::new(), trace.then(EventLog::default));
+    pub fn new(config: Config, break_delivery: bool, trace: bool, recorder_depth: usize) -> Self {
+        let observer = Tee(
+            DigestObserver::new(),
+            Tee(
+                trace.then(EventLog::default),
+                FlightRecorder::new(recorder_depth),
+            ),
+        );
         CheckNode {
             entity: Entity::<C, _>::with_observer(config.clone(), observer)
                 .expect("valid scenario config"),
@@ -129,8 +139,15 @@ impl<C: DeliveryCore> CheckNode<C> {
         self.entity
             .observer()
             .1
+             .0
             .as_ref()
             .map_or(&[], |log| log.events())
+    }
+
+    /// The always-on flight recorder (the last `recorder_depth` events,
+    /// across crash-restarts).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.entity.observer().1 .1
     }
 
     fn apply(&mut self, actions: Vec<Action>, ctx: &mut Context<'_, Pdu>) {

@@ -10,6 +10,7 @@
 //! module) so a shrunken counterexample can be committed to
 //! `tests/regressions/` and replayed by a plain `#[test]`.
 
+use co_observe::RecorderDump;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -729,19 +730,88 @@ pub struct Reproducer {
     pub expect: Vec<String>,
     /// Human context: where the counterexample came from.
     pub note: String,
+    /// Per-node flight-recorder dumps captured from one execution of the
+    /// shrunken scenario: the last protocol transitions of every entity,
+    /// as JSONL lines `co-cli trace analyze` accepts. Empty when the
+    /// explorer ran with `--flight-recorder 0` (and absent from the JSON
+    /// then, so pre-recorder reproducers round-trip unchanged).
+    pub flight_recorders: Vec<RecorderDump>,
+}
+
+fn recorder_dump_to_json(dump: &RecorderDump) -> Json {
+    Json::Obj(vec![
+        ("node".to_string(), Json::Num(u64::from(dump.node))),
+        ("core".to_string(), Json::Str(dump.core.clone())),
+        ("network".to_string(), Json::Str(dump.network.clone())),
+        ("capacity".to_string(), Json::Num(dump.capacity as u64)),
+        ("evicted".to_string(), Json::Num(dump.evicted)),
+        (
+            "events".to_string(),
+            Json::Arr(dump.event_lines().into_iter().map(Json::Str).collect()),
+        ),
+    ])
+}
+
+fn recorder_dump_from_json(v: &Json) -> Result<RecorderDump, String> {
+    let node = u32::try_from(v.field_u64("node")?)
+        .map_err(|_| "recorder node out of range".to_string())?;
+    let core = v
+        .get("core")
+        .and_then(Json::as_str)
+        .ok_or("recorder without `core`")?
+        .to_string();
+    let network = v
+        .get("network")
+        .and_then(Json::as_str)
+        .ok_or("recorder without `network`")?
+        .to_string();
+    let events = v
+        .field_arr("events")?
+        .iter()
+        .map(|line| {
+            let line = line.as_str().ok_or("non-string recorder event line")?;
+            match co_observe::jsonl::parse_line_strict(line) {
+                Ok(co_observe::TraceLine::Event { event, .. }) => Ok(event),
+                Ok(co_observe::TraceLine::HostTco { .. }) => {
+                    Err("recorder line is not a protocol event".to_string())
+                }
+                Err(e) => Err(format!("bad recorder event line: {e:?}")),
+            }
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(RecorderDump {
+        node,
+        core,
+        network,
+        capacity: v.field_u64("capacity")? as usize,
+        evicted: v.field_u64("evicted")?,
+        events,
+    })
 }
 
 impl Reproducer {
     /// Serializes to a JSON value.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("note".to_string(), Json::Str(self.note.clone())),
             (
                 "expect".to_string(),
                 Json::Arr(self.expect.iter().map(|e| Json::Str(e.clone())).collect()),
             ),
             ("scenario".to_string(), self.scenario.to_json()),
-        ])
+        ];
+        if !self.flight_recorders.is_empty() {
+            fields.push((
+                "flight_recorders".to_string(),
+                Json::Arr(
+                    self.flight_recorders
+                        .iter()
+                        .map(recorder_dump_to_json)
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
     }
 
     /// Deserializes from a JSON document.
@@ -766,10 +836,22 @@ impl Reproducer {
             .and_then(Json::as_str)
             .unwrap_or_default()
             .to_string();
+        // Absent in reproducers committed before the flight recorder
+        // existed (and in runs with retention disabled).
+        let flight_recorders = match v.get("flight_recorders") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_arr()
+                .ok_or("`flight_recorders` is not an array")?
+                .iter()
+                .map(recorder_dump_from_json)
+                .collect::<Result<_, _>>()?,
+        };
         Ok(Reproducer {
             scenario,
             expect,
             note,
+            flight_recorders,
         })
     }
 }
@@ -939,9 +1021,45 @@ mod tests {
             scenario: Scenario::random(0, 0, true),
             expect: vec!["atomicity".to_string()],
             note: "seed 0, schedule 0".to_string(),
+            flight_recorders: Vec::new(),
         };
         let text = rep.to_json().to_string();
         assert_eq!(Reproducer::from_json_text(&text).unwrap(), rep);
+        // No recorders ⇒ the field is absent, like pre-recorder artifacts.
+        assert!(!text.contains("flight_recorders"), "{text}");
+    }
+
+    #[test]
+    fn reproducer_with_recorders_round_trips() {
+        use causal_order::{EntityId, Seq};
+        use co_observe::{FlightRecorder, Observer, ProtocolEvent};
+        let mut recorder = FlightRecorder::new(4);
+        for t in 0..6u64 {
+            recorder.on_event(ProtocolEvent::Delivered {
+                src: EntityId::new(0),
+                seq: Seq::new(t + 1),
+                now_us: t * 10,
+            });
+        }
+        let rep = Reproducer {
+            scenario: Scenario::random(0, 0, true),
+            expect: vec!["atomicity".to_string()],
+            note: "with black box".to_string(),
+            flight_recorders: vec![RecorderDump::capture(&recorder, 1, "co", "wan")],
+        };
+        let text = rep.to_json().to_string();
+        let back = Reproducer::from_json_text(&text).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.flight_recorders[0].events.len(), 4);
+        assert_eq!(back.flight_recorders[0].evicted, 2);
+        assert_eq!(back.flight_recorders[0].network, "wan");
+        // The embedded lines are plain JSONL trace lines.
+        for line in back.flight_recorders[0].event_lines() {
+            assert!(
+                co_observe::jsonl::parse_line_strict(&line).is_ok(),
+                "{line}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use causal_order::EntityId;
-use co_observe::ProtocolEvent;
+use co_observe::{ProtocolEvent, RecorderDump, DEFAULT_RECORDER_DEPTH};
 use co_protocol::{
     CoCore, Config, DeferralPolicy, DeliveryCore, HybridCore, RetransmissionPolicy, SenderCore,
 };
@@ -184,6 +184,10 @@ pub struct RunReport {
     pub retransmissions: u64,
     /// Broadcast→delivery latency breakdown.
     pub latency: LatencyStats,
+    /// Each node's flight-recorder dump (entity order): the last
+    /// `recorder_depth` protocol events, labeled with the scenario's core
+    /// and network. Events are empty when the recorder depth was 0.
+    pub recorders: Vec<RecorderDump>,
 }
 
 /// Builds the per-entity protocol configuration for a scenario.
@@ -299,7 +303,7 @@ fn fold_digests(digests: impl Iterator<Item = u64>) -> u64 {
 /// Panics if the scenario names a core outside [`CORE_NAMES`] (generated
 /// scenarios never do; a hand-edited reproducer might).
 pub fn run_scenario(sc: &Scenario) -> RunReport {
-    run_scenario_impl(sc, false).0
+    run_scenario_impl(sc, false, DEFAULT_RECORDER_DEPTH).0
 }
 
 /// Like [`run_scenario`], but additionally retains and returns every
@@ -307,15 +311,31 @@ pub fn run_scenario(sc: &Scenario) -> RunReport {
 /// the trace-level stage-order oracle on each (reference core only: the
 /// other engines have no §3 pre-ack stage to judge).
 pub fn run_scenario_traced(sc: &Scenario) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
-    run_scenario_impl(sc, true)
+    run_scenario_impl(sc, true, DEFAULT_RECORDER_DEPTH)
+}
+
+/// [`run_scenario`] with explicit observability knobs: `trace` retains
+/// the full event streams (arming the trace-level oracles), and
+/// `recorder_depth` sizes each node's flight-recorder ring (0 disables
+/// retention — the dumps in the report come back empty).
+pub fn run_scenario_observed(
+    sc: &Scenario,
+    trace: bool,
+    recorder_depth: usize,
+) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
+    run_scenario_impl(sc, trace, recorder_depth)
 }
 
 /// Monomorphizes the run on the core the scenario names.
-fn run_scenario_impl(sc: &Scenario, trace: bool) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
+fn run_scenario_impl(
+    sc: &Scenario,
+    trace: bool,
+    recorder_depth: usize,
+) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
     match sc.core.as_str() {
-        "co" => run_scenario_with::<CoCore>(sc, trace),
-        "hybrid" => run_scenario_with::<HybridCore>(sc, trace),
-        "sender" => run_scenario_with::<SenderCore>(sc, trace),
+        "co" => run_scenario_with::<CoCore>(sc, trace, recorder_depth),
+        "hybrid" => run_scenario_with::<HybridCore>(sc, trace, recorder_depth),
+        "sender" => run_scenario_with::<SenderCore>(sc, trace, recorder_depth),
         other => panic!("scenario names unknown delivery core `{other}` (known: {CORE_NAMES:?})"),
     }
 }
@@ -323,6 +343,7 @@ fn run_scenario_impl(sc: &Scenario, trace: bool) -> (RunReport, Vec<Vec<Protocol
 fn run_scenario_with<C: DeliveryCore>(
     sc: &Scenario,
     trace: bool,
+    recorder_depth: usize,
 ) -> (RunReport, Vec<Vec<ProtocolEvent>>) {
     let sim_config = SimConfig {
         network: network_model(sc),
@@ -338,7 +359,7 @@ fn run_scenario_with<C: DeliveryCore>(
     let nodes: Vec<CheckNode<C>> = (0..sc.n as u32)
         .map(|i| protocol_config(sc, i))
         .enumerate()
-        .map(|(i, cfg)| CheckNode::new(cfg, sc.break_delivery && i == 1, trace))
+        .map(|(i, cfg)| CheckNode::new(cfg, sc.break_delivery && i == 1, trace, recorder_depth))
         .collect();
     let mut sim = Simulator::new(sim_config, nodes);
 
@@ -415,6 +436,12 @@ fn run_scenario_with<C: DeliveryCore>(
         .nodes()
         .map(|(_, n)| n.entity().metrics().retransmissions_sent())
         .sum();
+    let network = sc.network.kind();
+    let recorders = sim
+        .nodes()
+        .enumerate()
+        .map(|(i, (_, n))| RecorderDump::capture(n.recorder(), i as u32, C::NAME, network))
+        .collect();
     let report = RunReport {
         violations,
         digest: sim.trace_digest(),
@@ -425,6 +452,7 @@ fn run_scenario_with<C: DeliveryCore>(
         ret_pdus,
         retransmissions,
         latency: LatencyStats::from_events(&events),
+        recorders,
         broadcasts: events
             .iter()
             .flatten()

@@ -62,6 +62,7 @@ fn reproducer_round_trips_and_replays_identically() {
         scenario: sc,
         expect: vec![Category::Atomicity.name().to_string()],
         note: "harness test".to_string(),
+        flight_recorders: vec![],
     };
     let text = rep.to_json().to_string();
     let back = Reproducer::from_json_text(&text).expect("round trip");
@@ -80,6 +81,7 @@ fn reproducer_json_is_byte_stable() {
         scenario: Scenario::random(4, 4, false),
         expect: vec![],
         note: "stability".to_string(),
+        flight_recorders: vec![],
     };
     let text = rep.to_json().to_string();
     let reparsed = Json::parse(&text).expect("valid json");

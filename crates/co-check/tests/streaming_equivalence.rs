@@ -1,0 +1,112 @@
+//! Streaming/offline anomaly-detection equivalence over seeded schedule
+//! exploration: on every adversarial run, feeding the canonical merged
+//! (time-sorted) trace line-by-line through [`co_trace::StreamingDetectors`]
+//! must produce *exactly* the findings of the offline
+//! [`co_trace::detect`] pass over the same lines — same kinds, same
+//! evidence, same order. This is the contract that lets the live pipeline
+//! (co-transport node reports, `co-cli trace watch`) replace a post-run
+//! trace analysis without changing a single verdict.
+
+use co_check::{run_scenario_observed, FaultEvent, Scenario};
+use co_observe::{ProtocolEvent, TraceLine};
+use co_trace::{detect, stitch, AnomalyConfig, StreamingDetectors};
+
+/// The canonical merged trace: every node's event stream interleaved by
+/// timestamp, ties kept in node order — the same ordering `co-check
+/// --trace-out` writes and `co-cli trace analyze` consumes.
+fn merged_lines(traces: &[Vec<ProtocolEvent>]) -> Vec<TraceLine> {
+    let mut lines: Vec<TraceLine> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(i, t)| {
+            t.iter().map(move |&event| TraceLine::Event {
+                node: i as u32,
+                event,
+            })
+        })
+        .collect();
+    lines.sort_by_key(|l| match l {
+        TraceLine::Event { event, .. } => event.now_us(),
+        TraceLine::HostTco { at_us, .. } => *at_us,
+    });
+    lines
+}
+
+/// Thresholds tight enough that real schedules actually trip every rule —
+/// equivalence on all-empty findings would prove nothing.
+fn tight() -> AnomalyConfig {
+    AnomalyConfig {
+        stuck_preack_us: 2_000,
+        ret_storm_requests: 2,
+        ret_storm_window_us: 30_000,
+        loss_cluster_min: 1,
+        flow_blocked_min: 1,
+        ..AnomalyConfig::default()
+    }
+}
+
+#[test]
+fn streaming_equals_offline_on_200_seeded_schedules() {
+    let mut total_findings = 0usize;
+    for index in 0..200u64 {
+        let mut sc = Scenario::random(index, 3, false);
+        if index % 4 == 0 {
+            // A quarter of the corpus gets the explorer's forced blackout,
+            // so the loss-burst and RET-storm rules see real recovery
+            // traffic, not just quiet runs.
+            sc.faults.push(FaultEvent::LossBurst {
+                from_us: 500,
+                to_us: 12_000,
+            });
+        }
+        let (_, traces) = run_scenario_observed(&sc, true, 0);
+        let lines = merged_lines(&traces);
+        for cfg in [AnomalyConfig::default(), tight()] {
+            let offline = detect(&lines, &stitch(&lines), &cfg);
+            let mut streaming = StreamingDetectors::new(cfg);
+            let mut pruning = StreamingDetectors::new(cfg).with_cluster_size(sc.n);
+            for line in &lines {
+                streaming.observe_line(line);
+                pruning.observe_line(line);
+            }
+            assert_eq!(
+                streaming.findings(),
+                offline,
+                "schedule {index}: streaming snapshot diverged from offline pass"
+            );
+            assert_eq!(
+                pruning.findings(),
+                offline,
+                "schedule {index}: span pruning changed the verdict"
+            );
+            total_findings += offline.len();
+        }
+    }
+    assert!(
+        total_findings > 0,
+        "the corpus must provoke real findings — equivalence on empty sets proves nothing"
+    );
+}
+
+#[test]
+fn streaming_kind_counts_match_findings_on_live_schedules() {
+    // The Prometheus surface (`co_anomaly_findings`) is fed by
+    // `kind_counts`; it must agree with the findings snapshot it
+    // summarizes, including explicit zeros for kinds that never fired.
+    for index in 0..20u64 {
+        let sc = Scenario::random(index, 5, false);
+        let (_, traces) = run_scenario_observed(&sc, true, 0);
+        let lines = merged_lines(&traces);
+        let mut streaming = StreamingDetectors::new(tight());
+        for line in &lines {
+            streaming.observe_line(line);
+        }
+        let findings = streaming.findings();
+        let counts = streaming.kind_counts();
+        assert_eq!(counts.len(), 5, "every kind is always present");
+        for (kind, count) in counts {
+            let actual = findings.iter().filter(|f| f.kind() == kind).count() as u64;
+            assert_eq!(count, actual, "schedule {index}: kind {kind}");
+        }
+    }
+}

@@ -20,6 +20,9 @@ pub struct NodeArgs {
     pub trace: Option<String>,
     /// Serve Prometheus-style metrics over HTTP at this address.
     pub metrics: Option<SocketAddr>,
+    /// Value for the `network` label on every exported metrics series
+    /// (e.g. the deployment's link profile); omitted when unset.
+    pub network_label: Option<String>,
 }
 
 /// Argument-parsing error with a usage hint.
@@ -32,7 +35,8 @@ impl std::fmt::Display for ArgError {
         write!(
             f,
             "usage: co-node --me <index> --bind <addr:port> --peer <addr:port>... \
-             [--cid <id>] [--window <W>] [--trace <file.jsonl>] [--metrics <addr:port>]"
+             [--cid <id>] [--window <W>] [--trace <file.jsonl>] [--metrics <addr:port>] \
+             [--network-label <name>]"
         )
     }
 }
@@ -52,6 +56,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, A
     let mut window = 64u64;
     let mut trace: Option<String> = None;
     let mut metrics: Option<SocketAddr> = None;
+    let mut network_label: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -101,6 +106,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, A
                         .map_err(|e| ArgError(format!("--metrics: {e}")))?,
                 );
             }
+            "--network-label" => {
+                network_label = Some(value("--network-label")?);
+            }
             other => return Err(ArgError(format!("unknown flag {other}"))),
         }
     }
@@ -123,6 +131,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<NodeArgs, A
         window,
         trace,
         metrics,
+        network_label,
     })
 }
 
@@ -155,17 +164,19 @@ mod tests {
         assert_eq!(args.window, 64);
         assert_eq!(args.trace, None);
         assert_eq!(args.metrics, None);
+        assert_eq!(args.network_label, None);
     }
 
     #[test]
     fn observability_flags_parse() {
         let args = parse_args(argv(
             "--me 0 --bind 127.0.0.1:7000 --peer 127.0.0.1:7001 \
-             --trace run.jsonl --metrics 127.0.0.1:9100",
+             --trace run.jsonl --metrics 127.0.0.1:9100 --network-label wan",
         ))
         .unwrap();
         assert_eq!(args.trace.as_deref(), Some("run.jsonl"));
         assert_eq!(args.metrics, Some("127.0.0.1:9100".parse().unwrap()));
+        assert_eq!(args.network_label.as_deref(), Some("wan"));
         assert!(parse_args(argv(
             "--me 0 --bind 1.2.3.4:5 --peer 1.2.3.4:6 --metrics nope"
         ))

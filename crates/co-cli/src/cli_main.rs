@@ -5,42 +5,63 @@
 //!        [--stuck-preack-us N] [--ret-storm-requests N]
 //!        [--ret-storm-window-us N] [--loss-cluster-gap-us N]
 //!        [--loss-cluster-min N] [--flow-blocked-min N]
+//! co-cli trace watch <run.jsonl> [--once] [--json] [--interval-ms N]
+//!        [...same threshold flags...]
 //! ```
 //!
-//! Stitches a merged JSONL trace (from `co-node --trace`, a traced
-//! `co-transport` run, or `co-check --trace-out`) into cross-node
+//! `analyze` stitches a merged JSONL trace (from `co-node --trace`, a
+//! traced `co-transport` run, or `co-check --trace-out`) into cross-node
 //! broadcast spans, prints the receipt-level latency breakdown, and runs
-//! the anomaly detector. Exit status: 0 on a successful analysis (even
-//! with findings — gate on the JSON `anomalies` count instead), 1 on an
-//! unreadable or malformed trace, 2 on a usage error.
+//! the anomaly detector. `watch` live-tails the same file through the
+//! streaming detectors, printing findings as they surface — with
+//! `--once`, one pass over the current contents plus a summary line, for
+//! scripted checks. Exit status: 0 on a successful analysis/pass (even
+//! with findings — gate on the JSON counts instead), 1 on an unreadable
+//! or malformed trace, 2 on a usage error.
 
-use co_cli::{analyze_file, parse_trace_args};
+use co_cli::{analyze_file, parse_trace_args, parse_watch_args, watch_file};
 
 const USAGE: &str = "usage: co-cli trace analyze <run.jsonl> [--json] \
     [--stuck-preack-us N] [--ret-storm-requests N] [--ret-storm-window-us N] \
-    [--loss-cluster-gap-us N] [--loss-cluster-min N] [--flow-blocked-min N]";
+    [--loss-cluster-gap-us N] [--loss-cluster-min N] [--flow-blocked-min N]\n\
+       co-cli trace watch <run.jsonl> [--once] [--json] [--interval-ms N] \
+    [...same threshold flags...]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
     match (args.next().as_deref(), args.next().as_deref()) {
-        (Some("trace"), Some("analyze")) => {}
+        (Some("trace"), Some("analyze")) => {
+            let parsed = match parse_trace_args(args) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("co-cli: {}\n{USAGE}", e.0);
+                    std::process::exit(2);
+                }
+            };
+            match analyze_file(&parsed) {
+                Ok(report) => println!("{report}"),
+                Err(e) => {
+                    eprintln!("co-cli: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (Some("trace"), Some("watch")) => {
+            let parsed = match parse_watch_args(args) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("co-cli: {}\n{USAGE}", e.0);
+                    std::process::exit(2);
+                }
+            };
+            if let Err(e) = watch_file(&parsed) {
+                eprintln!("co-cli: {e}");
+                std::process::exit(1);
+            }
+        }
         _ => {
             eprintln!("{USAGE}");
             std::process::exit(2);
-        }
-    }
-    let parsed = match parse_trace_args(args) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("co-cli: {}\n{USAGE}", e.0);
-            std::process::exit(2);
-        }
-    };
-    match analyze_file(&parsed) {
-        Ok(report) => println!("{report}"),
-        Err(e) => {
-            eprintln!("co-cli: {e}");
-            std::process::exit(1);
         }
     }
 }

@@ -21,7 +21,9 @@
 //! A second binary, `co-cli`, hosts the offline tooling: `co-cli trace
 //! analyze <run.jsonl>` stitches a merged JSONL trace into cross-node
 //! broadcast spans, prints the receipt-level latency breakdown and any
-//! protocol anomalies (see [`analyze_file`]).
+//! protocol anomalies (see [`analyze_file`]); `co-cli trace watch
+//! <run.jsonl>` live-tails the same file through the streaming detectors
+//! (see [`watch_file`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,4 +34,7 @@ mod trace_cmd;
 
 pub use args::{parse_args, ArgError, NodeArgs};
 pub use node::{run_node, NodeEvent, NodeHandle};
-pub use trace_cmd::{analyze_file, parse_trace_args, TraceArgs};
+pub use trace_cmd::{
+    analyze_file, parse_trace_args, parse_watch_args, watch_file, TraceArgs, TraceWatcher,
+    WatchArgs,
+};

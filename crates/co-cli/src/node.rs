@@ -11,7 +11,8 @@ use bytes::Bytes;
 use causal_order::EntityId;
 use co_observe::jsonl::{self, TraceLine};
 use co_observe::{prom, FlowGauge, LatencyTracker, Observer, ProtocolEvent, Tee};
-use co_protocol::{Action, CoCore, Config, DeferralPolicy, Entity, Pdu};
+use co_protocol::{Action, CoCore, Config, DeferralPolicy, DeliveryCore, Entity, Pdu};
+use co_trace::LiveDetector;
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, UdpSocket};
@@ -54,10 +55,10 @@ impl Observer for TraceWriter {
     }
 }
 
-/// The observer a CLI node runs with: always-on latency histograms and
-/// flow-condition gauges (both bounded state), plus the optional trace
-/// stream.
-type CliObserver = Tee<LatencyTracker, Tee<FlowGauge, TraceWriter>>;
+/// The observer a CLI node runs with: always-on latency histograms,
+/// flow-condition gauges and streaming anomaly detectors (all bounded
+/// state), plus the optional trace stream.
+type CliObserver = Tee<LatencyTracker, Tee<FlowGauge, Tee<TraceWriter, LiveDetector>>>;
 
 /// Serves `text` (refreshed by the node loop) as an HTTP metrics
 /// endpoint. One connection at a time is plenty for a scrape target.
@@ -145,7 +146,10 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
         LatencyTracker::default(),
         Tee(
             FlowGauge::default(),
-            TraceWriter::open(args.me, args.trace.as_deref())?,
+            Tee(
+                TraceWriter::open(args.me, args.trace.as_deref())?,
+                LiveDetector::new(args.me, co_trace::AnomalyConfig::default()),
+            ),
         ),
     );
     let entity = Entity::with_observer(config, observer).map_err(std::io::Error::other)?;
@@ -191,6 +195,7 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
                 input_rx,
                 event_tx,
                 metrics_text,
+                args.network_label,
             )
         })
         .expect("spawn node thread");
@@ -202,6 +207,7 @@ pub fn run_node(args: NodeArgs) -> std::io::Result<NodeHandle> {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn node_loop(
     mut entity: Entity<CoCore, CliObserver>,
     me: EntityId,
@@ -210,7 +216,15 @@ fn node_loop(
     input: Receiver<Option<String>>,
     events: Sender<NodeEvent>,
     metrics_text: Option<Arc<Mutex<String>>>,
+    network_label: Option<String>,
 ) {
+    // Every exported series names the node, the delivery core it runs
+    // (the CLI always runs the reference engine), and — when the deployer
+    // said so — the network profile.
+    let mut labels = prom::SeriesLabels::node(me.raw()).with_core(CoCore::NAME);
+    if let Some(network) = &network_label {
+        labels = labels.with_network(network);
+    }
     let epoch = Instant::now();
     let now_us = || epoch.elapsed().as_micros() as u64;
     let mut buf = vec![0u8; 64 * 1024];
@@ -282,9 +296,12 @@ fn node_loop(
         }
         if let Some(text) = &metrics_text {
             if last_publish.is_none_or(|t| t.elapsed() >= PUBLISH_INTERVAL) {
-                let Tee(latency, Tee(flow, _)) = entity.observer();
-                let rendered =
-                    prom::render_with_flow(me.raw(), &entity.metrics().snapshot(), latency, flow);
+                let Tee(latency, Tee(flow, Tee(_, live))) = entity.observer();
+                let mut rendered =
+                    prom::render_with_flow(&labels, &entity.metrics().snapshot(), latency, flow);
+                // The live anomaly pipeline rides the same endpoint: one
+                // gauge per finding kind, explicit zeros included.
+                prom::render_findings(&labels, &live.kind_counts(), &mut rendered);
                 if let Ok(mut slot) = text.lock() {
                     *slot = rendered;
                 }
@@ -300,7 +317,7 @@ fn node_loop(
             }
         }
     }
-    entity.observer_mut().1 .1.flush();
+    entity.observer_mut().1 .1 .0.flush();
     let _ = events.send(NodeEvent::Stopped);
 }
 
@@ -396,7 +413,7 @@ mod tests {
         let a = run_node(
             parse_args(argvec(format!(
                 "--me 0 --bind 127.0.0.1:{} --peer 127.0.0.1:{} \
-                 --trace {} --metrics 127.0.0.1:{}",
+                 --trace {} --metrics 127.0.0.1:{} --network-label lan",
                 ports[0], ports[1], trace_str, ports[2]
             )))
             .unwrap(),
@@ -438,15 +455,34 @@ mod tests {
             text
         };
         assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+        // Every series carries the node, core, and (opted-in) network
+        // labels.
+        let labels = "node=\"0\",core=\"co\",network=\"lan\"";
         assert!(
-            scrape.contains("co_delivered_total{node=\"0\"}"),
+            scrape.contains(&format!("co_delivered_total{{{labels}}}")),
             "{scrape}"
         );
         assert!(scrape.contains("co_latency_us_count"), "{scrape}");
         // The flow-condition gauges ride the same endpoint.
-        assert!(scrape.contains("co_flow_blocked{node=\"0\"}"), "{scrape}");
         assert!(
-            scrape.contains("co_flow_blocked_events_total{node=\"0\"}"),
+            scrape.contains(&format!("co_flow_blocked{{{labels}}}")),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains(&format!("co_flow_blocked_events_total{{{labels}}}")),
+            "{scrape}"
+        );
+        // So do the live anomaly-finding gauges, zeros included.
+        assert!(
+            scrape.contains(&format!(
+                "co_anomaly_findings{{{labels},kind=\"ret_storm\"}}"
+            )),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains(&format!(
+                "co_anomaly_findings{{{labels},kind=\"never_acknowledged\"}}"
+            )),
             "{scrape}"
         );
 

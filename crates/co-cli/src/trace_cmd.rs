@@ -1,8 +1,10 @@
-//! The `co-cli trace analyze` subcommand: offline span analysis of a
-//! merged JSONL trace (from `co-node --trace`, a traced `co-transport`
-//! run, or `co-check --trace-out`).
+//! The `co-cli trace analyze` and `co-cli trace watch` subcommands:
+//! offline span analysis of a merged JSONL trace (from `co-node --trace`,
+//! a traced `co-transport` run, or `co-check --trace-out`), and a live
+//! tail of the same file through the streaming detectors — findings
+//! surface while the run is still producing the trace.
 
-use co_trace::AnomalyConfig;
+use co_trace::{AnomalyConfig, Finding, StreamingDetectors};
 
 use crate::args::ArgError;
 
@@ -79,6 +81,184 @@ pub fn analyze_file(args: &TraceArgs) -> Result<String, String> {
     } else {
         report.render_text()
     })
+}
+
+/// Parsed `trace watch` invocation: the analyze arguments (file, output
+/// format, thresholds) plus tailing controls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchArgs {
+    /// File, output format, and anomaly thresholds (shared with analyze).
+    pub trace: TraceArgs,
+    /// Do a single pass over the file's current contents and exit,
+    /// instead of tailing forever.
+    pub once: bool,
+    /// Poll interval between tail reads, milliseconds.
+    pub interval_ms: u64,
+}
+
+/// Parses the arguments following `trace watch`: the `trace analyze`
+/// flags plus `--once` and `--interval-ms N`.
+///
+/// # Errors
+///
+/// [`ArgError`] naming the offending flag or value.
+pub fn parse_watch_args<I: IntoIterator<Item = String>>(args: I) -> Result<WatchArgs, ArgError> {
+    let mut once = false;
+    let mut interval_ms = 250u64;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .ok_or_else(|| ArgError("--interval-ms needs a value".into()))?
+                    .parse()
+                    .map_err(|e| ArgError(format!("--interval-ms: {e}")))?;
+            }
+            _ => rest.push(arg),
+        }
+    }
+    Ok(WatchArgs {
+        trace: parse_trace_args(rest)?,
+        once,
+        interval_ms,
+    })
+}
+
+/// Incremental tail over a growing JSONL trace file, feeding every
+/// complete new line through the streaming detectors. Only lines ending
+/// in `\n` are consumed — a writer caught mid-line keeps its partial
+/// tail buffered here until the newline lands. A truncated (rotated)
+/// file resets the watcher to a fresh pass.
+#[derive(Debug)]
+pub struct TraceWatcher {
+    offset: u64,
+    carry: String,
+    line_no: usize,
+    detectors: StreamingDetectors,
+    known: Vec<Finding>,
+}
+
+impl TraceWatcher {
+    /// A fresh watcher with the given anomaly thresholds.
+    pub fn new(cfg: AnomalyConfig) -> TraceWatcher {
+        TraceWatcher {
+            offset: 0,
+            carry: String::new(),
+            line_no: 0,
+            detectors: StreamingDetectors::new(cfg),
+            known: Vec::new(),
+        }
+    }
+
+    /// The streaming detectors' current state (for snapshots beyond the
+    /// per-poll delta).
+    pub fn detectors(&self) -> &StreamingDetectors {
+        &self.detectors
+    }
+
+    /// Reads any new complete lines from `path` and returns the findings
+    /// that *newly* surfaced since the previous poll (span findings can
+    /// also clear — the full current set is [`TraceWatcher::detectors`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message: unreadable file, or a malformed trace
+    /// line (strict, with its line number — same contract as analyze).
+    pub fn poll(&mut self, path: &str) -> Result<Vec<Finding>, String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let len = file
+            .metadata()
+            .map_err(|e| format!("cannot stat {path}: {e}"))?
+            .len();
+        if len < self.offset {
+            // The file shrank under us (rotation): start a fresh pass.
+            *self = TraceWatcher::new(*self.detectors.config());
+        }
+        file.seek(SeekFrom::Start(self.offset))
+            .map_err(|e| format!("cannot seek {path}: {e}"))?;
+        let mut fresh = String::new();
+        file.read_to_string(&mut fresh)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        self.offset += fresh.len() as u64;
+        self.carry.push_str(&fresh);
+        while let Some(nl) = self.carry.find('\n') {
+            let line: String = self.carry.drain(..=nl).collect();
+            self.line_no += 1;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let parsed = co_observe::jsonl::parse_line_strict(line)
+                .map_err(|e| format!("{path}: line {}: {e}", self.line_no))?;
+            self.detectors.observe_line(&parsed);
+        }
+        let snapshot = self.detectors.findings();
+        let surfaced = snapshot
+            .iter()
+            .filter(|f| !self.known.contains(f))
+            .cloned()
+            .collect();
+        self.known = snapshot;
+        Ok(surfaced)
+    }
+}
+
+/// One-line kind-count summary as JSON (insertion order fixed by
+/// [`Finding::KINDS`]), used by `watch --once --json`.
+fn kind_counts_json(detectors: &StreamingDetectors) -> String {
+    let mut out = String::from("{\"kind_counts\":{");
+    let counts = detectors.kind_counts();
+    let mut total = 0u64;
+    for (i, (kind, count)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{kind}\":{count}"));
+        total += count;
+    }
+    out.push_str(&format!("}},\"total\":{total}}}"));
+    out
+}
+
+/// Runs the watch loop: polls the trace file, printing each finding as
+/// it surfaces (text via [`co_trace::describe_finding`], or one JSON
+/// object per line with `--json`). With `--once`, a single pass over the
+/// file's current contents, a final summary line, and exit; otherwise it
+/// tails forever (interrupt to stop).
+///
+/// # Errors
+///
+/// A human-readable message: unreadable file, or a malformed trace line.
+pub fn watch_file(args: &WatchArgs) -> Result<(), String> {
+    let mut watcher = TraceWatcher::new(args.trace.config);
+    loop {
+        for finding in watcher.poll(&args.trace.path)? {
+            if args.trace.json {
+                println!("{}", co_trace::finding_to_json(&finding));
+            } else {
+                println!("{}", co_trace::describe_finding(&finding));
+            }
+        }
+        if args.once {
+            if args.trace.json {
+                println!("{}", kind_counts_json(watcher.detectors()));
+            } else {
+                let total: u64 = watcher
+                    .detectors()
+                    .kind_counts()
+                    .iter()
+                    .map(|&(_, c)| c)
+                    .sum();
+                println!("{total} finding(s)");
+            }
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +343,101 @@ mod tests {
     fn missing_file_is_an_error() {
         let args = parse_trace_args(argv("/nonexistent/nope.jsonl")).unwrap();
         assert!(analyze_file(&args).unwrap_err().contains("cannot read"));
+    }
+
+    #[test]
+    fn watch_args_parse_with_tail_controls() {
+        let args = parse_watch_args(argv(
+            "run.jsonl --once --json --interval-ms 50 --flow-blocked-min 1",
+        ))
+        .unwrap();
+        assert!(args.once);
+        assert!(args.trace.json);
+        assert_eq!(args.interval_ms, 50);
+        assert_eq!(args.trace.path, "run.jsonl");
+        assert_eq!(args.trace.config.flow_blocked_min, 1);
+
+        let args = parse_watch_args(argv("run.jsonl")).unwrap();
+        assert!(!args.once);
+        assert_eq!(args.interval_ms, 250);
+        assert!(parse_watch_args(argv("run.jsonl --interval-ms nope")).is_err());
+        assert!(parse_watch_args(argv("--once")).is_err());
+    }
+
+    #[test]
+    fn watcher_tails_incrementally_and_handles_partial_lines() {
+        use std::io::Write;
+        let path = std::env::temp_dir().join("co-cli-trace-watch-test.jsonl");
+        let path_str = path.to_string_lossy().into_owned();
+        let cfg = AnomalyConfig {
+            flow_blocked_min: 2,
+            ..AnomalyConfig::default()
+        };
+        let line1 =
+            "{\"node\":0,\"kind\":\"flow_blocked\",\"t_us\":10,\"outstanding\":64,\"limit\":64}\n";
+        let line2 =
+            "{\"node\":0,\"kind\":\"flow_blocked\",\"t_us\":20,\"outstanding\":64,\"limit\":64}\n";
+
+        let mut file = std::fs::File::create(&path).unwrap();
+        file.write_all(line1.as_bytes()).unwrap();
+        // A partial second line: the watcher must not consume it yet.
+        file.write_all(&line2.as_bytes()[..20]).unwrap();
+        file.flush().unwrap();
+
+        let mut watcher = TraceWatcher::new(cfg);
+        assert!(
+            watcher.poll(&path_str).unwrap().is_empty(),
+            "one gauge event is below the threshold; the half line waits"
+        );
+
+        // Complete the second line: the rule trips and surfaces exactly
+        // once.
+        file.write_all(&line2.as_bytes()[20..]).unwrap();
+        file.flush().unwrap();
+        let surfaced = watcher.poll(&path_str).unwrap();
+        assert_eq!(surfaced.len(), 1, "{surfaced:?}");
+        assert_eq!(surfaced[0].kind(), "flow_saturation");
+        assert!(
+            watcher.poll(&path_str).unwrap().is_empty(),
+            "an unchanged file surfaces nothing new"
+        );
+
+        // The watcher's end state equals an offline pass over the file.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines = co_observe::jsonl::parse_trace_strict(&text).unwrap();
+        let offline = co_trace::detect(&lines, &co_trace::stitch(&lines), &cfg);
+        assert_eq!(watcher.detectors().findings(), offline);
+
+        // Truncation resets to a fresh pass.
+        std::fs::write(&path, line1).unwrap();
+        assert!(watcher.poll(&path_str).unwrap().is_empty());
+        assert_eq!(watcher.detectors().findings(), vec![]);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn watcher_reports_malformed_lines_with_their_number() {
+        let path = std::env::temp_dir().join("co-cli-trace-watch-bad.jsonl");
+        std::fs::write(
+            &path,
+            "{\"node\":0,\"kind\":\"submitted\",\"t_us\":1}\nnot json\n",
+        )
+        .unwrap();
+        let mut watcher = TraceWatcher::new(AnomalyConfig::default());
+        let err = watcher.poll(&path.to_string_lossy()).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kind_counts_json_is_stable() {
+        let watcher = TraceWatcher::new(AnomalyConfig::default());
+        let json = kind_counts_json(watcher.detectors());
+        assert!(
+            json.starts_with("{\"kind_counts\":{\"ret_storm\":0,"),
+            "{json}"
+        );
+        assert!(json.ends_with(",\"total\":0}"), "{json}");
     }
 }

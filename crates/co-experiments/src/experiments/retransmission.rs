@@ -180,7 +180,17 @@ mod tests {
 
     #[test]
     fn to_baseline_mostly_delivers() {
+        // Inclusive bound: the NACK-based sequencer legitimately lands
+        // exactly on the threshold under some RNG streams (a lost final
+        // PDU has no successor to trigger its NACK), and the test must
+        // hold for any conforming stream, not one exact loss pattern.
         let cell = to_cell(3, 20, 0.05);
-        assert!(cell.delivered > 0.95, "delivered {}", cell.delivered);
+        assert!(cell.delivered >= 0.95, "delivered {}", cell.delivered);
+        // Same seed, same cell: the sweep is deterministic end to end.
+        let again = to_cell(3, 20, 0.05);
+        assert_eq!(cell.delivered, again.delivered);
+        assert_eq!(cell.retransmissions, again.retransmissions);
+        assert_eq!(cell.requests, again.requests);
+        assert_eq!(cell.makespan_ms, again.makespan_ms);
     }
 }

@@ -39,6 +39,7 @@ pub mod jsonl;
 mod latency;
 mod observer;
 pub mod prom;
+mod recorder;
 mod snapshot;
 
 pub use counters::{CounterFold, Counters};
@@ -48,4 +49,6 @@ pub use histogram::{Histogram, BUCKETS};
 pub use jsonl::TraceLine;
 pub use latency::LatencyTracker;
 pub use observer::{DigestObserver, EventLog, NoopObserver, Observer, Tee};
+pub use prom::SeriesLabels;
+pub use recorder::{FlightRecorder, RecorderDump, DEFAULT_RECORDER_DEPTH};
 pub use snapshot::{ObservabilitySnapshot, SnapshotAggregator};

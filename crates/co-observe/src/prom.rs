@@ -1,5 +1,12 @@
-//! Prometheus-style text exposition of counters, histograms, and flow
-//! gauges.
+//! Prometheus-style text exposition of counters, histograms, flow
+//! gauges, and live anomaly findings.
+//!
+//! Every series carries the same label set, rendered by
+//! [`SeriesLabels`]: `node` always, plus `core` and `network` when the
+//! driver knows which delivery core and network preset the entity runs
+//! under — so one scrape endpoint can serve many cells of the
+//! core×network matrix distinguishably. All label values pass through
+//! [`escape_label_value`], no exceptions.
 
 use crate::counters::Counters;
 use crate::flow::FlowGauge;
@@ -18,6 +25,60 @@ pub fn escape_label_value(value: &str) -> String {
         }
     }
     out
+}
+
+/// The label set shared by every rendered series: the node index, plus
+/// optional delivery-core and network-preset labels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeriesLabels {
+    /// The entity index (`node` label).
+    pub node: u32,
+    /// Delivery-core name (`core` label); omitted when `None`.
+    pub core: Option<String>,
+    /// Network preset label (`network` label); omitted when `None`.
+    pub network: Option<String>,
+}
+
+impl SeriesLabels {
+    /// Labels with only the node set.
+    pub fn node(node: u32) -> SeriesLabels {
+        SeriesLabels {
+            node,
+            core: None,
+            network: None,
+        }
+    }
+
+    /// Adds the delivery-core label.
+    #[must_use]
+    pub fn with_core(mut self, core: &str) -> SeriesLabels {
+        self.core = Some(core.to_string());
+        self
+    }
+
+    /// Adds the network-preset label.
+    #[must_use]
+    pub fn with_network(mut self, network: &str) -> SeriesLabels {
+        self.network = Some(network.to_string());
+        self
+    }
+
+    /// The label body, without braces: `node="0",core="co",...`. Every
+    /// value is escaped.
+    fn body(&self) -> String {
+        let mut out = format!("node=\"{}\"", self.node);
+        if let Some(core) = &self.core {
+            out.push_str(",core=\"");
+            out.push_str(&escape_label_value(core));
+            out.push('"');
+        }
+        if let Some(network) = &self.network {
+            out.push_str(",network=\"");
+            out.push_str(&escape_label_value(network));
+            out.push('"');
+        }
+        out
+    }
 }
 
 /// One-line help text for a counter, keyed by its
@@ -45,8 +106,9 @@ fn counter_help(name: &str) -> &'static str {
 }
 
 /// Renders the counters in Prometheus text format, one
-/// `co_<counter>_total` metric per entry, labeled by node.
-pub fn render_counters(node: u32, counters: &Counters, out: &mut String) {
+/// `co_<counter>_total` metric per entry, labeled per [`SeriesLabels`].
+pub fn render_counters(labels: &SeriesLabels, counters: &Counters, out: &mut String) {
+    let body = labels.body();
     for (name, value) in counters.entries() {
         out.push_str("# HELP co_");
         out.push_str(name);
@@ -56,13 +118,15 @@ pub fn render_counters(node: u32, counters: &Counters, out: &mut String) {
         out.push_str("# TYPE co_");
         out.push_str(name);
         out.push_str("_total counter\n");
-        out.push_str(&format!("co_{name}_total{{node=\"{node}\"}} {value}\n"));
+        out.push_str(&format!("co_{name}_total{{{body}}} {value}\n"));
     }
 }
 
 /// Renders the latency histograms in Prometheus text format as
-/// `co_latency_us` histogram series labeled by node and stage.
-pub fn render_latency(node: u32, latency: &LatencyTracker, out: &mut String) {
+/// `co_latency_us` histogram series labeled per [`SeriesLabels`] and by
+/// stage.
+pub fn render_latency(labels: &SeriesLabels, latency: &LatencyTracker, out: &mut String) {
+    let body = labels.body();
     out.push_str("# HELP co_latency_us Per-stage protocol latency, microseconds.\n");
     out.push_str("# TYPE co_latency_us histogram\n");
     for (stage, hist) in latency.stages() {
@@ -77,17 +141,17 @@ pub fn render_latency(node: u32, latency: &LatencyTracker, out: &mut String) {
                     le.to_string()
                 };
                 out.push_str(&format!(
-                    "co_latency_us_bucket{{node=\"{node}\",stage=\"{stage}\",le=\"{le}\"}} {cumulative}\n"
+                    "co_latency_us_bucket{{{body},stage=\"{stage}\",le=\"{le}\"}} {cumulative}\n"
                 ));
                 last = cumulative;
             }
         }
         out.push_str(&format!(
-            "co_latency_us_sum{{node=\"{node}\",stage=\"{stage}\"}} {}\n",
+            "co_latency_us_sum{{{body},stage=\"{stage}\"}} {}\n",
             hist.sum_us()
         ));
         out.push_str(&format!(
-            "co_latency_us_count{{node=\"{node}\",stage=\"{stage}\"}} {}\n",
+            "co_latency_us_count{{{body},stage=\"{stage}\"}} {}\n",
             hist.count()
         ));
     }
@@ -95,11 +159,12 @@ pub fn render_latency(node: u32, latency: &LatencyTracker, out: &mut String) {
 
 /// Renders the flow-condition gauges (§4.2 send-window state) in
 /// Prometheus text format.
-pub fn render_flow(node: u32, flow: &FlowGauge, out: &mut String) {
+pub fn render_flow(labels: &SeriesLabels, flow: &FlowGauge, out: &mut String) {
+    let body = labels.body();
     out.push_str("# HELP co_flow_blocked Whether the flow condition currently blocks sends (1) or not (0).\n");
     out.push_str("# TYPE co_flow_blocked gauge\n");
     out.push_str(&format!(
-        "co_flow_blocked{{node=\"{node}\"}} {}\n",
+        "co_flow_blocked{{{body}}} {}\n",
         u64::from(flow.blocked_now())
     ));
     out.push_str(
@@ -107,42 +172,61 @@ pub fn render_flow(node: u32, flow: &FlowGauge, out: &mut String) {
     );
     out.push_str("# TYPE co_flow_outstanding gauge\n");
     out.push_str(&format!(
-        "co_flow_outstanding{{node=\"{node}\"}} {}\n",
+        "co_flow_outstanding{{{body}}} {}\n",
         flow.last_outstanding()
     ));
     out.push_str(
         "# HELP co_flow_limit Effective send-window limit min(W, minBUF/(H*2n)) at the last blocked submit; 0 means starved.\n",
     );
     out.push_str("# TYPE co_flow_limit gauge\n");
-    out.push_str(&format!(
-        "co_flow_limit{{node=\"{node}\"}} {}\n",
-        flow.last_limit()
-    ));
+    out.push_str(&format!("co_flow_limit{{{body}}} {}\n", flow.last_limit()));
     out.push_str("# HELP co_flow_blocked_events_total Submits blocked by the flow condition.\n");
     out.push_str("# TYPE co_flow_blocked_events_total counter\n");
     out.push_str(&format!(
-        "co_flow_blocked_events_total{{node=\"{node}\"}} {}\n",
+        "co_flow_blocked_events_total{{{body}}} {}\n",
         flow.blocked_events()
     ));
 }
 
+/// Renders live streaming-detector findings as the
+/// `co_anomaly_findings` gauge, one sample per finding kind.
+///
+/// A gauge, not a counter: span-derived findings (`stuck_at_pre_ack`,
+/// `never_acknowledged`) can clear when a late delivery lands.
+/// `kind_counts` pairs each finding kind with its current count;
+/// kinds with zero findings should still be passed so the series reads
+/// as explicitly clear rather than absent.
+pub fn render_findings(labels: &SeriesLabels, kind_counts: &[(&str, u64)], out: &mut String) {
+    let body = labels.body();
+    out.push_str(
+        "# HELP co_anomaly_findings Live streaming anomaly-detector findings, by rule kind.\n",
+    );
+    out.push_str("# TYPE co_anomaly_findings gauge\n");
+    for (kind, count) in kind_counts {
+        out.push_str(&format!(
+            "co_anomaly_findings{{{body},kind=\"{}\"}} {count}\n",
+            escape_label_value(kind)
+        ));
+    }
+}
+
 /// Full exposition: counters plus histograms.
-pub fn render(node: u32, counters: &Counters, latency: &LatencyTracker) -> String {
+pub fn render(labels: &SeriesLabels, counters: &Counters, latency: &LatencyTracker) -> String {
     let mut out = String::with_capacity(4096);
-    render_counters(node, counters, &mut out);
-    render_latency(node, latency, &mut out);
+    render_counters(labels, counters, &mut out);
+    render_latency(labels, latency, &mut out);
     out
 }
 
 /// Full exposition including the flow gauges.
 pub fn render_with_flow(
-    node: u32,
+    labels: &SeriesLabels,
     counters: &Counters,
     latency: &LatencyTracker,
     flow: &FlowGauge,
 ) -> String {
-    let mut out = render(node, counters, latency);
-    render_flow(node, flow, &mut out);
+    let mut out = render(labels, counters, latency);
+    render_flow(labels, flow, &mut out);
     out
 }
 
@@ -171,7 +255,7 @@ mod tests {
             seq: Seq::new(1),
             now_us: 750,
         });
-        let text = render(0, &counters, &latency);
+        let text = render(&SeriesLabels::node(0), &counters, &latency);
         assert!(text.contains("co_delivered_total{node=\"0\"} 3"));
         assert!(text.contains("# HELP co_delivered_total "));
         assert!(text.contains("co_latency_us_count{node=\"0\",stage=\"accept_to_deliver\"} 1"));
@@ -194,7 +278,12 @@ mod tests {
             limit: 8,
             now_us: 5,
         });
-        let text = render_with_flow(2, &Counters::default(), &LatencyTracker::new(), &flow);
+        let text = render_with_flow(
+            &SeriesLabels::node(2),
+            &Counters::default(),
+            &LatencyTracker::new(),
+            &flow,
+        );
         assert!(text.contains("# TYPE co_flow_blocked gauge"));
         assert!(text.contains("# HELP co_flow_blocked "));
         assert!(text.contains("co_flow_blocked{node=\"2\"} 1"));
@@ -202,6 +291,63 @@ mod tests {
         assert!(text.contains("co_flow_limit{node=\"2\"} 8"));
         assert!(text.contains("# TYPE co_flow_blocked_events_total counter"));
         assert!(text.contains("co_flow_blocked_events_total{node=\"2\"} 1"));
+    }
+
+    #[test]
+    fn core_and_network_labels_appear_on_every_series() {
+        let labels = SeriesLabels::node(1)
+            .with_core("hybrid")
+            .with_network("wan");
+        let mut flow = FlowGauge::new();
+        flow.on_event(ProtocolEvent::FlowBlocked {
+            outstanding: 1,
+            limit: 1,
+            now_us: 1,
+        });
+        let text = render_with_flow(&labels, &Counters::default(), &LatencyTracker::new(), &flow);
+        let body = "node=\"1\",core=\"hybrid\",network=\"wan\"";
+        assert!(
+            text.contains(&format!("co_delivered_total{{{body}}}")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("co_flow_blocked{{{body}}}")),
+            "{text}"
+        );
+        // No series slips through with node-only labels.
+        assert!(!text.contains("{node=\"1\"}"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped_consistently() {
+        let labels = SeriesLabels::node(0)
+            .with_core("c\"o")
+            .with_network("wa\\n");
+        let mut out = String::new();
+        render_counters(&labels, &Counters::default(), &mut out);
+        assert!(out.contains("core=\"c\\\"o\""), "{out}");
+        assert!(out.contains("network=\"wa\\\\n\""), "{out}");
+    }
+
+    #[test]
+    fn renders_findings_gauge() {
+        let labels = SeriesLabels::node(0)
+            .with_core("co")
+            .with_network("uniform");
+        let mut out = String::new();
+        render_findings(
+            &labels,
+            &[("ret_storm", 2), ("loss_burst", 0), ("flow_saturation", 1)],
+            &mut out,
+        );
+        assert!(out.contains("# TYPE co_anomaly_findings gauge"));
+        assert!(out.contains(
+            "co_anomaly_findings{node=\"0\",core=\"co\",network=\"uniform\",kind=\"ret_storm\"} 2"
+        ));
+        assert!(
+            out.contains("kind=\"loss_burst\"} 0"),
+            "zero kinds are explicit: {out}"
+        );
     }
 
     #[test]

@@ -126,6 +126,17 @@ pub enum Finding {
 }
 
 impl Finding {
+    /// Every rule kind name, in the order [`detect`] emits them — the
+    /// stable enumeration exporters (Prometheus findings gauge, watch
+    /// mode) iterate so zero-count kinds are still visible.
+    pub const KINDS: [&'static str; 5] = [
+        "ret_storm",
+        "loss_burst",
+        "flow_saturation",
+        "stuck_at_pre_ack",
+        "never_acknowledged",
+    ];
+
     /// Short stable name of the rule that fired (used in text and JSON
     /// renderings).
     pub fn kind(&self) -> &'static str {

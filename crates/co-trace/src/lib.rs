@@ -19,6 +19,10 @@
 //!   RET storms, F1/F2 loss-burst clusters, flow-condition saturation,
 //!   and never-acknowledged PDUs — each carrying the evidence that
 //!   produced it;
+//! * [`StreamingDetectors`] / [`LiveDetector`] run the same rules
+//!   incrementally with bounded memory — a snapshot after any
+//!   time-sorted prefix equals [`detect`] over that prefix, so drivers
+//!   get always-on anomaly detection without a trace file in the loop;
 //! * [`analyze`] bundles all of the above into a [`SpanReport`] with
 //!   text and JSON renderings (`co-cli trace analyze`, the
 //!   `co-transport` post-run report, and the `co-check` span oracle all
@@ -35,7 +39,9 @@
 mod anomaly;
 mod report;
 mod span;
+mod stream;
 
 pub use anomaly::{detect, AnomalyConfig, Finding};
-pub use report::{analyze, SpanReport};
+pub use report::{analyze, describe_finding, finding_to_json, SpanReport};
 pub use span::{stitch, Breakdown, BroadcastSpan, DuplicateStage, SpanSet, Stage, StageTimes};
+pub use stream::{LiveDetector, StreamingDetectors};

@@ -65,6 +65,20 @@ fn histogram_row(name: &str, h: &Histogram, out: &mut String) {
     );
 }
 
+/// One-line human description of a finding (shared by the text report
+/// and `co-cli trace watch`).
+pub fn describe_finding(finding: &Finding) -> String {
+    describe(finding)
+}
+
+/// One finding as a JSON object (shared by the JSON report and
+/// `co-cli trace watch --json`).
+pub fn finding_to_json(finding: &Finding) -> String {
+    let mut out = String::with_capacity(128);
+    finding_json(finding, &mut out);
+    out
+}
+
 fn describe(finding: &Finding) -> String {
     match finding {
         Finding::StuckAtPreAck {

@@ -227,7 +227,7 @@ impl SpanSet {
     }
 }
 
-fn set_stage(
+pub(crate) fn set_stage(
     set: &mut SpanSet,
     node: u32,
     src: u32,

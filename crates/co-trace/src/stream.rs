@@ -1,0 +1,1035 @@
+//! Incremental, bounded-memory versions of the [`crate::detect`]
+//! anomaly rules.
+//!
+//! [`StreamingDetectors`] consumes trace lines one at a time and can be
+//! asked for its [`findings`](StreamingDetectors::findings) at any
+//! point. Fed a time-nondecreasing stream (a merged trace is time
+//! sorted; a single node's live stream is monotonic by construction),
+//! the snapshot equals `detect(lines_so_far, stitch(lines_so_far), cfg)`
+//! finding for finding — the equivalence argument is spelled out in
+//! DESIGN.md and enforced over hundreds of random schedules by
+//! `co-check`'s `streaming_equivalence` test. The per-rule state is
+//! bounded:
+//!
+//! * RET storm — one sliding window of requests per source, pruned to
+//!   the configured width, plus the best window seen so far. The best
+//!   window is order-independent for equal timestamps because the
+//!   window count strictly increases across an equal-time group, so the
+//!   maximum is always achieved at a group boundary, whose membership
+//!   depends on times alone.
+//! * Loss burst — one open cluster aggregate plus already-closed
+//!   findings; cluster boundaries depend only on timestamps.
+//! * Flow saturation — one gauge aggregate per node (fully
+//!   order-independent).
+//! * Span rules — an incrementally stitched [`SpanSet`]. Span state is
+//!   the one component that grows with trace length; callers that know
+//!   the cluster size can opt into
+//!   [`with_cluster_size`](StreamingDetectors::with_cluster_size),
+//!   which retires a span once it is complete at every node (a complete
+//!   span can never fire a rule again, and the engine's at-most-once
+//!   stage transitions mean it will not be resurrected).
+//!
+//! [`LiveDetector`] wraps the streaming rules behind
+//! [`co_observe::Observer`] for always-on, in-process use by drivers.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use co_observe::{Observer, ProtocolEvent, TraceLine};
+
+use crate::anomaly::{AnomalyConfig, Finding};
+use crate::span::{set_stage, SpanSet, Stage, StageTimes};
+
+/// The densest request window seen so far for one source.
+#[derive(Debug, Clone)]
+struct BestWindow {
+    count: usize,
+    from_us: u64,
+    to_us: u64,
+    requesters: Vec<u32>,
+}
+
+/// Streaming state of the RET-storm rule for one source.
+#[derive(Debug, Clone, Default)]
+struct RetState {
+    /// `(time, requester)` requests inside the current window.
+    window: VecDeque<(u64, u32)>,
+    best: Option<BestWindow>,
+}
+
+/// The open (not yet gap-closed) loss cluster.
+#[derive(Debug, Clone)]
+struct LossCluster {
+    detections: usize,
+    f2: usize,
+    from_us: u64,
+    to_us: u64,
+    sources: BTreeSet<u32>,
+}
+
+impl LossCluster {
+    fn finding(&self) -> Finding {
+        Finding::LossBurst {
+            detections: self.detections,
+            f1: self.detections - self.f2,
+            f2: self.f2,
+            from_us: self.from_us,
+            to_us: self.to_us,
+            sources: self.sources.iter().copied().collect(),
+        }
+    }
+}
+
+/// Streaming flow-condition aggregate for one node (mirrors the offline
+/// gauge fold exactly; the aggregation is order-independent).
+#[derive(Debug, Clone)]
+struct FlowState {
+    blocked: usize,
+    max_outstanding: u64,
+    min_limit: u64,
+    from_us: u64,
+    to_us: u64,
+}
+
+/// Seqs of one source whose spans were retired; compacted into a
+/// watermark so memory stays proportional to completion skew, not trace
+/// length.
+#[derive(Debug, Clone, Default)]
+struct PruneState {
+    /// Every seq `<= watermark` is retired.
+    watermark: u64,
+    /// Retired seqs above the watermark (completion happened out of
+    /// order).
+    above: BTreeSet<u64>,
+}
+
+impl PruneState {
+    fn insert(&mut self, seq: u64) {
+        self.above.insert(seq);
+        while self.above.remove(&(self.watermark + 1)) {
+            self.watermark += 1;
+        }
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        seq != 0 && (seq <= self.watermark || self.above.contains(&seq))
+    }
+}
+
+/// Incremental counterparts of every [`crate::detect`] rule, with
+/// bounded per-rule state. See the module docs for the equivalence
+/// contract.
+#[derive(Debug, Clone)]
+pub struct StreamingDetectors {
+    cfg: AnomalyConfig,
+    /// When set, spans complete at all `n` nodes are retired eagerly.
+    cluster_n: Option<usize>,
+    ret: BTreeMap<u32, RetState>,
+    loss_closed: Vec<Finding>,
+    loss_open: Option<LossCluster>,
+    flow: BTreeMap<u32, FlowState>,
+    /// Incrementally stitched spans (`set.n` is computed lazily from
+    /// `max_index` at snapshot time, like the offline stitcher).
+    set: SpanSet,
+    max_index: Option<u32>,
+    pruned: BTreeMap<u32, PruneState>,
+    pruned_spans: u64,
+}
+
+impl Default for StreamingDetectors {
+    fn default() -> Self {
+        StreamingDetectors::new(AnomalyConfig::default())
+    }
+}
+
+impl StreamingDetectors {
+    /// Streaming detectors with no span retirement: exact for arbitrary
+    /// node indices, but span state grows with the number of distinct
+    /// broadcasts.
+    pub fn new(cfg: AnomalyConfig) -> StreamingDetectors {
+        StreamingDetectors {
+            cfg,
+            cluster_n: None,
+            ret: BTreeMap::new(),
+            loss_closed: Vec::new(),
+            loss_open: None,
+            flow: BTreeMap::new(),
+            set: SpanSet::default(),
+            max_index: None,
+            pruned: BTreeMap::new(),
+            pruned_spans: 0,
+        }
+    }
+
+    /// Declares the cluster size so spans complete at all `n` nodes can
+    /// be retired (bounded memory). Exact as long as every node and
+    /// source index in the stream is `< n` — which the drivers
+    /// guarantee.
+    #[must_use]
+    pub fn with_cluster_size(mut self, n: usize) -> StreamingDetectors {
+        self.cluster_n = Some(n);
+        self
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> &AnomalyConfig {
+        &self.cfg
+    }
+
+    /// Last timestamp seen, µs ("now" for the staleness rules).
+    pub fn end_us(&self) -> u64 {
+        self.set.end_us
+    }
+
+    /// Spans currently held (after any retirement).
+    pub fn open_spans(&self) -> usize {
+        self.set.spans.len()
+    }
+
+    /// Spans retired as complete under
+    /// [`with_cluster_size`](StreamingDetectors::with_cluster_size).
+    pub fn pruned_spans(&self) -> u64 {
+        self.pruned_spans
+    }
+
+    fn bump(&mut self, index: u32) {
+        self.max_index = Some(self.max_index.map_or(index, |m| m.max(index)));
+    }
+
+    /// Node count inferred so far, exactly as the offline stitcher
+    /// infers it.
+    pub fn inferred_n(&self) -> usize {
+        self.max_index.map_or(0, |m| m as usize + 1)
+    }
+
+    /// Feeds one protocol event observed at `node`.
+    pub fn observe(&mut self, node: u32, event: ProtocolEvent) {
+        self.observe_line(&TraceLine::Event { node, event });
+    }
+
+    /// Feeds one trace line. Lines must arrive with nondecreasing
+    /// timestamps for the snapshot equivalence to hold.
+    pub fn observe_line(&mut self, line: &TraceLine) {
+        match *line {
+            TraceLine::HostTco { node, at_us, .. } => {
+                self.bump(node);
+                self.set.end_us = self.set.end_us.max(at_us);
+            }
+            TraceLine::Event { node, event } => {
+                self.bump(node);
+                self.set.end_us = self.set.end_us.max(event.now_us());
+                match event {
+                    ProtocolEvent::RetSent { src, now_us, .. } => {
+                        self.observe_ret(src.index() as u32, node, now_us);
+                    }
+                    ProtocolEvent::F1Detected { src, now_us, .. } => {
+                        self.observe_loss(src.index() as u32, false, now_us);
+                    }
+                    ProtocolEvent::F2Detected { src, now_us, .. } => {
+                        self.observe_loss(src.index() as u32, true, now_us);
+                    }
+                    ProtocolEvent::FlowBlocked {
+                        outstanding,
+                        limit,
+                        now_us,
+                    } => {
+                        self.observe_flow(node, outstanding, limit, now_us);
+                    }
+                    ProtocolEvent::DataSent { src, seq, now_us } => {
+                        self.observe_stage(
+                            node,
+                            src.index() as u32,
+                            seq.get(),
+                            Stage::Send,
+                            now_us,
+                            false,
+                        );
+                    }
+                    ProtocolEvent::Accepted {
+                        src,
+                        seq,
+                        from_reorder,
+                        now_us,
+                    } => {
+                        self.observe_stage(
+                            node,
+                            src.index() as u32,
+                            seq.get(),
+                            Stage::Accept,
+                            now_us,
+                            from_reorder,
+                        );
+                    }
+                    ProtocolEvent::PreAcked { src, seq, now_us } => {
+                        self.observe_stage(
+                            node,
+                            src.index() as u32,
+                            seq.get(),
+                            Stage::PreAck,
+                            now_us,
+                            false,
+                        );
+                    }
+                    ProtocolEvent::Delivered { src, seq, now_us } => {
+                        self.observe_stage(
+                            node,
+                            src.index() as u32,
+                            seq.get(),
+                            Stage::Deliver,
+                            now_us,
+                            false,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn observe_ret(&mut self, src: u32, requester: u32, now_us: u64) {
+        let window_us = self.cfg.ret_storm_window_us;
+        let st = self.ret.entry(src).or_default();
+        st.window.push_back((now_us, requester));
+        while let Some(&(front_us, _)) = st.window.front() {
+            if now_us.saturating_sub(front_us) > window_us {
+                st.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        let count = st.window.len();
+        // Strictly-greater-wins, like the offline scan: the earliest
+        // window to reach the final maximum is the one reported.
+        if st.best.as_ref().is_none_or(|b| count > b.count) {
+            let mut requesters: Vec<u32> = st.window.iter().map(|&(_, n)| n).collect();
+            requesters.sort_unstable();
+            requesters.dedup();
+            st.best = Some(BestWindow {
+                count,
+                from_us: st.window.front().map_or(now_us, |&(t, _)| t),
+                to_us: now_us,
+                requesters,
+            });
+        }
+    }
+
+    fn observe_loss(&mut self, src: u32, is_f2: bool, now_us: u64) {
+        let gap_us = self.cfg.loss_cluster_gap_us;
+        let min = self.cfg.loss_cluster_min;
+        if let Some(open) = &mut self.loss_open {
+            if now_us.saturating_sub(open.to_us) > gap_us {
+                if open.detections >= min {
+                    self.loss_closed.push(open.finding());
+                }
+                self.loss_open = None;
+            }
+        }
+        let open = self.loss_open.get_or_insert_with(|| LossCluster {
+            detections: 0,
+            f2: 0,
+            from_us: now_us,
+            to_us: now_us,
+            sources: BTreeSet::new(),
+        });
+        open.detections += 1;
+        open.f2 += usize::from(is_f2);
+        open.from_us = open.from_us.min(now_us);
+        open.to_us = open.to_us.max(now_us);
+        open.sources.insert(src);
+    }
+
+    fn observe_flow(&mut self, node: u32, outstanding: u64, limit: u64, now_us: u64) {
+        let g = self.flow.entry(node).or_insert(FlowState {
+            blocked: 0,
+            max_outstanding: 0,
+            min_limit: u64::MAX,
+            from_us: now_us,
+            to_us: now_us,
+        });
+        g.blocked += 1;
+        g.max_outstanding = g.max_outstanding.max(outstanding);
+        g.min_limit = g.min_limit.min(limit);
+        g.from_us = g.from_us.min(now_us);
+        g.to_us = g.to_us.max(now_us);
+    }
+
+    fn observe_stage(
+        &mut self,
+        node: u32,
+        src: u32,
+        seq: u64,
+        stage: Stage,
+        at_us: u64,
+        from_reorder: bool,
+    ) {
+        self.bump(src);
+        if self.pruned.get(&src).is_some_and(|p| p.contains(seq)) {
+            // A stage event for a retired span can only be a duplicate
+            // (the engine's transitions are at-most-once); re-stitching
+            // it would resurrect the span with partial state.
+            return;
+        }
+        set_stage(&mut self.set, node, src, seq, stage, at_us, from_reorder);
+        if let Some(n) = self.cluster_n {
+            if self
+                .set
+                .spans
+                .get(&(src, seq))
+                .is_some_and(|span| span.complete(n))
+            {
+                self.set.spans.remove(&(src, seq));
+                self.pruned.entry(src).or_default().insert(seq);
+                self.pruned_spans += 1;
+            }
+        }
+    }
+
+    /// Snapshot of every rule's current findings, in the offline
+    /// [`crate::detect`] order: RET storms (source ascending), loss
+    /// bursts (time order), flow saturation (node ascending), then the
+    /// span rules in `(src, seq)` order.
+    pub fn findings(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (src, st) in &self.ret {
+            if let Some(best) = &st.best {
+                if best.count >= self.cfg.ret_storm_requests {
+                    out.push(Finding::RetStorm {
+                        src: *src,
+                        requests: best.count,
+                        window_us: self.cfg.ret_storm_window_us,
+                        from_us: best.from_us,
+                        to_us: best.to_us,
+                        requesters: best.requesters.clone(),
+                    });
+                }
+            }
+        }
+        out.extend(self.loss_closed.iter().cloned());
+        if let Some(open) = &self.loss_open {
+            if open.detections >= self.cfg.loss_cluster_min {
+                out.push(open.finding());
+            }
+        }
+        for (node, g) in &self.flow {
+            if g.blocked >= self.cfg.flow_blocked_min {
+                out.push(Finding::FlowSaturation {
+                    node: *node,
+                    blocked: g.blocked,
+                    max_outstanding: g.max_outstanding,
+                    min_limit: g.min_limit,
+                    starved: g.min_limit == 0,
+                    from_us: g.from_us,
+                    to_us: g.to_us,
+                });
+            }
+        }
+        let n = self.inferred_n();
+        let end_us = self.set.end_us;
+        for span in self.set.spans.values() {
+            let mut span = span.clone();
+            if span.stages.len() < n {
+                span.stages.resize(n, StageTimes::default());
+            }
+            for (node, stage) in span.stages.iter().enumerate() {
+                if let (Some(preack), None) = (stage.pre_ack_us, stage.deliver_us) {
+                    let waited_us = end_us.saturating_sub(preack);
+                    if waited_us > self.cfg.stuck_preack_us {
+                        out.push(Finding::StuckAtPreAck {
+                            node: node as u32,
+                            src: span.src,
+                            seq: span.seq,
+                            waited_us,
+                            span: span.clone(),
+                        });
+                    }
+                }
+            }
+            if let Some(sent) = span.sent_us {
+                let missing = span.missing_deliveries(n);
+                if !missing.is_empty() && end_us.saturating_sub(sent) > self.cfg.stuck_preack_us {
+                    out.push(Finding::NeverAcknowledged {
+                        src: span.src,
+                        seq: span.seq,
+                        missing,
+                        span: span.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// `(kind, count)` for every rule kind, including zeros — the shape
+    /// the Prometheus findings gauge wants.
+    pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
+        let findings = self.findings();
+        Finding::KINDS
+            .iter()
+            .map(|&kind| {
+                (
+                    kind,
+                    findings.iter().filter(|f| f.kind() == kind).count() as u64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// An [`Observer`] running the streaming anomaly rules in-process for
+/// one node's live event stream: always-on anomaly detection with no
+/// trace file in the loop.
+#[derive(Debug, Clone, Default)]
+pub struct LiveDetector {
+    node: u32,
+    inner: StreamingDetectors,
+}
+
+impl LiveDetector {
+    /// Live detection for `node`'s event stream under `cfg`.
+    pub fn new(node: u32, cfg: AnomalyConfig) -> LiveDetector {
+        LiveDetector {
+            node,
+            inner: StreamingDetectors::new(cfg),
+        }
+    }
+
+    /// Declares the cluster size so complete spans are retired (keeps a
+    /// long-running node's detector memory bounded).
+    #[must_use]
+    pub fn with_cluster_size(mut self, n: usize) -> LiveDetector {
+        self.inner = self.inner.with_cluster_size(n);
+        self
+    }
+
+    /// The underlying streaming detectors.
+    pub fn detectors(&self) -> &StreamingDetectors {
+        &self.inner
+    }
+
+    /// Current findings snapshot (offline-equivalent order).
+    pub fn findings(&self) -> Vec<Finding> {
+        self.inner.findings()
+    }
+
+    /// `(kind, count)` for every rule kind, including zeros.
+    pub fn kind_counts(&self) -> Vec<(&'static str, u64)> {
+        self.inner.kind_counts()
+    }
+}
+
+impl Observer for LiveDetector {
+    fn on_event(&mut self, event: ProtocolEvent) {
+        self.inner.observe(self.node, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::stitch;
+    use crate::{analyze, detect};
+    use causal_order::{EntityId, Seq};
+
+    fn ev(node: u32, event: ProtocolEvent) -> TraceLine {
+        TraceLine::Event { node, event }
+    }
+
+    fn id(i: u32) -> EntityId {
+        EntityId::new(i)
+    }
+
+    fn time_sorted(mut lines: Vec<TraceLine>) -> Vec<TraceLine> {
+        lines.sort_by_key(|line| match *line {
+            TraceLine::Event { event, .. } => event.now_us(),
+            TraceLine::HostTco { at_us, .. } => at_us,
+        });
+        lines
+    }
+
+    fn offline(lines: &[TraceLine], cfg: &AnomalyConfig) -> Vec<Finding> {
+        detect(lines, &stitch(lines), cfg)
+    }
+
+    fn streamed(lines: &[TraceLine], cfg: &AnomalyConfig) -> Vec<Finding> {
+        let mut s = StreamingDetectors::new(*cfg);
+        for line in lines {
+            s.observe_line(line);
+        }
+        s.findings()
+    }
+
+    /// A deliberately anomalous little trace exercising every rule.
+    fn stormy_trace() -> Vec<TraceLine> {
+        let mut lines = Vec::new();
+        // RET storm on source 0: five requests in 80µs from two nodes.
+        for (i, t) in [0u64, 20, 40, 60, 80].iter().enumerate() {
+            lines.push(ev(
+                1 + (i as u32 % 2),
+                ProtocolEvent::RetSent {
+                    src: id(0),
+                    lseq: Seq::new(3),
+                    now_us: *t,
+                },
+            ));
+        }
+        // Loss burst: three detections inside the gap, one stray later.
+        lines.push(ev(
+            1,
+            ProtocolEvent::F1Detected {
+                src: id(0),
+                expected: Seq::new(1),
+                got: Seq::new(3),
+                now_us: 100,
+            },
+        ));
+        lines.push(ev(
+            2,
+            ProtocolEvent::F2Detected {
+                src: id(0),
+                confirmed: Seq::new(2),
+                via: id(1),
+                now_us: 130,
+            },
+        ));
+        lines.push(ev(
+            1,
+            ProtocolEvent::F1Detected {
+                src: id(2),
+                expected: Seq::new(1),
+                got: Seq::new(2),
+                now_us: 160,
+            },
+        ));
+        lines.push(ev(
+            1,
+            ProtocolEvent::F1Detected {
+                src: id(2),
+                expected: Seq::new(2),
+                got: Seq::new(4),
+                now_us: 9_000,
+            },
+        ));
+        // Flow saturation at node 2.
+        for t in [200u64, 220, 240] {
+            lines.push(ev(
+                2,
+                ProtocolEvent::FlowBlocked {
+                    outstanding: 8,
+                    limit: if t == 240 { 0 } else { 4 },
+                    now_us: t,
+                },
+            ));
+        }
+        // A broadcast that pre-acks at node 1 but never delivers, and is
+        // never delivered anywhere else either.
+        lines.push(ev(
+            0,
+            ProtocolEvent::DataSent {
+                src: id(0),
+                seq: Seq::new(9),
+                now_us: 300,
+            },
+        ));
+        lines.push(ev(
+            1,
+            ProtocolEvent::Accepted {
+                src: id(0),
+                seq: Seq::new(9),
+                from_reorder: false,
+                now_us: 320,
+            },
+        ));
+        lines.push(ev(
+            1,
+            ProtocolEvent::PreAcked {
+                src: id(0),
+                seq: Seq::new(9),
+                now_us: 340,
+            },
+        ));
+        // Late activity stretches end_us past the staleness gate.
+        lines.push(ev(0, ProtocolEvent::AckOnlySent { now_us: 40_000 }));
+        time_sorted(lines)
+    }
+
+    fn lowered() -> AnomalyConfig {
+        AnomalyConfig {
+            stuck_preack_us: 10_000,
+            ret_storm_requests: 4,
+            ret_storm_window_us: 100,
+            loss_cluster_gap_us: 1_000,
+            loss_cluster_min: 3,
+            flow_blocked_min: 3,
+            ..AnomalyConfig::default()
+        }
+    }
+
+    #[test]
+    fn matches_offline_on_a_trace_with_every_rule_firing() {
+        let lines = stormy_trace();
+        let cfg = lowered();
+        let off = offline(&lines, &cfg);
+        let kinds: Vec<_> = off.iter().map(Finding::kind).collect();
+        for expected in Finding::KINDS {
+            assert!(
+                kinds.contains(&expected),
+                "offline missing {expected}: {kinds:?}"
+            );
+        }
+        assert_eq!(streamed(&lines, &cfg), off);
+    }
+
+    #[test]
+    fn matches_offline_under_default_thresholds_too() {
+        let lines = stormy_trace();
+        let cfg = AnomalyConfig::default();
+        assert_eq!(streamed(&lines, &cfg), offline(&lines, &cfg));
+    }
+
+    #[test]
+    fn matches_offline_on_clean_and_empty_traces() {
+        let cfg = lowered();
+        assert_eq!(streamed(&[], &cfg), offline(&[], &cfg));
+        let (src, seq) = (id(0), Seq::new(1));
+        let mut lines = vec![ev(
+            0,
+            ProtocolEvent::DataSent {
+                src,
+                seq,
+                now_us: 10,
+            },
+        )];
+        for node in 0..2u32 {
+            if node != 0 {
+                lines.push(ev(
+                    node,
+                    ProtocolEvent::Accepted {
+                        src,
+                        seq,
+                        from_reorder: false,
+                        now_us: 20,
+                    },
+                ));
+            }
+            lines.push(ev(
+                node,
+                ProtocolEvent::PreAcked {
+                    src,
+                    seq,
+                    now_us: 30,
+                },
+            ));
+            lines.push(ev(
+                node,
+                ProtocolEvent::Delivered {
+                    src,
+                    seq,
+                    now_us: 40,
+                },
+            ));
+        }
+        let lines = time_sorted(lines);
+        let off = offline(&lines, &cfg);
+        assert!(off.is_empty());
+        assert_eq!(streamed(&lines, &cfg), off);
+    }
+
+    #[test]
+    fn equal_timestamp_ties_do_not_change_the_snapshot() {
+        let cfg = AnomalyConfig {
+            ret_storm_requests: 3,
+            ret_storm_window_us: 100,
+            ..AnomalyConfig::default()
+        };
+        // Three requests at the same instant, arriving in two different
+        // (but both time-nondecreasing) orders.
+        let reqs = |order: [u32; 3]| -> Vec<TraceLine> {
+            order
+                .iter()
+                .map(|&node| {
+                    ev(
+                        node,
+                        ProtocolEvent::RetSent {
+                            src: id(0),
+                            lseq: Seq::new(1),
+                            now_us: 50,
+                        },
+                    )
+                })
+                .collect()
+        };
+        let a = reqs([3, 1, 2]);
+        let b = reqs([2, 3, 1]);
+        let off = offline(&a, &cfg);
+        assert_eq!(off.len(), 1);
+        assert_eq!(streamed(&a, &cfg), off);
+        assert_eq!(streamed(&b, &cfg), off);
+    }
+
+    #[test]
+    fn ret_storm_reports_the_densest_window_seen_so_far() {
+        let cfg = AnomalyConfig {
+            ret_storm_requests: 3,
+            ret_storm_window_us: 100,
+            ..AnomalyConfig::default()
+        };
+        let mut s = StreamingDetectors::new(cfg);
+        for (node, t) in [(1u32, 0u64), (2, 50), (1, 90), (2, 500)] {
+            s.observe(
+                node,
+                ProtocolEvent::RetSent {
+                    src: id(0),
+                    lseq: Seq::new(9),
+                    now_us: t,
+                },
+            );
+        }
+        let findings = s.findings();
+        assert_eq!(findings.len(), 1);
+        match &findings[0] {
+            Finding::RetStorm {
+                src,
+                requests,
+                from_us,
+                to_us,
+                requesters,
+                ..
+            } => {
+                assert_eq!(*src, 0);
+                assert_eq!(*requests, 3);
+                assert_eq!((*from_us, *to_us), (0, 90));
+                assert_eq!(requesters, &[1, 2]);
+            }
+            other => panic!("expected RetStorm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_size_pruning_keeps_findings_and_bounds_spans() {
+        let cfg = lowered();
+        let mut lines = stormy_trace();
+        // Add a hundred broadcasts that complete at both nodes of a
+        // 3-node cluster; with pruning they must all retire.
+        for k in 0..100u64 {
+            let (src, seq) = (id(0), Seq::new(100 + k));
+            let t = 1_000 + k * 10;
+            lines.push(ev(
+                0,
+                ProtocolEvent::DataSent {
+                    src,
+                    seq,
+                    now_us: t,
+                },
+            ));
+            for node in 0..3u32 {
+                if node != 0 {
+                    lines.push(ev(
+                        node,
+                        ProtocolEvent::Accepted {
+                            src,
+                            seq,
+                            from_reorder: false,
+                            now_us: t + 1,
+                        },
+                    ));
+                }
+                lines.push(ev(
+                    node,
+                    ProtocolEvent::PreAcked {
+                        src,
+                        seq,
+                        now_us: t + 2,
+                    },
+                ));
+                lines.push(ev(
+                    node,
+                    ProtocolEvent::Delivered {
+                        src,
+                        seq,
+                        now_us: t + 3,
+                    },
+                ));
+            }
+        }
+        let lines = time_sorted(lines);
+        let off = offline(&lines, &cfg);
+        let mut pruned = StreamingDetectors::new(cfg).with_cluster_size(3);
+        for line in &lines {
+            pruned.observe_line(line);
+        }
+        assert_eq!(pruned.findings(), off);
+        assert_eq!(pruned.pruned_spans(), 100);
+        // Only the deliberately-incomplete span stays resident.
+        assert_eq!(pruned.open_spans(), 1);
+    }
+
+    #[test]
+    fn live_detector_observes_one_nodes_stream() {
+        let cfg = AnomalyConfig {
+            flow_blocked_min: 2,
+            ..AnomalyConfig::default()
+        };
+        let mut live = LiveDetector::new(2, cfg).with_cluster_size(3);
+        assert!(live.findings().is_empty());
+        for t in [10u64, 20] {
+            live.on_event(ProtocolEvent::FlowBlocked {
+                outstanding: 6,
+                limit: 3,
+                now_us: t,
+            });
+        }
+        let findings = live.findings();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind(), "flow_saturation");
+        match &findings[0] {
+            Finding::FlowSaturation { node, blocked, .. } => {
+                assert_eq!((*node, *blocked), (2, 2));
+            }
+            other => panic!("expected FlowSaturation, got {other:?}"),
+        }
+        let counts = live.kind_counts();
+        assert_eq!(counts.len(), Finding::KINDS.len());
+        assert!(counts.contains(&("flow_saturation", 1)));
+        assert!(counts.contains(&("ret_storm", 0)));
+    }
+
+    #[test]
+    fn snapshots_are_monotone_in_information_not_in_count() {
+        // A pre-acked-but-undelivered span fires once end_us passes the
+        // gate, then clears when the delivery finally lands.
+        let cfg = AnomalyConfig {
+            stuck_preack_us: 1_000,
+            ..AnomalyConfig::default()
+        };
+        let (src, seq) = (id(0), Seq::new(1));
+        let mut s = StreamingDetectors::new(cfg);
+        s.observe(
+            0,
+            ProtocolEvent::DataSent {
+                src,
+                seq,
+                now_us: 10,
+            },
+        );
+        s.observe(
+            1,
+            ProtocolEvent::Accepted {
+                src,
+                seq,
+                from_reorder: false,
+                now_us: 20,
+            },
+        );
+        s.observe(
+            1,
+            ProtocolEvent::PreAcked {
+                src,
+                seq,
+                now_us: 30,
+            },
+        );
+        s.observe(0, ProtocolEvent::AckOnlySent { now_us: 5_000 });
+        let kinds: Vec<_> = s.findings().iter().map(Finding::kind).collect();
+        assert!(kinds.contains(&"stuck_at_pre_ack"), "{kinds:?}");
+        s.observe(
+            1,
+            ProtocolEvent::Delivered {
+                src,
+                seq,
+                now_us: 5_100,
+            },
+        );
+        s.observe(
+            0,
+            ProtocolEvent::Delivered {
+                src,
+                seq,
+                now_us: 5_100,
+            },
+        );
+        let kinds: Vec<_> = s.findings().iter().map(Finding::kind).collect();
+        assert!(!kinds.contains(&"stuck_at_pre_ack"), "{kinds:?}");
+        // Matches a fresh offline pass over the same history at both
+        // checkpoints by construction; spot-check the final one.
+        let lines: Vec<TraceLine> = vec![
+            ev(
+                0,
+                ProtocolEvent::DataSent {
+                    src,
+                    seq,
+                    now_us: 10,
+                },
+            ),
+            ev(
+                1,
+                ProtocolEvent::Accepted {
+                    src,
+                    seq,
+                    from_reorder: false,
+                    now_us: 20,
+                },
+            ),
+            ev(
+                1,
+                ProtocolEvent::PreAcked {
+                    src,
+                    seq,
+                    now_us: 30,
+                },
+            ),
+            ev(0, ProtocolEvent::AckOnlySent { now_us: 5_000 }),
+            ev(
+                1,
+                ProtocolEvent::Delivered {
+                    src,
+                    seq,
+                    now_us: 5_100,
+                },
+            ),
+            ev(
+                0,
+                ProtocolEvent::Delivered {
+                    src,
+                    seq,
+                    now_us: 5_100,
+                },
+            ),
+        ];
+        assert_eq!(s.findings(), offline(&lines, &cfg));
+    }
+
+    #[test]
+    fn host_tco_lines_advance_the_staleness_clock() {
+        let cfg = AnomalyConfig {
+            stuck_preack_us: 1_000,
+            ..AnomalyConfig::default()
+        };
+        let (src, seq) = (id(0), Seq::new(1));
+        let lines = vec![
+            ev(
+                0,
+                ProtocolEvent::DataSent {
+                    src,
+                    seq,
+                    now_us: 10,
+                },
+            ),
+            TraceLine::HostTco {
+                node: 1,
+                at_us: 9_000,
+                dur_us: 50,
+            },
+        ];
+        let off = offline(&lines, &cfg);
+        assert_eq!(streamed(&lines, &cfg), off);
+        assert_eq!(off.len(), 1);
+        assert_eq!(off[0].kind(), "never_acknowledged");
+    }
+
+    #[test]
+    fn streaming_report_agrees_with_analyze_findings() {
+        let lines = stormy_trace();
+        let cfg = lowered();
+        let report = analyze(&lines, &cfg);
+        assert_eq!(streamed(&lines, &cfg), report.findings);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property test: the streaming detectors are *bit-identical* to the
+//! offline anomaly pass on arbitrary lossy, reordering, duplicating
+//! schedules.
+//!
+//! The generator draws arbitrary mixes of span stages (including missing
+//! stages — loss — and repeated stages — duplication), RET requests,
+//! F1/F2 detections, flow-blocked gauges, and host Tco annotations, over
+//! colliding `(src, seq)` pairs, then sorts stably by timestamp — the
+//! canonical merged-trace order every real consumer feeds the detectors
+//! in. For every such stream and every configuration drawn,
+//! [`StreamingDetectors`] must reproduce [`detect`] exactly: same
+//! findings, same evidence, same order. The span-pruned variant (bounded
+//! memory) must agree too.
+
+use causal_order::{EntityId, Seq};
+use co_observe::{ProtocolEvent, TraceLine};
+use co_trace::{detect, stitch, AnomalyConfig, StreamingDetectors};
+use proptest::prelude::*;
+
+const N: u32 = 4;
+
+fn line() -> impl Strategy<Value = TraceLine> {
+    let t = 0u64..200_000;
+    let node = 0u32..N;
+    let src = 0u32..N;
+    let seq = 1u64..5;
+    prop_oneof![
+        (node.clone(), src.clone(), seq.clone(), t.clone()).prop_map(|(node, src, seq, now_us)| {
+            TraceLine::Event {
+                node,
+                event: ProtocolEvent::DataSent {
+                    src: EntityId::new(src),
+                    seq: Seq::new(seq),
+                    now_us,
+                },
+            }
+        }),
+        (
+            node.clone(),
+            src.clone(),
+            seq.clone(),
+            proptest::bool::ANY,
+            t.clone()
+        )
+            .prop_map(|(node, src, seq, from_reorder, now_us)| {
+                TraceLine::Event {
+                    node,
+                    event: ProtocolEvent::Accepted {
+                        src: EntityId::new(src),
+                        seq: Seq::new(seq),
+                        from_reorder,
+                        now_us,
+                    },
+                }
+            }),
+        (node.clone(), src.clone(), seq.clone(), t.clone()).prop_map(|(node, src, seq, now_us)| {
+            TraceLine::Event {
+                node,
+                event: ProtocolEvent::PreAcked {
+                    src: EntityId::new(src),
+                    seq: Seq::new(seq),
+                    now_us,
+                },
+            }
+        }),
+        (node.clone(), src.clone(), seq.clone(), t.clone()).prop_map(|(node, src, seq, now_us)| {
+            TraceLine::Event {
+                node,
+                event: ProtocolEvent::Delivered {
+                    src: EntityId::new(src),
+                    seq: Seq::new(seq),
+                    now_us,
+                },
+            }
+        }),
+        (node.clone(), src.clone(), 1u64..8, t.clone()).prop_map(|(node, src, lseq, now_us)| {
+            TraceLine::Event {
+                node,
+                event: ProtocolEvent::RetSent {
+                    src: EntityId::new(src),
+                    lseq: Seq::new(lseq),
+                    now_us,
+                },
+            }
+        }),
+        (node.clone(), src.clone(), 1u64..8, 1u64..8, t.clone()).prop_map(
+            |(node, src, expected, got, now_us)| {
+                TraceLine::Event {
+                    node,
+                    event: ProtocolEvent::F1Detected {
+                        src: EntityId::new(src),
+                        expected: Seq::new(expected),
+                        got: Seq::new(got),
+                        now_us,
+                    },
+                }
+            }
+        ),
+        (node.clone(), src.clone(), 1u64..8, 0u32..N, t.clone()).prop_map(
+            |(node, src, confirmed, via, now_us)| {
+                TraceLine::Event {
+                    node,
+                    event: ProtocolEvent::F2Detected {
+                        src: EntityId::new(src),
+                        confirmed: Seq::new(confirmed),
+                        via: EntityId::new(via),
+                        now_us,
+                    },
+                }
+            }
+        ),
+        (node.clone(), 0u64..64, 1u64..64, t.clone()).prop_map(
+            |(node, outstanding, limit, now_us)| {
+                TraceLine::Event {
+                    node,
+                    event: ProtocolEvent::FlowBlocked {
+                        outstanding,
+                        limit,
+                        now_us,
+                    },
+                }
+            }
+        ),
+        (node.clone(), t.clone()).prop_map(|(node, now_us)| {
+            TraceLine::Event {
+                node,
+                event: ProtocolEvent::AckOnlySent { now_us },
+            }
+        }),
+        (node, t.clone(), 0u64..5_000).prop_map(|(node, at_us, dur_us)| TraceLine::HostTco {
+            node,
+            at_us,
+            dur_us,
+        }),
+    ]
+}
+
+fn config() -> impl Strategy<Value = AnomalyConfig> {
+    (
+        1u64..50_000,
+        1usize..6,
+        1u64..50_000,
+        1u64..20_000,
+        1usize..5,
+        1u64..8,
+    )
+        .prop_map(
+            |(stuck, storm_req, storm_win, gap, cluster_min, flow_min)| AnomalyConfig {
+                stuck_preack_us: stuck,
+                ret_storm_requests: storm_req,
+                ret_storm_window_us: storm_win,
+                loss_cluster_gap_us: gap,
+                loss_cluster_min: cluster_min,
+                flow_blocked_min: flow_min,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn streaming_matches_offline_on_arbitrary_merged_traces(
+        mut lines in proptest::collection::vec(line(), 0..120),
+        cfg in config(),
+    ) {
+        // Stable sort by timestamp: the canonical merged-trace order.
+        // Everything else about the stream stays adversarial — missing
+        // stages, duplicates, colliding (src, seq), interleaved nodes.
+        lines.sort_by_key(|l| match l {
+            TraceLine::Event { event, .. } => event.now_us(),
+            TraceLine::HostTco { at_us, .. } => *at_us,
+        });
+        let offline = detect(&lines, &stitch(&lines), &cfg);
+        let mut streaming = StreamingDetectors::new(cfg);
+        let mut pruning = StreamingDetectors::new(cfg).with_cluster_size(N as usize);
+        for l in &lines {
+            streaming.observe_line(l);
+            pruning.observe_line(l);
+        }
+        prop_assert_eq!(streaming.findings(), offline.clone());
+        prop_assert_eq!(pruning.findings(), offline);
+    }
+
+    #[test]
+    fn snapshots_match_offline_at_every_prefix(
+        mut lines in proptest::collection::vec(line(), 0..40),
+        cfg in config(),
+    ) {
+        // Stronger than end-of-trace equality: the streaming state is a
+        // faithful snapshot after *any* time-sorted prefix — the live
+        // pipeline can be sampled mid-run (Prometheus scrape, watch tick)
+        // and still agree with an offline pass over what it has seen.
+        lines.sort_by_key(|l| match l {
+            TraceLine::Event { event, .. } => event.now_us(),
+            TraceLine::HostTco { at_us, .. } => *at_us,
+        });
+        let mut streaming = StreamingDetectors::new(cfg);
+        for (i, l) in lines.iter().enumerate() {
+            streaming.observe_line(l);
+            let prefix = &lines[..=i];
+            let offline = detect(prefix, &stitch(prefix), &cfg);
+            prop_assert_eq!(streaming.findings(), offline, "prefix length {}", i + 1);
+        }
+    }
+}

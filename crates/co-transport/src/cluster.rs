@@ -2,8 +2,9 @@
 
 use bytes::Bytes;
 use causal_order::EntityId;
-use co_observe::{EventLog, LatencyTracker, Tee};
+use co_observe::{EventLog, FlightRecorder, LatencyTracker, Tee, DEFAULT_RECORDER_DEPTH};
 use co_protocol::{CoCore, Config, DeferralPolicy, DeliveryCore, Entity};
+use co_trace::LiveDetector;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -47,6 +48,11 @@ pub struct ClusterOptions {
     /// batch ([`co_protocol::Entity::on_pdus_into`]), amortizing the
     /// confirmation traffic; `1` reproduces strict per-PDU processing.
     pub drain_batch: usize,
+    /// Flight-recorder depth per node: each entity keeps a ring of this
+    /// many most-recent protocol events (allocation-free after startup),
+    /// dumped into its [`NodeReport`] at shutdown — and to stderr when a
+    /// node panics. `0` disables retention.
+    pub recorder_depth: usize,
 }
 
 impl Default for ClusterOptions {
@@ -62,6 +68,7 @@ impl Default for ClusterOptions {
             cid: 1,
             trace: false,
             drain_batch: 32,
+            recorder_depth: DEFAULT_RECORDER_DEPTH,
         }
     }
 }
@@ -161,7 +168,13 @@ impl Cluster {
                 .map_err(TransportError::BadConfig)?;
             let observer = Tee(
                 LatencyTracker::default(),
-                options.trace.then(EventLog::default),
+                Tee(
+                    options.trace.then(EventLog::default),
+                    Tee(
+                        FlightRecorder::new(options.recorder_depth),
+                        LiveDetector::new(me.raw(), co_trace::AnomalyConfig::default()),
+                    ),
+                ),
             );
             let entity = Entity::<C, _>::with_observer(config, observer)
                 .map_err(TransportError::BadConfig)?;
@@ -247,6 +260,24 @@ impl Cluster {
             .into_iter()
             .map(|t| t.join().expect("entity thread panicked"))
             .collect();
+        if reports.iter().any(|r| r.panicked.is_some()) {
+            // A node crashed mid-run. Dump every node's black box to
+            // stderr first — the recorder rings are the only record of
+            // the cluster's final transitions — then propagate the
+            // failure so callers see the panic, not a quiet partial run.
+            for r in &reports {
+                eprintln!("{}", r.flight_recorder.to_json());
+            }
+            let victim = reports
+                .iter()
+                .find(|r| r.panicked.is_some())
+                .expect("checked above");
+            panic!(
+                "entity thread {} panicked: {}",
+                victim.id,
+                victim.panicked.as_deref().unwrap_or("unknown")
+            );
+        }
         if self.trace {
             let trace = crate::report::merged_trace(&reports);
             let analysis = co_trace::analyze(&trace, &co_trace::AnomalyConfig::default());

@@ -2,8 +2,9 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use causal_order::EntityId;
-use co_observe::{EventLog, LatencyTracker, Tee, TraceLine};
+use co_observe::{EventLog, FlightRecorder, LatencyTracker, RecorderDump, Tee, TraceLine};
 use co_protocol::{Action, DeliveryCore, Entity, Pdu};
+use co_trace::LiveDetector;
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -12,8 +13,15 @@ use std::time::{Duration, Instant};
 use crate::report::{trace_time_us, NodeReport};
 
 /// The observer every cluster entity runs with: latency histograms always
-/// (cheap, bounded state), plus an event log when tracing is on.
-pub(crate) type NodeObserver = Tee<LatencyTracker, Option<EventLog>>;
+/// (cheap, bounded state), a flight-recorder ring of the most recent
+/// events plus the live streaming anomaly detectors (both bounded), and a
+/// full event log only when tracing is on.
+pub(crate) type NodeObserver =
+    Tee<LatencyTracker, Tee<Option<EventLog>, Tee<FlightRecorder, LiveDetector>>>;
+
+/// The `network` label stamped on threaded-cluster recorder dumps: this
+/// transport runs on real channels, not an `mc-net` preset.
+pub(crate) const NETWORK_LABEL: &str = "threaded";
 
 /// Control-plane commands to a node thread.
 #[derive(Debug)]
@@ -210,7 +218,45 @@ impl<C: DeliveryCore> NodeRuntime<C> {
             latency: LatencyTracker::default(),
             trace: Vec::new(),
             span_report: None,
+            flight_recorder: RecorderDump::capture(
+                &FlightRecorder::default(),
+                self.me.raw(),
+                C::NAME,
+                NETWORK_LABEL,
+            ),
+            live_findings: Vec::new(),
+            panicked: None,
         };
+        // The event loop runs under a panic guard so the finalizer below
+        // always executes: a crashed node still surrenders its black box
+        // (flight recorder, live findings, partial measurements) instead
+        // of taking them down with the thread.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.drive(&mut report)));
+        report.overrun_drops = self.overruns.load(Ordering::Relaxed);
+        report.metrics = *self.entity.metrics();
+        let node = self.me.raw();
+        let Tee(latency, Tee(log, Tee(recorder, live))) = self.entity.into_observer();
+        report.latency = latency;
+        report.flight_recorder = RecorderDump::capture(&recorder, node, C::NAME, NETWORK_LABEL);
+        report.live_findings = live.findings();
+        if let Some(log) = log {
+            report.trace.extend(
+                log.into_events()
+                    .into_iter()
+                    .map(|event| TraceLine::Event { node, event }),
+            );
+            // Events were appended after the HostTco lines; restore time
+            // order (stable within equal timestamps).
+            report.trace.sort_by_key(trace_time_us);
+        }
+        if let Err(payload) = outcome {
+            report.panicked = Some(panic_message(payload.as_ref()));
+        }
+        report
+    }
+
+    fn drive(&mut self, report: &mut NodeReport) {
         let mut shutting_down = false;
         let mut last_activity = Instant::now();
         loop {
@@ -218,7 +264,7 @@ impl<C: DeliveryCore> NodeRuntime<C> {
             crossbeam::channel::select! {
                 recv(self.pdu_rx) -> raw => {
                     if let Ok(raw) = raw {
-                        self.handle_batch(raw, &mut report);
+                        self.handle_batch(raw, report);
                         last_activity = Instant::now();
                     }
                 }
@@ -227,7 +273,7 @@ impl<C: DeliveryCore> NodeRuntime<C> {
                         Ok(Cmd::Submit(framed)) => {
                             let now = self.now_us();
                             match self.entity.submit(framed, now) {
-                                Ok((_outcome, actions)) => self.dispatch(actions, &mut report),
+                                Ok((_outcome, actions)) => self.dispatch(actions, report),
                                 Err(_) => { /* oversized: reported via metrics */ }
                             }
                             last_activity = Instant::now();
@@ -243,7 +289,7 @@ impl<C: DeliveryCore> NodeRuntime<C> {
                     if !actions.is_empty() {
                         last_activity = Instant::now();
                     }
-                    self.dispatch(actions, &mut report);
+                    self.dispatch(actions, report);
                 }
             }
             if shutting_down
@@ -258,22 +304,18 @@ impl<C: DeliveryCore> NodeRuntime<C> {
                 break;
             }
         }
-        report.overrun_drops = self.overruns.load(Ordering::Relaxed);
-        report.metrics = *self.entity.metrics();
-        let Tee(latency, log) = self.entity.into_observer();
-        report.latency = latency;
-        if let Some(log) = log {
-            let node = self.me.raw();
-            report.trace.extend(
-                log.into_events()
-                    .into_iter()
-                    .map(|event| TraceLine::Event { node, event }),
-            );
-            // Events were appended after the HostTco lines; restore time
-            // order (stable within equal timestamps).
-            report.trace.sort_by_key(trace_time_us);
-        }
-        report
+    }
+}
+
+/// Best-effort rendering of a panic payload (the common `&str` / `String`
+/// shapes; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 use causal_order::EntityId;
-use co_observe::{LatencyTracker, TraceLine};
+use co_observe::{LatencyTracker, RecorderDump, TraceLine};
 use co_protocol::Metrics;
 use std::time::Duration;
 
@@ -41,6 +41,19 @@ pub struct NodeReport {
     /// spans are cluster-wide objects, so each node carries the same
     /// view). `None` unless tracing was enabled.
     pub span_report: Option<co_trace::SpanReport>,
+    /// The node's always-on black box: the last `recorder_depth` protocol
+    /// events, captured at shutdown — or at panic, so a crashed node's
+    /// final transitions survive even when no trace was recorded.
+    pub flight_recorder: RecorderDump,
+    /// Findings from the node's live streaming detectors over its *own*
+    /// event stream (the node-local rules: RET storms, loss bursts, flow
+    /// saturation). Cross-node span findings need the merged trace and
+    /// live in [`NodeReport::span_report`].
+    pub live_findings: Vec<co_trace::Finding>,
+    /// Set when the node thread panicked mid-run: the payload message.
+    /// The report then carries everything measured up to the panic,
+    /// including the flight recorder — partial data, flagged as such.
+    pub panicked: Option<String>,
 }
 
 impl NodeReport {

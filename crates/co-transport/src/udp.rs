@@ -172,6 +172,16 @@ fn run_node(
         latency: co_observe::LatencyTracker::default(),
         trace: Vec::new(),
         span_report: None,
+        // The UDP transport runs a bare entity (no observer stack): its
+        // reports carry an empty black box, not a missing one.
+        flight_recorder: co_observe::RecorderDump::capture(
+            &co_observe::FlightRecorder::default(),
+            me.raw(),
+            "co",
+            "udp",
+        ),
+        live_findings: Vec::new(),
+        panicked: None,
     };
     let shutting_down = Arc::new(AtomicBool::new(false));
     let mut last_activity = Instant::now();

@@ -189,3 +189,67 @@ fn merged_trace_is_time_sorted() {
         "trace must be time-sorted"
     );
 }
+
+#[test]
+fn flight_recorder_dumps_ride_every_report() {
+    // The black box is always on: even an untraced run surrenders each
+    // node's most recent protocol events, labelled with the core and the
+    // transport it ran on, and the dump lines are analyzable JSONL.
+    let cluster = Cluster::start(3, ClusterOptions::default()).expect("cluster starts");
+    for round in 0..4 {
+        for i in 0..3 {
+            cluster
+                .submit(i, Bytes::from(format!("r-{round}-{i}").into_bytes()))
+                .expect("submit");
+        }
+    }
+    let reports = cluster.shutdown();
+    for (i, r) in reports.iter().enumerate() {
+        assert!(r.panicked.is_none());
+        let dump = &r.flight_recorder;
+        assert_eq!(dump.node, i as u32);
+        assert_eq!(dump.core, "co");
+        assert_eq!(dump.network, "threaded");
+        assert!(!dump.events.is_empty(), "traffic flowed at node {i}");
+        for line in dump.event_lines() {
+            let parsed = jsonl::parse_line_strict(&line).expect("dump lines are valid JSONL");
+            assert!(matches!(parsed, TraceLine::Event { .. }));
+        }
+    }
+}
+
+#[test]
+fn recorder_depth_zero_disables_retention() {
+    let options = ClusterOptions {
+        recorder_depth: 0,
+        ..ClusterOptions::default()
+    };
+    let cluster = Cluster::start(2, options).expect("cluster starts");
+    cluster.submit(0, Bytes::from_static(b"x")).expect("submit");
+    let reports = cluster.shutdown();
+    for r in &reports {
+        assert!(r.flight_recorder.events.is_empty());
+        assert_eq!(r.flight_recorder.capacity, 0);
+        assert!(
+            r.flight_recorder.evicted > 0,
+            "events still flowed past the zero-depth ring"
+        );
+    }
+}
+
+#[test]
+fn live_findings_agree_with_per_node_streaming_pass() {
+    // Each node's live detector saw exactly that node's event stream:
+    // replaying the node's trace through a fresh StreamingDetectors must
+    // reproduce the findings the report carries.
+    let reports = traced_run(3, 4);
+    for r in &reports {
+        let mut replay = co_trace::StreamingDetectors::new(co_trace::AnomalyConfig::default());
+        for line in &r.trace {
+            if let TraceLine::Event { event, .. } = line {
+                replay.observe(r.id.raw(), *event);
+            }
+        }
+        assert_eq!(replay.findings(), r.live_findings, "node {}", r.id);
+    }
+}
